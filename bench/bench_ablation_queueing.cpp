@@ -1,0 +1,79 @@
+// E12 — ablation of the replication queueing model. The paper (§4.4)
+// models Y replicas of a server type as Y *independent* M/G/1 queues with
+// the load partitioned up front (round-robin / hashed assignment). The
+// alternative is a shared-queue M/M/c (one queue feeding all replicas).
+// This bench compares both analytic models against the simulator (which
+// implements the paper's partitioned round-robin dispatch) on the engine
+// server type of the EP scenario.
+
+#include <cmath>
+#include <cstdio>
+
+#include "perf/performance_model.h"
+#include "queueing/mg1.h"
+#include "sim/simulator.h"
+#include "workflow/scenarios.h"
+
+int main() {
+  using namespace wfms;
+  const double rate = 1.5;  // EP workflows per minute
+  auto env = workflow::EpEnvironment(rate);
+  if (!env.ok()) return 1;
+  auto model = perf::PerformanceModel::Create(*env);
+  if (!model.ok()) return 1;
+  const double engine_requests = model->total_request_rates()[1];
+  const double engine_service = env->servers.type(1).service.mean;
+
+  std::printf("E12: replication model ablation, engine type "
+              "(%.1f req/min, E[S]=%.3f min)\n\n",
+              engine_requests, engine_service);
+  std::printf("%3s %18s %18s %18s %18s\n", "Y", "M/G/1 per replica",
+              "M/M/c shared", "sim round-robin[s]", "sim bound[s]");
+  for (int y = 1; y <= 4; ++y) {
+    auto partitioned = queueing::Mg1Metrics(engine_requests / y,
+                                            env->servers.type(1).service);
+    auto shared = queueing::MmcMetrics(engine_requests, engine_service, y);
+
+    double observed[2] = {std::nan(""), std::nan("")};
+    for (int policy = 0; policy < 2; ++policy) {
+      sim::SimulationOptions options;
+      options.config = workflow::Configuration({2, y, 3});
+      options.dispatch = policy == 0
+                             ? sim::DispatchPolicy::kRoundRobin
+                             : sim::DispatchPolicy::kPerInstanceBinding;
+      options.duration = 20000.0;
+      options.warmup = 4000.0;
+      options.enable_failures = false;
+      options.seed = 33;
+      auto simulator = sim::Simulator::Create(*env, options);
+      if (simulator.ok()) {
+        auto result = simulator->Run();
+        if (result.ok()) {
+          observed[policy] = result->servers[1].waiting_time.mean() * 60.0;
+        }
+      }
+    }
+    std::printf("%3d %18s %18s %18.3f %18.3f\n", y,
+                partitioned.ok()
+                    ? std::to_string(partitioned->mean_waiting_time * 60.0)
+                          .substr(0, 8)
+                          .c_str()
+                    : "saturated",
+                shared.ok()
+                    ? std::to_string(shared->mean_waiting_time * 60.0)
+                          .substr(0, 8)
+                          .c_str()
+                    : "saturated",
+                observed[0], observed[1]);
+  }
+  std::printf("\nexpected shape: the shared-queue M/M/c lower-bounds the "
+              "Y-independent-M/G/1 model (no idle-while-work-waits "
+              "inefficiency). Round-robin per request smooths each "
+              "server's arrival stream (near-Erlang interarrivals) and "
+              "lands between the two analytic models; the paper's "
+              "per-instance hashed binding keeps instance bursts on one "
+              "server and lands at/above the per-replica M/G/1 prediction "
+              "— i.e. the paper's model matches its own stated "
+              "assignment policy.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E7 — §7.2 configuration search: greedy heuristic vs exhaustive optimum
+// vs simulated annealing on the EP scenario and the benchmark mix, at a
+// range of goal strictness levels: recommended configuration, cost,
+// number of model evaluations, and wall-clock time.
+
+#include <chrono>
+#include <cstdio>
+
+#include "configtool/tool.h"
+#include "workflow/scenarios.h"
+
+namespace {
+
+double MillisSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wfms;
+
+  struct GoalLevel {
+    const char* name;
+    double max_waiting;       // minutes
+    double min_availability;
+  };
+  const GoalLevel levels[] = {
+      {"lenient", 0.2, 0.999},
+      {"medium", 0.05, 0.99999},
+      {"strict", 0.02, 0.999999},
+  };
+
+  for (const bool benchmark_mix : {false, true}) {
+    Result<workflow::Environment> env =
+        benchmark_mix ? workflow::BenchmarkEnvironment(0.6, 0.2, 0.1)
+                      : workflow::EpEnvironment(1.5);
+    if (!env.ok()) return 1;
+    auto tool = configtool::ConfigurationTool::Create(*env);
+    if (!tool.ok()) return 1;
+    configtool::SearchConstraints constraints;
+    constraints.max_replicas.assign(env->num_server_types(),
+                                    benchmark_mix ? 4 : 5);
+
+    std::printf("E7 (%s): greedy vs exhaustive vs annealing\n",
+                benchmark_mix ? "benchmark mix, 5 types" : "EP, 3 types");
+    std::printf("%-8s %-12s %-16s %5s %6s %9s\n", "goals", "method",
+                "config", "cost", "evals", "time[ms]");
+    for (const GoalLevel& level : levels) {
+      configtool::Goals goals;
+      goals.max_waiting_time = level.max_waiting;
+      goals.min_availability = level.min_availability;
+
+      auto t0 = std::chrono::steady_clock::now();
+      auto greedy = tool->GreedyMinCost(goals, constraints);
+      const double greedy_ms = MillisSince(t0);
+
+      t0 = std::chrono::steady_clock::now();
+      auto exhaustive = tool->ExhaustiveMinCost(goals, constraints);
+      const double exhaustive_ms = MillisSince(t0);
+
+      configtool::AnnealingOptions annealing;
+      annealing.iterations = benchmark_mix ? 300 : 400;
+      t0 = std::chrono::steady_clock::now();
+      auto annealed = tool->AnnealingMinCost(goals, constraints,
+                                             configtool::CostModel::Uniform(),
+                                             annealing);
+      const double annealing_ms = MillisSince(t0);
+
+      t0 = std::chrono::steady_clock::now();
+      auto bnb = tool->BranchAndBoundMinCost(goals, constraints);
+      const double bnb_ms = MillisSince(t0);
+
+      const auto print_row = [&](const char* method,
+                                 const Result<configtool::SearchResult>& r,
+                                 double ms) {
+        if (!r.ok()) {
+          std::printf("%-8s %-12s search failed: %s\n", level.name, method,
+                      r.status().ToString().c_str());
+          return;
+        }
+        std::printf("%-8s %-12s %-16s %5.0f %6d %9.1f%s\n", level.name,
+                    method, r->config.ToString().c_str(), r->cost,
+                    r->evaluations, ms,
+                    r->satisfied ? "" : "  (goals unreachable)");
+      };
+      print_row("greedy", greedy, greedy_ms);
+      print_row("exhaustive", exhaustive, exhaustive_ms);
+      print_row("annealing", annealed, annealing_ms);
+      print_row("bnb", bnb, bnb_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: greedy matches the exhaustive optimum cost "
+              "(within one server) at a fraction of the evaluations.\n");
+  return 0;
+}

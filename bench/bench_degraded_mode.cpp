@@ -1,0 +1,109 @@
+// E9 — §6 degraded-mode performance: per-system-state waiting times
+// weighted by their steady-state probabilities for a (2,2,2) EP
+// configuration, ranking the states that contribute most to the
+// performability gap, and a simulation check that engine failures raise
+// observed engine waits.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "avail/availability_model.h"
+#include "common/time_units.h"
+#include "perf/performance_model.h"
+#include "sim/simulator.h"
+#include "workflow/scenarios.h"
+
+int main() {
+  using namespace wfms;
+  auto env = workflow::EpEnvironment(/*arrival_rate=*/1.5);
+  if (!env.ok()) return 1;
+  auto perf_model = perf::PerformanceModel::Create(*env);
+  if (!perf_model.ok()) return 1;
+  auto avail_model = avail::AvailabilityModel::Create(env->servers);
+  if (!avail_model.ok()) return 1;
+
+  const workflow::Configuration config({2, 2, 2});
+  auto avail = avail_model->Evaluate(config);
+  if (!avail.ok()) return 1;
+
+  struct Row {
+    size_t state;
+    double pi;
+    double max_wait;
+    bool down;
+    bool saturated;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < avail->space.size(); ++i) {
+    Row row{i, avail->state_probabilities[i], 0.0, false, false};
+    markov::StateVector x(3);
+    for (size_t d = 0; d < 3; ++d) {
+      x[d] = avail->space.Component(i, d);
+      if (x[d] == 0) row.down = true;
+    }
+    if (!row.down) {
+      auto waiting = perf_model->EvaluateWaitingTimesForState(x);
+      if (waiting.ok()) {
+        row.saturated = waiting->any_saturated;
+        row.max_wait = waiting->max_waiting_time;
+      }
+    }
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.pi > b.pi; });
+
+  std::printf("E9: degraded-mode waiting per system state, config (2,2,2), "
+              "EP at 1.5/min\n\n");
+  std::printf("%-10s %12s %14s %s\n", "state", "pi", "max W", "note");
+  double weighted = 0.0;
+  double mass = 0.0;
+  for (const Row& row : rows) {
+    if (row.pi < 1e-10) continue;
+    const char* note = row.down ? "DOWN" : (row.saturated ? "SATURATED" : "");
+    std::printf("%-10s %12.3e %14s %s\n",
+                avail->space.ToString(row.state).c_str(), row.pi,
+                row.down ? "-"
+                         : (row.saturated
+                                ? "inf"
+                                : FormatMinutes(row.max_wait).c_str()),
+                note);
+    if (!row.down && !row.saturated) {
+      weighted += row.pi * row.max_wait;
+      mass += row.pi;
+    }
+  }
+  std::printf("\nconditional E[max W] over stable states: %s "
+              "(vs full-up state %s)\n",
+              FormatMinutes(weighted / mass).c_str(),
+              FormatMinutes(rows[0].max_wait).c_str());
+
+  // Simulation spot check: accelerated engine failures vs failure-free.
+  auto failing = workflow::EpEnvironment(1.5);
+  if (!failing.ok()) return 1;
+  failing->servers.mutable_type(1).failure_rate = 1.0 / 200.0;
+  failing->servers.mutable_type(1).repair_rate = 1.0 / 20.0;
+  double waits[2] = {0.0, 0.0};
+  for (int with_failures = 0; with_failures < 2; ++with_failures) {
+    sim::SimulationOptions options;
+    options.config = config;
+    options.duration = 60000.0;
+    options.warmup = 5000.0;
+    options.enable_failures = with_failures == 1;
+    options.seed = 17;
+    auto simulator = sim::Simulator::Create(*failing, options);
+    if (!simulator.ok()) return 1;
+    auto result = simulator->Run();
+    if (!result.ok()) return 1;
+    waits[with_failures] = result->servers[1].waiting_time.mean();
+  }
+  std::printf("\nsimulated engine waiting: failure-free %s vs with "
+              "failures %s (MTTF 200 min)\n",
+              FormatMinutes(waits[0]).c_str(),
+              FormatMinutes(waits[1]).c_str());
+  std::printf("expected shape: degraded states dominate the tail; observed "
+              "degradation mirrors the MRM weighting.\n");
+  return 0;
+}

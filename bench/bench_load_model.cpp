@@ -1,0 +1,79 @@
+// E3 — §4.2 load model: expected service requests r_{x,t} per workflow
+// instance and server type, computed with the paper's uniformization /
+// taboo-probability Markov reward model and cross-checked against the
+// exact embedded-chain fundamental-matrix solution. Also reports the
+// paper's z_max (steps to 99% absorption) and the truncation sensitivity.
+
+#include <cmath>
+#include <cstdio>
+
+#include "markov/transient.h"
+#include "perf/workflow_analysis.h"
+#include "workflow/scenarios.h"
+
+int main() {
+  using namespace wfms;
+  auto env = workflow::BenchmarkEnvironment();
+  if (!env.ok()) return 1;
+
+  std::printf("E3: expected service requests per workflow instance "
+              "(Markov reward model, §4.2)\n\n");
+  std::printf("%-8s %-10s %12s %12s %10s\n", "type", "server", "reward",
+              "embedded", "rel.diff");
+  for (const auto& spec : env->workflows) {
+    perf::AnalysisOptions reward_opts;
+    reward_opts.method = perf::LoadMethod::kMarkovReward;
+    perf::AnalysisOptions exact_opts;
+    exact_opts.method = perf::LoadMethod::kEmbeddedChain;
+    auto reward = perf::AnalyzeWorkflow(*env, spec, reward_opts);
+    auto exact = perf::AnalyzeWorkflow(*env, spec, exact_opts);
+    if (!reward.ok() || !exact.ok()) {
+      std::fprintf(stderr, "analysis failed\n");
+      return 1;
+    }
+    for (size_t x = 0; x < env->num_server_types(); ++x) {
+      const double a = reward->expected_requests[x];
+      const double b = exact->expected_requests[x];
+      std::printf("%-8s %-10s %12.4f %12.4f %10.2e\n", spec.name.c_str(),
+                  env->servers.type(x).name.c_str(), a, b,
+                  b > 0 ? std::fabs(a - b) / b : 0.0);
+    }
+  }
+
+  // z_max (§4.2.1): steps until the chain is absorbed with 99 percent
+  // probability, per workflow type.
+  std::printf("\nz_max (99%% absorption) and truncation error:\n");
+  for (const auto& spec : env->workflows) {
+    auto analysis = perf::AnalyzeWorkflow(*env, spec);
+    if (!analysis.ok()) return 1;
+    auto z99 = markov::AbsorptionStepBound(analysis->chain, 0.99);
+    auto z999 = markov::AbsorptionStepBound(analysis->chain, 0.999);
+    if (!z99.ok() || !z999.ok()) return 1;
+    std::printf("  %-8s z_max(0.99) = %3d, z_max(0.999) = %3d\n",
+                spec.name.c_str(), *z99, *z999);
+    // Comm-server reward at truncated vs tight residual thresholds (the
+    // comm server is loaded by every workflow type).
+    linalg::Vector rewards(analysis->chain.num_states(), 0.0);
+    for (size_t s = 0; s < analysis->states.size(); ++s) {
+      rewards[s] = analysis->state_loads.At(0, s);
+    }
+    markov::RewardOptions loose;
+    loose.residual_mass_threshold = 0.01;  // the paper's 99% suggestion
+    auto loose_r =
+        markov::ExpectedRewardUntilAbsorption(analysis->chain, rewards, loose);
+    markov::RewardOptions tight;
+    tight.residual_mass_threshold = 1e-12;
+    auto tight_r =
+        markov::ExpectedRewardUntilAbsorption(analysis->chain, rewards, tight);
+    if (loose_r.ok() && tight_r.ok() && tight_r->expected_reward > 0) {
+      std::printf(
+          "           truncation at 99%%: %.4f vs exact %.4f "
+          "(rel. err. %.2e, steps %d vs %d)\n",
+          loose_r->expected_reward, tight_r->expected_reward,
+          std::fabs(loose_r->expected_reward - tight_r->expected_reward) /
+              tight_r->expected_reward,
+          loose_r->steps, tight_r->steps);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E6 — §6 performability: the expected waiting-time vector W^Y with
+// failure-induced degradation, compared with the failure-free waiting
+// time of the full configuration, plus the probabilities of the system
+// being down, saturated (up but overloaded after failures), or degraded.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/time_units.h"
+#include "performability/performability_model.h"
+#include "workflow/scenarios.h"
+
+int main() {
+  using namespace wfms;
+  auto env = workflow::EpEnvironment(/*arrival_rate=*/1.5);
+  if (!env.ok()) return 1;
+  auto model = performability::PerformabilityModel::Create(*env);
+  if (!model.ok()) return 1;
+
+  std::printf("E6: performability W^Y (EP at 1.5 workflows/min)\n\n");
+  std::printf("%-10s %14s %14s %12s %12s %12s\n", "config",
+              "maxW failurefree", "maxW perform.", "P(down)", "P(saturated)",
+              "P(degraded)");
+  const workflow::Configuration configs[] = {
+      workflow::Configuration({1, 1, 1}), workflow::Configuration({1, 2, 2}),
+      workflow::Configuration({2, 2, 2}), workflow::Configuration({2, 2, 3}),
+      workflow::Configuration({2, 3, 3}), workflow::Configuration({3, 3, 3}),
+      workflow::Configuration({3, 3, 4}),
+  };
+  for (const auto& config : configs) {
+    auto report = model->Evaluate(config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    double full_max = 0.0;
+    for (double w : report->full_config_waiting) {
+      full_max = std::max(full_max, w);
+    }
+    std::printf("%-10s %14s %14s %12.2e %12.2e %12.2e\n",
+                config.ToString().c_str(),
+                std::isinf(full_max) ? "saturated"
+                                     : FormatMinutes(full_max).c_str(),
+                std::isinf(report->max_expected_waiting)
+                    ? "saturated"
+                    : FormatMinutes(report->max_expected_waiting).c_str(),
+                report->prob_down, report->prob_saturated,
+                report->prob_degraded);
+  }
+  std::printf("\nexpected shape: W^Y >= failure-free waiting; the gap and "
+              "P(saturated) shrink with replication, P(down) falls by "
+              "orders of magnitude.\n");
+  return 0;
+}

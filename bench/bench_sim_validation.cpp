@@ -1,0 +1,54 @@
+// E8 — validation of the §5 availability CTMC against failure-injecting
+// discrete-event simulation. Failure rates are accelerated (MTTF 200 min,
+// MTTR 10 min) so the observed estimate converges within the simulated
+// horizon; the analytic model uses exactly the same rates.
+
+#include <cstdio>
+
+#include "avail/availability_model.h"
+#include "sim/simulator.h"
+#include "workflow/scenarios.h"
+
+int main() {
+  using namespace wfms;
+  auto env = workflow::EpEnvironment(/*arrival_rate=*/0.05);
+  if (!env.ok()) return 1;
+  for (size_t x = 0; x < env->servers.size(); ++x) {
+    env->servers.mutable_type(x).failure_rate = 1.0 / 200.0;
+    env->servers.mutable_type(x).repair_rate = 1.0 / 10.0;
+  }
+  auto model = avail::AvailabilityModel::Create(env->servers);
+  if (!model.ok()) return 1;
+
+  std::printf("E8: availability, CTMC prediction vs simulation "
+              "(accelerated rates: MTTF 200 min, MTTR 10 min)\n\n");
+  std::printf("%-10s %12s %12s %10s\n", "config", "analytic", "simulated",
+              "rel.err");
+  for (const workflow::Configuration& config :
+       {workflow::Configuration({1, 1, 1}), workflow::Configuration({2, 1, 1}),
+        workflow::Configuration({2, 2, 2}),
+        workflow::Configuration({3, 2, 2})}) {
+    auto prediction = model->Evaluate(config);
+    if (!prediction.ok()) return 1;
+    sim::SimulationOptions options;
+    options.config = config;
+    options.duration = 300000.0;
+    options.warmup = 5000.0;
+    options.seed = 7;
+    auto simulator = sim::Simulator::Create(*env, options);
+    if (!simulator.ok()) return 1;
+    auto result = simulator->Run();
+    if (!result.ok()) return 1;
+    const double analytic_unavail = prediction->unavailability;
+    const double observed_unavail = 1.0 - result->observed_availability;
+    std::printf("%-10s %12.5f %12.5f %10.1f%%\n", config.ToString().c_str(),
+                analytic_unavail, observed_unavail,
+                analytic_unavail > 0
+                    ? 100.0 * (observed_unavail - analytic_unavail) /
+                          analytic_unavail
+                    : 0.0);
+  }
+  std::printf("\nexpected shape: simulated unavailability tracks the CTMC "
+              "within sampling noise; replication drops it superlinearly.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// E11 — solver micro-benchmarks (google-benchmark): the linear-algebra
+// cores that every model evaluation exercises. Compares the paper's
+// Gauss-Seidel prescription against the LU and power-iteration
+// alternatives on availability CTMCs of growing state-space size, and
+// times the first-passage and Markov-reward analyses on Erlang-expanded
+// workflow chains.
+
+#include <benchmark/benchmark.h>
+
+#include "avail/availability_model.h"
+#include "markov/ctmc.h"
+#include "markov/first_passage.h"
+#include "markov/phase_type.h"
+#include "markov/steady_state.h"
+#include "markov/transient.h"
+#include "performability/performability_model.h"
+#include "statechart/to_ctmc.h"
+#include "workflow/scenarios.h"
+
+namespace {
+
+using namespace wfms;
+
+/// Availability CTMC of `types` server types, `replicas` each (state
+/// space (replicas+1)^types).
+markov::Ctmc MakeAvailabilityChain(int types, int replicas) {
+  std::vector<int> bounds(static_cast<size_t>(types), replicas);
+  auto space = markov::MixedRadixSpace::Create(bounds);
+  markov::CtmcBuilder builder(space->size());
+  for (size_t i = 0; i < space->size(); ++i) {
+    for (size_t x = 0; x < static_cast<size_t>(types); ++x) {
+      const int up = space->Component(i, x);
+      const double lambda = 1.0 / (100.0 * (x + 1));
+      if (up > 0) {
+        (void)builder.AddTransition(i, space->Neighbor(i, x, -1),
+                                    up * lambda);
+      }
+      if (up < replicas) {
+        (void)builder.AddTransition(i, space->Neighbor(i, x, +1),
+                                    (replicas - up) * 0.1);
+      }
+    }
+  }
+  return *builder.Build();
+}
+
+void BM_SteadyState(benchmark::State& state, markov::SteadyStateMethod method) {
+  const int types = static_cast<int>(state.range(0));
+  const int replicas = static_cast<int>(state.range(1));
+  const markov::Ctmc chain = MakeAvailabilityChain(types, replicas);
+  markov::SteadyStateOptions options;
+  options.method = method;
+  for (auto _ : state) {
+    auto result = markov::SolveSteadyState(chain, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(chain.num_states()) + " states");
+}
+
+void SteadyStateArgs(benchmark::internal::Benchmark* bench) {
+  bench->Args({3, 2})->Args({3, 4})->Args({5, 3})->Args({6, 3});
+}
+
+BENCHMARK_CAPTURE(BM_SteadyState, gauss_seidel,
+                  markov::SteadyStateMethod::kGaussSeidel)
+    ->Apply(SteadyStateArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SteadyState, power, markov::SteadyStateMethod::kPower)
+    ->Apply(SteadyStateArgs)
+    ->Unit(benchmark::kMicrosecond);
+// LU is dense O(n^3); cap it at the smaller spaces.
+BENCHMARK_CAPTURE(BM_SteadyState, lu, markov::SteadyStateMethod::kLu)
+    ->Args({3, 2})
+    ->Args({3, 4})
+    ->Args({5, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FirstPassage(benchmark::State& state,
+                     markov::FirstPassageMethod method) {
+  auto env = workflow::EpEnvironment();
+  auto mapped = statechart::MapChartToCtmc(env->charts, "EP");
+  // Erlang-expand every transient state to grow the chain realistically.
+  const int stages_per_state = static_cast<int>(state.range(0));
+  std::vector<int> stages(mapped->chain.num_states(), stages_per_state);
+  stages[mapped->chain.absorbing_state()] = 1;
+  auto expanded = markov::ExpandErlangStages(mapped->chain, stages);
+  for (auto _ : state) {
+    auto result = markov::MeanTurnaroundTime(expanded->chain, method);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(expanded->chain.num_states()) + " states");
+}
+
+BENCHMARK_CAPTURE(BM_FirstPassage, lu, markov::FirstPassageMethod::kLu)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_FirstPassage, gauss_seidel,
+                  markov::FirstPassageMethod::kGaussSeidel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MarkovReward(benchmark::State& state) {
+  auto env = workflow::EpEnvironment();
+  auto mapped = statechart::MapChartToCtmc(env->charts, "EP");
+  linalg::Vector rewards(mapped->chain.num_states(), 1.0);
+  rewards[mapped->chain.absorbing_state()] = 0.0;
+  markov::RewardOptions options;
+  options.residual_mass_threshold =
+      1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto result = markov::ExpectedRewardUntilAbsorption(mapped->chain,
+                                                        rewards, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_MarkovReward)
+    ->Arg(100)          // the paper's 99% absorption bound
+    ->Arg(1000000)
+    ->Arg(1000000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullPerformabilityEvaluation(benchmark::State& state) {
+  auto env = workflow::EpEnvironment(1.0);
+  auto model = performability::PerformabilityModel::Create(*env);
+  const int replicas = static_cast<int>(state.range(0));
+  const workflow::Configuration config =
+      workflow::Configuration::Uniform(3, replicas);
+  for (auto _ : state) {
+    auto result = model->Evaluate(config);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_FullPerformabilityEvaluation)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Capacity planning for a growing workload: as the arrival rate of the
+// benchmark mix (EP + loan approval + insurance claim) rises, ask the
+// configuration tool for the minimum-cost configuration meeting fixed
+// performability goals, and report how the bottleneck shifts.
+//
+// Build & run:  ./build/examples/capacity_planning
+
+#include <cstdio>
+
+#include "common/time_units.h"
+#include "configtool/tool.h"
+#include "perf/performance_model.h"
+#include "workflow/scenarios.h"
+
+int main() {
+  using namespace wfms;
+
+  configtool::Goals goals;
+  goals.max_waiting_time = 0.1;     // 6 seconds
+  goals.min_availability = 0.9999;  // ~53 min/year
+
+  std::printf("%-8s %-14s %6s %6s %-10s %18s\n", "scale", "config", "cost",
+              "evals", "bottleneck", "max throughput/min");
+  for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto env = workflow::BenchmarkEnvironment(0.3 * scale, 0.1 * scale,
+                                              0.05 * scale);
+    if (!env.ok()) {
+      std::fprintf(stderr, "%s\n", env.status().ToString().c_str());
+      return 1;
+    }
+    auto tool = configtool::ConfigurationTool::Create(*env);
+    if (!tool.ok()) {
+      std::fprintf(stderr, "%s\n", tool.status().ToString().c_str());
+      return 1;
+    }
+    configtool::SearchConstraints constraints;
+    constraints.max_replicas.assign(env->num_server_types(), 12);
+    auto result = tool->GreedyMinCost(goals, constraints);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    // Where would the recommended configuration saturate?
+    auto perf = perf::PerformanceModel::Create(*env);
+    if (!perf.ok()) return 1;
+    auto throughput = perf->MaxSustainableThroughput(result->config);
+    const char* bottleneck =
+        throughput.ok()
+            ? env->servers.type(throughput->bottleneck).name.c_str()
+            : "-";
+    std::printf("%-8.1f %-14s %6.0f %6d %-10s %18.3f\n", scale,
+                result->config.ToString().c_str(), result->cost,
+                result->evaluations, bottleneck,
+                throughput.ok() ? throughput->max_workflows_per_time_unit
+                                : 0.0);
+    if (!result->satisfied) {
+      std::printf("         (goals not reachable within constraints)\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Deadline analysis: beyond the paper's *mean* turnaround time, the
+// transient analysis of the workflow CTMC yields the full turnaround
+// distribution — the probability that a workflow instance completes
+// within a deadline, and turnaround quantiles. Useful for service-level
+// agreements ("95 % of orders confirmed within 4 days").
+//
+// Build & run:  ./build/examples/deadline_analysis
+
+#include <cstdio>
+
+#include "common/time_units.h"
+#include "markov/transient_distribution.h"
+#include "perf/workflow_analysis.h"
+#include "workflow/scenarios.h"
+
+int main() {
+  using namespace wfms;
+  auto env = workflow::EpEnvironment();
+  if (!env.ok()) return 1;
+
+  auto analysis = perf::AnalyzeWorkflow(*env, env->workflows[0]);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("EP workflow: mean turnaround %s\n\n",
+              FormatMinutes(analysis->turnaround_time).c_str());
+
+  std::printf("%-12s %22s\n", "deadline", "P(completed by then)");
+  for (double days : {0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0}) {
+    auto prob = markov::CompletionProbabilityByTime(
+        analysis->chain, DaysToMinutes(days));
+    if (!prob.ok()) return 1;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f d", days);
+    std::printf("%-12s %22.4f\n", label, *prob);
+  }
+
+  std::printf("\nturnaround quantiles:\n");
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    auto quantile = markov::TurnaroundQuantile(analysis->chain, q);
+    if (!quantile.ok()) return 1;
+    std::printf("  p%.0f = %s\n", q * 100.0,
+                FormatMinutes(*quantile).c_str());
+  }
+  std::printf("\nNote the heavy tail: the mean (%s) sits well above the "
+              "median because the dunning loop and carrier shipment "
+              "dominate slow instances.\n",
+              FormatMinutes(analysis->turnaround_time).c_str());
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "avail/availability_model.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/time_units.h"
+#include "markov/birth_death.h"
+#include "markov/ctmc_transient.h"
+#include "markov/ctmc.h"
+
+namespace wfms::avail {
+
+using linalg::Vector;
+using markov::MixedRadixSpace;
+using markov::StateVector;
+using workflow::Configuration;
+
+Result<AvailabilityModel> AvailabilityModel::Create(
+    const workflow::ServerTypeRegistry& servers,
+    const AvailabilityOptions& options) {
+  WFMS_RETURN_NOT_OK(servers.Validate());
+  Vector failures(servers.size()), repairs(servers.size());
+  for (size_t x = 0; x < servers.size(); ++x) {
+    failures[x] = servers.type(x).failure_rate;
+    repairs[x] = servers.type(x).repair_rate;
+  }
+  return AvailabilityModel(std::move(failures), std::move(repairs), options);
+}
+
+Result<Vector> AvailabilityModel::PerTypeDistribution(size_t type_index,
+                                                      int replicas) const {
+  if (type_index >= num_types()) {
+    return Status::OutOfRange("server type index out of range");
+  }
+  const double lambda = failure_rates_[type_index];
+  const double mu = repair_rates_[type_index];
+  if (options_.repair_policy == RepairPolicy::kIndependent) {
+    return markov::ReplicatedServerAvailability(replicas, lambda, mu);
+  }
+  // Single crew: births (repairs) at constant mu, deaths at (j+1)*lambda.
+  const auto y = static_cast<size_t>(replicas);
+  Vector births(y), deaths(y);
+  for (size_t j = 0; j < y; ++j) {
+    births[j] = mu;
+    deaths[j] = static_cast<double>(j + 1) * lambda;
+  }
+  return markov::BirthDeathSteadyState(births, deaths);
+}
+
+Result<Vector> AvailabilityModel::ProductFormStateProbabilities(
+    const Configuration& config, const MixedRadixSpace& space) const {
+  const size_t k = num_types();
+  std::vector<Vector> per_type(k);
+  for (size_t x = 0; x < k; ++x) {
+    WFMS_ASSIGN_OR_RETURN(per_type[x],
+                          PerTypeDistribution(x, config.replicas[x]));
+  }
+  Vector pi(space.size(), 1.0);
+  for (size_t i = 0; i < space.size(); ++i) {
+    for (size_t x = 0; x < k; ++x) {
+      pi[i] *= per_type[x][static_cast<size_t>(space.Component(i, x))];
+    }
+  }
+  return pi;
+}
+
+Result<markov::Ctmc> AvailabilityModel::BuildCtmc(
+    const Configuration& config, const MixedRadixSpace& space) const {
+  const size_t k = num_types();
+  WFMS_RETURN_NOT_OK(config.Validate(k));
+  // Generator over the mixed-radix state space (§5.2).
+  markov::CtmcBuilder builder(space.size());
+  for (size_t i = 0; i < space.size(); ++i) {
+    for (size_t x = 0; x < k; ++x) {
+      const int up = space.Component(i, x);
+      if (up > 0) {
+        // One of the `up` servers of type x fails.
+        const size_t j = space.Neighbor(i, x, -1);
+        WFMS_RETURN_NOT_OK(
+            builder.AddTransition(i, j, up * failure_rates_[x]));
+      }
+      const int down = config.replicas[x] - up;
+      if (down > 0) {
+        const size_t j = space.Neighbor(i, x, +1);
+        const double rate =
+            options_.repair_policy == RepairPolicy::kIndependent
+                ? down * repair_rates_[x]
+                : repair_rates_[x];
+        WFMS_RETURN_NOT_OK(builder.AddTransition(i, j, rate));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<double> AvailabilityModel::PointAvailability(
+    const Configuration& config, double t) const {
+  const size_t k = num_types();
+  WFMS_RETURN_NOT_OK(config.Validate(k));
+  WFMS_ASSIGN_OR_RETURN(MixedRadixSpace space,
+                        MixedRadixSpace::Create(config.replicas));
+  WFMS_ASSIGN_OR_RETURN(markov::Ctmc chain, BuildCtmc(config, space));
+  Vector p0(space.size(), 0.0);
+  markov::StateVector full(config.replicas.begin(), config.replicas.end());
+  p0[space.EncodeUnchecked(full)] = 1.0;
+  WFMS_ASSIGN_OR_RETURN(Vector pt,
+                        markov::CtmcTransientDistribution(chain, p0, t));
+  double up_probability = 0.0;
+  for (size_t i = 0; i < space.size(); ++i) {
+    bool up = true;
+    for (size_t x = 0; x < k; ++x) {
+      if (space.Component(i, x) == 0) {
+        up = false;
+        break;
+      }
+    }
+    if (up) up_probability += pt[i];
+  }
+  return up_probability;
+}
+
+Result<AvailabilityReport> AvailabilityModel::Evaluate(
+    const Configuration& config) const {
+  const size_t k = num_types();
+  WFMS_RETURN_NOT_OK(config.Validate(k));
+  WFMS_ASSIGN_OR_RETURN(MixedRadixSpace space,
+                        MixedRadixSpace::Create(config.replicas));
+
+  Vector pi;
+  int iterations = 0;
+  if (options_.use_product_form) {
+    WFMS_ASSIGN_OR_RETURN(pi, ProductFormStateProbabilities(config, space));
+  } else {
+    WFMS_ASSIGN_OR_RETURN(markov::Ctmc chain, BuildCtmc(config, space));
+    auto solved = markov::SolveSteadyState(chain, options_.solver);
+    if (!solved.ok()) {
+      return solved.status().WithContext("availability CTMC for " +
+                                         config.ToString());
+    }
+    pi = std::move(solved->pi);
+    iterations = solved->iterations;
+  }
+
+  // Aggregate: available iff all types have at least one server up.
+  double available = 0.0;
+  Vector expected_up(k, 0.0);
+  for (size_t i = 0; i < space.size(); ++i) {
+    bool up = true;
+    for (size_t x = 0; x < k; ++x) {
+      const int count = space.Component(i, x);
+      expected_up[x] += pi[i] * count;
+      if (count == 0) up = false;
+    }
+    if (up) available += pi[i];
+  }
+
+  AvailabilityReport report{
+      available,
+      1.0 - available,
+      UnavailabilityToDowntimeMinutesPerYear(1.0 - available),
+      std::move(pi),
+      std::move(space),
+      std::move(expected_up),
+      iterations};
+  return report;
+}
+
+}  // namespace wfms::avail

@@ -1,0 +1,107 @@
+// The availability model of §5: a CTMC over WFMS system states
+// (X_1, ..., X_k), X_x = number of currently-up servers of type x, with
+// failure transitions at rate X_x * lambda_x and repair transitions at
+// rate (Y_x - X_x) * mu_x (independent repair; a single-repair-crew
+// variant with constant rate mu_x is provided as an option). The entire
+// WFMS is available iff every server type has at least one server up.
+//
+// Because failures and repairs are independent across server types, the
+// steady state also has a product form (per-type birth-death chains);
+// ProductFormStateProbabilities exposes it as an exact cross-check of the
+// full CTMC solve — and as the fast path for large configurations.
+#ifndef WFMS_AVAIL_AVAILABILITY_MODEL_H_
+#define WFMS_AVAIL_AVAILABILITY_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "markov/ctmc.h"
+#include "markov/state_space.h"
+#include "markov/steady_state.h"
+#include "workflow/configuration.h"
+#include "workflow/environment.h"
+
+namespace wfms::avail {
+
+enum class RepairPolicy {
+  /// Every failed server is repaired in parallel: repair rate
+  /// (Y_x - X_x) * mu_x. Reproduces the paper's §5.2 numbers.
+  kIndependent,
+  /// One repair crew per server type: constant repair rate mu_x while any
+  /// server of the type is down.
+  kSingleCrewPerType,
+};
+
+struct AvailabilityOptions {
+  RepairPolicy repair_policy = RepairPolicy::kIndependent;
+  markov::SteadyStateOptions solver;
+  /// Use the product-form closed solution instead of solving pi Q = 0
+  /// (exact for both repair policies; dramatically faster for large state
+  /// spaces). The CTMC path remains the reference implementation.
+  bool use_product_form = false;
+};
+
+struct AvailabilityReport {
+  /// Steady-state probability that every server type has >= 1 server up.
+  double availability = 0.0;
+  double unavailability = 1.0;
+  double downtime_minutes_per_year = 0.0;
+  /// Steady-state probability of every system state, indexed by the
+  /// mixed-radix encoding of §5.2.
+  linalg::Vector state_probabilities;
+  markov::MixedRadixSpace space;
+  /// Expected number of up servers per type.
+  linalg::Vector expected_up_servers;
+  int solver_iterations = 0;
+};
+
+class AvailabilityModel {
+ public:
+  /// Captures per-type failure/repair rates from the registry.
+  static Result<AvailabilityModel> Create(
+      const workflow::ServerTypeRegistry& servers,
+      const AvailabilityOptions& options = {});
+
+  /// Evaluates a configuration (replication vector Y).
+  Result<AvailabilityReport> Evaluate(
+      const workflow::Configuration& config) const;
+
+  /// Per-type distribution of up servers via the birth-death closed form.
+  Result<linalg::Vector> PerTypeDistribution(size_t type_index,
+                                             int replicas) const;
+
+  /// Joint state probabilities as the product of per-type distributions.
+  Result<linalg::Vector> ProductFormStateProbabilities(
+      const workflow::Configuration& config,
+      const markov::MixedRadixSpace& space) const;
+
+  /// Builds the availability CTMC for a configuration over the given
+  /// state space; exposed for transient analyses.
+  Result<markov::Ctmc> BuildCtmc(const workflow::Configuration& config,
+                                 const markov::MixedRadixSpace& space) const;
+
+  /// Point availability A(t): the probability that every server type has
+  /// at least one server up at time t, starting from the full
+  /// configuration at t = 0. A(0) = 1 and A(t) decreases toward the
+  /// steady-state availability.
+  Result<double> PointAvailability(const workflow::Configuration& config,
+                                   double t) const;
+
+  size_t num_types() const { return failure_rates_.size(); }
+
+ private:
+  AvailabilityModel(linalg::Vector failures, linalg::Vector repairs,
+                    AvailabilityOptions options)
+      : failure_rates_(std::move(failures)),
+        repair_rates_(std::move(repairs)),
+        options_(options) {}
+
+  linalg::Vector failure_rates_;
+  linalg::Vector repair_rates_;
+  AvailabilityOptions options_;
+};
+
+}  // namespace wfms::avail
+
+#endif  // WFMS_AVAIL_AVAILABILITY_MODEL_H_

@@ -1,0 +1,87 @@
+// Minimal leveled logging and check macros used throughout the library.
+#ifndef WFMS_COMMON_LOGGING_H_
+#define WFMS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wfms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Fatal messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for disabled DCHECKs.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace wfms
+
+#define WFMS_LOG(level)                                              \
+  ::wfms::internal::LogMessage(::wfms::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// the checks guard numerical invariants whose violation would silently
+/// corrupt model results.
+#define WFMS_CHECK(condition)                                        \
+  (condition) ? static_cast<void>(0)                                 \
+              : static_cast<void>(                                   \
+                    WFMS_LOG(Fatal) << "Check failed: " #condition " ")
+
+#define WFMS_CHECK_BINOP(lhs, rhs, op)                                   \
+  ((lhs)op(rhs)) ? static_cast<void>(0)                                  \
+                 : static_cast<void>(WFMS_LOG(Fatal)                     \
+                                     << "Check failed: " #lhs " " #op    \
+                                        " " #rhs " (" << (lhs) << " vs " \
+                                     << (rhs) << ") ")
+
+#define WFMS_CHECK_EQ(lhs, rhs) WFMS_CHECK_BINOP(lhs, rhs, ==)
+#define WFMS_CHECK_NE(lhs, rhs) WFMS_CHECK_BINOP(lhs, rhs, !=)
+#define WFMS_CHECK_LT(lhs, rhs) WFMS_CHECK_BINOP(lhs, rhs, <)
+#define WFMS_CHECK_LE(lhs, rhs) WFMS_CHECK_BINOP(lhs, rhs, <=)
+#define WFMS_CHECK_GT(lhs, rhs) WFMS_CHECK_BINOP(lhs, rhs, >)
+#define WFMS_CHECK_GE(lhs, rhs) WFMS_CHECK_BINOP(lhs, rhs, >=)
+
+#ifdef NDEBUG
+#define WFMS_DCHECK(condition) \
+  while (false) ::wfms::internal::NullLog() << !(condition)
+#else
+#define WFMS_DCHECK(condition) WFMS_CHECK(condition)
+#endif
+
+#endif  // WFMS_COMMON_LOGGING_H_

@@ -1,0 +1,110 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wfms {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  WFMS_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  WFMS_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextExponential(double rate) {
+  WFMS_DCHECK(rate > 0.0);
+  // -log(1 - U) avoids log(0) since NextDouble() < 1.
+  return -std::log1p(-NextDouble()) / rate;
+}
+
+double Rng::NextErlang(int k, double rate) {
+  WFMS_DCHECK(k >= 1);
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) sum += NextExponential(rate);
+  return sum;
+}
+
+double Rng::NextNormal() {
+  // Box–Muller; one value per call keeps the generator stateless w.r.t.
+  // cached spare values, which keeps Split() semantics simple.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextLognormalByMoments(double mean, double scv) {
+  WFMS_DCHECK(mean > 0.0);
+  WFMS_DCHECK(scv > 0.0);
+  // For lognormal, SCV = exp(sigma^2) - 1 and mean = exp(mu + sigma^2/2).
+  const double sigma2 = std::log1p(scv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(mu + std::sqrt(sigma2) * NextNormal());
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+int Rng::NextDiscrete(const double* weights, int n) {
+  WFMS_DCHECK(n > 0);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    WFMS_DCHECK(weights[i] >= 0.0);
+    total += weights[i];
+  }
+  WFMS_DCHECK(total > 0.0);
+  double u = NextDouble() * total;
+  for (int i = 0; i < n; ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return n - 1;  // guard against floating-point underflow of u
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace wfms

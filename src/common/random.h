@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We implement xoshiro256** (Blackman & Vigna) rather than relying on
+// std::mt19937 so that streams are cheap to split per simulated entity and
+// results are bit-reproducible across standard library implementations.
+#ifndef WFMS_COMMON_RANDOM_H_
+#define WFMS_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace wfms {
+
+/// xoshiro256** generator. Satisfies the UniformRandomBitGenerator
+/// concept so it can also feed <random> distributions if desired.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds via SplitMix64 so that nearby seeds yield unrelated streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+  /// Uniform integer in [0, n).  n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Exponentially distributed sample with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+  /// Erlang-k sample (sum of k exponentials with the given per-stage rate).
+  double NextErlang(int k, double rate);
+  /// Standard normal via Box–Muller (used for lognormal service times).
+  double NextNormal();
+  /// Lognormal with the given mean and squared coefficient of variation.
+  double NextLognormalByMoments(double mean, double scv);
+  /// Bernoulli trial: true with probability p.
+  bool NextBernoulli(double p);
+  /// Samples an index from a discrete distribution given by `weights`
+  /// (not necessarily normalized; must have at least one positive entry).
+  int NextDiscrete(const double* weights, int n);
+
+  /// Returns an independent generator derived from this one's stream;
+  /// advances this generator.
+  Rng Split();
+
+ private:
+  std::array<uint64_t, 4> s_;
+};
+
+}  // namespace wfms
+
+#endif  // WFMS_COMMON_RANDOM_H_

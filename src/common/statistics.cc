@@ -1,0 +1,140 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wfms {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::second_moment() const {
+  if (count_ == 0) return 0.0;
+  // E[X^2] = Var_pop + mean^2, with population variance m2_/n.
+  return m2_ / static_cast<double>(count_) + mean_ * mean_;
+}
+
+double RunningStats::scv() const {
+  if (count_ == 0 || mean_ == 0.0) return 0.0;
+  return variance() / (mean_ * mean_);
+}
+
+double RunningStats::ConfidenceHalfWidth(double level) const {
+  if (count_ < 2) return 0.0;
+  double z = 1.959963984540054;  // 95%
+  if (level >= 0.989) {
+    z = 2.5758293035489004;
+  } else if (level <= 0.901) {
+    z = 1.6448536269514722;
+  }
+  return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void TimeWeightedStats::Update(double now, double value) {
+  if (started_) {
+    WFMS_DCHECK(now >= last_time_);
+    weighted_sum_ += last_value_ * (now - last_time_);
+    total_time_ += now - last_time_;
+  }
+  started_ = true;
+  last_time_ = now;
+  last_value_ = value;
+}
+
+void TimeWeightedStats::Finish(double now) { Update(now, last_value_); }
+
+double TimeWeightedStats::time_average() const {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets),
+      counts_(static_cast<size_t>(buckets), 0) {
+  WFMS_CHECK_GT(buckets, 0);
+  WFMS_CHECK_LT(lo, hi);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    const auto idx = static_cast<size_t>((x - lo_) / width_);
+    ++counts_[std::min(idx, counts_.size() - 1)];
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  WFMS_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(int max_width) const {
+  std::ostringstream os;
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double bucket_lo = lo_ + static_cast<double>(i) * width_;
+    const int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) * max_width);
+    os << "[" << bucket_lo << ", " << bucket_lo + width_ << ") "
+       << std::string(static_cast<size_t>(bar), '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wfms

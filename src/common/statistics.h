@@ -1,0 +1,92 @@
+// Online statistics accumulators used by the simulator and the calibration
+// component: sample moments, confidence intervals, time-weighted averages,
+// and fixed-bucket histograms.
+#ifndef WFMS_COMMON_STATISTICS_H_
+#define WFMS_COMMON_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wfms {
+
+/// Accumulates sample mean / variance / extrema with Welford's algorithm.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+  /// Second raw moment E[X^2] (0 for no samples).
+  double second_moment() const;
+  /// Squared coefficient of variation Var/Mean^2 (0 if mean is 0).
+  double scv() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  /// Half-width of the normal-approximation confidence interval at the
+  /// given confidence level (supported: 0.90, 0.95, 0.99).
+  double ConfidenceHalfWidth(double level = 0.95) const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the number of
+/// busy servers or queue length over simulated time.
+class TimeWeightedStats {
+ public:
+  /// Records that the signal had `value` from the last update until `now`.
+  void Update(double now, double value);
+  /// Closes the observation window at `now` using the last recorded value.
+  void Finish(double now);
+
+  double time_average() const;
+  double total_time() const { return total_time_; }
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t total_count() const { return total_; }
+  int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  /// Approximate quantile by linear interpolation within buckets.
+  double Quantile(double q) const;
+  std::string ToString(int max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace wfms
+
+#endif  // WFMS_COMMON_STATISTICS_H_

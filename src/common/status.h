@@ -1,0 +1,121 @@
+// Status: error propagation without exceptions, in the style of
+// Arrow/RocksDB. Public APIs that can fail return Status or Result<T>
+// (see result.h) instead of throwing.
+#ifndef WFMS_COMMON_STATUS_H_
+#define WFMS_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace wfms {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kNumericError,      // divergence, singular matrix, non-convergence
+  kParseError,        // statechart DSL / scenario file syntax errors
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status carries a code and, when not OK, a message describing the error.
+/// OK statuses carry no allocation; error statuses allocate a small state
+/// block. Copyable and movable; moved-from statuses are OK.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message text; empty for OK statuses.
+  const std::string& message() const;
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message of an error status; no-op on OK.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;  // nullptr == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace wfms
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define WFMS_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::wfms::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression to `lhs`, returning the error
+/// status from the enclosing function on failure.
+#define WFMS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#define WFMS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  WFMS_ASSIGN_OR_RETURN_IMPL(             \
+      WFMS_CONCAT_NAME(_result_, __COUNTER__), lhs, rexpr)
+
+#define WFMS_CONCAT_NAME_INNER(a, b) a##b
+#define WFMS_CONCAT_NAME(a, b) WFMS_CONCAT_NAME_INNER(a, b)
+
+#endif  // WFMS_COMMON_STATUS_H_

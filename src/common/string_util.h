@@ -1,0 +1,32 @@
+// Small string helpers shared by the DSL parser and report writers.
+#ifndef WFMS_COMMON_STRING_UTIL_H_
+#define WFMS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfms {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `sep`, optionally dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep,
+                                     bool skip_empty = false);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a double; returns false on trailing garbage or empty input.
+bool ParseDouble(std::string_view s, double* out);
+/// Parses a non-negative integer; returns false on trailing garbage.
+bool ParseInt(std::string_view s, int* out);
+
+/// Joins the elements of `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace wfms
+
+#endif  // WFMS_COMMON_STRING_UTIL_H_

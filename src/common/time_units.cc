@@ -1,0 +1,25 @@
+#include "common/time_units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wfms {
+
+std::string FormatMinutes(double minutes) {
+  char buf[64];
+  const double abs = std::fabs(minutes);
+  if (abs < 1.0 / 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g ms", minutes * 60.0 * 1000.0);
+  } else if (abs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g s", minutes * 60.0);
+  } else if (abs < kMinutesPerHour) {
+    std::snprintf(buf, sizeof(buf), "%.3g min", minutes);
+  } else if (abs < kMinutesPerDay) {
+    std::snprintf(buf, sizeof(buf), "%.3g h", minutes / kMinutesPerHour);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g d", minutes / kMinutesPerDay);
+  }
+  return buf;
+}
+
+}  // namespace wfms

@@ -1,0 +1,35 @@
+// Time-unit helpers. All model rates in this library are expressed per
+// *minute* (the paper quotes failure rates as (43200 min)^-1 etc.); these
+// helpers convert human-readable durations to and from model time.
+#ifndef WFMS_COMMON_TIME_UNITS_H_
+#define WFMS_COMMON_TIME_UNITS_H_
+
+#include <string>
+
+namespace wfms {
+
+inline constexpr double kMinutesPerHour = 60.0;
+inline constexpr double kMinutesPerDay = 1440.0;
+inline constexpr double kMinutesPerWeek = 10080.0;
+inline constexpr double kMinutesPerMonth = 43200.0;  // 30-day month, as in the paper
+inline constexpr double kMinutesPerYear = 525960.0;  // 365.25 days
+
+constexpr double HoursToMinutes(double h) { return h * kMinutesPerHour; }
+constexpr double DaysToMinutes(double d) { return d * kMinutesPerDay; }
+constexpr double SecondsToMinutes(double s) { return s / 60.0; }
+constexpr double MinutesToSeconds(double m) { return m * 60.0; }
+constexpr double MinutesToHours(double m) { return m / kMinutesPerHour; }
+
+/// Converts a steady-state unavailability (probability in [0,1]) to the
+/// expected downtime in minutes per year.
+constexpr double UnavailabilityToDowntimeMinutesPerYear(double unavailability) {
+  return unavailability * kMinutesPerYear;
+}
+
+/// Formats a duration given in minutes as a human-readable string, choosing
+/// seconds/minutes/hours/days as appropriate (e.g. "71.2 h", "10.4 s").
+std::string FormatMinutes(double minutes);
+
+}  // namespace wfms
+
+#endif  // WFMS_COMMON_TIME_UNITS_H_

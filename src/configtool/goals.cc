@@ -1,0 +1,62 @@
+#include "configtool/goals.h"
+
+#include <string>
+
+namespace wfms::configtool {
+
+Status Goals::Validate(size_t num_types) const {
+  if (!(max_waiting_time > 0.0)) {
+    return Status::InvalidArgument("waiting-time threshold must be positive");
+  }
+  if (min_availability < 0.0 || min_availability >= 1.0) {
+    return Status::InvalidArgument("availability goal must be in [0, 1)");
+  }
+  if (!per_type_max_waiting.empty() &&
+      per_type_max_waiting.size() != num_types) {
+    return Status::InvalidArgument(
+        "per-type waiting thresholds must match the server type count");
+  }
+  if (max_saturation_probability < 0.0 || max_saturation_probability > 1.0) {
+    return Status::InvalidArgument(
+        "saturation probability bound must be in [0, 1]");
+  }
+  for (const auto& [workflow, bound] : max_instance_delay) {
+    if (!(bound > 0.0)) {
+      return Status::InvalidArgument("instance-delay bound for workflow '" +
+                                     workflow + "' must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+double Goals::WaitingThreshold(size_t x) const {
+  if (x < per_type_max_waiting.size() && per_type_max_waiting[x] > 0.0) {
+    return per_type_max_waiting[x];
+  }
+  return max_waiting_time;
+}
+
+double CostModel::Cost(const std::vector<int>& replicas) const {
+  double total = 0.0;
+  for (size_t x = 0; x < replicas.size(); ++x) {
+    const double unit =
+        x < per_server_cost.size() ? per_server_cost[x] : 1.0;
+    total += unit * replicas[x];
+  }
+  return total;
+}
+
+Status CostModel::Validate(size_t num_types) const {
+  if (!per_server_cost.empty() && per_server_cost.size() != num_types) {
+    return Status::InvalidArgument(
+        "per-server costs must match the server type count");
+  }
+  for (double c : per_server_cost) {
+    if (!(c > 0.0)) {
+      return Status::InvalidArgument("per-server costs must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wfms::configtool

@@ -1,0 +1,53 @@
+// Performability goals (§7.1): administrators specify (1) a tolerance
+// threshold for the mean waiting time of service requests and (2) a
+// minimum availability level; both can be refined per server type.
+#ifndef WFMS_CONFIGTOOL_GOALS_H_
+#define WFMS_CONFIGTOOL_GOALS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfms::configtool {
+
+struct Goals {
+  /// Tolerance threshold on every entry of the performability waiting-time
+  /// vector W^Y (model time units).
+  double max_waiting_time = 1.0;
+  /// Minimum steady-state availability of the entire WFMS.
+  double min_availability = 0.999;
+  /// Optional per-server-type waiting-time thresholds; an entry <= 0 means
+  /// "use the global threshold". Empty means all-global.
+  std::vector<double> per_type_max_waiting;
+  /// Upper bound on the probability that some server type is saturated in
+  /// an operational state (1.0 disables the check, matching the paper's
+  /// two-goal formulation).
+  double max_saturation_probability = 1.0;
+  /// §7.1's workflow-type-specific refinement: an upper bound on the
+  /// expected total queueing delay one instance of the named workflow
+  /// type accumulates across all its service requests,
+  /// D_t = sum_x r_{x,t} * W^Y_x. Unlisted workflow types are unbounded.
+  std::map<std::string, double> max_instance_delay;
+
+  Status Validate(size_t num_types) const;
+  /// Effective threshold for server type x.
+  double WaitingThreshold(size_t x) const;
+};
+
+/// Cost of a configuration (§7.1): proportional to the total number of
+/// servers by default, refinable per server type.
+struct CostModel {
+  /// Cost of one server of each type; empty means unit cost for all.
+  std::vector<double> per_server_cost;
+
+  static CostModel Uniform() { return CostModel{}; }
+
+  double Cost(const std::vector<int>& replicas) const;
+  Status Validate(size_t num_types) const;
+};
+
+}  // namespace wfms::configtool
+
+#endif  // WFMS_CONFIGTOOL_GOALS_H_

@@ -1,0 +1,467 @@
+#include "configtool/tool.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <cmath>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/time_units.h"
+
+namespace wfms::configtool {
+
+using workflow::Configuration;
+
+Status SearchConstraints::Validate(size_t num_types) const {
+  if (!min_replicas.empty() && min_replicas.size() != num_types) {
+    return Status::InvalidArgument("min_replicas size mismatch");
+  }
+  if (!max_replicas.empty() && max_replicas.size() != num_types) {
+    return Status::InvalidArgument("max_replicas size mismatch");
+  }
+  for (size_t x = 0; x < num_types; ++x) {
+    if (MinFor(x) < 1) {
+      return Status::InvalidArgument("minimum replication must be >= 1");
+    }
+    if (MaxFor(x) < MinFor(x)) {
+      return Status::InvalidArgument(
+          "max replication below min for server type " + std::to_string(x));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ConfigurationTool> ConfigurationTool::Create(
+    const workflow::Environment& env,
+    const performability::PerformabilityOptions& options) {
+  WFMS_ASSIGN_OR_RETURN(performability::PerformabilityModel model,
+                        performability::PerformabilityModel::Create(env,
+                                                                    options));
+  return ConfigurationTool(&env, std::move(model));
+}
+
+Result<Assessment> ConfigurationTool::Assess(const Configuration& config,
+                                             const Goals& goals,
+                                             const CostModel& cost) const {
+  const size_t k = env_->num_server_types();
+  WFMS_RETURN_NOT_OK(goals.Validate(k));
+  WFMS_RETURN_NOT_OK(cost.Validate(k));
+  WFMS_ASSIGN_OR_RETURN(performability::PerformabilityReport report,
+                        model_.Evaluate(config));
+  Assessment assessment{config,
+                        std::move(report),
+                        cost.Cost(config.replicas),
+                        true,
+                        false,
+                        false,
+                        true,
+                        {}};
+  for (size_t x = 0; x < k; ++x) {
+    const double w = assessment.performability.expected_waiting[x];
+    if (!(w <= goals.WaitingThreshold(x))) {  // NaN/inf fail too
+      assessment.meets_waiting_goal = false;
+    }
+  }
+  assessment.meets_availability_goal =
+      assessment.performability.availability >= goals.min_availability;
+  assessment.meets_saturation_goal =
+      assessment.performability.prob_saturated <=
+      goals.max_saturation_probability;
+
+  // §7.1's workflow-type-specific refinement: per-instance queueing delay
+  // under the performability waiting times W^Y.
+  const auto& workflows = model_.performance().workflows();
+  assessment.instance_delays.assign(workflows.size(), 0.0);
+  for (size_t t = 0; t < workflows.size(); ++t) {
+    double delay = 0.0;
+    for (size_t x = 0; x < k; ++x) {
+      const double requests = workflows[t].expected_requests[x];
+      if (requests > 0.0) {
+        delay += requests * assessment.performability.expected_waiting[x];
+      }
+    }
+    assessment.instance_delays[t] = delay;
+    const auto bound = goals.max_instance_delay.find(
+        workflows[t].workflow_type);
+    if (bound != goals.max_instance_delay.end() &&
+        !(delay <= bound->second)) {
+      assessment.meets_instance_delay_goal = false;
+    }
+  }
+  return assessment;
+}
+
+double ConfigurationTool::ViolationMeasure(const Assessment& assessment,
+                                           const Goals& goals) const {
+  double violation = 0.0;
+  const size_t k = env_->num_server_types();
+  for (size_t x = 0; x < k; ++x) {
+    const double w = assessment.performability.expected_waiting[x];
+    const double threshold = goals.WaitingThreshold(x);
+    if (std::isinf(w) || std::isnan(w)) {
+      violation += 10.0;
+    } else if (w > threshold) {
+      violation += (w - threshold) / threshold;
+    }
+  }
+  const double unavail_goal = 1.0 - goals.min_availability;
+  const double unavail = 1.0 - assessment.performability.availability;
+  if (unavail > unavail_goal && unavail_goal > 0.0) {
+    violation += std::log10(unavail / unavail_goal);
+  }
+  if (assessment.performability.prob_saturated >
+      goals.max_saturation_probability) {
+    violation += assessment.performability.prob_saturated -
+                 goals.max_saturation_probability;
+  }
+  const auto& workflows = model_.performance().workflows();
+  for (size_t t = 0; t < workflows.size() &&
+                     t < assessment.instance_delays.size();
+       ++t) {
+    const auto bound =
+        goals.max_instance_delay.find(workflows[t].workflow_type);
+    if (bound == goals.max_instance_delay.end()) continue;
+    const double delay = assessment.instance_delays[t];
+    if (std::isinf(delay) || std::isnan(delay)) {
+      violation += 10.0;
+    } else if (delay > bound->second) {
+      violation += (delay - bound->second) / bound->second;
+    }
+  }
+  return violation;
+}
+
+namespace {
+
+Configuration MinimalConfig(const SearchConstraints& constraints, size_t k) {
+  Configuration config;
+  config.replicas.resize(k);
+  for (size_t x = 0; x < k; ++x) config.replicas[x] = constraints.MinFor(x);
+  return config;
+}
+
+}  // namespace
+
+Result<SearchResult> ConfigurationTool::GreedyMinCost(
+    const Goals& goals, const SearchConstraints& constraints,
+    const CostModel& cost) const {
+  const size_t k = env_->num_server_types();
+  WFMS_RETURN_NOT_OK(constraints.Validate(k));
+  Configuration config = MinimalConfig(constraints, k);
+
+  int budget = 0;  // total replicas that can still be added
+  for (size_t x = 0; x < k; ++x) {
+    budget += constraints.MaxFor(x) - constraints.MinFor(x);
+  }
+
+  SearchResult result;
+  result.evaluations = 0;
+  WFMS_ASSIGN_OR_RETURN(Assessment assessment, Assess(config, goals, cost));
+  ++result.evaluations;
+
+  // §7.2: consider the availability and the performability criterion in an
+  // interleaved manner, re-evaluating after every added replica so the
+  // configuration is never oversized.
+  while (!assessment.Satisfies() && budget > 0) {
+    bool added = false;
+
+    if (!assessment.meets_availability_goal) {
+      // Most critical type for availability: the one whose probability of
+      // being completely down is largest (i.e. the weakest link).
+      double worst = -1.0;
+      size_t pick = SIZE_MAX;
+      for (size_t x = 0; x < k; ++x) {
+        if (config.replicas[x] >= constraints.MaxFor(x)) continue;
+        auto dist = model_.availability().PerTypeDistribution(
+            x, config.replicas[x]);
+        if (!dist.ok()) return dist.status();
+        const double down = (*dist)[0];
+        if (down > worst) {
+          worst = down;
+          pick = x;
+        }
+      }
+      if (pick != SIZE_MAX) {
+        ++config.replicas[pick];
+        --budget;
+        added = true;
+        WFMS_ASSIGN_OR_RETURN(assessment, Assess(config, goals, cost));
+        ++result.evaluations;
+        if (assessment.Satisfies()) break;
+      }
+    }
+
+    if (!assessment.meets_waiting_goal || !assessment.meets_saturation_goal ||
+        !assessment.meets_instance_delay_goal) {
+      // Most critical type for responsiveness: the one with the largest
+      // relative waiting-time violation (saturated types first, then by
+      // utilization). A pure instance-delay violation steers toward the
+      // type contributing the most delay to the violating workflows.
+      const auto& workflows = model_.performance().workflows();
+      double worst = -1.0;
+      size_t pick = SIZE_MAX;
+      for (size_t x = 0; x < k; ++x) {
+        if (config.replicas[x] >= constraints.MaxFor(x)) continue;
+        const double w = assessment.performability.expected_waiting[x];
+        double score =
+            std::isinf(w) || std::isnan(w)
+                ? 1e12 + assessment.performability.full_config_waiting[x]
+                : w / goals.WaitingThreshold(x);
+        if (!assessment.meets_instance_delay_goal && std::isfinite(w)) {
+          for (size_t t = 0; t < workflows.size(); ++t) {
+            const auto bound = goals.max_instance_delay.find(
+                workflows[t].workflow_type);
+            if (bound == goals.max_instance_delay.end()) continue;
+            if (assessment.instance_delays[t] <= bound->second) continue;
+            score += workflows[t].expected_requests[x] * w / bound->second;
+          }
+        }
+        if (score > worst) {
+          worst = score;
+          pick = x;
+        }
+      }
+      if (pick != SIZE_MAX) {
+        ++config.replicas[pick];
+        --budget;
+        added = true;
+        WFMS_ASSIGN_OR_RETURN(assessment, Assess(config, goals, cost));
+        ++result.evaluations;
+      }
+    }
+
+    if (!added) break;  // every critical type is capped
+  }
+
+  result.config = config;
+  result.cost = cost.Cost(config.replicas);
+  result.satisfied = assessment.Satisfies();
+  result.assessment = std::move(assessment);
+  return result;
+}
+
+Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
+    const Goals& goals, const SearchConstraints& constraints,
+    const CostModel& cost) const {
+  const size_t k = env_->num_server_types();
+  WFMS_RETURN_NOT_OK(constraints.Validate(k));
+
+  SearchResult result;
+  bool have_best = false;
+  Configuration best;
+  double best_cost = 0.0;
+
+  Configuration current = MinimalConfig(constraints, k);
+  Assessment best_assessment;
+  best_assessment.config = current;
+  Assessment last_assessment = best_assessment;
+
+  for (;;) {
+    const double current_cost = cost.Cost(current.replicas);
+    // Skip candidates that cannot beat the incumbent.
+    if (!have_best || current_cost < best_cost) {
+      WFMS_ASSIGN_OR_RETURN(Assessment assessment,
+                            Assess(current, goals, cost));
+      ++result.evaluations;
+      last_assessment = assessment;
+      if (assessment.Satisfies() &&
+          (!have_best || current_cost < best_cost)) {
+        have_best = true;
+        best = current;
+        best_cost = current_cost;
+        best_assessment = std::move(assessment);
+      }
+    }
+    // Mixed-radix increment over the constrained space.
+    size_t x = 0;
+    for (; x < k; ++x) {
+      if (current.replicas[x] < constraints.MaxFor(x)) {
+        ++current.replicas[x];
+        for (size_t y = 0; y < x; ++y) {
+          current.replicas[y] = constraints.MinFor(y);
+        }
+        break;
+      }
+    }
+    if (x == k) break;  // wrapped: enumeration done
+  }
+
+  if (have_best) {
+    result.config = best;
+    result.cost = best_cost;
+    result.satisfied = true;
+    result.assessment = std::move(best_assessment);
+  } else {
+    result.config = MinimalConfig(constraints, k);
+    result.cost = cost.Cost(result.config.replicas);
+    result.satisfied = false;
+    result.assessment = std::move(last_assessment);
+  }
+  return result;
+}
+
+Result<SearchResult> ConfigurationTool::AnnealingMinCost(
+    const Goals& goals, const SearchConstraints& constraints,
+    const CostModel& cost, const AnnealingOptions& annealing) const {
+  const size_t k = env_->num_server_types();
+  WFMS_RETURN_NOT_OK(constraints.Validate(k));
+  Rng rng(annealing.seed);
+
+  const auto objective = [&](const Assessment& assessment) {
+    return assessment.cost +
+           annealing.infeasibility_penalty *
+               ViolationMeasure(assessment, goals);
+  };
+
+  SearchResult result;
+  Configuration current = MinimalConfig(constraints, k);
+  WFMS_ASSIGN_OR_RETURN(Assessment current_assessment,
+                        Assess(current, goals, cost));
+  ++result.evaluations;
+  double current_objective = objective(current_assessment);
+
+  bool have_best = current_assessment.Satisfies();
+  Configuration best = current;
+  double best_cost = current_assessment.cost;
+  Assessment best_assessment = current_assessment;
+
+  double temperature = annealing.initial_temperature;
+  for (int iter = 0; iter < annealing.iterations; ++iter) {
+    // Propose: move one random type up or down within bounds.
+    Configuration proposal = current;
+    const size_t x = rng.NextUint64(k);
+    const int delta = rng.NextBernoulli(0.5) ? 1 : -1;
+    proposal.replicas[x] += delta;
+    if (proposal.replicas[x] < constraints.MinFor(x) ||
+        proposal.replicas[x] > constraints.MaxFor(x)) {
+      continue;
+    }
+    WFMS_ASSIGN_OR_RETURN(Assessment assessment,
+                          Assess(proposal, goals, cost));
+    ++result.evaluations;
+    const double proposal_objective = objective(assessment);
+    const double diff = proposal_objective - current_objective;
+    if (diff <= 0.0 ||
+        rng.NextDouble() < std::exp(-diff / std::max(temperature, 1e-9))) {
+      current = proposal;
+      current_objective = proposal_objective;
+      if (assessment.Satisfies() &&
+          (!have_best || assessment.cost < best_cost)) {
+        have_best = true;
+        best = proposal;
+        best_cost = assessment.cost;
+        best_assessment = assessment;
+      }
+      current_assessment = std::move(assessment);
+    }
+    temperature *= annealing.cooling;
+  }
+
+  if (have_best) {
+    result.config = best;
+    result.cost = best_cost;
+    result.satisfied = true;
+    result.assessment = std::move(best_assessment);
+  } else {
+    result.config = current;
+    result.cost = current_assessment.cost;
+    result.satisfied = false;
+    result.assessment = std::move(current_assessment);
+  }
+  return result;
+}
+
+Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
+    const Goals& goals, const SearchConstraints& constraints,
+    const CostModel& cost) const {
+  const size_t k = env_->num_server_types();
+  WFMS_RETURN_NOT_OK(constraints.Validate(k));
+  SearchResult result;
+
+  // Feasibility bound: if the most generous configuration fails, nothing
+  // in the box can succeed (goals are monotone in replication).
+  Configuration max_config;
+  max_config.replicas.resize(k);
+  for (size_t x = 0; x < k; ++x) max_config.replicas[x] = constraints.MaxFor(x);
+  WFMS_ASSIGN_OR_RETURN(Assessment max_assessment,
+                        Assess(max_config, goals, cost));
+  ++result.evaluations;
+  if (!max_assessment.Satisfies()) {
+    result.config = max_config;
+    result.cost = max_assessment.cost;
+    result.satisfied = false;
+    result.assessment = std::move(max_assessment);
+    return result;
+  }
+
+  // Best-first search in cost order over the lattice of configurations.
+  // Each node expands by adding one replica to one type; because the cost
+  // model is additive with positive per-server costs, nodes are dequeued
+  // in nondecreasing cost, so the first satisfying node is optimal.
+  struct Node {
+    double cost;
+    std::vector<int> replicas;
+    bool operator>(const Node& other) const { return cost > other.cost; }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> frontier;
+  std::set<std::vector<int>> visited;
+  const Configuration minimal = MinimalConfig(constraints, k);
+  frontier.push({cost.Cost(minimal.replicas), minimal.replicas});
+  visited.insert(minimal.replicas);
+
+  while (!frontier.empty()) {
+    const Node node = frontier.top();
+    frontier.pop();
+    Configuration candidate(node.replicas);
+    WFMS_ASSIGN_OR_RETURN(Assessment assessment,
+                          Assess(candidate, goals, cost));
+    ++result.evaluations;
+    if (assessment.Satisfies()) {
+      result.config = std::move(candidate);
+      result.cost = assessment.cost;
+      result.satisfied = true;
+      result.assessment = std::move(assessment);
+      return result;
+    }
+    for (size_t x = 0; x < k; ++x) {
+      if (node.replicas[x] >= constraints.MaxFor(x)) continue;
+      std::vector<int> next = node.replicas;
+      ++next[x];
+      if (visited.insert(next).second) {
+        frontier.push({cost.Cost(next), std::move(next)});
+      }
+    }
+  }
+  return Status::Internal(
+      "branch-and-bound exhausted the lattice despite a feasible maximum");
+}
+
+std::string ConfigurationTool::RenderRecommendation(
+    const SearchResult& result) const {
+  std::ostringstream os;
+  os << (result.satisfied ? "Recommended configuration "
+                          : "No satisfying configuration found; best "
+                            "candidate ")
+     << result.config.ToString() << " (cost " << result.cost << ", "
+     << result.evaluations << " evaluations)\n";
+  for (size_t x = 0; x < env_->num_server_types(); ++x) {
+    os << "  " << env_->servers.type(x).name << ": " << result.config.replicas[x]
+       << " server(s), W = ";
+    const double w = result.assessment.performability.expected_waiting[x];
+    if (std::isinf(w)) {
+      os << "saturated";
+    } else {
+      os << FormatMinutes(w);
+    }
+    os << "\n";
+  }
+  os << "  availability: "
+     << result.assessment.performability.availability << " (downtime "
+     << FormatMinutes(UnavailabilityToDowntimeMinutesPerYear(
+            1.0 - result.assessment.performability.availability))
+     << "/year)\n";
+  return os.str();
+}
+
+}  // namespace wfms::configtool

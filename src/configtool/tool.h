@@ -1,0 +1,142 @@
+// The configuration tool of §7: assessment of candidate configurations
+// against performability goals and search for a (near-)minimum-cost
+// configuration. Three search strategies:
+//  - Greedy (§7.2): interleaves the availability and performability
+//    criteria, adding one replica of the most critical server type at a
+//    time — the paper's first-version heuristic.
+//  - Exhaustive: enumerates the constrained configuration space and
+//    returns the cheapest satisfying configuration — the optimality
+//    baseline the greedy result is benchmarked against.
+//  - Simulated annealing: the "full-fledged mathematical optimization"
+//    the paper names as the eventual successor of the greedy heuristic.
+#ifndef WFMS_CONFIGTOOL_TOOL_H_
+#define WFMS_CONFIGTOOL_TOOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "configtool/goals.h"
+#include "performability/performability_model.h"
+#include "workflow/configuration.h"
+#include "workflow/environment.h"
+
+namespace wfms::configtool {
+
+/// Bounds on the search space; also expresses the paper's "specific
+/// constraints such as limiting or fixing the degree of replication of
+/// particular server types" (fix type x by setting min == max).
+struct SearchConstraints {
+  std::vector<int> min_replicas;  // empty: all 1
+  std::vector<int> max_replicas;  // empty: all 8
+
+  int MinFor(size_t x) const {
+    return x < min_replicas.size() ? min_replicas[x] : 1;
+  }
+  int MaxFor(size_t x) const {
+    return x < max_replicas.size() ? max_replicas[x] : 8;
+  }
+  Status Validate(size_t num_types) const;
+};
+
+/// Verdict of one configuration against the goals.
+struct Assessment {
+  workflow::Configuration config;
+  performability::PerformabilityReport performability;
+  double cost = 0.0;
+  bool meets_waiting_goal = false;
+  bool meets_availability_goal = false;
+  bool meets_saturation_goal = false;
+  bool meets_instance_delay_goal = true;
+  /// Expected queueing delay per workflow-type instance under W^Y
+  /// (aligned with the environment's workflow list).
+  linalg::Vector instance_delays;
+
+  bool Satisfies() const {
+    return meets_waiting_goal && meets_availability_goal &&
+           meets_saturation_goal && meets_instance_delay_goal;
+  }
+};
+
+struct SearchResult {
+  /// The recommended configuration (the cheapest satisfying one found; if
+  /// `satisfied` is false, the best-effort final candidate).
+  workflow::Configuration config;
+  double cost = 0.0;
+  bool satisfied = false;
+  /// Number of candidate configurations evaluated.
+  int evaluations = 0;
+  Assessment assessment;
+};
+
+struct AnnealingOptions {
+  uint64_t seed = 42;
+  int iterations = 2000;
+  double initial_temperature = 4.0;
+  double cooling = 0.995;
+  /// Penalty weight for goal violations (makes infeasible configurations
+  /// strictly worse than any feasible one in the sampled space).
+  double infeasibility_penalty = 1000.0;
+};
+
+class ConfigurationTool {
+ public:
+  /// The environment must outlive the tool.
+  static Result<ConfigurationTool> Create(
+      const workflow::Environment& env,
+      const performability::PerformabilityOptions& options = {});
+
+  /// Evaluates one candidate configuration against the goals (§7.1: "for
+  /// a given system configuration").
+  Result<Assessment> Assess(const workflow::Configuration& config,
+                            const Goals& goals,
+                            const CostModel& cost = CostModel::Uniform()) const;
+
+  /// §7.2 greedy heuristic.
+  Result<SearchResult> GreedyMinCost(
+      const Goals& goals, const SearchConstraints& constraints = {},
+      const CostModel& cost = CostModel::Uniform()) const;
+
+  /// Exhaustive minimum-cost search over the constrained space.
+  Result<SearchResult> ExhaustiveMinCost(
+      const Goals& goals, const SearchConstraints& constraints = {},
+      const CostModel& cost = CostModel::Uniform()) const;
+
+  /// Simulated-annealing search.
+  Result<SearchResult> AnnealingMinCost(
+      const Goals& goals, const SearchConstraints& constraints = {},
+      const CostModel& cost = CostModel::Uniform(),
+      const AnnealingOptions& annealing = {}) const;
+
+  /// Branch-and-bound search (the other "full-fledged" optimizer the
+  /// paper names): best-first expansion in cost order with monotonicity
+  /// pruning — adding a replica never hurts either goal, so (a) the first
+  /// satisfying configuration dequeued is cost-optimal, and (b) if even
+  /// the all-max configuration fails, the search aborts immediately.
+  /// Exact like ExhaustiveMinCost but typically evaluates far fewer
+  /// candidates.
+  Result<SearchResult> BranchAndBoundMinCost(
+      const Goals& goals, const SearchConstraints& constraints = {},
+      const CostModel& cost = CostModel::Uniform()) const;
+
+  /// Human-readable recommendation (§7.1's "recommendations" component).
+  std::string RenderRecommendation(const SearchResult& result) const;
+
+  const performability::PerformabilityModel& model() const { return model_; }
+
+ private:
+  ConfigurationTool(const workflow::Environment* env,
+                    performability::PerformabilityModel model)
+      : env_(env), model_(std::move(model)) {}
+
+  /// Degree of goal violation for annealing (0 when satisfied).
+  double ViolationMeasure(const Assessment& assessment,
+                          const Goals& goals) const;
+
+  const workflow::Environment* env_;
+  performability::PerformabilityModel model_;
+};
+
+}  // namespace wfms::configtool
+
+#endif  // WFMS_CONFIGTOOL_TOOL_H_

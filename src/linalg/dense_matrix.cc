@@ -1,0 +1,111 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wfms::linalg {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    WFMS_CHECK_EQ(row.size(), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Vector DenseMatrix::Multiply(const Vector& x) const {
+  WFMS_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vector DenseMatrix::MultiplyTransposed(const Vector& x) const {
+  WFMS_CHECK_EQ(x.size(), rows_);
+  Vector y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  WFMS_CHECK_EQ(cols_, other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = At(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += aik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+void DenseMatrix::Add(const DenseMatrix& other, double alpha) {
+  WFMS_CHECK_EQ(rows_, other.rows_);
+  WFMS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void DenseMatrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  WFMS_CHECK_EQ(rows_, other.rows_);
+  WFMS_CHECK_EQ(cols_, other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string DenseMatrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << At(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace wfms::linalg

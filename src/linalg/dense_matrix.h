@@ -1,0 +1,61 @@
+// Row-major dense matrix. Used for small Markov chains (workflow control
+// flow CTMCs typically have tens of states) and as the reference path for
+// validating the sparse solvers.
+#ifndef WFMS_LINALG_DENSE_MATRIX_H_
+#define WFMS_LINALG_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace wfms::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0);
+  /// Builds from nested initializer lists; all rows must have equal length.
+  DenseMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static DenseMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  /// y = A x.
+  Vector Multiply(const Vector& x) const;
+  /// y = A^T x.
+  Vector MultiplyTransposed(const Vector& x) const;
+  /// C = A B.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+  DenseMatrix Transposed() const;
+
+  /// this += alpha * other (same shape required).
+  void Add(const DenseMatrix& other, double alpha = 1.0);
+  void Scale(double alpha);
+
+  /// max_ij |a_ij - b_ij| (same shape required).
+  double MaxAbsDiff(const DenseMatrix& other) const;
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace wfms::linalg
+
+#endif  // WFMS_LINALG_DENSE_MATRIX_H_

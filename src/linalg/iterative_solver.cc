@@ -1,0 +1,180 @@
+#include "linalg/iterative_solver.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wfms::linalg {
+
+namespace {
+
+/// Finds the position of each row's diagonal element in the CSR arrays.
+/// Fails if some diagonal entry is structurally zero.
+Result<std::vector<size_t>> LocateDiagonals(const SparseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("iterative solve requires a square matrix");
+  }
+  std::vector<size_t> diag(a.rows());
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    bool found = false;
+    for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      if (cols[k] == r) {
+        if (values[k] == 0.0) break;
+        diag[r] = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NumericError("zero diagonal at row " + std::to_string(r));
+    }
+  }
+  return diag;
+}
+
+double ResidualInf(const SparseMatrix& a, const Vector& b, const Vector& x) {
+  Vector ax = a.Multiply(x);
+  double m = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    m = std::max(m, std::fabs(ax[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace
+
+Result<IterativeStats> JacobiSolve(const SparseMatrix& a, const Vector& b,
+                                   Vector* x, const IterativeOptions& options) {
+  if (b.size() != a.rows() || x->size() != a.cols()) {
+    return Status::InvalidArgument("Jacobi: dimension mismatch");
+  }
+  WFMS_ASSIGN_OR_RETURN(std::vector<size_t> diag, LocateDiagonals(a));
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+
+  IterativeStats stats;
+  Vector next(x->size());
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    for (size_t r = 0; r < a.rows(); ++r) {
+      double sum = b[r];
+      for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        if (k == diag[r]) continue;
+        sum -= values[k] * (*x)[cols[k]];
+      }
+      next[r] = sum / values[diag[r]];
+    }
+    const double change = MaxAbsDiff(next, *x);
+    x->swap(next);
+    stats.iterations = iter;
+    if (change < options.tolerance) {
+      stats.final_residual_inf = ResidualInf(a, b, *x);
+      if (stats.final_residual_inf < options.tolerance * 10) {
+        stats.converged = true;
+        return stats;
+      }
+    }
+    if (!std::isfinite(change)) {
+      return Status::NumericError("Jacobi iteration diverged");
+    }
+  }
+  stats.final_residual_inf = ResidualInf(a, b, *x);
+  return stats;  // not converged
+}
+
+namespace {
+
+/// Shared implementation of Gauss-Seidel (omega == 1) and SOR.
+Result<IterativeStats> SweepSolve(const SparseMatrix& a, const Vector& b,
+                                  Vector* x, const IterativeOptions& options,
+                                  double omega) {
+  if (b.size() != a.rows() || x->size() != a.cols()) {
+    return Status::InvalidArgument("Gauss-Seidel/SOR: dimension mismatch");
+  }
+  if (omega <= 0.0 || omega >= 2.0) {
+    return Status::InvalidArgument("SOR omega must be in (0, 2)");
+  }
+  WFMS_ASSIGN_OR_RETURN(std::vector<size_t> diag, LocateDiagonals(a));
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+
+  IterativeStats stats;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    double change = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      double sum = b[r];
+      for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        if (k == diag[r]) continue;
+        sum -= values[k] * (*x)[cols[k]];
+      }
+      const double gs_value = sum / values[diag[r]];
+      const double new_value = (*x)[r] + omega * (gs_value - (*x)[r]);
+      change = std::max(change, std::fabs(new_value - (*x)[r]));
+      (*x)[r] = new_value;
+    }
+    stats.iterations = iter;
+    if (change < options.tolerance) {
+      stats.final_residual_inf = ResidualInf(a, b, *x);
+      if (stats.final_residual_inf < options.tolerance * 10) {
+        stats.converged = true;
+        return stats;
+      }
+    }
+    if (!std::isfinite(change)) {
+      return Status::NumericError("Gauss-Seidel/SOR iteration diverged");
+    }
+  }
+  stats.final_residual_inf = ResidualInf(a, b, *x);
+  return stats;
+}
+
+}  // namespace
+
+Result<IterativeStats> GaussSeidelSolve(const SparseMatrix& a, const Vector& b,
+                                        Vector* x,
+                                        const IterativeOptions& options) {
+  return SweepSolve(a, b, x, options, 1.0);
+}
+
+Result<IterativeStats> SorSolve(const SparseMatrix& a, const Vector& b,
+                                Vector* x, const IterativeOptions& options) {
+  return SweepSolve(a, b, x, options, options.omega);
+}
+
+Result<IterativeStats> PowerIterationStationary(
+    const SparseMatrix& p, Vector* pi, const IterativeOptions& options) {
+  if (p.rows() != p.cols()) {
+    return Status::InvalidArgument("power iteration requires a square matrix");
+  }
+  if (pi->size() != p.rows()) {
+    return Status::InvalidArgument("power iteration: pi size mismatch");
+  }
+  if (Sum(*pi) == 0.0) {
+    return Status::InvalidArgument("power iteration: zero initial vector");
+  }
+  NormalizeL1(pi);
+  IterativeStats stats;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    Vector next = p.MultiplyTransposed(*pi);  // next = pi P
+    const double s = Sum(next);
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      return Status::NumericError("power iteration produced invalid vector");
+    }
+    Scale(1.0 / s, &next);
+    const double change = MaxAbsDiff(next, *pi);
+    pi->swap(next);
+    stats.iterations = iter;
+    if (change < options.tolerance) {
+      stats.converged = true;
+      stats.final_residual_inf = change;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace wfms::linalg

@@ -1,0 +1,56 @@
+// Iterative linear solvers on CSR matrices: Jacobi, Gauss-Seidel (the
+// method the paper prescribes for both the first-passage and steady-state
+// systems), and SOR. Also power iteration for the dominant left eigenvector
+// of a stochastic matrix, used as the robust fallback for steady-state
+// analysis of large availability CTMCs.
+#ifndef WFMS_LINALG_ITERATIVE_SOLVER_H_
+#define WFMS_LINALG_ITERATIVE_SOLVER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+
+namespace wfms::linalg {
+
+struct IterativeOptions {
+  int max_iterations = 20000;
+  /// Convergence when the infinity norm of the iterate change and of the
+  /// residual both drop below this.
+  double tolerance = 1e-12;
+  /// SOR relaxation factor in (0, 2); 1.0 degenerates to Gauss-Seidel.
+  double omega = 1.0;
+};
+
+struct IterativeStats {
+  bool converged = false;
+  int iterations = 0;
+  double final_residual_inf = 0.0;
+};
+
+/// Solves A x = b by Jacobi iteration. A must have nonzero diagonal.
+/// `x` carries the initial guess in and the solution out.
+Result<IterativeStats> JacobiSolve(const SparseMatrix& a, const Vector& b,
+                                   Vector* x,
+                                   const IterativeOptions& options = {});
+
+/// Solves A x = b by Gauss-Seidel (forward sweeps).
+Result<IterativeStats> GaussSeidelSolve(const SparseMatrix& a, const Vector& b,
+                                        Vector* x,
+                                        const IterativeOptions& options = {});
+
+/// Solves A x = b by successive over-relaxation with options.omega.
+Result<IterativeStats> SorSolve(const SparseMatrix& a, const Vector& b,
+                                Vector* x,
+                                const IterativeOptions& options = {});
+
+/// Computes the stationary distribution pi = pi P of a row-stochastic
+/// matrix P by power iteration with L1 renormalization. `pi` carries the
+/// initial guess (need not be normalized; must have a nonzero sum).
+Result<IterativeStats> PowerIterationStationary(
+    const SparseMatrix& p, Vector* pi, const IterativeOptions& options = {});
+
+}  // namespace wfms::linalg
+
+#endif  // WFMS_LINALG_ITERATIVE_SOLVER_H_

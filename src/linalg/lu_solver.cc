@@ -1,0 +1,106 @@
+#include "linalg/lu_solver.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace wfms::linalg {
+
+Result<LuDecomposition> LuDecomposition::Compute(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  DenseMatrix lu = a;
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  int sign = 1;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column.
+    size_t pivot_row = col;
+    double pivot_mag = std::fabs(lu.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(lu.At(r, col));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < 1e-300) {
+      return Status::NumericError("matrix is singular to working precision");
+    }
+    if (pivot_row != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(lu.At(col, c), lu.At(pivot_row, c));
+      }
+      std::swap(perm[col], perm[pivot_row]);
+      sign = -sign;
+    }
+    const double pivot = lu.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = lu.At(r, col) / pivot;
+      lu.At(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = col + 1; c < n; ++c) {
+        lu.At(r, c) -= factor * lu.At(col, c);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+Result<Vector> LuDecomposition::Solve(const Vector& b) const {
+  const size_t n = size();
+  if (b.size() != n) {
+    return Status::InvalidArgument("right-hand side size mismatch");
+  }
+  Vector x(n);
+  // Apply the permutation, then forward substitution (L has unit diagonal).
+  for (size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (size_t i = 0; i < n; ++i) {
+    double sum = x[i];
+    for (size_t j = 0; j < i; ++j) sum -= lu_.At(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Backward substitution with U.
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (size_t j = ii + 1; j < n; ++j) sum -= lu_.At(ii, j) * x[j];
+    x[ii] = sum / lu_.At(ii, ii);
+  }
+  return x;
+}
+
+Result<DenseMatrix> LuDecomposition::Solve(const DenseMatrix& b) const {
+  const size_t n = size();
+  if (b.rows() != n) {
+    return Status::InvalidArgument("right-hand side row count mismatch");
+  }
+  DenseMatrix x(n, b.cols());
+  Vector col(n);
+  for (size_t c = 0; c < b.cols(); ++c) {
+    for (size_t r = 0; r < n; ++r) col[r] = b.At(r, c);
+    WFMS_ASSIGN_OR_RETURN(Vector sol, Solve(col));
+    for (size_t r = 0; r < n; ++r) x.At(r, c) = sol[r];
+  }
+  return x;
+}
+
+Result<DenseMatrix> LuDecomposition::Inverse() const {
+  return Solve(DenseMatrix::Identity(size()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = perm_sign_;
+  for (size_t i = 0; i < size(); ++i) det *= lu_.At(i, i);
+  return det;
+}
+
+Result<Vector> LuSolve(const DenseMatrix& a, const Vector& b) {
+  WFMS_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Solve(b);
+}
+
+}  // namespace wfms::linalg

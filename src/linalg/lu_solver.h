@@ -1,0 +1,50 @@
+// Dense LU factorization with partial pivoting. This is the exact reference
+// solver: the paper prescribes Gauss-Seidel for its linear systems, and the
+// test suite cross-checks the iterative solvers against LU.
+#ifndef WFMS_LINALG_LU_SOLVER_H_
+#define WFMS_LINALG_LU_SOLVER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector.h"
+
+namespace wfms::linalg {
+
+/// PA = LU factorization of a square matrix.
+class LuDecomposition {
+ public:
+  /// Factorizes `a`. Fails with NumericError if the matrix is singular to
+  /// working precision.
+  static Result<LuDecomposition> Compute(const DenseMatrix& a);
+
+  /// Solves A x = b for one right-hand side.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Solves A X = B column-wise.
+  Result<DenseMatrix> Solve(const DenseMatrix& b) const;
+
+  /// Returns A^{-1}.
+  Result<DenseMatrix> Inverse() const;
+
+  /// det(A), with the sign of the pivot permutation applied.
+  double Determinant() const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(DenseMatrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), perm_sign_(sign) {}
+
+  DenseMatrix lu_;            // L (unit lower) and U packed together
+  std::vector<size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+};
+
+/// Convenience: factorize and solve in one call.
+Result<Vector> LuSolve(const DenseMatrix& a, const Vector& b);
+
+}  // namespace wfms::linalg
+
+#endif  // WFMS_LINALG_LU_SOLVER_H_

@@ -1,0 +1,125 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wfms::linalg {
+
+SparseMatrixBuilder::SparseMatrixBuilder(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void SparseMatrixBuilder::Add(size_t row, size_t col, double value) {
+  WFMS_DCHECK(row < rows_);
+  WFMS_DCHECK(col < cols_);
+  if (value == 0.0) return;
+  triplets_.push_back({row, col, value});
+}
+
+SparseMatrix SparseMatrixBuilder::Build() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_offsets_.assign(rows_ + 1, 0);
+
+  // Merge duplicates.
+  size_t i = 0;
+  while (i < triplets_.size()) {
+    const size_t row = triplets_[i].row;
+    const size_t col = triplets_[i].col;
+    double sum = 0.0;
+    while (i < triplets_.size() && triplets_[i].row == row &&
+           triplets_[i].col == col) {
+      sum += triplets_[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      m.col_indices_.push_back(col);
+      m.values_.push_back(sum);
+      ++m.row_offsets_[row + 1];
+    }
+  }
+  for (size_t r = 0; r < rows_; ++r) {
+    m.row_offsets_[r + 1] += m.row_offsets_[r];
+  }
+  triplets_.clear();
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense,
+                                     double drop_tolerance) {
+  SparseMatrixBuilder builder(dense.rows(), dense.cols());
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense.At(r, c);
+      if (std::fabs(v) > drop_tolerance) builder.Add(r, c, v);
+    }
+  }
+  return builder.Build();
+}
+
+Vector SparseMatrix::Multiply(const Vector& x) const {
+  WFMS_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      sum += values_[k] * x[col_indices_[k]];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
+  WFMS_CHECK_EQ(x.size(), rows_);
+  Vector y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      y[col_indices_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  SparseMatrixBuilder builder(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      builder.Add(col_indices_[k], r, values_[k]);
+    }
+  }
+  return builder.Build();
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      out.At(r, col_indices_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::At(size_t row, size_t col) const {
+  WFMS_DCHECK(row < rows_);
+  WFMS_DCHECK(col < cols_);
+  const auto begin = col_indices_.begin() +
+                     static_cast<std::ptrdiff_t>(row_offsets_[row]);
+  const auto end = col_indices_.begin() +
+                   static_cast<std::ptrdiff_t>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<size_t>(it - col_indices_.begin())];
+}
+
+}  // namespace wfms::linalg

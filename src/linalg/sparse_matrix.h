@@ -1,0 +1,84 @@
+// Compressed sparse row (CSR) matrix with a coordinate-format builder.
+// Availability CTMCs have state spaces of size prod(Y_x + 1); with, say,
+// 6 server types replicated 4-way that is 15625 states, where dense storage
+// and O(n^3) factorization become wasteful — the generator has only
+// O(n * k) nonzeros.
+#ifndef WFMS_LINALG_SPARSE_MATRIX_H_
+#define WFMS_LINALG_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector.h"
+
+namespace wfms::linalg {
+
+class SparseMatrix;
+
+/// Accumulates (row, col, value) triplets; duplicate entries are summed on
+/// Build(), which is convenient when assembling generator matrices where a
+/// diagonal element receives many -rate contributions.
+class SparseMatrixBuilder {
+ public:
+  SparseMatrixBuilder(size_t rows, size_t cols);
+
+  void Add(size_t row, size_t col, double value);
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Sorts, merges duplicates (dropping exact zeros), and produces the CSR
+  /// matrix. The builder is left empty.
+  SparseMatrix Build();
+
+ private:
+  struct Triplet {
+    size_t row;
+    size_t col;
+    double value;
+  };
+  size_t rows_;
+  size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  static SparseMatrix FromDense(const DenseMatrix& dense,
+                                double drop_tolerance = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t num_nonzeros() const { return values_.size(); }
+
+  /// y = A x.
+  Vector Multiply(const Vector& x) const;
+  /// y = A^T x  (used for pi Q = 0 formulated as Q^T pi^T = 0).
+  Vector MultiplyTransposed(const Vector& x) const;
+
+  SparseMatrix Transposed() const;
+  DenseMatrix ToDense() const;
+
+  /// Entry lookup by binary search within the row; O(log nnz_row).
+  double At(size_t row, size_t col) const;
+
+  // CSR internals, exposed for the iterative solvers.
+  const std::vector<size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<size_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  friend class SparseMatrixBuilder;
+
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_offsets_;  // size rows_+1
+  std::vector<size_t> col_indices_;  // size nnz, sorted within each row
+  std::vector<double> values_;       // size nnz
+};
+
+}  // namespace wfms::linalg
+
+#endif  // WFMS_LINALG_SPARSE_MATRIX_H_

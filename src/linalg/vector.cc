@@ -1,0 +1,52 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wfms::linalg {
+
+double Dot(const Vector& a, const Vector& b) {
+  WFMS_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  WFMS_DCHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+double Norm2(const Vector& x) { return std::sqrt(Dot(x, x)); }
+
+double NormInf(const Vector& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Sum(const Vector& x) {
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s;
+}
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  WFMS_DCHECK(a.size() == b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+void NormalizeL1(Vector* x) {
+  const double s = Sum(*x);
+  WFMS_CHECK_NE(s, 0.0);
+  Scale(1.0 / s, x);
+}
+
+}  // namespace wfms::linalg

@@ -1,0 +1,41 @@
+// Dense vector operations used by the Markov solvers. A Vector is a thin
+// wrapper over std::vector<double> with the handful of BLAS-1 operations the
+// solvers need; we keep it minimal on purpose (no expression templates).
+#ifndef WFMS_LINALG_VECTOR_H_
+#define WFMS_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace wfms::linalg {
+
+using Vector = std::vector<double>;
+
+/// Returns the dot product of a and b (sizes must match).
+double Dot(const Vector& a, const Vector& b);
+
+/// y += alpha * x (sizes must match).
+void Axpy(double alpha, const Vector& x, Vector* y);
+
+/// x *= alpha.
+void Scale(double alpha, Vector* x);
+
+/// Euclidean norm.
+double Norm2(const Vector& x);
+
+/// Maximum absolute entry.
+double NormInf(const Vector& x);
+
+/// Sum of entries (used to renormalize probability vectors).
+double Sum(const Vector& x);
+
+/// max_i |a_i - b_i| (sizes must match).
+double MaxAbsDiff(const Vector& a, const Vector& b);
+
+/// Divides x by Sum(x); requires a nonzero sum. Used for probability
+/// vectors where the normalization constraint replaces one equation.
+void NormalizeL1(Vector* x);
+
+}  // namespace wfms::linalg
+
+#endif  // WFMS_LINALG_VECTOR_H_

@@ -1,0 +1,51 @@
+#include "markov/birth_death.h"
+
+#include "linalg/vector.h"
+
+namespace wfms::markov {
+
+using linalg::Vector;
+
+Result<Vector> BirthDeathSteadyState(const Vector& birth_rates,
+                                     const Vector& death_rates) {
+  if (birth_rates.size() != death_rates.size()) {
+    return Status::InvalidArgument("birth/death rate vectors size mismatch");
+  }
+  if (birth_rates.empty()) {
+    return Status::InvalidArgument("chain must have at least two states");
+  }
+  for (size_t i = 0; i < birth_rates.size(); ++i) {
+    if (!(birth_rates[i] > 0.0) || !(death_rates[i] > 0.0)) {
+      return Status::InvalidArgument("all rates must be positive");
+    }
+  }
+  const size_t n = birth_rates.size() + 1;
+  Vector pi(n);
+  pi[0] = 1.0;
+  for (size_t j = 1; j < n; ++j) {
+    pi[j] = pi[j - 1] * birth_rates[j - 1] / death_rates[j - 1];
+  }
+  linalg::NormalizeL1(&pi);
+  return pi;
+}
+
+Result<Vector> ReplicatedServerAvailability(int replicas, double failure_rate,
+                                            double repair_rate) {
+  if (replicas < 1) {
+    return Status::InvalidArgument("need at least one replica");
+  }
+  if (!(failure_rate > 0.0) || !(repair_rate > 0.0)) {
+    return Status::InvalidArgument("rates must be positive");
+  }
+  // Births: j up -> j+1 up at rate (Y-j)*mu; deaths: j+1 up -> j up at rate
+  // (j+1)*lambda.
+  const auto y = static_cast<size_t>(replicas);
+  Vector births(y), deaths(y);
+  for (size_t j = 0; j < y; ++j) {
+    births[j] = static_cast<double>(y - j) * repair_rate;
+    deaths[j] = static_cast<double>(j + 1) * failure_rate;
+  }
+  return BirthDeathSteadyState(births, deaths);
+}
+
+}  // namespace wfms::markov

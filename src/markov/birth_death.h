@@ -1,0 +1,33 @@
+// Closed-form steady state of finite birth-death CTMCs. The availability
+// model of a single replicated server type is exactly such a chain
+// (births = repairs, deaths = failures), so this provides the product-form
+// baseline against which the full CTMC solution is validated.
+#ifndef WFMS_MARKOV_BIRTH_DEATH_H_
+#define WFMS_MARKOV_BIRTH_DEATH_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+
+namespace wfms::markov {
+
+/// Steady-state distribution of a birth-death chain on {0, ..., n} where
+/// `birth_rates[i]` is the rate i -> i+1 (size n) and `death_rates[i]` is
+/// the rate i+1 -> i (size n). All rates must be positive (irreducibility).
+///
+///   pi_j = pi_0 * prod_{i<j} birth_i / death_i,  normalized.
+Result<linalg::Vector> BirthDeathSteadyState(
+    const linalg::Vector& birth_rates, const linalg::Vector& death_rates);
+
+/// Steady-state distribution of the number of *up* servers for a server
+/// type with Y replicas, per-server failure rate lambda and repair rate mu,
+/// with independent repair (the machine-repairman model with as many repair
+/// crews as servers): state j has failure rate j*lambda and repair rate
+/// (Y-j)*mu. Returns a vector of size Y+1 indexed by the number of up
+/// servers; equals Binomial(Y, mu/(lambda+mu)).
+Result<linalg::Vector> ReplicatedServerAvailability(int replicas,
+                                                    double failure_rate,
+                                                    double repair_rate);
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_BIRTH_DEATH_H_

@@ -1,0 +1,61 @@
+#include "markov/ctmc.h"
+
+#include <algorithm>
+#include <string>
+
+namespace wfms::markov {
+
+using linalg::SparseMatrix;
+using linalg::SparseMatrixBuilder;
+using linalg::Vector;
+
+CtmcBuilder::CtmcBuilder(size_t num_states)
+    : num_states_(num_states),
+      off_diagonal_(num_states, num_states),
+      exit_rates_(num_states, 0.0) {}
+
+Status CtmcBuilder::AddTransition(size_t from, size_t to, double rate) {
+  if (from >= num_states_ || to >= num_states_) {
+    return Status::OutOfRange("transition endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-transitions are not allowed");
+  }
+  if (!(rate > 0.0)) {
+    return Status::InvalidArgument("transition rate must be positive");
+  }
+  off_diagonal_.Add(from, to, rate);
+  exit_rates_[from] += rate;
+  return Status::OK();
+}
+
+Result<Ctmc> CtmcBuilder::Build() {
+  if (num_states_ == 0) {
+    return Status::InvalidArgument("CTMC must have at least one state");
+  }
+  return Ctmc(off_diagonal_.Build(), std::move(exit_rates_));
+}
+
+double Ctmc::MaxExitRate() const {
+  double m = 0.0;
+  for (double v : exit_rates_) m = std::max(m, v);
+  return m;
+}
+
+SparseMatrix Ctmc::UniformizedMatrix(double rate_margin) const {
+  const size_t n = num_states();
+  const double lambda = std::max(MaxExitRate() * rate_margin, 1e-300);
+  SparseMatrixBuilder builder(n, n);
+  const auto& offsets = rates_.row_offsets();
+  const auto& cols = rates_.col_indices();
+  const auto& values = rates_.values();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      builder.Add(r, cols[k], values[k] / lambda);
+    }
+    builder.Add(r, r, 1.0 - exit_rates_[r] / lambda);
+  }
+  return builder.Build();
+}
+
+}  // namespace wfms::markov

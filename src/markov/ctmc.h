@@ -1,0 +1,69 @@
+// Generator-based continuous-time Markov chain for the availability model
+// (§5 of the paper): potentially large, sparse state space, assumed ergodic,
+// analyzed for its steady-state distribution.
+#ifndef WFMS_MARKOV_CTMC_H_
+#define WFMS_MARKOV_CTMC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+
+namespace wfms::markov {
+
+class Ctmc;
+
+/// Collects transition rates; Build() derives the diagonal so that rows of
+/// the infinitesimal generator sum to zero.
+class CtmcBuilder {
+ public:
+  explicit CtmcBuilder(size_t num_states);
+
+  /// Adds a transition with the given rate (> 0); from != to. Multiple adds
+  /// for the same pair accumulate.
+  Status AddTransition(size_t from, size_t to, double rate);
+
+  size_t num_states() const { return num_states_; }
+
+  /// Validates and constructs the CTMC.
+  Result<Ctmc> Build();
+
+ private:
+  size_t num_states_;
+  linalg::SparseMatrixBuilder off_diagonal_;
+  linalg::Vector exit_rates_;
+  Status deferred_error_;
+};
+
+class Ctmc {
+ public:
+  size_t num_states() const { return exit_rates_.size(); }
+
+  /// Off-diagonal transition rates q_ij (i != j), CSR.
+  const linalg::SparseMatrix& rates() const { return rates_; }
+  /// Total exit rate of each state: -q_ii.
+  const linalg::Vector& exit_rates() const { return exit_rates_; }
+  double MaxExitRate() const;
+
+  /// Rate q_ij for i != j; 0 when absent.
+  double RateAt(size_t from, size_t to) const { return rates_.At(from, to); }
+
+  /// Uniformized DTMC transition matrix P = I + Q / lambda with
+  /// lambda >= max exit rate (a margin keeps self-loop probability positive
+  /// in every state, which guarantees aperiodicity for power iteration).
+  linalg::SparseMatrix UniformizedMatrix(double rate_margin = 1.05) const;
+
+ private:
+  friend class CtmcBuilder;
+  Ctmc(linalg::SparseMatrix rates, linalg::Vector exit_rates)
+      : rates_(std::move(rates)), exit_rates_(std::move(exit_rates)) {}
+
+  linalg::SparseMatrix rates_;   // off-diagonal only
+  linalg::Vector exit_rates_;
+};
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_CTMC_H_

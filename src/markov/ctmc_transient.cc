@@ -1,0 +1,63 @@
+#include "markov/ctmc_transient.h"
+
+#include <cmath>
+
+#include "linalg/sparse_matrix.h"
+
+namespace wfms::markov {
+
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+Result<Vector> CtmcTransientDistribution(const Ctmc& chain, const Vector& p0,
+                                         double t,
+                                         const CtmcTransientOptions& options) {
+  const size_t n = chain.num_states();
+  if (p0.size() != n) {
+    return Status::InvalidArgument("initial distribution size mismatch");
+  }
+  double sum = 0.0;
+  for (double v : p0) {
+    if (v < -1e-12) {
+      return Status::InvalidArgument("initial distribution has negatives");
+    }
+    sum += v;
+  }
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("initial distribution must sum to 1");
+  }
+  if (t < 0.0 || !std::isfinite(t)) {
+    return Status::InvalidArgument("time must be finite and non-negative");
+  }
+  if (t == 0.0) return p0;
+
+  const double lambda = chain.MaxExitRate() * 1.05;
+  if (lambda <= 0.0) return p0;  // no transitions at all
+  const SparseMatrix u_matrix = chain.UniformizedMatrix();
+  const double vt = lambda * t;
+
+  Vector p = p0;
+  Vector result(n, 0.0);
+  double log_weight = -vt;
+  double accumulated = 0.0;
+  for (int z = 0; z < options.max_terms; ++z) {
+    const double weight = std::exp(log_weight);
+    if (weight > 0.0) {
+      for (size_t i = 0; i < n; ++i) result[i] += weight * p[i];
+      accumulated += weight;
+    }
+    const bool tail_reached = 1.0 - accumulated < options.tail_tolerance;
+    const bool past_mode_underflow =
+        static_cast<double>(z) > vt && weight < 1e-17;
+    if (tail_reached || past_mode_underflow) {
+      const double tail = std::max(0.0, 1.0 - accumulated);
+      for (size_t i = 0; i < n; ++i) result[i] += tail * p[i];
+      return result;
+    }
+    p = u_matrix.MultiplyTransposed(p);
+    log_weight += std::log(vt) - std::log(static_cast<double>(z) + 1.0);
+  }
+  return Status::NumericError("CTMC uniformization did not converge");
+}
+
+}  // namespace wfms::markov

@@ -1,0 +1,28 @@
+// Transient (time-dependent) state distribution of a generator-based
+// CTMC via uniformization with Poisson weighting, on the sparse
+// representation. Used for transient availability analysis: "what is the
+// probability the WFMS is up t minutes after starting from the full
+// configuration?" — a refinement of §5's steady-state availability.
+#ifndef WFMS_MARKOV_CTMC_TRANSIENT_H_
+#define WFMS_MARKOV_CTMC_TRANSIENT_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "markov/ctmc.h"
+
+namespace wfms::markov {
+
+struct CtmcTransientOptions {
+  double tail_tolerance = 1e-12;
+  int max_terms = 5000000;
+};
+
+/// Distribution at time t >= 0 given the initial distribution `p0`
+/// (must be a probability vector of matching size).
+Result<linalg::Vector> CtmcTransientDistribution(
+    const Ctmc& chain, const linalg::Vector& p0, double t,
+    const CtmcTransientOptions& options = {});
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_CTMC_TRANSIENT_H_

@@ -1,0 +1,137 @@
+#include "markov/dtmc.h"
+
+#include <cmath>
+
+#include "linalg/lu_solver.h"
+
+namespace wfms::markov {
+
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+Result<Dtmc> Dtmc::Create(DenseMatrix p, std::vector<std::string> state_names,
+                          double tolerance) {
+  if (p.rows() != p.cols()) {
+    return Status::InvalidArgument("transition matrix must be square");
+  }
+  if (state_names.size() != p.rows()) {
+    return Status::InvalidArgument("state name count does not match matrix");
+  }
+  for (size_t r = 0; r < p.rows(); ++r) {
+    double row_sum = 0.0;
+    for (size_t c = 0; c < p.cols(); ++c) {
+      if (p.At(r, c) < 0.0) {
+        return Status::InvalidArgument(
+            "negative transition probability in row '" + state_names[r] + "'");
+      }
+      row_sum += p.At(r, c);
+    }
+    if (std::fabs(row_sum - 1.0) > tolerance) {
+      return Status::InvalidArgument("row '" + state_names[r] +
+                                     "' sums to " + std::to_string(row_sum) +
+                                     ", expected 1");
+    }
+    // Renormalize exactly so later analyses see clean rows.
+    for (size_t c = 0; c < p.cols(); ++c) p.At(r, c) /= row_sum;
+  }
+  return Dtmc(std::move(p), std::move(state_names));
+}
+
+Result<size_t> Dtmc::StateIndex(const std::string& name) const {
+  for (size_t i = 0; i < state_names_.size(); ++i) {
+    if (state_names_[i] == name) return i;
+  }
+  return Status::NotFound("no state named '" + name + "'");
+}
+
+bool Dtmc::IsAbsorbing(size_t i) const { return p_.At(i, i) == 1.0; }
+
+std::vector<size_t> Dtmc::AbsorbingStates() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < num_states(); ++i) {
+    if (IsAbsorbing(i)) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds (I - P_T) over the transient states; `transient` maps the
+/// compacted index back to the full state index.
+DenseMatrix BuildIMinusPt(const DenseMatrix& p,
+                          const std::vector<size_t>& transient) {
+  const size_t m = transient.size();
+  DenseMatrix a(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      a.At(i, j) = (i == j ? 1.0 : 0.0) - p.At(transient[i], transient[j]);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<Vector> Dtmc::ExpectedVisitsUntilAbsorption(size_t start) const {
+  if (start >= num_states()) {
+    return Status::OutOfRange("start state out of range");
+  }
+  std::vector<size_t> transient;
+  std::vector<size_t> compact(num_states(), SIZE_MAX);
+  for (size_t i = 0; i < num_states(); ++i) {
+    if (!IsAbsorbing(i)) {
+      compact[i] = transient.size();
+      transient.push_back(i);
+    }
+  }
+  Vector visits(num_states(), 0.0);
+  if (compact[start] == SIZE_MAX) return visits;  // started absorbed
+
+  // Row `start` of N = (I - P_T)^{-1}: solve (I - P_T)^T y = e_start, since
+  // N_{start,b} = e_start^T N e_b and we want the whole row at once.
+  const DenseMatrix a = BuildIMinusPt(p_, transient).Transposed();
+  Vector e(transient.size(), 0.0);
+  e[compact[start]] = 1.0;
+  auto solved = linalg::LuSolve(a, e);
+  if (!solved.ok()) {
+    return solved.status().WithContext(
+        "chain has transient states with no path to absorption");
+  }
+  for (size_t j = 0; j < transient.size(); ++j) {
+    visits[transient[j]] = (*solved)[j];
+  }
+  return visits;
+}
+
+Result<Vector> Dtmc::AbsorptionProbabilities(size_t start) const {
+  if (start >= num_states()) {
+    return Status::OutOfRange("start state out of range");
+  }
+  WFMS_ASSIGN_OR_RETURN(Vector visits, ExpectedVisitsUntilAbsorption(start));
+  Vector probs(num_states(), 0.0);
+  const auto absorbing = AbsorbingStates();
+  if (IsAbsorbing(start)) {
+    probs[start] = 1.0;
+    return probs;
+  }
+  // B = N R with R the transient-to-absorbing block.
+  for (size_t a : absorbing) {
+    double prob = 0.0;
+    for (size_t t = 0; t < num_states(); ++t) {
+      if (!IsAbsorbing(t)) prob += visits[t] * p_.At(t, a);
+    }
+    probs[a] = prob;
+  }
+  return probs;
+}
+
+Vector Dtmc::DistributionAfter(size_t start, int steps) const {
+  Vector dist(num_states(), 0.0);
+  dist[start] = 1.0;
+  for (int s = 0; s < steps; ++s) {
+    dist = p_.MultiplyTransposed(dist);
+  }
+  return dist;
+}
+
+}  // namespace wfms::markov

@@ -1,0 +1,33 @@
+// Mean first-passage times into the absorbing state (§4.1 of the paper):
+// solving  -v_i m_iA + sum_{j != A, j != i} q_ij m_jA = -1  for all i != A.
+// The solution from the initial state is the workflow's mean turnaround
+// time R_t.
+#ifndef WFMS_MARKOV_FIRST_PASSAGE_H_
+#define WFMS_MARKOV_FIRST_PASSAGE_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "markov/absorbing_ctmc.h"
+
+namespace wfms::markov {
+
+enum class FirstPassageMethod {
+  kLu,           // exact dense factorization
+  kGaussSeidel,  // the method the paper prescribes
+};
+
+/// Solves the first-passage system. Returns m_iA for every state (the entry
+/// for the absorbing state itself is 0).
+Result<linalg::Vector> MeanFirstPassageTimes(
+    const AbsorbingCtmc& chain,
+    FirstPassageMethod method = FirstPassageMethod::kLu);
+
+/// Mean turnaround time R_t = m_{0A}: expected time from the initial state
+/// to absorption.
+Result<double> MeanTurnaroundTime(
+    const AbsorbingCtmc& chain,
+    FirstPassageMethod method = FirstPassageMethod::kLu);
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_FIRST_PASSAGE_H_

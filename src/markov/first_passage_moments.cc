@@ -1,0 +1,85 @@
+#include "markov/first_passage_moments.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/lu_solver.h"
+#include "markov/first_passage.h"
+
+namespace wfms::markov {
+
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+double TurnaroundMoments::stddev() const {
+  return std::sqrt(std::max(0.0, variance()));
+}
+
+double TurnaroundMoments::scv() const {
+  return mean > 0.0 ? variance() / (mean * mean) : 0.0;
+}
+
+double TurnaroundMoments::TailBound(double t) const {
+  if (t <= mean) return 1.0;
+  const double deviation = t - mean;
+  return std::min(1.0, variance() / (deviation * deviation));
+}
+
+Result<FirstPassageMomentVectors> FirstPassageMoments(
+    const AbsorbingCtmc& chain) {
+  const size_t n = chain.num_states();
+  const size_t a = chain.absorbing_state();
+  WFMS_ASSIGN_OR_RETURN(Vector mean, MeanFirstPassageTimes(chain));
+
+  // Compact transient states and solve (I - P_T) s = c.
+  std::vector<size_t> transient;
+  std::vector<size_t> compact(n, SIZE_MAX);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == a) continue;
+    compact[i] = transient.size();
+    transient.push_back(i);
+  }
+  const size_t m = transient.size();
+  DenseMatrix system(m, m);
+  Vector rhs(m, 0.0);
+  for (size_t row = 0; row < m; ++row) {
+    const size_t i = transient[row];
+    const double vi = chain.DepartureRate(i);
+    double mean_next = 0.0;  // sum_j p_ij m_j over all j (m_A = 0)
+    for (size_t j = 0; j < n; ++j) {
+      const double pij = chain.transition_probabilities().At(i, j);
+      if (pij == 0.0) continue;
+      mean_next += pij * mean[j];
+      if (j != a) system.At(row, compact[j]) -= pij;
+    }
+    system.At(row, row) += 1.0;
+    rhs[row] = 2.0 / (vi * vi) + (2.0 / vi) * mean_next;
+  }
+  auto solved = linalg::LuSolve(system, rhs);
+  if (!solved.ok()) {
+    return solved.status().WithContext("first-passage second moments");
+  }
+
+  FirstPassageMomentVectors result;
+  result.mean = std::move(mean);
+  result.second_moment.assign(n, 0.0);
+  for (size_t row = 0; row < m; ++row) {
+    if ((*solved)[row] < 0.0) {
+      return Status::NumericError("negative second moment; ill-conditioned");
+    }
+    result.second_moment[transient[row]] = (*solved)[row];
+  }
+  return result;
+}
+
+Result<TurnaroundMoments> TurnaroundTimeMoments(const AbsorbingCtmc& chain) {
+  WFMS_ASSIGN_OR_RETURN(FirstPassageMomentVectors vectors,
+                        FirstPassageMoments(chain));
+  TurnaroundMoments moments;
+  moments.mean = vectors.mean[chain.initial_state()];
+  moments.second_moment = vectors.second_moment[chain.initial_state()];
+  return moments;
+}
+
+}  // namespace wfms::markov

@@ -1,0 +1,49 @@
+// Higher moments of the first-passage (turnaround) time. The paper's
+// performance model reports the mean R_t; the second moment supports
+// variance/SCV reporting and Chebyshev-style tail bounds that complement
+// the exact transient quantiles of transient_distribution.h.
+//
+// For exponential residence times the conditional decomposition
+//   T_i = S_i + T_J,  S_i ~ Exp(v_i),  J ~ p_i.
+// yields linear systems for both moments:
+//   m_i  = 1/v_i + sum_j p_ij m_j
+//   s_i  = 2/v_i^2 + (2/v_i) sum_j p_ij m_j + sum_j p_ij s_j
+// where m is the mean vector and s the second-moment vector (both zero at
+// the absorbing state).
+#ifndef WFMS_MARKOV_FIRST_PASSAGE_MOMENTS_H_
+#define WFMS_MARKOV_FIRST_PASSAGE_MOMENTS_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "markov/absorbing_ctmc.h"
+
+namespace wfms::markov {
+
+struct TurnaroundMoments {
+  double mean = 0.0;
+  double second_moment = 0.0;
+
+  double variance() const { return second_moment - mean * mean; }
+  double stddev() const;
+  /// Squared coefficient of variation of the turnaround time.
+  double scv() const;
+  /// Chebyshev upper bound on P(T >= t) for t > mean.
+  double TailBound(double t) const;
+};
+
+/// Mean and second moment of the time to absorption from every state
+/// (entries at the absorbing state are 0).
+struct FirstPassageMomentVectors {
+  linalg::Vector mean;
+  linalg::Vector second_moment;
+};
+
+Result<FirstPassageMomentVectors> FirstPassageMoments(
+    const AbsorbingCtmc& chain);
+
+/// Moments of the turnaround time from the initial state.
+Result<TurnaroundMoments> TurnaroundTimeMoments(const AbsorbingCtmc& chain);
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_FIRST_PASSAGE_MOMENTS_H_

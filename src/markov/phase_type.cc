@@ -1,0 +1,88 @@
+#include "markov/phase_type.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace wfms::markov {
+
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+Vector ErlangExpansion::LiftEntryRewards(const Vector& rewards) const {
+  WFMS_CHECK_EQ(origin.size(), chain.num_states());
+  Vector lifted(chain.num_states(), 0.0);
+  for (size_t i = 0; i < lifted.size(); ++i) {
+    if (is_first_stage[i]) lifted[i] = rewards[origin[i]];
+  }
+  return lifted;
+}
+
+Result<ErlangExpansion> ExpandErlangStages(const AbsorbingCtmc& chain,
+                                           const std::vector<int>& stages) {
+  const size_t n = chain.num_states();
+  if (stages.size() != n) {
+    return Status::InvalidArgument("stage count vector size mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (stages[i] < 1) {
+      return Status::InvalidArgument("stage counts must be >= 1");
+    }
+    if (i == chain.absorbing_state() && stages[i] != 1) {
+      return Status::InvalidArgument("absorbing state cannot be expanded");
+    }
+  }
+
+  // Map original state -> index of its first stage in the expanded chain.
+  std::vector<size_t> first_stage(n);
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    first_stage[i] = total;
+    total += static_cast<size_t>(stages[i]);
+  }
+
+  DenseMatrix p(total, total);
+  Vector h(total, 0.0);
+  std::vector<std::string> names(total);
+  std::vector<size_t> origin(total);
+  std::vector<bool> is_first(total, false);
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto k = static_cast<size_t>(stages[i]);
+    const double stage_time =
+        i == chain.absorbing_state()
+            ? kInfiniteResidence
+            : chain.residence_times()[i] / static_cast<double>(k);
+    for (size_t s = 0; s < k; ++s) {
+      const size_t idx = first_stage[i] + s;
+      origin[idx] = i;
+      is_first[idx] = (s == 0);
+      h[idx] = stage_time;
+      names[idx] = chain.state_name(i);
+      if (k > 1) names[idx] += "#" + std::to_string(s + 1);
+      if (s + 1 < k) {
+        p.At(idx, idx + 1) = 1.0;  // advance to next stage
+      } else if (i != chain.absorbing_state()) {
+        // Last stage: the original state's outgoing distribution, with
+        // targets redirected to first stages.
+        for (size_t j = 0; j < n; ++j) {
+          const double pij = chain.transition_probabilities().At(i, j);
+          if (pij > 0.0) p.At(idx, first_stage[j]) = pij;
+        }
+      }
+    }
+  }
+
+  auto expanded = AbsorbingCtmc::Create(
+      std::move(p), std::move(h), std::move(names),
+      first_stage[chain.initial_state()],
+      first_stage[chain.absorbing_state()]);
+  if (!expanded.ok()) {
+    return expanded.status().WithContext("Erlang expansion");
+  }
+  ErlangExpansion result{*std::move(expanded), std::move(origin),
+                         std::move(is_first)};
+  return result;
+}
+
+}  // namespace wfms::markov

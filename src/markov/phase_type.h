@@ -1,0 +1,40 @@
+// Erlang (phase-type) expansion of CTMC states. The paper (§5.1) notes
+// that non-exponential residence or repair times "can be accommodated ...
+// by refining the corresponding state into a (reasonably small) set of
+// exponential states"; this module performs that refinement for workflow
+// chains: a state with Erlang-k residence becomes k sequential stages,
+// each exponential with rate k/H, preserving the mean residence time while
+// reducing its variance by a factor of k.
+#ifndef WFMS_MARKOV_PHASE_TYPE_H_
+#define WFMS_MARKOV_PHASE_TYPE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "markov/absorbing_ctmc.h"
+
+namespace wfms::markov {
+
+struct ErlangExpansion {
+  AbsorbingCtmc chain;
+  /// For each state of the expanded chain, the originating state in the
+  /// source chain.
+  std::vector<size_t> origin;
+  /// For each state of the expanded chain, true iff it is the first stage
+  /// of its originating state (rewards earned on state entry must be
+  /// attached to first stages only).
+  std::vector<bool> is_first_stage;
+
+  /// Lifts a per-entry reward vector of the original chain onto the
+  /// expanded chain (reward on first stages, zero elsewhere).
+  linalg::Vector LiftEntryRewards(const linalg::Vector& rewards) const;
+};
+
+/// Expands each state i into `stages[i]` sequential exponential stages.
+/// stages[i] must be >= 1; the absorbing state must have stages == 1.
+Result<ErlangExpansion> ExpandErlangStages(const AbsorbingCtmc& chain,
+                                           const std::vector<int>& stages);
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_PHASE_TYPE_H_

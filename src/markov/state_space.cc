@@ -1,0 +1,98 @@
+#include "markov/state_space.h"
+
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wfms::markov {
+
+Result<MixedRadixSpace> MixedRadixSpace::Create(std::vector<int> bounds) {
+  if (bounds.empty()) {
+    return Status::InvalidArgument("state space needs at least one dimension");
+  }
+  size_t size = 1;
+  for (int b : bounds) {
+    if (b < 0) return Status::InvalidArgument("bounds must be non-negative");
+    const auto radix = static_cast<size_t>(b) + 1;
+    if (size > std::numeric_limits<size_t>::max() / radix) {
+      return Status::OutOfRange("state space size overflows");
+    }
+    size *= radix;
+  }
+  if (size > (size_t{1} << 28)) {
+    return Status::OutOfRange(
+        "state space too large to analyze (" + std::to_string(size) +
+        " states)");
+  }
+  return MixedRadixSpace(std::move(bounds));
+}
+
+MixedRadixSpace::MixedRadixSpace(std::vector<int> bounds)
+    : bounds_(std::move(bounds)) {
+  place_values_.resize(bounds_.size());
+  size_ = 1;
+  for (size_t j = 0; j < bounds_.size(); ++j) {
+    place_values_[j] = size_;
+    size_ *= static_cast<size_t>(bounds_[j]) + 1;
+  }
+}
+
+Result<size_t> MixedRadixSpace::Encode(const StateVector& state) const {
+  if (state.size() != bounds_.size()) {
+    return Status::InvalidArgument("state vector dimension mismatch");
+  }
+  for (size_t j = 0; j < state.size(); ++j) {
+    if (state[j] < 0 || state[j] > bounds_[j]) {
+      return Status::OutOfRange("component " + std::to_string(j) +
+                                " out of bounds");
+    }
+  }
+  return EncodeUnchecked(state);
+}
+
+size_t MixedRadixSpace::EncodeUnchecked(const StateVector& state) const {
+  size_t index = 0;
+  for (size_t j = 0; j < state.size(); ++j) {
+    index += static_cast<size_t>(state[j]) * place_values_[j];
+  }
+  return index;
+}
+
+Result<StateVector> MixedRadixSpace::Decode(size_t index) const {
+  if (index >= size_) return Status::OutOfRange("state index out of range");
+  StateVector state(bounds_.size());
+  for (size_t j = 0; j < bounds_.size(); ++j) {
+    const size_t radix = static_cast<size_t>(bounds_[j]) + 1;
+    state[j] = static_cast<int>(index % radix);
+    index /= radix;
+  }
+  return state;
+}
+
+size_t MixedRadixSpace::Neighbor(size_t index, size_t dim, int delta) const {
+  WFMS_DCHECK(dim < bounds_.size());
+  const int value = Component(index, dim);
+  const int next = value + delta;
+  if (next < 0 || next > bounds_[dim]) return SIZE_MAX;
+  return index + static_cast<size_t>(delta) * place_values_[dim];
+}
+
+int MixedRadixSpace::Component(size_t index, size_t dim) const {
+  WFMS_DCHECK(dim < bounds_.size());
+  const size_t radix = static_cast<size_t>(bounds_[dim]) + 1;
+  return static_cast<int>((index / place_values_[dim]) % radix);
+}
+
+std::string MixedRadixSpace::ToString(size_t index) const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t j = 0; j < bounds_.size(); ++j) {
+    if (j > 0) os << ",";
+    os << Component(index, j);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace wfms::markov

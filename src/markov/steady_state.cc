@@ -1,0 +1,158 @@
+#include "markov/steady_state.h"
+
+#include <cmath>
+#include <string>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/iterative_solver.h"
+#include "linalg/lu_solver.h"
+
+namespace wfms::markov {
+
+using linalg::DenseMatrix;
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+namespace {
+
+/// Residual check: max_j |(pi Q)_j| must be small relative to the rates.
+Status ValidateSolution(const Ctmc& chain, const Vector& pi,
+                        double tolerance) {
+  double min_entry = 1.0;
+  for (double v : pi) min_entry = std::min(min_entry, v);
+  if (min_entry < -1e-9) {
+    return Status::NumericError(
+        "steady-state vector has negative entries; chain may be reducible");
+  }
+  // (pi Q)_j = sum_{i != j} pi_i q_ij - pi_j * exit_j.
+  const Vector inflow = chain.rates().MultiplyTransposed(pi);
+  const double scale = std::max(chain.MaxExitRate(), 1.0);
+  for (size_t j = 0; j < pi.size(); ++j) {
+    const double residual = inflow[j] - pi[j] * chain.exit_rates()[j];
+    if (std::fabs(residual) > tolerance * scale * 1e3) {
+      return Status::NumericError("steady-state residual too large at state " +
+                                  std::to_string(j));
+    }
+  }
+  return Status::OK();
+}
+
+Result<SteadyStateResult> SolveLu(const Ctmc& chain,
+                                  const SteadyStateOptions& options) {
+  const size_t n = chain.num_states();
+  // A x = b with A = Q^T except the last row is the normalization
+  // constraint sum(pi) = 1.
+  DenseMatrix a(n, n);
+  const auto& offsets = chain.rates().row_offsets();
+  const auto& cols = chain.rates().col_indices();
+  const auto& values = chain.rates().values();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const size_t j = cols[k];
+      if (j != n - 1) a.At(j, i) += values[k];
+    }
+    if (i != n - 1) a.At(i, i) -= chain.exit_rates()[i];
+  }
+  for (size_t i = 0; i < n; ++i) a.At(n - 1, i) = 1.0;
+  Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+
+  auto solved = linalg::LuSolve(a, b);
+  if (!solved.ok()) {
+    return solved.status().WithContext(
+        "steady-state direct solve (is the chain irreducible?)");
+  }
+  SteadyStateResult result;
+  result.pi = *std::move(solved);
+  WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance));
+  return result;
+}
+
+Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
+                                           const SteadyStateOptions& options) {
+  const size_t n = chain.num_states();
+  for (size_t j = 0; j < n; ++j) {
+    if (chain.exit_rates()[j] <= 0.0) {
+      return Status::InvalidArgument(
+          "state " + std::to_string(j) +
+          " has zero exit rate; chain is not ergodic");
+    }
+  }
+  // Column access: transpose once so incoming rates of j are row j.
+  const SparseMatrix incoming = chain.rates().Transposed();
+  const auto& offsets = incoming.row_offsets();
+  const auto& cols = incoming.col_indices();
+  const auto& values = incoming.values();
+
+  SteadyStateResult result;
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  Vector prev(n);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    prev = pi;
+    for (size_t j = 0; j < n; ++j) {
+      double inflow = 0.0;
+      for (size_t k = offsets[j]; k < offsets[j + 1]; ++k) {
+        inflow += values[k] * pi[cols[k]];
+      }
+      pi[j] = inflow / chain.exit_rates()[j];
+    }
+    const double sum = linalg::Sum(pi);
+    if (!(sum > 0.0) || !std::isfinite(sum)) {
+      return Status::NumericError("Gauss-Seidel steady state diverged");
+    }
+    linalg::Scale(1.0 / sum, &pi);
+    result.iterations = iter;
+    if (linalg::MaxAbsDiff(pi, prev) < options.tolerance) {
+      result.pi = std::move(pi);
+      WFMS_RETURN_NOT_OK(
+          ValidateSolution(chain, result.pi, options.tolerance));
+      return result;
+    }
+  }
+  return Status::NumericError("Gauss-Seidel steady state did not converge");
+}
+
+Result<SteadyStateResult> SolvePower(const Ctmc& chain,
+                                     const SteadyStateOptions& options) {
+  SteadyStateResult result;
+  result.pi.assign(chain.num_states(), 1.0 / static_cast<double>(chain.num_states()));
+  linalg::IterativeOptions opts;
+  opts.max_iterations = options.max_iterations;
+  opts.tolerance = options.tolerance;
+  auto stats = linalg::PowerIterationStationary(chain.UniformizedMatrix(),
+                                                &result.pi, opts);
+  if (!stats.ok()) return stats.status();
+  if (!stats->converged) {
+    return Status::NumericError("power iteration did not converge");
+  }
+  result.iterations = stats->iterations;
+  WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance));
+  return result;
+}
+
+}  // namespace
+
+Result<SteadyStateResult> SolveSteadyState(const Ctmc& chain,
+                                           const SteadyStateOptions& options) {
+  switch (options.method) {
+    case SteadyStateMethod::kLu:
+      return SolveLu(chain, options);
+    case SteadyStateMethod::kGaussSeidel:
+      return SolveGaussSeidel(chain, options);
+    case SteadyStateMethod::kPower:
+      return SolvePower(chain, options);
+    case SteadyStateMethod::kAuto: {
+      auto gs = SolveGaussSeidel(chain, options);
+      if (gs.ok()) return gs;
+      auto power = SolvePower(chain, options);
+      if (power.ok()) {
+        power->used_fallback = true;
+        return power;
+      }
+      return gs.status().WithContext("kAuto: Gauss-Seidel and power failed");
+    }
+  }
+  return Status::Internal("unknown steady-state method");
+}
+
+}  // namespace wfms::markov

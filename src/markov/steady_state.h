@@ -1,0 +1,43 @@
+// Steady-state analysis of an ergodic CTMC (§5.2 of the paper): solving
+// pi Q = 0 with sum(pi) = 1. Three methods:
+//  - kGaussSeidel: the paper's prescription — sweep pi_j = (sum_{i != j}
+//    pi_i q_ij) / exit_rate_j with in-place updates and per-sweep
+//    renormalization (classical Gauss-Seidel for Markov chains).
+//  - kLu: exact dense solve of the transposed system with one equation
+//    replaced by the normalization constraint; the reference for tests.
+//  - kPower: power iteration on the uniformized DTMC; robust for large
+//    sparse chains where Gauss-Seidel may stall.
+// kAuto picks Gauss-Seidel with a power-iteration fallback.
+#ifndef WFMS_MARKOV_STEADY_STATE_H_
+#define WFMS_MARKOV_STEADY_STATE_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "markov/ctmc.h"
+
+namespace wfms::markov {
+
+enum class SteadyStateMethod { kAuto, kGaussSeidel, kLu, kPower };
+
+struct SteadyStateOptions {
+  SteadyStateMethod method = SteadyStateMethod::kAuto;
+  int max_iterations = 100000;
+  double tolerance = 1e-13;
+};
+
+struct SteadyStateResult {
+  linalg::Vector pi;
+  int iterations = 0;           // 0 for the direct method
+  bool used_fallback = false;   // kAuto fell back to power iteration
+};
+
+/// Computes the stationary distribution. The chain must be irreducible
+/// (every state positive recurrent); reducible chains yield either a
+/// numerical failure or a distribution with zero entries, which is reported
+/// as an error.
+Result<SteadyStateResult> SolveSteadyState(
+    const Ctmc& chain, const SteadyStateOptions& options = {});
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_STEADY_STATE_H_

@@ -1,0 +1,46 @@
+// Time-dependent transient analysis of the workflow CTMC: the state
+// distribution at an absolute time t via uniformization with Poisson
+// weighting. The headline application is *deadline analysis*: the
+// probability that a workflow instance has completed (been absorbed)
+// within a deadline — a natural extension of the paper's mean-turnaround
+// metric (§4.1) to quantiles of the turnaround distribution.
+#ifndef WFMS_MARKOV_TRANSIENT_DISTRIBUTION_H_
+#define WFMS_MARKOV_TRANSIENT_DISTRIBUTION_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "markov/absorbing_ctmc.h"
+
+namespace wfms::markov {
+
+struct TransientOptions {
+  /// Poisson tail mass at which the uniformization series is truncated.
+  double tail_tolerance = 1e-12;
+  int max_terms = 2000000;
+};
+
+/// State distribution at time t, starting from the chain's initial state:
+///   p(t) = sum_z Poisson(v t; z) * e_0 P~^z
+/// where P~ is the uniformized one-step matrix and v the uniformization
+/// rate. t must be >= 0.
+Result<linalg::Vector> TransientDistribution(
+    const AbsorbingCtmc& chain, double t,
+    const TransientOptions& options = {});
+
+/// P(workflow completed within t) = transient probability mass in the
+/// absorbing state at time t. Monotone non-decreasing in t.
+Result<double> CompletionProbabilityByTime(
+    const AbsorbingCtmc& chain, double t,
+    const TransientOptions& options = {});
+
+/// Smallest t (within `tolerance`, by bisection over [0, upper_bound])
+/// such that the completion probability is >= quantile. Useful for
+/// reporting e.g. the 95th percentile turnaround.
+Result<double> TurnaroundQuantile(const AbsorbingCtmc& chain,
+                                  double quantile,
+                                  double tolerance = 1e-3,
+                                  const TransientOptions& options = {});
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_TRANSIENT_DISTRIBUTION_H_

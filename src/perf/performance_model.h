@@ -1,0 +1,146 @@
+// The server performance model of §4.3-§4.4: aggregate request arrival
+// rates per server type over the whole workflow mix, per-server load under
+// a given replication configuration, maximum sustainable throughput, and
+// M/G/1 mean waiting times — including the degraded case where only
+// X_x <= Y_x servers of type x are up (needed by the performability model
+// of §6) and the generalized case of multiple server types co-located on
+// shared computers.
+#ifndef WFMS_PERF_PERFORMANCE_MODEL_H_
+#define WFMS_PERF_PERFORMANCE_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "markov/state_space.h"
+#include "perf/workflow_analysis.h"
+#include "workflow/configuration.h"
+#include "workflow/environment.h"
+
+namespace wfms::perf {
+
+/// Waiting-time assessment of one server type under some number of
+/// available servers.
+struct ServerTypeMetrics {
+  std::string server_type;
+  int available_servers = 0;
+  double total_arrival_rate = 0.0;   // l_x, requests per time unit
+  double per_server_rate = 0.0;      // l~_x = l_x / X_x
+  double utilization = 0.0;          // rho_x = l~_x * b_x
+  bool saturated = false;            // rho_x >= 1
+  /// Mean waiting time w_x (infinity when saturated).
+  double mean_waiting_time = std::numeric_limits<double>::infinity();
+};
+
+struct WaitingTimeReport {
+  std::vector<ServerTypeMetrics> servers;
+  bool any_saturated = false;
+  /// Largest finite waiting time; infinity if any type saturated.
+  double max_waiting_time = 0.0;
+};
+
+struct ThroughputReport {
+  /// Factor by which the current workflow mix could be scaled before the
+  /// first server type saturates.
+  double max_mix_scale = 0.0;
+  /// Maximum sustainable throughput in workflow instances per time unit,
+  /// preserving the mix proportions (§4.3).
+  double max_workflows_per_time_unit = 0.0;
+  /// Index of the server type that saturates first.
+  size_t bottleneck = 0;
+  /// Per-type request capacity Y_x / b_x and current arrival rate l_x.
+  linalg::Vector capacity;
+  linalg::Vector arrival_rates;
+};
+
+/// A group of server types sharing the same pool of computers (§4.4
+/// generalization).
+struct ColocationGroup {
+  std::vector<size_t> server_types;
+  int computers = 1;
+};
+
+/// Heterogeneous replicas of one server type (§4.4's closing note: "could
+/// be extended to the heterogeneous case by adjusting the service times
+/// on a per computer basis"): each server has a speed factor, service
+/// times scale as b / speed, and the load is split proportionally to
+/// speed so every replica runs at equal utilization.
+struct HeterogeneousPool {
+  /// speed_factors[i] > 0 is the relative speed of server i; 1.0 = the
+  /// registry's nominal service time.
+  std::vector<double> speed_factors;
+};
+
+class PerformanceModel {
+ public:
+  /// Analyzes every workflow type of the environment (R_t and r_{x,t} are
+  /// configuration-independent, so this happens once).
+  static Result<PerformanceModel> Create(const workflow::Environment& env,
+                                         const AnalysisOptions& options = {});
+
+  const std::vector<WorkflowAnalysis>& workflows() const {
+    return workflows_;
+  }
+  const workflow::Environment& environment() const { return *env_; }
+
+  /// l_x = sum_t xi_t * r_{x,t} (§4.3) for the environment's arrival rates.
+  const linalg::Vector& total_request_rates() const { return request_rates_; }
+
+  /// Mean number of concurrently active instances per workflow type
+  /// (Little's law: N_t = xi_t * R_t).
+  linalg::Vector ActiveInstances() const;
+
+  /// §4.4 under a full configuration: every server of type x is up.
+  Result<WaitingTimeReport> EvaluateWaitingTimes(
+      const workflow::Configuration& config) const;
+
+  /// §6 degraded mode: X_x servers of type x are up (all X_x >= 1). The
+  /// full load is redistributed over the remaining servers.
+  Result<WaitingTimeReport> EvaluateWaitingTimesForState(
+      const markov::StateVector& available) const;
+
+  /// §4.3 maximum sustainable throughput for a configuration.
+  Result<ThroughputReport> MaxSustainableThroughput(
+      const workflow::Configuration& config) const;
+
+  /// Expected total queueing delay accumulated by one instance of each
+  /// workflow type under `config`: D_t = sum_x r_{x,t} * w_x — the
+  /// workflow-level view of §4.4's "responsiveness as perceived by human
+  /// users". Entries are infinity when a server type the workflow uses is
+  /// saturated.
+  Result<linalg::Vector> PerInstanceQueueingDelay(
+      const workflow::Configuration& config) const;
+
+  /// §4.4 generalized case: server types co-located on shared computers.
+  /// Arrival rates of co-located types are summed and their service-time
+  /// distributions mixed; every group member reports the common queue's
+  /// waiting time. Groups must partition all server types.
+  Result<WaitingTimeReport> EvaluateColocated(
+      const std::vector<ColocationGroup>& groups) const;
+
+  /// Heterogeneous case: pools[x] describes the replicas of server type x
+  /// (pools.size() == #server types; the replica count is the size of the
+  /// speed vector). Load is split proportionally to speed; the report's
+  /// mean waiting time per type is the request-weighted mean over its
+  /// replicas, and `utilization` is the (equal) per-replica utilization.
+  Result<WaitingTimeReport> EvaluateHeterogeneous(
+      const std::vector<HeterogeneousPool>& pools) const;
+
+ private:
+  PerformanceModel(const workflow::Environment* env,
+                   std::vector<WorkflowAnalysis> workflows,
+                   linalg::Vector request_rates)
+      : env_(env),
+        workflows_(std::move(workflows)),
+        request_rates_(std::move(request_rates)) {}
+
+  const workflow::Environment* env_;  // not owned; must outlive the model
+  std::vector<WorkflowAnalysis> workflows_;
+  linalg::Vector request_rates_;
+};
+
+}  // namespace wfms::perf
+
+#endif  // WFMS_PERF_PERFORMANCE_MODEL_H_

@@ -1,0 +1,116 @@
+#include "performability/performability_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "queueing/mg1.h"
+
+namespace wfms::performability {
+
+using linalg::Vector;
+using workflow::Configuration;
+
+Result<PerformabilityModel> PerformabilityModel::Create(
+    const workflow::Environment& env, const PerformabilityOptions& options) {
+  WFMS_ASSIGN_OR_RETURN(perf::PerformanceModel perf,
+                        perf::PerformanceModel::Create(env, options.analysis));
+  WFMS_ASSIGN_OR_RETURN(
+      avail::AvailabilityModel availability,
+      avail::AvailabilityModel::Create(env.servers, options.availability));
+  return PerformabilityModel(std::move(perf), std::move(availability),
+                             options);
+}
+
+Result<PerformabilityReport> PerformabilityModel::Evaluate(
+    const Configuration& config) const {
+  const workflow::Environment& env = perf_.environment();
+  const size_t k = env.num_server_types();
+  WFMS_RETURN_NOT_OK(config.Validate(k));
+
+  WFMS_ASSIGN_OR_RETURN(avail::AvailabilityReport avail_report,
+                        avail_.Evaluate(config));
+
+  // Per-type waiting time depends only on that type's up-count; tabulate
+  // w_x(c) for c = 1..Y_x once (c = 0 marks "down", NaN).
+  constexpr double kSaturatedMarker =
+      std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> wait_table(k);
+  const Vector& rates = perf_.total_request_rates();
+  for (size_t x = 0; x < k; ++x) {
+    wait_table[x].resize(static_cast<size_t>(config.replicas[x]) + 1, 0.0);
+    for (int c = 1; c <= config.replicas[x]; ++c) {
+      const double per_server = rates[x] / static_cast<double>(c);
+      auto queue =
+          queueing::Mg1Metrics(per_server, env.servers.type(x).service);
+      if (queue.ok()) {
+        wait_table[x][static_cast<size_t>(c)] = queue->mean_waiting_time;
+      } else if (queue.status().code() == StatusCode::kFailedPrecondition) {
+        wait_table[x][static_cast<size_t>(c)] = kSaturatedMarker;
+      } else {
+        return queue.status();
+      }
+    }
+  }
+
+  PerformabilityReport report;
+  report.availability = avail_report.availability;
+  report.prob_down = avail_report.unavailability;
+  report.full_config_waiting.assign(k, 0.0);
+  for (size_t x = 0; x < k; ++x) {
+    report.full_config_waiting[x] =
+        wait_table[x][static_cast<size_t>(config.replicas[x])];
+  }
+
+  // MRM accumulation over the availability CTMC's steady state (§6).
+  Vector weighted(k, 0.0);
+  double accumulated_mass = 0.0;
+  const auto& space = avail_report.space;
+  for (size_t i = 0; i < space.size(); ++i) {
+    const double pi = avail_report.state_probabilities[i];
+    if (pi <= 0.0) continue;
+    bool down = false;
+    bool saturated = false;
+    bool degraded = false;
+    for (size_t x = 0; x < k && !down; ++x) {
+      const int c = space.Component(i, x);
+      if (c == 0) {
+        down = true;
+      } else {
+        if (std::isinf(wait_table[x][static_cast<size_t>(c)])) {
+          saturated = true;
+        }
+        if (c < config.replicas[x]) degraded = true;
+      }
+    }
+    if (down) continue;  // accounted for by prob_down
+    if (saturated) {
+      report.prob_saturated += pi;
+      if (options_.saturation_policy == SaturationPolicy::kConditionOnStable) {
+        continue;
+      }
+    } else if (degraded) {
+      report.prob_degraded += pi;
+    }
+    for (size_t x = 0; x < k; ++x) {
+      const auto c = static_cast<size_t>(space.Component(i, x));
+      const double w = wait_table[x][c];
+      weighted[x] += pi * (std::isinf(w) ? options_.penalty_waiting_time : w);
+    }
+    accumulated_mass += pi;
+  }
+
+  report.expected_waiting.assign(k,
+                                 std::numeric_limits<double>::infinity());
+  report.max_expected_waiting = std::numeric_limits<double>::infinity();
+  if (accumulated_mass > 0.0) {
+    report.max_expected_waiting = 0.0;
+    for (size_t x = 0; x < k; ++x) {
+      report.expected_waiting[x] = weighted[x] / accumulated_mass;
+      report.max_expected_waiting =
+          std::max(report.max_expected_waiting, report.expected_waiting[x]);
+    }
+  }
+  return report;
+}
+
+}  // namespace wfms::performability

@@ -1,0 +1,60 @@
+#include "queueing/distributions.h"
+
+#include <string>
+
+namespace wfms::queueing {
+
+ServiceMoments ExponentialService(double mean) {
+  return {mean, 2.0 * mean * mean};
+}
+
+ServiceMoments DeterministicService(double mean) {
+  return {mean, mean * mean};
+}
+
+Result<ServiceMoments> ErlangService(int stages, double mean) {
+  if (stages < 1) return Status::InvalidArgument("stages must be >= 1");
+  return ServiceFromMeanScv(mean, 1.0 / stages);
+}
+
+Result<ServiceMoments> ServiceFromMeanScv(double mean, double scv) {
+  if (!(mean > 0.0)) return Status::InvalidArgument("mean must be positive");
+  if (scv < 0.0) return Status::InvalidArgument("SCV must be non-negative");
+  return ServiceMoments{mean, (scv + 1.0) * mean * mean};
+}
+
+Result<ServiceMoments> MixServices(const std::vector<double>& weights,
+                                   const std::vector<ServiceMoments>& parts) {
+  if (weights.size() != parts.size() || parts.empty()) {
+    return Status::InvalidArgument("weights/parts size mismatch or empty");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative mixture weight");
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument("mixture weights sum to zero");
+  }
+  ServiceMoments mixed;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const double p = weights[i] / total;
+    mixed.mean += p * parts[i].mean;
+    mixed.second_moment += p * parts[i].second_moment;
+  }
+  return mixed;
+}
+
+Status ValidateMoments(const ServiceMoments& moments) {
+  if (!(moments.mean > 0.0)) {
+    return Status::InvalidArgument("service mean must be positive, got " +
+                                   std::to_string(moments.mean));
+  }
+  if (moments.second_moment < moments.mean * moments.mean - 1e-12) {
+    return Status::InvalidArgument(
+        "second moment below mean^2 violates Cauchy-Schwarz");
+  }
+  return Status::OK();
+}
+
+}  // namespace wfms::queueing

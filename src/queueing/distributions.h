@@ -1,0 +1,47 @@
+// Service-time distributions summarized by their first two moments — all
+// the M/G/1 analysis of §4.4 needs. Helpers build common shapes and
+// mixtures (used when several server types share one computer).
+#ifndef WFMS_QUEUEING_DISTRIBUTIONS_H_
+#define WFMS_QUEUEING_DISTRIBUTIONS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfms::queueing {
+
+/// First two moments of a non-negative service-time distribution.
+struct ServiceMoments {
+  double mean = 0.0;
+  double second_moment = 0.0;
+
+  /// Variance = E[X^2] - E[X]^2.
+  double variance() const { return second_moment - mean * mean; }
+  /// Squared coefficient of variation; 0 for a deterministic time.
+  double scv() const {
+    return mean > 0.0 ? variance() / (mean * mean) : 0.0;
+  }
+};
+
+/// Exponential service with the given mean: E[X^2] = 2 mean^2.
+ServiceMoments ExponentialService(double mean);
+/// Deterministic service: E[X^2] = mean^2.
+ServiceMoments DeterministicService(double mean);
+/// Erlang-k service: SCV = 1/k.
+Result<ServiceMoments> ErlangService(int stages, double mean);
+/// From mean and squared coefficient of variation.
+Result<ServiceMoments> ServiceFromMeanScv(double mean, double scv);
+
+/// Probability mixture of services: requests arrive as a superposition and
+/// each request is of class i with probability weights[i]/sum(weights).
+/// Moments mix linearly. Used for §4.4's multiple-server-types-per-computer
+/// aggregation.
+Result<ServiceMoments> MixServices(const std::vector<double>& weights,
+                                   const std::vector<ServiceMoments>& parts);
+
+/// Validates mean > 0 and E[X^2] >= mean^2 (Cauchy-Schwarz).
+Status ValidateMoments(const ServiceMoments& moments);
+
+}  // namespace wfms::queueing
+
+#endif  // WFMS_QUEUEING_DISTRIBUTIONS_H_

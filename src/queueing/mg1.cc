@@ -1,0 +1,75 @@
+#include "queueing/mg1.h"
+
+#include <cmath>
+#include <string>
+
+namespace wfms::queueing {
+
+Result<QueueMetrics> Mg1Metrics(double arrival_rate,
+                                const ServiceMoments& service) {
+  if (arrival_rate < 0.0) {
+    return Status::InvalidArgument("arrival rate must be non-negative");
+  }
+  WFMS_RETURN_NOT_OK(ValidateMoments(service));
+  QueueMetrics m;
+  m.utilization = arrival_rate * service.mean;
+  if (m.utilization >= 1.0) {
+    return Status::FailedPrecondition(
+        "server saturated: utilization " + std::to_string(m.utilization) +
+        " >= 1");
+  }
+  // Pollaczek-Khinchine mean waiting time.
+  m.mean_waiting_time =
+      arrival_rate * service.second_moment / (2.0 * (1.0 - m.utilization));
+  m.mean_response_time = m.mean_waiting_time + service.mean;
+  m.mean_queue_length = arrival_rate * m.mean_waiting_time;
+  m.mean_jobs_in_system = arrival_rate * m.mean_response_time;
+  return m;
+}
+
+Result<QueueMetrics> Mm1Metrics(double arrival_rate, double service_mean) {
+  return Mg1Metrics(arrival_rate, ExponentialService(service_mean));
+}
+
+Result<double> ErlangC(double offered_load, int servers) {
+  if (servers < 1) return Status::InvalidArgument("servers must be >= 1");
+  if (offered_load < 0.0) {
+    return Status::InvalidArgument("offered load must be non-negative");
+  }
+  if (offered_load >= servers) {
+    return Status::FailedPrecondition("offered load >= server count");
+  }
+  // Stable recursive evaluation of the Erlang-B formula, then convert:
+  // B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1)).
+  double erlang_b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    erlang_b = offered_load * erlang_b / (k + offered_load * erlang_b);
+  }
+  const double rho = offered_load / servers;
+  return erlang_b / (1.0 - rho + rho * erlang_b);
+}
+
+Result<QueueMetrics> MmcMetrics(double arrival_rate, double service_mean,
+                                int servers) {
+  if (!(service_mean > 0.0)) {
+    return Status::InvalidArgument("service mean must be positive");
+  }
+  if (arrival_rate < 0.0) {
+    return Status::InvalidArgument("arrival rate must be non-negative");
+  }
+  const double offered = arrival_rate * service_mean;
+  if (offered >= servers) {
+    return Status::FailedPrecondition("M/M/c saturated");
+  }
+  WFMS_ASSIGN_OR_RETURN(double p_wait, ErlangC(offered, servers));
+  QueueMetrics m;
+  m.utilization = offered / servers;
+  m.mean_waiting_time =
+      p_wait * service_mean / (servers * (1.0 - m.utilization));
+  m.mean_response_time = m.mean_waiting_time + service_mean;
+  m.mean_queue_length = arrival_rate * m.mean_waiting_time;
+  m.mean_jobs_in_system = arrival_rate * m.mean_response_time;
+  return m;
+}
+
+}  // namespace wfms::queueing

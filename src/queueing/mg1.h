@@ -1,0 +1,40 @@
+// Single-server queueing formulas: M/G/1 (Pollaczek-Khinchine, the model
+// the paper uses for each server replica in §4.4), plus M/M/1 and M/M/c as
+// special cases used for cross-validation against the simulator.
+#ifndef WFMS_QUEUEING_MG1_H_
+#define WFMS_QUEUEING_MG1_H_
+
+#include "common/result.h"
+#include "queueing/distributions.h"
+
+namespace wfms::queueing {
+
+struct QueueMetrics {
+  double utilization = 0.0;        // rho = lambda * E[S]
+  double mean_waiting_time = 0.0;  // time in queue, excluding service
+  double mean_response_time = 0.0; // waiting + service
+  double mean_queue_length = 0.0;  // jobs waiting (Little: lambda * W)
+  double mean_jobs_in_system = 0.0;
+};
+
+/// M/G/1 with Poisson arrivals `arrival_rate` and the given service
+/// moments. Fails with FailedPrecondition when rho >= 1 (saturated):
+///   W = lambda * E[S^2] / (2 (1 - rho))        [paper §4.4]
+Result<QueueMetrics> Mg1Metrics(double arrival_rate,
+                                const ServiceMoments& service);
+
+/// M/M/1 closed form (special case of M/G/1 with exponential service).
+Result<QueueMetrics> Mm1Metrics(double arrival_rate, double service_mean);
+
+/// M/M/c: c parallel exponential servers fed by one queue; waiting time via
+/// the Erlang-C formula. Provided as an *alternative* replication model to
+/// the paper's "c independent M/G/1 queues" — benches compare both.
+Result<QueueMetrics> MmcMetrics(double arrival_rate, double service_mean,
+                                int servers);
+
+/// Erlang-C: probability an arrival must wait in an M/M/c queue.
+Result<double> ErlangC(double offered_load, int servers);
+
+}  // namespace wfms::queueing
+
+#endif  // WFMS_QUEUEING_MG1_H_

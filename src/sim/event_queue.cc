@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace wfms::sim {
+
+void EventQueue::ScheduleAt(double time, Action action) {
+  WFMS_DCHECK(time >= now_);
+  queue_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+void EventQueue::ScheduleAfter(double delay, Action action) {
+  WFMS_DCHECK(delay >= 0.0);
+  ScheduleAt(now_ + delay, std::move(action));
+}
+
+int64_t EventQueue::RunUntil(double end_time) {
+  int64_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    // Move the action out before popping; the action may schedule events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.action();
+    ++executed;
+  }
+  if (now_ < end_time) now_ = end_time;
+  return executed;
+}
+
+void EventQueue::Clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace wfms::sim

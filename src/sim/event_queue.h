@@ -1,0 +1,55 @@
+// Discrete-event simulation kernel: a time-ordered event queue with
+// deterministic tie-breaking (FIFO among equal-time events) and a simple
+// run loop. Everything in the simulator is driven by closures scheduled
+// here.
+#ifndef WFMS_SIM_EVENT_QUEUE_H_
+#define WFMS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wfms::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+
+  /// Schedules `action` at absolute time `time` (must be >= now).
+  void ScheduleAt(double time, Action action);
+  /// Schedules `action` after `delay` (must be >= 0).
+  void ScheduleAfter(double delay, Action action);
+
+  /// Runs events in time order until the queue is empty or the next event
+  /// would be after `end_time`; the clock is left at min(end_time, last
+  /// event time). Returns the number of events executed.
+  int64_t RunUntil(double end_time);
+
+  /// Drops all pending events (used at teardown).
+  void Clear();
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wfms::sim
+
+#endif  // WFMS_SIM_EVENT_QUEUE_H_

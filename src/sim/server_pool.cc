@@ -1,0 +1,190 @@
+#include "sim/server_pool.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wfms::sim {
+
+ServerPool::ServerPool(EventQueue* queue, Rng rng, int servers,
+                       queueing::ServiceMoments service, double fail_rate,
+                       double repair_rate, double warmup_end)
+    : queue_(queue),
+      rng_(rng),
+      servers_(static_cast<size_t>(servers)),
+      service_(service),
+      service_scv_(service.scv()),
+      fail_rate_(fail_rate),
+      repair_rate_(repair_rate),
+      warmup_end_(warmup_end),
+      up_count_(servers) {
+  WFMS_CHECK_GE(servers, 1);
+}
+
+void ServerPool::Start() {
+  if (fail_rate_ > 0.0 && repair_rate_ > 0.0) {
+    for (size_t i = 0; i < servers_.size(); ++i) ScheduleFailure(i);
+  }
+  // Drop warmup-period gauge history so time averages cover the measured
+  // window only.
+  queue_->ScheduleAt(warmup_end_, [this] {
+    stats_.up_servers = TimeWeightedStats();
+    stats_.busy_servers = TimeWeightedStats();
+    UpdateGauges();
+  });
+  UpdateGauges();
+}
+
+void ServerPool::Submit() {
+  Dispatch(Request{queue_->now(), false});
+}
+
+void ServerPool::SubmitKeyed(uint64_t key) {
+  DispatchTo(static_cast<size_t>(key % servers_.size()),
+             Request{queue_->now(), false});
+}
+
+void ServerPool::DispatchTo(size_t preferred, Request request) {
+  // Home server first; linear probing over up servers as failover.
+  for (size_t step = 0; step < servers_.size(); ++step) {
+    const size_t i = (preferred + step) % servers_.size();
+    Server& server = servers_[i];
+    if (!server.up) continue;
+    if (!server.busy) {
+      server.current = request;
+      BeginService(i);
+    } else {
+      server.queue.push_back(request);
+    }
+    return;
+  }
+  parked_.push_back(request);  // whole type down
+}
+
+void ServerPool::Dispatch(Request request) {
+  if (up_count_ == 0) {
+    parked_.push_back(request);
+    return;
+  }
+  // Round-robin over up servers.
+  for (size_t step = 0; step < servers_.size(); ++step) {
+    const size_t i = next_server_;
+    next_server_ = (next_server_ + 1) % servers_.size();
+    Server& server = servers_[i];
+    if (!server.up) continue;
+    if (!server.busy) {
+      server.current = request;
+      BeginService(i);
+    } else {
+      server.queue.push_back(request);
+    }
+    return;
+  }
+  parked_.push_back(request);  // unreachable unless up_count_ lied
+}
+
+void ServerPool::BeginService(size_t server_index) {
+  Server& server = servers_[server_index];
+  WFMS_DCHECK(server.up);
+  WFMS_DCHECK(!server.busy);
+  server.busy = true;
+  ++busy_count_;
+  if (!server.current.started) {
+    server.current.started = true;
+    if (queue_->now() >= warmup_end_) {
+      stats_.waiting_time.Add(queue_->now() - server.current.arrival_time);
+    }
+  }
+  const double service_time = DrawServiceTime();
+  if (queue_->now() >= warmup_end_) stats_.service_time.Add(service_time);
+  if (service_callback_) service_callback_(service_time);
+  const uint64_t epoch = server.service_epoch;
+  queue_->ScheduleAfter(service_time, [this, server_index, epoch] {
+    CompleteService(server_index, epoch);
+  });
+  UpdateGauges();
+}
+
+void ServerPool::CompleteService(size_t server_index, uint64_t epoch) {
+  Server& server = servers_[server_index];
+  if (server.service_epoch != epoch || !server.up) {
+    return;  // stale completion from before a failover
+  }
+  WFMS_DCHECK(server.busy);
+  server.busy = false;
+  --busy_count_;
+  if (queue_->now() >= warmup_end_) ++stats_.completed_requests;
+  if (!server.queue.empty()) {
+    server.current = server.queue.front();
+    server.queue.pop_front();
+    BeginService(server_index);
+  } else if (!parked_.empty()) {
+    server.current = parked_.front();
+    parked_.pop_front();
+    BeginService(server_index);
+  } else {
+    UpdateGauges();
+  }
+}
+
+void ServerPool::ScheduleFailure(size_t server_index) {
+  queue_->ScheduleAfter(rng_.NextExponential(fail_rate_),
+                        [this, server_index] { FailServer(server_index); });
+}
+
+void ServerPool::FailServer(size_t server_index) {
+  Server& server = servers_[server_index];
+  if (!server.up) return;
+  server.up = false;
+  --up_count_;
+  ++server.service_epoch;  // invalidate any in-flight completion
+  std::deque<Request> displaced;
+  if (server.busy) {
+    server.busy = false;
+    --busy_count_;
+    displaced.push_back(server.current);
+    ++stats_.failovers;
+  }
+  displaced.insert(displaced.end(), server.queue.begin(), server.queue.end());
+  server.queue.clear();
+  UpdateGauges();
+  if (up_change_callback_) up_change_callback_();
+  // Failover: redistribute to surviving servers (or park).
+  for (Request& request : displaced) Dispatch(request);
+  queue_->ScheduleAfter(rng_.NextExponential(repair_rate_),
+                        [this, server_index] { RepairServer(server_index); });
+}
+
+void ServerPool::RepairServer(size_t server_index) {
+  Server& server = servers_[server_index];
+  WFMS_DCHECK(!server.up);
+  server.up = true;
+  ++up_count_;
+  UpdateGauges();
+  if (up_change_callback_) up_change_callback_();
+  while (!parked_.empty() && !server.busy) {
+    server.current = parked_.front();
+    parked_.pop_front();
+    BeginService(server_index);
+  }
+  ScheduleFailure(server_index);
+}
+
+double ServerPool::DrawServiceTime() {
+  if (service_scv_ < 1e-12) return service_.mean;
+  // Lognormal matching the first two moments; the M/G/1 formulas depend on
+  // exactly these, so the analytic comparison is apples-to-apples.
+  return rng_.NextLognormalByMoments(service_.mean, service_scv_);
+}
+
+void ServerPool::UpdateGauges() {
+  stats_.up_servers.Update(queue_->now(), up_count_);
+  stats_.busy_servers.Update(queue_->now(), busy_count_);
+}
+
+void ServerPool::FinishStats() {
+  stats_.up_servers.Finish(queue_->now());
+  stats_.busy_servers.Finish(queue_->now());
+}
+
+}  // namespace wfms::sim

@@ -1,0 +1,117 @@
+// Simulated server pool for one server type: Y FCFS servers with
+// exponential failure/repair processes, round-robin dispatch over the
+// currently-up servers, and failover — when a server fails, its queued
+// and in-flight requests are redispatched to surviving servers, or parked
+// until a repair when the whole type is down (§2 of the paper: "each
+// server provides capabilities for backup and online failover").
+#ifndef WFMS_SIM_SERVER_POOL_H_
+#define WFMS_SIM_SERVER_POOL_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statistics.h"
+#include "queueing/distributions.h"
+#include "sim/event_queue.h"
+
+namespace wfms::sim {
+
+struct ServerPoolStats {
+  /// Per-request waiting time (arrival at the pool to first service
+  /// start), collected after the warmup cutoff.
+  RunningStats waiting_time;
+  /// Per-request service times actually drawn.
+  RunningStats service_time;
+  /// Time-weighted number of up servers.
+  TimeWeightedStats up_servers;
+  /// Time-weighted number of busy servers (for utilization).
+  TimeWeightedStats busy_servers;
+  int64_t completed_requests = 0;
+  int64_t failovers = 0;
+};
+
+class ServerPool {
+ public:
+  /// `fail_rate`/`repair_rate` may be zero to disable failures entirely
+  /// (pure performance experiments).
+  ServerPool(EventQueue* queue, Rng rng, int servers,
+             queueing::ServiceMoments service, double fail_rate,
+             double repair_rate, double warmup_end);
+
+  /// Submits one service request at the current simulation time,
+  /// dispatched round-robin over the up servers.
+  void Submit();
+
+  /// Submits one request bound to a partition key (e.g. the workflow
+  /// instance id): the request goes to server key mod Y — the paper's
+  /// per-instance hashed assignment "for locality" — falling back to the
+  /// next up server when the home server is down.
+  void SubmitKeyed(uint64_t key);
+
+  /// Invoked whenever the number of up servers changes (for system-wide
+  /// availability observation).
+  void SetUpChangeCallback(std::function<void()> callback) {
+    up_change_callback_ = std::move(callback);
+  }
+  /// Invoked with the drawn service time whenever a service begins (for
+  /// audit-trail emission).
+  void SetServiceCallback(std::function<void(double)> callback) {
+    service_callback_ = std::move(callback);
+  }
+
+  /// Starts the failure processes (no-op when failures are disabled).
+  void Start();
+
+  /// Closes time-weighted statistics at the current time.
+  void FinishStats();
+
+  int up_count() const { return up_count_; }
+  const ServerPoolStats& stats() const { return stats_; }
+  /// Observed mean service time per completed request.
+  bool AllDown() const { return up_count_ == 0; }
+
+ private:
+  struct Request {
+    double arrival_time;
+    bool started = false;  // waiting time recorded at first service start
+  };
+  struct Server {
+    bool up = true;
+    bool busy = false;
+    uint64_t service_epoch = 0;  // invalidates completions after failover
+    Request current{};
+    std::deque<Request> queue;
+  };
+
+  void Dispatch(Request request);
+  void DispatchTo(size_t preferred, Request request);
+  void BeginService(size_t server_index);
+  void CompleteService(size_t server_index, uint64_t epoch);
+  void ScheduleFailure(size_t server_index);
+  void FailServer(size_t server_index);
+  void RepairServer(size_t server_index);
+  double DrawServiceTime();
+  void UpdateGauges();
+
+  EventQueue* queue_;
+  Rng rng_;
+  std::vector<Server> servers_;
+  std::deque<Request> parked_;  // requests while the whole type is down
+  queueing::ServiceMoments service_;
+  double service_scv_;
+  double fail_rate_;
+  double repair_rate_;
+  double warmup_end_;
+  int up_count_;
+  int busy_count_ = 0;
+  size_t next_server_ = 0;  // round-robin cursor
+  ServerPoolStats stats_;
+  std::function<void()> up_change_callback_;
+  std::function<void(double)> service_callback_;
+};
+
+}  // namespace wfms::sim
+
+#endif  // WFMS_SIM_SERVER_POOL_H_

@@ -1,0 +1,207 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wfms::sim {
+
+using statechart::ChartState;
+using statechart::StateChart;
+
+Result<Simulator> Simulator::Create(const workflow::Environment& env,
+                                    SimulationOptions options) {
+  WFMS_RETURN_NOT_OK(env.Validate());
+  WFMS_RETURN_NOT_OK(options.config.Validate(env.num_server_types()));
+  if (!(options.duration > options.warmup) || options.warmup < 0.0) {
+    return Status::InvalidArgument(
+        "simulation needs 0 <= warmup < duration");
+  }
+  return Simulator(&env, std::move(options));
+}
+
+void Simulator::UpdateAvailabilityGauge() {
+  bool all_up = true;
+  for (const auto& pool : pools_) {
+    if (pool->AllDown()) {
+      all_up = false;
+      break;
+    }
+  }
+  all_up_.Update(queue_.now(), all_up ? 1.0 : 0.0);
+}
+
+void Simulator::ScheduleArrival(size_t workflow_index) {
+  const workflow::WorkflowTypeSpec& spec = env_->workflows[workflow_index];
+  queue_.ScheduleAfter(rng_.NextExponential(spec.arrival_rate),
+                       [this, workflow_index] {
+    const workflow::WorkflowTypeSpec& wf = env_->workflows[workflow_index];
+    const int64_t instance = next_instance_id_++;
+    const double start_time = queue_.now();
+    WorkflowTypeResult& wf_result = result_.workflows[wf.name];
+    ++wf_result.started;
+    if (options_.record_audit_trail) {
+      result_.trail.RecordArrival({wf.name, start_time});
+    }
+    const StateChart* chart = *env_->charts.GetChart(wf.chart);
+    StartChart(chart, instance, [this, workflow_index, start_time] {
+      const workflow::WorkflowTypeSpec& done_wf =
+          env_->workflows[workflow_index];
+      WorkflowTypeResult& stats = result_.workflows[done_wf.name];
+      ++stats.completed;
+      if (start_time >= options_.warmup) {
+        stats.turnaround.Add(queue_.now() - start_time);
+      }
+    });
+    ScheduleArrival(workflow_index);
+  });
+}
+
+void Simulator::StartChart(const StateChart* chart, int64_t instance,
+                           std::function<void()> on_complete) {
+  const size_t initial = *chart->StateIndex(chart->initial_state());
+  EnterState(chart, initial, instance,
+             std::make_shared<std::function<void()>>(std::move(on_complete)));
+}
+
+void Simulator::EnterState(
+    const StateChart* chart, size_t state_index, int64_t instance,
+    std::shared_ptr<std::function<void()>> on_complete) {
+  const ChartState& state = chart->state(state_index);
+  const double enter_time = queue_.now();
+
+  if (state.kind == statechart::StateKind::kComposite) {
+    // Orthogonal components: start all subcharts, join when all finish.
+    auto remaining = std::make_shared<int>(
+        static_cast<int>(state.subcharts.size()));
+    for (const std::string& sub : state.subcharts) {
+      const StateChart* subchart = *env_->charts.GetChart(sub);
+      StartChart(subchart, instance,
+                 [this, chart, state_index, instance, enter_time,
+                  on_complete, remaining] {
+        if (--*remaining == 0) {
+          LeaveState(chart, state_index, instance, enter_time, on_complete);
+        }
+      });
+    }
+    return;
+  }
+
+  double residence = 0.0;
+  if (state.residence_time > 0.0) {
+    residence = options_.exponential_residence
+                    ? rng_.NextExponential(1.0 / state.residence_time)
+                    : state.residence_time;
+  }
+  if (!state.activity.empty()) IssueRequests(state, residence, instance);
+  queue_.ScheduleAfter(residence, [this, chart, state_index, instance,
+                                   enter_time, on_complete] {
+    LeaveState(chart, state_index, instance, enter_time, on_complete);
+  });
+}
+
+void Simulator::LeaveState(
+    const StateChart* chart, size_t state_index, int64_t instance,
+    double enter_time, std::shared_ptr<std::function<void()>> on_complete) {
+  const ChartState& state = chart->state(state_index);
+  std::string next_name;
+  const bool is_final = state.name == chart->final_state();
+  size_t next_index = 0;
+  if (!is_final) {
+    const auto outgoing = chart->OutgoingTransitions(state.name);
+    WFMS_CHECK(!outgoing.empty());
+    std::vector<double> weights(outgoing.size());
+    for (size_t i = 0; i < outgoing.size(); ++i) {
+      weights[i] = outgoing[i]->probability;
+    }
+    const int pick = rng_.NextDiscrete(weights.data(),
+                                       static_cast<int>(weights.size()));
+    next_name = outgoing[static_cast<size_t>(pick)]->to;
+    next_index = *chart->StateIndex(next_name);
+  }
+  if (options_.record_audit_trail) {
+    result_.trail.RecordStateVisit({chart->name(), instance, state.name,
+                                    enter_time, queue_.now(), next_name});
+  }
+  if (is_final) {
+    (*on_complete)();
+  } else {
+    EnterState(chart, next_index, instance, std::move(on_complete));
+  }
+}
+
+void Simulator::IssueRequests(const ChartState& state, double residence,
+                              int64_t instance) {
+  const linalg::Vector load =
+      env_->loads.LoadOf(state.activity, env_->num_server_types());
+  const bool bind = options_.dispatch == DispatchPolicy::kPerInstanceBinding;
+  for (size_t x = 0; x < load.size(); ++x) {
+    // Fractional request counts are realized in expectation.
+    int count = static_cast<int>(std::floor(load[x]));
+    const double frac = load[x] - count;
+    if (frac > 0.0 && rng_.NextBernoulli(frac)) ++count;
+    for (int i = 0; i < count; ++i) {
+      // Requests spread uniformly over the activity's residence ("a
+      // processing load is induced during the entire activity", §4.2).
+      const double offset = residence > 0.0 ? rng_.NextDouble() * residence
+                                            : 0.0;
+      queue_.ScheduleAfter(offset, [this, x, bind, instance] {
+        if (bind) {
+          pools_[x]->SubmitKeyed(static_cast<uint64_t>(instance));
+        } else {
+          pools_[x]->Submit();
+        }
+      });
+    }
+  }
+}
+
+Result<SimulationResult> Simulator::Run() {
+  const size_t k = env_->num_server_types();
+  pools_.clear();
+  pools_.reserve(k);
+  for (size_t x = 0; x < k; ++x) {
+    const workflow::ServerType& type = env_->servers.type(x);
+    pools_.push_back(std::make_unique<ServerPool>(
+        &queue_, rng_.Split(), options_.config.replicas[x], type.service,
+        options_.enable_failures ? type.failure_rate : 0.0,
+        options_.enable_failures ? type.repair_rate : 0.0,
+        options_.warmup));
+    pools_.back()->SetUpChangeCallback([this] { UpdateAvailabilityGauge(); });
+    if (options_.record_audit_trail) {
+      const size_t type_index = x;
+      pools_.back()->SetServiceCallback([this, type_index](double service) {
+        result_.trail.RecordService({type_index, service});
+      });
+    }
+  }
+  for (auto& pool : pools_) pool->Start();
+  UpdateAvailabilityGauge();
+  queue_.ScheduleAt(options_.warmup, [this] {
+    all_up_ = TimeWeightedStats();
+    UpdateAvailabilityGauge();
+  });
+
+  for (size_t t = 0; t < env_->workflows.size(); ++t) {
+    if (env_->workflows[t].arrival_rate > 0.0) ScheduleArrival(t);
+  }
+
+  result_.events_executed = queue_.RunUntil(options_.duration);
+
+  for (auto& pool : pools_) pool->FinishStats();
+  all_up_.Finish(queue_.now());
+  result_.observed_availability = all_up_.time_average();
+  result_.servers.clear();
+  result_.utilization.clear();
+  for (size_t x = 0; x < k; ++x) {
+    result_.servers.push_back(pools_[x]->stats());
+    result_.utilization.push_back(
+        pools_[x]->stats().busy_servers.time_average() /
+        options_.config.replicas[x]);
+  }
+  queue_.Clear();
+  return std::move(result_);
+}
+
+}  // namespace wfms::sim

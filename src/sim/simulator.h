@@ -1,0 +1,121 @@
+// Discrete-event simulator of the distributed WFMS — the stand-in for the
+// measurements of real WFMS products the paper references (§8). It shares
+// *no* solver code with the analytic models: workflow instances walk the
+// state charts directly (sampling branches and residence times), activity
+// service requests queue at simulated FCFS servers with failure/repair
+// processes, and all metrics are observed, not computed.
+//
+// Correspondence with the analytic models:
+//  - residence times are sampled exponentially (the CTMC assumption);
+//  - per-activity request counts follow the environment's load table, and
+//    requests are spread uniformly over the activity's residence;
+//  - service times are lognormal, matching the registry's first two
+//    moments (all the M/G/1 model consumes);
+//  - failures/repairs are exponential with the registry's rates,
+//    independent per server (the §5 availability CTMC's assumption).
+#ifndef WFMS_SIM_SIMULATOR_H_
+#define WFMS_SIM_SIMULATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/statistics.h"
+#include "sim/event_queue.h"
+#include "sim/server_pool.h"
+#include "workflow/audit_trail.h"
+#include "workflow/configuration.h"
+#include "workflow/environment.h"
+
+namespace wfms::sim {
+
+/// How a workflow instance's service requests are assigned to the
+/// replicas of a server type.
+enum class DispatchPolicy {
+  /// Per-request round-robin over the up servers (smooths arrivals).
+  kRoundRobin,
+  /// The paper's policy (§4.4): all requests of one workflow instance go
+  /// to the same server, hashed by instance id "for locality"; failover
+  /// probes the next up server.
+  kPerInstanceBinding,
+};
+
+struct SimulationOptions {
+  workflow::Configuration config;
+  DispatchPolicy dispatch = DispatchPolicy::kRoundRobin;
+  /// Simulated minutes (measurement window ends here).
+  double duration = 50000.0;
+  /// Statistics before this time are discarded.
+  double warmup = 2000.0;
+  uint64_t seed = 1;
+  /// Emit an audit trail (state visits, service records, arrivals) for the
+  /// calibration experiments. Costs memory on long runs.
+  bool record_audit_trail = false;
+  /// Disable server failures for pure performance experiments.
+  bool enable_failures = true;
+  /// Sample state residence times exponentially (matching the CTMC
+  /// assumption); when false, residences are deterministic.
+  bool exponential_residence = true;
+};
+
+struct WorkflowTypeResult {
+  int64_t started = 0;
+  int64_t completed = 0;
+  RunningStats turnaround;
+};
+
+struct SimulationResult {
+  /// Per server type, aligned with the environment's registry.
+  std::vector<ServerPoolStats> servers;
+  /// Observed utilization per server (time-avg busy servers / configured).
+  std::vector<double> utilization;
+  /// Fraction of (post-warmup) time with >= 1 server of every type up.
+  double observed_availability = 1.0;
+  std::map<std::string, WorkflowTypeResult> workflows;
+  workflow::AuditTrail trail;
+  int64_t events_executed = 0;
+};
+
+class Simulator {
+ public:
+  /// The environment must outlive the simulator.
+  static Result<Simulator> Create(const workflow::Environment& env,
+                                  SimulationOptions options);
+
+  /// Runs the full simulation; one-shot (create a new Simulator per run).
+  Result<SimulationResult> Run();
+
+ private:
+  Simulator(const workflow::Environment* env, SimulationOptions options)
+      : env_(env), options_(std::move(options)), rng_(options_.seed) {}
+
+  void ScheduleArrival(size_t workflow_index);
+  /// Runs `chart` for `instance`; calls `on_complete` when the chart's
+  /// final state finishes.
+  void StartChart(const statechart::StateChart* chart, int64_t instance,
+                  std::function<void()> on_complete);
+  void EnterState(const statechart::StateChart* chart, size_t state_index,
+                  int64_t instance, std::shared_ptr<std::function<void()>> on_complete);
+  void LeaveState(const statechart::StateChart* chart, size_t state_index,
+                  int64_t instance, double enter_time,
+                  std::shared_ptr<std::function<void()>> on_complete);
+  void IssueRequests(const statechart::ChartState& state, double residence,
+                     int64_t instance);
+  void UpdateAvailabilityGauge();
+
+  const workflow::Environment* env_;
+  SimulationOptions options_;
+  Rng rng_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<ServerPool>> pools_;
+  TimeWeightedStats all_up_;
+  SimulationResult result_;
+  int64_t next_instance_id_ = 0;
+};
+
+}  // namespace wfms::sim
+
+#endif  // WFMS_SIM_SIMULATOR_H_

@@ -1,0 +1,167 @@
+#include "statechart/builder.h"
+
+#include <cmath>
+#include <queue>
+#include <set>
+
+namespace wfms::statechart {
+
+ChartBuilder::ChartBuilder(std::string chart_name) {
+  chart_.name_ = std::move(chart_name);
+}
+
+ChartBuilder& ChartBuilder::AddActivityState(const std::string& name,
+                                             const std::string& activity,
+                                             double residence_time) {
+  ChartState s;
+  s.name = name;
+  s.kind = StateKind::kSimple;
+  s.activity = activity;
+  s.residence_time = residence_time;
+  if (chart_.index_.count(name) > 0) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = Status::AlreadyExists("duplicate state '" + name +
+                                              "' in chart '" +
+                                              chart_.name_ + "'");
+    }
+    return *this;
+  }
+  chart_.index_[name] = chart_.states_.size();
+  chart_.states_.push_back(std::move(s));
+  return *this;
+}
+
+ChartBuilder& ChartBuilder::AddSimpleState(const std::string& name,
+                                           double residence_time) {
+  return AddActivityState(name, "", residence_time);
+}
+
+ChartBuilder& ChartBuilder::AddCompositeState(
+    const std::string& name, std::vector<std::string> subcharts) {
+  AddActivityState(name, "", 0.0);
+  if (deferred_error_.ok() && !chart_.states_.empty() &&
+      chart_.states_.back().name == name) {
+    chart_.states_.back().kind = StateKind::kComposite;
+    chart_.states_.back().subcharts = std::move(subcharts);
+  }
+  return *this;
+}
+
+ChartBuilder& ChartBuilder::SetInitial(const std::string& name) {
+  chart_.initial_ = name;
+  return *this;
+}
+
+ChartBuilder& ChartBuilder::SetFinal(const std::string& name) {
+  chart_.final_ = name;
+  return *this;
+}
+
+ChartBuilder& ChartBuilder::AddTransition(const std::string& from,
+                                          const std::string& to,
+                                          double probability, EcaRule rule) {
+  Transition t;
+  t.from = from;
+  t.to = to;
+  t.probability = probability;
+  t.rule = std::move(rule);
+  chart_.transitions_.push_back(std::move(t));
+  return *this;
+}
+
+Result<StateChart> ChartBuilder::Build() {
+  WFMS_RETURN_NOT_OK(deferred_error_);
+  const std::string context = "chart '" + chart_.name_ + "'";
+  if (chart_.name_.empty()) {
+    return Status::InvalidArgument("chart name must not be empty");
+  }
+  if (chart_.states_.empty()) {
+    return Status::InvalidArgument(context + " has no states");
+  }
+  if (chart_.initial_.empty() || chart_.index_.count(chart_.initial_) == 0) {
+    return Status::InvalidArgument(context +
+                                   ": initial state missing or undeclared");
+  }
+  if (chart_.final_.empty() || chart_.index_.count(chart_.final_) == 0) {
+    return Status::InvalidArgument(context +
+                                   ": final state missing or undeclared");
+  }
+  if (chart_.initial_ == chart_.final_) {
+    return Status::InvalidArgument(context +
+                                   ": initial and final state must differ");
+  }
+
+  for (const ChartState& s : chart_.states_) {
+    if (s.kind == StateKind::kComposite && s.subcharts.empty()) {
+      return Status::InvalidArgument(context + ": composite state '" +
+                                     s.name + "' lists no subcharts");
+    }
+    if (s.kind == StateKind::kSimple &&
+        (s.residence_time < 0.0 || !std::isfinite(s.residence_time))) {
+      return Status::InvalidArgument(context + ": state '" + s.name +
+                                     "' has invalid residence time");
+    }
+  }
+
+  // Transition endpoints and probability normalization.
+  std::map<std::string, double> outgoing_sum;
+  for (Transition& t : chart_.transitions_) {
+    if (chart_.index_.count(t.from) == 0 || chart_.index_.count(t.to) == 0) {
+      return Status::InvalidArgument(context + ": transition " + t.from +
+                                     " -> " + t.to +
+                                     " references unknown state");
+    }
+    if (t.from == chart_.final_) {
+      return Status::InvalidArgument(context + ": final state '" + t.from +
+                                     "' must not have outgoing transitions");
+    }
+    if (!(t.probability > 0.0) || t.probability > 1.0 + 1e-9) {
+      return Status::InvalidArgument(context + ": transition " + t.from +
+                                     " -> " + t.to +
+                                     " has probability outside (0, 1]");
+    }
+    outgoing_sum[t.from] += t.probability;
+  }
+  for (const ChartState& s : chart_.states_) {
+    if (s.name == chart_.final_) continue;
+    const auto it = outgoing_sum.find(s.name);
+    if (it == outgoing_sum.end()) {
+      return Status::InvalidArgument(context + ": non-final state '" +
+                                     s.name + "' has no outgoing transition");
+    }
+    if (std::fabs(it->second - 1.0) > 1e-6) {
+      return Status::InvalidArgument(
+          context + ": outgoing probabilities of '" + s.name + "' sum to " +
+          std::to_string(it->second) + ", expected 1");
+    }
+  }
+  for (Transition& t : chart_.transitions_) {
+    t.probability /= outgoing_sum[t.from];  // exact renormalization
+  }
+
+  // Reachability from the initial state.
+  std::set<std::string> reachable;
+  std::queue<std::string> frontier;
+  reachable.insert(chart_.initial_);
+  frontier.push(chart_.initial_);
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop();
+    for (const Transition& t : chart_.transitions_) {
+      if (t.from == current && reachable.insert(t.to).second) {
+        frontier.push(t.to);
+      }
+    }
+  }
+  for (const ChartState& s : chart_.states_) {
+    if (reachable.count(s.name) == 0) {
+      return Status::InvalidArgument(context + ": state '" + s.name +
+                                     "' is unreachable from the initial "
+                                     "state");
+    }
+  }
+
+  return std::move(chart_);
+}
+
+}  // namespace wfms::statechart

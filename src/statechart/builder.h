@@ -1,0 +1,50 @@
+// Programmatic construction of validated state charts.
+#ifndef WFMS_STATECHART_BUILDER_H_
+#define WFMS_STATECHART_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "statechart/model.h"
+
+namespace wfms::statechart {
+
+/// Accumulates states and transitions, then validates on Build():
+///  - exactly one initial and one final state, both declared;
+///  - the final state has no outgoing transitions, all others have some;
+///  - transition endpoints exist; no duplicate state names;
+///  - outgoing probabilities of every non-final state sum to 1 (within
+///    1e-6; renormalized exactly);
+///  - every state is reachable from the initial state;
+///  - simple states have non-negative residence times (the initial state
+///    may have zero residence; activity states should be positive);
+///  - composite states list at least one subchart (existence of the
+///    subcharts is checked at registry level).
+class ChartBuilder {
+ public:
+  explicit ChartBuilder(std::string chart_name);
+
+  ChartBuilder& AddActivityState(const std::string& name,
+                                 const std::string& activity,
+                                 double residence_time);
+  /// A control state with no activity (e.g. a terminal "exit" step).
+  ChartBuilder& AddSimpleState(const std::string& name,
+                               double residence_time);
+  ChartBuilder& AddCompositeState(const std::string& name,
+                                  std::vector<std::string> subcharts);
+  ChartBuilder& SetInitial(const std::string& name);
+  ChartBuilder& SetFinal(const std::string& name);
+  ChartBuilder& AddTransition(const std::string& from, const std::string& to,
+                              double probability, EcaRule rule = {});
+
+  Result<StateChart> Build();
+
+ private:
+  StateChart chart_;
+  Status deferred_error_;
+};
+
+}  // namespace wfms::statechart
+
+#endif  // WFMS_STATECHART_BUILDER_H_

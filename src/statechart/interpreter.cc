@@ -1,0 +1,197 @@
+#include "statechart/interpreter.h"
+
+#include "common/string_util.h"
+
+namespace wfms::statechart {
+
+Result<ParsedAction> ParseAction(const std::string& text) {
+  const std::string_view s = StripWhitespace(text);
+  if (s.size() < 5 || s.substr(2, 2) != "!(" || s.back() != ')') {
+    return Status::ParseError("malformed action '" + text +
+                              "'; expected kind!(arg)");
+  }
+  const std::string_view kind = s.substr(0, 2);
+  const std::string argument(
+      StripWhitespace(s.substr(4, s.size() - 5)));
+  if (argument.empty()) {
+    return Status::ParseError("action '" + text + "' has an empty argument");
+  }
+  ParsedAction action;
+  action.argument = argument;
+  if (kind == "st") {
+    action.kind = ParsedAction::Kind::kStartActivity;
+  } else if (kind == "tr") {
+    action.kind = ParsedAction::Kind::kSetTrue;
+  } else if (kind == "fs") {
+    action.kind = ParsedAction::Kind::kSetFalse;
+  } else if (kind == "ev") {
+    action.kind = ParsedAction::Kind::kRaiseEvent;
+  } else {
+    return Status::ParseError("unknown action kind '" + std::string(kind) +
+                              "' in '" + text + "'");
+  }
+  return action;
+}
+
+bool ConditionContext::Get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second;
+}
+
+void ConditionContext::Set(const std::string& name, bool value) {
+  values_[name] = value;
+}
+
+Result<bool> EvaluateCondition(const std::string& expression,
+                               const ConditionContext& context) {
+  const std::string_view stripped = StripWhitespace(expression);
+  if (stripped.empty()) return true;
+  for (const std::string& term :
+       SplitString(stripped, '&', /*skip_empty=*/false)) {
+    std::string_view t = StripWhitespace(term);
+    bool negated = false;
+    while (!t.empty() && t.front() == '!') {
+      negated = !negated;
+      t = StripWhitespace(t.substr(1));
+    }
+    if (t.empty()) {
+      return Status::ParseError("empty term in condition '" + expression +
+                                "'");
+    }
+    const bool value = context.Get(std::string(t));
+    if (value == negated) return false;  // term is false
+  }
+  return true;
+}
+
+ChartInterpreter::ChartInterpreter(const ChartRegistry* registry,
+                                   const StateChart* chart)
+    : ChartInterpreter(registry, chart,
+                       std::make_shared<ConditionContext>(),
+                       std::make_shared<std::deque<std::string>>(),
+                       std::make_shared<std::vector<std::string>>()) {}
+
+ChartInterpreter::ChartInterpreter(
+    const ChartRegistry* registry, const StateChart* chart,
+    std::shared_ptr<ConditionContext> context,
+    std::shared_ptr<std::deque<std::string>> event_queue,
+    std::shared_ptr<std::vector<std::string>> activities)
+    : registry_(registry),
+      chart_(chart),
+      context_(std::move(context)),
+      event_queue_(std::move(event_queue)),
+      started_activities_(std::move(activities)) {}
+
+Status ChartInterpreter::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("interpreter already started");
+  }
+  started_ = true;
+  return EnterState(chart_->initial_state());
+}
+
+bool ChartInterpreter::finished() const {
+  if (current_ != chart_->final_state()) return false;
+  return ChildrenFinished();
+}
+
+bool ChartInterpreter::ChildrenFinished() const {
+  for (const auto& child : children_) {
+    if (!child->finished()) return false;
+  }
+  return true;
+}
+
+Status ChartInterpreter::EnterState(const std::string& name) {
+  WFMS_ASSIGN_OR_RETURN(size_t index, chart_->StateIndex(name));
+  current_ = name;
+  trace_.push_back(name);
+  children_.clear();
+  const ChartState& state = chart_->state(index);
+  if (state.kind == StateKind::kComposite) {
+    if (registry_ == nullptr) {
+      return Status::FailedPrecondition(
+          "composite state '" + name + "' needs a chart registry");
+    }
+    for (const std::string& sub : state.subcharts) {
+      WFMS_ASSIGN_OR_RETURN(const StateChart* subchart,
+                            registry_->GetChart(sub));
+      auto child = std::unique_ptr<ChartInterpreter>(new ChartInterpreter(
+          registry_, subchart, context_, event_queue_, started_activities_));
+      WFMS_RETURN_NOT_OK(child->Start());
+      children_.push_back(std::move(child));
+    }
+  }
+  return Status::OK();
+}
+
+Status ChartInterpreter::ExecuteActions(const EcaRule& rule) {
+  for (const std::string& text : rule.actions) {
+    WFMS_ASSIGN_OR_RETURN(ParsedAction action, ParseAction(text));
+    switch (action.kind) {
+      case ParsedAction::Kind::kStartActivity:
+        started_activities_->push_back(action.argument);
+        break;
+      case ParsedAction::Kind::kSetTrue:
+        context_->Set(action.argument, true);
+        break;
+      case ParsedAction::Kind::kSetFalse:
+        context_->Set(action.argument, false);
+        break;
+      case ParsedAction::Kind::kRaiseEvent:
+        event_queue_->push_back(action.argument);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> ChartInterpreter::Dispatch(const std::string& event) {
+  // Broadcast to active children first (orthogonal components).
+  bool fired = false;
+  for (const auto& child : children_) {
+    if (child->finished()) continue;
+    WFMS_ASSIGN_OR_RETURN(bool child_fired, child->Dispatch(event));
+    fired = fired || child_fired;
+  }
+  // The composite state itself may only leave once all children joined.
+  if (!children_.empty() && !ChildrenFinished()) return fired;
+  if (current_ == chart_->final_state()) return fired;
+
+  for (const Transition* t : chart_->OutgoingTransitions(current_)) {
+    if (!t->rule.event.empty() && t->rule.event != event) continue;
+    WFMS_ASSIGN_OR_RETURN(bool enabled,
+                          EvaluateCondition(t->rule.condition, *context_));
+    if (!enabled) continue;
+    WFMS_RETURN_NOT_OK(ExecuteActions(t->rule));
+    WFMS_RETURN_NOT_OK(EnterState(t->to));
+    return true;
+  }
+  return fired;
+}
+
+Result<int> ChartInterpreter::DeliverEvent(const std::string& event) {
+  if (!started_) {
+    return Status::FailedPrecondition("interpreter not started");
+  }
+  event_queue_->push_back(event);
+  int fired = 0;
+  // Guard against ev!-loops: a workflow instance with n states cannot
+  // meaningfully fire more than a generous multiple of n transitions per
+  // external event.
+  const int budget = 64 + 16 * static_cast<int>(chart_->num_states());
+  while (!event_queue_->empty()) {
+    const std::string next = event_queue_->front();
+    event_queue_->pop_front();
+    WFMS_ASSIGN_OR_RETURN(bool any, Dispatch(next));
+    if (any) ++fired;
+    if (fired > budget) {
+      return Status::NumericError(
+          "event cascade exceeded budget; ev! loop in chart '" +
+          chart_->name() + "'?");
+    }
+  }
+  return fired;
+}
+
+}  // namespace wfms::statechart

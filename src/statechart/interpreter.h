@@ -1,0 +1,121 @@
+// Functional execution of state charts with ECA-rule semantics — the
+// role Mentor-lite (the authors' prototype, [16][24]) plays in the paper:
+// an engine that actually *runs* the specification, as opposed to the
+// stochastic abstraction used by the assessment models.
+//
+// Semantics implemented (a pragmatic subset of Harel statecharts matching
+// this library's chart model, where each chart has exactly one active
+// state):
+//  * A transition of the current state fires on DeliverEvent(e) when its
+//    rule's event is `e` (or empty) and its condition evaluates to true
+//    under the current condition context; among several enabled
+//    transitions the first in declaration order fires (deterministic).
+//  * Actions: st!(activity) records an activity start request, tr!(c) /
+//    fs!(c) set condition variables, ev!(e) raises an internal event that
+//    is processed in FIFO order by RunToQuiescence().
+//  * Composite states spawn one child interpreter per orthogonal
+//    subchart; delivered events are broadcast to all active children
+//    first; the composite state's own transitions become eligible once
+//    every child has reached its final state.
+//  * Conditions are conjunctions of (possibly negated) boolean variables:
+//    "A", "!A", "A&!B". Unset variables read as false.
+#ifndef WFMS_STATECHART_INTERPRETER_H_
+#define WFMS_STATECHART_INTERPRETER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "statechart/model.h"
+
+namespace wfms::statechart {
+
+/// Parsed form of one action token.
+struct ParsedAction {
+  enum class Kind { kStartActivity, kSetTrue, kSetFalse, kRaiseEvent };
+  Kind kind = Kind::kStartActivity;
+  std::string argument;
+};
+
+/// Parses "st!(x)", "tr!(c)", "fs!(c)", "ev!(e)".
+Result<ParsedAction> ParseAction(const std::string& text);
+
+/// Boolean condition variables shared by a workflow instance (the paper's
+/// "variables that are relevant for the control and data flow").
+class ConditionContext {
+ public:
+  bool Get(const std::string& name) const;
+  void Set(const std::string& name, bool value);
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, bool> values_;
+};
+
+/// Evaluates a conjunction of possibly-negated variables ("A&!B&C").
+/// An empty expression is true.
+Result<bool> EvaluateCondition(const std::string& expression,
+                               const ConditionContext& context);
+
+/// Executes one chart instance. Shares the condition context and the
+/// event queue with nested child interpreters (orthogonal components see
+/// the same variables and broadcast events, per the statechart
+/// semantics).
+class ChartInterpreter {
+ public:
+  /// `registry` supplies subcharts for composite states; it and `chart`
+  /// must outlive the interpreter.
+  ChartInterpreter(const ChartRegistry* registry, const StateChart* chart);
+
+  /// Enters the initial state. Must be called exactly once.
+  Status Start();
+
+  const std::string& current_state() const { return current_; }
+  bool finished() const;
+
+  ConditionContext& context() { return *context_; }
+  const ConditionContext& context() const { return *context_; }
+
+  /// Delivers an external event and processes all internally raised
+  /// events until no transition can fire. Returns the number of
+  /// transitions fired (0 if the event enabled nothing).
+  Result<int> DeliverEvent(const std::string& event);
+
+  /// Activities requested by st!(...) actions so far, in order.
+  const std::vector<std::string>& started_activities() const {
+    return *started_activities_;
+  }
+  /// States entered so far (this chart only, excluding children).
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  // Child constructor sharing instance-wide state.
+  ChartInterpreter(const ChartRegistry* registry, const StateChart* chart,
+                   std::shared_ptr<ConditionContext> context,
+                   std::shared_ptr<std::deque<std::string>> event_queue,
+                   std::shared_ptr<std::vector<std::string>> activities);
+
+  /// Attempts to fire one transition for `event` (possibly ""), routing
+  /// to children first. Returns true if something fired anywhere.
+  Result<bool> Dispatch(const std::string& event);
+  Status EnterState(const std::string& name);
+  Status ExecuteActions(const EcaRule& rule);
+  bool ChildrenFinished() const;
+
+  const ChartRegistry* registry_;
+  const StateChart* chart_;
+  std::shared_ptr<ConditionContext> context_;
+  std::shared_ptr<std::deque<std::string>> event_queue_;
+  std::shared_ptr<std::vector<std::string>> started_activities_;
+  std::string current_;
+  bool started_ = false;
+  std::vector<std::unique_ptr<ChartInterpreter>> children_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace wfms::statechart
+
+#endif  // WFMS_STATECHART_INTERPRETER_H_

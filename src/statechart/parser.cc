@@ -1,0 +1,191 @@
+#include "statechart/parser.h"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "statechart/builder.h"
+
+namespace wfms::statechart {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Status LineError(int line_no, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                            message);
+}
+
+/// Parsed key=value attributes; `action` may repeat.
+struct Attributes {
+  std::map<std::string, std::string> single;
+  std::vector<std::string> actions;
+};
+
+Result<Attributes> ParseAttributes(const std::vector<std::string>& tokens,
+                                   size_t first, int line_no) {
+  Attributes attrs;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return LineError(line_no, "expected key=value, got '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "action") {
+      attrs.actions.push_back(value);
+    } else if (!attrs.single.emplace(key, value).second) {
+      return LineError(line_no, "duplicate attribute '" + key + "'");
+    }
+  }
+  return attrs;
+}
+
+Result<double> RequireDouble(const Attributes& attrs, const std::string& key,
+                             int line_no) {
+  const auto it = attrs.single.find(key);
+  if (it == attrs.single.end()) {
+    return LineError(line_no, "missing attribute '" + key + "'");
+  }
+  double value = 0.0;
+  if (!ParseDouble(it->second, &value)) {
+    return LineError(line_no, "attribute '" + key + "' is not a number");
+  }
+  return value;
+}
+
+std::string GetOr(const Attributes& attrs, const std::string& key,
+                  const std::string& fallback) {
+  const auto it = attrs.single.find(key);
+  return it == attrs.single.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+Result<ChartRegistry> ParseCharts(std::string_view text) {
+  ChartRegistry registry;
+  std::optional<ChartBuilder> builder;
+  std::string current_chart;
+
+  int line_no = 0;
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = Tokenize(line);
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "chart") {
+      if (builder.has_value()) {
+        return LineError(line_no, "nested 'chart' (missing 'end'?)");
+      }
+      if (tokens.size() != 2) {
+        return LineError(line_no, "usage: chart NAME");
+      }
+      current_chart = tokens[1];
+      builder.emplace(current_chart);
+      continue;
+    }
+    if (!builder.has_value()) {
+      return LineError(line_no, "'" + keyword + "' outside of a chart block");
+    }
+
+    if (keyword == "end") {
+      if (tokens.size() != 1) return LineError(line_no, "usage: end");
+      auto chart = builder->Build();
+      if (!chart.ok()) {
+        return chart.status().WithContext("line " + std::to_string(line_no));
+      }
+      WFMS_RETURN_NOT_OK(registry.AddChart(*std::move(chart)));
+      builder.reset();
+    } else if (keyword == "state") {
+      if (tokens.size() < 2) {
+        return LineError(line_no, "usage: state NAME key=value...");
+      }
+      WFMS_ASSIGN_OR_RETURN(Attributes attrs,
+                            ParseAttributes(tokens, 2, line_no));
+      WFMS_ASSIGN_OR_RETURN(double residence,
+                            RequireDouble(attrs, "residence", line_no));
+      builder->AddActivityState(tokens[1], GetOr(attrs, "activity", ""),
+                                residence);
+    } else if (keyword == "compound") {
+      if (tokens.size() < 2) {
+        return LineError(line_no, "usage: compound NAME subcharts=A,B");
+      }
+      WFMS_ASSIGN_OR_RETURN(Attributes attrs,
+                            ParseAttributes(tokens, 2, line_no));
+      const std::string subs = GetOr(attrs, "subcharts", "");
+      if (subs.empty()) {
+        return LineError(line_no, "compound state needs subcharts=...");
+      }
+      builder->AddCompositeState(tokens[1],
+                                 SplitString(subs, ',', /*skip_empty=*/true));
+    } else if (keyword == "initial") {
+      if (tokens.size() != 2) return LineError(line_no, "usage: initial NAME");
+      builder->SetInitial(tokens[1]);
+    } else if (keyword == "final") {
+      if (tokens.size() != 2) return LineError(line_no, "usage: final NAME");
+      builder->SetFinal(tokens[1]);
+    } else if (keyword == "trans") {
+      if (tokens.size() < 4 || tokens[2] != "->") {
+        return LineError(line_no, "usage: trans FROM -> TO key=value...");
+      }
+      WFMS_ASSIGN_OR_RETURN(Attributes attrs,
+                            ParseAttributes(tokens, 4, line_no));
+      double prob = 1.0;
+      if (attrs.single.count("prob") > 0) {
+        WFMS_ASSIGN_OR_RETURN(prob, RequireDouble(attrs, "prob", line_no));
+      }
+      EcaRule rule;
+      rule.event = GetOr(attrs, "event", "");
+      rule.condition = GetOr(attrs, "cond", "");
+      rule.actions = attrs.actions;
+      builder->AddTransition(tokens[1], tokens[3], prob, std::move(rule));
+    } else {
+      return LineError(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (builder.has_value()) {
+    return Status::ParseError("chart '" + current_chart +
+                              "' not closed with 'end'");
+  }
+  if (registry.size() == 0) {
+    return Status::ParseError("document contains no charts");
+  }
+  WFMS_RETURN_NOT_OK(registry.ValidateReferences());
+  return registry;
+}
+
+Result<StateChart> ParseSingleChart(std::string_view text) {
+  WFMS_ASSIGN_OR_RETURN(ChartRegistry registry, ParseCharts(text));
+  if (registry.size() != 1) {
+    return Status::ParseError("expected exactly one chart, found " +
+                              std::to_string(registry.size()));
+  }
+  const std::string name = registry.ChartNames()[0];
+  WFMS_ASSIGN_OR_RETURN(const StateChart* chart, registry.GetChart(name));
+  return *chart;  // copy out of the registry
+}
+
+}  // namespace wfms::statechart

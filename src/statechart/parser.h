@@ -1,0 +1,37 @@
+// Parser for the textual state chart DSL. The format is line-based:
+//
+//   # comment
+//   chart EP
+//     state NewOrder activity=new_order residence=5
+//     state Exit residence=0.5
+//     compound Shipment subcharts=Notify,Delivery
+//     initial NewOrder
+//     final Exit
+//     trans NewOrder -> Shipment prob=0.5 event=NewOrder_DONE
+//           cond=!PayByCreditCard action=st!(Shipment)   (one line)
+//   end
+//
+// Attributes are `key=value` tokens; `action=` may repeat. Multiple charts
+// may appear in one document; composite states reference charts by name.
+// StateChart::ToDsl() emits this format, so parse/serialize round-trips.
+#ifndef WFMS_STATECHART_PARSER_H_
+#define WFMS_STATECHART_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "statechart/model.h"
+
+namespace wfms::statechart {
+
+/// Parses a DSL document containing one or more charts. Validates each
+/// chart (via ChartBuilder) and the registry's subchart references.
+Result<ChartRegistry> ParseCharts(std::string_view text);
+
+/// Parses a document expected to contain exactly one chart.
+Result<StateChart> ParseSingleChart(std::string_view text);
+
+}  // namespace wfms::statechart
+
+#endif  // WFMS_STATECHART_PARSER_H_

@@ -1,0 +1,128 @@
+#include "statechart/to_ctmc.h"
+
+#include <algorithm>
+
+#include "linalg/dense_matrix.h"
+#include "markov/first_passage.h"
+
+namespace wfms::statechart {
+
+namespace {
+
+/// Recursive mapper with memoized subchart turnaround times.
+class Mapper {
+ public:
+  Mapper(const ChartRegistry& registry, const MappingOptions& options)
+      : registry_(registry), options_(options) {}
+
+  Result<MappedWorkflow> Map(const std::string& chart_name) {
+    WFMS_ASSIGN_OR_RETURN(const StateChart* chart,
+                          registry_.GetChart(chart_name));
+    return MapChart(*chart);
+  }
+
+  Result<MappedWorkflow> MapChart(const StateChart& chart) {
+    const size_t n = chart.num_states();
+    std::vector<MappedState> state_infos;
+    state_infos.reserve(n);
+
+    // Residence times; composite states recurse into their subcharts.
+    linalg::Vector residence(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const ChartState& s = chart.state(i);
+      MappedState info;
+      info.name = s.name;
+      info.activity = s.activity;
+      info.subcharts = s.subcharts;
+      if (s.kind == StateKind::kComposite) {
+        double max_turnaround = 0.0;
+        for (const std::string& sub : s.subcharts) {
+          WFMS_ASSIGN_OR_RETURN(double sub_r, SubchartTurnaround(sub));
+          max_turnaround = std::max(max_turnaround, sub_r);
+        }
+        info.residence_time = max_turnaround;
+      } else {
+        info.residence_time = s.residence_time;
+      }
+      info.residence_time =
+          std::max(info.residence_time, options_.min_residence_time);
+      residence[i] = info.residence_time;
+      state_infos.push_back(std::move(info));
+    }
+    residence[n] = markov::kInfiniteResidence;
+
+    // Transition matrix: chart transitions plus final -> s_A.
+    linalg::DenseMatrix p(n + 1, n + 1);
+    for (const Transition& t : chart.transitions()) {
+      WFMS_ASSIGN_OR_RETURN(size_t from, chart.StateIndex(t.from));
+      WFMS_ASSIGN_OR_RETURN(size_t to, chart.StateIndex(t.to));
+      p.At(from, to) += t.probability;
+    }
+    WFMS_ASSIGN_OR_RETURN(size_t final_idx,
+                          chart.StateIndex(chart.final_state()));
+    p.At(final_idx, n) = 1.0;
+
+    std::vector<std::string> names;
+    names.reserve(n + 1);
+    for (size_t i = 0; i < n; ++i) names.push_back(chart.state(i).name);
+    names.push_back("s_A");
+
+    WFMS_ASSIGN_OR_RETURN(size_t initial_idx,
+                          chart.StateIndex(chart.initial_state()));
+    auto chain = markov::AbsorbingCtmc::Create(
+        std::move(p), std::move(residence), std::move(names), initial_idx, n);
+    if (!chain.ok()) {
+      return chain.status().WithContext("mapping chart '" + chart.name() +
+                                        "'");
+    }
+
+    WFMS_ASSIGN_OR_RETURN(double turnaround,
+                          markov::MeanTurnaroundTime(*chain));
+    return MappedWorkflow{*std::move(chain), std::move(state_infos),
+                          turnaround, turnaround_cache_};
+  }
+
+ private:
+  Result<double> SubchartTurnaround(const std::string& name) {
+    const auto it = turnaround_cache_.find(name);
+    if (it != turnaround_cache_.end()) return it->second;
+    WFMS_ASSIGN_OR_RETURN(const StateChart* chart, registry_.GetChart(name));
+    WFMS_ASSIGN_OR_RETURN(MappedWorkflow sub, MapChart(*chart));
+    turnaround_cache_[name] = sub.turnaround_time;
+    // Fold the subchart's own nested turnarounds into the cache.
+    for (const auto& [sub_name, sub_r] : sub.subchart_turnarounds) {
+      turnaround_cache_.emplace(sub_name, sub_r);
+    }
+    return sub.turnaround_time;
+  }
+
+  const ChartRegistry& registry_;
+  const MappingOptions& options_;
+  std::map<std::string, double> turnaround_cache_;
+};
+
+}  // namespace
+
+Result<MappedWorkflow> MapChartToCtmc(const ChartRegistry& registry,
+                                      const std::string& chart_name,
+                                      const MappingOptions& options) {
+  WFMS_RETURN_NOT_OK(registry.ValidateReferences());
+  Mapper mapper(registry, options);
+  return mapper.Map(chart_name);
+}
+
+Result<MappedWorkflow> MapChartToCtmc(const StateChart& chart,
+                                      const MappingOptions& options) {
+  for (const ChartState& s : chart.states()) {
+    if (s.kind == StateKind::kComposite) {
+      return Status::InvalidArgument(
+          "chart '" + chart.name() +
+          "' has composite states; map it through a ChartRegistry");
+    }
+  }
+  ChartRegistry empty;
+  Mapper mapper(empty, options);
+  return mapper.MapChart(chart);
+}
+
+}  // namespace wfms::statechart

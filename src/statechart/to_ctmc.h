@@ -1,0 +1,66 @@
+// The statechart -> CTMC mapping of §3.2 of the paper.
+//
+// Each chart state becomes one CTMC state; an artificial absorbing state
+// s_A is appended, entered from the chart's final state with probability 1.
+// A composite state (parallel subworkflows) is mapped hierarchically: its
+// mean residence time is the maximum of the mean turnaround times of its
+// subcharts (a conservative lower bound of the true residence, as the
+// paper notes), where each subchart's turnaround is the first-passage time
+// of its own recursively mapped CTMC.
+#ifndef WFMS_STATECHART_TO_CTMC_H_
+#define WFMS_STATECHART_TO_CTMC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "markov/absorbing_ctmc.h"
+#include "statechart/model.h"
+
+namespace wfms::statechart {
+
+struct MappedState {
+  std::string name;
+  /// Activity invoked in this state ("" for control/composite states).
+  std::string activity;
+  /// Subcharts embedded in this state (composite states only).
+  std::vector<std::string> subcharts;
+  /// Effective mean residence time used in the CTMC: the declared value
+  /// for simple states, max of subchart turnarounds for composite states.
+  double residence_time = 0.0;
+};
+
+struct MappedWorkflow {
+  /// CTMC with one state per chart state (in chart declaration order)
+  /// followed by the artificial absorbing state s_A.
+  markov::AbsorbingCtmc chain;
+  /// Descriptors for the non-absorbing states, aligned with chain indices.
+  std::vector<MappedState> states;
+  /// Mean turnaround time of this chart (first-passage time to s_A).
+  double turnaround_time = 0.0;
+  /// Turnaround times of all (transitively) embedded subcharts.
+  std::map<std::string, double> subchart_turnarounds;
+
+  size_t num_activity_states() const { return states.size(); }
+};
+
+struct MappingOptions {
+  /// States declared with zero residence (pure control states) receive
+  /// this residence so the CTMC stays well-formed; negligible vs. real
+  /// activity durations.
+  double min_residence_time = 1e-9;
+};
+
+/// Maps `chart_name` (and, recursively, its subcharts) from the registry.
+Result<MappedWorkflow> MapChartToCtmc(const ChartRegistry& registry,
+                                      const std::string& chart_name,
+                                      const MappingOptions& options = {});
+
+/// Convenience: maps a standalone chart with no composite states.
+Result<MappedWorkflow> MapChartToCtmc(const StateChart& chart,
+                                      const MappingOptions& options = {});
+
+}  // namespace wfms::statechart
+
+#endif  // WFMS_STATECHART_TO_CTMC_H_

@@ -1,0 +1,103 @@
+#include "workflow/audit_trail.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace wfms::workflow {
+
+void AuditTrail::RecordStateVisit(StateVisitRecord record) {
+  state_visits_.push_back(std::move(record));
+}
+
+void AuditTrail::RecordService(ServiceRecord record) {
+  services_.push_back(record);
+}
+
+void AuditTrail::RecordArrival(ArrivalRecord record) {
+  arrivals_.push_back(std::move(record));
+}
+
+void AuditTrail::Clear() {
+  state_visits_.clear();
+  services_.clear();
+  arrivals_.clear();
+}
+
+std::string AuditTrail::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (const StateVisitRecord& r : state_visits_) {
+    os << "visit," << r.chart << "," << r.instance_id << "," << r.state << ","
+       << r.enter_time << "," << r.leave_time << "," << r.next_state << "\n";
+  }
+  for (const ServiceRecord& r : services_) {
+    os << "service," << r.server_type << "," << r.service_time << "\n";
+  }
+  for (const ArrivalRecord& r : arrivals_) {
+    os << "arrival," << r.workflow_type << "," << r.arrival_time << "\n";
+  }
+  return os.str();
+}
+
+Result<AuditTrail> AuditTrail::Deserialize(const std::string& text) {
+  AuditTrail trail;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    const std::vector<std::string> fields = SplitString(line, ',');
+    const std::string context = "audit trail line " + std::to_string(line_no);
+    if (fields[0] == "visit") {
+      if (fields.size() != 7) {
+        return Status::ParseError(context + ": visit needs 7 fields");
+      }
+      StateVisitRecord r;
+      r.chart = fields[1];
+      int id = 0;
+      if (!ParseInt(fields[2], &id)) {
+        return Status::ParseError(context + ": bad instance id");
+      }
+      r.instance_id = id;
+      r.state = fields[3];
+      if (!ParseDouble(fields[4], &r.enter_time) ||
+          !ParseDouble(fields[5], &r.leave_time)) {
+        return Status::ParseError(context + ": bad timestamps");
+      }
+      r.next_state = fields[6];
+      trail.RecordStateVisit(std::move(r));
+    } else if (fields[0] == "service") {
+      if (fields.size() != 3) {
+        return Status::ParseError(context + ": service needs 3 fields");
+      }
+      ServiceRecord r;
+      int type = 0;
+      if (!ParseInt(fields[1], &type) || type < 0) {
+        return Status::ParseError(context + ": bad server type");
+      }
+      r.server_type = static_cast<size_t>(type);
+      if (!ParseDouble(fields[2], &r.service_time)) {
+        return Status::ParseError(context + ": bad service time");
+      }
+      trail.RecordService(r);
+    } else if (fields[0] == "arrival") {
+      if (fields.size() != 3) {
+        return Status::ParseError(context + ": arrival needs 3 fields");
+      }
+      ArrivalRecord r;
+      r.workflow_type = fields[1];
+      if (!ParseDouble(fields[2], &r.arrival_time)) {
+        return Status::ParseError(context + ": bad arrival time");
+      }
+      trail.RecordArrival(std::move(r));
+    } else {
+      return Status::ParseError(context + ": unknown record kind '" +
+                                fields[0] + "'");
+    }
+  }
+  return trail;
+}
+
+}  // namespace wfms::workflow

@@ -1,0 +1,70 @@
+// Audit trails: the record stream an operational WFMS (here: the
+// simulator) emits, from which the configuration tool's calibration
+// component (§7.1) re-estimates transition probabilities, state residence
+// times, service-time moments, and arrival rates.
+#ifndef WFMS_WORKFLOW_AUDIT_TRAIL_H_
+#define WFMS_WORKFLOW_AUDIT_TRAIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfms::workflow {
+
+/// One state visit of one workflow instance.
+struct StateVisitRecord {
+  std::string chart;        // chart the state belongs to
+  int64_t instance_id = 0;  // workflow instance
+  std::string state;        // state entered
+  double enter_time = 0.0;
+  double leave_time = 0.0;
+  /// State entered next within the same chart; empty when the chart
+  /// finished (transition into the artificial absorbing state).
+  std::string next_state;
+};
+
+/// One service request processed by a server.
+struct ServiceRecord {
+  size_t server_type = 0;
+  double service_time = 0.0;  // busy time, excluding queueing delay
+};
+
+/// One workflow instance arrival (for arrival-rate estimation).
+struct ArrivalRecord {
+  std::string workflow_type;
+  double arrival_time = 0.0;
+};
+
+class AuditTrail {
+ public:
+  void RecordStateVisit(StateVisitRecord record);
+  void RecordService(ServiceRecord record);
+  void RecordArrival(ArrivalRecord record);
+
+  const std::vector<StateVisitRecord>& state_visits() const {
+    return state_visits_;
+  }
+  const std::vector<ServiceRecord>& services() const { return services_; }
+  const std::vector<ArrivalRecord>& arrivals() const { return arrivals_; }
+
+  size_t size() const {
+    return state_visits_.size() + services_.size() + arrivals_.size();
+  }
+  void Clear();
+
+  /// Serializes to a CSV-ish text format and parses it back; lets examples
+  /// persist trails across runs.
+  std::string Serialize() const;
+  static Result<AuditTrail> Deserialize(const std::string& text);
+
+ private:
+  std::vector<StateVisitRecord> state_visits_;
+  std::vector<ServiceRecord> services_;
+  std::vector<ArrivalRecord> arrivals_;
+};
+
+}  // namespace wfms::workflow
+
+#endif  // WFMS_WORKFLOW_AUDIT_TRAIL_H_

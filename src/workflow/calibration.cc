@@ -1,0 +1,155 @@
+#include "workflow/calibration.h"
+
+#include <algorithm>
+
+#include "common/statistics.h"
+#include "statechart/builder.h"
+
+namespace wfms::workflow {
+
+namespace {
+
+/// Laplace smoothing weight for transition frequencies: keeps every
+/// *declared* transition strictly positive even when unobserved, so a rare
+/// branch is never calibrated away entirely.
+constexpr double kSmoothing = 0.5;
+
+struct StateObservation {
+  RunningStats residence;
+  std::map<std::string, int64_t> next_counts;
+  int64_t departures = 0;
+};
+
+}  // namespace
+
+Result<statechart::StateChart> CalibrateChart(
+    const statechart::StateChart& chart, const AuditTrail& trail,
+    const CalibrationOptions& options) {
+  std::map<std::string, StateObservation> observed;
+  for (const StateVisitRecord& r : trail.state_visits()) {
+    if (r.chart != chart.name()) continue;
+    StateObservation& obs = observed[r.state];
+    obs.residence.Add(r.leave_time - r.enter_time);
+    if (!r.next_state.empty()) {
+      ++obs.next_counts[r.next_state];
+      ++obs.departures;
+    }
+  }
+
+  statechart::ChartBuilder builder(chart.name());
+  for (const statechart::ChartState& s : chart.states()) {
+    if (s.kind == statechart::StateKind::kComposite) {
+      builder.AddCompositeState(s.name, s.subcharts);
+      continue;
+    }
+    double residence = s.residence_time;
+    const auto it = observed.find(s.name);
+    if (it != observed.end() &&
+        it->second.residence.count() >= options.min_observations) {
+      residence = it->second.residence.mean();
+    }
+    builder.AddActivityState(s.name, s.activity, residence);
+  }
+  builder.SetInitial(chart.initial_state());
+  builder.SetFinal(chart.final_state());
+
+  for (const statechart::ChartState& s : chart.states()) {
+    const auto outgoing = chart.OutgoingTransitions(s.name);
+    if (outgoing.empty()) continue;
+    const auto it = observed.find(s.name);
+    const bool recalibrate =
+        it != observed.end() && it->second.departures >= options.min_observations;
+    double total_weight = 0.0;
+    std::vector<double> weights(outgoing.size());
+    for (size_t i = 0; i < outgoing.size(); ++i) {
+      if (recalibrate) {
+        const auto count_it = it->second.next_counts.find(outgoing[i]->to);
+        const double count = count_it == it->second.next_counts.end()
+                                 ? 0.0
+                                 : static_cast<double>(count_it->second);
+        weights[i] = count + kSmoothing;
+      } else {
+        weights[i] = outgoing[i]->probability;
+      }
+      total_weight += weights[i];
+    }
+    for (size_t i = 0; i < outgoing.size(); ++i) {
+      builder.AddTransition(s.name, outgoing[i]->to,
+                            weights[i] / total_weight, outgoing[i]->rule);
+    }
+  }
+  auto rebuilt = builder.Build();
+  if (!rebuilt.ok()) {
+    return rebuilt.status().WithContext("calibrating chart '" + chart.name() +
+                                        "'");
+  }
+  return rebuilt;
+}
+
+Result<Environment> CalibrateEnvironment(const Environment& env,
+                                         const AuditTrail& trail,
+                                         const CalibrationOptions& options,
+                                         CalibrationReport* report) {
+  CalibrationReport local_report;
+  Environment out;
+  out.servers = env.servers;
+  out.loads = env.loads;
+  out.workflows = env.workflows;
+
+  // Charts.
+  for (const std::string& name : env.charts.ChartNames()) {
+    WFMS_ASSIGN_OR_RETURN(const statechart::StateChart* chart,
+                          env.charts.GetChart(name));
+    WFMS_ASSIGN_OR_RETURN(statechart::StateChart calibrated,
+                          CalibrateChart(*chart, trail, options));
+    // Count how many states actually changed residence.
+    for (size_t i = 0; i < chart->num_states(); ++i) {
+      if (chart->state(i).residence_time !=
+          calibrated.state(i).residence_time) {
+        ++local_report.states_recalibrated;
+      } else {
+        ++local_report.states_kept;
+      }
+    }
+    WFMS_RETURN_NOT_OK(out.charts.AddChart(std::move(calibrated)));
+  }
+
+  // Server-type service moments.
+  std::vector<RunningStats> service_stats(env.servers.size());
+  for (const ServiceRecord& r : trail.services()) {
+    if (r.server_type < service_stats.size()) {
+      service_stats[r.server_type].Add(r.service_time);
+    }
+  }
+  for (size_t x = 0; x < service_stats.size(); ++x) {
+    if (service_stats[x].count() >= options.min_observations) {
+      out.servers.mutable_type(x).service.mean = service_stats[x].mean();
+      out.servers.mutable_type(x).service.second_moment =
+          service_stats[x].second_moment();
+      ++local_report.server_types_recalibrated;
+    }
+  }
+
+  // Arrival rates: count over the observation window [0, last arrival].
+  std::map<std::string, int64_t> arrival_counts;
+  double window_end = 0.0;
+  for (const ArrivalRecord& r : trail.arrivals()) {
+    ++arrival_counts[r.workflow_type];
+    window_end = std::max(window_end, r.arrival_time);
+  }
+  if (window_end > 0.0) {
+    for (WorkflowTypeSpec& w : out.workflows) {
+      const auto it = arrival_counts.find(w.name);
+      if (it != arrival_counts.end() &&
+          it->second >= options.min_observations) {
+        w.arrival_rate = static_cast<double>(it->second) / window_end;
+        ++local_report.workflow_types_recalibrated;
+      }
+    }
+  }
+
+  if (report != nullptr) *report = local_report;
+  return out;
+}
+
+}  // namespace wfms::workflow

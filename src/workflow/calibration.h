@@ -1,0 +1,52 @@
+// The calibration component of the configuration tool (§7.1): statistics
+// from online monitoring (audit trails) turn into updated model inputs —
+// transition probabilities and residence times per chart state, service
+// time moments per server type, and arrival rates per workflow type.
+#ifndef WFMS_WORKFLOW_CALIBRATION_H_
+#define WFMS_WORKFLOW_CALIBRATION_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "workflow/audit_trail.h"
+#include "workflow/environment.h"
+
+namespace wfms::workflow {
+
+struct CalibrationOptions {
+  /// A state (or transition source) keeps its designed value when fewer
+  /// than this many observations exist — prevents wild estimates from
+  /// thin data.
+  int min_observations = 10;
+};
+
+struct CalibrationReport {
+  int states_recalibrated = 0;
+  int states_kept = 0;
+  int server_types_recalibrated = 0;
+  int workflow_types_recalibrated = 0;
+};
+
+/// Re-estimates one chart from the trail: every state with enough observed
+/// visits gets its mean residence replaced by the sample mean and its
+/// outgoing probabilities by observed transition frequencies; structure and
+/// ECA annotations are preserved. Transitions never observed keep a zero
+/// count and are dropped from renormalization only if some sibling was
+/// observed.
+Result<statechart::StateChart> CalibrateChart(
+    const statechart::StateChart& chart, const AuditTrail& trail,
+    const CalibrationOptions& options = {});
+
+/// Applies CalibrateChart to every chart of the environment, replaces
+/// service-time moments of server types with observed moments, and
+/// re-estimates arrival rates from arrival records (count / observation
+/// window). Returns the calibrated environment; the input is untouched.
+Result<Environment> CalibrateEnvironment(
+    const Environment& env, const AuditTrail& trail,
+    const CalibrationOptions& options = {},
+    CalibrationReport* report = nullptr);
+
+}  // namespace wfms::workflow
+
+#endif  // WFMS_WORKFLOW_CALIBRATION_H_

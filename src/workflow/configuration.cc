@@ -1,0 +1,33 @@
+#include "workflow/configuration.h"
+
+#include <sstream>
+
+namespace wfms::workflow {
+
+Status Configuration::Validate(size_t num_types) const {
+  if (replicas.size() != num_types) {
+    return Status::InvalidArgument(
+        "configuration has " + std::to_string(replicas.size()) +
+        " entries, expected " + std::to_string(num_types));
+  }
+  for (size_t x = 0; x < replicas.size(); ++x) {
+    if (replicas[x] < 1) {
+      return Status::InvalidArgument("server type " + std::to_string(x) +
+                                     " needs at least one replica");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Configuration::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    if (i > 0) os << ",";
+    os << replicas[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace wfms::workflow

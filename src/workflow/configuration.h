@@ -1,0 +1,51 @@
+// The central notion of §2: a system configuration is the vector of
+// replication degrees (Y_1, ..., Y_k), one per server type.
+#ifndef WFMS_WORKFLOW_CONFIGURATION_H_
+#define WFMS_WORKFLOW_CONFIGURATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfms::workflow {
+
+struct Configuration {
+  /// replicas[x] = Y_x, the number of servers of server type x.
+  std::vector<int> replicas;
+
+  Configuration() = default;
+  explicit Configuration(std::vector<int> y) : replicas(std::move(y)) {}
+  /// The minimal configuration: one server of each of `num_types` types.
+  static Configuration Ones(size_t num_types) {
+    return Configuration(std::vector<int>(num_types, 1));
+  }
+  /// Uniform replication of every server type.
+  static Configuration Uniform(size_t num_types, int degree) {
+    return Configuration(std::vector<int>(num_types, degree));
+  }
+
+  size_t num_types() const { return replicas.size(); }
+  int total_servers() const {
+    int total = 0;
+    for (int y : replicas) total += y;
+    return total;
+  }
+
+  /// All Y_x >= 1 and the type count matches.
+  Status Validate(size_t num_types) const;
+
+  /// "(2,1,3)".
+  std::string ToString() const;
+
+  bool operator==(const Configuration& other) const {
+    return replicas == other.replicas;
+  }
+  bool operator<(const Configuration& other) const {
+    return replicas < other.replicas;
+  }
+};
+
+}  // namespace wfms::workflow
+
+#endif  // WFMS_WORKFLOW_CONFIGURATION_H_

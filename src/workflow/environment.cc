@@ -1,0 +1,126 @@
+#include "workflow/environment.h"
+
+#include <set>
+
+namespace wfms::workflow {
+
+const char* ServerKindToString(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kCommunicationServer:
+      return "communication-server";
+    case ServerKind::kWorkflowEngine:
+      return "workflow-engine";
+    case ServerKind::kApplicationServer:
+      return "application-server";
+  }
+  return "unknown";
+}
+
+Result<size_t> ServerTypeRegistry::AddServerType(ServerType type) {
+  if (type.name.empty()) {
+    return Status::InvalidArgument("server type name must not be empty");
+  }
+  if (index_.count(type.name) > 0) {
+    return Status::AlreadyExists("server type '" + type.name +
+                                 "' already registered");
+  }
+  const size_t idx = types_.size();
+  index_[type.name] = idx;
+  types_.push_back(std::move(type));
+  return idx;
+}
+
+Result<size_t> ServerTypeRegistry::IndexOf(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no server type named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status ServerTypeRegistry::Validate() const {
+  if (types_.empty()) {
+    return Status::InvalidArgument("no server types registered");
+  }
+  for (const ServerType& t : types_) {
+    WFMS_RETURN_NOT_OK(queueing::ValidateMoments(t.service)
+                           .WithContext("server type '" + t.name + "'"));
+    if (!(t.failure_rate > 0.0) || !(t.repair_rate > 0.0)) {
+      return Status::InvalidArgument("server type '" + t.name +
+                                     "' needs positive failure/repair rates");
+    }
+  }
+  return Status::OK();
+}
+
+Status ActivityLoadTable::SetLoad(const std::string& activity,
+                                  linalg::Vector requests) {
+  if (activity.empty()) {
+    return Status::InvalidArgument("activity name must not be empty");
+  }
+  for (double r : requests) {
+    if (r < 0.0) {
+      return Status::InvalidArgument("negative request count for activity '" +
+                                     activity + "'");
+    }
+  }
+  loads_[activity] = std::move(requests);
+  return Status::OK();
+}
+
+linalg::Vector ActivityLoadTable::LoadOf(const std::string& activity,
+                                         size_t num_types) const {
+  const auto it = loads_.find(activity);
+  if (it == loads_.end()) return linalg::Vector(num_types, 0.0);
+  return it->second;
+}
+
+bool ActivityLoadTable::HasActivity(const std::string& activity) const {
+  return loads_.count(activity) > 0;
+}
+
+std::vector<std::string> ActivityLoadTable::Activities() const {
+  std::vector<std::string> names;
+  names.reserve(loads_.size());
+  for (const auto& [name, load] : loads_) names.push_back(name);
+  return names;
+}
+
+Status ActivityLoadTable::Validate(size_t num_types) const {
+  for (const auto& [name, load] : loads_) {
+    if (load.size() != num_types) {
+      return Status::InvalidArgument(
+          "load vector of activity '" + name + "' has " +
+          std::to_string(load.size()) + " entries, expected " +
+          std::to_string(num_types));
+    }
+  }
+  return Status::OK();
+}
+
+Status Environment::Validate() const {
+  WFMS_RETURN_NOT_OK(servers.Validate());
+  WFMS_RETURN_NOT_OK(loads.Validate(servers.size()));
+  WFMS_RETURN_NOT_OK(charts.ValidateReferences());
+  if (workflows.empty()) {
+    return Status::InvalidArgument("environment declares no workflow types");
+  }
+  std::set<std::string> names;
+  for (const WorkflowTypeSpec& w : workflows) {
+    if (!names.insert(w.name).second) {
+      return Status::InvalidArgument("duplicate workflow type '" + w.name +
+                                     "'");
+    }
+    if (!charts.Contains(w.chart)) {
+      return Status::NotFound("workflow type '" + w.name +
+                              "' references unknown chart '" + w.chart + "'");
+    }
+    if (w.arrival_rate < 0.0) {
+      return Status::InvalidArgument("workflow type '" + w.name +
+                                     "' has negative arrival rate");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wfms::workflow

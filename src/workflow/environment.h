@@ -1,0 +1,105 @@
+// The architectural model of §2 of the paper: abstract server types
+// (communication servers, workflow engines, application servers), the
+// per-activity service-request load matrix of §4.2 (Fig. 1: an activity
+// induces a fixed number of requests on each involved server type), and
+// the workflow environment bundling charts, server types, loads, and
+// workflow types with their arrival rates.
+#ifndef WFMS_WORKFLOW_ENVIRONMENT_H_
+#define WFMS_WORKFLOW_ENVIRONMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "queueing/distributions.h"
+#include "statechart/model.h"
+
+namespace wfms::workflow {
+
+enum class ServerKind {
+  kCommunicationServer,  // ORB-style middleware
+  kWorkflowEngine,
+  kApplicationServer,
+};
+
+const char* ServerKindToString(ServerKind kind);
+
+/// One abstract server type. Replication degrees are *not* part of the
+/// environment — they form the Configuration that the models assess.
+struct ServerType {
+  std::string name;
+  ServerKind kind = ServerKind::kWorkflowEngine;
+  /// First two moments of the per-request service time (model time units).
+  queueing::ServiceMoments service;
+  /// Failure rate lambda (1/MTTF) and repair rate mu (1/MTTR) of a single
+  /// server of this type (§2).
+  double failure_rate = 0.0;
+  double repair_rate = 0.0;
+};
+
+class ServerTypeRegistry {
+ public:
+  /// Returns the index of the newly added type.
+  Result<size_t> AddServerType(ServerType type);
+
+  size_t size() const { return types_.size(); }
+  const ServerType& type(size_t i) const { return types_[i]; }
+  ServerType& mutable_type(size_t i) { return types_[i]; }
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  Status Validate() const;
+
+ private:
+  std::vector<ServerType> types_;
+  std::map<std::string, size_t> index_;
+};
+
+/// L^t of §4.2, keyed by activity type: the number of service requests an
+/// execution of one activity instance induces on each server type.
+class ActivityLoadTable {
+ public:
+  /// Sets the full load vector of an activity (size = #server types).
+  Status SetLoad(const std::string& activity, linalg::Vector requests);
+
+  /// Load vector of an activity; an activity with no entry induces no load
+  /// (e.g. pure control states) and yields a zero vector of size k.
+  linalg::Vector LoadOf(const std::string& activity, size_t num_types) const;
+
+  bool HasActivity(const std::string& activity) const;
+  std::vector<std::string> Activities() const;
+
+  /// All vectors must match the registry size and be non-negative.
+  Status Validate(size_t num_types) const;
+
+ private:
+  std::map<std::string, linalg::Vector> loads_;
+};
+
+/// A workflow type as seen by the models: its chart plus the arrival rate
+/// xi_t of new instances (Poisson, §4.3).
+struct WorkflowTypeSpec {
+  std::string name;
+  std::string chart;
+  double arrival_rate = 0.0;
+};
+
+/// Everything the assessment models need about the application, exclusive
+/// of the configuration (replication degrees) under evaluation.
+struct Environment {
+  statechart::ChartRegistry charts;
+  ServerTypeRegistry servers;
+  ActivityLoadTable loads;
+  std::vector<WorkflowTypeSpec> workflows;
+
+  size_t num_server_types() const { return servers.size(); }
+
+  /// Cross-checks: charts referenced by workflows exist, registry
+  /// references validate, loads match the server count, rates are sane.
+  Status Validate() const;
+};
+
+}  // namespace wfms::workflow
+
+#endif  // WFMS_WORKFLOW_ENVIRONMENT_H_

@@ -1,0 +1,280 @@
+#include "workflow/environment_io.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "statechart/parser.h"
+
+namespace wfms::workflow {
+
+namespace {
+
+Status LineError(int line_no, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                            message);
+}
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Result<std::map<std::string, std::string>> ParseKeyValues(
+    const std::vector<std::string>& tokens, size_t first, int line_no) {
+  std::map<std::string, std::string> out;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return LineError(line_no, "expected key=value, got '" + tokens[i] +
+                                    "'");
+    }
+    if (!out.emplace(tokens[i].substr(0, eq), tokens[i].substr(eq + 1))
+             .second) {
+      return LineError(line_no,
+                       "duplicate key '" + tokens[i].substr(0, eq) + "'");
+    }
+  }
+  return out;
+}
+
+Result<double> GetDouble(const std::map<std::string, std::string>& kv,
+                         const std::string& key, int line_no) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return LineError(line_no, "missing '" + key + "'");
+  double value = 0.0;
+  if (!ParseDouble(it->second, &value)) {
+    return LineError(line_no, "'" + key + "' is not a number");
+  }
+  return value;
+}
+
+Result<ServerKind> ParseKind(const std::string& text, int line_no) {
+  if (text == "communication") return ServerKind::kCommunicationServer;
+  if (text == "engine") return ServerKind::kWorkflowEngine;
+  if (text == "application") return ServerKind::kApplicationServer;
+  return LineError(line_no, "unknown server kind '" + text +
+                                "' (communication|engine|application)");
+}
+
+const char* KindKeyword(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kCommunicationServer:
+      return "communication";
+    case ServerKind::kWorkflowEngine:
+      return "engine";
+    case ServerKind::kApplicationServer:
+      return "application";
+  }
+  return "engine";
+}
+
+}  // namespace
+
+Result<Environment> ParseEnvironment(std::string_view text) {
+  Environment env;
+  std::string chart_dsl;  // chart blocks forwarded to the statechart parser
+
+  // Load lines are parsed after all servers are known (load vectors are
+  // keyed by server-type name).
+  struct PendingLoad {
+    int line_no;
+    std::string activity;
+    std::map<std::string, std::string> entries;
+  };
+  std::vector<PendingLoad> pending_loads;
+
+  enum class Section { kNone, kServers, kLoads, kWorkflows, kChart };
+  Section section = Section::kNone;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') {
+      if (section == Section::kChart) chart_dsl += std::string(raw) + "\n";
+      continue;
+    }
+    const std::vector<std::string> tokens = Tokenize(line);
+    const std::string& keyword = tokens[0];
+
+    if (section == Section::kChart) {
+      chart_dsl += std::string(raw) + "\n";
+      if (keyword == "end") section = Section::kNone;
+      continue;
+    }
+
+    if (section == Section::kNone) {
+      if (keyword == "servers") {
+        section = Section::kServers;
+      } else if (keyword == "loads") {
+        section = Section::kLoads;
+      } else if (keyword == "workflows") {
+        section = Section::kWorkflows;
+      } else if (keyword == "chart") {
+        chart_dsl += std::string(raw) + "\n";
+        section = Section::kChart;
+      } else {
+        return LineError(line_no, "unexpected '" + keyword +
+                                      "' outside any section");
+      }
+      continue;
+    }
+
+    if (keyword == "end") {
+      section = Section::kNone;
+      continue;
+    }
+
+    switch (section) {
+      case Section::kServers: {
+        if (keyword != "server" || tokens.size() < 2) {
+          return LineError(line_no, "usage: server NAME key=value...");
+        }
+        WFMS_ASSIGN_OR_RETURN(auto kv, ParseKeyValues(tokens, 2, line_no));
+        ServerType type;
+        type.name = tokens[1];
+        const auto kind_it = kv.find("kind");
+        if (kind_it == kv.end()) {
+          return LineError(line_no, "missing 'kind'");
+        }
+        WFMS_ASSIGN_OR_RETURN(type.kind, ParseKind(kind_it->second, line_no));
+        WFMS_ASSIGN_OR_RETURN(double mean,
+                              GetDouble(kv, "service_mean", line_no));
+        double scv = 1.0;
+        if (kv.count("service_scv") > 0) {
+          WFMS_ASSIGN_OR_RETURN(scv, GetDouble(kv, "service_scv", line_no));
+        }
+        auto moments = queueing::ServiceFromMeanScv(mean, scv);
+        if (!moments.ok()) {
+          return moments.status().WithContext("line " +
+                                              std::to_string(line_no));
+        }
+        type.service = *moments;
+        WFMS_ASSIGN_OR_RETURN(double mttf, GetDouble(kv, "mttf", line_no));
+        WFMS_ASSIGN_OR_RETURN(double mttr, GetDouble(kv, "mttr", line_no));
+        if (!(mttf > 0.0) || !(mttr > 0.0)) {
+          return LineError(line_no, "mttf/mttr must be positive");
+        }
+        type.failure_rate = 1.0 / mttf;
+        type.repair_rate = 1.0 / mttr;
+        WFMS_RETURN_NOT_OK(env.servers.AddServerType(std::move(type))
+                               .status()
+                               .WithContext("line " +
+                                            std::to_string(line_no)));
+        break;
+      }
+      case Section::kLoads: {
+        if (keyword != "load" || tokens.size() < 2) {
+          return LineError(line_no, "usage: load ACTIVITY server=count...");
+        }
+        WFMS_ASSIGN_OR_RETURN(auto kv, ParseKeyValues(tokens, 2, line_no));
+        pending_loads.push_back({line_no, tokens[1], std::move(kv)});
+        break;
+      }
+      case Section::kWorkflows: {
+        if (keyword != "workflow" || tokens.size() < 2) {
+          return LineError(line_no, "usage: workflow NAME chart=C rate=R");
+        }
+        WFMS_ASSIGN_OR_RETURN(auto kv, ParseKeyValues(tokens, 2, line_no));
+        WorkflowTypeSpec spec;
+        spec.name = tokens[1];
+        const auto chart_it = kv.find("chart");
+        spec.chart = chart_it == kv.end() ? spec.name : chart_it->second;
+        WFMS_ASSIGN_OR_RETURN(spec.arrival_rate,
+                              GetDouble(kv, "rate", line_no));
+        env.workflows.push_back(std::move(spec));
+        break;
+      }
+      default:
+        return LineError(line_no, "internal section error");
+    }
+  }
+  if (section == Section::kChart) {
+    return Status::ParseError("unterminated chart block");
+  }
+  if (section != Section::kNone) {
+    return Status::ParseError("unterminated section");
+  }
+
+  // Resolve load vectors now that all server types are registered.
+  for (const PendingLoad& load : pending_loads) {
+    linalg::Vector requests(env.servers.size(), 0.0);
+    for (const auto& [server, count_text] : load.entries) {
+      auto index = env.servers.IndexOf(server);
+      if (!index.ok()) {
+        return LineError(load.line_no, "unknown server type '" + server +
+                                           "' in load for '" +
+                                           load.activity + "'");
+      }
+      double count = 0.0;
+      if (!ParseDouble(count_text, &count) || count < 0.0) {
+        return LineError(load.line_no, "bad request count for '" + server +
+                                           "'");
+      }
+      requests[*index] = count;
+    }
+    WFMS_RETURN_NOT_OK(env.loads.SetLoad(load.activity, std::move(requests)));
+  }
+
+  if (!chart_dsl.empty()) {
+    auto charts = statechart::ParseCharts(chart_dsl);
+    if (!charts.ok()) {
+      return charts.status().WithContext("embedded charts");
+    }
+    env.charts = *std::move(charts);
+  }
+  WFMS_RETURN_NOT_OK(env.Validate());
+  return env;
+}
+
+std::string SerializeEnvironment(const Environment& env) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "servers\n";
+  for (size_t x = 0; x < env.servers.size(); ++x) {
+    const ServerType& type = env.servers.type(x);
+    os << "  server " << type.name << " kind=" << KindKeyword(type.kind)
+       << " service_mean=" << type.service.mean
+       << " service_scv=" << type.service.scv()
+       << " mttf=" << 1.0 / type.failure_rate
+       << " mttr=" << 1.0 / type.repair_rate << "\n";
+  }
+  os << "end\n\nloads\n";
+  for (const std::string& activity : env.loads.Activities()) {
+    const linalg::Vector load = env.loads.LoadOf(activity,
+                                                 env.servers.size());
+    os << "  load " << activity;
+    for (size_t x = 0; x < env.servers.size(); ++x) {
+      if (load[x] != 0.0) {
+        os << " " << env.servers.type(x).name << "=" << load[x];
+      }
+    }
+    os << "\n";
+  }
+  os << "end\n\nworkflows\n";
+  for (const WorkflowTypeSpec& spec : env.workflows) {
+    os << "  workflow " << spec.name << " chart=" << spec.chart
+       << " rate=" << spec.arrival_rate << "\n";
+  }
+  os << "end\n\n" << env.charts.ToDsl();
+  return os.str();
+}
+
+}  // namespace wfms::workflow

@@ -1,0 +1,41 @@
+// Scenario files: a textual format for a complete workflow Environment —
+// server types, per-activity load vectors, workflow types, and the state
+// charts (embedded in the statechart DSL) — so the configuration tool can
+// be driven from the command line against user-authored scenarios.
+//
+//   servers
+//     server comm kind=communication service_mean=0.005 service_scv=1
+//            mttf=43200 mttr=10                      (one line)
+//   end
+//   loads
+//     load new_order comm=2 engine=3 app=0
+//   end
+//   workflows
+//     workflow EP chart=EP rate=1.0
+//   end
+//   chart EP
+//     ... statechart DSL (parser.h) ...
+//   end
+//
+// Order of sections is free; `#` starts a comment. Serialize() emits this
+// format; Parse(Serialize(env)) reproduces the environment.
+#ifndef WFMS_WORKFLOW_ENVIRONMENT_IO_H_
+#define WFMS_WORKFLOW_ENVIRONMENT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "workflow/environment.h"
+
+namespace wfms::workflow {
+
+/// Parses a scenario document into a validated Environment.
+Result<Environment> ParseEnvironment(std::string_view text);
+
+/// Serializes an environment to the scenario format.
+std::string SerializeEnvironment(const Environment& env);
+
+}  // namespace wfms::workflow
+
+#endif  // WFMS_WORKFLOW_ENVIRONMENT_IO_H_

@@ -1,0 +1,266 @@
+#include "workflow/scenarios.h"
+
+#include "statechart/parser.h"
+
+namespace wfms::workflow {
+
+namespace {
+
+constexpr char kEpDsl[] = R"(
+# Electronic purchase workflow (paper Fig. 3), top-level chart.
+chart EP
+  state NewOrder activity=new_order residence=5
+  state CreditCardCheck activity=cc_check residence=1
+  compound Shipment subcharts=Notify,Delivery
+  state SendInvoice activity=send_invoice residence=2
+  state CollectPayment activity=collect_payment residence=1440
+  state ChargeCreditCard activity=charge_cc residence=1
+  state EPExit activity=finish residence=0.5
+  initial NewOrder
+  final EPExit
+  trans NewOrder -> CreditCardCheck prob=0.5 event=NewOrder_DONE cond=PayByCreditCard action=st!(cc_check)
+  trans NewOrder -> Shipment prob=0.5 event=NewOrder_DONE cond=!PayByCreditCard
+  trans CreditCardCheck -> EPExit prob=0.1 event=CreditCardCheck_DONE cond=CardInvalid
+  trans CreditCardCheck -> Shipment prob=0.9 event=CreditCardCheck_DONE cond=!CardInvalid
+  trans Shipment -> ChargeCreditCard prob=0.5 cond=PayByCreditCard
+  trans Shipment -> SendInvoice prob=0.5 cond=!PayByCreditCard
+  trans SendInvoice -> CollectPayment prob=1 event=SendInvoice_DONE action=st!(collect_payment)
+  trans CollectPayment -> SendInvoice prob=0.2 event=PaymentOverdue action=st!(send_invoice)
+  trans CollectPayment -> EPExit prob=0.8 event=PaymentReceived
+  trans ChargeCreditCard -> EPExit prob=1 event=ChargeCreditCard_DONE
+end
+
+# Orthogonal component 1 of Shipment (paper: Notify_SC).
+chart Notify
+  state PrepareNotice activity=prepare_notice residence=1
+  state SendNotice activity=send_notice residence=2
+  initial PrepareNotice
+  final SendNotice
+  trans PrepareNotice -> SendNotice prob=1 event=PrepareNotice_DONE
+end
+
+# Orthogonal component 2 of Shipment (paper: Delivery_SC).
+chart Delivery
+  state PickItems activity=pick_items residence=30
+  state PackItems activity=pack_items residence=20
+  state ShipItems activity=ship_items residence=2880
+  initial PickItems
+  final ShipItems
+  trans PickItems -> PackItems prob=1 event=PickItems_DONE
+  trans PackItems -> PickItems prob=0.1 cond=ItemsMissing
+  trans PackItems -> ShipItems prob=0.9 cond=!ItemsMissing
+end
+)";
+
+constexpr char kLoanDsl[] = R"(
+# Loan approval workflow: document-check loop plus risk assessment.
+chart Loan
+  state SubmitApplication activity=submit_application residence=10
+  state CheckDocuments activity=check_documents residence=5
+  state RequestMoreDocs activity=request_more_docs residence=2880
+  state RiskAssessment activity=risk_assessment residence=15
+  state ApproveLoan activity=approve_loan residence=30
+  state NotifyDecision activity=notify_decision residence=1
+  initial SubmitApplication
+  final NotifyDecision
+  trans SubmitApplication -> CheckDocuments prob=1 event=Submit_DONE
+  trans CheckDocuments -> RequestMoreDocs prob=0.3 cond=DocsIncomplete
+  trans CheckDocuments -> RiskAssessment prob=0.7 cond=!DocsIncomplete
+  trans RequestMoreDocs -> CheckDocuments prob=1 event=DocsArrived
+  trans RiskAssessment -> ApproveLoan prob=0.6 cond=RiskAcceptable
+  trans RiskAssessment -> NotifyDecision prob=0.4 cond=!RiskAcceptable
+  trans ApproveLoan -> NotifyDecision prob=1 event=Approve_DONE
+end
+)";
+
+constexpr char kClaimDsl[] = R"(
+# Insurance claim workflow: parallel damage review and fraud check.
+chart Claim
+  state ReceiveClaim activity=receive_claim residence=2
+  compound Assess subcharts=DamageReview,FraudCheck
+  state Settle activity=settle_claim residence=5
+  state CloseClaim activity=close_claim residence=1
+  initial ReceiveClaim
+  final CloseClaim
+  trans ReceiveClaim -> Assess prob=1 event=Receive_DONE
+  trans Assess -> Settle prob=0.85 cond=ClaimValid
+  trans Assess -> CloseClaim prob=0.15 cond=!ClaimValid
+  trans Settle -> CloseClaim prob=1 event=Settle_DONE
+end
+
+chart DamageReview
+  state AssignAdjuster activity=assign_adjuster residence=5
+  state Inspect activity=inspect_damage residence=1440
+  state WriteReport activity=write_report residence=30
+  initial AssignAdjuster
+  final WriteReport
+  trans AssignAdjuster -> Inspect prob=1
+  trans Inspect -> WriteReport prob=1
+end
+
+chart FraudCheck
+  state AutoScreen activity=auto_screen residence=1
+  state DeepCheck activity=deep_check residence=720
+  state FraudExit activity=fraud_exit residence=0.5
+  initial AutoScreen
+  final FraudExit
+  trans AutoScreen -> DeepCheck prob=0.2 cond=Suspicious
+  trans AutoScreen -> FraudExit prob=0.8 cond=!Suspicious
+  trans DeepCheck -> FraudExit prob=1
+end
+)";
+
+/// Fig. 1 request-count patterns (comm, engine, app ordering is
+/// scenario-specific; these helpers are written for a given index layout).
+struct LoadPattern {
+  double engine;
+  double comm;
+  double app;
+};
+constexpr LoadPattern kAutomated{3, 2, 3};    // first part of Fig. 1
+constexpr LoadPattern kInteractive{3, 2, 0};  // second part of Fig. 1
+
+}  // namespace
+
+const char* EpChartsDsl() { return kEpDsl; }
+const char* LoanChartsDsl() { return kLoanDsl; }
+const char* ClaimChartsDsl() { return kClaimDsl; }
+
+Result<Environment> EpEnvironment(double arrival_rate) {
+  Environment env;
+  WFMS_ASSIGN_OR_RETURN(env.charts, statechart::ParseCharts(kEpDsl));
+
+  // Three server types, §5.2 rates. Index layout: 0 comm, 1 engine, 2 app.
+  WFMS_RETURN_NOT_OK(env.servers
+                         .AddServerType({"comm",
+                                         ServerKind::kCommunicationServer,
+                                         queueing::ExponentialService(0.005),
+                                         kCommFailureRate, kRepairRate})
+                         .status());
+  WFMS_RETURN_NOT_OK(env.servers
+                         .AddServerType({"engine", ServerKind::kWorkflowEngine,
+                                         queueing::ExponentialService(0.02),
+                                         kEngineFailureRate, kRepairRate})
+                         .status());
+  WFMS_RETURN_NOT_OK(
+      env.servers
+          .AddServerType({"app", ServerKind::kApplicationServer,
+                          *queueing::ServiceFromMeanScv(0.05, 2.0),
+                          kAppFailureRate, kRepairRate})
+          .status());
+
+  const auto set_load = [&env](const std::string& activity,
+                               const LoadPattern& pattern) {
+    return env.loads.SetLoad(activity,
+                             {pattern.comm, pattern.engine, pattern.app});
+  };
+  // Interactive activities run on client machines (no app server involved).
+  WFMS_RETURN_NOT_OK(set_load("new_order", kInteractive));
+  WFMS_RETURN_NOT_OK(set_load("cc_check", kAutomated));
+  WFMS_RETURN_NOT_OK(set_load("prepare_notice", kAutomated));
+  WFMS_RETURN_NOT_OK(set_load("send_notice", kAutomated));
+  WFMS_RETURN_NOT_OK(set_load("pick_items", kInteractive));
+  WFMS_RETURN_NOT_OK(set_load("pack_items", kInteractive));
+  WFMS_RETURN_NOT_OK(set_load("ship_items", kAutomated));
+  WFMS_RETURN_NOT_OK(set_load("send_invoice", kAutomated));
+  WFMS_RETURN_NOT_OK(set_load("collect_payment", kAutomated));
+  WFMS_RETURN_NOT_OK(set_load("charge_cc", kAutomated));
+  WFMS_RETURN_NOT_OK(set_load("finish", kAutomated));
+
+  env.workflows.push_back({"EP", "EP", arrival_rate});
+  WFMS_RETURN_NOT_OK(env.Validate());
+  return env;
+}
+
+Result<Environment> BenchmarkEnvironment(double ep_rate, double loan_rate,
+                                         double claim_rate) {
+  Environment env;
+  const std::string dsl = std::string(kEpDsl) + kLoanDsl + kClaimDsl;
+  WFMS_ASSIGN_OR_RETURN(env.charts, statechart::ParseCharts(dsl));
+
+  // Index layout: 0 comm, 1 eng-order, 2 eng-fin, 3 app-db, 4 app-doc.
+  WFMS_RETURN_NOT_OK(env.servers
+                         .AddServerType({"comm",
+                                         ServerKind::kCommunicationServer,
+                                         queueing::ExponentialService(0.005),
+                                         kCommFailureRate, kRepairRate})
+                         .status());
+  WFMS_RETURN_NOT_OK(
+      env.servers
+          .AddServerType({"eng-order", ServerKind::kWorkflowEngine,
+                          queueing::ExponentialService(0.02),
+                          kEngineFailureRate, kRepairRate})
+          .status());
+  WFMS_RETURN_NOT_OK(
+      env.servers
+          .AddServerType({"eng-fin", ServerKind::kWorkflowEngine,
+                          queueing::ExponentialService(0.03),
+                          kEngineFailureRate, kRepairRate})
+          .status());
+  WFMS_RETURN_NOT_OK(
+      env.servers
+          .AddServerType({"app-db", ServerKind::kApplicationServer,
+                          *queueing::ServiceFromMeanScv(0.05, 2.0),
+                          kAppFailureRate, kRepairRate})
+          .status());
+  WFMS_RETURN_NOT_OK(
+      env.servers
+          .AddServerType({"app-doc", ServerKind::kApplicationServer,
+                          *queueing::ServiceFromMeanScv(0.08, 3.0),
+                          kAppFailureRate, kRepairRate})
+          .status());
+
+  // Load vectors (comm, eng-order, eng-fin, app-db, app-doc).
+  const auto order_auto = [](double scale = 1.0) {
+    return linalg::Vector{2 * scale, 3 * scale, 0, 3 * scale, 0};
+  };
+  const auto order_inter = []() { return linalg::Vector{2, 3, 0, 0, 0}; };
+  const auto fin_auto_db = [](double scale = 1.0) {
+    return linalg::Vector{2 * scale, 0, 3 * scale, 3 * scale, 0};
+  };
+  const auto fin_auto_doc = [](double scale = 1.0) {
+    return linalg::Vector{2 * scale, 0, 3 * scale, 0, 3 * scale};
+  };
+  const auto fin_inter = []() { return linalg::Vector{2, 0, 3, 0, 0}; };
+
+  // EP activities: order engine + OLTP database.
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("new_order", order_inter()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("cc_check", order_auto()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("prepare_notice", order_auto()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("send_notice", order_auto()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("pick_items", order_inter()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("pack_items", order_inter()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("ship_items", order_auto()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("send_invoice", order_auto()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("collect_payment", order_auto()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("charge_cc", order_auto()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("finish", order_auto()));
+
+  // Loan activities: finance engine; risk assessment is database-heavy,
+  // document handling hits the document server.
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("submit_application", fin_inter()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("check_documents", fin_auto_doc()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("request_more_docs", fin_inter()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("risk_assessment", fin_auto_db(2.0)));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("approve_loan", fin_inter()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("notify_decision", fin_auto_db()));
+
+  // Claim activities.
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("receive_claim", fin_auto_db()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("assign_adjuster", fin_auto_db()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("inspect_damage", fin_inter()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("write_report", fin_auto_doc()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("auto_screen", fin_auto_db()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("deep_check", fin_auto_doc(2.0)));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("fraud_exit", fin_auto_db()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("settle_claim", fin_auto_db()));
+  WFMS_RETURN_NOT_OK(env.loads.SetLoad("close_claim", fin_auto_db()));
+
+  env.workflows.push_back({"EP", "EP", ep_rate});
+  env.workflows.push_back({"Loan", "Loan", loan_rate});
+  env.workflows.push_back({"Claim", "Claim", claim_rate});
+  WFMS_RETURN_NOT_OK(env.Validate());
+  return env;
+}
+
+}  // namespace wfms::workflow

@@ -1,0 +1,53 @@
+// Canonical workflow scenarios used by tests, benches, and examples.
+//
+// * EpEnvironment(): the paper's running example — the electronic purchase
+//   (EP) workflow of Fig. 3 on the three-server-type architecture of §5.2
+//   (one communication server type, one workflow engine type, one
+//   application server type) with the paper's failure/repair rates:
+//   1/month, 1/week, 1/day and MTTR = 10 min.
+// * BenchmarkEnvironment(): a three-workflow mix (EP + loan approval +
+//   insurance claim) over five server types, standing in for the authors'
+//   WFMS benchmark [7] (unavailable; see DESIGN.md §4). It exercises the
+//   full control-flow spectrum: branching, loops, and parallelism.
+//
+// All times are in minutes. Per-activity request counts follow the style
+// of Fig. 1 (e.g. an automated activity: 3 requests at the workflow
+// engine, 2 at the communication server, 3 at the application server).
+#ifndef WFMS_WORKFLOW_SCENARIOS_H_
+#define WFMS_WORKFLOW_SCENARIOS_H_
+
+#include "common/result.h"
+#include "workflow/environment.h"
+
+namespace wfms::workflow {
+
+/// §5.2 failure/repair rates (per minute).
+inline constexpr double kCommFailureRate = 1.0 / 43200.0;    // 1 per month
+inline constexpr double kEngineFailureRate = 1.0 / 10080.0;  // 1 per week
+inline constexpr double kAppFailureRate = 1.0 / 1440.0;      // 1 per day
+inline constexpr double kRepairRate = 1.0 / 10.0;            // MTTR 10 min
+
+/// DSL text of the EP / Notify / Delivery charts (Fig. 3).
+const char* EpChartsDsl();
+
+/// EP workflow on the 3-type architecture; `arrival_rate` in workflows per
+/// minute (default 0.5 — moderate load on a single engine server).
+Result<Environment> EpEnvironment(double arrival_rate = 0.5);
+
+/// DSL text of the loan approval and insurance claim charts.
+const char* LoanChartsDsl();
+const char* ClaimChartsDsl();
+
+/// Three-workflow benchmark mix on five server types:
+///   0: comm      (communication server)
+///   1: eng-order (workflow engine, order processing)
+///   2: eng-fin   (workflow engine, financial workflows)
+///   3: app-db    (application server, OLTP database)
+///   4: app-doc   (application server, document management)
+Result<Environment> BenchmarkEnvironment(double ep_rate = 0.3,
+                                         double loan_rate = 0.1,
+                                         double claim_rate = 0.05);
+
+}  // namespace wfms::workflow
+
+#endif  // WFMS_WORKFLOW_SCENARIOS_H_

@@ -1,0 +1,193 @@
+#include "avail/availability_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/time_units.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::avail {
+namespace {
+
+using workflow::Configuration;
+
+AvailabilityModel MakeEpModel(AvailabilityOptions options = {}) {
+  auto env = workflow::EpEnvironment();
+  EXPECT_TRUE(env.ok());
+  auto model = AvailabilityModel::Create(env->servers, options);
+  EXPECT_TRUE(model.ok()) << model.status();
+  return *std::move(model);
+}
+
+// --- The §5.2 numeric example -------------------------------------------
+
+TEST(AvailabilityPaperTest, NoReplicationGives71HoursDowntimePerYear) {
+  const AvailabilityModel model = MakeEpModel();
+  auto report = model.Evaluate(Configuration::Ones(3));
+  ASSERT_TRUE(report.ok()) << report.status();
+  const double hours = report->downtime_minutes_per_year / 60.0;
+  // Paper: "an expected downtime of 71 hours per year".
+  EXPECT_NEAR(hours, 71.0, 1.5);
+}
+
+TEST(AvailabilityPaperTest, ThreeWayReplicationGivesTenSecondsPerYear) {
+  const AvailabilityModel model = MakeEpModel();
+  auto report = model.Evaluate(Configuration::Uniform(3, 3));
+  ASSERT_TRUE(report.ok());
+  const double seconds = report->downtime_minutes_per_year * 60.0;
+  // Paper: "the system downtime can be brought down to 10 seconds per
+  // year".
+  EXPECT_NEAR(seconds, 10.0, 1.5);
+}
+
+TEST(AvailabilityPaperTest, AsymmetricConfigStaysUnderOneMinute) {
+  // Paper: 3 replicas of the most unreliable type (application server) and
+  // 2 of each other bound the unavailability by less than a minute.
+  const AvailabilityModel model = MakeEpModel();
+  auto report = model.Evaluate(Configuration({2, 2, 3}));
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->downtime_minutes_per_year, 1.0);
+  // ... and it is much cheaper than 3-way replication of everything while
+  // being within an order of magnitude of its downtime.
+  EXPECT_EQ(Configuration({2, 2, 3}).total_servers(), 7);
+}
+
+// --- Structural properties ----------------------------------------------
+
+TEST(AvailabilityTest, StateProbabilitiesFormDistribution) {
+  const AvailabilityModel model = MakeEpModel();
+  auto report = model.Evaluate(Configuration({2, 1, 2}));
+  ASSERT_TRUE(report.ok());
+  double sum = 0.0;
+  for (double p : report->state_probabilities) {
+    EXPECT_GE(p, -1e-12);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(report->state_probabilities.size(), 3u * 2u * 3u);
+}
+
+TEST(AvailabilityTest, CtmcMatchesProductFormClosedSolution) {
+  const AvailabilityModel model = MakeEpModel();
+  const Configuration config({2, 2, 3});
+  auto report = model.Evaluate(config);
+  ASSERT_TRUE(report.ok());
+  auto product = model.ProductFormStateProbabilities(config, report->space);
+  ASSERT_TRUE(product.ok());
+  for (size_t i = 0; i < report->state_probabilities.size(); ++i) {
+    EXPECT_NEAR(report->state_probabilities[i], (*product)[i], 1e-9)
+        << "state " << report->space.ToString(i);
+  }
+}
+
+TEST(AvailabilityTest, ProductFormFastPathMatchesCtmc) {
+  AvailabilityOptions fast;
+  fast.use_product_form = true;
+  const AvailabilityModel ctmc_model = MakeEpModel();
+  const AvailabilityModel fast_model = MakeEpModel(fast);
+  for (const Configuration& config :
+       {Configuration({1, 1, 1}), Configuration({3, 2, 1}),
+        Configuration({2, 3, 4})}) {
+    auto a = ctmc_model.Evaluate(config);
+    auto b = fast_model.Evaluate(config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a->availability, b->availability, 1e-10)
+        << config.ToString();
+  }
+}
+
+TEST(AvailabilityTest, ExpectedUpServersNearConfigured) {
+  const AvailabilityModel model = MakeEpModel();
+  auto report = model.Evaluate(Configuration({2, 2, 2}));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->expected_up_servers.size(), 3u);
+  for (size_t x = 0; x < 3; ++x) {
+    EXPECT_GT(report->expected_up_servers[x], 1.95);
+    EXPECT_LE(report->expected_up_servers[x], 2.0);
+  }
+  // The app server (daily failures) loses the most capacity.
+  EXPECT_LT(report->expected_up_servers[2], report->expected_up_servers[0]);
+}
+
+TEST(AvailabilityTest, MoreReplicasNeverHurt) {
+  const AvailabilityModel model = MakeEpModel();
+  double prev_unavailability = 1.0;
+  for (int y = 1; y <= 4; ++y) {
+    auto report = model.Evaluate(Configuration::Uniform(3, y));
+    ASSERT_TRUE(report.ok());
+    EXPECT_LT(report->unavailability, prev_unavailability);
+    prev_unavailability = report->unavailability;
+  }
+}
+
+TEST(AvailabilityTest, ReplicatingTheWeakestTypeHelpsMost) {
+  const AvailabilityModel model = MakeEpModel();
+  // Adding a replica to the daily-failing app server beats adding one to
+  // the monthly-failing comm server.
+  auto base = model.Evaluate(Configuration({1, 1, 1}));
+  auto plus_comm = model.Evaluate(Configuration({2, 1, 1}));
+  auto plus_app = model.Evaluate(Configuration({1, 1, 2}));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(plus_comm.ok());
+  ASSERT_TRUE(plus_app.ok());
+  EXPECT_LT(plus_app->unavailability, plus_comm->unavailability);
+  EXPECT_LT(plus_comm->unavailability, base->unavailability);
+}
+
+TEST(AvailabilityTest, SingleCrewRepairIsWorse) {
+  AvailabilityOptions crew;
+  crew.repair_policy = RepairPolicy::kSingleCrewPerType;
+  const AvailabilityModel independent = MakeEpModel();
+  const AvailabilityModel single_crew = MakeEpModel(crew);
+  const Configuration config({3, 3, 3});
+  auto a = independent.Evaluate(config);
+  auto b = single_crew.Evaluate(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->unavailability, a->unavailability);
+}
+
+TEST(AvailabilityTest, SingleCrewCtmcMatchesItsProductForm) {
+  AvailabilityOptions crew;
+  crew.repair_policy = RepairPolicy::kSingleCrewPerType;
+  const AvailabilityModel model = MakeEpModel(crew);
+  const Configuration config({2, 2, 2});
+  auto report = model.Evaluate(config);
+  ASSERT_TRUE(report.ok());
+  auto product = model.ProductFormStateProbabilities(config, report->space);
+  ASSERT_TRUE(product.ok());
+  for (size_t i = 0; i < report->state_probabilities.size(); ++i) {
+    EXPECT_NEAR(report->state_probabilities[i], (*product)[i], 1e-9);
+  }
+}
+
+TEST(AvailabilityTest, SolverMethodsAgree) {
+  AvailabilityOptions lu;
+  lu.solver.method = markov::SteadyStateMethod::kLu;
+  AvailabilityOptions power;
+  power.solver.method = markov::SteadyStateMethod::kPower;
+  auto a = MakeEpModel(lu).Evaluate(Configuration({2, 2, 2}));
+  auto b = MakeEpModel(power).Evaluate(Configuration({2, 2, 2}));
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_NEAR(a->availability, b->availability, 1e-9);
+}
+
+TEST(AvailabilityTest, InvalidConfigurationRejected) {
+  const AvailabilityModel model = MakeEpModel();
+  EXPECT_FALSE(model.Evaluate(Configuration({1, 1})).ok());
+  EXPECT_FALSE(model.Evaluate(Configuration({1, 0, 1})).ok());
+}
+
+TEST(AvailabilityTest, PerTypeDistributionValidation) {
+  const AvailabilityModel model = MakeEpModel();
+  EXPECT_FALSE(model.PerTypeDistribution(99, 2).ok());
+  auto dist = model.PerTypeDistribution(2, 2);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->size(), 3u);
+}
+
+}  // namespace
+}  // namespace wfms::avail

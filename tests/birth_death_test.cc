@@ -1,0 +1,101 @@
+#include "markov/birth_death.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/time_units.h"
+
+namespace wfms::markov {
+namespace {
+
+using linalg::Vector;
+
+TEST(BirthDeathTest, TwoStateClosedForm) {
+  auto pi = BirthDeathSteadyState(Vector{2.0}, Vector{8.0});
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR((*pi)[0], 0.8, 1e-12);
+  EXPECT_NEAR((*pi)[1], 0.2, 1e-12);
+}
+
+TEST(BirthDeathTest, TruncatedMm1Geometric) {
+  // Constant birth rate lambda, death rate mu: geometric with rho =
+  // lambda/mu.
+  const double rho = 0.5;
+  auto pi = BirthDeathSteadyState(Vector{1.0, 1.0, 1.0},
+                                  Vector{2.0, 2.0, 2.0});
+  ASSERT_TRUE(pi.ok());
+  const double norm = 1.0 + rho + rho * rho + rho * rho * rho;
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR((*pi)[j], std::pow(rho, static_cast<double>(j)) / norm,
+                1e-12);
+  }
+}
+
+TEST(BirthDeathTest, Validation) {
+  EXPECT_FALSE(BirthDeathSteadyState(Vector{}, Vector{}).ok());
+  EXPECT_FALSE(BirthDeathSteadyState(Vector{1.0}, Vector{1.0, 1.0}).ok());
+  EXPECT_FALSE(BirthDeathSteadyState(Vector{0.0}, Vector{1.0}).ok());
+  EXPECT_FALSE(BirthDeathSteadyState(Vector{1.0}, Vector{-1.0}).ok());
+}
+
+TEST(ReplicatedServerTest, SingleServerAvailability) {
+  // One server: availability = mu / (lambda + mu).
+  const double lambda = 1.0 / kMinutesPerDay;
+  const double mu = 1.0 / 10.0;
+  auto pi = ReplicatedServerAvailability(1, lambda, mu);
+  ASSERT_TRUE(pi.ok());
+  ASSERT_EQ(pi->size(), 2u);
+  EXPECT_NEAR((*pi)[1], mu / (lambda + mu), 1e-12);
+  EXPECT_NEAR((*pi)[0], lambda / (lambda + mu), 1e-12);
+}
+
+TEST(ReplicatedServerTest, IndependentReplicasAreBinomial) {
+  // With independent failure/repair, the number of up servers is
+  // Binomial(Y, a) with a = mu/(lambda+mu).
+  const double lambda = 0.01;
+  const double mu = 0.1;
+  const double a = mu / (lambda + mu);
+  const int y = 3;
+  auto pi = ReplicatedServerAvailability(y, lambda, mu);
+  ASSERT_TRUE(pi.ok());
+  const double binom[] = {
+      std::pow(1 - a, 3), 3 * a * std::pow(1 - a, 2), 3 * a * a * (1 - a),
+      std::pow(a, 3)};
+  for (int j = 0; j <= y; ++j) {
+    EXPECT_NEAR((*pi)[static_cast<size_t>(j)], binom[j], 1e-12) << "j=" << j;
+  }
+}
+
+TEST(ReplicatedServerTest, PaperDowntimeOneOfEach) {
+  // §5.2: single application server failing daily, repaired in 10 min
+  // contributes ~ lambda/(lambda+mu) of downtime.
+  auto pi = ReplicatedServerAvailability(1, 1.0 / kMinutesPerDay, 0.1);
+  ASSERT_TRUE(pi.ok());
+  const double downtime_per_year =
+      UnavailabilityToDowntimeMinutesPerYear((*pi)[0]) / 60.0;  // hours
+  EXPECT_NEAR(downtime_per_year, 60.4, 0.5);  // ~60 h/yr of the total 71
+}
+
+TEST(ReplicatedServerTest, ReplicationShrinksUnavailabilityGeometrically) {
+  const double lambda = 1.0 / kMinutesPerDay;
+  const double mu = 0.1;
+  double prev_unavail = 1.0;
+  for (int y = 1; y <= 4; ++y) {
+    auto pi = ReplicatedServerAvailability(y, lambda, mu);
+    ASSERT_TRUE(pi.ok());
+    const double unavail = (*pi)[0];
+    EXPECT_LT(unavail, prev_unavail * 0.02)
+        << "replication " << y << " should cut unavailability by ~lambda/mu";
+    prev_unavail = unavail;
+  }
+}
+
+TEST(ReplicatedServerTest, Validation) {
+  EXPECT_FALSE(ReplicatedServerAvailability(0, 1.0, 1.0).ok());
+  EXPECT_FALSE(ReplicatedServerAvailability(2, 0.0, 1.0).ok());
+  EXPECT_FALSE(ReplicatedServerAvailability(2, 1.0, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace wfms::markov

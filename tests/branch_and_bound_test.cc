@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "configtool/tool.h"
+#include "perf/performance_model.h"
+#include "queueing/mg1.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::configtool {
+namespace {
+
+using workflow::Configuration;
+using workflow::Environment;
+
+Environment MakeEnv(double rate = 1.0) {
+  auto env = workflow::EpEnvironment(rate);
+  EXPECT_TRUE(env.ok());
+  return *std::move(env);
+}
+
+Goals StrictGoals() {
+  Goals goals;
+  goals.max_waiting_time = 0.05;
+  goals.min_availability = 0.999999;
+  return goals;
+}
+
+TEST(BranchAndBoundTest, MatchesExhaustiveOptimum) {
+  const Environment env = MakeEnv(1.0);
+  auto tool = ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  SearchConstraints constraints;
+  constraints.max_replicas = {3, 3, 4};
+  auto bnb = tool->BranchAndBoundMinCost(StrictGoals(), constraints);
+  auto exhaustive = tool->ExhaustiveMinCost(StrictGoals(), constraints);
+  ASSERT_TRUE(bnb.ok()) << bnb.status();
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(bnb->satisfied);
+  EXPECT_DOUBLE_EQ(bnb->cost, exhaustive->cost);
+  // On this small 3-type box the incumbent-pruned exhaustive sweep is
+  // already competitive; best-first only needs to stay within the lattice
+  // size (3*3*4 = 36 + the feasibility probe). The 5-type test below
+  // shows the real gap.
+  EXPECT_LE(bnb->evaluations, 37);
+}
+
+TEST(BranchAndBoundTest, InfeasibleDetectedInOneEvaluation) {
+  const Environment env = MakeEnv(1.0);
+  auto tool = ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  SearchConstraints tight;
+  tight.max_replicas = {1, 1, 1};
+  auto result = tool->BranchAndBoundMinCost(StrictGoals(), tight);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfied);
+  EXPECT_EQ(result->evaluations, 1);  // pruned at the all-max bound
+}
+
+TEST(BranchAndBoundTest, LaxGoalsReturnMinimalConfig) {
+  const Environment env = MakeEnv(0.3);
+  auto tool = ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  Goals lax;
+  lax.max_waiting_time = 60.0;
+  lax.min_availability = 0.5;
+  auto result = tool->BranchAndBoundMinCost(lax);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_EQ(result->config, Configuration({1, 1, 1}));
+}
+
+TEST(BranchAndBoundTest, WeightedCostsRespected) {
+  const Environment env = MakeEnv(1.0);
+  auto tool = ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  SearchConstraints constraints;
+  constraints.max_replicas = {3, 3, 4};
+  CostModel pricey;
+  pricey.per_server_cost = {1.0, 1.0, 100.0};
+  auto bnb = tool->BranchAndBoundMinCost(StrictGoals(), constraints, pricey);
+  auto exhaustive =
+      tool->ExhaustiveMinCost(StrictGoals(), constraints, pricey);
+  ASSERT_TRUE(bnb.ok());
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_DOUBLE_EQ(bnb->cost, exhaustive->cost);
+}
+
+TEST(BranchAndBoundTest, FiveTypeScenario) {
+  auto env = workflow::BenchmarkEnvironment(0.6, 0.2, 0.1);
+  ASSERT_TRUE(env.ok());
+  auto tool = ConfigurationTool::Create(*env);
+  ASSERT_TRUE(tool.ok());
+  Goals goals;
+  goals.max_waiting_time = 0.1;
+  goals.min_availability = 0.9999;
+  SearchConstraints constraints;
+  constraints.max_replicas.assign(5, 4);
+  auto bnb = tool->BranchAndBoundMinCost(goals, constraints);
+  auto exhaustive = tool->ExhaustiveMinCost(goals, constraints);
+  ASSERT_TRUE(bnb.ok());
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_DOUBLE_EQ(bnb->cost, exhaustive->cost);
+  EXPECT_LT(bnb->evaluations, exhaustive->evaluations);
+}
+
+TEST(PerInstanceDelayTest, MatchesHandComputation) {
+  const Environment env = MakeEnv(1.0);
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  const Configuration config({2, 2, 2});
+  auto delays = model->PerInstanceQueueingDelay(config);
+  auto report = model->EvaluateWaitingTimes(config);
+  ASSERT_TRUE(delays.ok());
+  ASSERT_TRUE(report.ok());
+  double expected = 0.0;
+  for (size_t x = 0; x < 3; ++x) {
+    expected += model->workflows()[0].expected_requests[x] *
+                report->servers[x].mean_waiting_time;
+  }
+  ASSERT_EQ(delays->size(), 1u);
+  EXPECT_NEAR((*delays)[0], expected, 1e-12);
+  // Queueing delay is a small fraction of the EP turnaround (which is
+  // dominated by human/business latencies) — the paper's architecture
+  // rationale.
+  EXPECT_LT((*delays)[0], model->workflows()[0].turnaround_time * 0.01);
+}
+
+TEST(PerInstanceDelayTest, SaturationYieldsInfinity) {
+  const Environment env = MakeEnv(3.0);
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  auto delays = model->PerInstanceQueueingDelay(Configuration({1, 1, 1}));
+  ASSERT_TRUE(delays.ok());
+  EXPECT_TRUE(std::isinf((*delays)[0]));
+}
+
+TEST(PerInstanceDelayTest, ReplicationShrinksDelay) {
+  const Environment env = MakeEnv(1.0);
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  auto small = model->PerInstanceQueueingDelay(Configuration({1, 1, 1}));
+  auto large = model->PerInstanceQueueingDelay(Configuration({2, 3, 3}));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT((*large)[0], (*small)[0]);
+}
+
+}  // namespace
+}  // namespace wfms::configtool

@@ -1,0 +1,190 @@
+#include "workflow/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "statechart/parser.h"
+#include "workflow/audit_trail.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::workflow {
+namespace {
+
+statechart::StateChart MakeLoopChart() {
+  auto chart = statechart::ParseSingleChart(R"(
+chart Loop
+  state A residence=10
+  state B residence=20
+  state Done residence=1
+  initial A
+  final Done
+  trans A -> B prob=0.5
+  trans A -> Done prob=0.5
+  trans B -> A prob=1
+end
+)");
+  EXPECT_TRUE(chart.ok()) << chart.status();
+  return *std::move(chart);
+}
+
+/// Emits `n` visits of state `state` with the given residence and next
+/// state, at distinct instances.
+void EmitVisits(AuditTrail* trail, const std::string& chart,
+                const std::string& state, double residence,
+                const std::string& next, int n) {
+  for (int i = 0; i < n; ++i) {
+    trail->RecordStateVisit(
+        {chart, i, state, 100.0 * i, 100.0 * i + residence, next});
+  }
+}
+
+TEST(AuditTrailTest, SerializeRoundTrip) {
+  AuditTrail trail;
+  trail.RecordStateVisit({"EP", 7, "NewOrder", 1.5, 6.25, "Shipment"});
+  trail.RecordStateVisit({"EP", 7, "Shipment", 6.25, 100.0, ""});
+  trail.RecordService({2, 0.048});
+  trail.RecordArrival({"EP", 1.5});
+  auto parsed = AuditTrail::Deserialize(trail.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->state_visits().size(), 2u);
+  ASSERT_EQ(parsed->services().size(), 1u);
+  ASSERT_EQ(parsed->arrivals().size(), 1u);
+  EXPECT_EQ(parsed->state_visits()[0].state, "NewOrder");
+  EXPECT_DOUBLE_EQ(parsed->state_visits()[0].leave_time, 6.25);
+  EXPECT_EQ(parsed->state_visits()[1].next_state, "");
+  EXPECT_EQ(parsed->services()[0].server_type, 2u);
+  EXPECT_DOUBLE_EQ(parsed->arrivals()[0].arrival_time, 1.5);
+}
+
+TEST(AuditTrailTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(AuditTrail::Deserialize("nonsense,1,2\n").ok());
+  EXPECT_FALSE(AuditTrail::Deserialize("visit,EP,notanumber,A,0,1,B\n").ok());
+  EXPECT_FALSE(AuditTrail::Deserialize("service,1\n").ok());
+  EXPECT_TRUE(AuditTrail::Deserialize("").ok());
+}
+
+TEST(CalibrateChartTest, UpdatesResidenceWithEnoughSamples) {
+  const statechart::StateChart chart = MakeLoopChart();
+  AuditTrail trail;
+  EmitVisits(&trail, "Loop", "A", 42.0, "Done", 50);
+  auto calibrated = CalibrateChart(chart, trail);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+  EXPECT_DOUBLE_EQ(calibrated->state(*calibrated->StateIndex("A")).residence_time,
+                   42.0);
+  // B was never observed: designed value kept.
+  EXPECT_DOUBLE_EQ(calibrated->state(*calibrated->StateIndex("B")).residence_time,
+                   20.0);
+}
+
+TEST(CalibrateChartTest, KeepsDesignValuesBelowMinObservations) {
+  const statechart::StateChart chart = MakeLoopChart();
+  AuditTrail trail;
+  EmitVisits(&trail, "Loop", "A", 42.0, "Done", 3);
+  CalibrationOptions options;
+  options.min_observations = 10;
+  auto calibrated = CalibrateChart(chart, trail, options);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_DOUBLE_EQ(
+      calibrated->state(*calibrated->StateIndex("A")).residence_time, 10.0);
+}
+
+TEST(CalibrateChartTest, UpdatesTransitionProbabilities) {
+  const statechart::StateChart chart = MakeLoopChart();
+  AuditTrail trail;
+  // Observe A -> B three times as often as A -> Done.
+  EmitVisits(&trail, "Loop", "A", 10.0, "B", 75);
+  EmitVisits(&trail, "Loop", "A", 10.0, "Done", 25);
+  auto calibrated = CalibrateChart(chart, trail);
+  ASSERT_TRUE(calibrated.ok());
+  const auto outgoing = calibrated->OutgoingTransitions("A");
+  ASSERT_EQ(outgoing.size(), 2u);
+  // Laplace-smoothed 75.5/101 and 25.5/101.
+  EXPECT_NEAR(outgoing[0]->probability, 75.5 / 101.0, 1e-12);
+  EXPECT_NEAR(outgoing[1]->probability, 25.5 / 101.0, 1e-12);
+}
+
+TEST(CalibrateChartTest, UnobservedBranchStaysPositive) {
+  const statechart::StateChart chart = MakeLoopChart();
+  AuditTrail trail;
+  EmitVisits(&trail, "Loop", "A", 10.0, "Done", 100);  // never A -> B
+  auto calibrated = CalibrateChart(chart, trail);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+  for (const auto* t : calibrated->OutgoingTransitions("A")) {
+    EXPECT_GT(t->probability, 0.0);
+  }
+}
+
+TEST(CalibrateChartTest, IgnoresOtherCharts) {
+  const statechart::StateChart chart = MakeLoopChart();
+  AuditTrail trail;
+  EmitVisits(&trail, "SomeOtherChart", "A", 999.0, "Done", 100);
+  auto calibrated = CalibrateChart(chart, trail);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_DOUBLE_EQ(
+      calibrated->state(*calibrated->StateIndex("A")).residence_time, 10.0);
+}
+
+TEST(CalibrateChartTest, PreservesEcaAnnotations) {
+  auto chart = statechart::ParseSingleChart(R"(
+chart C
+  state A residence=1
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1 event=E cond=Cond action=st!(x)
+end
+)");
+  ASSERT_TRUE(chart.ok());
+  AuditTrail trail;
+  EmitVisits(&trail, "C", "A", 5.0, "B", 20);
+  auto calibrated = CalibrateChart(*chart, trail);
+  ASSERT_TRUE(calibrated.ok());
+  const auto* t = calibrated->OutgoingTransitions("A")[0];
+  EXPECT_EQ(t->rule.event, "E");
+  EXPECT_EQ(t->rule.condition, "Cond");
+  ASSERT_EQ(t->rule.actions.size(), 1u);
+  EXPECT_EQ(t->rule.actions[0], "st!(x)");
+}
+
+TEST(CalibrateEnvironmentTest, EndToEnd) {
+  auto env = EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  AuditTrail trail;
+  // Residence of NewOrder observed at 8 instead of designed 5.
+  EmitVisits(&trail, "EP", "NewOrder", 8.0, "Shipment", 100);
+  // Engine service times observed at 0.04 mean.
+  for (int i = 0; i < 100; ++i) trail.RecordService({1, 0.04});
+  // 200 arrivals over 100 minutes -> rate 2/min.
+  for (int i = 0; i < 200; ++i) {
+    trail.RecordArrival({"EP", 0.5 * (i + 1)});
+  }
+  CalibrationReport report;
+  auto calibrated = CalibrateEnvironment(*env, trail, {}, &report);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+
+  const auto* ep = *calibrated->charts.GetChart("EP");
+  EXPECT_DOUBLE_EQ(ep->state(*ep->StateIndex("NewOrder")).residence_time,
+                   8.0);
+  EXPECT_NEAR(calibrated->servers.type(1).service.mean, 0.04, 1e-12);
+  EXPECT_NEAR(calibrated->workflows[0].arrival_rate, 2.0, 1e-9);
+  EXPECT_GE(report.states_recalibrated, 1);
+  EXPECT_EQ(report.server_types_recalibrated, 1);
+  EXPECT_EQ(report.workflow_types_recalibrated, 1);
+  // The original environment is untouched.
+  const auto* orig_ep = *env->charts.GetChart("EP");
+  EXPECT_DOUBLE_EQ(
+      orig_ep->state(*orig_ep->StateIndex("NewOrder")).residence_time, 5.0);
+}
+
+TEST(CalibrateEnvironmentTest, CalibratedChartsStillValidate) {
+  auto env = EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  AuditTrail trail;
+  EmitVisits(&trail, "Delivery", "PackItems", 25.0, "ShipItems", 90);
+  EmitVisits(&trail, "Delivery", "PackItems", 25.0, "PickItems", 10);
+  auto calibrated = CalibrateEnvironment(*env, trail);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_TRUE(calibrated->Validate().ok());
+}
+
+}  // namespace
+}  // namespace wfms::workflow

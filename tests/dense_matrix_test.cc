@@ -1,0 +1,109 @@
+#include "linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace wfms::linalg {
+namespace {
+
+TEST(DenseMatrixTest, ConstructAndAccess) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(DenseMatrixTest, InitializerList) {
+  DenseMatrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 6.0);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  const DenseMatrix id = DenseMatrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id.At(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, MatrixVectorProduct) {
+  DenseMatrix m{{1, 2}, {3, 4}};
+  const Vector y = m.Multiply(Vector{1.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(DenseMatrixTest, TransposedProductMatchesExplicitTranspose) {
+  DenseMatrix m{{1, 2, 3}, {4, 5, 6}};
+  const Vector x{1.0, 2.0};
+  const Vector via_method = m.MultiplyTransposed(x);
+  const Vector via_transpose = m.Transposed().Multiply(x);
+  ASSERT_EQ(via_method.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(via_method[i], via_transpose[i]);
+  }
+}
+
+TEST(DenseMatrixTest, MatrixMatrixProduct) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{0, 1}, {1, 0}};
+  const DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 3.0);
+}
+
+TEST(DenseMatrixTest, MultiplyByIdentityIsNoop) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  const DenseMatrix c = a.Multiply(DenseMatrix::Identity(2));
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(c), 0.0);
+}
+
+TEST(DenseMatrixTest, AddAndScale) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{1, 1}, {1, 1}};
+  a.Add(b, 2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 6.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 2.5);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a{{1, 2}, {3, 4}};
+  DenseMatrix b{{1, 2}, {3.5, 4}};
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(VectorOpsTest, DotAxpyNorms) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  Axpy(2.0, a, &b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(NormInf(a), 3.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Sum(a), 6.0);
+}
+
+TEST(VectorOpsTest, NormalizeL1MakesProbabilityVector) {
+  Vector v{1.0, 3.0};
+  NormalizeL1(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(VectorOpsTest, MaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(MaxAbsDiff({1, 2}, {1, 2.5}), 0.5);
+}
+
+}  // namespace
+}  // namespace wfms::linalg

@@ -1,0 +1,148 @@
+#include "markov/dtmc.h"
+
+#include <gtest/gtest.h>
+
+namespace wfms::markov {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+Dtmc MakeGamblersRuin() {
+  // States 0..3; 0 and 3 absorbing; fair coin between them.
+  DenseMatrix p{{1, 0, 0, 0},
+                {0.5, 0, 0.5, 0},
+                {0, 0.5, 0, 0.5},
+                {0, 0, 0, 1}};
+  auto dtmc = Dtmc::Create(std::move(p), {"ruin", "one", "two", "win"});
+  EXPECT_TRUE(dtmc.ok());
+  return *std::move(dtmc);
+}
+
+TEST(DtmcTest, CreateRejectsNonSquare) {
+  EXPECT_FALSE(Dtmc::Create(DenseMatrix(2, 3), {"a", "b"}).ok());
+}
+
+TEST(DtmcTest, CreateRejectsNameMismatch) {
+  EXPECT_FALSE(Dtmc::Create(DenseMatrix::Identity(2), {"a"}).ok());
+}
+
+TEST(DtmcTest, CreateRejectsBadRowSum) {
+  DenseMatrix p{{0.5, 0.4}, {0, 1}};
+  EXPECT_FALSE(Dtmc::Create(std::move(p), {"a", "b"}).ok());
+}
+
+TEST(DtmcTest, CreateRejectsNegativeProbability) {
+  DenseMatrix p{{1.5, -0.5}, {0, 1}};
+  EXPECT_FALSE(Dtmc::Create(std::move(p), {"a", "b"}).ok());
+}
+
+TEST(DtmcTest, CreateRenormalizesWithinTolerance) {
+  DenseMatrix p{{0.3 + 1e-12, 0.7}, {0, 1}};
+  auto dtmc = Dtmc::Create(std::move(p), {"a", "b"});
+  ASSERT_TRUE(dtmc.ok());
+  double row = dtmc->transition_matrix().At(0, 0) +
+               dtmc->transition_matrix().At(0, 1);
+  EXPECT_DOUBLE_EQ(row, 1.0);
+}
+
+TEST(DtmcTest, StateLookup) {
+  const Dtmc chain = MakeGamblersRuin();
+  auto idx = chain.StateIndex("two");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_FALSE(chain.StateIndex("nope").ok());
+  EXPECT_EQ(chain.state_name(3), "win");
+}
+
+TEST(DtmcTest, AbsorbingDetection) {
+  const Dtmc chain = MakeGamblersRuin();
+  EXPECT_TRUE(chain.IsAbsorbing(0));
+  EXPECT_FALSE(chain.IsAbsorbing(1));
+  EXPECT_TRUE(chain.IsAbsorbing(3));
+  const auto abs = chain.AbsorbingStates();
+  ASSERT_EQ(abs.size(), 2u);
+  EXPECT_EQ(abs[0], 0u);
+  EXPECT_EQ(abs[1], 3u);
+}
+
+TEST(DtmcTest, GamblersRuinAbsorptionProbabilities) {
+  const Dtmc chain = MakeGamblersRuin();
+  auto probs = chain.AbsorptionProbabilities(1);
+  ASSERT_TRUE(probs.ok());
+  // From state i of N=3, P(win) = i/3.
+  EXPECT_NEAR((*probs)[3], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*probs)[0], 2.0 / 3.0, 1e-12);
+  auto probs2 = chain.AbsorptionProbabilities(2);
+  ASSERT_TRUE(probs2.ok());
+  EXPECT_NEAR((*probs2)[3], 2.0 / 3.0, 1e-12);
+}
+
+TEST(DtmcTest, AbsorptionFromAbsorbingState) {
+  const Dtmc chain = MakeGamblersRuin();
+  auto probs = chain.AbsorptionProbabilities(3);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_DOUBLE_EQ((*probs)[3], 1.0);
+  EXPECT_DOUBLE_EQ((*probs)[0], 0.0);
+}
+
+TEST(DtmcTest, GamblersRuinExpectedVisits) {
+  const Dtmc chain = MakeGamblersRuin();
+  auto visits = chain.ExpectedVisitsUntilAbsorption(1);
+  ASSERT_TRUE(visits.ok());
+  // Fundamental matrix for the fair ruin on {1,2}:
+  // N = (I - [[0, .5], [.5, 0]])^-1 = [[4/3, 2/3], [2/3, 4/3]].
+  EXPECT_NEAR((*visits)[1], 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*visits)[2], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ((*visits)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*visits)[3], 0.0);
+}
+
+TEST(DtmcTest, VisitsFromAbsorbingStateAreZero) {
+  const Dtmc chain = MakeGamblersRuin();
+  auto visits = chain.ExpectedVisitsUntilAbsorption(0);
+  ASSERT_TRUE(visits.ok());
+  for (double v : *visits) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DtmcTest, GeometricLoopVisits) {
+  // s0 -> s1 (p=1); s1 -> s0 with prob 0.25, -> absorbing with 0.75.
+  DenseMatrix p{{0, 1, 0}, {0.25, 0, 0.75}, {0, 0, 1}};
+  auto chain = Dtmc::Create(std::move(p), {"a", "b", "done"});
+  ASSERT_TRUE(chain.ok());
+  auto visits = chain->ExpectedVisitsUntilAbsorption(0);
+  ASSERT_TRUE(visits.ok());
+  // Expected number of loop traversals: 1/(1 - 0.25) = 4/3 visits to each.
+  EXPECT_NEAR((*visits)[0], 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*visits)[1], 4.0 / 3.0, 1e-12);
+}
+
+TEST(DtmcTest, NoAbsorptionPathIsError) {
+  // Two states cycling forever: no absorbing state at all.
+  DenseMatrix p{{0, 1}, {1, 0}};
+  auto chain = Dtmc::Create(std::move(p), {"a", "b"});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_FALSE(chain->ExpectedVisitsUntilAbsorption(0).ok());
+}
+
+TEST(DtmcTest, DistributionAfterSteps) {
+  DenseMatrix p{{0, 1}, {1, 0}};
+  auto chain = Dtmc::Create(std::move(p), {"a", "b"});
+  ASSERT_TRUE(chain.ok());
+  Vector d1 = chain->DistributionAfter(0, 1);
+  EXPECT_DOUBLE_EQ(d1[0], 0.0);
+  EXPECT_DOUBLE_EQ(d1[1], 1.0);
+  Vector d2 = chain->DistributionAfter(0, 2);
+  EXPECT_DOUBLE_EQ(d2[0], 1.0);
+  Vector d0 = chain->DistributionAfter(0, 0);
+  EXPECT_DOUBLE_EQ(d0[0], 1.0);
+}
+
+TEST(DtmcTest, OutOfRangeStart) {
+  const Dtmc chain = MakeGamblersRuin();
+  EXPECT_FALSE(chain.ExpectedVisitsUntilAbsorption(99).ok());
+  EXPECT_FALSE(chain.AbsorptionProbabilities(99).ok());
+}
+
+}  // namespace
+}  // namespace wfms::markov

@@ -1,0 +1,196 @@
+#include "workflow/environment_io.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/performance_model.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::workflow {
+namespace {
+
+constexpr char kMinimalScenario[] = R"(
+# A two-type scenario.
+servers
+  server engine kind=engine service_mean=0.02 service_scv=1 mttf=10080 mttr=10
+  server app kind=application service_mean=0.05 service_scv=2 mttf=1440 mttr=10
+end
+
+loads
+  load work engine=3 app=2
+  load finish engine=1
+end
+
+workflows
+  workflow W chart=W rate=0.5
+end
+
+chart W
+  state Work activity=work residence=10
+  state Finish activity=finish residence=1
+  initial Work
+  final Finish
+  trans Work -> Finish prob=1
+end
+)";
+
+TEST(EnvironmentIoTest, ParsesMinimalScenario) {
+  auto env = ParseEnvironment(kMinimalScenario);
+  ASSERT_TRUE(env.ok()) << env.status();
+  EXPECT_EQ(env->num_server_types(), 2u);
+  EXPECT_EQ(env->workflows.size(), 1u);
+  EXPECT_EQ(env->charts.size(), 1u);
+
+  const size_t engine = *env->servers.IndexOf("engine");
+  EXPECT_EQ(env->servers.type(engine).kind, ServerKind::kWorkflowEngine);
+  EXPECT_DOUBLE_EQ(env->servers.type(engine).service.mean, 0.02);
+  EXPECT_NEAR(env->servers.type(engine).failure_rate, 1.0 / 10080.0, 1e-15);
+  EXPECT_NEAR(env->servers.type(engine).repair_rate, 0.1, 1e-15);
+
+  const linalg::Vector load = env->loads.LoadOf("work", 2);
+  EXPECT_DOUBLE_EQ(load[engine], 3.0);
+  // Omitted entries default to zero.
+  const linalg::Vector finish = env->loads.LoadOf("finish", 2);
+  EXPECT_DOUBLE_EQ(finish[*env->servers.IndexOf("app")], 0.0);
+
+  EXPECT_DOUBLE_EQ(env->workflows[0].arrival_rate, 0.5);
+}
+
+TEST(EnvironmentIoTest, ParsedScenarioDrivesModels) {
+  auto env = ParseEnvironment(kMinimalScenario);
+  ASSERT_TRUE(env.ok());
+  auto model = perf::PerformanceModel::Create(*env);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_NEAR(model->workflows()[0].turnaround_time, 11.0, 1e-9);
+}
+
+TEST(EnvironmentIoTest, RoundTripsBuiltinScenarios) {
+  for (const bool benchmark : {false, true}) {
+    auto original = benchmark ? BenchmarkEnvironment() : EpEnvironment();
+    ASSERT_TRUE(original.ok());
+    const std::string text = SerializeEnvironment(*original);
+    auto parsed = ParseEnvironment(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->num_server_types(), original->num_server_types());
+    EXPECT_EQ(parsed->workflows.size(), original->workflows.size());
+    EXPECT_EQ(parsed->charts.size(), original->charts.size());
+    // Model results are preserved through the round trip.
+    auto m1 = perf::PerformanceModel::Create(*original);
+    auto m2 = perf::PerformanceModel::Create(*parsed);
+    ASSERT_TRUE(m1.ok());
+    ASSERT_TRUE(m2.ok());
+    for (size_t t = 0; t < m1->workflows().size(); ++t) {
+      EXPECT_NEAR(m2->workflows()[t].turnaround_time,
+                  m1->workflows()[t].turnaround_time,
+                  1e-9 * m1->workflows()[t].turnaround_time);
+      for (size_t x = 0; x < original->num_server_types(); ++x) {
+        EXPECT_NEAR(m2->workflows()[t].expected_requests[x],
+                    m1->workflows()[t].expected_requests[x], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(EnvironmentIoTest, WorkflowChartDefaultsToName) {
+  auto env = ParseEnvironment(R"(
+servers
+  server s kind=engine service_mean=0.01 mttf=1000 mttr=10
+end
+loads
+  load a s=1
+end
+workflows
+  workflow W rate=0.1
+end
+chart W
+  state A activity=a residence=1
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)");
+  ASSERT_TRUE(env.ok()) << env.status();
+  EXPECT_EQ(env->workflows[0].chart, "W");
+}
+
+TEST(EnvironmentIoTest, ErrorsCarryLineNumbers) {
+  auto r = ParseEnvironment("servers\n  server x kind=bogus\nend\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(EnvironmentIoTest, RejectsMalformedInput) {
+  // Statement outside a section.
+  EXPECT_FALSE(ParseEnvironment("server x kind=engine\n").ok());
+  // Unknown server referenced in a load.
+  EXPECT_FALSE(ParseEnvironment(R"(
+servers
+  server s kind=engine service_mean=0.01 mttf=100 mttr=10
+end
+loads
+  load a ghost=1
+end
+workflows
+  workflow W chart=W rate=0.1
+end
+chart W
+  state A activity=a residence=1
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)")
+                   .ok());
+  // Negative request count.
+  EXPECT_FALSE(ParseEnvironment(R"(
+servers
+  server s kind=engine service_mean=0.01 mttf=100 mttr=10
+end
+loads
+  load a s=-1
+end
+workflows
+  workflow W chart=W rate=0.1
+end
+chart W
+  state A activity=a residence=1
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)")
+                   .ok());
+  // Missing mttf.
+  EXPECT_FALSE(
+      ParseEnvironment("servers\n  server s kind=engine service_mean=0.01 "
+                       "mttr=10\nend\n")
+          .ok());
+  // Unterminated chart block.
+  EXPECT_FALSE(ParseEnvironment("chart X\n  state A residence=1\n").ok());
+  // Workflow referencing a chart that is never defined.
+  EXPECT_FALSE(ParseEnvironment(R"(
+servers
+  server s kind=engine service_mean=0.01 mttf=100 mttr=10
+end
+workflows
+  workflow W chart=Ghost rate=0.1
+end
+)")
+                   .ok());
+}
+
+TEST(EnvironmentIoTest, BadNumbersRejected) {
+  EXPECT_FALSE(
+      ParseEnvironment("servers\n  server s kind=engine service_mean=abc "
+                       "mttf=100 mttr=10\nend\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseEnvironment("servers\n  server s kind=engine service_mean=0.01 "
+                       "mttf=0 mttr=10\nend\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace wfms::workflow

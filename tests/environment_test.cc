@@ -1,0 +1,179 @@
+#include "workflow/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/configuration.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::workflow {
+namespace {
+
+TEST(ServerTypeRegistryTest, AddAndLookup) {
+  ServerTypeRegistry registry;
+  auto idx = registry.AddServerType({"comm", ServerKind::kCommunicationServer,
+                                     queueing::ExponentialService(0.01), 0.001,
+                                     0.1});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 0u);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.type(0).name, "comm");
+  ASSERT_TRUE(registry.IndexOf("comm").ok());
+  EXPECT_FALSE(registry.IndexOf("missing").ok());
+}
+
+TEST(ServerTypeRegistryTest, RejectsDuplicatesAndEmptyNames) {
+  ServerTypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddServerType({"a", ServerKind::kWorkflowEngine,
+                                  queueing::ExponentialService(1), 0.1, 0.1})
+                  .ok());
+  EXPECT_EQ(registry
+                .AddServerType({"a", ServerKind::kWorkflowEngine,
+                                queueing::ExponentialService(1), 0.1, 0.1})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(registry
+                   .AddServerType({"", ServerKind::kWorkflowEngine,
+                                   queueing::ExponentialService(1), 0.1, 0.1})
+                   .ok());
+}
+
+TEST(ServerTypeRegistryTest, ValidateChecksRates) {
+  ServerTypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .AddServerType({"a", ServerKind::kWorkflowEngine,
+                                  queueing::ExponentialService(1), 0.0, 0.1})
+                  .ok());
+  EXPECT_FALSE(registry.Validate().ok());
+  ServerTypeRegistry empty;
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(ServerKindTest, Names) {
+  EXPECT_STREQ(ServerKindToString(ServerKind::kCommunicationServer),
+               "communication-server");
+  EXPECT_STREQ(ServerKindToString(ServerKind::kWorkflowEngine),
+               "workflow-engine");
+  EXPECT_STREQ(ServerKindToString(ServerKind::kApplicationServer),
+               "application-server");
+}
+
+TEST(ActivityLoadTableTest, SetAndGet) {
+  ActivityLoadTable table;
+  ASSERT_TRUE(table.SetLoad("act", {2, 3, 3}).ok());
+  const linalg::Vector load = table.LoadOf("act", 3);
+  EXPECT_DOUBLE_EQ(load[1], 3.0);
+  EXPECT_TRUE(table.HasActivity("act"));
+  EXPECT_FALSE(table.HasActivity("other"));
+  // Unknown activities induce no load.
+  const linalg::Vector zero = table.LoadOf("other", 3);
+  for (double v : zero) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ActivityLoadTableTest, Validation) {
+  ActivityLoadTable table;
+  EXPECT_FALSE(table.SetLoad("", {1}).ok());
+  EXPECT_FALSE(table.SetLoad("x", {-1, 2}).ok());
+  ASSERT_TRUE(table.SetLoad("x", {1, 2}).ok());
+  EXPECT_TRUE(table.Validate(2).ok());
+  EXPECT_FALSE(table.Validate(3).ok());
+}
+
+TEST(ConfigurationTest, Basics) {
+  Configuration c({2, 1, 3});
+  EXPECT_EQ(c.num_types(), 3u);
+  EXPECT_EQ(c.total_servers(), 6);
+  EXPECT_EQ(c.ToString(), "(2,1,3)");
+  EXPECT_TRUE(c.Validate(3).ok());
+  EXPECT_FALSE(c.Validate(2).ok());
+  EXPECT_FALSE(Configuration({1, 0}).Validate(2).ok());
+  EXPECT_EQ(Configuration::Ones(3), Configuration({1, 1, 1}));
+  EXPECT_EQ(Configuration::Uniform(2, 3), Configuration({3, 3}));
+  EXPECT_LT(Configuration({1, 1}), Configuration({1, 2}));
+}
+
+TEST(ScenarioTest, EpEnvironmentIsValid) {
+  auto env = EpEnvironment();
+  ASSERT_TRUE(env.ok()) << env.status();
+  EXPECT_EQ(env->num_server_types(), 3u);
+  EXPECT_EQ(env->workflows.size(), 1u);
+  EXPECT_EQ(env->charts.size(), 3u);
+  // §5.2 rates are wired through.
+  const size_t comm = *env->servers.IndexOf("comm");
+  const size_t engine = *env->servers.IndexOf("engine");
+  const size_t app = *env->servers.IndexOf("app");
+  EXPECT_DOUBLE_EQ(env->servers.type(comm).failure_rate, 1.0 / 43200.0);
+  EXPECT_DOUBLE_EQ(env->servers.type(engine).failure_rate, 1.0 / 10080.0);
+  EXPECT_DOUBLE_EQ(env->servers.type(app).failure_rate, 1.0 / 1440.0);
+  EXPECT_DOUBLE_EQ(env->servers.type(app).repair_rate, 0.1);
+}
+
+TEST(ScenarioTest, EpLoadsFollowFig1Pattern) {
+  auto env = EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  // Automated activity: 3 requests at the engine, 2 at the comm server,
+  // 3 at the app server (Fig. 1).
+  const linalg::Vector auto_load = env->loads.LoadOf("cc_check", 3);
+  EXPECT_DOUBLE_EQ(auto_load[0], 2.0);  // comm
+  EXPECT_DOUBLE_EQ(auto_load[1], 3.0);  // engine
+  EXPECT_DOUBLE_EQ(auto_load[2], 3.0);  // app
+  // Interactive activity: no application server involvement.
+  const linalg::Vector inter_load = env->loads.LoadOf("new_order", 3);
+  EXPECT_DOUBLE_EQ(inter_load[2], 0.0);
+}
+
+TEST(ScenarioTest, EveryEpActivityHasALoadVector) {
+  auto env = EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  for (const std::string& chart_name : env->charts.ChartNames()) {
+    const auto* chart = *env->charts.GetChart(chart_name);
+    for (const auto& state : chart->states()) {
+      if (!state.activity.empty()) {
+        EXPECT_TRUE(env->loads.HasActivity(state.activity))
+            << "missing load for activity " << state.activity;
+      }
+    }
+  }
+}
+
+TEST(ScenarioTest, BenchmarkEnvironmentIsValid) {
+  auto env = BenchmarkEnvironment();
+  ASSERT_TRUE(env.ok()) << env.status();
+  EXPECT_EQ(env->num_server_types(), 5u);
+  EXPECT_EQ(env->workflows.size(), 3u);
+  EXPECT_EQ(env->charts.size(), 7u);
+  for (const std::string& chart_name : env->charts.ChartNames()) {
+    const auto* chart = *env->charts.GetChart(chart_name);
+    for (const auto& state : chart->states()) {
+      if (!state.activity.empty()) {
+        EXPECT_TRUE(env->loads.HasActivity(state.activity))
+            << "missing load for activity " << state.activity;
+      }
+    }
+  }
+}
+
+TEST(EnvironmentTest, ValidateCatchesBadWorkflowRefs) {
+  auto env = EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  env->workflows.push_back({"Ghost", "NoSuchChart", 0.1});
+  EXPECT_EQ(env->Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(EnvironmentTest, ValidateCatchesDuplicateWorkflow) {
+  auto env = EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  env->workflows.push_back({"EP", "EP", 0.1});
+  EXPECT_FALSE(env->Validate().ok());
+}
+
+TEST(EnvironmentTest, ValidateCatchesNegativeArrivalRate) {
+  auto env = EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  env->workflows[0].arrival_rate = -1.0;
+  EXPECT_FALSE(env->Validate().ok());
+}
+
+}  // namespace
+}  // namespace wfms::workflow

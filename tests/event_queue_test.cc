@@ -1,0 +1,88 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wfms::sim {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunUntil(10.0), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilBoundaryInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  q.ScheduleAt(5.0001, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(5.0), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  // The remaining event is still pending.
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.RunUntil(6.0), 1);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventsScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 4) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  q.RunUntil(100.0);
+  EXPECT_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentClock) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.ScheduleAt(2.0, [&] {
+    q.ScheduleAfter(3.0, [&] { fired_at = q.now(); });
+  });
+  q.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, ClearDropsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.Clear();
+  EXPECT_EQ(q.pending(), 0u);
+  q.RunUntil(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, ClockNeverMovesBackwards) {
+  EventQueue q;
+  q.ScheduleAt(4.0, [] {});
+  q.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+  q.RunUntil(3.0);  // lower end time: clock stays
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+}  // namespace
+}  // namespace wfms::sim

@@ -1,0 +1,193 @@
+// Tests for the §4.4 extensions: heterogeneous replicas (per-computer
+// speed factors) and workflow-type-specific instance-delay goals (§7.1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "configtool/tool.h"
+#include "perf/performance_model.h"
+#include "workflow/scenarios.h"
+
+namespace wfms {
+namespace {
+
+using workflow::Configuration;
+using workflow::Environment;
+
+Environment MakeEnv(double rate = 1.0) {
+  auto env = workflow::EpEnvironment(rate);
+  EXPECT_TRUE(env.ok());
+  return *std::move(env);
+}
+
+TEST(HeterogeneousTest, UnitSpeedsMatchHomogeneousModel) {
+  const Environment env = MakeEnv(1.0);
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  std::vector<perf::HeterogeneousPool> pools(3);
+  pools[0].speed_factors = {1.0};
+  pools[1].speed_factors = {1.0, 1.0};
+  pools[2].speed_factors = {1.0, 1.0};
+  auto hetero = model->EvaluateHeterogeneous(pools);
+  auto homo = model->EvaluateWaitingTimes(Configuration({1, 2, 2}));
+  ASSERT_TRUE(hetero.ok()) << hetero.status();
+  ASSERT_TRUE(homo.ok());
+  for (size_t x = 0; x < 3; ++x) {
+    EXPECT_NEAR(hetero->servers[x].mean_waiting_time,
+                homo->servers[x].mean_waiting_time, 1e-12)
+        << "type " << x;
+    EXPECT_NEAR(hetero->servers[x].utilization,
+                homo->servers[x].utilization, 1e-12);
+  }
+}
+
+TEST(HeterogeneousTest, FasterBoxBeatsSlowBox) {
+  // One type served by a fast (2x) and a slow (0.5x) machine: the
+  // proportional split keeps utilizations equal, and the weighted wait
+  // must be finite and sit between the two replicas' individual waits.
+  const Environment env = MakeEnv(1.0);
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  std::vector<perf::HeterogeneousPool> pools(3);
+  pools[0].speed_factors = {1.0};
+  pools[1].speed_factors = {2.0, 0.5};
+  pools[2].speed_factors = {1.0, 1.0, 1.0};
+  auto report = model->EvaluateHeterogeneous(pools);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->servers[1].saturated);
+  // Total capacity 2.5x one engine: same aggregate utilization as 2.5
+  // nominal servers.
+  auto homo = model->EvaluateWaitingTimes(Configuration({1, 2, 3}));
+  ASSERT_TRUE(homo.ok());
+  EXPECT_NEAR(report->servers[1].utilization,
+              homo->servers[1].utilization * 2.0 / 2.5, 1e-9);
+}
+
+TEST(HeterogeneousTest, UpgradeBeatsNominal) {
+  // Upgrading one of two replicas to 2x strictly reduces the type's
+  // weighted waiting time vs two nominal replicas.
+  const Environment env = MakeEnv(1.5);
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  std::vector<perf::HeterogeneousPool> nominal(3);
+  nominal[0].speed_factors = {1.0};
+  nominal[1].speed_factors = {1.0, 1.0};
+  nominal[2].speed_factors = {1.0, 1.0};
+  std::vector<perf::HeterogeneousPool> upgraded = nominal;
+  upgraded[2].speed_factors = {2.0, 1.0};
+  auto base = model->EvaluateHeterogeneous(nominal);
+  auto fast = model->EvaluateHeterogeneous(upgraded);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LT(fast->servers[2].mean_waiting_time,
+            base->servers[2].mean_waiting_time);
+}
+
+TEST(HeterogeneousTest, SlowFleetSaturates) {
+  const Environment env = MakeEnv(1.5);
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  std::vector<perf::HeterogeneousPool> pools(3);
+  pools[0].speed_factors = {1.0};
+  pools[1].speed_factors = {1.0};
+  pools[2].speed_factors = {0.1, 0.1};  // two decrepit app servers
+  auto report = model->EvaluateHeterogeneous(pools);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->servers[2].saturated);
+  EXPECT_TRUE(report->any_saturated);
+}
+
+TEST(HeterogeneousTest, Validation) {
+  const Environment env = MakeEnv();
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->EvaluateHeterogeneous({}).ok());
+  std::vector<perf::HeterogeneousPool> pools(3);
+  pools[0].speed_factors = {1.0};
+  pools[1].speed_factors = {};  // empty
+  pools[2].speed_factors = {1.0};
+  EXPECT_FALSE(model->EvaluateHeterogeneous(pools).ok());
+  pools[1].speed_factors = {0.0};
+  EXPECT_FALSE(model->EvaluateHeterogeneous(pools).ok());
+}
+
+TEST(InstanceDelayGoalTest, BoundsAreChecked) {
+  const Environment env = MakeEnv(1.0);
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  configtool::Goals goals;
+  goals.max_waiting_time = 60.0;  // effectively unbounded per type
+  goals.min_availability = 0.9;
+  auto base = tool->Assess(Configuration({2, 2, 2}), goals);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(base->Satisfies());
+  ASSERT_EQ(base->instance_delays.size(), 1u);
+  const double observed = base->instance_delays[0];
+  EXPECT_GT(observed, 0.0);
+
+  // A bound below the observed delay fails the assessment...
+  goals.max_instance_delay["EP"] = observed * 0.5;
+  auto tight = tool->Assess(Configuration({2, 2, 2}), goals);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_FALSE(tight->meets_instance_delay_goal);
+  EXPECT_FALSE(tight->Satisfies());
+  // ...a bound above it passes.
+  goals.max_instance_delay["EP"] = observed * 2.0;
+  auto loose = tool->Assess(Configuration({2, 2, 2}), goals);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose->Satisfies());
+  // Bounds for unknown workflow types are ignored.
+  goals.max_instance_delay["NoSuchWorkflow"] = 1e-9;
+  auto unknown = tool->Assess(Configuration({2, 2, 2}), goals);
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_TRUE(unknown->Satisfies());
+}
+
+TEST(InstanceDelayGoalTest, GreedySatisfiesDelayGoal) {
+  const Environment env = MakeEnv(1.0);
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  configtool::Goals goals;
+  goals.max_waiting_time = 60.0;
+  goals.min_availability = 0.99;
+  goals.max_instance_delay["EP"] = 0.5;  // 30 s of queueing per instance
+  auto result = tool->GreedyMinCost(goals);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->satisfied);
+  EXPECT_LE(result->assessment.instance_delays[0], 0.5);
+  // The goal actually forced replication beyond the minimum.
+  auto minimal = tool->Assess(Configuration({1, 1, 1}), goals);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_FALSE(minimal->Satisfies());
+  EXPECT_GT(result->config.total_servers(), 3);
+}
+
+TEST(InstanceDelayGoalTest, GreedyMatchesBnbUnderDelayGoal) {
+  const Environment env = MakeEnv(1.0);
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  configtool::Goals goals;
+  goals.max_waiting_time = 60.0;
+  goals.min_availability = 0.99;
+  goals.max_instance_delay["EP"] = 0.5;
+  configtool::SearchConstraints constraints;
+  constraints.max_replicas = {4, 4, 4};
+  auto greedy = tool->GreedyMinCost(goals, constraints);
+  auto bnb = tool->BranchAndBoundMinCost(goals, constraints);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(bnb.ok());
+  ASSERT_TRUE(bnb->satisfied);
+  EXPECT_LE(greedy->cost, bnb->cost + 1.0);
+}
+
+TEST(InstanceDelayGoalTest, Validation) {
+  configtool::Goals goals;
+  goals.max_instance_delay["EP"] = 0.0;
+  EXPECT_FALSE(goals.Validate(3).ok());
+  goals.max_instance_delay["EP"] = 1.0;
+  EXPECT_TRUE(goals.Validate(3).ok());
+}
+
+}  // namespace
+}  // namespace wfms

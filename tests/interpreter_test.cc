@@ -1,0 +1,248 @@
+#include "statechart/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "statechart/parser.h"
+#include "tests/test_charts.h"
+
+namespace wfms::statechart {
+namespace {
+
+TEST(ParseActionTest, AllKinds) {
+  auto st = ParseAction("st!(new_order)");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->kind, ParsedAction::Kind::kStartActivity);
+  EXPECT_EQ(st->argument, "new_order");
+  auto tr = ParseAction("tr!(PayByCreditCard)");
+  ASSERT_TRUE(tr.ok());
+  EXPECT_EQ(tr->kind, ParsedAction::Kind::kSetTrue);
+  auto fs = ParseAction("fs!(C)");
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs->kind, ParsedAction::Kind::kSetFalse);
+  auto ev = ParseAction("ev!(Done)");
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev->kind, ParsedAction::Kind::kRaiseEvent);
+}
+
+TEST(ParseActionTest, Malformed) {
+  EXPECT_FALSE(ParseAction("st!()").ok());
+  EXPECT_FALSE(ParseAction("st(x)").ok());
+  EXPECT_FALSE(ParseAction("zz!(x)").ok());
+  EXPECT_FALSE(ParseAction("").ok());
+  EXPECT_FALSE(ParseAction("st!(x").ok());
+}
+
+TEST(ConditionTest, Evaluation) {
+  ConditionContext ctx;
+  ctx.Set("A", true);
+  ctx.Set("B", false);
+  EXPECT_TRUE(*EvaluateCondition("", ctx));
+  EXPECT_TRUE(*EvaluateCondition("A", ctx));
+  EXPECT_FALSE(*EvaluateCondition("B", ctx));
+  EXPECT_FALSE(*EvaluateCondition("!A", ctx));
+  EXPECT_TRUE(*EvaluateCondition("!B", ctx));
+  EXPECT_TRUE(*EvaluateCondition("A&!B", ctx));
+  EXPECT_FALSE(*EvaluateCondition("A&B", ctx));
+  // Unknown variables read as false.
+  EXPECT_FALSE(*EvaluateCondition("Unknown", ctx));
+  EXPECT_TRUE(*EvaluateCondition("!Unknown", ctx));
+  // Double negation.
+  EXPECT_TRUE(*EvaluateCondition("!!A", ctx));
+  // Malformed: empty conjunct.
+  EXPECT_FALSE(EvaluateCondition("A&", ctx).ok());
+  EXPECT_FALSE(EvaluateCondition("!", ctx).ok());
+}
+
+ChartRegistry ParseEp() {
+  auto registry = ParseCharts(wfms::testing::kEpChartsDsl);
+  EXPECT_TRUE(registry.ok()) << registry.status();
+  return *std::move(registry);
+}
+
+TEST(InterpreterTest, CreditCardPathThroughEp) {
+  const ChartRegistry registry = ParseEp();
+  const StateChart* ep = *registry.GetChart("EP");
+  ChartInterpreter interp(&registry, ep);
+  ASSERT_TRUE(interp.Start().ok());
+  EXPECT_EQ(interp.current_state(), "NewOrder");
+  EXPECT_FALSE(interp.finished());
+
+  // Customer pays by (valid) credit card.
+  interp.context().Set("PayByCreditCard", true);
+  ASSERT_TRUE(interp.DeliverEvent("NewOrder_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "CreditCardCheck");
+  ASSERT_TRUE(interp.DeliverEvent("CreditCardCheck_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "Shipment");
+
+  // Drive the parallel subworkflows to completion.
+  ASSERT_TRUE(interp.DeliverEvent("PrepareNotice_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "Shipment");  // join not complete
+  ASSERT_TRUE(interp.DeliverEvent("PickItems_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "Shipment");
+  // PackItems_DONE lets Delivery reach its final state, completing the
+  // join; the Shipment state's own outgoing transition is eventless with
+  // condition PayByCreditCard, so it fires in the same dispatch.
+  ASSERT_TRUE(interp.DeliverEvent("PackItems_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "ChargeCreditCard");
+  ASSERT_TRUE(interp.DeliverEvent("ChargeCreditCard_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "EPExit");
+  EXPECT_TRUE(interp.finished());
+
+  // The st!(...) actions along the path were recorded.
+  const auto& started = interp.started_activities();
+  ASSERT_FALSE(started.empty());
+  EXPECT_EQ(started[0], "cc_check");
+}
+
+TEST(InterpreterTest, InvoicePathWithDunningLoop) {
+  const ChartRegistry registry = ParseEp();
+  const StateChart* ep = *registry.GetChart("EP");
+  ChartInterpreter interp(&registry, ep);
+  ASSERT_TRUE(interp.Start().ok());
+  // Pay by invoice.
+  interp.context().Set("PayByCreditCard", false);
+  ASSERT_TRUE(interp.DeliverEvent("NewOrder_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "Shipment");
+  ASSERT_TRUE(interp.DeliverEvent("PrepareNotice_DONE").ok());
+  ASSERT_TRUE(interp.DeliverEvent("PickItems_DONE").ok());
+  // Completing the join triggers the eventless Shipment -> SendInvoice
+  // transition (condition !PayByCreditCard) in the same dispatch.
+  ASSERT_TRUE(interp.DeliverEvent("PackItems_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "SendInvoice");
+  ASSERT_TRUE(interp.DeliverEvent("SendInvoice_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "CollectPayment");
+  // Customer pays late once: dunning loop.
+  ASSERT_TRUE(interp.DeliverEvent("PaymentOverdue").ok());
+  EXPECT_EQ(interp.current_state(), "SendInvoice");
+  ASSERT_TRUE(interp.DeliverEvent("SendInvoice_DONE").ok());
+  ASSERT_TRUE(interp.DeliverEvent("PaymentReceived").ok());
+  EXPECT_EQ(interp.current_state(), "EPExit");
+  EXPECT_TRUE(interp.finished());
+}
+
+TEST(InterpreterTest, ReworkLoopInDelivery) {
+  const ChartRegistry registry = ParseEp();
+  const StateChart* delivery = *registry.GetChart("Delivery");
+  ChartInterpreter interp(&registry, delivery);
+  ASSERT_TRUE(interp.Start().ok());
+  ASSERT_TRUE(interp.DeliverEvent("PickItems_DONE").ok());
+  EXPECT_EQ(interp.current_state(), "PackItems");
+  // Items missing: back to picking.
+  interp.context().Set("ItemsMissing", true);
+  ASSERT_TRUE(interp.DeliverEvent("anything").ok());
+  EXPECT_EQ(interp.current_state(), "PickItems");
+  interp.context().Set("ItemsMissing", false);
+  ASSERT_TRUE(interp.DeliverEvent("PickItems_DONE").ok());
+  ASSERT_TRUE(interp.DeliverEvent("go").ok());
+  EXPECT_EQ(interp.current_state(), "ShipItems");
+  EXPECT_TRUE(interp.finished());
+  // Trace records the loop: Pick, Pack, Pick, Pack, Ship.
+  ASSERT_EQ(interp.trace().size(), 5u);
+  EXPECT_EQ(interp.trace()[0], "PickItems");
+  EXPECT_EQ(interp.trace()[1], "PackItems");
+  EXPECT_EQ(interp.trace()[2], "PickItems");
+  EXPECT_EQ(interp.trace()[4], "ShipItems");
+}
+
+TEST(InterpreterTest, InternalEventsCascade) {
+  auto chart = ParseSingleChart(R"(
+chart Cascade
+  state A residence=1
+  state B residence=1
+  state C residence=1
+  initial A
+  final C
+  trans A -> B prob=1 event=go action=ev!(auto)
+  trans B -> C prob=1 event=auto
+end
+)");
+  ASSERT_TRUE(chart.ok());
+  ChartInterpreter interp(nullptr, &*chart);
+  ASSERT_TRUE(interp.Start().ok());
+  auto fired = interp.DeliverEvent("go");
+  ASSERT_TRUE(fired.ok());
+  // One external delivery fires two transitions via the raised event.
+  EXPECT_EQ(*fired, 2);
+  EXPECT_TRUE(interp.finished());
+}
+
+TEST(InterpreterTest, ActionsModifyConditions) {
+  auto chart = ParseSingleChart(R"(
+chart Flags
+  state A residence=1
+  state B residence=1
+  state C residence=1
+  initial A
+  final C
+  trans A -> B prob=1 event=go action=tr!(Flag) action=fs!(Other)
+  trans B -> C prob=1 event=check cond=Flag&!Other
+end
+)");
+  ASSERT_TRUE(chart.ok());
+  ChartInterpreter interp(nullptr, &*chart);
+  ASSERT_TRUE(interp.Start().ok());
+  interp.context().Set("Other", true);
+  ASSERT_TRUE(interp.DeliverEvent("go").ok());
+  EXPECT_TRUE(interp.context().Get("Flag"));
+  EXPECT_FALSE(interp.context().Get("Other"));
+  ASSERT_TRUE(interp.DeliverEvent("check").ok());
+  EXPECT_TRUE(interp.finished());
+}
+
+TEST(InterpreterTest, EventlessTransitionFiresOnAnyDelivery) {
+  auto chart = ParseSingleChart(R"(
+chart Auto
+  state A residence=1
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)");
+  ASSERT_TRUE(chart.ok());
+  ChartInterpreter interp(nullptr, &*chart);
+  ASSERT_TRUE(interp.Start().ok());
+  ASSERT_TRUE(interp.DeliverEvent("whatever").ok());
+  EXPECT_TRUE(interp.finished());
+}
+
+TEST(InterpreterTest, EvLoopDetected) {
+  auto chart = ParseSingleChart(R"(
+chart Loop
+  state A residence=1
+  state B residence=1
+  state C residence=1
+  initial A
+  final C
+  trans A -> B prob=1 event=tick action=ev!(tick)
+  trans B -> A prob=0.5 event=tick action=ev!(tick)
+  trans B -> C prob=0.5 event=never
+end
+)");
+  ASSERT_TRUE(chart.ok());
+  ChartInterpreter interp(nullptr, &*chart);
+  ASSERT_TRUE(interp.Start().ok());
+  auto fired = interp.DeliverEvent("tick");
+  ASSERT_FALSE(fired.ok());
+  EXPECT_EQ(fired.status().code(), StatusCode::kNumericError);
+}
+
+TEST(InterpreterTest, LifecycleErrors) {
+  auto chart = ParseSingleChart(R"(
+chart T
+  state A residence=1
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)");
+  ASSERT_TRUE(chart.ok());
+  ChartInterpreter interp(nullptr, &*chart);
+  EXPECT_FALSE(interp.DeliverEvent("x").ok());  // not started
+  ASSERT_TRUE(interp.Start().ok());
+  EXPECT_FALSE(interp.Start().ok());  // double start
+}
+
+}  // namespace
+}  // namespace wfms::statechart

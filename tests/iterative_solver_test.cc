@@ -1,0 +1,150 @@
+#include "linalg/iterative_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/lu_solver.h"
+
+namespace wfms::linalg {
+namespace {
+
+/// Builds a random diagonally dominant system (guaranteed convergence for
+/// Jacobi/GS/SOR) and returns it with a right-hand side.
+struct TestSystem {
+  DenseMatrix dense;
+  SparseMatrix sparse;
+  Vector b;
+};
+
+TestSystem MakeDominantSystem(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix d(n, n);
+  Vector b(n);
+  for (size_t r = 0; r < n; ++r) {
+    b[r] = rng.NextDouble(-3, 3);
+    double off_sum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      if (c == r) continue;
+      if (rng.NextBernoulli(0.3)) {
+        d.At(r, c) = rng.NextDouble(-1, 1);
+        off_sum += std::fabs(d.At(r, c));
+      }
+    }
+    d.At(r, r) = off_sum + rng.NextDouble(0.5, 1.5);
+  }
+  return {d, SparseMatrix::FromDense(d), b};
+}
+
+class SweepSolverTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepSolverTest, MatchesLuOnDominantSystems) {
+  const auto n = static_cast<size_t>(GetParam());
+  const TestSystem sys = MakeDominantSystem(n, 1000 + n);
+  const auto exact = LuSolve(sys.dense, sys.b);
+  ASSERT_TRUE(exact.ok());
+
+  for (int method = 0; method < 3; ++method) {
+    Vector x(n, 0.0);
+    IterativeOptions opts;
+    opts.omega = 1.2;
+    Result<IterativeStats> stats = Status::OK();
+    switch (method) {
+      case 0:
+        stats = JacobiSolve(sys.sparse, sys.b, &x, opts);
+        break;
+      case 1:
+        stats = GaussSeidelSolve(sys.sparse, sys.b, &x, opts);
+        break;
+      default:
+        stats = SorSolve(sys.sparse, sys.b, &x, opts);
+    }
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_TRUE(stats->converged) << "method " << method;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], (*exact)[i], 1e-8) << "method " << method;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SweepSolverTest,
+                         ::testing::Values(3, 10, 50, 200));
+
+TEST(IterativeSolverTest, GaussSeidelConvergesFasterThanJacobi) {
+  const TestSystem sys = MakeDominantSystem(100, 7);
+  Vector xj(100, 0.0), xg(100, 0.0);
+  const auto js = JacobiSolve(sys.sparse, sys.b, &xj);
+  const auto gs = GaussSeidelSolve(sys.sparse, sys.b, &xg);
+  ASSERT_TRUE(js.ok());
+  ASSERT_TRUE(gs.ok());
+  ASSERT_TRUE(js->converged);
+  ASSERT_TRUE(gs->converged);
+  EXPECT_LE(gs->iterations, js->iterations);
+}
+
+TEST(IterativeSolverTest, ZeroDiagonalRejected) {
+  SparseMatrixBuilder b(2, 2);
+  b.Add(0, 1, 1.0);
+  b.Add(1, 0, 1.0);
+  const SparseMatrix m = b.Build();
+  Vector x(2, 0.0);
+  Vector rhs{1.0, 1.0};
+  const auto st = GaussSeidelSolve(m, rhs, &x);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.status().code(), StatusCode::kNumericError);
+}
+
+TEST(IterativeSolverTest, DimensionMismatchRejected) {
+  const TestSystem sys = MakeDominantSystem(4, 3);
+  Vector x(3, 0.0);
+  EXPECT_FALSE(GaussSeidelSolve(sys.sparse, sys.b, &x).ok());
+}
+
+TEST(IterativeSolverTest, BadOmegaRejected) {
+  const TestSystem sys = MakeDominantSystem(4, 3);
+  Vector x(4, 0.0);
+  IterativeOptions opts;
+  opts.omega = 2.5;
+  EXPECT_FALSE(SorSolve(sys.sparse, sys.b, &x, opts).ok());
+}
+
+TEST(IterativeSolverTest, ReportsNonConvergenceOnIterationBudget) {
+  const TestSystem sys = MakeDominantSystem(50, 11);
+  Vector x(50, 0.0);
+  IterativeOptions opts;
+  opts.max_iterations = 1;
+  opts.tolerance = 1e-15;
+  const auto st = JacobiSolve(sys.sparse, sys.b, &x, opts);
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st->converged);
+  EXPECT_EQ(st->iterations, 1);
+}
+
+TEST(PowerIterationTest, TwoStateChain) {
+  // P = [[0.9, 0.1], [0.5, 0.5]] has stationary distribution (5/6, 1/6).
+  DenseMatrix p{{0.9, 0.1}, {0.5, 0.5}};
+  Vector pi{0.5, 0.5};
+  const auto st = PowerIterationStationary(SparseMatrix::FromDense(p), &pi);
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->converged);
+  EXPECT_NEAR(pi[0], 5.0 / 6.0, 1e-9);
+  EXPECT_NEAR(pi[1], 1.0 / 6.0, 1e-9);
+}
+
+TEST(PowerIterationTest, StationaryOfDoublyStochasticIsUniform) {
+  DenseMatrix p{{0.2, 0.3, 0.5}, {0.5, 0.2, 0.3}, {0.3, 0.5, 0.2}};
+  Vector pi{1.0, 0.0, 0.0};
+  const auto st = PowerIterationStationary(SparseMatrix::FromDense(p), &pi);
+  ASSERT_TRUE(st.ok());
+  for (double v : pi) EXPECT_NEAR(v, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PowerIterationTest, RejectsZeroStart) {
+  DenseMatrix p{{1.0}};
+  Vector pi{0.0};
+  EXPECT_FALSE(PowerIterationStationary(SparseMatrix::FromDense(p), &pi).ok());
+}
+
+}  // namespace
+}  // namespace wfms::linalg

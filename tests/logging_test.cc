@@ -1,0 +1,99 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "common/time_units.h"
+
+namespace wfms {
+namespace {
+
+/// Captures stderr around a callback.
+std::string CaptureStderr(const std::function<void()>& fn) {
+  ::testing::internal::CaptureStderr();
+  fn();
+  return ::testing::internal::GetCapturedStderr();
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, MessagesBelowLevelAreDropped) {
+  SetLogLevel(LogLevel::kWarning);
+  const std::string out =
+      CaptureStderr([] { WFMS_LOG(Info) << "should not appear"; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, MessagesAtLevelAreEmitted) {
+  SetLogLevel(LogLevel::kInfo);
+  const std::string out =
+      CaptureStderr([] { WFMS_LOG(Info) << "visible " << 42; });
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("logging_test"), std::string::npos);  // file tag
+}
+
+TEST_F(LoggingTest, ErrorAboveWarning) {
+  SetLogLevel(LogLevel::kError);
+  const std::string warn =
+      CaptureStderr([] { WFMS_LOG(Warning) << "quiet"; });
+  EXPECT_TRUE(warn.empty());
+  const std::string err = CaptureStderr([] { WFMS_LOG(Error) << "loud"; });
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(CheckMacrosTest, PassingChecksAreSilent) {
+  WFMS_CHECK(true);
+  WFMS_CHECK_EQ(1, 1);
+  WFMS_CHECK_NE(1, 2);
+  WFMS_CHECK_LT(1, 2);
+  WFMS_CHECK_LE(2, 2);
+  WFMS_CHECK_GT(3, 2);
+  WFMS_CHECK_GE(3, 3);
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(WFMS_CHECK(false), "Check failed");
+  EXPECT_DEATH(WFMS_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(FormatMinutesTest, EdgeRanges) {
+  // Sub-second values render as milliseconds.
+  EXPECT_EQ(FormatMinutes(0.0001), "6 ms");
+  // Negative durations keep their sign.
+  EXPECT_EQ(FormatMinutes(-120.0), "-2 h");
+  // Zero.
+  EXPECT_EQ(FormatMinutes(0.0), "0 ms");
+}
+
+TEST(HistogramTest, ToStringRendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string text = h.ToString(10);
+  EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(text.find("[1, 2)"), std::string::npos);
+  EXPECT_NE(text.find("##"), std::string::npos);
+  EXPECT_NE(text.find(" 2"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyQuantileIsLowerBound) {
+  Histogram h(1.0, 5.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace wfms

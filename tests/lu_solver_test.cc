@@ -1,0 +1,100 @@
+#include "linalg/lu_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace wfms::linalg {
+namespace {
+
+TEST(LuSolverTest, Solves2x2) {
+  DenseMatrix a{{2, 1}, {1, 3}};
+  const auto x = LuSolve(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LuSolverTest, RequiresSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_FALSE(LuDecomposition::Compute(a).ok());
+}
+
+TEST(LuSolverTest, DetectsSingular) {
+  DenseMatrix a{{1, 2}, {2, 4}};
+  const auto lu = LuDecomposition::Compute(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kNumericError);
+}
+
+TEST(LuSolverTest, PivotingHandlesZeroLeadingEntry) {
+  DenseMatrix a{{0, 1}, {1, 0}};
+  const auto x = LuSolve(a, {3, 7});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LuSolverTest, RandomSystemsResidualSmall) {
+  Rng rng(97);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 5 + static_cast<size_t>(rng.NextUint64(20));
+    DenseMatrix a(n, n);
+    Vector b(n);
+    for (size_t r = 0; r < n; ++r) {
+      b[r] = rng.NextDouble(-5, 5);
+      for (size_t c = 0; c < n; ++c) a.At(r, c) = rng.NextDouble(-1, 1);
+      a.At(r, r) += 3.0;  // keep well-conditioned
+    }
+    const auto x = LuSolve(a, b);
+    ASSERT_TRUE(x.ok());
+    const Vector ax = a.Multiply(*x);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+  }
+}
+
+TEST(LuSolverTest, Determinant) {
+  DenseMatrix a{{2, 0}, {0, 3}};
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 6.0, 1e-12);
+
+  // Permutation sign: swapping rows flips the determinant.
+  DenseMatrix b{{0, 1}, {1, 0}};
+  auto lub = LuDecomposition::Compute(b);
+  ASSERT_TRUE(lub.ok());
+  EXPECT_NEAR(lub->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuSolverTest, InverseTimesMatrixIsIdentity) {
+  DenseMatrix a{{4, 2, 0}, {1, 5, 1}, {0, 3, 6}};
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto inv = lu->Inverse();
+  ASSERT_TRUE(inv.ok());
+  const DenseMatrix prod = a.Multiply(*inv);
+  EXPECT_LT(prod.MaxAbsDiff(DenseMatrix::Identity(3)), 1e-12);
+}
+
+TEST(LuSolverTest, MultiRhsSolve) {
+  DenseMatrix a{{3, 1}, {1, 2}};
+  DenseMatrix b{{9, 1}, {8, 0}};
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve(b);
+  ASSERT_TRUE(x.ok());
+  const DenseMatrix ax = a.Multiply(*x);
+  EXPECT_LT(ax.MaxAbsDiff(b), 1e-12);
+}
+
+TEST(LuSolverTest, RhsSizeMismatchRejected) {
+  DenseMatrix a{{1, 0}, {0, 1}};
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_FALSE(lu->Solve(Vector{1, 2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace wfms::linalg

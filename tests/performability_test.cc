@@ -1,0 +1,160 @@
+#include "performability/performability_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workflow/scenarios.h"
+
+namespace wfms::performability {
+namespace {
+
+using workflow::Configuration;
+
+PerformabilityModel MakeModel(const workflow::Environment& env,
+                              PerformabilityOptions options = {}) {
+  auto model = PerformabilityModel::Create(env, options);
+  EXPECT_TRUE(model.ok()) << model.status();
+  return *std::move(model);
+}
+
+TEST(PerformabilityTest, ProbDownMatchesAvailabilityModel) {
+  auto env = workflow::EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  const Configuration config({2, 2, 2});
+  auto report = model.Evaluate(config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto avail = model.availability().Evaluate(config);
+  ASSERT_TRUE(avail.ok());
+  EXPECT_NEAR(report->prob_down, avail->unavailability, 1e-12);
+  EXPECT_NEAR(report->availability, avail->availability, 1e-12);
+}
+
+TEST(PerformabilityTest, DegradationRaisesExpectedWaiting) {
+  auto env = workflow::EpEnvironment(1.0);
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  auto report = model.Evaluate(Configuration({2, 2, 2}));
+  ASSERT_TRUE(report.ok());
+  for (size_t x = 0; x < 3; ++x) {
+    // W^Y must dominate the failure-free waiting time of the full config.
+    EXPECT_GE(report->expected_waiting[x],
+              report->full_config_waiting[x] * (1.0 - 1e-12));
+  }
+  EXPECT_GT(report->prob_degraded, 0.0);
+  EXPECT_LE(report->prob_down + report->prob_saturated +
+                report->prob_degraded,
+            1.0 + 1e-12);
+}
+
+TEST(PerformabilityTest, FastRepairApproachesFailureFreeWaiting) {
+  auto env = workflow::EpEnvironment(1.0);
+  ASSERT_TRUE(env.ok());
+  // Make repairs nearly instantaneous: degradation mass vanishes.
+  for (size_t x = 0; x < env->servers.size(); ++x) {
+    env->servers.mutable_type(x).repair_rate = 1e4;
+  }
+  const PerformabilityModel model = MakeModel(*env);
+  auto report = model.Evaluate(Configuration({2, 2, 2}));
+  ASSERT_TRUE(report.ok());
+  for (size_t x = 0; x < 3; ++x) {
+    EXPECT_NEAR(report->expected_waiting[x], report->full_config_waiting[x],
+                1e-6 + report->full_config_waiting[x] * 1e-3);
+  }
+}
+
+TEST(PerformabilityTest, ReplicationImprovesPerformability) {
+  auto env = workflow::EpEnvironment(1.5);
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  auto small = model.Evaluate(Configuration({1, 1, 1}));
+  auto large = model.Evaluate(Configuration({2, 3, 3}));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large->max_expected_waiting, small->max_expected_waiting);
+  EXPECT_LT(large->prob_down, small->prob_down);
+}
+
+TEST(PerformabilityTest, SaturatedDegradedStatesDetected) {
+  // At a load where one engine saturates, the (2,1,2)-style degraded
+  // states are saturated: with the conditional policy they are excluded
+  // but reported.
+  auto env = workflow::EpEnvironment(2.0);  // one engine cannot carry this
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  auto report = model.Evaluate(Configuration({1, 2, 2}));
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->prob_saturated, 0.0);
+  // The full configuration itself is stable.
+  EXPECT_FALSE(std::isinf(report->full_config_waiting[1]));
+}
+
+TEST(PerformabilityTest, PenaltyPolicyDominatesConditional) {
+  auto env = workflow::EpEnvironment(2.0);
+  ASSERT_TRUE(env.ok());
+  PerformabilityOptions penalty;
+  penalty.saturation_policy = SaturationPolicy::kPenalty;
+  penalty.penalty_waiting_time = 120.0;
+  const PerformabilityModel conditional_model = MakeModel(*env);
+  const PerformabilityModel penalty_model = MakeModel(*env, penalty);
+  const Configuration config({1, 2, 2});
+  auto conditional = conditional_model.Evaluate(config);
+  auto with_penalty = penalty_model.Evaluate(config);
+  ASSERT_TRUE(conditional.ok());
+  ASSERT_TRUE(with_penalty.ok());
+  EXPECT_GE(with_penalty->max_expected_waiting,
+            conditional->max_expected_waiting);
+}
+
+TEST(PerformabilityTest, FullySaturatedConfigYieldsInfiniteWaiting) {
+  auto env = workflow::EpEnvironment(5.0);
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  auto report = model.Evaluate(Configuration({1, 1, 1}));
+  ASSERT_TRUE(report.ok());
+  // Even the full configuration cannot carry the load: the conditional
+  // mean is over an empty set.
+  EXPECT_TRUE(std::isinf(report->max_expected_waiting));
+  EXPECT_GT(report->prob_saturated, 0.9);
+}
+
+TEST(PerformabilityTest, CommWaitingBarelyDegrades) {
+  // The comm server fails monthly; its degraded states carry negligible
+  // probability, so W^Y_comm stays within a hair of the full-config value.
+  auto env = workflow::EpEnvironment(1.0);
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  auto report = model.Evaluate(Configuration({2, 2, 2}));
+  ASSERT_TRUE(report.ok());
+  const double rel_increase =
+      (report->expected_waiting[0] - report->full_config_waiting[0]) /
+      report->full_config_waiting[0];
+  EXPECT_LT(rel_increase, 0.01);
+  // The app server (daily failures) degrades relatively more.
+  const double app_increase =
+      (report->expected_waiting[2] - report->full_config_waiting[2]) /
+      report->full_config_waiting[2];
+  EXPECT_GT(app_increase, rel_increase);
+}
+
+TEST(PerformabilityTest, InvalidConfigurationRejected) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  EXPECT_FALSE(model.Evaluate(Configuration({1, 1})).ok());
+  EXPECT_FALSE(model.Evaluate(Configuration({0, 1, 1})).ok());
+}
+
+TEST(PerformabilityTest, BenchmarkMixEvaluates) {
+  auto env = workflow::BenchmarkEnvironment();
+  ASSERT_TRUE(env.ok());
+  const PerformabilityModel model = MakeModel(*env);
+  auto report = model.Evaluate(Configuration({1, 1, 1, 2, 2}));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->expected_waiting.size(), 5u);
+  EXPECT_GT(report->availability, 0.99);
+}
+
+}  // namespace
+}  // namespace wfms::performability

@@ -1,0 +1,200 @@
+// Property sweeps over the assessment models: monotonicity and
+// consistency laws that must hold for any environment/configuration, plus
+// randomized environments exercising the full model stack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avail/availability_model.h"
+#include "common/random.h"
+#include "configtool/tool.h"
+#include "perf/performance_model.h"
+#include "performability/performability_model.h"
+#include "statechart/builder.h"
+#include "workflow/scenarios.h"
+
+namespace wfms {
+namespace {
+
+using workflow::Configuration;
+using workflow::Environment;
+
+/// Random environment: a linear workflow of 2-6 activity states with
+/// random residences/loads over 2-4 server types, with a random loop.
+Environment MakeRandomEnvironment(uint64_t seed) {
+  Rng rng(seed);
+  const int num_states = 2 + static_cast<int>(rng.NextUint64(5));
+  const size_t num_types = 2 + rng.NextUint64(3);
+
+  statechart::ChartBuilder builder("W");
+  std::vector<std::string> names;
+  for (int i = 0; i < num_states; ++i) {
+    names.push_back("s" + std::to_string(i));
+    builder.AddActivityState(names.back(), "act" + std::to_string(i),
+                             rng.NextDouble(0.5, 20.0));
+  }
+  builder.SetInitial(names.front()).SetFinal(names.back());
+  for (int i = 0; i + 1 < num_states; ++i) {
+    if (i > 0 && rng.NextBernoulli(0.4)) {
+      const double back = rng.NextDouble(0.05, 0.4);
+      builder.AddTransition(names[static_cast<size_t>(i)],
+                            names[static_cast<size_t>(i - 1)], back);
+      builder.AddTransition(names[static_cast<size_t>(i)],
+                            names[static_cast<size_t>(i + 1)], 1.0 - back);
+    } else {
+      builder.AddTransition(names[static_cast<size_t>(i)],
+                            names[static_cast<size_t>(i + 1)], 1.0);
+    }
+  }
+  auto chart = builder.Build();
+  EXPECT_TRUE(chart.ok()) << chart.status();
+
+  Environment env;
+  EXPECT_TRUE(env.charts.AddChart(*std::move(chart)).ok());
+  for (size_t x = 0; x < num_types; ++x) {
+    EXPECT_TRUE(env.servers
+                    .AddServerType(
+                        {"srv" + std::to_string(x),
+                         workflow::ServerKind::kWorkflowEngine,
+                         queueing::ExponentialService(
+                             rng.NextDouble(0.005, 0.05)),
+                         1.0 / rng.NextDouble(500.0, 50000.0),
+                         1.0 / rng.NextDouble(5.0, 30.0)})
+                    .ok());
+  }
+  for (int i = 0; i < num_states; ++i) {
+    linalg::Vector load(num_types, 0.0);
+    for (size_t x = 0; x < num_types; ++x) {
+      load[x] = static_cast<double>(rng.NextUint64(4));
+    }
+    load[rng.NextUint64(num_types)] += 1.0;  // at least some load
+    EXPECT_TRUE(
+        env.loads.SetLoad("act" + std::to_string(i), std::move(load)).ok());
+  }
+  env.workflows.push_back({"W", "W", rng.NextDouble(0.05, 0.4)});
+  EXPECT_TRUE(env.Validate().ok());
+  return env;
+}
+
+class RandomEnvironmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomEnvironmentProperty, LoadBalanceLaw) {
+  // The total request rate must equal arrival rate x expected requests,
+  // and per-server rates must sum back to the total for any config.
+  const Environment env = MakeRandomEnvironment(7000 + GetParam());
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok()) << model.status();
+  const auto& analysis = model->workflows()[0];
+  for (size_t x = 0; x < env.num_server_types(); ++x) {
+    EXPECT_NEAR(model->total_request_rates()[x],
+                env.workflows[0].arrival_rate * analysis.expected_requests[x],
+                1e-9);
+  }
+  Configuration config = Configuration::Uniform(env.num_server_types(), 3);
+  auto report = model->EvaluateWaitingTimes(config);
+  ASSERT_TRUE(report.ok());
+  for (size_t x = 0; x < env.num_server_types(); ++x) {
+    EXPECT_NEAR(report->servers[x].per_server_rate * 3.0,
+                report->servers[x].total_arrival_rate, 1e-9);
+  }
+}
+
+TEST_P(RandomEnvironmentProperty, WaitingMonotoneInReplication) {
+  const Environment env = MakeRandomEnvironment(8000 + GetParam());
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  const size_t k = env.num_server_types();
+  double prev_max = std::numeric_limits<double>::infinity();
+  for (int y = 1; y <= 4; ++y) {
+    auto report = model->EvaluateWaitingTimes(Configuration::Uniform(k, y));
+    ASSERT_TRUE(report.ok());
+    if (!report->any_saturated) {
+      EXPECT_LE(report->max_waiting_time, prev_max + 1e-12);
+      prev_max = report->max_waiting_time;
+    }
+  }
+}
+
+TEST_P(RandomEnvironmentProperty, ThroughputMonotoneInReplication) {
+  const Environment env = MakeRandomEnvironment(9000 + GetParam());
+  auto model = perf::PerformanceModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  const size_t k = env.num_server_types();
+  double prev = 0.0;
+  for (int y = 1; y <= 4; ++y) {
+    auto report =
+        model->MaxSustainableThroughput(Configuration::Uniform(k, y));
+    ASSERT_TRUE(report.ok());
+    EXPECT_GE(report->max_workflows_per_time_unit, prev - 1e-12);
+    // Uniform replication scales capacity linearly.
+    prev = report->max_workflows_per_time_unit;
+  }
+}
+
+TEST_P(RandomEnvironmentProperty, AvailabilityMonotoneAndProductForm) {
+  const Environment env = MakeRandomEnvironment(10000 + GetParam());
+  auto model = avail::AvailabilityModel::Create(env.servers);
+  ASSERT_TRUE(model.ok());
+  const size_t k = env.num_server_types();
+  double prev_unavail = 1.0;
+  for (int y = 1; y <= 3; ++y) {
+    const Configuration config = Configuration::Uniform(k, y);
+    auto report = model->Evaluate(config);
+    ASSERT_TRUE(report.ok());
+    EXPECT_LT(report->unavailability, prev_unavail);
+    prev_unavail = report->unavailability;
+    // CTMC vs product form.
+    auto product = model->ProductFormStateProbabilities(config, report->space);
+    ASSERT_TRUE(product.ok());
+    for (size_t i = 0; i < product->size(); ++i) {
+      EXPECT_NEAR(report->state_probabilities[i], (*product)[i], 1e-8);
+    }
+  }
+}
+
+TEST_P(RandomEnvironmentProperty, PerformabilityDominatesFailureFree) {
+  const Environment env = MakeRandomEnvironment(11000 + GetParam());
+  auto model = performability::PerformabilityModel::Create(env);
+  ASSERT_TRUE(model.ok());
+  const size_t k = env.num_server_types();
+  auto report = model->Evaluate(Configuration::Uniform(k, 2));
+  ASSERT_TRUE(report.ok());
+  for (size_t x = 0; x < k; ++x) {
+    if (!std::isinf(report->full_config_waiting[x])) {
+      EXPECT_GE(report->expected_waiting[x],
+                report->full_config_waiting[x] * (1.0 - 1e-9));
+    }
+  }
+  EXPECT_GE(report->availability, 0.0);
+  EXPECT_LE(report->availability, 1.0);
+  EXPECT_LE(report->prob_down + report->prob_saturated +
+                report->prob_degraded,
+            1.0 + 1e-9);
+}
+
+TEST_P(RandomEnvironmentProperty, GreedyNeverBeatenByMoreThanOneServer) {
+  const Environment env = MakeRandomEnvironment(12000 + GetParam());
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  configtool::Goals goals;
+  goals.max_waiting_time = 0.08;
+  goals.min_availability = 0.9999;
+  configtool::SearchConstraints constraints;
+  constraints.max_replicas.assign(env.num_server_types(), 4);
+  auto greedy = tool->GreedyMinCost(goals, constraints);
+  auto optimal = tool->ExhaustiveMinCost(goals, constraints);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_EQ(greedy->satisfied, optimal->satisfied);
+  if (optimal->satisfied) {
+    EXPECT_LE(greedy->cost, optimal->cost + 1.0);
+    EXPECT_LE(greedy->evaluations, optimal->evaluations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEnvironmentProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace wfms

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/distributions.h"
+#include "queueing/mg1.h"
+
+namespace wfms::queueing {
+namespace {
+
+TEST(DistributionsTest, ExponentialMoments) {
+  const ServiceMoments m = ExponentialService(2.0);
+  EXPECT_DOUBLE_EQ(m.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m.second_moment, 8.0);
+  EXPECT_DOUBLE_EQ(m.scv(), 1.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);
+}
+
+TEST(DistributionsTest, DeterministicMoments) {
+  const ServiceMoments m = DeterministicService(3.0);
+  EXPECT_DOUBLE_EQ(m.second_moment, 9.0);
+  EXPECT_DOUBLE_EQ(m.scv(), 0.0);
+}
+
+TEST(DistributionsTest, ErlangScv) {
+  auto m = ErlangService(4, 2.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->mean, 2.0);
+  EXPECT_NEAR(m->scv(), 0.25, 1e-12);
+  EXPECT_FALSE(ErlangService(0, 2.0).ok());
+}
+
+TEST(DistributionsTest, FromMeanScv) {
+  auto m = ServiceFromMeanScv(0.05, 2.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->mean, 0.05);
+  EXPECT_NEAR(m->scv(), 2.0, 1e-12);
+  EXPECT_FALSE(ServiceFromMeanScv(0.0, 1.0).ok());
+  EXPECT_FALSE(ServiceFromMeanScv(1.0, -0.5).ok());
+}
+
+TEST(DistributionsTest, MixtureMoments) {
+  // Equal mix of Exp(1) and Exp(3): mean 2, E[X^2] = (2 + 18)/2 = 10.
+  auto mixed = MixServices({1.0, 1.0},
+                           {ExponentialService(1.0), ExponentialService(3.0)});
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_DOUBLE_EQ(mixed->mean, 2.0);
+  EXPECT_DOUBLE_EQ(mixed->second_moment, 10.0);
+  // Mixtures are more variable than either component.
+  EXPECT_GT(mixed->scv(), 1.0);
+}
+
+TEST(DistributionsTest, MixtureValidation) {
+  EXPECT_FALSE(MixServices({}, {}).ok());
+  EXPECT_FALSE(MixServices({1.0}, {}).ok());
+  EXPECT_FALSE(
+      MixServices({-1.0, 2.0},
+                  {ExponentialService(1.0), ExponentialService(1.0)})
+          .ok());
+  EXPECT_FALSE(
+      MixServices({0.0, 0.0},
+                  {ExponentialService(1.0), ExponentialService(1.0)})
+          .ok());
+}
+
+TEST(DistributionsTest, ValidateMoments) {
+  EXPECT_TRUE(ValidateMoments(ExponentialService(1.0)).ok());
+  EXPECT_FALSE(ValidateMoments({0.0, 0.0}).ok());
+  EXPECT_FALSE(ValidateMoments({2.0, 1.0}).ok());  // E[X^2] < mean^2
+}
+
+TEST(Mg1Test, MatchesMm1ClosedForm) {
+  // For exponential service, W = rho * b / (1 - rho).
+  const double lambda = 0.5;
+  const double b = 1.0;
+  auto m = Mg1Metrics(lambda, ExponentialService(b));
+  ASSERT_TRUE(m.ok());
+  const double rho = lambda * b;
+  EXPECT_NEAR(m->utilization, rho, 1e-12);
+  EXPECT_NEAR(m->mean_waiting_time, rho * b / (1 - rho), 1e-12);
+  EXPECT_NEAR(m->mean_response_time, m->mean_waiting_time + b, 1e-12);
+  // Little's law.
+  EXPECT_NEAR(m->mean_queue_length, lambda * m->mean_waiting_time, 1e-12);
+}
+
+TEST(Mg1Test, DeterministicHalvesWaiting) {
+  // P-K: W_D = W_M / 2 at identical utilization.
+  const double lambda = 0.8;
+  auto exp_m = Mg1Metrics(lambda, ExponentialService(1.0));
+  auto det_m = Mg1Metrics(lambda, DeterministicService(1.0));
+  ASSERT_TRUE(exp_m.ok());
+  ASSERT_TRUE(det_m.ok());
+  EXPECT_NEAR(det_m->mean_waiting_time, exp_m->mean_waiting_time / 2.0,
+              1e-12);
+}
+
+TEST(Mg1Test, WaitingGrowsWithVariability) {
+  const double lambda = 0.5;
+  double prev = 0.0;
+  for (double scv : {0.5, 1.0, 2.0, 5.0}) {
+    auto m = Mg1Metrics(lambda, *ServiceFromMeanScv(1.0, scv));
+    ASSERT_TRUE(m.ok());
+    EXPECT_GT(m->mean_waiting_time, prev);
+    prev = m->mean_waiting_time;
+  }
+}
+
+TEST(Mg1Test, SaturationRejected) {
+  EXPECT_EQ(Mg1Metrics(1.0, ExponentialService(1.0)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Mg1Metrics(2.0, ExponentialService(1.0)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Mg1Test, ZeroArrivalsZeroWaiting) {
+  auto m = Mg1Metrics(0.0, ExponentialService(1.0));
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->mean_waiting_time, 0.0);
+  EXPECT_DOUBLE_EQ(m->utilization, 0.0);
+}
+
+TEST(Mg1Test, NegativeArrivalRejected) {
+  EXPECT_FALSE(Mg1Metrics(-0.1, ExponentialService(1.0)).ok());
+}
+
+TEST(ErlangCTest, SingleServerIsUtilization) {
+  // For c=1, P(wait) = rho.
+  auto p = ErlangC(0.6, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.6, 1e-12);
+}
+
+TEST(ErlangCTest, KnownValue) {
+  // Classic check: a = 2 Erlang, c = 3 servers -> C(3, 2) = 4/9.
+  auto p = ErlangC(2.0, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 4.0 / 9.0, 1e-12);
+}
+
+TEST(ErlangCTest, Validation) {
+  EXPECT_FALSE(ErlangC(1.0, 0).ok());
+  EXPECT_FALSE(ErlangC(-1.0, 2).ok());
+  EXPECT_FALSE(ErlangC(3.0, 3).ok());
+}
+
+TEST(MmcTest, ReducesToMm1) {
+  auto mmc = MmcMetrics(0.5, 1.0, 1);
+  auto mm1 = Mm1Metrics(0.5, 1.0);
+  ASSERT_TRUE(mmc.ok());
+  ASSERT_TRUE(mm1.ok());
+  EXPECT_NEAR(mmc->mean_waiting_time, mm1->mean_waiting_time, 1e-12);
+}
+
+TEST(MmcTest, SharedQueueBeatsPartitionedQueues) {
+  // A single M/M/2 with total rate lambda beats two M/M/1 each with
+  // lambda/2 — the scaling argument behind replication trade-offs.
+  const double lambda = 1.6;
+  const double b = 1.0;
+  auto shared = MmcMetrics(lambda, b, 2);
+  auto split = Mm1Metrics(lambda / 2.0, b);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(split.ok());
+  EXPECT_LT(shared->mean_waiting_time, split->mean_waiting_time);
+}
+
+TEST(MmcTest, SaturationRejected) {
+  EXPECT_FALSE(MmcMetrics(2.0, 1.0, 2).ok());
+  EXPECT_TRUE(MmcMetrics(1.9, 1.0, 2).ok());
+}
+
+}  // namespace
+}  // namespace wfms::queueing

@@ -1,0 +1,134 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/statistics.h"
+
+namespace wfms {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.NextDouble(2.0, 6.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 6.0);
+    stats.Add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.05);
+}
+
+TEST(RngTest, NextUint64Bounds) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = rng.NextUint64(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 5000, 350);  // ~5 sigma for a fair die
+  }
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(13);
+  const double rate = 0.25;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextExponential(rate));
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 0.05);
+  // Exponential SCV is 1.
+  EXPECT_NEAR(stats.scv(), 1.0, 0.05);
+}
+
+TEST(RngTest, ErlangMoments) {
+  Rng rng(17);
+  const int k = 4;
+  const double rate = 2.0;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.NextErlang(k, rate));
+  EXPECT_NEAR(stats.mean(), k / rate, 0.02);
+  // Erlang-k SCV is 1/k.
+  EXPECT_NEAR(stats.scv(), 1.0 / k, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextNormal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+TEST(RngTest, LognormalByMomentsMatchesTargets) {
+  Rng rng(23);
+  const double mean = 3.0;
+  const double scv = 2.0;
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    stats.Add(rng.NextLognormalByMoments(mean, scv));
+  }
+  EXPECT_NEAR(stats.mean(), mean, 0.05);
+  EXPECT_NEAR(stats.scv(), scv, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, DiscreteDistribution) {
+  Rng rng(31);
+  const double weights[] = {1.0, 2.0, 3.0, 4.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(rng.NextDiscrete(weights, 4))];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[static_cast<size_t>(i)] / static_cast<double>(n), (i + 1) / 10.0, 0.01);
+  }
+}
+
+TEST(RngTest, DiscreteSkipsZeroWeight) {
+  Rng rng(37);
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.NextDiscrete(weights, 3), 1);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentish) {
+  Rng parent(101);
+  Rng child = parent.Split();
+  // The child stream should not replicate the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.Next() == child.Next());
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace wfms

@@ -1,0 +1,153 @@
+#include "sim/server_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mg1.h"
+
+namespace wfms::sim {
+namespace {
+
+/// Drives Poisson arrivals at `rate` into the pool until `duration`.
+void DrivePoisson(EventQueue* queue, ServerPool* pool, Rng* rng, double rate,
+                  double duration) {
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [=]() {
+    pool->Submit();
+    const double next = queue->now() + rng->NextExponential(rate);
+    if (next <= duration) queue->ScheduleAt(next, *arrive);
+  };
+  queue->ScheduleAt(rng->NextExponential(rate), *arrive);
+}
+
+TEST(ServerPoolTest, Mm1WaitingMatchesTheory) {
+  EventQueue queue;
+  Rng rng(11);
+  const double rate = 0.8;
+  const auto service = queueing::ExponentialService(1.0);
+  ServerPool pool(&queue, rng.Split(), 1, service, 0.0, 0.0,
+                  /*warmup_end=*/2000.0);
+  pool.Start();
+  DrivePoisson(&queue, &pool, &rng, rate, 100000.0);
+  queue.RunUntil(100000.0);
+  pool.FinishStats();
+
+  auto theory = queueing::Mg1Metrics(rate, service);
+  ASSERT_TRUE(theory.ok());
+  EXPECT_GT(pool.stats().waiting_time.count(), 50000);
+  EXPECT_NEAR(pool.stats().waiting_time.mean(), theory->mean_waiting_time,
+              0.12 * theory->mean_waiting_time);
+  EXPECT_NEAR(pool.stats().busy_servers.time_average(), theory->utilization,
+              0.02);
+  EXPECT_NEAR(pool.stats().service_time.mean(), 1.0, 0.02);
+}
+
+TEST(ServerPoolTest, DeterministicServiceMatchesMd1) {
+  EventQueue queue;
+  Rng rng(13);
+  const double rate = 0.7;
+  const auto service = queueing::DeterministicService(1.0);
+  ServerPool pool(&queue, rng.Split(), 1, service, 0.0, 0.0, 1000.0);
+  pool.Start();
+  DrivePoisson(&queue, &pool, &rng, rate, 60000.0);
+  queue.RunUntil(60000.0);
+  pool.FinishStats();
+  auto theory = queueing::Mg1Metrics(rate, service);
+  ASSERT_TRUE(theory.ok());
+  EXPECT_NEAR(pool.stats().waiting_time.mean(), theory->mean_waiting_time,
+              0.1 * theory->mean_waiting_time);
+  // Every drawn service time is exactly the mean.
+  EXPECT_NEAR(pool.stats().service_time.stddev(), 0.0, 1e-12);
+}
+
+TEST(ServerPoolTest, HighVarianceServiceWaitsLonger) {
+  const double rate = 0.6;
+  double waits[2] = {0, 0};
+  const queueing::ServiceMoments services[2] = {
+      queueing::ExponentialService(1.0),
+      *queueing::ServiceFromMeanScv(1.0, 4.0)};
+  for (int v = 0; v < 2; ++v) {
+    EventQueue queue;
+    Rng rng(17);
+    ServerPool pool(&queue, rng.Split(), 1, services[v], 0.0, 0.0, 1000.0);
+    pool.Start();
+    DrivePoisson(&queue, &pool, &rng, rate, 120000.0);
+    queue.RunUntil(120000.0);
+    pool.FinishStats();
+    waits[v] = pool.stats().waiting_time.mean();
+  }
+  EXPECT_GT(waits[1], waits[0] * 1.5);
+}
+
+TEST(ServerPoolTest, TwoServersShareRoundRobin) {
+  EventQueue queue;
+  Rng rng(19);
+  const double rate = 1.2;
+  const auto service = queueing::ExponentialService(1.0);
+  ServerPool pool(&queue, rng.Split(), 2, service, 0.0, 0.0, 1000.0);
+  pool.Start();
+  DrivePoisson(&queue, &pool, &rng, rate, 60000.0);
+  queue.RunUntil(60000.0);
+  pool.FinishStats();
+  // Offered load 1.2 on two servers: busy average approx 1.2.
+  EXPECT_NEAR(pool.stats().busy_servers.time_average(), 1.2, 0.05);
+  EXPECT_EQ(pool.up_count(), 2);
+}
+
+TEST(ServerPoolTest, FailuresReduceUptimeAndTriggerFailover) {
+  EventQueue queue;
+  Rng rng(23);
+  // Fast failure/repair cycle so statistics converge quickly:
+  // MTTF 50, MTTR 10 -> per-server availability 5/6.
+  const double fail = 1.0 / 50.0;
+  const double repair = 1.0 / 10.0;
+  ServerPool pool(&queue, rng.Split(), 2, queueing::ExponentialService(0.5),
+                  fail, repair, 2000.0);
+  pool.Start();
+  DrivePoisson(&queue, &pool, &rng, 1.0, 100000.0);
+  queue.RunUntil(100000.0);
+  pool.FinishStats();
+  const double per_server_avail = repair / (fail + repair);
+  EXPECT_NEAR(pool.stats().up_servers.time_average(), 2.0 * per_server_avail,
+              0.05);
+  EXPECT_GT(pool.stats().failovers, 0);
+  // Work still completes.
+  EXPECT_GT(pool.stats().completed_requests, 90000 * 0.9);
+}
+
+TEST(ServerPoolTest, ParkedRequestsSurviveTotalOutage) {
+  EventQueue queue;
+  Rng rng(29);
+  ServerPool pool(&queue, rng.Split(), 1, queueing::ExponentialService(0.1),
+                  1.0 / 20.0, 1.0 / 5.0, 0.0);
+  pool.Start();
+  DrivePoisson(&queue, &pool, &rng, 2.0, 20000.0);
+  queue.RunUntil(30000.0);  // drain period
+  pool.FinishStats();
+  // All submitted requests are eventually served despite outages.
+  EXPECT_GT(pool.stats().completed_requests, 39000);
+  EXPECT_LT(pool.stats().up_servers.time_average(), 1.0);
+}
+
+TEST(ServerPoolTest, CallbacksFire) {
+  EventQueue queue;
+  Rng rng(31);
+  ServerPool pool(&queue, rng.Split(), 1, queueing::ExponentialService(0.5),
+                  1.0 / 30.0, 1.0 / 5.0, 0.0);
+  int up_changes = 0;
+  int services = 0;
+  pool.SetUpChangeCallback([&] { ++up_changes; });
+  pool.SetServiceCallback([&](double t) {
+    EXPECT_GT(t, 0.0);
+    ++services;
+  });
+  pool.Start();
+  DrivePoisson(&queue, &pool, &rng, 0.5, 5000.0);
+  queue.RunUntil(5000.0);
+  EXPECT_GT(up_changes, 10);
+  EXPECT_GT(services, 1000);
+}
+
+}  // namespace
+}  // namespace wfms::sim

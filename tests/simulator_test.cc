@@ -1,0 +1,294 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avail/availability_model.h"
+#include "perf/performance_model.h"
+#include "statechart/parser.h"
+#include "workflow/calibration.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::sim {
+namespace {
+
+using workflow::Configuration;
+using workflow::Environment;
+
+SimulationResult RunSim(const Environment& env, SimulationOptions options) {
+  auto sim = Simulator::Create(env, std::move(options));
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  auto result = sim->Run();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+TEST(SimulatorTest, CreateValidations) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  SimulationOptions bad;
+  bad.config = Configuration({1, 1});  // wrong arity
+  EXPECT_FALSE(Simulator::Create(*env, bad).ok());
+  SimulationOptions bad_times;
+  bad_times.config = Configuration({1, 1, 1});
+  bad_times.duration = 10.0;
+  bad_times.warmup = 20.0;
+  EXPECT_FALSE(Simulator::Create(*env, bad_times).ok());
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  auto env = workflow::EpEnvironment(0.2);
+  ASSERT_TRUE(env.ok());
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 3000.0;
+  options.warmup = 500.0;
+  options.seed = 99;
+  const SimulationResult a = RunSim(*env, options);
+  const SimulationResult b = RunSim(*env, options);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.servers[1].waiting_time.mean(),
+                   b.servers[1].waiting_time.mean());
+  EXPECT_EQ(a.workflows.at("EP").completed, b.workflows.at("EP").completed);
+}
+
+TEST(SimulatorTest, SimpleLoopTurnaroundMatchesClosedForm) {
+  // One workflow: A (H=2) -> B (H=3), B loops back to A with p=0.25.
+  // R = (2+3)/0.75 = 20/3.
+  Environment env;
+  auto charts = statechart::ParseCharts(R"(
+chart L
+  state A activity=a residence=2
+  state B activity=b residence=3
+  state Done residence=0.1
+  initial A
+  final Done
+  trans A -> B prob=1
+  trans B -> A prob=0.25
+  trans B -> Done prob=0.75
+end
+)");
+  ASSERT_TRUE(charts.ok());
+  env.charts = *std::move(charts);
+  ASSERT_TRUE(env.servers
+                  .AddServerType({"engine", workflow::ServerKind::kWorkflowEngine,
+                                  queueing::ExponentialService(0.01), 1e-9,
+                                  1.0})
+                  .ok());
+  ASSERT_TRUE(env.loads.SetLoad("a", {1}).ok());
+  ASSERT_TRUE(env.loads.SetLoad("b", {1}).ok());
+  env.workflows.push_back({"L", "L", 0.5});
+  ASSERT_TRUE(env.Validate().ok());
+
+  SimulationOptions options;
+  options.config = Configuration({1});
+  options.duration = 60000.0;
+  options.warmup = 2000.0;
+  options.enable_failures = false;
+  const SimulationResult result = RunSim(env, options);
+  const auto& wf = result.workflows.at("L");
+  EXPECT_GT(wf.turnaround.count(), 10000);
+  const double expected = (2.0 + 3.0) / 0.75 + 0.1;
+  EXPECT_NEAR(wf.turnaround.mean(), expected, 0.05 * expected);
+}
+
+TEST(SimulatorTest, EpTurnaroundMatchesAnalyticModel) {
+  auto env = workflow::EpEnvironment(0.2);
+  ASSERT_TRUE(env.ok());
+  auto model = perf::PerformanceModel::Create(*env);
+  ASSERT_TRUE(model.ok());
+  const double analytic = model->workflows()[0].turnaround_time;
+
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 150000.0;
+  options.warmup = 20000.0;
+  options.enable_failures = false;
+  options.seed = 3;
+  const SimulationResult result = RunSim(*env, options);
+  const auto& wf = result.workflows.at("EP");
+  EXPECT_GT(wf.turnaround.count(), 5000);
+  // The analytic residence of the parallel Shipment state is the max of
+  // mean subworkflow turnarounds — a slight *underestimate* of
+  // E[max(...)], so the simulated mean dominates but stays close.
+  EXPECT_GE(wf.turnaround.mean(), analytic * 0.97);
+  EXPECT_LE(wf.turnaround.mean(), analytic * 1.10);
+}
+
+TEST(SimulatorTest, UtilizationMatchesAnalyticLoad) {
+  auto env = workflow::EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  auto model = perf::PerformanceModel::Create(*env);
+  ASSERT_TRUE(model.ok());
+  auto analytic = model->EvaluateWaitingTimes(Configuration({1, 1, 1}));
+  ASSERT_TRUE(analytic.ok());
+
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 100000.0;
+  options.warmup = 20000.0;
+  options.enable_failures = false;
+  options.seed = 7;
+  const SimulationResult result = RunSim(*env, options);
+  for (size_t x = 0; x < 3; ++x) {
+    EXPECT_NEAR(result.utilization[x], analytic->servers[x].utilization,
+                0.1 * analytic->servers[x].utilization + 0.01)
+        << "server type " << x;
+  }
+}
+
+TEST(SimulatorTest, WaitingTimesTrackMg1Predictions) {
+  auto env = workflow::EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  auto model = perf::PerformanceModel::Create(*env);
+  ASSERT_TRUE(model.ok());
+  auto analytic = model->EvaluateWaitingTimes(Configuration({1, 1, 1}));
+  ASSERT_TRUE(analytic.ok());
+
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 150000.0;
+  options.warmup = 20000.0;
+  options.enable_failures = false;
+  options.seed = 5;
+  const SimulationResult result = RunSim(*env, options);
+  // Requests of one activity arrive as a burst within the activity's
+  // residence, not as a smooth Poisson stream, so the M/G/1 prediction is
+  // a *lower bound*; with Fig.-1-style batches of 2-3 requests the
+  // observed mean stays within ~2.5x of it (see EXPERIMENTS.md E5). The
+  // pure-Poisson validation of the M/G/1 formulas lives in
+  // server_pool_test.cc.
+  for (size_t x = 0; x < 3; ++x) {
+    const double predicted = analytic->servers[x].mean_waiting_time;
+    const double observed = result.servers[x].waiting_time.mean();
+    EXPECT_GT(observed, 0.8 * predicted) << "server type " << x;
+    EXPECT_LT(observed, 2.5 * predicted + 1e-3) << "server type " << x;
+  }
+}
+
+TEST(SimulatorTest, ObservedAvailabilityMatchesCtmc) {
+  // Boost failure rates so the estimate converges in reasonable sim time:
+  // MTTF 200 min, MTTR 10 min per type.
+  auto env = workflow::EpEnvironment(0.05);
+  ASSERT_TRUE(env.ok());
+  for (size_t x = 0; x < env->servers.size(); ++x) {
+    env->servers.mutable_type(x).failure_rate = 1.0 / 200.0;
+    env->servers.mutable_type(x).repair_rate = 1.0 / 10.0;
+  }
+  auto model = avail::AvailabilityModel::Create(env->servers);
+  ASSERT_TRUE(model.ok());
+  auto prediction = model->Evaluate(Configuration({1, 1, 1}));
+  ASSERT_TRUE(prediction.ok());
+
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 400000.0;
+  options.warmup = 10000.0;
+  options.seed = 11;
+  const SimulationResult result = RunSim(*env, options);
+  EXPECT_NEAR(result.observed_availability, prediction->availability, 0.01);
+  // Replication visibly improves observed availability.
+  SimulationOptions replicated = options;
+  replicated.config = Configuration({2, 2, 2});
+  const SimulationResult result2 = RunSim(*env, replicated);
+  EXPECT_GT(result2.observed_availability, result.observed_availability);
+}
+
+TEST(SimulatorTest, AuditTrailFeedsCalibration) {
+  auto env = workflow::EpEnvironment(0.3);
+  ASSERT_TRUE(env.ok());
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 30000.0;
+  options.warmup = 1000.0;
+  options.enable_failures = false;
+  options.record_audit_trail = true;
+  const SimulationResult result = RunSim(*env, options);
+  ASSERT_GT(result.trail.state_visits().size(), 1000u);
+  ASSERT_GT(result.trail.services().size(), 1000u);
+  ASSERT_GT(result.trail.arrivals().size(), 1000u);
+
+  auto calibrated = workflow::CalibrateEnvironment(*env, result.trail);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+  // Re-estimated arrival rate close to the configured one.
+  EXPECT_NEAR(calibrated->workflows[0].arrival_rate, 0.3, 0.03);
+  // Re-estimated NewOrder residence close to the designed mean of 5.
+  const auto* ep = *calibrated->charts.GetChart("EP");
+  EXPECT_NEAR(ep->state(*ep->StateIndex("NewOrder")).residence_time, 5.0,
+              0.5);
+  // Re-estimated branch probability NewOrder -> CreditCardCheck ~ 0.5.
+  const auto outgoing = ep->OutgoingTransitions("NewOrder");
+  ASSERT_EQ(outgoing.size(), 2u);
+  EXPECT_NEAR(outgoing[0]->probability, 0.5, 0.05);
+}
+
+TEST(SimulatorTest, PerInstanceBindingWaitsLongerThanRoundRobin) {
+  // The paper's per-instance hashed assignment keeps each server's
+  // arrival stream bursty (whole instances stick to one server), so waits
+  // exceed per-request round-robin, which splits bursts — and sit closer
+  // to the analytic per-replica M/G/1 model.
+  auto env = workflow::EpEnvironment(1.0);
+  ASSERT_TRUE(env.ok());
+  double waits[2] = {0.0, 0.0};
+  for (int policy = 0; policy < 2; ++policy) {
+    SimulationOptions options;
+    options.config = Configuration({1, 2, 2});
+    options.dispatch = policy == 0 ? DispatchPolicy::kRoundRobin
+                                   : DispatchPolicy::kPerInstanceBinding;
+    options.duration = 60000.0;
+    options.warmup = 8000.0;
+    options.enable_failures = false;
+    options.seed = 9;
+    const SimulationResult result = RunSim(*env, options);
+    waits[policy] = result.servers[2].waiting_time.mean();
+    // Work completes under both policies.
+    EXPECT_GT(result.servers[2].completed_requests, 100000);
+  }
+  EXPECT_GT(waits[1], waits[0]);
+}
+
+TEST(SimulatorTest, BindingSurvivesFailures) {
+  auto env = workflow::EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  for (size_t x = 0; x < env->servers.size(); ++x) {
+    env->servers.mutable_type(x).failure_rate = 1.0 / 300.0;
+  }
+  SimulationOptions options;
+  options.config = Configuration({2, 2, 2});
+  options.dispatch = DispatchPolicy::kPerInstanceBinding;
+  options.duration = 50000.0;
+  options.warmup = 5000.0;
+  options.seed = 13;
+  const SimulationResult result = RunSim(*env, options);
+  // Requests bound to failed servers are probed to survivors; the
+  // workflow stream keeps completing.
+  EXPECT_GT(result.workflows.at("EP").completed, 20000);
+  EXPECT_GT(result.observed_availability, 0.95);
+}
+
+TEST(SimulatorTest, DegradedModeRaisesObservedWaiting) {
+  // With aggressive engine failures, observed waiting at the engine
+  // exceeds the failure-free run.
+  auto env = workflow::EpEnvironment(1.0);
+  ASSERT_TRUE(env.ok());
+  env->servers.mutable_type(1).failure_rate = 1.0 / 100.0;
+  env->servers.mutable_type(1).repair_rate = 1.0 / 25.0;
+
+  SimulationOptions no_failures;
+  no_failures.config = Configuration({1, 2, 2});
+  no_failures.duration = 80000.0;
+  no_failures.warmup = 5000.0;
+  no_failures.enable_failures = false;
+  no_failures.seed = 21;
+  SimulationOptions with_failures = no_failures;
+  with_failures.enable_failures = true;
+
+  auto base = RunSim(*env, no_failures);
+  auto degraded = RunSim(*env, with_failures);
+  EXPECT_GT(degraded.servers[1].waiting_time.mean(),
+            base.servers[1].waiting_time.mean());
+}
+
+}  // namespace
+}  // namespace wfms::sim

@@ -1,0 +1,100 @@
+#include "linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace wfms::linalg {
+namespace {
+
+TEST(SparseMatrixTest, BuilderMergesDuplicates) {
+  SparseMatrixBuilder b(2, 2);
+  b.Add(0, 0, 1.0);
+  b.Add(0, 0, 2.5);
+  b.Add(1, 1, -1.0);
+  const SparseMatrix m = b.Build();
+  EXPECT_EQ(m.num_nonzeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+}
+
+TEST(SparseMatrixTest, DuplicatesCancellingToZeroAreDropped) {
+  SparseMatrixBuilder b(1, 1);
+  b.Add(0, 0, 2.0);
+  b.Add(0, 0, -2.0);
+  const SparseMatrix m = b.Build();
+  EXPECT_EQ(m.num_nonzeros(), 0u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, ExplicitZerosIgnored) {
+  SparseMatrixBuilder b(2, 2);
+  b.Add(0, 1, 0.0);
+  EXPECT_EQ(b.Build().num_nonzeros(), 0u);
+}
+
+TEST(SparseMatrixTest, FromDenseRoundTrip) {
+  DenseMatrix d{{1, 0, 2}, {0, 0, 0}, {3, 4, 0}};
+  const SparseMatrix s = SparseMatrix::FromDense(d);
+  EXPECT_EQ(s.num_nonzeros(), 4u);
+  EXPECT_DOUBLE_EQ(s.ToDense().MaxAbsDiff(d), 0.0);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  Rng rng(5);
+  const size_t n = 30;
+  DenseMatrix d(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      if (rng.NextBernoulli(0.15)) d.At(r, c) = rng.NextDouble(-2, 2);
+    }
+  }
+  const SparseMatrix s = SparseMatrix::FromDense(d);
+  Vector x(n);
+  for (auto& v : x) v = rng.NextDouble(-1, 1);
+
+  const Vector dy = d.Multiply(x);
+  const Vector sy = s.Multiply(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(sy[i], dy[i], 1e-12);
+
+  const Vector dyt = d.MultiplyTransposed(x);
+  const Vector syt = s.MultiplyTransposed(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(syt[i], dyt[i], 1e-12);
+}
+
+TEST(SparseMatrixTest, TransposedMatchesDenseTranspose) {
+  DenseMatrix d{{1, 2, 0}, {0, 3, 4}};
+  const SparseMatrix st = SparseMatrix::FromDense(d).Transposed();
+  EXPECT_EQ(st.rows(), 3u);
+  EXPECT_EQ(st.cols(), 2u);
+  EXPECT_DOUBLE_EQ(st.ToDense().MaxAbsDiff(d.Transposed()), 0.0);
+}
+
+TEST(SparseMatrixTest, AtHandlesMissingEntries) {
+  SparseMatrixBuilder b(3, 3);
+  b.Add(1, 0, 7.0);
+  b.Add(1, 2, 8.0);
+  const SparseMatrix m = b.Build();
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 8.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 0.0);
+}
+
+TEST(SparseMatrixTest, DropToleranceFiltersSmallEntries) {
+  DenseMatrix d{{1e-15, 1.0}, {0.5, 1e-14}};
+  const SparseMatrix s = SparseMatrix::FromDense(d, 1e-12);
+  EXPECT_EQ(s.num_nonzeros(), 2u);
+}
+
+TEST(SparseMatrixTest, EmptyMatrixMultiplies) {
+  SparseMatrixBuilder b(3, 3);
+  const SparseMatrix m = b.Build();
+  const Vector y = m.Multiply({1, 2, 3});
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace wfms::linalg

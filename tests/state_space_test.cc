@@ -1,0 +1,92 @@
+#include "markov/state_space.h"
+
+#include <gtest/gtest.h>
+
+namespace wfms::markov {
+namespace {
+
+TEST(MixedRadixSpaceTest, PaperEncodingExample) {
+  // §5.2: three server types with two servers each; (0,0,0) -> 0,
+  // (1,0,0) -> 1, (2,0,0) -> 2, (0,1,0) -> 3, ...
+  auto space = MixedRadixSpace::Create({2, 2, 2});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->size(), 27u);
+  EXPECT_EQ(*space->Encode({0, 0, 0}), 0u);
+  EXPECT_EQ(*space->Encode({1, 0, 0}), 1u);
+  EXPECT_EQ(*space->Encode({2, 0, 0}), 2u);
+  EXPECT_EQ(*space->Encode({0, 1, 0}), 3u);
+  EXPECT_EQ(*space->Encode({0, 0, 1}), 9u);
+  EXPECT_EQ(*space->Encode({2, 2, 2}), 26u);
+}
+
+TEST(MixedRadixSpaceTest, EncodeDecodeRoundTrip) {
+  auto space = MixedRadixSpace::Create({3, 1, 4, 2});
+  ASSERT_TRUE(space.ok());
+  for (size_t i = 0; i < space->size(); ++i) {
+    auto state = space->Decode(i);
+    ASSERT_TRUE(state.ok());
+    auto back = space->Encode(*state);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, i);
+  }
+}
+
+TEST(MixedRadixSpaceTest, ComponentMatchesDecode) {
+  auto space = MixedRadixSpace::Create({2, 3, 1});
+  ASSERT_TRUE(space.ok());
+  for (size_t i = 0; i < space->size(); ++i) {
+    auto state = space->Decode(i);
+    ASSERT_TRUE(state.ok());
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(space->Component(i, d), (*state)[d]);
+    }
+  }
+}
+
+TEST(MixedRadixSpaceTest, NeighborMoves) {
+  auto space = MixedRadixSpace::Create({2, 2});
+  ASSERT_TRUE(space.ok());
+  const size_t idx = *space->Encode({1, 1});
+  EXPECT_EQ(space->Neighbor(idx, 0, +1), *space->Encode({2, 1}));
+  EXPECT_EQ(space->Neighbor(idx, 0, -1), *space->Encode({0, 1}));
+  EXPECT_EQ(space->Neighbor(idx, 1, +1), *space->Encode({1, 2}));
+  // Leaving the bounds yields SIZE_MAX.
+  const size_t top = *space->Encode({2, 2});
+  EXPECT_EQ(space->Neighbor(top, 0, +1), SIZE_MAX);
+  const size_t bottom = *space->Encode({0, 0});
+  EXPECT_EQ(space->Neighbor(bottom, 1, -1), SIZE_MAX);
+}
+
+TEST(MixedRadixSpaceTest, ValidationErrors) {
+  EXPECT_FALSE(MixedRadixSpace::Create({}).ok());
+  EXPECT_FALSE(MixedRadixSpace::Create({-1}).ok());
+  auto space = MixedRadixSpace::Create({1, 1});
+  ASSERT_TRUE(space.ok());
+  EXPECT_FALSE(space->Encode({0}).ok());          // dimension mismatch
+  EXPECT_FALSE(space->Encode({2, 0}).ok());       // out of bounds
+  EXPECT_FALSE(space->Encode({0, -1}).ok());      // negative
+  EXPECT_FALSE(space->Decode(space->size()).ok());
+}
+
+TEST(MixedRadixSpaceTest, HugeSpaceRejected) {
+  EXPECT_FALSE(MixedRadixSpace::Create(
+                   std::vector<int>(40, 9))
+                   .ok());
+}
+
+TEST(MixedRadixSpaceTest, ZeroBoundDimensionCollapses) {
+  // A dimension pinned at 0 contributes a factor of 1.
+  auto space = MixedRadixSpace::Create({0, 2});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->size(), 3u);
+  EXPECT_EQ(*space->Encode({0, 2}), 2u);
+}
+
+TEST(MixedRadixSpaceTest, ToStringFormat) {
+  auto space = MixedRadixSpace::Create({2, 2, 2});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->ToString(*space->Encode({2, 1, 0})), "(2,1,0)");
+}
+
+}  // namespace
+}  // namespace wfms::markov

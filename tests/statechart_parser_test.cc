@@ -1,0 +1,205 @@
+#include "statechart/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_charts.h"
+
+namespace wfms::statechart {
+namespace {
+
+TEST(ParserTest, ParsesEpFixture) {
+  auto registry = ParseCharts(wfms::testing::kEpChartsDsl);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  EXPECT_EQ(registry->size(), 3u);
+  ASSERT_TRUE(registry->GetChart("EP").ok());
+  ASSERT_TRUE(registry->GetChart("Notify").ok());
+  ASSERT_TRUE(registry->GetChart("Delivery").ok());
+
+  const StateChart& ep = **registry->GetChart("EP");
+  EXPECT_EQ(ep.num_states(), 7u);  // paper: seven top-level states
+  EXPECT_EQ(ep.initial_state(), "NewOrder");
+  EXPECT_EQ(ep.final_state(), "EPExit");
+
+  const size_t shipment = *ep.StateIndex("Shipment");
+  EXPECT_EQ(ep.state(shipment).kind, StateKind::kComposite);
+  ASSERT_EQ(ep.state(shipment).subcharts.size(), 2u);
+  EXPECT_EQ(ep.state(shipment).subcharts[0], "Notify");
+  EXPECT_EQ(ep.state(shipment).subcharts[1], "Delivery");
+
+  const size_t collect = *ep.StateIndex("CollectPayment");
+  EXPECT_DOUBLE_EQ(ep.state(collect).residence_time, 1440.0);
+  EXPECT_EQ(ep.state(collect).activity, "collect_payment");
+}
+
+TEST(ParserTest, ParsesEcaAnnotations) {
+  auto registry = ParseCharts(wfms::testing::kEpChartsDsl);
+  ASSERT_TRUE(registry.ok());
+  const StateChart& ep = **registry->GetChart("EP");
+  const auto outgoing = ep.OutgoingTransitions("NewOrder");
+  ASSERT_EQ(outgoing.size(), 2u);
+  EXPECT_EQ(outgoing[0]->rule.event, "NewOrder_DONE");
+  EXPECT_EQ(outgoing[0]->rule.condition, "PayByCreditCard");
+  ASSERT_EQ(outgoing[0]->rule.actions.size(), 1u);
+  EXPECT_EQ(outgoing[0]->rule.actions[0], "st!(cc_check)");
+  EXPECT_EQ(outgoing[1]->rule.condition, "!PayByCreditCard");
+}
+
+TEST(ParserTest, SingleChartHelper) {
+  auto chart = ParseSingleChart(R"(
+chart Mini
+  state A residence=1
+  state B residence=2
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)");
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  EXPECT_EQ(chart->name(), "Mini");
+  EXPECT_FALSE(ParseSingleChart(wfms::testing::kEpChartsDsl).ok());
+}
+
+TEST(ParserTest, DefaultProbabilityIsOne) {
+  auto chart = ParseSingleChart(R"(
+chart Mini
+  state A residence=1
+  state B residence=2
+  initial A
+  final B
+  trans A -> B
+end
+)");
+  ASSERT_TRUE(chart.ok());
+  EXPECT_DOUBLE_EQ(chart->transitions()[0].probability, 1.0);
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  auto chart = ParseSingleChart(R"(
+# leading comment
+
+chart Mini
+  # inner comment
+  state A residence=1
+
+  state B residence=2
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)");
+  EXPECT_TRUE(chart.ok()) << chart.status();
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseCharts("chart X\n  bogus A\nend\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsUnknownKeyword) {
+  EXPECT_FALSE(ParseCharts("chart X\n  widget A\nend\n").ok());
+}
+
+TEST(ParserTest, RejectsStatementOutsideChart) {
+  EXPECT_FALSE(ParseCharts("state A residence=1\n").ok());
+}
+
+TEST(ParserTest, RejectsUnclosedChart) {
+  EXPECT_FALSE(ParseCharts("chart X\n  state A residence=1\n").ok());
+}
+
+TEST(ParserTest, RejectsNestedChart) {
+  EXPECT_FALSE(ParseCharts("chart X\nchart Y\nend\nend\n").ok());
+}
+
+TEST(ParserTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(ParseCharts("# nothing here\n").ok());
+}
+
+TEST(ParserTest, RejectsMissingResidence) {
+  EXPECT_FALSE(ParseCharts(R"(
+chart X
+  state A activity=foo
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)")
+                   .ok());
+}
+
+TEST(ParserTest, RejectsMalformedAttribute) {
+  EXPECT_FALSE(ParseCharts(R"(
+chart X
+  state A residence=abc
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)")
+                   .ok());
+  EXPECT_FALSE(ParseCharts(R"(
+chart X
+  state A residence=1 residence=2
+  state B residence=1
+  initial A
+  final B
+  trans A -> B prob=1
+end
+)")
+                   .ok());
+}
+
+TEST(ParserTest, RejectsBadTransitionSyntax) {
+  EXPECT_FALSE(ParseCharts(R"(
+chart X
+  state A residence=1
+  state B residence=1
+  initial A
+  final B
+  trans A B prob=1
+end
+)")
+                   .ok());
+}
+
+TEST(ParserTest, RejectsUnknownSubchartReference) {
+  auto r = ParseCharts(R"(
+chart X
+  compound C subcharts=NoSuchChart
+  state B residence=1
+  initial C
+  final B
+  trans C -> B prob=1
+end
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParserTest, DslRoundTrip) {
+  auto registry = ParseCharts(wfms::testing::kEpChartsDsl);
+  ASSERT_TRUE(registry.ok());
+  const std::string dsl = registry->ToDsl();
+  auto reparsed = ParseCharts(dsl);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->size(), registry->size());
+  const StateChart& ep1 = **registry->GetChart("EP");
+  const StateChart& ep2 = **reparsed->GetChart("EP");
+  ASSERT_EQ(ep2.num_states(), ep1.num_states());
+  ASSERT_EQ(ep2.transitions().size(), ep1.transitions().size());
+  for (size_t i = 0; i < ep1.transitions().size(); ++i) {
+    EXPECT_EQ(ep2.transitions()[i].from, ep1.transitions()[i].from);
+    EXPECT_EQ(ep2.transitions()[i].to, ep1.transitions()[i].to);
+    EXPECT_DOUBLE_EQ(ep2.transitions()[i].probability,
+                     ep1.transitions()[i].probability);
+    EXPECT_EQ(ep2.transitions()[i].rule.event,
+              ep1.transitions()[i].rule.event);
+  }
+}
+
+}  // namespace
+}  // namespace wfms::statechart

@@ -1,0 +1,155 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/time_units.h"
+
+namespace wfms {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.second_moment(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.second_moment(), 25.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance 4 -> sample variance 4 * 8/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.second_moment(), 29.0, 1e-12);  // E[X^2] = Var_pop + mean^2
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    all.Add(x);
+    (i < 37 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  const double mean = a.mean();
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.Merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStatsTest, ConfidenceIntervalShrinks) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 3);
+  EXPECT_GT(small.ConfidenceHalfWidth(0.95), large.ConfidenceHalfWidth(0.95));
+  EXPECT_GT(large.ConfidenceHalfWidth(0.99), large.ConfidenceHalfWidth(0.95));
+  EXPECT_GT(large.ConfidenceHalfWidth(0.95), large.ConfidenceHalfWidth(0.90));
+}
+
+TEST(RunningStatsTest, ScvOfConstantIsZero) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.scv(), 0.0);
+}
+
+TEST(TimeWeightedStatsTest, PiecewiseConstantAverage) {
+  TimeWeightedStats tw;
+  tw.Update(0.0, 2.0);   // value 2 on [0, 4)
+  tw.Update(4.0, 6.0);   // value 6 on [4, 6)
+  tw.Finish(6.0);
+  // (2*4 + 6*2) / 6 = 20/6
+  EXPECT_NEAR(tw.time_average(), 20.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tw.total_time(), 6.0);
+}
+
+TEST(TimeWeightedStatsTest, NoObservationIsZero) {
+  TimeWeightedStats tw;
+  EXPECT_DOUBLE_EQ(tw.time_average(), 0.0);
+}
+
+TEST(TimeWeightedStatsTest, ZeroWidthUpdatesIgnored) {
+  TimeWeightedStats tw;
+  tw.Update(1.0, 5.0);
+  tw.Update(1.0, 7.0);  // same instant; no weight for value 5
+  tw.Finish(3.0);
+  EXPECT_NEAR(tw.time_average(), 7.0, 1e-12);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);
+  h.Add(0.0);
+  h.Add(5.5);
+  h.Add(9.999);
+  h.Add(10.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.total_count(), 6);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(5), 1);
+  EXPECT_EQ(h.bucket_count(9), 1);
+}
+
+TEST(HistogramTest, QuantileApproximatesUniform) {
+  Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 10000; ++i) h.Add((i + 0.5) / 10000.0);
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.Quantile(0.99), 0.99, 0.02);
+}
+
+TEST(TimeUnitsTest, PaperRateConstants) {
+  // The paper quotes one failure per month = (43200 min)^-1 etc.
+  EXPECT_DOUBLE_EQ(kMinutesPerMonth, 43200.0);
+  EXPECT_DOUBLE_EQ(kMinutesPerWeek, 10080.0);
+  EXPECT_DOUBLE_EQ(kMinutesPerDay, 1440.0);
+}
+
+TEST(TimeUnitsTest, DowntimeConversion) {
+  // Unavailability of 1 means the whole year is downtime.
+  EXPECT_DOUBLE_EQ(UnavailabilityToDowntimeMinutesPerYear(1.0),
+                   kMinutesPerYear);
+  // 71 hours/year corresponds to unavailability ~ 8.1e-3.
+  const double u = HoursToMinutes(71.0) / kMinutesPerYear;
+  EXPECT_NEAR(UnavailabilityToDowntimeMinutesPerYear(u) / 60.0, 71.0, 1e-9);
+}
+
+TEST(TimeUnitsTest, FormatPicksUnits) {
+  EXPECT_EQ(FormatMinutes(120.0), "2 h");
+  EXPECT_EQ(FormatMinutes(0.5), "30 s");
+  EXPECT_EQ(FormatMinutes(2880.0), "2 d");
+  EXPECT_EQ(FormatMinutes(30.0), "30 min");
+}
+
+}  // namespace
+}  // namespace wfms

@@ -1,0 +1,127 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace wfms {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rate");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rate");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rate");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NumericError("diverged");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNumericError);
+  EXPECT_EQ(t.message(), "diverged");
+  EXPECT_EQ(s, t);
+}
+
+TEST(StatusTest, AssignmentOverwrites) {
+  Status s = Status::NotFound("x");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+  s = Status::ParseError("line 3");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status s = Status::Internal("oops");
+  Status t = std::move(s);
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(s.ok());  // NOLINT(bugprone-use-after-move): documented behavior
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::ParseError("unexpected token");
+  Status t = s.WithContext("statechart.dsl:7");
+  EXPECT_EQ(t.message(), "statechart.dsl:7: unexpected token");
+  EXPECT_EQ(t.code(), StatusCode::kParseError);
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericError), "NumericError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+}
+
+Status FailIfNegative(double x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UseReturnNotOk(double x) {
+  WFMS_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(UseReturnNotOk(1.0).ok());
+  EXPECT_EQ(UseReturnNotOk(-1.0).code(), StatusCode::kOutOfRange);
+}
+
+Result<double> Reciprocal(double x) {
+  if (x == 0.0) return Status::InvalidArgument("division by zero");
+  return 1.0 / x;
+}
+
+Result<double> TwiceReciprocal(double x) {
+  WFMS_ASSIGN_OR_RETURN(double r, Reciprocal(x));
+  return 2.0 * r;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<double> r = Reciprocal(4.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.25);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<double> r = Reciprocal(0.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<double> ok = TwiceReciprocal(4.0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(*ok, 0.5);
+  EXPECT_FALSE(TwiceReciprocal(0.0).ok());
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_DOUBLE_EQ(Reciprocal(2.0).ValueOr(-1.0), 0.5);
+  EXPECT_DOUBLE_EQ(Reciprocal(0.0).ValueOr(-1.0), -1.0);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+}  // namespace
+}  // namespace wfms

@@ -1,0 +1,154 @@
+#include "markov/steady_state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "markov/birth_death.h"
+#include "markov/ctmc.h"
+
+namespace wfms::markov {
+namespace {
+
+using linalg::Vector;
+
+Ctmc MakeTwoState(double up_rate, double down_rate) {
+  CtmcBuilder builder(2);
+  EXPECT_TRUE(builder.AddTransition(0, 1, up_rate).ok());
+  EXPECT_TRUE(builder.AddTransition(1, 0, down_rate).ok());
+  auto chain = builder.Build();
+  EXPECT_TRUE(chain.ok());
+  return *std::move(chain);
+}
+
+TEST(CtmcBuilderTest, RejectsBadTransitions) {
+  CtmcBuilder builder(2);
+  EXPECT_FALSE(builder.AddTransition(0, 0, 1.0).ok());   // self loop
+  EXPECT_FALSE(builder.AddTransition(0, 5, 1.0).ok());   // out of range
+  EXPECT_FALSE(builder.AddTransition(0, 1, 0.0).ok());   // non-positive
+  EXPECT_FALSE(builder.AddTransition(0, 1, -2.0).ok());
+}
+
+TEST(CtmcBuilderTest, AccumulatesParallelTransitions) {
+  CtmcBuilder builder(2);
+  ASSERT_TRUE(builder.AddTransition(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddTransition(0, 1, 2.0).ok());
+  ASSERT_TRUE(builder.AddTransition(1, 0, 1.0).ok());
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+  EXPECT_DOUBLE_EQ(chain->RateAt(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(chain->exit_rates()[0], 3.0);
+}
+
+TEST(CtmcTest, UniformizedMatrixRowsSumToOne) {
+  const Ctmc chain = MakeTwoState(2.0, 5.0);
+  const auto u = chain.UniformizedMatrix();
+  const auto dense = u.ToDense();
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(dense.At(r, 0) + dense.At(r, 1), 1.0, 1e-12);
+  }
+  // Margin keeps a positive self-loop even in the fastest state.
+  EXPECT_GT(dense.At(1, 1), 0.0);
+}
+
+TEST(SteadyStateTest, TwoStateClosedForm) {
+  // pi_0 * up = pi_1 * down  ->  pi = (down, up) / (up + down).
+  const Ctmc chain = MakeTwoState(3.0, 7.0);
+  for (auto method : {SteadyStateMethod::kLu, SteadyStateMethod::kGaussSeidel,
+                      SteadyStateMethod::kPower, SteadyStateMethod::kAuto}) {
+    SteadyStateOptions opts;
+    opts.method = method;
+    auto result = SolveSteadyState(chain, opts);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_NEAR(result->pi[0], 0.7, 1e-9);
+    EXPECT_NEAR(result->pi[1], 0.3, 1e-9);
+  }
+}
+
+TEST(SteadyStateTest, MatchesBirthDeathClosedForm) {
+  // 5-state birth-death chain with varying rates.
+  const Vector births{4.0, 3.0, 2.0, 1.0};
+  const Vector deaths{1.0, 2.0, 5.0, 3.0};
+  CtmcBuilder builder(5);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(builder.AddTransition(i, i + 1, births[i]).ok());
+    ASSERT_TRUE(builder.AddTransition(i + 1, i, deaths[i]).ok());
+  }
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+  auto closed = BirthDeathSteadyState(births, deaths);
+  ASSERT_TRUE(closed.ok());
+  auto solved = SolveSteadyState(*chain);
+  ASSERT_TRUE(solved.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(solved->pi[i], (*closed)[i], 1e-9);
+  }
+}
+
+class RandomErgodicChainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomErgodicChainTest, AllMethodsAgree) {
+  const auto n = static_cast<size_t>(GetParam());
+  Rng rng(500 + n);
+  CtmcBuilder builder(n);
+  // Ring structure guarantees irreducibility; extra random edges add bulk.
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        builder.AddTransition(i, (i + 1) % n, rng.NextDouble(0.5, 2.0)).ok());
+    ASSERT_TRUE(
+        builder
+            .AddTransition((i + 1) % n, i, rng.NextDouble(0.5, 2.0))
+            .ok());
+    for (int extra = 0; extra < 3; ++extra) {
+      const size_t j = rng.NextUint64(n);
+      if (j != i && rng.NextBernoulli(0.4)) {
+        ASSERT_TRUE(builder.AddTransition(i, j, rng.NextDouble(0.1, 1.0)).ok());
+      }
+    }
+  }
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+
+  SteadyStateOptions lu_opts;
+  lu_opts.method = SteadyStateMethod::kLu;
+  auto lu = SolveSteadyState(*chain, lu_opts);
+  ASSERT_TRUE(lu.ok()) << lu.status();
+
+  for (auto method :
+       {SteadyStateMethod::kGaussSeidel, SteadyStateMethod::kPower}) {
+    SteadyStateOptions opts;
+    opts.method = method;
+    auto result = SolveSteadyState(*chain, opts);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT(result->iterations, 0);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(result->pi[i], lu->pi[i], 1e-8)
+          << "state " << i << " method " << static_cast<int>(method);
+    }
+  }
+  // Probabilities sum to one.
+  EXPECT_NEAR(linalg::Sum(lu->pi), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomErgodicChainTest,
+                         ::testing::Values(2, 5, 12, 40, 120));
+
+TEST(SteadyStateTest, AbsorbingChainRejectedByGaussSeidel) {
+  CtmcBuilder builder(2);
+  ASSERT_TRUE(builder.AddTransition(0, 1, 1.0).ok());
+  // State 1 has no way out: zero exit rate.
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kGaussSeidel;
+  EXPECT_FALSE(SolveSteadyState(*chain, opts).ok());
+}
+
+TEST(SteadyStateTest, EmptyBuilderRejected) {
+  CtmcBuilder builder(0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+}  // namespace
+}  // namespace wfms::markov

@@ -1,0 +1,81 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace wfms {
+namespace {
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmpties) {
+  const auto parts = SplitString(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(StringUtilTest, SplitSkipsEmpties) {
+  const auto parts = SplitString(",a,,b,", ',', /*skip_empty=*/true);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringUtilTest, SplitEmptyString) {
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+  EXPECT_EQ(SplitString("", ',', true).size(), 0u);
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("workflow", "work"));
+  EXPECT_FALSE(StartsWith("work", "workflow"));
+  EXPECT_TRUE(EndsWith("model.dsl", ".dsl"));
+  EXPECT_FALSE(EndsWith("model", ".dsl"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("  -1e-3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(StringUtilTest, ParseInt) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt("4.2", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace wfms

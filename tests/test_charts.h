@@ -1,0 +1,64 @@
+// Shared test fixture: the electronic purchase (EP) workflow of Fig. 3 of
+// the paper, expressed in the statechart DSL. The residence times and
+// branch probabilities are our concretization of the paper's "fictitious
+// for mere illustration" values (documented in EXPERIMENTS.md); all model
+// time is in minutes.
+#ifndef WFMS_TESTS_TEST_CHARTS_H_
+#define WFMS_TESTS_TEST_CHARTS_H_
+
+namespace wfms::testing {
+
+inline constexpr char kEpChartsDsl[] = R"(
+# Electronic purchase workflow (paper Fig. 3), top-level chart.
+chart EP
+  state NewOrder activity=new_order residence=5
+  state CreditCardCheck activity=cc_check residence=1
+  compound Shipment subcharts=Notify,Delivery
+  state SendInvoice activity=send_invoice residence=2
+  state CollectPayment activity=collect_payment residence=1440
+  state ChargeCreditCard activity=charge_cc residence=1
+  state EPExit activity=finish residence=0.5
+  initial NewOrder
+  final EPExit
+  trans NewOrder -> CreditCardCheck prob=0.5 event=NewOrder_DONE cond=PayByCreditCard action=st!(cc_check)
+  trans NewOrder -> Shipment prob=0.5 event=NewOrder_DONE cond=!PayByCreditCard
+  trans CreditCardCheck -> EPExit prob=0.1 event=CreditCardCheck_DONE cond=CardInvalid
+  trans CreditCardCheck -> Shipment prob=0.9 event=CreditCardCheck_DONE cond=!CardInvalid
+  trans Shipment -> ChargeCreditCard prob=0.5 cond=PayByCreditCard
+  trans Shipment -> SendInvoice prob=0.5 cond=!PayByCreditCard
+  trans SendInvoice -> CollectPayment prob=1 event=SendInvoice_DONE action=st!(collect_payment)
+  trans CollectPayment -> SendInvoice prob=0.2 event=PaymentOverdue action=st!(send_invoice)
+  trans CollectPayment -> EPExit prob=0.8 event=PaymentReceived
+  trans ChargeCreditCard -> EPExit prob=1 event=ChargeCreditCard_DONE
+end
+
+# Orthogonal component 1 of the Shipment state (paper: Notify_SC).
+chart Notify
+  state PrepareNotice activity=prepare_notice residence=1
+  state SendNotice activity=send_notice residence=2
+  initial PrepareNotice
+  final SendNotice
+  trans PrepareNotice -> SendNotice prob=1 event=PrepareNotice_DONE
+end
+
+# Orthogonal component 2 of the Shipment state (paper: Delivery_SC).
+chart Delivery
+  state PickItems activity=pick_items residence=30
+  state PackItems activity=pack_items residence=20
+  state ShipItems activity=ship_items residence=2880
+  initial PickItems
+  final ShipItems
+  trans PickItems -> PackItems prob=1 event=PickItems_DONE
+  trans PackItems -> PickItems prob=0.1 cond=ItemsMissing
+  trans PackItems -> ShipItems prob=0.9 cond=!ItemsMissing
+end
+)";
+
+/// Hand-computed reference values for the EP fixture (see the derivations
+/// in tests using them).
+inline constexpr double kDeliveryTurnaround = 50.0 / 0.9 + 2880.0;
+inline constexpr double kNotifyTurnaround = 3.0;
+
+}  // namespace wfms::testing
+
+#endif  // WFMS_TESTS_TEST_CHARTS_H_

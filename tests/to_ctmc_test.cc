@@ -1,0 +1,169 @@
+#include "statechart/to_ctmc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/first_passage.h"
+#include "markov/transient.h"
+#include "statechart/builder.h"
+#include "statechart/parser.h"
+#include "tests/test_charts.h"
+
+namespace wfms::statechart {
+namespace {
+
+using wfms::testing::kDeliveryTurnaround;
+using wfms::testing::kEpChartsDsl;
+using wfms::testing::kNotifyTurnaround;
+
+ChartRegistry ParseEp() {
+  auto registry = ParseCharts(kEpChartsDsl);
+  EXPECT_TRUE(registry.ok()) << registry.status();
+  return *std::move(registry);
+}
+
+TEST(ToCtmcTest, EpChainHasPaperStructure) {
+  const ChartRegistry registry = ParseEp();
+  auto mapped = MapChartToCtmc(registry, "EP");
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  // Paper Fig. 4: seven states plus the absorbing state s_A.
+  EXPECT_EQ(mapped->chain.num_states(), 8u);
+  EXPECT_EQ(mapped->states.size(), 7u);
+  EXPECT_EQ(mapped->chain.state_name(7), "s_A");
+  EXPECT_EQ(mapped->chain.absorbing_state(), 7u);
+  EXPECT_EQ(mapped->chain.state_name(mapped->chain.initial_state()),
+            "NewOrder");
+}
+
+TEST(ToCtmcTest, DeliverySubchartTurnaround) {
+  // Delivery: Pick(30) -> Pack(20) with a 10% rework loop -> Ship(2880).
+  // Visits(Pick) = Visits(Pack) = 1/0.9; R = 50/0.9 + 2880.
+  const ChartRegistry registry = ParseEp();
+  auto mapped = MapChartToCtmc(registry, "Delivery");
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_NEAR(mapped->turnaround_time, kDeliveryTurnaround, 1e-6);
+}
+
+TEST(ToCtmcTest, CompositeResidenceIsMaxOfSubcharts) {
+  const ChartRegistry registry = ParseEp();
+  auto mapped = MapChartToCtmc(registry, "EP");
+  ASSERT_TRUE(mapped.ok());
+  const auto& states = mapped->states;
+  const auto shipment =
+      std::find_if(states.begin(), states.end(),
+                   [](const MappedState& s) { return s.name == "Shipment"; });
+  ASSERT_NE(shipment, states.end());
+  EXPECT_NEAR(shipment->residence_time,
+              std::max(kDeliveryTurnaround, kNotifyTurnaround), 1e-6);
+  // Both subcharts recorded with their turnarounds.
+  ASSERT_EQ(mapped->subchart_turnarounds.count("Notify"), 1u);
+  ASSERT_EQ(mapped->subchart_turnarounds.count("Delivery"), 1u);
+  EXPECT_NEAR(mapped->subchart_turnarounds.at("Notify"), kNotifyTurnaround,
+              1e-9);
+  EXPECT_NEAR(mapped->subchart_turnarounds.at("Delivery"),
+              kDeliveryTurnaround, 1e-6);
+}
+
+TEST(ToCtmcTest, EpTurnaroundMatchesHandComputation) {
+  // Visit counts: NewOrder 1, CCCheck .5, Shipment .5 + .45 = .95,
+  // ChargeCC .475, SendInvoice = CollectPayment = .475 * 1/(1-0.2)
+  // = 0.59375, EPExit 1.
+  const ChartRegistry registry = ParseEp();
+  auto mapped = MapChartToCtmc(registry, "EP");
+  ASSERT_TRUE(mapped.ok());
+  const double shipment_h = std::max(kDeliveryTurnaround, kNotifyTurnaround);
+  const double expected = 1.0 * 5.0 + 0.5 * 1.0 + 0.95 * shipment_h +
+                          0.475 * 1.0 + 0.59375 * (2.0 + 1440.0) + 1.0 * 0.5;
+  EXPECT_NEAR(mapped->turnaround_time, expected, 1e-6);
+}
+
+TEST(ToCtmcTest, EpVisitCountsMatchHandComputation) {
+  const ChartRegistry registry = ParseEp();
+  auto mapped = MapChartToCtmc(registry, "EP");
+  ASSERT_TRUE(mapped.ok());
+  auto visits = markov::ExpectedStateVisits(mapped->chain);
+  ASSERT_TRUE(visits.ok());
+  const auto idx = [&](const char* name) {
+    return *mapped->chain.StateIndex(name);
+  };
+  EXPECT_NEAR((*visits)[idx("NewOrder")], 1.0, 1e-9);
+  EXPECT_NEAR((*visits)[idx("CreditCardCheck")], 0.5, 1e-9);
+  EXPECT_NEAR((*visits)[idx("Shipment")], 0.95, 1e-9);
+  EXPECT_NEAR((*visits)[idx("ChargeCreditCard")], 0.475, 1e-9);
+  EXPECT_NEAR((*visits)[idx("SendInvoice")], 0.59375, 1e-9);
+  EXPECT_NEAR((*visits)[idx("CollectPayment")], 0.59375, 1e-9);
+  EXPECT_NEAR((*visits)[idx("EPExit")], 1.0, 1e-9);
+}
+
+TEST(ToCtmcTest, StandaloneChartMapping) {
+  auto chart = ChartBuilder("Solo")
+                   .AddActivityState("Work", "work", 10.0)
+                   .AddSimpleState("Done", 1.0)
+                   .SetInitial("Work")
+                   .SetFinal("Done")
+                   .AddTransition("Work", "Done", 1.0)
+                   .Build();
+  ASSERT_TRUE(chart.ok());
+  auto mapped = MapChartToCtmc(*chart);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_NEAR(mapped->turnaround_time, 11.0, 1e-9);
+}
+
+TEST(ToCtmcTest, StandaloneRejectsComposite) {
+  const ChartRegistry registry = ParseEp();
+  const StateChart& ep = **registry.GetChart("EP");
+  EXPECT_FALSE(MapChartToCtmc(ep).ok());
+}
+
+TEST(ToCtmcTest, ZeroResidenceClampedToMinimum) {
+  auto chart = ChartBuilder("Z")
+                   .AddSimpleState("Instant", 0.0)
+                   .AddSimpleState("Done", 1.0)
+                   .SetInitial("Instant")
+                   .SetFinal("Done")
+                   .AddTransition("Instant", "Done", 1.0)
+                   .Build();
+  ASSERT_TRUE(chart.ok());
+  MappingOptions options;
+  options.min_residence_time = 1e-6;
+  auto mapped = MapChartToCtmc(*chart, options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_NEAR(mapped->turnaround_time, 1.0 + 1e-6, 1e-9);
+}
+
+TEST(ToCtmcTest, MissingChartNameFails) {
+  const ChartRegistry registry = ParseEp();
+  EXPECT_FALSE(MapChartToCtmc(registry, "NoSuch").ok());
+}
+
+TEST(ToCtmcTest, SharedSubchartMappedOnce) {
+  // Two composite states embedding the same subchart must agree on its
+  // turnaround (memoization must not corrupt results).
+  auto registry = ParseCharts(R"(
+chart Sub
+  state W activity=w residence=7
+  state D residence=1
+  initial W
+  final D
+  trans W -> D prob=1
+end
+chart Top
+  compound C1 subcharts=Sub
+  compound C2 subcharts=Sub
+  state Done residence=1
+  initial C1
+  final Done
+  trans C1 -> C2 prob=1
+  trans C2 -> Done prob=1
+end
+)");
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  auto mapped = MapChartToCtmc(*registry, "Top");
+  ASSERT_TRUE(mapped.ok());
+  // R = 8 + 8 + 1.
+  EXPECT_NEAR(mapped->turnaround_time, 17.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace wfms::statechart

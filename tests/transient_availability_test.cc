@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avail/availability_model.h"
+#include "markov/ctmc_transient.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::avail {
+namespace {
+
+using workflow::Configuration;
+
+AvailabilityModel MakeModel() {
+  auto env = workflow::EpEnvironment();
+  EXPECT_TRUE(env.ok());
+  auto model = AvailabilityModel::Create(env->servers);
+  EXPECT_TRUE(model.ok());
+  return *std::move(model);
+}
+
+TEST(CtmcTransientTest, TwoStateClosedForm) {
+  // Up/down chain: failure rate a, repair rate b. Starting up:
+  //   P(up at t) = b/(a+b) + a/(a+b) * exp(-(a+b) t).
+  const double a = 0.2;
+  const double b = 0.5;
+  markov::CtmcBuilder builder(2);
+  ASSERT_TRUE(builder.AddTransition(0, 1, a).ok());  // 0 = up, 1 = down
+  ASSERT_TRUE(builder.AddTransition(1, 0, b).ok());
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+  for (double t : {0.0, 0.5, 2.0, 10.0, 50.0}) {
+    auto pt = markov::CtmcTransientDistribution(*chain, {1.0, 0.0}, t);
+    ASSERT_TRUE(pt.ok()) << pt.status();
+    const double expected =
+        b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+    EXPECT_NEAR((*pt)[0], expected, 1e-9) << "t=" << t;
+    EXPECT_NEAR((*pt)[0] + (*pt)[1], 1.0, 1e-9);
+  }
+}
+
+TEST(CtmcTransientTest, Validation) {
+  markov::CtmcBuilder builder(2);
+  ASSERT_TRUE(builder.AddTransition(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddTransition(1, 0, 1.0).ok());
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+  linalg::Vector good{1.0, 0.0};
+  EXPECT_FALSE(markov::CtmcTransientDistribution(*chain, {1.0}, 1.0).ok());
+  EXPECT_FALSE(
+      markov::CtmcTransientDistribution(*chain, {0.6, 0.6}, 1.0).ok());
+  EXPECT_FALSE(markov::CtmcTransientDistribution(*chain, good, -1.0).ok());
+}
+
+TEST(TransientAvailabilityTest, StartsAtOne) {
+  const AvailabilityModel model = MakeModel();
+  auto a0 = model.PointAvailability(Configuration({2, 2, 2}), 0.0);
+  ASSERT_TRUE(a0.ok());
+  EXPECT_DOUBLE_EQ(*a0, 1.0);
+}
+
+TEST(TransientAvailabilityTest, DecreasesTowardSteadyState) {
+  const AvailabilityModel model = MakeModel();
+  const Configuration config({1, 1, 1});
+  auto steady = model.Evaluate(config);
+  ASSERT_TRUE(steady.ok());
+  double prev = 1.0;
+  for (double t : {10.0, 100.0, 1000.0, 20000.0}) {
+    auto at = model.PointAvailability(config, t);
+    ASSERT_TRUE(at.ok()) << at.status();
+    EXPECT_LE(*at, prev + 1e-12) << "t=" << t;
+    EXPECT_GE(*at, steady->availability - 1e-9) << "t=" << t;
+    prev = *at;
+  }
+  // By 20000 minutes (>> 1/mu = 10) the transient has settled.
+  EXPECT_NEAR(prev, steady->availability, 1e-6);
+}
+
+TEST(TransientAvailabilityTest, ShortMissionsAreSafeEvenUnreplicated) {
+  // Over a 60-minute mission window, even the unreplicated system is very
+  // likely to stay up (MTTFs are >= a day) — the transient metric reveals
+  // what the steady-state number hides.
+  const AvailabilityModel model = MakeModel();
+  auto mission = model.PointAvailability(Configuration({1, 1, 1}), 60.0);
+  auto steady = model.Evaluate(Configuration({1, 1, 1}));
+  ASSERT_TRUE(mission.ok());
+  ASSERT_TRUE(steady.ok());
+  EXPECT_GT(*mission, 0.99);
+  EXPECT_GT(*mission, steady->availability);
+}
+
+TEST(TransientAvailabilityTest, ReplicationLiftsTheWholeCurve) {
+  const AvailabilityModel model = MakeModel();
+  for (double t : {100.0, 5000.0}) {
+    auto one = model.PointAvailability(Configuration({1, 1, 1}), t);
+    auto two = model.PointAvailability(Configuration({2, 2, 2}), t);
+    ASSERT_TRUE(one.ok());
+    ASSERT_TRUE(two.ok());
+    EXPECT_GT(*two, *one) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace wfms::avail

@@ -1,0 +1,24 @@
+# End-to-end CLI loop: simulate with an audit trail, calibrate from it,
+# and feed the calibrated scenario back into assess.
+execute_process(
+  COMMAND ${WFMSCTL} simulate --scenario ep --config 1,1,1
+          --duration 4000 --no-failures --seed 7
+          --trail-out ${WORKDIR}/trail.csv
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "simulate failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${WFMSCTL} calibrate --scenario ep --trail ${WORKDIR}/trail.csv
+  OUTPUT_FILE ${WORKDIR}/calibrated.wfms
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "calibrate failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${WFMSCTL} assess --scenario ${WORKDIR}/calibrated.wfms
+          --config 2,2,3 --max-wait 1 --min-avail 0.99
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "assess on calibrated scenario failed: ${rc}")
+endif()

@@ -1,0 +1,358 @@
+// wfmsctl — command-line front end of the configuration tool (§7 of the
+// paper): analyze workflows, assess candidate configurations, recommend
+// minimum-cost configurations, and validate by simulation, driven by
+// scenario files (see src/workflow/environment_io.h) or the built-in
+// scenarios.
+//
+//   wfmsctl analyze   --scenario ep
+//   wfmsctl assess    --scenario ep --config 2,2,3 --max-wait 0.05
+//                     --min-avail 0.99999
+//   wfmsctl recommend --scenario scenario.wfms --method greedy
+//   wfmsctl simulate  --scenario ep --config 2,2,3 --duration 50000
+//   wfmsctl export    --scenario benchmark > my_scenario.wfms
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "avail/availability_model.h"
+#include "common/string_util.h"
+#include "common/time_units.h"
+#include "configtool/tool.h"
+#include "markov/first_passage_moments.h"
+#include "markov/transient_distribution.h"
+#include "perf/performance_model.h"
+#include "sim/simulator.h"
+#include "workflow/calibration.h"
+#include "workflow/environment_io.h"
+#include "workflow/scenarios.h"
+
+namespace wfms {
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    const auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values.find(name);
+    double value = fallback;
+    if (it != values.end()) ParseDouble(it->second, &value);
+    return value;
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: wfmsctl <command> [--flag value]...
+
+commands:
+  analyze     turnaround times, loads, and quantiles per workflow type
+  assess      evaluate one configuration against performability goals
+  recommend   search a minimum-cost configuration (greedy|exhaustive|annealing)
+  simulate    discrete-event simulation of a configuration
+              (--trail-out FILE records the audit trail;
+               --bind-instances uses per-instance server binding)
+  calibrate   re-estimate the scenario from an audit trail (--trail FILE);
+              prints the calibrated scenario to stdout
+  export      print a scenario file for a built-in scenario
+
+common flags:
+  --scenario  ep | benchmark | <path to scenario file>   (default: ep)
+  --config    comma-separated replication vector, e.g. 2,2,3
+  --max-wait  waiting-time goal in minutes      (default 0.05)
+  --min-avail availability goal                 (default 0.99999)
+  --method    greedy | exhaustive | annealing | bnb   (default greedy)
+  --max-replicas per-type search bound          (default 8)
+  --duration / --warmup / --seed / --no-failures   (simulate)
+)");
+  return 2;
+}
+
+Result<workflow::Environment> LoadScenario(const std::string& name) {
+  if (name == "ep") return workflow::EpEnvironment();
+  if (name == "benchmark") return workflow::BenchmarkEnvironment();
+  std::ifstream file(name);
+  if (!file) {
+    return Status::NotFound("cannot open scenario file '" + name + "'");
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return workflow::ParseEnvironment(buffer.str());
+}
+
+Result<workflow::Configuration> ParseConfig(const std::string& text,
+                                            size_t num_types) {
+  if (text.empty()) {
+    return Status::InvalidArgument("--config is required for this command");
+  }
+  workflow::Configuration config;
+  for (const std::string& part : SplitString(text, ',')) {
+    int value = 0;
+    if (!ParseInt(part, &value)) {
+      return Status::InvalidArgument("bad --config entry '" + part + "'");
+    }
+    config.replicas.push_back(value);
+  }
+  WFMS_RETURN_NOT_OK(config.Validate(num_types));
+  return config;
+}
+
+configtool::Goals GoalsFromFlags(const Flags& flags) {
+  configtool::Goals goals;
+  goals.max_waiting_time = flags.GetDouble("max-wait", 0.05);
+  goals.min_availability = flags.GetDouble("min-avail", 0.99999);
+  return goals;
+}
+
+int Analyze(const workflow::Environment& env) {
+  auto model = perf::PerformanceModel::Create(env);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  for (const perf::WorkflowAnalysis& wf : model->workflows()) {
+    std::printf("workflow %s (chart %s)\n", wf.workflow_type.c_str(),
+                wf.chart.c_str());
+    std::printf("  mean turnaround: %s\n",
+                FormatMinutes(wf.turnaround_time).c_str());
+    auto moments = markov::TurnaroundTimeMoments(wf.chain);
+    if (moments.ok()) {
+      std::printf("  turnaround stddev: %s (SCV %.2f)\n",
+                  FormatMinutes(moments->stddev()).c_str(), moments->scv());
+    }
+    for (double q : {0.5, 0.95}) {
+      auto quantile = markov::TurnaroundQuantile(wf.chain, q);
+      if (quantile.ok()) {
+        std::printf("  p%.0f turnaround: %s\n", q * 100,
+                    FormatMinutes(*quantile).c_str());
+      }
+    }
+    std::printf("  expected requests:");
+    for (size_t x = 0; x < env.num_server_types(); ++x) {
+      std::printf(" %s=%.2f", env.servers.type(x).name.c_str(),
+                  wf.expected_requests[x]);
+    }
+    std::printf("\n");
+  }
+  std::printf("aggregate request rates (req/min):");
+  for (size_t x = 0; x < env.num_server_types(); ++x) {
+    std::printf(" %s=%.2f", env.servers.type(x).name.c_str(),
+                model->total_request_rates()[x]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Assess(const workflow::Environment& env, const Flags& flags) {
+  auto config = ParseConfig(flags.Get("config", ""), env.num_server_types());
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  auto tool = configtool::ConfigurationTool::Create(env);
+  if (!tool.ok()) {
+    std::fprintf(stderr, "%s\n", tool.status().ToString().c_str());
+    return 1;
+  }
+  auto assessment = tool->Assess(*config, GoalsFromFlags(flags));
+  if (!assessment.ok()) {
+    std::fprintf(stderr, "%s\n", assessment.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("configuration %s (cost %.0f)\n", config->ToString().c_str(),
+              assessment->cost);
+  for (size_t x = 0; x < env.num_server_types(); ++x) {
+    const double w = assessment->performability.expected_waiting[x];
+    std::printf("  %-10s W^Y = %s\n", env.servers.type(x).name.c_str(),
+                std::isinf(w) ? "saturated" : FormatMinutes(w).c_str());
+  }
+  std::printf("  availability %.8f (downtime %s/year)\n",
+              assessment->performability.availability,
+              FormatMinutes(UnavailabilityToDowntimeMinutesPerYear(
+                                1.0 - assessment->performability.availability))
+                  .c_str());
+  std::printf("  P(saturated) %.3g, P(degraded) %.3g\n",
+              assessment->performability.prob_saturated,
+              assessment->performability.prob_degraded);
+  std::printf("verdict: %s\n",
+              assessment->Satisfies() ? "goals met" : "goals NOT met");
+  return assessment->Satisfies() ? 0 : 3;
+}
+
+int Recommend(const workflow::Environment& env, const Flags& flags) {
+  auto tool = configtool::ConfigurationTool::Create(env);
+  if (!tool.ok()) {
+    std::fprintf(stderr, "%s\n", tool.status().ToString().c_str());
+    return 1;
+  }
+  configtool::SearchConstraints constraints;
+  const int max_replicas =
+      static_cast<int>(flags.GetDouble("max-replicas", 8));
+  constraints.max_replicas.assign(env.num_server_types(), max_replicas);
+  const configtool::Goals goals = GoalsFromFlags(flags);
+  const std::string method = flags.Get("method", "greedy");
+
+  Result<configtool::SearchResult> result =
+      Status::InvalidArgument("unknown --method '" + method + "'");
+  if (method == "greedy") {
+    result = tool->GreedyMinCost(goals, constraints);
+  } else if (method == "exhaustive") {
+    result = tool->ExhaustiveMinCost(goals, constraints);
+  } else if (method == "annealing") {
+    result = tool->AnnealingMinCost(goals, constraints);
+  } else if (method == "bnb") {
+    result = tool->BranchAndBoundMinCost(goals, constraints);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", tool->RenderRecommendation(*result).c_str());
+  return result->satisfied ? 0 : 3;
+}
+
+int Simulate(const workflow::Environment& env, const Flags& flags) {
+  auto config = ParseConfig(flags.Get("config", ""), env.num_server_types());
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  sim::SimulationOptions options;
+  options.config = *config;
+  options.duration = flags.GetDouble("duration", 50000.0);
+  options.warmup = flags.GetDouble("warmup", options.duration * 0.1);
+  options.seed = static_cast<uint64_t>(flags.GetDouble("seed", 1.0));
+  options.enable_failures = !flags.Has("no-failures");
+  options.record_audit_trail = flags.Has("trail-out");
+  if (flags.Has("bind-instances")) {
+    options.dispatch = sim::DispatchPolicy::kPerInstanceBinding;
+  }
+  auto simulator = sim::Simulator::Create(env, options);
+  if (!simulator.ok()) {
+    std::fprintf(stderr, "%s\n", simulator.status().ToString().c_str());
+    return 1;
+  }
+  auto result = simulator->Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("simulated %s for %s (%lld events)\n",
+              config->ToString().c_str(),
+              FormatMinutes(options.duration).c_str(),
+              static_cast<long long>(result->events_executed));
+  for (size_t x = 0; x < env.num_server_types(); ++x) {
+    const auto& stats = result->servers[x];
+    std::printf("  %-10s util %.3f, mean wait %s (n=%lld), failovers %lld\n",
+                env.servers.type(x).name.c_str(), result->utilization[x],
+                FormatMinutes(stats.waiting_time.mean()).c_str(),
+                static_cast<long long>(stats.waiting_time.count()),
+                static_cast<long long>(stats.failovers));
+  }
+  for (const auto& [name, wf] : result->workflows) {
+    std::printf("  workflow %-8s completed %lld, mean turnaround %s\n",
+                name.c_str(), static_cast<long long>(wf.completed),
+                FormatMinutes(wf.turnaround.mean()).c_str());
+  }
+  std::printf("  observed availability %.6f\n",
+              result->observed_availability);
+  if (flags.Has("trail-out")) {
+    const std::string path = flags.Get("trail-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trail to '%s'\n", path.c_str());
+      return 1;
+    }
+    out << result->trail.Serialize();
+    std::printf("  audit trail (%zu records) written to %s\n",
+                result->trail.size(), path.c_str());
+  }
+  return 0;
+}
+
+int Calibrate(const workflow::Environment& env, const Flags& flags) {
+  const std::string path = flags.Get("trail", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "calibrate requires --trail <file>\n");
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open trail '%s'\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  auto trail = workflow::AuditTrail::Deserialize(buffer.str());
+  if (!trail.ok()) {
+    std::fprintf(stderr, "%s\n", trail.status().ToString().c_str());
+    return 1;
+  }
+  workflow::CalibrationReport report;
+  auto calibrated = workflow::CalibrateEnvironment(env, *trail, {}, &report);
+  if (!calibrated.ok()) {
+    std::fprintf(stderr, "%s\n", calibrated.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "calibrated: %d states re-estimated (%d kept), %d server "
+               "types, %d workflow rates\n",
+               report.states_recalibrated, report.states_kept,
+               report.server_types_recalibrated,
+               report.workflow_types_recalibrated);
+  // The calibrated scenario goes to stdout so it can be piped to a file
+  // and fed back into assess/recommend.
+  std::printf("%s", workflow::SerializeEnvironment(*calibrated).c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+    arg = arg.substr(2);
+    if (arg == "no-failures" || arg == "bind-instances") {
+      flags.values[arg] = "1";
+    } else if (i + 1 < argc) {
+      flags.values[arg] = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  auto env = LoadScenario(flags.Get("scenario", "ep"));
+  if (!env.ok()) {
+    std::fprintf(stderr, "%s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  if (command == "analyze") return Analyze(*env);
+  if (command == "assess") return Assess(*env, flags);
+  if (command == "recommend") return Recommend(*env, flags);
+  if (command == "simulate") return Simulate(*env, flags);
+  if (command == "calibrate") return Calibrate(*env, flags);
+  if (command == "export") {
+    std::printf("%s", workflow::SerializeEnvironment(*env).c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace wfms
+
+int main(int argc, char** argv) { return wfms::Main(argc, argv); }
