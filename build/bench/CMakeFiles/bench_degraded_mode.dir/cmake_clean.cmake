@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degraded_mode.dir/bench_degraded_mode.cpp.o"
+  "CMakeFiles/bench_degraded_mode.dir/bench_degraded_mode.cpp.o.d"
+  "bench_degraded_mode"
+  "bench_degraded_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

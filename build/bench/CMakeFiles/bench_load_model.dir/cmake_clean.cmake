@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_load_model.dir/bench_load_model.cpp.o"
+  "CMakeFiles/bench_load_model.dir/bench_load_model.cpp.o.d"
+  "bench_load_model"
+  "bench_load_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_performability.dir/bench_performability.cpp.o"
+  "CMakeFiles/bench_performability.dir/bench_performability.cpp.o.d"
+  "bench_performability"
+  "bench_performability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_performability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

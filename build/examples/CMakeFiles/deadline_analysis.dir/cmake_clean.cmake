@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_analysis.dir/deadline_analysis.cpp.o"
+  "CMakeFiles/deadline_analysis.dir/deadline_analysis.cpp.o.d"
+  "deadline_analysis"
+  "deadline_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_configuration.dir/ecommerce_configuration.cpp.o"
+  "CMakeFiles/ecommerce_configuration.dir/ecommerce_configuration.cpp.o.d"
+  "ecommerce_configuration"
+  "ecommerce_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration_monitoring.dir/reconfiguration_monitoring.cpp.o"
+  "CMakeFiles/reconfiguration_monitoring.dir/reconfiguration_monitoring.cpp.o.d"
+  "reconfiguration_monitoring"
+  "reconfiguration_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

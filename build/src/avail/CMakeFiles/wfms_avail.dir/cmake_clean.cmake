@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_avail.dir/availability_model.cc.o"
+  "CMakeFiles/wfms_avail.dir/availability_model.cc.o.d"
+  "libwfms_avail.a"
+  "libwfms_avail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

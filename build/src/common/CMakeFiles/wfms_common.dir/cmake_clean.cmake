@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_common.dir/logging.cc.o"
+  "CMakeFiles/wfms_common.dir/logging.cc.o.d"
+  "CMakeFiles/wfms_common.dir/random.cc.o"
+  "CMakeFiles/wfms_common.dir/random.cc.o.d"
+  "CMakeFiles/wfms_common.dir/statistics.cc.o"
+  "CMakeFiles/wfms_common.dir/statistics.cc.o.d"
+  "CMakeFiles/wfms_common.dir/status.cc.o"
+  "CMakeFiles/wfms_common.dir/status.cc.o.d"
+  "CMakeFiles/wfms_common.dir/string_util.cc.o"
+  "CMakeFiles/wfms_common.dir/string_util.cc.o.d"
+  "CMakeFiles/wfms_common.dir/time_units.cc.o"
+  "CMakeFiles/wfms_common.dir/time_units.cc.o.d"
+  "libwfms_common.a"
+  "libwfms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_configtool.dir/goals.cc.o"
+  "CMakeFiles/wfms_configtool.dir/goals.cc.o.d"
+  "CMakeFiles/wfms_configtool.dir/tool.cc.o"
+  "CMakeFiles/wfms_configtool.dir/tool.cc.o.d"
+  "libwfms_configtool.a"
+  "libwfms_configtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_configtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

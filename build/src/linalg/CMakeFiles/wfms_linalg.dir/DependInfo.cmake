@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cc" "src/linalg/CMakeFiles/wfms_linalg.dir/dense_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/wfms_linalg.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/iterative_solver.cc" "src/linalg/CMakeFiles/wfms_linalg.dir/iterative_solver.cc.o" "gcc" "src/linalg/CMakeFiles/wfms_linalg.dir/iterative_solver.cc.o.d"
+  "/root/repo/src/linalg/lu_solver.cc" "src/linalg/CMakeFiles/wfms_linalg.dir/lu_solver.cc.o" "gcc" "src/linalg/CMakeFiles/wfms_linalg.dir/lu_solver.cc.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cc" "src/linalg/CMakeFiles/wfms_linalg.dir/sparse_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/wfms_linalg.dir/sparse_matrix.cc.o.d"
+  "/root/repo/src/linalg/vector.cc" "src/linalg/CMakeFiles/wfms_linalg.dir/vector.cc.o" "gcc" "src/linalg/CMakeFiles/wfms_linalg.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

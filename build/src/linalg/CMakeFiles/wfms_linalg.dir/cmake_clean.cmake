@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_linalg.dir/dense_matrix.cc.o"
+  "CMakeFiles/wfms_linalg.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/wfms_linalg.dir/iterative_solver.cc.o"
+  "CMakeFiles/wfms_linalg.dir/iterative_solver.cc.o.d"
+  "CMakeFiles/wfms_linalg.dir/lu_solver.cc.o"
+  "CMakeFiles/wfms_linalg.dir/lu_solver.cc.o.d"
+  "CMakeFiles/wfms_linalg.dir/sparse_matrix.cc.o"
+  "CMakeFiles/wfms_linalg.dir/sparse_matrix.cc.o.d"
+  "CMakeFiles/wfms_linalg.dir/vector.cc.o"
+  "CMakeFiles/wfms_linalg.dir/vector.cc.o.d"
+  "libwfms_linalg.a"
+  "libwfms_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/absorbing_ctmc.cc" "src/markov/CMakeFiles/wfms_markov.dir/absorbing_ctmc.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/absorbing_ctmc.cc.o.d"
+  "/root/repo/src/markov/birth_death.cc" "src/markov/CMakeFiles/wfms_markov.dir/birth_death.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/birth_death.cc.o.d"
+  "/root/repo/src/markov/ctmc.cc" "src/markov/CMakeFiles/wfms_markov.dir/ctmc.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/ctmc.cc.o.d"
+  "/root/repo/src/markov/ctmc_transient.cc" "src/markov/CMakeFiles/wfms_markov.dir/ctmc_transient.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/ctmc_transient.cc.o.d"
+  "/root/repo/src/markov/dtmc.cc" "src/markov/CMakeFiles/wfms_markov.dir/dtmc.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/dtmc.cc.o.d"
+  "/root/repo/src/markov/first_passage.cc" "src/markov/CMakeFiles/wfms_markov.dir/first_passage.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/first_passage.cc.o.d"
+  "/root/repo/src/markov/first_passage_moments.cc" "src/markov/CMakeFiles/wfms_markov.dir/first_passage_moments.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/first_passage_moments.cc.o.d"
+  "/root/repo/src/markov/phase_type.cc" "src/markov/CMakeFiles/wfms_markov.dir/phase_type.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/phase_type.cc.o.d"
+  "/root/repo/src/markov/state_space.cc" "src/markov/CMakeFiles/wfms_markov.dir/state_space.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/state_space.cc.o.d"
+  "/root/repo/src/markov/steady_state.cc" "src/markov/CMakeFiles/wfms_markov.dir/steady_state.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/steady_state.cc.o.d"
+  "/root/repo/src/markov/transient.cc" "src/markov/CMakeFiles/wfms_markov.dir/transient.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/transient.cc.o.d"
+  "/root/repo/src/markov/transient_distribution.cc" "src/markov/CMakeFiles/wfms_markov.dir/transient_distribution.cc.o" "gcc" "src/markov/CMakeFiles/wfms_markov.dir/transient_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/wfms_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

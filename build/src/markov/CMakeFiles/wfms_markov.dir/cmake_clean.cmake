@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_markov.dir/absorbing_ctmc.cc.o"
+  "CMakeFiles/wfms_markov.dir/absorbing_ctmc.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/birth_death.cc.o"
+  "CMakeFiles/wfms_markov.dir/birth_death.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/ctmc.cc.o"
+  "CMakeFiles/wfms_markov.dir/ctmc.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/ctmc_transient.cc.o"
+  "CMakeFiles/wfms_markov.dir/ctmc_transient.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/dtmc.cc.o"
+  "CMakeFiles/wfms_markov.dir/dtmc.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/first_passage.cc.o"
+  "CMakeFiles/wfms_markov.dir/first_passage.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/first_passage_moments.cc.o"
+  "CMakeFiles/wfms_markov.dir/first_passage_moments.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/phase_type.cc.o"
+  "CMakeFiles/wfms_markov.dir/phase_type.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/state_space.cc.o"
+  "CMakeFiles/wfms_markov.dir/state_space.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/steady_state.cc.o"
+  "CMakeFiles/wfms_markov.dir/steady_state.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/transient.cc.o"
+  "CMakeFiles/wfms_markov.dir/transient.cc.o.d"
+  "CMakeFiles/wfms_markov.dir/transient_distribution.cc.o"
+  "CMakeFiles/wfms_markov.dir/transient_distribution.cc.o.d"
+  "libwfms_markov.a"
+  "libwfms_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

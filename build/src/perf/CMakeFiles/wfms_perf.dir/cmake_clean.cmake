@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_perf.dir/performance_model.cc.o"
+  "CMakeFiles/wfms_perf.dir/performance_model.cc.o.d"
+  "CMakeFiles/wfms_perf.dir/workflow_analysis.cc.o"
+  "CMakeFiles/wfms_perf.dir/workflow_analysis.cc.o.d"
+  "libwfms_perf.a"
+  "libwfms_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_performability.dir/performability_model.cc.o"
+  "CMakeFiles/wfms_performability.dir/performability_model.cc.o.d"
+  "libwfms_performability.a"
+  "libwfms_performability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_performability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wfms_performability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_queueing.dir/distributions.cc.o"
+  "CMakeFiles/wfms_queueing.dir/distributions.cc.o.d"
+  "CMakeFiles/wfms_queueing.dir/mg1.cc.o"
+  "CMakeFiles/wfms_queueing.dir/mg1.cc.o.d"
+  "libwfms_queueing.a"
+  "libwfms_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/wfms_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/wfms_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/server_pool.cc" "src/sim/CMakeFiles/wfms_sim.dir/server_pool.cc.o" "gcc" "src/sim/CMakeFiles/wfms_sim.dir/server_pool.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/wfms_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/wfms_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/wfms_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/wfms_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/statechart/CMakeFiles/wfms_statechart.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/wfms_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wfms_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_sim.dir/event_queue.cc.o"
+  "CMakeFiles/wfms_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/wfms_sim.dir/server_pool.cc.o"
+  "CMakeFiles/wfms_sim.dir/server_pool.cc.o.d"
+  "CMakeFiles/wfms_sim.dir/simulator.cc.o"
+  "CMakeFiles/wfms_sim.dir/simulator.cc.o.d"
+  "libwfms_sim.a"
+  "libwfms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statechart/builder.cc" "src/statechart/CMakeFiles/wfms_statechart.dir/builder.cc.o" "gcc" "src/statechart/CMakeFiles/wfms_statechart.dir/builder.cc.o.d"
+  "/root/repo/src/statechart/interpreter.cc" "src/statechart/CMakeFiles/wfms_statechart.dir/interpreter.cc.o" "gcc" "src/statechart/CMakeFiles/wfms_statechart.dir/interpreter.cc.o.d"
+  "/root/repo/src/statechart/model.cc" "src/statechart/CMakeFiles/wfms_statechart.dir/model.cc.o" "gcc" "src/statechart/CMakeFiles/wfms_statechart.dir/model.cc.o.d"
+  "/root/repo/src/statechart/parser.cc" "src/statechart/CMakeFiles/wfms_statechart.dir/parser.cc.o" "gcc" "src/statechart/CMakeFiles/wfms_statechart.dir/parser.cc.o.d"
+  "/root/repo/src/statechart/to_ctmc.cc" "src/statechart/CMakeFiles/wfms_statechart.dir/to_ctmc.cc.o" "gcc" "src/statechart/CMakeFiles/wfms_statechart.dir/to_ctmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/markov/CMakeFiles/wfms_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wfms_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

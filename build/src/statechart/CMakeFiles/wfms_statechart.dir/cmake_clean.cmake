@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_statechart.dir/builder.cc.o"
+  "CMakeFiles/wfms_statechart.dir/builder.cc.o.d"
+  "CMakeFiles/wfms_statechart.dir/interpreter.cc.o"
+  "CMakeFiles/wfms_statechart.dir/interpreter.cc.o.d"
+  "CMakeFiles/wfms_statechart.dir/model.cc.o"
+  "CMakeFiles/wfms_statechart.dir/model.cc.o.d"
+  "CMakeFiles/wfms_statechart.dir/parser.cc.o"
+  "CMakeFiles/wfms_statechart.dir/parser.cc.o.d"
+  "CMakeFiles/wfms_statechart.dir/to_ctmc.cc.o"
+  "CMakeFiles/wfms_statechart.dir/to_ctmc.cc.o.d"
+  "libwfms_statechart.a"
+  "libwfms_statechart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_statechart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

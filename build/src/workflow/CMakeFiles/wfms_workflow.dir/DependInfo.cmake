@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/audit_trail.cc" "src/workflow/CMakeFiles/wfms_workflow.dir/audit_trail.cc.o" "gcc" "src/workflow/CMakeFiles/wfms_workflow.dir/audit_trail.cc.o.d"
+  "/root/repo/src/workflow/calibration.cc" "src/workflow/CMakeFiles/wfms_workflow.dir/calibration.cc.o" "gcc" "src/workflow/CMakeFiles/wfms_workflow.dir/calibration.cc.o.d"
+  "/root/repo/src/workflow/configuration.cc" "src/workflow/CMakeFiles/wfms_workflow.dir/configuration.cc.o" "gcc" "src/workflow/CMakeFiles/wfms_workflow.dir/configuration.cc.o.d"
+  "/root/repo/src/workflow/environment.cc" "src/workflow/CMakeFiles/wfms_workflow.dir/environment.cc.o" "gcc" "src/workflow/CMakeFiles/wfms_workflow.dir/environment.cc.o.d"
+  "/root/repo/src/workflow/environment_io.cc" "src/workflow/CMakeFiles/wfms_workflow.dir/environment_io.cc.o" "gcc" "src/workflow/CMakeFiles/wfms_workflow.dir/environment_io.cc.o.d"
+  "/root/repo/src/workflow/scenarios.cc" "src/workflow/CMakeFiles/wfms_workflow.dir/scenarios.cc.o" "gcc" "src/workflow/CMakeFiles/wfms_workflow.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/statechart/CMakeFiles/wfms_statechart.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/wfms_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/wfms_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wfms_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_workflow.dir/audit_trail.cc.o"
+  "CMakeFiles/wfms_workflow.dir/audit_trail.cc.o.d"
+  "CMakeFiles/wfms_workflow.dir/calibration.cc.o"
+  "CMakeFiles/wfms_workflow.dir/calibration.cc.o.d"
+  "CMakeFiles/wfms_workflow.dir/configuration.cc.o"
+  "CMakeFiles/wfms_workflow.dir/configuration.cc.o.d"
+  "CMakeFiles/wfms_workflow.dir/environment.cc.o"
+  "CMakeFiles/wfms_workflow.dir/environment.cc.o.d"
+  "CMakeFiles/wfms_workflow.dir/environment_io.cc.o"
+  "CMakeFiles/wfms_workflow.dir/environment_io.cc.o.d"
+  "CMakeFiles/wfms_workflow.dir/scenarios.cc.o"
+  "CMakeFiles/wfms_workflow.dir/scenarios.cc.o.d"
+  "libwfms_workflow.a"
+  "libwfms_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

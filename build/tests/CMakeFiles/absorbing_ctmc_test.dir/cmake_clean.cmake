@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absorbing_ctmc_test.dir/absorbing_ctmc_test.cc.o"
+  "CMakeFiles/absorbing_ctmc_test.dir/absorbing_ctmc_test.cc.o.d"
+  "absorbing_ctmc_test"
+  "absorbing_ctmc_test.pdb"
+  "absorbing_ctmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absorbing_ctmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

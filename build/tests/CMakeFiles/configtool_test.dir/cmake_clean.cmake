@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configtool_test.dir/configtool_test.cc.o"
+  "CMakeFiles/configtool_test.dir/configtool_test.cc.o.d"
+  "configtool_test"
+  "configtool_test.pdb"
+  "configtool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configtool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

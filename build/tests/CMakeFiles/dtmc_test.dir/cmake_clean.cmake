@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtmc_test.dir/dtmc_test.cc.o"
+  "CMakeFiles/dtmc_test.dir/dtmc_test.cc.o.d"
+  "dtmc_test"
+  "dtmc_test.pdb"
+  "dtmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/event_queue_test.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/event_queue_test.dir/event_queue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wfms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/wfms_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/statechart/CMakeFiles/wfms_statechart.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/wfms_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wfms_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/wfms_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/first_passage_moments_test.dir/first_passage_moments_test.cc.o"
+  "CMakeFiles/first_passage_moments_test.dir/first_passage_moments_test.cc.o.d"
+  "first_passage_moments_test"
+  "first_passage_moments_test.pdb"
+  "first_passage_moments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/first_passage_moments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_solver_test.dir/iterative_solver_test.cc.o"
+  "CMakeFiles/iterative_solver_test.dir/iterative_solver_test.cc.o.d"
+  "iterative_solver_test"
+  "iterative_solver_test.pdb"
+  "iterative_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

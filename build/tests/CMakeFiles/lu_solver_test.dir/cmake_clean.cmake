@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_solver_test.dir/lu_solver_test.cc.o"
+  "CMakeFiles/lu_solver_test.dir/lu_solver_test.cc.o.d"
+  "lu_solver_test"
+  "lu_solver_test.pdb"
+  "lu_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

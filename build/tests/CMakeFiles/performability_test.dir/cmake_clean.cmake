@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performability_test.dir/performability_test.cc.o"
+  "CMakeFiles/performability_test.dir/performability_test.cc.o.d"
+  "performability_test"
+  "performability_test.pdb"
+  "performability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_model_test.dir/performance_model_test.cc.o"
+  "CMakeFiles/performance_model_test.dir/performance_model_test.cc.o.d"
+  "performance_model_test"
+  "performance_model_test.pdb"
+  "performance_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

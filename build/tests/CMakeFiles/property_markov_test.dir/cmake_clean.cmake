@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_markov_test.dir/property_markov_test.cc.o"
+  "CMakeFiles/property_markov_test.dir/property_markov_test.cc.o.d"
+  "property_markov_test"
+  "property_markov_test.pdb"
+  "property_markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

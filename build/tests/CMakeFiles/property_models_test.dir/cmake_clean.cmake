@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_models_test.dir/property_models_test.cc.o"
+  "CMakeFiles/property_models_test.dir/property_models_test.cc.o.d"
+  "property_models_test"
+  "property_models_test.pdb"
+  "property_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_pool_test.dir/server_pool_test.cc.o"
+  "CMakeFiles/server_pool_test.dir/server_pool_test.cc.o.d"
+  "server_pool_test"
+  "server_pool_test.pdb"
+  "server_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statechart_model_test.dir/statechart_model_test.cc.o"
+  "CMakeFiles/statechart_model_test.dir/statechart_model_test.cc.o.d"
+  "statechart_model_test"
+  "statechart_model_test.pdb"
+  "statechart_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statechart_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

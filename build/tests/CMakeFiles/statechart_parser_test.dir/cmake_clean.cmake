@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statechart_parser_test.dir/statechart_parser_test.cc.o"
+  "CMakeFiles/statechart_parser_test.dir/statechart_parser_test.cc.o.d"
+  "statechart_parser_test"
+  "statechart_parser_test.pdb"
+  "statechart_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statechart_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_ctmc_test.dir/to_ctmc_test.cc.o"
+  "CMakeFiles/to_ctmc_test.dir/to_ctmc_test.cc.o.d"
+  "to_ctmc_test"
+  "to_ctmc_test.pdb"
+  "to_ctmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_ctmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

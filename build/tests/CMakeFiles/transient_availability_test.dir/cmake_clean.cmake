@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_availability_test.dir/transient_availability_test.cc.o"
+  "CMakeFiles/transient_availability_test.dir/transient_availability_test.cc.o.d"
+  "transient_availability_test"
+  "transient_availability_test.pdb"
+  "transient_availability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_availability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_distribution_test.dir/transient_distribution_test.cc.o"
+  "CMakeFiles/transient_distribution_test.dir/transient_distribution_test.cc.o.d"
+  "transient_distribution_test"
+  "transient_distribution_test.pdb"
+  "transient_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/wfmsctl.cpp" "tools/CMakeFiles/wfmsctl.dir/wfmsctl.cpp.o" "gcc" "tools/CMakeFiles/wfmsctl.dir/wfmsctl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/configtool/CMakeFiles/wfms_configtool.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/wfms_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/avail/CMakeFiles/wfms_avail.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wfms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/wfms_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/performability/CMakeFiles/wfms_performability.dir/DependInfo.cmake"
+  "/root/repo/build/src/statechart/CMakeFiles/wfms_statechart.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/wfms_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wfms_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/wfms_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfmsctl.dir/wfmsctl.cpp.o"
+  "CMakeFiles/wfmsctl.dir/wfmsctl.cpp.o.d"
+  "wfmsctl"
+  "wfmsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfmsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wfmsctl.
+# This may be replaced when dependencies are built.

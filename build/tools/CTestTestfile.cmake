@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(wfmsctl_analyze "/root/repo/build/tools/wfmsctl" "analyze" "--scenario" "ep")
+set_tests_properties(wfmsctl_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wfmsctl_assess "/root/repo/build/tools/wfmsctl" "assess" "--scenario" "ep" "--config" "2,2,3")
+set_tests_properties(wfmsctl_assess PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wfmsctl_recommend "/root/repo/build/tools/wfmsctl" "recommend" "--scenario" "benchmark" "--method" "greedy" "--max-wait" "0.1" "--min-avail" "0.9999")
+set_tests_properties(wfmsctl_recommend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wfmsctl_simulate "/root/repo/build/tools/wfmsctl" "simulate" "--scenario" "ep" "--config" "1,2,2" "--duration" "5000" "--no-failures")
+set_tests_properties(wfmsctl_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wfmsctl_usage "/root/repo/build/tools/wfmsctl")
+set_tests_properties(wfmsctl_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wfmsctl_trail_roundtrip "/usr/bin/cmake" "-DWFMSCTL=/root/repo/build/tools/wfmsctl" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/trail_roundtrip_test.cmake")
+set_tests_properties(wfmsctl_trail_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
