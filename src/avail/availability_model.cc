@@ -70,6 +70,7 @@ Result<markov::Ctmc> AvailabilityModel::BuildCtmc(
   WFMS_RETURN_NOT_OK(config.Validate(k));
   // Generator over the mixed-radix state space (§5.2).
   markov::CtmcBuilder builder(space.size());
+  builder.Reserve(space.size() * 2 * k);  // <= one failure + one repair arc per type
   for (size_t i = 0; i < space.size(); ++i) {
     for (size_t x = 0; x < k; ++x) {
       const int up = space.Component(i, x);
@@ -120,7 +121,8 @@ Result<double> AvailabilityModel::PointAvailability(
 }
 
 Result<AvailabilityReport> AvailabilityModel::Evaluate(
-    const Configuration& config) const {
+    const Configuration& config,
+    const linalg::Vector* steady_state_guess) const {
   const size_t k = num_types();
   WFMS_RETURN_NOT_OK(config.Validate(k));
   WFMS_ASSIGN_OR_RETURN(MixedRadixSpace space,
@@ -132,7 +134,9 @@ Result<AvailabilityReport> AvailabilityModel::Evaluate(
     WFMS_ASSIGN_OR_RETURN(pi, ProductFormStateProbabilities(config, space));
   } else {
     WFMS_ASSIGN_OR_RETURN(markov::Ctmc chain, BuildCtmc(config, space));
-    auto solved = markov::SolveSteadyState(chain, options_.solver);
+    markov::SteadyStateOptions solver_options = options_.solver;
+    solver_options.initial_guess = steady_state_guess;
+    auto solved = markov::SolveSteadyState(chain, solver_options);
     if (!solved.ok()) {
       return solved.status().WithContext("availability CTMC for " +
                                          config.ToString());

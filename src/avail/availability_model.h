@@ -63,9 +63,15 @@ class AvailabilityModel {
       const workflow::ServerTypeRegistry& servers,
       const AvailabilityOptions& options = {});
 
-  /// Evaluates a configuration (replication vector Y).
+  /// Evaluates a configuration (replication vector Y). `steady_state_guess`
+  /// optionally warm-starts the iterative pi Q = 0 solve: it must be a
+  /// distribution over *this configuration's* state space (use
+  /// markov::ProjectDistribution to carry a neighbor configuration's
+  /// stationary vector over). Ignored by the product-form path; never
+  /// changes the result beyond solver round-off.
   Result<AvailabilityReport> Evaluate(
-      const workflow::Configuration& config) const;
+      const workflow::Configuration& config,
+      const linalg::Vector* steady_state_guess = nullptr) const;
 
   /// Per-type distribution of up servers via the birth-death closed form.
   Result<linalg::Vector> PerTypeDistribution(size_t type_index,

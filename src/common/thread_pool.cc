@@ -1,0 +1,116 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace wfms {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // single-lane pool: deterministic inline execution
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared claim counter: lanes grab the next unclaimed index until all n
+  // are taken. The caller is one of the lanes, so a pool is never idle
+  // while its owner blocks.
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t total;
+    const std::function<void(size_t)>* fn;
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->total = n;
+  state->fn = &fn;
+
+  const auto drain = [](const std::shared_ptr<SharedState>& s) {
+    for (;;) {
+      const size_t i = s->next.fetch_add(1);
+      if (i >= s->total) break;
+      (*s->fn)(i);
+      if (s->done.fetch_add(1) + 1 == s->total) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->all_done.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.push_back([state, drain]() { drain(state); });
+    }
+  }
+  work_available_.notify_all();
+
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state]() {
+    return state->done.load() == state->total;
+  });
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("WFMS_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace wfms

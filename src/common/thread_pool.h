@@ -1,0 +1,77 @@
+// Fixed-size thread pool for fanning independent model evaluations out
+// across cores (the configuration tool assesses whole candidate frontiers
+// per step). Design constraints, in line with the rest of the codebase:
+//  - no exceptions cross the pool boundary: tasks return their payload (or
+//    a Result<T>) through the future; task bodies must not throw;
+//  - deterministic single-thread mode: a pool of size 1 spawns no workers
+//    and runs every task inline, in submission/index order — the reference
+//    path the parallel searches are tested against;
+//  - the worker count can be pinned via the WFMS_NUM_THREADS environment
+//    variable (useful for benchmarking and for TSan runs).
+#ifndef WFMS_COMMON_THREAD_POOL_H_
+#define WFMS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wfms {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` total execution lanes. `num_threads <= 1`
+  /// spawns no workers: every task runs inline on the calling thread.
+  /// `num_threads = n > 1` spawns n - 1 workers; the caller participates
+  /// in ParallelFor, so n lanes compute concurrently.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread); >= 1.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) ... fn(n-1), blocking until all complete. Indices are
+  /// claimed atomically, so fn must be safe to call concurrently from
+  /// different threads for different indices; with a single-lane pool the
+  /// calls happen inline in increasing index order. Reductions over the
+  /// results must be ordered by index, never by completion time.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Enqueues a task and returns a future for its return value (typically
+  /// a Result<T>; the task must not throw). With a single-lane pool the
+  /// task runs inline before Submit returns.
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> Submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Worker count from the WFMS_NUM_THREADS environment variable if set to
+  /// a positive integer, else std::thread::hardware_concurrency (>= 1).
+  static size_t DefaultThreadCount();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wfms
+
+#endif  // WFMS_COMMON_THREAD_POOL_H_

@@ -1,13 +1,19 @@
 #include "configtool/tool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <queue>
 #include <set>
-#include <cmath>
 #include <sstream>
 
 #include "common/random.h"
 #include "common/time_units.h"
+#include "markov/state_space.h"
 
 namespace wfms::configtool {
 
@@ -32,6 +38,48 @@ Status SearchConstraints::Validate(size_t num_types) const {
   return Status::OK();
 }
 
+/// Memoized goal-independent assessments, keyed by the replication vector.
+/// The report for a configuration is a pure function of the environment, so
+/// cache hits are exact, not approximations. Guarded by a mutex: entries are
+/// small (the report plus the availability stationary vector) and the solves
+/// they save dominate the lock by orders of magnitude.
+struct ConfigurationTool::AssessmentCache {
+  mutable std::mutex mutex;
+  std::map<std::vector<int>, performability::PerformabilityReport> entries;
+  std::atomic<size_t> hits{0};
+  std::atomic<size_t> misses{0};
+
+  /// Returns a copy of the entry, if present.
+  std::optional<performability::PerformabilityReport> Lookup(
+      const std::vector<int>& key) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(key);
+    if (it == entries.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Inserts unless another thread won the race; returns the stored entry.
+  performability::PerformabilityReport Insert(
+      const std::vector<int>& key,
+      performability::PerformabilityReport report) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = entries.try_emplace(key, std::move(report));
+    return it->second;
+  }
+};
+
+ConfigurationTool::ConfigurationTool(const workflow::Environment* env,
+                                     performability::PerformabilityModel model)
+    : env_(env),
+      model_(std::move(model)),
+      num_threads_(ThreadPool::DefaultThreadCount()),
+      cache_(std::make_unique<AssessmentCache>()) {}
+
+ConfigurationTool::ConfigurationTool(ConfigurationTool&&) noexcept = default;
+ConfigurationTool& ConfigurationTool::operator=(ConfigurationTool&&) noexcept =
+    default;
+ConfigurationTool::~ConfigurationTool() = default;
+
 Result<ConfigurationTool> ConfigurationTool::Create(
     const workflow::Environment& env,
     const performability::PerformabilityOptions& options) {
@@ -41,14 +89,36 @@ Result<ConfigurationTool> ConfigurationTool::Create(
   return ConfigurationTool(&env, std::move(model));
 }
 
-Result<Assessment> ConfigurationTool::Assess(const Configuration& config,
-                                             const Goals& goals,
-                                             const CostModel& cost) const {
+void ConfigurationTool::set_num_threads(size_t n) {
+  num_threads_ = std::max<size_t>(1, n);
+  pool_.reset();
+}
+
+ThreadPool& ConfigurationTool::pool() const {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  return *pool_;
+}
+
+ConfigurationTool::CacheStats ConfigurationTool::cache_stats() const {
+  CacheStats stats;
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    stats.entries = cache_->entries.size();
+  }
+  stats.hits = cache_->hits.load();
+  stats.misses = cache_->misses.load();
+  return stats;
+}
+
+void ConfigurationTool::ClearAssessmentCache() {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->entries.clear();
+}
+
+Assessment ConfigurationTool::BuildAssessment(
+    const Configuration& config, performability::PerformabilityReport report,
+    const Goals& goals, const CostModel& cost) const {
   const size_t k = env_->num_server_types();
-  WFMS_RETURN_NOT_OK(goals.Validate(k));
-  WFMS_RETURN_NOT_OK(cost.Validate(k));
-  WFMS_ASSIGN_OR_RETURN(performability::PerformabilityReport report,
-                        model_.Evaluate(config));
   Assessment assessment{config,
                         std::move(report),
                         cost.Cost(config.replicas),
@@ -90,6 +160,87 @@ Result<Assessment> ConfigurationTool::Assess(const Configuration& config,
     }
   }
   return assessment;
+}
+
+Result<Assessment> ConfigurationTool::AssessInternal(
+    const Configuration& config, const Goals& goals, const CostModel& cost,
+    const linalg::Vector* avail_guess, bool* cache_hit) const {
+  const size_t k = env_->num_server_types();
+  WFMS_RETURN_NOT_OK(goals.Validate(k));
+  WFMS_RETURN_NOT_OK(cost.Validate(k));
+  WFMS_RETURN_NOT_OK(config.Validate(k));
+
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (auto cached = cache_->Lookup(config.replicas)) {
+    cache_->hits.fetch_add(1);
+    if (cache_hit != nullptr) *cache_hit = true;
+    return BuildAssessment(config, *std::move(cached), goals, cost);
+  }
+  cache_->misses.fetch_add(1);
+  WFMS_ASSIGN_OR_RETURN(performability::PerformabilityReport report,
+                        model_.Evaluate(config, avail_guess));
+  report = cache_->Insert(config.replicas, std::move(report));
+  return BuildAssessment(config, std::move(report), goals, cost);
+}
+
+Result<Assessment> ConfigurationTool::AssessCounted(
+    const Configuration& config, const Goals& goals, const CostModel& cost,
+    const linalg::Vector* avail_guess, SearchResult* result) const {
+  bool hit = false;
+  WFMS_ASSIGN_OR_RETURN(Assessment assessment,
+                        AssessInternal(config, goals, cost, avail_guess,
+                                       &hit));
+  ++result->evaluations;
+  if (hit) ++result->cache_hits;
+  return assessment;
+}
+
+Result<Assessment> ConfigurationTool::Assess(const Configuration& config,
+                                             const Goals& goals,
+                                             const CostModel& cost) const {
+  return AssessInternal(config, goals, cost, /*avail_guess=*/nullptr,
+                        /*cache_hit=*/nullptr);
+}
+
+Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
+    std::span<const Configuration> configs, const Goals& goals,
+    const CostModel& cost, SearchResult* result) const {
+  const size_t n = configs.size();
+  std::vector<std::optional<Assessment>> slots(n);
+  std::vector<Status> errors(n, Status::OK());
+  std::atomic<int> hits{0};
+  pool().ParallelFor(n, [&](size_t i) {
+    bool hit = false;
+    auto assessed =
+        AssessInternal(configs[i], goals, cost, /*avail_guess=*/nullptr, &hit);
+    if (assessed.ok()) {
+      slots[i] = *std::move(assessed);
+    } else {
+      errors[i] = assessed.status();
+    }
+    if (hit) hits.fetch_add(1);
+  });
+  // Reduce in candidate-index order (first error wins deterministically).
+  std::vector<Assessment> assessments;
+  assessments.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!errors[i].ok()) {
+      return errors[i].WithContext("assessing candidate " +
+                                   configs[i].ToString());
+    }
+    assessments.push_back(*std::move(slots[i]));
+  }
+  if (result != nullptr) {
+    result->evaluations += static_cast<int>(n);
+    result->cache_hits += hits.load();
+  }
+  return assessments;
+}
+
+Result<std::vector<Assessment>> ConfigurationTool::AssessBatch(
+    std::span<const Configuration> configs, const Goals& goals,
+    const CostModel& cost) const {
+  return AssessBatchInternal(configs, goals, cost, /*result=*/nullptr);
 }
 
 double ConfigurationTool::ViolationMeasure(const Assessment& assessment,
@@ -141,7 +292,58 @@ Configuration MinimalConfig(const SearchConstraints& constraints, size_t k) {
   return config;
 }
 
+/// Projects `parent`'s availability stationary vector onto the state space
+/// of `child`; empty on any failure (the caller then cold-starts).
+linalg::Vector WarmStartGuess(const Assessment& parent,
+                              const Configuration& child) {
+  const linalg::Vector& parent_pi =
+      parent.performability.avail_state_probabilities;
+  if (parent_pi.empty()) return {};
+  auto parent_space = markov::MixedRadixSpace::Create(parent.config.replicas);
+  auto child_space = markov::MixedRadixSpace::Create(child.replicas);
+  if (!parent_space.ok() || !child_space.ok()) return {};
+  auto guess = markov::ProjectDistribution(*parent_space, parent_pi,
+                                           *child_space);
+  if (!guess.ok()) return {};
+  return *std::move(guess);
+}
+
+/// Candidates the exhaustive search drains per parallel wave. Fixed (never
+/// derived from the thread count) so that evaluation counts — and thus
+/// SearchResult — are identical across pool sizes.
+constexpr size_t kExhaustiveWaveSize = 32;
+/// Upper bound on an equal-cost branch-and-bound wave, for the same reason.
+constexpr size_t kBnbWaveSize = 16;
+
 }  // namespace
+
+void ConfigurationTool::PrefetchNeighborFrontier(
+    const Configuration& config, const Assessment& parent, const Goals& goals,
+    const CostModel& cost, const SearchConstraints& constraints) const {
+  if (num_threads_ <= 1) return;
+  const size_t k = env_->num_server_types();
+  std::vector<std::future<void>> pending;
+  pending.reserve(k);
+  for (size_t x = 0; x < k; ++x) {
+    if (config.replicas[x] >= constraints.MaxFor(x)) continue;
+    Configuration child = config;
+    ++child.replicas[x];
+    pending.push_back(pool().Submit([this, child = std::move(child), &parent,
+                                     &goals, &cost]() {
+      // Same warm start the sequential path would use, so a later cache
+      // hit is bit-identical to the miss it replaces.
+      const linalg::Vector guess = WarmStartGuess(parent, child);
+      // Errors surface when the search assesses the candidate for real.
+      auto speculative = AssessInternal(
+          child, goals, cost, guess.empty() ? nullptr : &guess,
+          /*cache_hit=*/nullptr);
+      (void)speculative;
+    }));
+  }
+  // Block until the frontier is resident: the subsequent pick must hit the
+  // cache deterministically rather than race the prefill.
+  for (auto& future : pending) future.wait();
+}
 
 Result<SearchResult> ConfigurationTool::GreedyMinCost(
     const Goals& goals, const SearchConstraints& constraints,
@@ -156,15 +358,25 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
   }
 
   SearchResult result;
-  result.evaluations = 0;
-  WFMS_ASSIGN_OR_RETURN(Assessment assessment, Assess(config, goals, cost));
-  ++result.evaluations;
+  WFMS_ASSIGN_OR_RETURN(
+      Assessment assessment,
+      AssessCounted(config, goals, cost, /*avail_guess=*/nullptr, &result));
+
+  // Assesses the one-replica-added successor, reusing the parent's
+  // availability distribution as the iterative solver's starting point.
+  const auto assess_child = [&](const Configuration& child,
+                                const Assessment& parent) {
+    const linalg::Vector guess = WarmStartGuess(parent, child);
+    return AssessCounted(child, goals, cost,
+                         guess.empty() ? nullptr : &guess, &result);
+  };
 
   // §7.2: consider the availability and the performability criterion in an
   // interleaved manner, re-evaluating after every added replica so the
   // configuration is never oversized.
   while (!assessment.Satisfies() && budget > 0) {
     bool added = false;
+    PrefetchNeighborFrontier(config, assessment, goals, cost, constraints);
 
     if (!assessment.meets_availability_goal) {
       // Most critical type for availability: the one whose probability of
@@ -183,11 +395,13 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
         }
       }
       if (pick != SIZE_MAX) {
-        ++config.replicas[pick];
+        Configuration child = config;
+        ++child.replicas[pick];
+        WFMS_ASSIGN_OR_RETURN(Assessment next, assess_child(child, assessment));
+        config = std::move(child);
+        assessment = std::move(next);
         --budget;
         added = true;
-        WFMS_ASSIGN_OR_RETURN(assessment, Assess(config, goals, cost));
-        ++result.evaluations;
         if (assessment.Satisfies()) break;
       }
     }
@@ -223,11 +437,13 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
         }
       }
       if (pick != SIZE_MAX) {
-        ++config.replicas[pick];
+        Configuration child = config;
+        ++child.replicas[pick];
+        WFMS_ASSIGN_OR_RETURN(Assessment next, assess_child(child, assessment));
+        config = std::move(child);
+        assessment = std::move(next);
         --budget;
         added = true;
-        WFMS_ASSIGN_OR_RETURN(assessment, Assess(config, goals, cost));
-        ++result.evaluations;
       }
     }
 
@@ -257,34 +473,44 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
   best_assessment.config = current;
   Assessment last_assessment = best_assessment;
 
-  for (;;) {
-    const double current_cost = cost.Cost(current.replicas);
-    // Skip candidates that cannot beat the incumbent.
-    if (!have_best || current_cost < best_cost) {
-      WFMS_ASSIGN_OR_RETURN(Assessment assessment,
-                            Assess(current, goals, cost));
-      ++result.evaluations;
-      last_assessment = assessment;
-      if (assessment.Satisfies() &&
-          (!have_best || current_cost < best_cost)) {
-        have_best = true;
-        best = current;
-        best_cost = current_cost;
-        best_assessment = std::move(assessment);
+  // Mixed-radix enumeration, drained in fixed-size waves the pool assesses
+  // concurrently. The incumbent filter uses the best cost as of the wave
+  // start; the reduction below walks the wave in enumeration order, so the
+  // recommended configuration is the same as the fully sequential sweep's.
+  std::vector<Configuration> wave;
+  wave.reserve(kExhaustiveWaveSize);
+  bool enumeration_done = false;
+  while (!enumeration_done) {
+    wave.clear();
+    while (wave.size() < kExhaustiveWaveSize && !enumeration_done) {
+      if (!have_best || cost.Cost(current.replicas) < best_cost) {
+        wave.push_back(current);
       }
-    }
-    // Mixed-radix increment over the constrained space.
-    size_t x = 0;
-    for (; x < k; ++x) {
-      if (current.replicas[x] < constraints.MaxFor(x)) {
-        ++current.replicas[x];
-        for (size_t y = 0; y < x; ++y) {
-          current.replicas[y] = constraints.MinFor(y);
+      size_t x = 0;
+      for (; x < k; ++x) {
+        if (current.replicas[x] < constraints.MaxFor(x)) {
+          ++current.replicas[x];
+          for (size_t y = 0; y < x; ++y) {
+            current.replicas[y] = constraints.MinFor(y);
+          }
+          break;
         }
-        break;
+      }
+      if (x == k) enumeration_done = true;  // wrapped: enumeration over
+    }
+    if (wave.empty()) continue;
+    WFMS_ASSIGN_OR_RETURN(std::vector<Assessment> assessed,
+                          AssessBatchInternal(wave, goals, cost, &result));
+    for (size_t i = 0; i < assessed.size(); ++i) {
+      if (assessed[i].Satisfies() &&
+          (!have_best || assessed[i].cost < best_cost)) {
+        have_best = true;
+        best = wave[i];
+        best_cost = assessed[i].cost;
+        best_assessment = std::move(assessed[i]);
       }
     }
-    if (x == k) break;  // wrapped: enumeration done
+    if (!have_best) last_assessment = std::move(assessed.back());
   }
 
   if (have_best) {
@@ -306,7 +532,34 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
     const CostModel& cost, const AnnealingOptions& annealing) const {
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
+
+  // Pre-drawn proposal stream: one (type, direction, acceptance-uniform)
+  // triple per iteration, consumed unconditionally. Making the stream
+  // independent of the acceptance outcomes lets iteration i speculatively
+  // prefill the cache for both possible successors of iteration i + 1
+  // while proposal i itself is being assessed (the pipelining below).
+  struct Move {
+    size_t type;
+    int delta;
+    double uniform;
+  };
   Rng rng(annealing.seed);
+  std::vector<Move> moves(static_cast<size_t>(annealing.iterations));
+  for (Move& move : moves) {
+    move.type = rng.NextUint64(k);
+    move.delta = rng.NextBernoulli(0.5) ? 1 : -1;
+    move.uniform = rng.NextDouble();
+  }
+  const auto apply = [&](const Configuration& base,
+                         const Move& move) -> std::optional<Configuration> {
+    Configuration next = base;
+    next.replicas[move.type] += move.delta;
+    if (next.replicas[move.type] < constraints.MinFor(move.type) ||
+        next.replicas[move.type] > constraints.MaxFor(move.type)) {
+      return std::nullopt;
+    }
+    return next;
+  };
 
   const auto objective = [&](const Assessment& assessment) {
     return assessment.cost +
@@ -316,9 +569,9 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
 
   SearchResult result;
   Configuration current = MinimalConfig(constraints, k);
-  WFMS_ASSIGN_OR_RETURN(Assessment current_assessment,
-                        Assess(current, goals, cost));
-  ++result.evaluations;
+  WFMS_ASSIGN_OR_RETURN(
+      Assessment current_assessment,
+      AssessCounted(current, goals, cost, /*avail_guess=*/nullptr, &result));
   double current_objective = objective(current_assessment);
 
   bool have_best = current_assessment.Satisfies();
@@ -326,30 +579,45 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
   double best_cost = current_assessment.cost;
   Assessment best_assessment = current_assessment;
 
+  std::vector<std::future<void>> pipeline;
+  const auto prefill = [&](std::optional<Configuration> candidate) {
+    if (!candidate.has_value()) return;
+    pipeline.push_back(
+        pool().Submit([this, config = *std::move(candidate), &goals, &cost]() {
+          auto speculative = AssessInternal(config, goals, cost,
+                                            /*avail_guess=*/nullptr,
+                                            /*cache_hit=*/nullptr);
+          (void)speculative;
+        }));
+  };
+
   double temperature = annealing.initial_temperature;
-  for (int iter = 0; iter < annealing.iterations; ++iter) {
-    // Propose: move one random type up or down within bounds.
-    Configuration proposal = current;
-    const size_t x = rng.NextUint64(k);
-    const int delta = rng.NextBernoulli(0.5) ? 1 : -1;
-    proposal.replicas[x] += delta;
-    if (proposal.replicas[x] < constraints.MinFor(x) ||
-        proposal.replicas[x] > constraints.MaxFor(x)) {
-      continue;
+  for (size_t iter = 0; iter < moves.size(); ++iter) {
+    const std::optional<Configuration> proposal = apply(current, moves[iter]);
+    if (!proposal.has_value()) continue;
+
+    // Pipeline: while this proposal is assessed, stage both possible
+    // next-iteration proposals (cache prefills, not evaluations).
+    if (num_threads_ > 1 && iter + 1 < moves.size()) {
+      prefill(apply(*proposal, moves[iter + 1]));  // accept branch
+      prefill(apply(current, moves[iter + 1]));    // reject branch
     }
-    WFMS_ASSIGN_OR_RETURN(Assessment assessment,
-                          Assess(proposal, goals, cost));
-    ++result.evaluations;
+
+    WFMS_ASSIGN_OR_RETURN(
+        Assessment assessment,
+        AssessCounted(*proposal, goals, cost, /*avail_guess=*/nullptr,
+                      &result));
     const double proposal_objective = objective(assessment);
     const double diff = proposal_objective - current_objective;
     if (diff <= 0.0 ||
-        rng.NextDouble() < std::exp(-diff / std::max(temperature, 1e-9))) {
-      current = proposal;
+        moves[iter].uniform <
+            std::exp(-diff / std::max(temperature, 1e-9))) {
+      current = *proposal;
       current_objective = proposal_objective;
       if (assessment.Satisfies() &&
           (!have_best || assessment.cost < best_cost)) {
         have_best = true;
-        best = proposal;
+        best = *proposal;
         best_cost = assessment.cost;
         best_assessment = assessment;
       }
@@ -357,6 +625,7 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
     }
     temperature *= annealing.cooling;
   }
+  for (auto& future : pipeline) future.wait();
 
   if (have_best) {
     result.config = best;
@@ -384,9 +653,10 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
   Configuration max_config;
   max_config.replicas.resize(k);
   for (size_t x = 0; x < k; ++x) max_config.replicas[x] = constraints.MaxFor(x);
-  WFMS_ASSIGN_OR_RETURN(Assessment max_assessment,
-                        Assess(max_config, goals, cost));
-  ++result.evaluations;
+  WFMS_ASSIGN_OR_RETURN(
+      Assessment max_assessment,
+      AssessCounted(max_config, goals, cost, /*avail_guess=*/nullptr,
+                    &result));
   if (!max_assessment.Satisfies()) {
     result.config = max_config;
     result.cost = max_assessment.cost;
@@ -398,7 +668,11 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
   // Best-first search in cost order over the lattice of configurations.
   // Each node expands by adding one replica to one type; because the cost
   // model is additive with positive per-server costs, nodes are dequeued
-  // in nondecreasing cost, so the first satisfying node is optimal.
+  // in nondecreasing cost, so the first satisfying node is optimal. The
+  // frontier is drained in equal-cost waves (bounded, sorted by replica
+  // vector) that the pool assesses concurrently; any satisfying member of
+  // a wave ties the sequential optimum on cost, and taking the first in
+  // sorted order keeps the recommendation deterministic.
   struct Node {
     double cost;
     std::vector<int> replicas;
@@ -410,26 +684,39 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
   frontier.push({cost.Cost(minimal.replicas), minimal.replicas});
   visited.insert(minimal.replicas);
 
+  std::vector<Configuration> wave;
+  wave.reserve(kBnbWaveSize);
   while (!frontier.empty()) {
-    const Node node = frontier.top();
-    frontier.pop();
-    Configuration candidate(node.replicas);
-    WFMS_ASSIGN_OR_RETURN(Assessment assessment,
-                          Assess(candidate, goals, cost));
-    ++result.evaluations;
-    if (assessment.Satisfies()) {
-      result.config = std::move(candidate);
-      result.cost = assessment.cost;
-      result.satisfied = true;
-      result.assessment = std::move(assessment);
-      return result;
+    const double wave_cost = frontier.top().cost;
+    wave.clear();
+    while (!frontier.empty() && wave.size() < kBnbWaveSize &&
+           frontier.top().cost == wave_cost) {
+      wave.emplace_back(frontier.top().replicas);
+      frontier.pop();
     }
-    for (size_t x = 0; x < k; ++x) {
-      if (node.replicas[x] >= constraints.MaxFor(x)) continue;
-      std::vector<int> next = node.replicas;
-      ++next[x];
-      if (visited.insert(next).second) {
-        frontier.push({cost.Cost(next), std::move(next)});
+    std::sort(wave.begin(), wave.end(),
+              [](const Configuration& a, const Configuration& b) {
+                return a.replicas < b.replicas;
+              });
+    WFMS_ASSIGN_OR_RETURN(std::vector<Assessment> assessed,
+                          AssessBatchInternal(wave, goals, cost, &result));
+    for (size_t i = 0; i < assessed.size(); ++i) {
+      if (assessed[i].Satisfies()) {
+        result.config = wave[i];
+        result.cost = assessed[i].cost;
+        result.satisfied = true;
+        result.assessment = std::move(assessed[i]);
+        return result;
+      }
+    }
+    for (const Configuration& node : wave) {
+      for (size_t x = 0; x < k; ++x) {
+        if (node.replicas[x] >= constraints.MaxFor(x)) continue;
+        std::vector<int> next = node.replicas;
+        ++next[x];
+        if (visited.insert(next).second) {
+          frontier.push({cost.Cost(next), std::move(next)});
+        }
       }
     }
   }

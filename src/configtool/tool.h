@@ -9,13 +9,24 @@
 //    baseline the greedy result is benchmarked against.
 //  - Simulated annealing: the "full-fledged mathematical optimization"
 //    the paper names as the eventual successor of the greedy heuristic.
+//
+// Throughput layer (see DESIGN.md "Concurrency model"): candidate
+// assessments are memoized in a thread-safe cache keyed by the replication
+// vector, fanned out across a fixed-size thread pool via AssessBatch, and
+// the iterative availability solves on the greedy path are warm-started
+// from the parent configuration's stationary vector. Search results are
+// bit-identical whatever the thread count: parallel waves are reduced in
+// candidate-index order, never completion order.
 #ifndef WFMS_CONFIGTOOL_TOOL_H_
 #define WFMS_CONFIGTOOL_TOOL_H_
 
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "configtool/goals.h"
 #include "performability/performability_model.h"
 #include "workflow/configuration.h"
@@ -64,8 +75,13 @@ struct SearchResult {
   workflow::Configuration config;
   double cost = 0.0;
   bool satisfied = false;
-  /// Number of candidate configurations evaluated.
+  /// Number of candidate configurations evaluated by the search logic
+  /// (speculative cache prefills are not counted).
   int evaluations = 0;
+  /// Of `evaluations`, how many were served from the assessment cache.
+  /// An execution statistic: unlike every other field it may legitimately
+  /// vary with the thread count and with prior searches on the same tool.
+  int cache_hits = 0;
   Assessment assessment;
 };
 
@@ -86,23 +102,48 @@ class ConfigurationTool {
       const workflow::Environment& env,
       const performability::PerformabilityOptions& options = {});
 
+  ConfigurationTool(ConfigurationTool&&) noexcept;
+  ConfigurationTool& operator=(ConfigurationTool&&) noexcept;
+  ConfigurationTool(const ConfigurationTool&) = delete;
+  ConfigurationTool& operator=(const ConfigurationTool&) = delete;
+  ~ConfigurationTool();
+
   /// Evaluates one candidate configuration against the goals (§7.1: "for
-  /// a given system configuration").
+  /// a given system configuration"). Memoized: the goal-independent
+  /// performability report is cached per replication vector, so repeated
+  /// assessments of the same configuration — even under different goals or
+  /// cost models — skip the CTMC construction and solve entirely.
   Result<Assessment> Assess(const workflow::Configuration& config,
                             const Goals& goals,
                             const CostModel& cost = CostModel::Uniform()) const;
 
-  /// §7.2 greedy heuristic.
+  /// Assesses a batch of candidates, fanning the model evaluations out
+  /// across the tool's thread pool. The returned vector is index-aligned
+  /// with `configs`; entry i is bit-identical to what a sequential
+  /// Assess(configs[i], ...) would produce. Fails with the first
+  /// (lowest-index) error if any assessment fails.
+  Result<std::vector<Assessment>> AssessBatch(
+      std::span<const workflow::Configuration> configs, const Goals& goals,
+      const CostModel& cost = CostModel::Uniform()) const;
+
+  /// §7.2 greedy heuristic. Iterative availability solves along the chain
+  /// of grown configurations are warm-started from the parent's stationary
+  /// vector; with a multi-lane pool the admissible neighbor frontier of
+  /// each step is assessed in parallel ahead of the pick.
   Result<SearchResult> GreedyMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
       const CostModel& cost = CostModel::Uniform()) const;
 
-  /// Exhaustive minimum-cost search over the constrained space.
+  /// Exhaustive minimum-cost search over the constrained space; candidates
+  /// are drained in fixed-size enumeration-ordered waves that the pool
+  /// assesses concurrently.
   Result<SearchResult> ExhaustiveMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
       const CostModel& cost = CostModel::Uniform()) const;
 
-  /// Simulated-annealing search.
+  /// Simulated-annealing search. Proposal evaluation is pipelined: while
+  /// a proposal is assessed, both possible successor proposals (accept and
+  /// reject branch) are speculatively prefilled into the cache.
   Result<SearchResult> AnnealingMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
       const CostModel& cost = CostModel::Uniform(),
@@ -114,7 +155,8 @@ class ConfigurationTool {
   /// satisfying configuration dequeued is cost-optimal, and (b) if even
   /// the all-max configuration fails, the search aborts immediately.
   /// Exact like ExhaustiveMinCost but typically evaluates far fewer
-  /// candidates.
+  /// candidates. The cost-ordered frontier is drained in equal-cost waves
+  /// assessed in parallel.
   Result<SearchResult> BranchAndBoundMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
       const CostModel& cost = CostModel::Uniform()) const;
@@ -124,17 +166,72 @@ class ConfigurationTool {
 
   const performability::PerformabilityModel& model() const { return model_; }
 
+  /// Execution lanes used by AssessBatch and the search strategies.
+  /// 1 (the deterministic reference mode) runs everything inline on the
+  /// calling thread; n > 1 spawns n - 1 pool workers. Defaults to
+  /// ThreadPool::DefaultThreadCount(), so WFMS_NUM_THREADS=1 pins the
+  /// whole process to sequential assessment. Not safe to call concurrently
+  /// with a running search.
+  void set_num_threads(size_t n);
+  size_t num_threads() const { return num_threads_; }
+
+  struct CacheStats {
+    size_t entries = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+  CacheStats cache_stats() const;
+  /// Drops every memoized assessment (e.g. to benchmark cold paths).
+  void ClearAssessmentCache();
+
  private:
+  struct AssessmentCache;
+
   ConfigurationTool(const workflow::Environment* env,
-                    performability::PerformabilityModel model)
-      : env_(env), model_(std::move(model)) {}
+                    performability::PerformabilityModel model);
+
+  /// Cache-aware assessment core. `avail_guess` optionally warm-starts the
+  /// availability solve on a miss; `cache_hit` (optional) reports whether
+  /// the report came from the cache.
+  Result<Assessment> AssessInternal(const workflow::Configuration& config,
+                                    const Goals& goals, const CostModel& cost,
+                                    const linalg::Vector* avail_guess,
+                                    bool* cache_hit) const;
+  /// AssessInternal + SearchResult accounting.
+  Result<Assessment> AssessCounted(const workflow::Configuration& config,
+                                   const Goals& goals, const CostModel& cost,
+                                   const linalg::Vector* avail_guess,
+                                   SearchResult* result) const;
+  /// Batch core used by the searches; adds hit counts to *result.
+  Result<std::vector<Assessment>> AssessBatchInternal(
+      std::span<const workflow::Configuration> configs, const Goals& goals,
+      const CostModel& cost, SearchResult* result) const;
+  /// Derives goal verdicts and instance delays from a memoized report.
+  Assessment BuildAssessment(const workflow::Configuration& config,
+                             performability::PerformabilityReport report,
+                             const Goals& goals, const CostModel& cost) const;
+  /// Speculatively assesses every admissible +1 neighbor of `config` on
+  /// the pool (warm-started from `parent`), blocking until the cache holds
+  /// them all. No-op with a single lane.
+  void PrefetchNeighborFrontier(const workflow::Configuration& config,
+                                const Assessment& parent, const Goals& goals,
+                                const CostModel& cost,
+                                const SearchConstraints& constraints) const;
 
   /// Degree of goal violation for annealing (0 when satisfied).
   double ViolationMeasure(const Assessment& assessment,
                           const Goals& goals) const;
 
+  ThreadPool& pool() const;
+
   const workflow::Environment* env_;
   performability::PerformabilityModel model_;
+  size_t num_threads_;
+  std::unique_ptr<AssessmentCache> cache_;
+  /// Lazily constructed; declared last so that in-flight speculative tasks
+  /// drain (pool destruction joins workers) while the model and cache are
+  /// still alive.
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace wfms::configtool

@@ -158,8 +158,9 @@ Result<IterativeStats> PowerIterationStationary(
   }
   NormalizeL1(pi);
   IterativeStats stats;
+  Vector next;  // scratch, reused across sweeps
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    Vector next = p.MultiplyTransposed(*pi);  // next = pi P
+    p.MultiplyTransposed(*pi, &next);  // next = pi P
     const double s = Sum(next);
     if (!(s > 0.0) || !std::isfinite(s)) {
       return Status::NumericError("power iteration produced invalid vector");

@@ -17,7 +17,11 @@ void SparseMatrixBuilder::Add(size_t row, size_t col, double value) {
   triplets_.push_back({row, col, value});
 }
 
-SparseMatrix SparseMatrixBuilder::Build() {
+void SparseMatrixBuilder::Reserve(size_t nnz_hint) {
+  triplets_.reserve(nnz_hint);
+}
+
+SparseMatrix SparseMatrixBuilder::Build() & {
   std::sort(triplets_.begin(), triplets_.end(),
             [](const Triplet& a, const Triplet& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
@@ -27,6 +31,8 @@ SparseMatrix SparseMatrixBuilder::Build() {
   m.rows_ = rows_;
   m.cols_ = cols_;
   m.row_offsets_.assign(rows_ + 1, 0);
+  m.col_indices_.reserve(triplets_.size());
+  m.values_.reserve(triplets_.size());
 
   // Merge duplicates.
   size_t i = 0;
@@ -49,6 +55,12 @@ SparseMatrix SparseMatrixBuilder::Build() {
     m.row_offsets_[r + 1] += m.row_offsets_[r];
   }
   triplets_.clear();
+  return m;
+}
+
+SparseMatrix SparseMatrixBuilder::Build() && {
+  SparseMatrix m = Build();
+  triplets_.shrink_to_fit();
   return m;
 }
 
@@ -78,8 +90,16 @@ Vector SparseMatrix::Multiply(const Vector& x) const {
 }
 
 Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
+  Vector y;
+  MultiplyTransposed(x, &y);
+  return y;
+}
+
+void SparseMatrix::MultiplyTransposed(const Vector& x, Vector* out) const {
   WFMS_CHECK_EQ(x.size(), rows_);
-  Vector y(cols_, 0.0);
+  WFMS_DCHECK(out != &x);
+  out->assign(cols_, 0.0);
+  Vector& y = *out;
   for (size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
@@ -87,7 +107,6 @@ Vector SparseMatrix::MultiplyTransposed(const Vector& x) const {
       y[col_indices_[k]] += values_[k] * xr;
     }
   }
-  return y;
 }
 
 SparseMatrix SparseMatrix::Transposed() const {

@@ -27,9 +27,18 @@ class SparseMatrixBuilder {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
+  /// Pre-sizes the triplet store for `nnz_hint` entries. Generator
+  /// assembly knows its nonzero count up front (one entry per transition);
+  /// reserving avoids the realloc churn of growing a multi-hundred-KB
+  /// vector in doubling steps.
+  void Reserve(size_t nnz_hint);
+
   /// Sorts, merges duplicates (dropping exact zeros), and produces the CSR
-  /// matrix. The builder is left empty.
-  SparseMatrix Build();
+  /// matrix. The builder is left empty but keeps its capacity.
+  SparseMatrix Build() &;
+  /// Rvalue overload: consumes the builder, releasing the triplet storage
+  /// with it — the single-use assembly path.
+  SparseMatrix Build() &&;
 
  private:
   struct Triplet {
@@ -57,6 +66,10 @@ class SparseMatrix {
   Vector Multiply(const Vector& x) const;
   /// y = A^T x  (used for pi Q = 0 formulated as Q^T pi^T = 0).
   Vector MultiplyTransposed(const Vector& x) const;
+  /// In-place variant: *out = A^T x, reusing out's storage. out must not
+  /// alias x. The iterative solvers call this once per sweep; reusing the
+  /// scratch vector keeps the inner loop allocation-free.
+  void MultiplyTransposed(const Vector& x, Vector* out) const;
 
   SparseMatrix Transposed() const;
   DenseMatrix ToDense() const;

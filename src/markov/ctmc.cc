@@ -33,7 +33,7 @@ Result<Ctmc> CtmcBuilder::Build() {
   if (num_states_ == 0) {
     return Status::InvalidArgument("CTMC must have at least one state");
   }
-  return Ctmc(off_diagonal_.Build(), std::move(exit_rates_));
+  return Ctmc(std::move(off_diagonal_).Build(), std::move(exit_rates_));
 }
 
 double Ctmc::MaxExitRate() const {
@@ -46,6 +46,7 @@ SparseMatrix Ctmc::UniformizedMatrix(double rate_margin) const {
   const size_t n = num_states();
   const double lambda = std::max(MaxExitRate() * rate_margin, 1e-300);
   SparseMatrixBuilder builder(n, n);
+  builder.Reserve(rates_.num_nonzeros() + n);
   const auto& offsets = rates_.row_offsets();
   const auto& cols = rates_.col_indices();
   const auto& values = rates_.values();

@@ -25,6 +25,13 @@ class CtmcBuilder {
   /// for the same pair accumulate.
   Status AddTransition(size_t from, size_t to, double rate);
 
+  /// Pre-sizes the transition store; model builders that know their
+  /// transition count (e.g. the availability generator: <= 2k per state)
+  /// call this to avoid realloc churn during assembly.
+  void Reserve(size_t num_transitions_hint) {
+    off_diagonal_.Reserve(num_transitions_hint);
+  }
+
   size_t num_states() const { return num_states_; }
 
   /// Validates and constructs the CTMC.

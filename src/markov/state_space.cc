@@ -1,5 +1,7 @@
 #include "markov/state_space.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -82,6 +84,35 @@ int MixedRadixSpace::Component(size_t index, size_t dim) const {
   WFMS_DCHECK(dim < bounds_.size());
   const size_t radix = static_cast<size_t>(bounds_[dim]) + 1;
   return static_cast<int>((index / place_values_[dim]) % radix);
+}
+
+Result<linalg::Vector> ProjectDistribution(const MixedRadixSpace& from,
+                                           const linalg::Vector& pi,
+                                           const MixedRadixSpace& to) {
+  const size_t k = to.num_dimensions();
+  if (from.num_dimensions() != k) {
+    return Status::InvalidArgument(
+        "projection requires spaces of equal dimension");
+  }
+  if (pi.size() != from.size()) {
+    return Status::InvalidArgument("projection: distribution size mismatch");
+  }
+  linalg::Vector guess(to.size(), 0.0);
+  StateVector clamped(k);
+  double sum = 0.0;
+  for (size_t i = 0; i < to.size(); ++i) {
+    for (size_t x = 0; x < k; ++x) {
+      clamped[x] = std::min(to.Component(i, x), from.bound(x));
+    }
+    const double mass = pi[from.EncodeUnchecked(clamped)];
+    guess[i] = mass;
+    sum += mass;
+  }
+  if (!(sum > 0.0) || !std::isfinite(sum)) {
+    return Status::NumericError("projection produced an empty distribution");
+  }
+  for (double& g : guess) g /= sum;
+  return guess;
 }
 
 std::string MixedRadixSpace::ToString(size_t index) const {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "linalg/vector.h"
 
 namespace wfms::markov {
 
@@ -52,6 +53,17 @@ class MixedRadixSpace {
   std::vector<size_t> place_values_;  // prod_{l<j} (Y_l + 1)
   size_t size_ = 1;
 };
+
+/// Transfers a distribution over `from` onto `to` (same dimension count,
+/// possibly different bounds): each target state reads the probability of
+/// the source state with the same component vector, clamped into the
+/// source bounds, and the result is L1-normalized. This is not a
+/// stochastic mapping (mass may be duplicated before normalization); it is
+/// an *initial guess* for iterative steady-state solvers when the two
+/// spaces belong to configurations differing by a replica or two.
+Result<linalg::Vector> ProjectDistribution(const MixedRadixSpace& from,
+                                           const linalg::Vector& pi,
+                                           const MixedRadixSpace& to);
 
 }  // namespace wfms::markov
 

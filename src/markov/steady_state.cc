@@ -15,6 +15,31 @@ using linalg::Vector;
 
 namespace {
 
+/// Initial iterate for the iterative methods: the caller's warm-start
+/// guess when it is usable (right size, positive finite mass), else the
+/// uniform distribution.
+Vector InitialIterate(const Ctmc& chain, const SteadyStateOptions& options) {
+  const size_t n = chain.num_states();
+  if (options.initial_guess != nullptr &&
+      options.initial_guess->size() == n) {
+    double sum = 0.0;
+    bool nonnegative = true;
+    for (double v : *options.initial_guess) {
+      if (v < 0.0) {
+        nonnegative = false;
+        break;
+      }
+      sum += v;
+    }
+    if (nonnegative && sum > 0.0 && std::isfinite(sum)) {
+      Vector pi = *options.initial_guess;
+      linalg::Scale(1.0 / sum, &pi);
+      return pi;
+    }
+  }
+  return Vector(n, 1.0 / static_cast<double>(n));
+}
+
 /// Residual check: max_j |(pi Q)_j| must be small relative to the rates.
 Status ValidateSolution(const Ctmc& chain, const Vector& pi,
                         double tolerance) {
@@ -85,8 +110,8 @@ Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
   const auto& values = incoming.values();
 
   SteadyStateResult result;
-  Vector pi(n, 1.0 / static_cast<double>(n));
-  Vector prev(n);
+  Vector pi = InitialIterate(chain, options);
+  Vector prev(n);  // scratch, reused across sweeps
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     prev = pi;
     for (size_t j = 0; j < n; ++j) {
@@ -115,7 +140,7 @@ Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
 Result<SteadyStateResult> SolvePower(const Ctmc& chain,
                                      const SteadyStateOptions& options) {
   SteadyStateResult result;
-  result.pi.assign(chain.num_states(), 1.0 / static_cast<double>(chain.num_states()));
+  result.pi = InitialIterate(chain, options);
   linalg::IterativeOptions opts;
   opts.max_iterations = options.max_iterations;
   opts.tolerance = options.tolerance;

@@ -23,6 +23,15 @@ struct SteadyStateOptions {
   SteadyStateMethod method = SteadyStateMethod::kAuto;
   int max_iterations = 100000;
   double tolerance = 1e-13;
+  /// Optional warm start for the iterative methods (ignored by kLu): a
+  /// non-owning pointer to an initial guess for pi. Used by the
+  /// configuration search, where neighbor configurations differ by one
+  /// replica and the parent's stationary vector — projected onto the new
+  /// state space — is already close to the solution. The guess must stay
+  /// alive for the duration of the solve; it is L1-normalized internally
+  /// and silently ignored if its size mismatches the chain or its sum is
+  /// not positive and finite.
+  const linalg::Vector* initial_guess = nullptr;
 };
 
 struct SteadyStateResult {

@@ -22,13 +22,13 @@ Result<PerformabilityModel> PerformabilityModel::Create(
 }
 
 Result<PerformabilityReport> PerformabilityModel::Evaluate(
-    const Configuration& config) const {
+    const Configuration& config, const linalg::Vector* avail_guess) const {
   const workflow::Environment& env = perf_.environment();
   const size_t k = env.num_server_types();
   WFMS_RETURN_NOT_OK(config.Validate(k));
 
   WFMS_ASSIGN_OR_RETURN(avail::AvailabilityReport avail_report,
-                        avail_.Evaluate(config));
+                        avail_.Evaluate(config, avail_guess));
 
   // Per-type waiting time depends only on that type's up-count; tabulate
   // w_x(c) for c = 1..Y_x once (c = 0 marks "down", NaN).
@@ -55,6 +55,7 @@ Result<PerformabilityReport> PerformabilityModel::Evaluate(
   PerformabilityReport report;
   report.availability = avail_report.availability;
   report.prob_down = avail_report.unavailability;
+  report.solver_iterations = avail_report.solver_iterations;
   report.full_config_waiting.assign(k, 0.0);
   for (size_t x = 0; x < k; ++x) {
     report.full_config_waiting[x] =
@@ -99,6 +100,7 @@ Result<PerformabilityReport> PerformabilityModel::Evaluate(
     accumulated_mass += pi;
   }
 
+  report.avail_state_probabilities = std::move(avail_report.state_probabilities);
   report.expected_waiting.assign(k,
                                  std::numeric_limits<double>::infinity());
   report.max_expected_waiting = std::numeric_limits<double>::infinity();

@@ -61,6 +61,14 @@ struct PerformabilityReport {
   /// than configured.
   double prob_degraded = 0.0;
   double availability = 0.0;
+  /// Stationary distribution of the availability CTMC, indexed by the
+  /// mixed-radix encoding of the evaluated configuration's state space
+  /// (reconstructable via MixedRadixSpace::Create(config.replicas)). Kept
+  /// so the configuration search can warm-start neighbor solves.
+  linalg::Vector avail_state_probabilities;
+  /// Sweeps the steady-state solver needed (0 for direct/product-form);
+  /// lets benches quantify the warm-start win.
+  int solver_iterations = 0;
 };
 
 class PerformabilityModel {
@@ -72,8 +80,14 @@ class PerformabilityModel {
       const PerformabilityOptions& options = {});
 
   /// Evaluates W^Y and the degradation probabilities for a configuration.
+  /// `avail_guess` optionally warm-starts the availability steady-state
+  /// solve (a distribution over this configuration's state space, e.g. a
+  /// neighbor's `avail_state_probabilities` carried over with
+  /// markov::ProjectDistribution); it never changes the result beyond
+  /// solver round-off. Evaluate is const and safe to call concurrently.
   Result<PerformabilityReport> Evaluate(
-      const workflow::Configuration& config) const;
+      const workflow::Configuration& config,
+      const linalg::Vector* avail_guess = nullptr) const;
 
   const perf::PerformanceModel& performance() const { return perf_; }
   const avail::AvailabilityModel& availability() const { return avail_; }

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wfms {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  // One lane: indices are claimed by the caller in order, no races.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneElement) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitInlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([] { return std::string("inline"); });
+  EXPECT_EQ(future.get(), "inline");
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }  // pool destruction joins workers after the queue is drained
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<double> out(kN, 0.0);
+  pool.ParallelFor(kN, [&](size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * (kN - 1) * kN / 2.0);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  ::setenv("WFMS_NUM_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  ::setenv("WFMS_NUM_THREADS", "0", 1);  // non-positive: fall back
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ::setenv("WFMS_NUM_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ::unsetenv("WFMS_NUM_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, WorkerMaySubmitIntoItsOwnPool) {
+  // One outer task blocks on an inner task; the second worker picks the
+  // inner one up. (Blocking every lane on queued work would deadlock —
+  // the searches only ever wait for futures from the caller thread.)
+  ThreadPool pool(3);
+  std::atomic<int> inner{0};
+  auto outer = pool.Submit([&] {
+    auto future = pool.Submit([&inner] { inner.fetch_add(1); });
+    future.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(inner.load(), 1);
+}
+
+}  // namespace
+}  // namespace wfms
