@@ -121,20 +121,21 @@ Result<double> AvailabilityModel::PointAvailability(
 }
 
 Result<AvailabilityReport> AvailabilityModel::Evaluate(
-    const Configuration& config,
-    const linalg::Vector* steady_state_guess) const {
+    const Configuration& config, const linalg::Vector* steady_state_guess,
+    const markov::SteadyStateOptions* solver_override) const {
   const size_t k = num_types();
   WFMS_RETURN_NOT_OK(config.Validate(k));
   WFMS_ASSIGN_OR_RETURN(MixedRadixSpace space,
                         MixedRadixSpace::Create(config.replicas));
 
+  AvailabilityReport report;
   Vector pi;
-  int iterations = 0;
   if (options_.use_product_form) {
     WFMS_ASSIGN_OR_RETURN(pi, ProductFormStateProbabilities(config, space));
   } else {
     WFMS_ASSIGN_OR_RETURN(markov::Ctmc chain, BuildCtmc(config, space));
-    markov::SteadyStateOptions solver_options = options_.solver;
+    markov::SteadyStateOptions solver_options =
+        solver_override != nullptr ? *solver_override : options_.solver;
     solver_options.initial_guess = steady_state_guess;
     auto solved = markov::SolveSteadyState(chain, solver_options);
     if (!solved.ok()) {
@@ -142,7 +143,10 @@ Result<AvailabilityReport> AvailabilityModel::Evaluate(
                                          config.ToString());
     }
     pi = std::move(solved->pi);
-    iterations = solved->iterations;
+    report.solver_iterations = solved->iterations;
+    report.solver_method = solved->method_used;
+    report.solver_diagnostics = solved->diagnostics;
+    report.solver_attempts = std::move(solved->attempts);
   }
 
   // Aggregate: available iff all types have at least one server up.
@@ -158,14 +162,13 @@ Result<AvailabilityReport> AvailabilityModel::Evaluate(
     if (up) available += pi[i];
   }
 
-  AvailabilityReport report{
-      available,
-      1.0 - available,
-      UnavailabilityToDowntimeMinutesPerYear(1.0 - available),
-      std::move(pi),
-      std::move(space),
-      std::move(expected_up),
-      iterations};
+  report.availability = available;
+  report.unavailability = 1.0 - available;
+  report.downtime_minutes_per_year =
+      UnavailabilityToDowntimeMinutesPerYear(1.0 - available);
+  report.state_probabilities = std::move(pi);
+  report.space = std::move(space);
+  report.expected_up_servers = std::move(expected_up);
   return report;
 }
 

@@ -54,6 +54,13 @@ struct AvailabilityReport {
   /// Expected number of up servers per type.
   linalg::Vector expected_up_servers;
   int solver_iterations = 0;
+  /// How the pi Q = 0 system was solved. kAuto means no CTMC solve ran
+  /// (product-form path); otherwise the method that actually produced pi.
+  markov::SteadyStateMethod solver_method = markov::SteadyStateMethod::kAuto;
+  /// Diagnostics of the successful solve (empty for product form).
+  SolveDiagnostics solver_diagnostics;
+  /// When the degradation cascade ran: every rung attempted, in order.
+  std::vector<markov::CascadeAttempt> solver_attempts;
 };
 
 class AvailabilityModel {
@@ -68,10 +75,14 @@ class AvailabilityModel {
   /// distribution over *this configuration's* state space (use
   /// markov::ProjectDistribution to carry a neighbor configuration's
   /// stationary vector over). Ignored by the product-form path; never
-  /// changes the result beyond solver round-off.
+  /// changes the result beyond solver round-off. `solver_override`, when
+  /// non-null, replaces the model's configured steady-state solver options
+  /// for this evaluation only — the fault-isolated search uses it to retry
+  /// a numerically failed candidate with the exact LU rung.
   Result<AvailabilityReport> Evaluate(
       const workflow::Configuration& config,
-      const linalg::Vector* steady_state_guess = nullptr) const;
+      const linalg::Vector* steady_state_guess = nullptr,
+      const markov::SteadyStateOptions* solver_override = nullptr) const;
 
   /// Per-type distribution of up servers via the birth-death closed form.
   Result<linalg::Vector> PerTypeDistribution(size_t type_index,

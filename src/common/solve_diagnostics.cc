@@ -1,0 +1,19 @@
+#include "common/solve_diagnostics.h"
+
+#include <cstdio>
+
+namespace wfms {
+
+std::string SolveDiagnostics::ToString() const {
+  const char* verdict = converged ? "converged"
+                        : diverged ? "diverged"
+                        : stalled  ? "stalled"
+                                   : "did not converge";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s in %d iterations (residual %.3g, %.3g ms)", verdict,
+                iterations, final_residual, wall_time_seconds * 1e3);
+  return buffer;
+}
+
+}  // namespace wfms

@@ -1,0 +1,97 @@
+// Structured diagnostics and resource budgets for numerical solves.
+// Every iterative solver reports a SolveDiagnostics instead of a bare
+// converged flag, so callers can distinguish "diverged" (NaN/blow-up) from
+// "stalled" (progress too slow to reach the tolerance) from "ran out of
+// budget" — the distinctions the steady-state degradation cascade acts on
+// (see markov/steady_state.h and DESIGN.md "Failure handling").
+#ifndef WFMS_COMMON_SOLVE_DIAGNOSTICS_H_
+#define WFMS_COMMON_SOLVE_DIAGNOSTICS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace wfms {
+
+struct SolveDiagnostics {
+  bool converged = false;
+  /// The iterate or residual became non-finite (NaN/Inf) or blew up.
+  bool diverged = false;
+  /// Progress per iteration was too slow to reach the tolerance within the
+  /// remaining budget (detected by the stall window, see IterativeOptions).
+  bool stalled = false;
+  int iterations = 0;
+  /// Infinity norm of the final residual (or iterate change for power
+  /// iteration, where the residual is the change).
+  double final_residual = 0.0;
+  double wall_time_seconds = 0.0;
+
+  /// e.g. "converged in 42 iterations (residual 3.1e-14, 0.8 ms)".
+  std::string ToString() const;
+};
+
+/// Caller-supplied cap on the total work a solve — including every rung of
+/// a degradation cascade — may spend. Zero or negative fields mean
+/// "unlimited"; the default budget is unlimited.
+struct SolveBudget {
+  double max_wall_time_seconds = 0.0;
+  int64_t max_total_iterations = 0;
+
+  bool unlimited() const {
+    return max_wall_time_seconds <= 0.0 && max_total_iterations <= 0;
+  }
+};
+
+/// Tracks consumption of one SolveBudget across the rungs of a cascade.
+/// Wall time starts at construction; iterations are charged explicitly.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const SolveBudget& budget)
+      : budget_(budget), start_(std::chrono::steady_clock::now()) {}
+
+  void Charge(int iterations) { consumed_ += iterations; }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  int64_t consumed_iterations() const { return consumed_; }
+
+  bool WallTimeExhausted() const {
+    return budget_.max_wall_time_seconds > 0.0 &&
+           ElapsedSeconds() >= budget_.max_wall_time_seconds;
+  }
+
+  /// Iterations a rung may still spend, capped by `rung_cap` (> 0).
+  int RemainingIterations(int rung_cap) const {
+    if (budget_.max_total_iterations <= 0) return rung_cap;
+    const int64_t left = budget_.max_total_iterations - consumed_;
+    if (left <= 0) return 0;
+    return static_cast<int>(
+        std::min<int64_t>(left, static_cast<int64_t>(rung_cap)));
+  }
+
+  /// Wall-clock seconds a rung may still spend; 0 = unlimited.
+  double RemainingSeconds() const {
+    if (budget_.max_wall_time_seconds <= 0.0) return 0.0;
+    const double left = budget_.max_wall_time_seconds - ElapsedSeconds();
+    // A vanishing-but-positive remainder still bounds the rung.
+    return left > 0.0 ? left : 1e-9;
+  }
+
+  bool Exhausted() const {
+    return WallTimeExhausted() || RemainingIterations(1) == 0;
+  }
+
+ private:
+  SolveBudget budget_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t consumed_ = 0;
+};
+
+}  // namespace wfms
+
+#endif  // WFMS_COMMON_SOLVE_DIAGNOSTICS_H_

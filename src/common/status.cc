@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NumericError";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kNumericError,      // divergence, singular matrix, non-convergence
   kParseError,        // statechart DSL / scenario file syntax errors
+  kDeadlineExceeded,  // a search/solve hit its wall-clock deadline
   kUnimplemented,
   kInternal,
 };
@@ -61,6 +62,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

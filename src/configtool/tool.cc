@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <map>
@@ -44,8 +45,17 @@ Status SearchConstraints::Validate(size_t num_types) const {
 /// small (the report plus the availability stationary vector) and the solves
 /// they save dominate the lock by orders of magnitude.
 struct ConfigurationTool::AssessmentCache {
+  /// A terminally failed evaluation, negatively cached so repeated
+  /// encounters of the same bad candidate stay cheap and deterministic.
+  struct FailureEntry {
+    Status error;
+    bool numerical = false;
+    bool retried_exact = false;
+  };
+
   mutable std::mutex mutex;
   std::map<std::vector<int>, performability::PerformabilityReport> entries;
+  std::map<std::vector<int>, FailureEntry> failures;
   std::atomic<size_t> hits{0};
   std::atomic<size_t> misses{0};
 
@@ -64,6 +74,20 @@ struct ConfigurationTool::AssessmentCache {
       performability::PerformabilityReport report) {
     std::lock_guard<std::mutex> lock(mutex);
     auto [it, inserted] = entries.try_emplace(key, std::move(report));
+    return it->second;
+  }
+
+  std::optional<FailureEntry> LookupFailure(const std::vector<int>& key) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = failures.find(key);
+    if (it == failures.end()) return std::nullopt;
+    return it->second;
+  }
+
+  FailureEntry InsertFailure(const std::vector<int>& key,
+                             FailureEntry entry) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = failures.try_emplace(key, std::move(entry));
     return it->second;
   }
 };
@@ -113,20 +137,18 @@ ConfigurationTool::CacheStats ConfigurationTool::cache_stats() const {
 void ConfigurationTool::ClearAssessmentCache() {
   std::lock_guard<std::mutex> lock(cache_->mutex);
   cache_->entries.clear();
+  cache_->failures.clear();
 }
 
 Assessment ConfigurationTool::BuildAssessment(
     const Configuration& config, performability::PerformabilityReport report,
     const Goals& goals, const CostModel& cost) const {
   const size_t k = env_->num_server_types();
-  Assessment assessment{config,
-                        std::move(report),
-                        cost.Cost(config.replicas),
-                        true,
-                        false,
-                        false,
-                        true,
-                        {}};
+  Assessment assessment;
+  assessment.config = config;
+  assessment.performability = std::move(report);
+  assessment.cost = cost.Cost(config.replicas);
+  assessment.meets_waiting_goal = true;
   for (size_t x = 0; x < k; ++x) {
     const double w = assessment.performability.expected_waiting[x];
     if (!(w <= goals.WaitingThreshold(x))) {  // NaN/inf fail too
@@ -183,15 +205,150 @@ Result<Assessment> ConfigurationTool::AssessInternal(
   return BuildAssessment(config, std::move(report), goals, cost);
 }
 
+namespace {
+
+/// Errors a search must survive: numerical solver trouble and internal
+/// model failures. Structural errors (invalid goals, configs, constraints)
+/// mean the caller is holding the tool wrong and still abort.
+bool IsIsolatableFailure(StatusCode code) {
+  return code == StatusCode::kNumericError ||
+         code == StatusCode::kFailedPrecondition ||
+         code == StatusCode::kInternal;
+}
+
+/// Infeasible-with-cause assessment for a candidate whose evaluation
+/// terminally failed. Every goal flag is false so Satisfies() is false and
+/// the greedy availability pick still fires.
+Assessment FailedAssessment(const Configuration& config, const CostModel& cost,
+                            Status error, bool numerical, bool retried) {
+  Assessment assessment;
+  assessment.config = config;
+  assessment.cost = cost.Cost(config.replicas);
+  assessment.meets_instance_delay_goal = false;
+  assessment.error = std::move(error);
+  assessment.numerical_failure = numerical;
+  assessment.retried_exact = retried;
+  return assessment;
+}
+
+/// Records a terminal failure on the search result, deduplicated by
+/// replication vector (the same candidate can be re-encountered across
+/// waves via the negative cache).
+void AppendFailure(const Assessment& assessment, SearchResult* result) {
+  if (result == nullptr || assessment.error.ok()) return;
+  for (const FailedCandidate& seen : result->failed_candidates) {
+    if (seen.config.replicas == assessment.config.replicas) return;
+  }
+  result->failed_candidates.push_back({assessment.config, assessment.error,
+                                       assessment.numerical_failure,
+                                       assessment.retried_exact});
+}
+
+/// True when the availability state space of `config` fits the dense-LU
+/// cap, i.e. an exact retry is worth attempting.
+bool FitsDenseCap(const Configuration& config, size_t cap) {
+  if (cap == 0) return false;
+  size_t states = 1;
+  for (int r : config.replicas) {
+    states *= static_cast<size_t>(r) + 1;
+    if (states > cap) return false;
+  }
+  return true;
+}
+
+/// Wall-clock deadline for a whole search, checked at wave/step
+/// boundaries.
+class SearchDeadline {
+ public:
+  explicit SearchDeadline(const SearchOptions& search)
+      : seconds_(search.deadline_seconds),
+        start_(std::chrono::steady_clock::now()) {}
+
+  bool Expired() const {
+    if (seconds_ <= 0.0) return false;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+               .count() >= seconds_;
+  }
+
+  /// Marks the result as deadline-terminated; the caller then returns its
+  /// best-so-far.
+  void Terminate(const char* strategy, SearchResult* result) const {
+    result->termination = Status::DeadlineExceeded(
+        std::string(strategy) + " search hit its deadline of " +
+        std::to_string(seconds_) + "s after " +
+        std::to_string(result->evaluations) +
+        " evaluations; result is best-so-far");
+  }
+
+ private:
+  double seconds_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Result<Assessment> ConfigurationTool::AssessIsolated(
+    const Configuration& config, const Goals& goals, const CostModel& cost,
+    const linalg::Vector* avail_guess, bool retry_exact,
+    bool* cache_hit) const {
+  const size_t k = env_->num_server_types();
+  WFMS_RETURN_NOT_OK(goals.Validate(k));
+  WFMS_RETURN_NOT_OK(cost.Validate(k));
+  WFMS_RETURN_NOT_OK(config.Validate(k));
+
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (auto failed = cache_->LookupFailure(config.replicas)) {
+    cache_->hits.fetch_add(1);
+    if (cache_hit != nullptr) *cache_hit = true;
+    return FailedAssessment(config, cost, std::move(failed->error),
+                            failed->numerical, failed->retried_exact);
+  }
+
+  auto assessed = AssessInternal(config, goals, cost, avail_guess, cache_hit);
+  if (assessed.ok()) return assessed;
+  Status cause = assessed.status();
+  if (!IsIsolatableFailure(cause.code())) return cause;
+
+  const bool numerical = cause.code() == StatusCode::kNumericError;
+  bool retried = false;
+  if (numerical && retry_exact &&
+      FitsDenseCap(config,
+                   model_.options().availability.solver.max_dense_states)) {
+    retried = true;
+    markov::SteadyStateOptions lu_options =
+        model_.options().availability.solver;
+    lu_options.method = markov::SteadyStateMethod::kLu;
+    lu_options.budget = {};
+    auto exact = model_.Evaluate(config, /*avail_guess=*/nullptr, &lu_options);
+    if (exact.ok()) {
+      auto report = cache_->Insert(config.replicas, *std::move(exact));
+      Assessment assessment =
+          BuildAssessment(config, std::move(report), goals, cost);
+      assessment.retried_exact = true;
+      return assessment;
+    }
+    cause = exact.status().WithContext("exact LU retry also failed; first " +
+                                       cause.ToString());
+  }
+  auto stored = cache_->InsertFailure(config.replicas,
+                                      {std::move(cause), numerical, retried});
+  return FailedAssessment(config, cost, std::move(stored.error),
+                          stored.numerical, stored.retried_exact);
+}
+
 Result<Assessment> ConfigurationTool::AssessCounted(
     const Configuration& config, const Goals& goals, const CostModel& cost,
-    const linalg::Vector* avail_guess, SearchResult* result) const {
+    const linalg::Vector* avail_guess, const SearchOptions& search,
+    SearchResult* result) const {
   bool hit = false;
-  WFMS_ASSIGN_OR_RETURN(Assessment assessment,
-                        AssessInternal(config, goals, cost, avail_guess,
-                                       &hit));
+  WFMS_ASSIGN_OR_RETURN(
+      Assessment assessment,
+      AssessIsolated(config, goals, cost, avail_guess,
+                     search.retry_numerical_failures, &hit));
   ++result->evaluations;
   if (hit) ++result->cache_hits;
+  AppendFailure(assessment, result);
   return assessment;
 }
 
@@ -204,15 +361,17 @@ Result<Assessment> ConfigurationTool::Assess(const Configuration& config,
 
 Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
     std::span<const Configuration> configs, const Goals& goals,
-    const CostModel& cost, SearchResult* result) const {
+    const CostModel& cost, const SearchOptions& search,
+    SearchResult* result) const {
   const size_t n = configs.size();
   std::vector<std::optional<Assessment>> slots(n);
   std::vector<Status> errors(n, Status::OK());
   std::atomic<int> hits{0};
   pool().ParallelFor(n, [&](size_t i) {
     bool hit = false;
-    auto assessed =
-        AssessInternal(configs[i], goals, cost, /*avail_guess=*/nullptr, &hit);
+    auto assessed = AssessIsolated(configs[i], goals, cost,
+                                   /*avail_guess=*/nullptr,
+                                   search.retry_numerical_failures, &hit);
     if (assessed.ok()) {
       slots[i] = *std::move(assessed);
     } else {
@@ -220,7 +379,9 @@ Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
     }
     if (hit) hits.fetch_add(1);
   });
-  // Reduce in candidate-index order (first error wins deterministically).
+  // Reduce in candidate-index order (first structural error wins
+  // deterministically; isolated failures are data and get recorded in the
+  // same order).
   std::vector<Assessment> assessments;
   assessments.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -228,6 +389,7 @@ Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
       return errors[i].WithContext("assessing candidate " +
                                    configs[i].ToString());
     }
+    AppendFailure(*slots[i], result);
     assessments.push_back(*std::move(slots[i]));
   }
   if (result != nullptr) {
@@ -240,13 +402,20 @@ Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
 Result<std::vector<Assessment>> ConfigurationTool::AssessBatch(
     std::span<const Configuration> configs, const Goals& goals,
     const CostModel& cost) const {
-  return AssessBatchInternal(configs, goals, cost, /*result=*/nullptr);
+  return AssessBatchInternal(configs, goals, cost, SearchOptions{},
+                             /*result=*/nullptr);
 }
 
 double ConfigurationTool::ViolationMeasure(const Assessment& assessment,
                                            const Goals& goals) const {
-  double violation = 0.0;
   const size_t k = env_->num_server_types();
+  // A failed assessment carries no waiting-time data; treat it as worse
+  // than any real violation so the annealer never settles on it.
+  if (!assessment.error.ok() ||
+      assessment.performability.expected_waiting.size() < k) {
+    return 100.0;
+  }
+  double violation = 0.0;
   for (size_t x = 0; x < k; ++x) {
     const double w = assessment.performability.expected_waiting[x];
     const double threshold = goals.WaitingThreshold(x);
@@ -347,7 +516,7 @@ void ConfigurationTool::PrefetchNeighborFrontier(
 
 Result<SearchResult> ConfigurationTool::GreedyMinCost(
     const Goals& goals, const SearchConstraints& constraints,
-    const CostModel& cost) const {
+    const CostModel& cost, const SearchOptions& search) const {
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   Configuration config = MinimalConfig(constraints, k);
@@ -358,9 +527,11 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
   }
 
   SearchResult result;
+  SearchDeadline deadline(search);
   WFMS_ASSIGN_OR_RETURN(
       Assessment assessment,
-      AssessCounted(config, goals, cost, /*avail_guess=*/nullptr, &result));
+      AssessCounted(config, goals, cost, /*avail_guess=*/nullptr, search,
+                    &result));
 
   // Assesses the one-replica-added successor, reusing the parent's
   // availability distribution as the iterative solver's starting point.
@@ -368,86 +539,109 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
                                 const Assessment& parent) {
     const linalg::Vector guess = WarmStartGuess(parent, child);
     return AssessCounted(child, goals, cost,
-                         guess.empty() ? nullptr : &guess, &result);
+                         guess.empty() ? nullptr : &guess, search, &result);
+  };
+
+  // Fault isolation: a step's candidate failing assessment excludes that
+  // server type for the step; the next most critical type is tried. The
+  // failure is already recorded in result.failed_candidates.
+  const auto try_grow = [&](size_t pick) -> Result<bool> {
+    Configuration child = config;
+    ++child.replicas[pick];
+    WFMS_ASSIGN_OR_RETURN(Assessment next, assess_child(child, assessment));
+    if (!next.error.ok()) return false;
+    config = std::move(child);
+    assessment = std::move(next);
+    --budget;
+    return true;
   };
 
   // §7.2: consider the availability and the performability criterion in an
   // interleaved manner, re-evaluating after every added replica so the
   // configuration is never oversized.
   while (!assessment.Satisfies() && budget > 0) {
+    if (deadline.Expired()) {
+      deadline.Terminate("greedy", &result);
+      break;
+    }
     bool added = false;
     PrefetchNeighborFrontier(config, assessment, goals, cost, constraints);
 
     if (!assessment.meets_availability_goal) {
       // Most critical type for availability: the one whose probability of
       // being completely down is largest (i.e. the weakest link).
-      double worst = -1.0;
-      size_t pick = SIZE_MAX;
-      for (size_t x = 0; x < k; ++x) {
-        if (config.replicas[x] >= constraints.MaxFor(x)) continue;
-        auto dist = model_.availability().PerTypeDistribution(
-            x, config.replicas[x]);
-        if (!dist.ok()) return dist.status();
-        const double down = (*dist)[0];
-        if (down > worst) {
-          worst = down;
-          pick = x;
+      std::set<size_t> excluded;
+      while (true) {
+        double worst = -1.0;
+        size_t pick = SIZE_MAX;
+        for (size_t x = 0; x < k; ++x) {
+          if (config.replicas[x] >= constraints.MaxFor(x)) continue;
+          if (excluded.count(x) != 0) continue;
+          auto dist = model_.availability().PerTypeDistribution(
+              x, config.replicas[x]);
+          if (!dist.ok()) return dist.status();
+          const double down = (*dist)[0];
+          if (down > worst) {
+            worst = down;
+            pick = x;
+          }
         }
+        if (pick == SIZE_MAX) break;
+        WFMS_ASSIGN_OR_RETURN(bool grown, try_grow(pick));
+        if (grown) {
+          added = true;
+          break;
+        }
+        excluded.insert(pick);
       }
-      if (pick != SIZE_MAX) {
-        Configuration child = config;
-        ++child.replicas[pick];
-        WFMS_ASSIGN_OR_RETURN(Assessment next, assess_child(child, assessment));
-        config = std::move(child);
-        assessment = std::move(next);
-        --budget;
-        added = true;
-        if (assessment.Satisfies()) break;
-      }
+      if (assessment.Satisfies()) break;
     }
 
-    if (!assessment.meets_waiting_goal || !assessment.meets_saturation_goal ||
-        !assessment.meets_instance_delay_goal) {
+    if (assessment.error.ok() &&
+        (!assessment.meets_waiting_goal || !assessment.meets_saturation_goal ||
+         !assessment.meets_instance_delay_goal)) {
       // Most critical type for responsiveness: the one with the largest
       // relative waiting-time violation (saturated types first, then by
       // utilization). A pure instance-delay violation steers toward the
       // type contributing the most delay to the violating workflows.
       const auto& workflows = model_.performance().workflows();
-      double worst = -1.0;
-      size_t pick = SIZE_MAX;
-      for (size_t x = 0; x < k; ++x) {
-        if (config.replicas[x] >= constraints.MaxFor(x)) continue;
-        const double w = assessment.performability.expected_waiting[x];
-        double score =
-            std::isinf(w) || std::isnan(w)
-                ? 1e12 + assessment.performability.full_config_waiting[x]
-                : w / goals.WaitingThreshold(x);
-        if (!assessment.meets_instance_delay_goal && std::isfinite(w)) {
-          for (size_t t = 0; t < workflows.size(); ++t) {
-            const auto bound = goals.max_instance_delay.find(
-                workflows[t].workflow_type);
-            if (bound == goals.max_instance_delay.end()) continue;
-            if (assessment.instance_delays[t] <= bound->second) continue;
-            score += workflows[t].expected_requests[x] * w / bound->second;
+      std::set<size_t> excluded;
+      while (true) {
+        double worst = -1.0;
+        size_t pick = SIZE_MAX;
+        for (size_t x = 0; x < k; ++x) {
+          if (config.replicas[x] >= constraints.MaxFor(x)) continue;
+          if (excluded.count(x) != 0) continue;
+          const double w = assessment.performability.expected_waiting[x];
+          double score =
+              std::isinf(w) || std::isnan(w)
+                  ? 1e12 + assessment.performability.full_config_waiting[x]
+                  : w / goals.WaitingThreshold(x);
+          if (!assessment.meets_instance_delay_goal && std::isfinite(w)) {
+            for (size_t t = 0; t < workflows.size(); ++t) {
+              const auto bound = goals.max_instance_delay.find(
+                  workflows[t].workflow_type);
+              if (bound == goals.max_instance_delay.end()) continue;
+              if (assessment.instance_delays[t] <= bound->second) continue;
+              score += workflows[t].expected_requests[x] * w / bound->second;
+            }
+          }
+          if (score > worst) {
+            worst = score;
+            pick = x;
           }
         }
-        if (score > worst) {
-          worst = score;
-          pick = x;
+        if (pick == SIZE_MAX) break;
+        WFMS_ASSIGN_OR_RETURN(bool grown, try_grow(pick));
+        if (grown) {
+          added = true;
+          break;
         }
-      }
-      if (pick != SIZE_MAX) {
-        Configuration child = config;
-        ++child.replicas[pick];
-        WFMS_ASSIGN_OR_RETURN(Assessment next, assess_child(child, assessment));
-        config = std::move(child);
-        assessment = std::move(next);
-        --budget;
-        added = true;
+        excluded.insert(pick);
       }
     }
 
-    if (!added) break;  // every critical type is capped
+    if (!added) break;  // every critical type is capped or failed
   }
 
   result.config = config;
@@ -459,11 +653,12 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
 
 Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
     const Goals& goals, const SearchConstraints& constraints,
-    const CostModel& cost) const {
+    const CostModel& cost, const SearchOptions& search) const {
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
   SearchResult result;
+  SearchDeadline deadline(search);
   bool have_best = false;
   Configuration best;
   double best_cost = 0.0;
@@ -481,6 +676,10 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
   wave.reserve(kExhaustiveWaveSize);
   bool enumeration_done = false;
   while (!enumeration_done) {
+    if (deadline.Expired()) {
+      deadline.Terminate("exhaustive", &result);
+      break;
+    }
     wave.clear();
     while (wave.size() < kExhaustiveWaveSize && !enumeration_done) {
       if (!have_best || cost.Cost(current.replicas) < best_cost) {
@@ -499,8 +698,9 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
       if (x == k) enumeration_done = true;  // wrapped: enumeration over
     }
     if (wave.empty()) continue;
-    WFMS_ASSIGN_OR_RETURN(std::vector<Assessment> assessed,
-                          AssessBatchInternal(wave, goals, cost, &result));
+    WFMS_ASSIGN_OR_RETURN(
+        std::vector<Assessment> assessed,
+        AssessBatchInternal(wave, goals, cost, search, &result));
     for (size_t i = 0; i < assessed.size(); ++i) {
       if (assessed[i].Satisfies() &&
           (!have_best || assessed[i].cost < best_cost)) {
@@ -529,7 +729,8 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
 
 Result<SearchResult> ConfigurationTool::AnnealingMinCost(
     const Goals& goals, const SearchConstraints& constraints,
-    const CostModel& cost, const AnnealingOptions& annealing) const {
+    const CostModel& cost, const AnnealingOptions& annealing,
+    const SearchOptions& search) const {
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
@@ -568,10 +769,12 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
   };
 
   SearchResult result;
+  SearchDeadline deadline(search);
   Configuration current = MinimalConfig(constraints, k);
   WFMS_ASSIGN_OR_RETURN(
       Assessment current_assessment,
-      AssessCounted(current, goals, cost, /*avail_guess=*/nullptr, &result));
+      AssessCounted(current, goals, cost, /*avail_guess=*/nullptr, search,
+                    &result));
   double current_objective = objective(current_assessment);
 
   bool have_best = current_assessment.Satisfies();
@@ -593,6 +796,10 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
 
   double temperature = annealing.initial_temperature;
   for (size_t iter = 0; iter < moves.size(); ++iter) {
+    if (deadline.Expired()) {
+      deadline.Terminate("annealing", &result);
+      break;
+    }
     const std::optional<Configuration> proposal = apply(current, moves[iter]);
     if (!proposal.has_value()) continue;
 
@@ -605,8 +812,14 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
 
     WFMS_ASSIGN_OR_RETURN(
         Assessment assessment,
-        AssessCounted(*proposal, goals, cost, /*avail_guess=*/nullptr,
+        AssessCounted(*proposal, goals, cost, /*avail_guess=*/nullptr, search,
                       &result));
+    if (!assessment.error.ok()) {
+      // Failed assessment: rejected like any uphill move (recorded in
+      // result.failed_candidates by AssessCounted).
+      temperature *= annealing.cooling;
+      continue;
+    }
     const double proposal_objective = objective(assessment);
     const double diff = proposal_objective - current_objective;
     if (diff <= 0.0 ||
@@ -643,21 +856,26 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
 
 Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
     const Goals& goals, const SearchConstraints& constraints,
-    const CostModel& cost) const {
+    const CostModel& cost, const SearchOptions& search) const {
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   SearchResult result;
+  SearchDeadline deadline(search);
 
   // Feasibility bound: if the most generous configuration fails, nothing
-  // in the box can succeed (goals are monotone in replication).
+  // in the box can succeed (goals are monotone in replication). When the
+  // probe itself fails assessment the bound is unverified: the early abort
+  // is skipped and lattice exhaustion below degrades to a best-effort
+  // unsatisfied result instead of an internal error.
   Configuration max_config;
   max_config.replicas.resize(k);
   for (size_t x = 0; x < k; ++x) max_config.replicas[x] = constraints.MaxFor(x);
   WFMS_ASSIGN_OR_RETURN(
       Assessment max_assessment,
-      AssessCounted(max_config, goals, cost, /*avail_guess=*/nullptr,
+      AssessCounted(max_config, goals, cost, /*avail_guess=*/nullptr, search,
                     &result));
-  if (!max_assessment.Satisfies()) {
+  const bool bound_verified = max_assessment.error.ok();
+  if (bound_verified && !max_assessment.Satisfies()) {
     result.config = max_config;
     result.cost = max_assessment.cost;
     result.satisfied = false;
@@ -686,7 +904,16 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
 
   std::vector<Configuration> wave;
   wave.reserve(kBnbWaveSize);
+  Assessment last_assessment = max_assessment;
   while (!frontier.empty()) {
+    if (deadline.Expired()) {
+      deadline.Terminate("branch-and-bound", &result);
+      result.config = max_config;
+      result.cost = cost.Cost(max_config.replicas);
+      result.satisfied = false;
+      result.assessment = std::move(last_assessment);
+      return result;
+    }
     const double wave_cost = frontier.top().cost;
     wave.clear();
     while (!frontier.empty() && wave.size() < kBnbWaveSize &&
@@ -698,8 +925,9 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
               [](const Configuration& a, const Configuration& b) {
                 return a.replicas < b.replicas;
               });
-    WFMS_ASSIGN_OR_RETURN(std::vector<Assessment> assessed,
-                          AssessBatchInternal(wave, goals, cost, &result));
+    WFMS_ASSIGN_OR_RETURN(
+        std::vector<Assessment> assessed,
+        AssessBatchInternal(wave, goals, cost, search, &result));
     for (size_t i = 0; i < assessed.size(); ++i) {
       if (assessed[i].Satisfies()) {
         result.config = wave[i];
@@ -709,6 +937,7 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
         return result;
       }
     }
+    last_assessment = std::move(assessed.back());
     for (const Configuration& node : wave) {
       for (size_t x = 0; x < k; ++x) {
         if (node.replicas[x] >= constraints.MaxFor(x)) continue;
@@ -720,8 +949,17 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
       }
     }
   }
-  return Status::Internal(
-      "branch-and-bound exhausted the lattice despite a feasible maximum");
+  if (bound_verified) {
+    return Status::Internal(
+        "branch-and-bound exhausted the lattice despite a feasible maximum");
+  }
+  // The feasibility probe failed assessment, so exhaustion without a
+  // satisfying candidate is a legitimate outcome: report best-effort.
+  result.config = max_config;
+  result.cost = cost.Cost(max_config.replicas);
+  result.satisfied = false;
+  result.assessment = std::move(last_assessment);
+  return result;
 }
 
 std::string ConfigurationTool::RenderRecommendation(
@@ -732,22 +970,41 @@ std::string ConfigurationTool::RenderRecommendation(
                             "candidate ")
      << result.config.ToString() << " (cost " << result.cost << ", "
      << result.evaluations << " evaluations)\n";
+  const auto& waiting = result.assessment.performability.expected_waiting;
   for (size_t x = 0; x < env_->num_server_types(); ++x) {
     os << "  " << env_->servers.type(x).name << ": " << result.config.replicas[x]
        << " server(s), W = ";
-    const double w = result.assessment.performability.expected_waiting[x];
-    if (std::isinf(w)) {
+    if (x >= waiting.size()) {
+      os << "unknown";  // the final assessment failed; no waiting data
+    } else if (std::isinf(waiting[x])) {
       os << "saturated";
     } else {
-      os << FormatMinutes(w);
+      os << FormatMinutes(waiting[x]);
     }
     os << "\n";
   }
-  os << "  availability: "
-     << result.assessment.performability.availability << " (downtime "
-     << FormatMinutes(UnavailabilityToDowntimeMinutesPerYear(
-            1.0 - result.assessment.performability.availability))
-     << "/year)\n";
+  if (result.assessment.error.ok()) {
+    os << "  availability: "
+       << result.assessment.performability.availability << " (downtime "
+       << FormatMinutes(UnavailabilityToDowntimeMinutesPerYear(
+              1.0 - result.assessment.performability.availability))
+       << "/year)\n";
+  } else {
+    os << "  assessment failed: " << result.assessment.error.ToString()
+       << "\n";
+  }
+  if (!result.failed_candidates.empty()) {
+    os << "  " << result.failed_candidates.size()
+       << " candidate(s) failed assessment and were skipped:\n";
+    for (const FailedCandidate& failed : result.failed_candidates) {
+      os << "    " << failed.config.ToString() << ": "
+         << failed.error.ToString()
+         << (failed.retried_exact ? " [after exact LU retry]" : "") << "\n";
+    }
+  }
+  if (!result.termination.ok()) {
+    os << "  note: " << result.termination.ToString() << "\n";
+  }
   return os.str();
 }
 

@@ -62,11 +62,42 @@ struct Assessment {
   /// Expected queueing delay per workflow-type instance under W^Y
   /// (aligned with the environment's workflow list).
   linalg::Vector instance_delays;
+  /// Fault isolation (see DESIGN.md "Failure handling"): when the model
+  /// evaluation failed, the cause lands here instead of aborting the
+  /// search, `performability` is empty, and Satisfies() is false — the
+  /// candidate is infeasible-with-cause.
+  Status error;
+  /// The failure was numerical (solver divergence/non-convergence) rather
+  /// than structural.
+  bool numerical_failure = false;
+  /// A retry with the exact LU solver ran (either rescuing the assessment
+  /// or, when `error` is still set, also failing).
+  bool retried_exact = false;
 
   bool Satisfies() const {
-    return meets_waiting_goal && meets_availability_goal &&
+    return error.ok() && meets_waiting_goal && meets_availability_goal &&
            meets_saturation_goal && meets_instance_delay_goal;
   }
+};
+
+/// A candidate whose assessment terminally failed during a search.
+struct FailedCandidate {
+  workflow::Configuration config;
+  Status error;               // the terminal cause
+  bool numerical = false;     // solver trouble, not a structural problem
+  bool retried_exact = false;  // the LU retry also ran and failed
+};
+
+/// Search-level execution controls, orthogonal to goals and constraints.
+struct SearchOptions {
+  /// Wall-clock cap for the whole search; <= 0 means unlimited. On expiry
+  /// the search stops at the next wave/step boundary and returns its
+  /// best-so-far with SearchResult::termination set to DeadlineExceeded.
+  double deadline_seconds = 0.0;
+  /// Retry a numerically failed candidate once with the exact LU solver
+  /// (honoring the configured max_dense_states) before declaring it
+  /// failed.
+  bool retry_numerical_failures = true;
 };
 
 struct SearchResult {
@@ -82,6 +113,13 @@ struct SearchResult {
   /// An execution statistic: unlike every other field it may legitimately
   /// vary with the thread count and with prior searches on the same tool.
   int cache_hits = 0;
+  /// Candidates whose assessment terminally failed (deduplicated, in the
+  /// order the search first encountered them). The search continues around
+  /// them; they are never recommended.
+  std::vector<FailedCandidate> failed_candidates;
+  /// OK for a complete search; DeadlineExceeded when the search stopped at
+  /// SearchOptions::deadline_seconds and `config` is only best-so-far.
+  Status termination;
   Assessment assessment;
 };
 
@@ -120,8 +158,11 @@ class ConfigurationTool {
   /// Assesses a batch of candidates, fanning the model evaluations out
   /// across the tool's thread pool. The returned vector is index-aligned
   /// with `configs`; entry i is bit-identical to what a sequential
-  /// Assess(configs[i], ...) would produce. Fails with the first
-  /// (lowest-index) error if any assessment fails.
+  /// Assess(configs[i], ...) would produce. Fault-isolated: a candidate
+  /// whose model evaluation fails numerically comes back with
+  /// Assessment::error set instead of failing the batch; only structural
+  /// errors (invalid goals/cost/configuration) abort, with the first
+  /// (lowest-index) one winning deterministically.
   Result<std::vector<Assessment>> AssessBatch(
       std::span<const workflow::Configuration> configs, const Goals& goals,
       const CostModel& cost = CostModel::Uniform()) const;
@@ -129,25 +170,32 @@ class ConfigurationTool {
   /// §7.2 greedy heuristic. Iterative availability solves along the chain
   /// of grown configurations are warm-started from the parent's stationary
   /// vector; with a multi-lane pool the admissible neighbor frontier of
-  /// each step is assessed in parallel ahead of the pick.
+  /// each step is assessed in parallel ahead of the pick. A growth step
+  /// whose candidate fails assessment excludes that server type for the
+  /// step and re-picks the next most critical one.
   Result<SearchResult> GreedyMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
-      const CostModel& cost = CostModel::Uniform()) const;
+      const CostModel& cost = CostModel::Uniform(),
+      const SearchOptions& search = {}) const;
 
   /// Exhaustive minimum-cost search over the constrained space; candidates
   /// are drained in fixed-size enumeration-ordered waves that the pool
-  /// assesses concurrently.
+  /// assesses concurrently. Failed candidates are skipped (recorded in
+  /// SearchResult::failed_candidates).
   Result<SearchResult> ExhaustiveMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
-      const CostModel& cost = CostModel::Uniform()) const;
+      const CostModel& cost = CostModel::Uniform(),
+      const SearchOptions& search = {}) const;
 
   /// Simulated-annealing search. Proposal evaluation is pipelined: while
   /// a proposal is assessed, both possible successor proposals (accept and
-  /// reject branch) are speculatively prefilled into the cache.
+  /// reject branch) are speculatively prefilled into the cache. A proposal
+  /// that fails assessment is rejected like any uphill move.
   Result<SearchResult> AnnealingMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
       const CostModel& cost = CostModel::Uniform(),
-      const AnnealingOptions& annealing = {}) const;
+      const AnnealingOptions& annealing = {},
+      const SearchOptions& search = {}) const;
 
   /// Branch-and-bound search (the other "full-fledged" optimizer the
   /// paper names): best-first expansion in cost order with monotonicity
@@ -156,10 +204,14 @@ class ConfigurationTool {
   /// the all-max configuration fails, the search aborts immediately.
   /// Exact like ExhaustiveMinCost but typically evaluates far fewer
   /// candidates. The cost-ordered frontier is drained in equal-cost waves
-  /// assessed in parallel.
+  /// assessed in parallel. When the all-max feasibility probe itself fails
+  /// assessment, the early abort is skipped (the bound is unverified) and
+  /// lattice exhaustion returns a best-effort unsatisfied result instead
+  /// of an internal error.
   Result<SearchResult> BranchAndBoundMinCost(
       const Goals& goals, const SearchConstraints& constraints = {},
-      const CostModel& cost = CostModel::Uniform()) const;
+      const CostModel& cost = CostModel::Uniform(),
+      const SearchOptions& search = {}) const;
 
   /// Human-readable recommendation (§7.1's "recommendations" component).
   std::string RenderRecommendation(const SearchResult& result) const;
@@ -197,15 +249,29 @@ class ConfigurationTool {
                                     const Goals& goals, const CostModel& cost,
                                     const linalg::Vector* avail_guess,
                                     bool* cache_hit) const;
-  /// AssessInternal + SearchResult accounting.
+  /// Fault-isolating wrapper around AssessInternal: a numerical evaluation
+  /// failure is retried once with the exact LU solver (when `retry_exact`
+  /// and the state space fits the configured dense cap) and, if terminal,
+  /// returned as an Assessment with `error` set rather than a Status.
+  /// Terminal failures are negatively cached. Structural errors (invalid
+  /// goals/cost/configuration) still surface as Status.
+  Result<Assessment> AssessIsolated(const workflow::Configuration& config,
+                                    const Goals& goals, const CostModel& cost,
+                                    const linalg::Vector* avail_guess,
+                                    bool retry_exact, bool* cache_hit) const;
+  /// AssessIsolated + SearchResult accounting (evaluations, cache hits,
+  /// failed_candidates).
   Result<Assessment> AssessCounted(const workflow::Configuration& config,
                                    const Goals& goals, const CostModel& cost,
                                    const linalg::Vector* avail_guess,
+                                   const SearchOptions& search,
                                    SearchResult* result) const;
-  /// Batch core used by the searches; adds hit counts to *result.
+  /// Batch core used by the searches; adds hit counts and failed
+  /// candidates to *result.
   Result<std::vector<Assessment>> AssessBatchInternal(
       std::span<const workflow::Configuration> configs, const Goals& goals,
-      const CostModel& cost, SearchResult* result) const;
+      const CostModel& cost, const SearchOptions& search,
+      SearchResult* result) const;
   /// Derives goal verdicts and instance delays from a memoized report.
   Assessment BuildAssessment(const workflow::Configuration& config,
                              performability::PerformabilityReport report,

@@ -1,5 +1,6 @@
 #include "linalg/iterative_solver.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
@@ -44,6 +45,48 @@ double ResidualInf(const SparseMatrix& a, const Vector& b, const Vector& x) {
   return m;
 }
 
+/// Shared stall/wall-time bookkeeping for the iteration loops. Wall time is
+/// sampled only at stall checkpoints (every `stall_window` iterations, or
+/// every 64 when stalling is disabled) to keep the per-iteration cost nil.
+class ProgressMonitor {
+ public:
+  explicit ProgressMonitor(const IterativeOptions& options)
+      : options_(options),
+        check_every_(options.stall_window > 0 ? options.stall_window : 64),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Call once per iteration with the latest iterate change. Returns true
+  /// when the solve should give up; `diagnostics->stalled` distinguishes a
+  /// detected stall from wall-time exhaustion (all flags stay false).
+  bool ShouldStop(int iteration, double change, SolveDiagnostics* diagnostics) {
+    if (iteration % check_every_ != 0) return false;
+    if (options_.stall_window > 0) {
+      if (have_checkpoint_ &&
+          !(change < options_.stall_decay * checkpoint_change_)) {
+        diagnostics->stalled = true;
+        return true;
+      }
+      checkpoint_change_ = change;
+      have_checkpoint_ = true;
+    }
+    return options_.max_wall_time_seconds > 0.0 &&
+           ElapsedSeconds() >= options_.max_wall_time_seconds;
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  const IterativeOptions& options_;
+  int check_every_;
+  std::chrono::steady_clock::time_point start_;
+  bool have_checkpoint_ = false;
+  double checkpoint_change_ = 0.0;
+};
+
 }  // namespace
 
 Result<IterativeStats> JacobiSolve(const SparseMatrix& a, const Vector& b,
@@ -57,6 +100,7 @@ Result<IterativeStats> JacobiSolve(const SparseMatrix& a, const Vector& b,
   const auto& values = a.values();
 
   IterativeStats stats;
+  ProgressMonitor monitor(options);
   Vector next(x->size());
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     for (size_t r = 0; r < a.rows(); ++r) {
@@ -71,18 +115,21 @@ Result<IterativeStats> JacobiSolve(const SparseMatrix& a, const Vector& b,
     x->swap(next);
     stats.iterations = iter;
     if (change < options.tolerance) {
-      stats.final_residual_inf = ResidualInf(a, b, *x);
-      if (stats.final_residual_inf < options.tolerance * 10) {
+      stats.final_residual = ResidualInf(a, b, *x);
+      if (stats.final_residual < options.tolerance * 10) {
         stats.converged = true;
-        return stats;
+        break;
       }
     }
     if (!std::isfinite(change)) {
-      return Status::NumericError("Jacobi iteration diverged");
+      stats.diverged = true;
+      break;
     }
+    if (monitor.ShouldStop(iter, change, &stats)) break;
   }
-  stats.final_residual_inf = ResidualInf(a, b, *x);
-  return stats;  // not converged
+  if (!stats.converged) stats.final_residual = ResidualInf(a, b, *x);
+  stats.wall_time_seconds = monitor.ElapsedSeconds();
+  return stats;
 }
 
 namespace {
@@ -103,6 +150,7 @@ Result<IterativeStats> SweepSolve(const SparseMatrix& a, const Vector& b,
   const auto& values = a.values();
 
   IterativeStats stats;
+  ProgressMonitor monitor(options);
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     double change = 0.0;
     for (size_t r = 0; r < a.rows(); ++r) {
@@ -118,17 +166,20 @@ Result<IterativeStats> SweepSolve(const SparseMatrix& a, const Vector& b,
     }
     stats.iterations = iter;
     if (change < options.tolerance) {
-      stats.final_residual_inf = ResidualInf(a, b, *x);
-      if (stats.final_residual_inf < options.tolerance * 10) {
+      stats.final_residual = ResidualInf(a, b, *x);
+      if (stats.final_residual < options.tolerance * 10) {
         stats.converged = true;
-        return stats;
+        break;
       }
     }
     if (!std::isfinite(change)) {
-      return Status::NumericError("Gauss-Seidel/SOR iteration diverged");
+      stats.diverged = true;
+      break;
     }
+    if (monitor.ShouldStop(iter, change, &stats)) break;
   }
-  stats.final_residual_inf = ResidualInf(a, b, *x);
+  if (!stats.converged) stats.final_residual = ResidualInf(a, b, *x);
+  stats.wall_time_seconds = monitor.ElapsedSeconds();
   return stats;
 }
 
@@ -158,23 +209,27 @@ Result<IterativeStats> PowerIterationStationary(
   }
   NormalizeL1(pi);
   IterativeStats stats;
+  ProgressMonitor monitor(options);
   Vector next;  // scratch, reused across sweeps
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     p.MultiplyTransposed(*pi, &next);  // next = pi P
     const double s = Sum(next);
+    stats.iterations = iter;
     if (!(s > 0.0) || !std::isfinite(s)) {
-      return Status::NumericError("power iteration produced invalid vector");
+      stats.diverged = true;
+      break;
     }
     Scale(1.0 / s, &next);
     const double change = MaxAbsDiff(next, *pi);
     pi->swap(next);
-    stats.iterations = iter;
+    stats.final_residual = change;
     if (change < options.tolerance) {
       stats.converged = true;
-      stats.final_residual_inf = change;
-      return stats;
+      break;
     }
+    if (monitor.ShouldStop(iter, change, &stats)) break;
   }
+  stats.wall_time_seconds = monitor.ElapsedSeconds();
   return stats;
 }
 

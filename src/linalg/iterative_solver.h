@@ -3,12 +3,19 @@
 // systems), and SOR. Also power iteration for the dominant left eigenvector
 // of a stochastic matrix, used as the robust fallback for steady-state
 // analysis of large availability CTMCs.
+//
+// Robustness contract: structural problems (dimension mismatch, zero
+// diagonal, bad omega) are Status errors; *numerical* outcomes — converged,
+// diverged (NaN/Inf), stalled, or out of iterations — are data, reported in
+// the returned SolveDiagnostics so callers such as the steady-state
+// degradation cascade can react without string-matching error messages.
 #ifndef WFMS_LINALG_ITERATIVE_SOLVER_H_
 #define WFMS_LINALG_ITERATIVE_SOLVER_H_
 
 #include <string>
 
 #include "common/result.h"
+#include "common/solve_diagnostics.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector.h"
 
@@ -21,13 +28,19 @@ struct IterativeOptions {
   double tolerance = 1e-12;
   /// SOR relaxation factor in (0, 2); 1.0 degenerates to Gauss-Seidel.
   double omega = 1.0;
+  /// Stall detection: every `stall_window` iterations the iterate change is
+  /// compared against the change one window earlier; if it has not shrunk
+  /// by at least a factor of `stall_decay`, the solve stops with
+  /// diagnostics.stalled set. 0 disables (the default — standalone solves
+  /// keep their full iteration budget).
+  int stall_window = 0;
+  double stall_decay = 0.5;
+  /// Wall-clock cap in seconds, checked periodically; <= 0 disables.
+  double max_wall_time_seconds = 0.0;
 };
 
-struct IterativeStats {
-  bool converged = false;
-  int iterations = 0;
-  double final_residual_inf = 0.0;
-};
+/// Per-solve outcome record; see common/solve_diagnostics.h.
+using IterativeStats = SolveDiagnostics;
 
 /// Solves A x = b by Jacobi iteration. A must have nonzero diagonal.
 /// `x` carries the initial guess in and the solution out.

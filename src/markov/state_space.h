@@ -19,6 +19,10 @@ using StateVector = std::vector<int>;
 
 class MixedRadixSpace {
  public:
+  /// Zero-dimensional space with a single state; a placeholder for report
+  /// structs that are filled in later.
+  MixedRadixSpace() = default;
+
   /// `bounds[j]` is the maximum value of dimension j (inclusive), i.e. Y_j.
   static Result<MixedRadixSpace> Create(std::vector<int> bounds);
 

@@ -1,7 +1,9 @@
 #include "markov/steady_state.h"
 
+#include <chrono>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "linalg/dense_matrix.h"
 #include "linalg/iterative_solver.h"
@@ -14,6 +16,8 @@ using linalg::SparseMatrix;
 using linalg::Vector;
 
 namespace {
+
+constexpr int kDefaultCascadeStallWindow = 200;
 
 /// Initial iterate for the iterative methods: the caller's warm-start
 /// guess when it is usable (right size, positive finite mass), else the
@@ -62,9 +66,21 @@ Status ValidateSolution(const Ctmc& chain, const Vector& pi,
   return Status::OK();
 }
 
+Status CheckErgodicExitRates(const Ctmc& chain) {
+  for (size_t j = 0; j < chain.num_states(); ++j) {
+    if (chain.exit_rates()[j] <= 0.0) {
+      return Status::InvalidArgument(
+          "state " + std::to_string(j) +
+          " has zero exit rate; chain is not ergodic");
+    }
+  }
+  return Status::OK();
+}
+
 Result<SteadyStateResult> SolveLu(const Ctmc& chain,
                                   const SteadyStateOptions& options) {
   const size_t n = chain.num_states();
+  const auto start = std::chrono::steady_clock::now();
   // A x = b with A = Q^T except the last row is the normalization
   // constraint sum(pi) = 1.
   DenseMatrix a(n, n);
@@ -90,72 +106,317 @@ Result<SteadyStateResult> SolveLu(const Ctmc& chain,
   SteadyStateResult result;
   result.pi = *std::move(solved);
   WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance));
+  result.method_used = SteadyStateMethod::kLu;
+  result.diagnostics.converged = true;
+  result.diagnostics.wall_time_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return result;
 }
 
-Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
-                                           const SteadyStateOptions& options) {
+/// Outcome of one Markov sweep run (Gauss-Seidel when omega == 1, SOR
+/// otherwise). Numerical trouble is data in `diag`; only structural
+/// problems surface as Status errors (checked by the caller beforehand).
+struct SweepOutcome {
+  SolveDiagnostics diag;
+  /// Observed per-iteration contraction of the iterate change near the end
+  /// of the run (0 when fewer than two iterations ran); feeds the adaptive
+  /// SOR omega.
+  double observed_rate = 0.0;
+};
+
+/// Runs the renormalized Markov sweep pi_j <- (1-omega) pi_j +
+/// omega * inflow_j / exit_j on `pi` in place. `incoming` is the
+/// transposed rate matrix (incoming rates of j on row j).
+SweepOutcome MarkovSweep(const Ctmc& chain, const SparseMatrix& incoming,
+                         Vector* pi, double omega, int max_iterations,
+                         double tolerance, int stall_window,
+                         double stall_decay, double max_wall_seconds) {
   const size_t n = chain.num_states();
-  for (size_t j = 0; j < n; ++j) {
-    if (chain.exit_rates()[j] <= 0.0) {
-      return Status::InvalidArgument(
-          "state " + std::to_string(j) +
-          " has zero exit rate; chain is not ergodic");
-    }
-  }
-  // Column access: transpose once so incoming rates of j are row j.
-  const SparseMatrix incoming = chain.rates().Transposed();
   const auto& offsets = incoming.row_offsets();
   const auto& cols = incoming.col_indices();
   const auto& values = incoming.values();
+  const auto start = std::chrono::steady_clock::now();
+  const int check_every = stall_window > 0 ? stall_window : 64;
 
-  SteadyStateResult result;
-  Vector pi = InitialIterate(chain, options);
+  SweepOutcome out;
   Vector prev(n);  // scratch, reused across sweeps
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    prev = pi;
+  double prev_change = 0.0;
+  double checkpoint_change = 0.0;
+  bool have_checkpoint = false;
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    prev = *pi;
     for (size_t j = 0; j < n; ++j) {
       double inflow = 0.0;
       for (size_t k = offsets[j]; k < offsets[j + 1]; ++k) {
-        inflow += values[k] * pi[cols[k]];
+        inflow += values[k] * (*pi)[cols[k]];
       }
-      pi[j] = inflow / chain.exit_rates()[j];
+      const double gs_value = inflow / chain.exit_rates()[j];
+      (*pi)[j] += omega * (gs_value - (*pi)[j]);
     }
-    const double sum = linalg::Sum(pi);
+    const double sum = linalg::Sum(*pi);
+    out.diag.iterations = iter;
     if (!(sum > 0.0) || !std::isfinite(sum)) {
-      return Status::NumericError("Gauss-Seidel steady state diverged");
+      out.diag.diverged = true;
+      break;
     }
-    linalg::Scale(1.0 / sum, &pi);
-    result.iterations = iter;
-    if (linalg::MaxAbsDiff(pi, prev) < options.tolerance) {
-      result.pi = std::move(pi);
-      WFMS_RETURN_NOT_OK(
-          ValidateSolution(chain, result.pi, options.tolerance));
-      return result;
+    linalg::Scale(1.0 / sum, pi);
+    const double change = linalg::MaxAbsDiff(*pi, prev);
+    out.diag.final_residual = change;
+    if (!std::isfinite(change)) {
+      out.diag.diverged = true;
+      break;
+    }
+    if (prev_change > 0.0 && change > 0.0) {
+      out.observed_rate = change / prev_change;
+    }
+    prev_change = change;
+    if (change < tolerance) {
+      out.diag.converged = true;
+      break;
+    }
+    if (iter % check_every == 0) {
+      if (stall_window > 0) {
+        if (have_checkpoint && !(change < stall_decay * checkpoint_change)) {
+          out.diag.stalled = true;
+          break;
+        }
+        checkpoint_change = change;
+        have_checkpoint = true;
+      }
+      if (max_wall_seconds > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+                  .count() >= max_wall_seconds) {
+        break;
+      }
     }
   }
-  return Status::NumericError("Gauss-Seidel steady state did not converge");
+  out.diag.wall_time_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+/// SOR relaxation factor from the observed Gauss-Seidel contraction rate
+/// rho: the classical optimum 2 / (1 + sqrt(1 - rho)), clamped away from
+/// the (0, 2) stability boundary. Falls back to 1.5 without a usable rate.
+double AdaptiveOmega(double observed_rate) {
+  if (!(observed_rate > 0.0) || observed_rate >= 1.0 ||
+      !std::isfinite(observed_rate)) {
+    return 1.5;
+  }
+  const double omega = 2.0 / (1.0 + std::sqrt(1.0 - observed_rate));
+  return std::min(1.95, std::max(1.05, omega));
+}
+
+/// Power-iteration rung on the uniformized DTMC. Numerical trouble is
+/// reported in the diagnostics; Status is reserved for structural errors.
+Result<SolveDiagnostics> PowerRung(const Ctmc& chain, Vector* pi,
+                                   int max_iterations, double tolerance,
+                                   int stall_window, double stall_decay,
+                                   double max_wall_seconds) {
+  linalg::IterativeOptions opts;
+  opts.max_iterations = max_iterations;
+  opts.tolerance = tolerance;
+  opts.stall_window = stall_window;
+  opts.stall_decay = stall_decay;
+  opts.max_wall_time_seconds = max_wall_seconds;
+  WFMS_ASSIGN_OR_RETURN(
+      linalg::IterativeStats stats,
+      linalg::PowerIterationStationary(chain.UniformizedMatrix(), pi, opts));
+  return stats;
+}
+
+Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
+                                           const SteadyStateOptions& options,
+                                           double omega,
+                                           SteadyStateMethod method) {
+  WFMS_RETURN_NOT_OK(CheckErgodicExitRates(chain));
+  const SparseMatrix incoming = chain.rates().Transposed();
+  Vector pi = InitialIterate(chain, options);
+  BudgetTracker tracker(options.budget);
+  SweepOutcome out = MarkovSweep(
+      chain, incoming, &pi, omega,
+      tracker.RemainingIterations(options.max_iterations), options.tolerance,
+      options.stall_window, options.stall_decay, tracker.RemainingSeconds());
+  if (out.diag.diverged) {
+    return Status::NumericError(
+        std::string(SteadyStateMethodName(method)) +
+        " steady state diverged");
+  }
+  if (!out.diag.converged) {
+    return Status::NumericError(
+        std::string(SteadyStateMethodName(method)) +
+        " steady state did not converge: " + out.diag.ToString());
+  }
+  SteadyStateResult result;
+  result.pi = std::move(pi);
+  WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance));
+  result.iterations = out.diag.iterations;
+  result.method_used = method;
+  result.diagnostics = out.diag;
+  return result;
 }
 
 Result<SteadyStateResult> SolvePower(const Ctmc& chain,
                                      const SteadyStateOptions& options) {
   SteadyStateResult result;
   result.pi = InitialIterate(chain, options);
-  linalg::IterativeOptions opts;
-  opts.max_iterations = options.max_iterations;
-  opts.tolerance = options.tolerance;
-  auto stats = linalg::PowerIterationStationary(chain.UniformizedMatrix(),
-                                                &result.pi, opts);
-  if (!stats.ok()) return stats.status();
-  if (!stats->converged) {
-    return Status::NumericError("power iteration did not converge");
+  BudgetTracker tracker(options.budget);
+  WFMS_ASSIGN_OR_RETURN(
+      SolveDiagnostics diag,
+      PowerRung(chain, &result.pi,
+                tracker.RemainingIterations(options.max_iterations),
+                options.tolerance, options.stall_window, options.stall_decay,
+                tracker.RemainingSeconds()));
+  if (!diag.converged) {
+    return Status::NumericError("power iteration did not converge: " +
+                                diag.ToString());
   }
-  result.iterations = stats->iterations;
+  result.iterations = diag.iterations;
+  result.method_used = SteadyStateMethod::kPower;
+  result.diagnostics = diag;
   WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance));
   return result;
 }
 
+/// The degradation cascade: Gauss-Seidel -> SOR (adaptive omega) -> power
+/// iteration -> dense LU, under a shared budget. A rung "fails" on stall,
+/// divergence, iteration/wall exhaustion, or a residual-validation miss;
+/// the next rung then runs with whatever budget remains. The LU rung is
+/// iteration-free and is attempted regardless of the remaining budget as
+/// long as the chain fits options.max_dense_states.
+Result<SteadyStateResult> SolveCascade(const Ctmc& chain,
+                                       const SteadyStateOptions& options) {
+  WFMS_RETURN_NOT_OK(CheckErgodicExitRates(chain));
+  const int stall_window = options.stall_window > 0
+                               ? options.stall_window
+                               : kDefaultCascadeStallWindow;
+  BudgetTracker tracker(options.budget);
+  SteadyStateResult result;
+  const SparseMatrix incoming = chain.rates().Transposed();
+  Vector pi = InitialIterate(chain, options);
+  const Vector initial = pi;  // for restarting after a diverged rung
+
+  auto finish = [&](SteadyStateMethod method, const SolveDiagnostics& diag,
+                    Vector solution) -> Result<SteadyStateResult> {
+    result.pi = std::move(solution);
+    result.method_used = method;
+    result.diagnostics = diag;
+    result.iterations = static_cast<int>(tracker.consumed_iterations());
+    result.used_fallback = method != SteadyStateMethod::kGaussSeidel;
+    return std::move(result);
+  };
+
+  // Rung 1: Gauss-Seidel (the paper's method — almost always wins).
+  double observed_rate = 0.0;
+  {
+    const int cap = tracker.RemainingIterations(options.max_iterations);
+    if (cap > 0) {
+      SweepOutcome out = MarkovSweep(chain, incoming, &pi, 1.0, cap,
+                                     options.tolerance, stall_window,
+                                     options.stall_decay,
+                                     tracker.RemainingSeconds());
+      tracker.Charge(out.diag.iterations);
+      observed_rate = out.observed_rate;
+      result.attempts.push_back({SteadyStateMethod::kGaussSeidel, out.diag});
+      if (out.diag.converged &&
+          ValidateSolution(chain, pi, options.tolerance).ok()) {
+        return finish(SteadyStateMethod::kGaussSeidel, out.diag,
+                      std::move(pi));
+      }
+      if (out.diag.diverged) pi = initial;
+    }
+  }
+
+  // Rung 2: SOR, omega from the observed Gauss-Seidel contraction rate.
+  // Warm-started from the stalled Gauss-Seidel iterate (still a valid
+  // distribution after renormalization).
+  {
+    const int cap = tracker.RemainingIterations(options.max_iterations);
+    if (cap > 0) {
+      const double omega = options.sor_omega > 0.0 ? options.sor_omega
+                                                   : AdaptiveOmega(
+                                                         observed_rate);
+      SweepOutcome out = MarkovSweep(chain, incoming, &pi, omega, cap,
+                                     options.tolerance, stall_window,
+                                     options.stall_decay,
+                                     tracker.RemainingSeconds());
+      tracker.Charge(out.diag.iterations);
+      result.attempts.push_back({SteadyStateMethod::kSor, out.diag});
+      if (out.diag.converged &&
+          ValidateSolution(chain, pi, options.tolerance).ok()) {
+        return finish(SteadyStateMethod::kSor, out.diag, std::move(pi));
+      }
+      if (out.diag.diverged) pi = initial;
+    }
+  }
+
+  // Rung 3: power iteration on the uniformized chain — unconditionally
+  // stable, so it recovers from over-relaxation blow-ups.
+  {
+    const int cap = tracker.RemainingIterations(options.max_iterations);
+    if (cap > 0) {
+      auto diag = PowerRung(chain, &pi, cap, options.tolerance, stall_window,
+                            options.stall_decay, tracker.RemainingSeconds());
+      WFMS_RETURN_NOT_OK(diag.status());
+      tracker.Charge(diag->iterations);
+      result.attempts.push_back({SteadyStateMethod::kPower, *diag});
+      if (diag->converged &&
+          ValidateSolution(chain, pi, options.tolerance).ok()) {
+        return finish(SteadyStateMethod::kPower, *diag, std::move(pi));
+      }
+      if (diag->diverged) pi = initial;
+    }
+  }
+
+  // Rung 4: dense LU — exact, iteration-free, the terminal answer.
+  if (options.max_dense_states > 0 &&
+      chain.num_states() <= options.max_dense_states) {
+    auto lu = SolveLu(chain, options);
+    if (lu.ok()) {
+      result.attempts.push_back({SteadyStateMethod::kLu, lu->diagnostics});
+      return finish(SteadyStateMethod::kLu, lu->diagnostics,
+                    std::move(lu->pi));
+    }
+    return lu.status().WithContext("steady-state cascade: terminal LU rung");
+  }
+
+  std::string summary = "steady-state cascade exhausted (";
+  for (size_t i = 0; i < result.attempts.size(); ++i) {
+    if (i > 0) summary += "; ";
+    summary += SteadyStateMethodName(result.attempts[i].method);
+    summary += ": ";
+    summary += result.attempts[i].diagnostics.ToString();
+  }
+  summary += result.attempts.empty() ? "budget exhausted before any rung"
+                                     : "";
+  summary += ") and the chain (" + std::to_string(chain.num_states()) +
+             " states) exceeds the dense-LU cap of " +
+             std::to_string(options.max_dense_states);
+  return Status::NumericError(summary);
+}
+
 }  // namespace
+
+const char* SteadyStateMethodName(SteadyStateMethod method) {
+  switch (method) {
+    case SteadyStateMethod::kAuto:
+      return "auto";
+    case SteadyStateMethod::kGaussSeidel:
+      return "gauss-seidel";
+    case SteadyStateMethod::kSor:
+      return "sor";
+    case SteadyStateMethod::kLu:
+      return "lu";
+    case SteadyStateMethod::kPower:
+      return "power";
+    case SteadyStateMethod::kCascade:
+      return "cascade";
+  }
+  return "unknown";
+}
 
 Result<SteadyStateResult> SolveSteadyState(const Ctmc& chain,
                                            const SteadyStateOptions& options) {
@@ -163,19 +424,18 @@ Result<SteadyStateResult> SolveSteadyState(const Ctmc& chain,
     case SteadyStateMethod::kLu:
       return SolveLu(chain, options);
     case SteadyStateMethod::kGaussSeidel:
-      return SolveGaussSeidel(chain, options);
+      return SolveGaussSeidel(chain, options, 1.0,
+                              SteadyStateMethod::kGaussSeidel);
+    case SteadyStateMethod::kSor:
+      return SolveGaussSeidel(
+          chain, options,
+          options.sor_omega > 0.0 ? options.sor_omega : 1.5,
+          SteadyStateMethod::kSor);
     case SteadyStateMethod::kPower:
       return SolvePower(chain, options);
-    case SteadyStateMethod::kAuto: {
-      auto gs = SolveGaussSeidel(chain, options);
-      if (gs.ok()) return gs;
-      auto power = SolvePower(chain, options);
-      if (power.ok()) {
-        power->used_fallback = true;
-        return power;
-      }
-      return gs.status().WithContext("kAuto: Gauss-Seidel and power failed");
-    }
+    case SteadyStateMethod::kAuto:
+    case SteadyStateMethod::kCascade:
+      return SolveCascade(chain, options);
   }
   return Status::Internal("unknown steady-state method");
 }

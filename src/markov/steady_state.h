@@ -1,28 +1,62 @@
 // Steady-state analysis of an ergodic CTMC (§5.2 of the paper): solving
-// pi Q = 0 with sum(pi) = 1. Three methods:
+// pi Q = 0 with sum(pi) = 1. Methods:
 //  - kGaussSeidel: the paper's prescription — sweep pi_j = (sum_{i != j}
 //    pi_i q_ij) / exit_rate_j with in-place updates and per-sweep
 //    renormalization (classical Gauss-Seidel for Markov chains).
-//  - kLu: exact dense solve of the transposed system with one equation
-//    replaced by the normalization constraint; the reference for tests.
+//  - kSor: the same sweep with over-relaxation; omega is either fixed
+//    (options.sor_omega) or derived adaptively from the observed
+//    Gauss-Seidel convergence rate.
 //  - kPower: power iteration on the uniformized DTMC; robust for large
 //    sparse chains where Gauss-Seidel may stall.
-// kAuto picks Gauss-Seidel with a power-iteration fallback.
+//  - kLu: exact dense solve of the transposed system with one equation
+//    replaced by the normalization constraint; the reference for tests.
+//  - kCascade (and kAuto, its alias): the degradation cascade — Gauss-
+//    Seidel, then SOR with adaptive relaxation, then power iteration, then
+//    dense LU, falling through on stall, divergence, or failed residual
+//    validation, under a shared SolveBudget. Every rung's outcome is
+//    recorded in SteadyStateResult::attempts.
 #ifndef WFMS_MARKOV_STEADY_STATE_H_
 #define WFMS_MARKOV_STEADY_STATE_H_
 
+#include <vector>
+
 #include "common/result.h"
+#include "common/solve_diagnostics.h"
 #include "linalg/vector.h"
 #include "markov/ctmc.h"
 
 namespace wfms::markov {
 
-enum class SteadyStateMethod { kAuto, kGaussSeidel, kLu, kPower };
+enum class SteadyStateMethod { kAuto, kGaussSeidel, kSor, kLu, kPower,
+                               kCascade };
+
+/// Human-readable method name, e.g. "gauss-seidel".
+const char* SteadyStateMethodName(SteadyStateMethod method);
 
 struct SteadyStateOptions {
   SteadyStateMethod method = SteadyStateMethod::kAuto;
+  /// Per-rung iteration cap for the iterative methods (further bounded by
+  /// `budget`, which is shared across cascade rungs).
   int max_iterations = 100000;
   double tolerance = 1e-13;
+  /// SOR relaxation factor; 0 derives omega from the observed Gauss-Seidel
+  /// convergence rate (cascade) or uses 1.5 (explicit kSor).
+  double sor_omega = 0.0;
+  /// Total budget (wall time + iterations) shared by all cascade rungs.
+  /// The terminal LU rung is iteration-free and always attempted when the
+  /// chain fits `max_dense_states`, even with the budget exhausted — the
+  /// cascade's contract is an exact answer as last resort. Default:
+  /// unlimited.
+  SolveBudget budget;
+  /// Largest chain the dense LU rung will accept; 0 disables LU entirely.
+  size_t max_dense_states = 4096;
+  /// Stall detection for the cascade's iterative rungs: every
+  /// `stall_window` iterations the iterate change must have shrunk by
+  /// `stall_decay`, else the rung is abandoned. 0 means "cascade default"
+  /// (200) for kCascade/kAuto and "disabled" for the explicit methods,
+  /// which keep their full iteration budget.
+  int stall_window = 0;
+  double stall_decay = 0.5;
   /// Optional warm start for the iterative methods (ignored by kLu): a
   /// non-owning pointer to an initial guess for pi. Used by the
   /// configuration search, where neighbor configurations differ by one
@@ -34,10 +68,24 @@ struct SteadyStateOptions {
   const linalg::Vector* initial_guess = nullptr;
 };
 
+/// One rung of the degradation cascade and how it fared.
+struct CascadeAttempt {
+  SteadyStateMethod method = SteadyStateMethod::kGaussSeidel;
+  SolveDiagnostics diagnostics;
+};
+
 struct SteadyStateResult {
   linalg::Vector pi;
-  int iterations = 0;           // 0 for the direct method
-  bool used_fallback = false;   // kAuto fell back to power iteration
+  /// Total iterations consumed, summed across cascade rungs (0 for LU).
+  int iterations = 0;
+  /// True when the answer came from any rung after the first.
+  bool used_fallback = false;
+  /// The method that actually produced `pi`.
+  SteadyStateMethod method_used = SteadyStateMethod::kGaussSeidel;
+  /// Diagnostics of the successful solve.
+  SolveDiagnostics diagnostics;
+  /// Cascade only: every rung attempted, in order, including the winner.
+  std::vector<CascadeAttempt> attempts;
 };
 
 /// Computes the stationary distribution. The chain must be irreducible

@@ -22,13 +22,15 @@ Result<PerformabilityModel> PerformabilityModel::Create(
 }
 
 Result<PerformabilityReport> PerformabilityModel::Evaluate(
-    const Configuration& config, const linalg::Vector* avail_guess) const {
+    const Configuration& config, const linalg::Vector* avail_guess,
+    const markov::SteadyStateOptions* solver_override) const {
   const workflow::Environment& env = perf_.environment();
   const size_t k = env.num_server_types();
   WFMS_RETURN_NOT_OK(config.Validate(k));
 
-  WFMS_ASSIGN_OR_RETURN(avail::AvailabilityReport avail_report,
-                        avail_.Evaluate(config, avail_guess));
+  WFMS_ASSIGN_OR_RETURN(
+      avail::AvailabilityReport avail_report,
+      avail_.Evaluate(config, avail_guess, solver_override));
 
   // Per-type waiting time depends only on that type's up-count; tabulate
   // w_x(c) for c = 1..Y_x once (c = 0 marks "down", NaN).
@@ -56,6 +58,8 @@ Result<PerformabilityReport> PerformabilityModel::Evaluate(
   report.availability = avail_report.availability;
   report.prob_down = avail_report.unavailability;
   report.solver_iterations = avail_report.solver_iterations;
+  report.avail_solver_method = avail_report.solver_method;
+  report.avail_solver_diagnostics = avail_report.solver_diagnostics;
   report.full_config_waiting.assign(k, 0.0);
   for (size_t x = 0; x < k; ++x) {
     report.full_config_waiting[x] =

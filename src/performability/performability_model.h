@@ -69,6 +69,12 @@ struct PerformabilityReport {
   /// Sweeps the steady-state solver needed (0 for direct/product-form);
   /// lets benches quantify the warm-start win.
   int solver_iterations = 0;
+  /// Method that solved the availability CTMC (kAuto when the product-form
+  /// path ran and no CTMC solve happened) and its diagnostics; surfaced so
+  /// the search and wfmsctl can report how hard a candidate was.
+  markov::SteadyStateMethod avail_solver_method =
+      markov::SteadyStateMethod::kAuto;
+  SolveDiagnostics avail_solver_diagnostics;
 };
 
 class PerformabilityModel {
@@ -84,13 +90,19 @@ class PerformabilityModel {
   /// solve (a distribution over this configuration's state space, e.g. a
   /// neighbor's `avail_state_probabilities` carried over with
   /// markov::ProjectDistribution); it never changes the result beyond
-  /// solver round-off. Evaluate is const and safe to call concurrently.
+  /// solver round-off. `solver_override`, when non-null, replaces the
+  /// configured availability steady-state solver options for this call —
+  /// used by the fault-isolated search to retry a numerically failed
+  /// candidate with the exact LU rung. Evaluate is const and safe to call
+  /// concurrently.
   Result<PerformabilityReport> Evaluate(
       const workflow::Configuration& config,
-      const linalg::Vector* avail_guess = nullptr) const;
+      const linalg::Vector* avail_guess = nullptr,
+      const markov::SteadyStateOptions* solver_override = nullptr) const;
 
   const perf::PerformanceModel& performance() const { return perf_; }
   const avail::AvailabilityModel& availability() const { return avail_; }
+  const PerformabilityOptions& options() const { return options_; }
 
  private:
   PerformabilityModel(perf::PerformanceModel perf,

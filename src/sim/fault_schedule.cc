@@ -1,0 +1,183 @@
+#include "sim/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace wfms::sim {
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kCrash:
+      return "crash";
+    case FaultAction::kRepair:
+      return "repair";
+    case FaultAction::kTypeOutage:
+      return "outage";
+    case FaultAction::kTypeRestore:
+      return "restore";
+  }
+  return "unknown";
+}
+
+Status FaultSchedule::Validate(const workflow::Configuration& config,
+                               size_t num_types) const {
+  WFMS_RETURN_NOT_OK(config.Validate(num_types));
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    const std::string where = "fault event " + std::to_string(i + 1);
+    if (!std::isfinite(event.time) || event.time < 0.0) {
+      return Status::InvalidArgument(where +
+                                     ": time must be finite and >= 0");
+    }
+    if (event.server_type >= num_types) {
+      return Status::InvalidArgument(
+          where + ": server type index " +
+          std::to_string(event.server_type) + " out of range (have " +
+          std::to_string(num_types) + " types)");
+    }
+    if (event.action == FaultAction::kCrash ||
+        event.action == FaultAction::kRepair) {
+      if (event.server_index < 0 ||
+          event.server_index >= config.replicas[event.server_type]) {
+        return Status::InvalidArgument(
+            where + ": replica index " + std::to_string(event.server_index) +
+            " out of range for a type replicated " +
+            std::to_string(config.replicas[event.server_type]) + " times");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<FaultEvent> FaultSchedule::Sorted() const {
+  std::vector<FaultEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return sorted;
+}
+
+Result<double> FaultSchedule::PrescribedAvailability(
+    const workflow::Configuration& config, size_t num_types, double warmup,
+    double duration) const {
+  WFMS_RETURN_NOT_OK(Validate(config, num_types));
+  if (!(duration > warmup) || warmup < 0.0) {
+    return Status::InvalidArgument(
+        "prescribed availability needs 0 <= warmup < duration");
+  }
+  // Replay over per-replica up flags, integrating the all-types-up
+  // indicator over the measurement window.
+  std::vector<std::vector<char>> up(num_types);
+  std::vector<int> up_counts(num_types);
+  for (size_t x = 0; x < num_types; ++x) {
+    up[x].assign(static_cast<size_t>(config.replicas[x]), 1);
+    up_counts[x] = config.replicas[x];
+  }
+  const auto all_types_up = [&] {
+    for (size_t x = 0; x < num_types; ++x) {
+      if (up_counts[x] == 0) return false;
+    }
+    return true;
+  };
+
+  double uptime = 0.0;
+  double cursor = warmup;
+  bool currently_up = true;  // full configuration before the first event
+  for (const FaultEvent& event : Sorted()) {
+    if (event.time >= duration) break;
+    if (event.time > cursor && currently_up) uptime += event.time - cursor;
+    cursor = std::max(cursor, event.time);
+    switch (event.action) {
+      case FaultAction::kCrash: {
+        char& flag = up[event.server_type][
+            static_cast<size_t>(event.server_index)];
+        if (flag) {
+          flag = 0;
+          --up_counts[event.server_type];
+        }
+        break;
+      }
+      case FaultAction::kRepair: {
+        char& flag = up[event.server_type][
+            static_cast<size_t>(event.server_index)];
+        if (!flag) {
+          flag = 1;
+          ++up_counts[event.server_type];
+        }
+        break;
+      }
+      case FaultAction::kTypeOutage:
+        up[event.server_type].assign(up[event.server_type].size(), 0);
+        up_counts[event.server_type] = 0;
+        break;
+      case FaultAction::kTypeRestore:
+        up[event.server_type].assign(up[event.server_type].size(), 1);
+        up_counts[event.server_type] =
+            static_cast<int>(up[event.server_type].size());
+        break;
+    }
+    currently_up = all_types_up();
+  }
+  if (currently_up && duration > cursor) uptime += duration - cursor;
+  return uptime / (duration - warmup);
+}
+
+Result<FaultSchedule> ParseFaultSchedule(
+    const std::string& text, const workflow::ServerTypeRegistry& servers) {
+  FaultSchedule schedule;
+  const std::vector<std::string> lines = SplitString(text, '\n');
+  for (size_t lineno = 0; lineno < lines.size(); ++lineno) {
+    std::string_view line = StripWhitespace(lines[lineno]);
+    const auto fail = [&](const std::string& why) {
+      return Status::ParseError("fault schedule line " +
+                                std::to_string(lineno + 1) + ": " + why);
+    };
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens =
+        SplitString(line, ' ', /*skip_empty=*/true);
+    if (tokens.size() < 4 || tokens[0] != "at") {
+      return fail(
+          "expected 'at <time> crash|repair|outage|restore <server-type> "
+          "[replica-index]'");
+    }
+    FaultEvent event;
+    if (!ParseDouble(tokens[1], &event.time)) {
+      return fail("bad time '" + tokens[1] + "'");
+    }
+    const std::string& verb = tokens[2];
+    if (verb == "crash") {
+      event.action = FaultAction::kCrash;
+    } else if (verb == "repair") {
+      event.action = FaultAction::kRepair;
+    } else if (verb == "outage") {
+      event.action = FaultAction::kTypeOutage;
+    } else if (verb == "restore") {
+      event.action = FaultAction::kTypeRestore;
+    } else {
+      return fail("unknown action '" + verb +
+                  "' (want crash, repair, outage, or restore)");
+    }
+    auto type_index = servers.IndexOf(tokens[3]);
+    if (!type_index.ok()) {
+      return fail("unknown server type '" + tokens[3] + "'");
+    }
+    event.server_type = *type_index;
+    if (tokens.size() >= 5) {
+      if (event.action == FaultAction::kTypeOutage ||
+          event.action == FaultAction::kTypeRestore) {
+        return fail("'" + verb + "' takes no replica index");
+      }
+      if (!ParseInt(tokens[4], &event.server_index)) {
+        return fail("bad replica index '" + tokens[4] + "'");
+      }
+    }
+    if (tokens.size() > 5) return fail("trailing tokens");
+    schedule.events.push_back(event);
+  }
+  return schedule;
+}
+
+}  // namespace wfms::sim

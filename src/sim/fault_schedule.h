@@ -1,0 +1,83 @@
+// Scripted fault injection for the simulator: a deterministic schedule of
+// timed crash/repair/whole-type-outage events that *overrides* the
+// exponential failure/repair processes (when a schedule is non-empty the
+// random processes are disabled entirely, so the same schedule + seed is
+// bit-identical across runs). The schedule doubles as an analytic object:
+// PrescribedAvailability replays it symbolically, giving the exact
+// availability the simulator must observe — the cross-validation hook
+// between the simulator and the availability model's bookkeeping.
+//
+// Text DSL (one event per line; blank lines and '#' comments ignored):
+//
+//   at <time> crash   <server-type> [replica-index]
+//   at <time> repair  <server-type> [replica-index]
+//   at <time> outage  <server-type>     # whole type down
+//   at <time> restore <server-type>     # whole type back up
+//
+// Times are simulation minutes; replica-index defaults to 0. Events firing
+// at the same instant apply in schedule order.
+#ifndef WFMS_SIM_FAULT_SCHEDULE_H_
+#define WFMS_SIM_FAULT_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/configuration.h"
+#include "workflow/environment.h"
+
+namespace wfms::sim {
+
+enum class FaultAction {
+  kCrash,       // one replica down (no-op if already down)
+  kRepair,      // one replica up (no-op if already up)
+  kTypeOutage,  // every replica of the type down
+  kTypeRestore  // every replica of the type up
+};
+
+const char* FaultActionName(FaultAction action);
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultAction action = FaultAction::kCrash;
+  /// Index into the environment's server-type registry.
+  size_t server_type = 0;
+  /// Replica within the type; ignored by the whole-type actions.
+  int server_index = 0;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Checks every event against the configuration: finite non-negative
+  /// times, known server types, replica indices within the replication
+  /// degree.
+  Status Validate(const workflow::Configuration& config,
+                  size_t num_types) const;
+
+  /// Events sorted by time (stable: same-instant events keep schedule
+  /// order) — the order the simulator applies them in.
+  std::vector<FaultEvent> Sorted() const;
+
+  /// Exact availability a failure-free simulator run under this schedule
+  /// must observe: the fraction of [warmup, duration) in which every
+  /// server type has at least one replica up, obtained by replaying the
+  /// schedule symbolically over per-type up-counts. This is the same
+  /// "available iff every type has >= 1 server up" structure function the
+  /// §5 availability CTMC aggregates — evaluated on the prescribed
+  /// trajectory instead of the stationary distribution.
+  Result<double> PrescribedAvailability(const workflow::Configuration& config,
+                                        size_t num_types, double warmup,
+                                        double duration) const;
+};
+
+/// Parses the text DSL above, resolving server types by name against the
+/// registry. Errors carry the 1-based line number.
+Result<FaultSchedule> ParseFaultSchedule(
+    const std::string& text, const workflow::ServerTypeRegistry& servers);
+
+}  // namespace wfms::sim
+
+#endif  // WFMS_SIM_FAULT_SCHEDULE_H_

@@ -132,9 +132,9 @@ void ServerPool::ScheduleFailure(size_t server_index) {
                         [this, server_index] { FailServer(server_index); });
 }
 
-void ServerPool::FailServer(size_t server_index) {
+bool ServerPool::FailNow(size_t server_index) {
   Server& server = servers_[server_index];
-  if (!server.up) return;
+  if (!server.up) return false;
   server.up = false;
   --up_count_;
   ++server.service_epoch;  // invalidate any in-flight completion
@@ -147,17 +147,17 @@ void ServerPool::FailServer(size_t server_index) {
   }
   displaced.insert(displaced.end(), server.queue.begin(), server.queue.end());
   server.queue.clear();
+  stats_.requeued += static_cast<int64_t>(displaced.size());
   UpdateGauges();
   if (up_change_callback_) up_change_callback_();
   // Failover: redistribute to surviving servers (or park).
   for (Request& request : displaced) Dispatch(request);
-  queue_->ScheduleAfter(rng_.NextExponential(repair_rate_),
-                        [this, server_index] { RepairServer(server_index); });
+  return true;
 }
 
-void ServerPool::RepairServer(size_t server_index) {
+bool ServerPool::RepairNow(size_t server_index) {
   Server& server = servers_[server_index];
-  WFMS_DCHECK(!server.up);
+  if (server.up) return false;
   server.up = true;
   ++up_count_;
   UpdateGauges();
@@ -167,7 +167,35 @@ void ServerPool::RepairServer(size_t server_index) {
     parked_.pop_front();
     BeginService(server_index);
   }
+  return true;
+}
+
+void ServerPool::FailServer(size_t server_index) {
+  if (!FailNow(server_index)) return;
+  queue_->ScheduleAfter(rng_.NextExponential(repair_rate_),
+                        [this, server_index] { RepairServer(server_index); });
+}
+
+void ServerPool::RepairServer(size_t server_index) {
+  WFMS_DCHECK(!servers_[server_index].up);
+  RepairNow(server_index);
   ScheduleFailure(server_index);
+}
+
+void ServerPool::ForceFail(size_t server_index) {
+  FailNow(server_index);
+}
+
+void ServerPool::ForceRepair(size_t server_index) {
+  RepairNow(server_index);
+}
+
+void ServerPool::ForceTypeOutage() {
+  for (size_t i = 0; i < servers_.size(); ++i) FailNow(i);
+}
+
+void ServerPool::ForceTypeRestore() {
+  for (size_t i = 0; i < servers_.size(); ++i) RepairNow(i);
 }
 
 double ServerPool::DrawServiceTime() {

@@ -30,6 +30,9 @@ struct ServerPoolStats {
   TimeWeightedStats busy_servers;
   int64_t completed_requests = 0;
   int64_t failovers = 0;
+  /// Requests displaced by a failure (in-flight or queued behind the
+  /// failed server) and redispatched or parked — never dropped.
+  int64_t requeued = 0;
 };
 
 class ServerPool {
@@ -64,6 +67,16 @@ class ServerPool {
   /// Starts the failure processes (no-op when failures are disabled).
   void Start();
 
+  /// Scripted fault injection (sim::FaultSchedule): the Force* entry
+  /// points apply the same failover/repair mechanics as the random
+  /// processes but never schedule follow-up random events, so a scripted
+  /// run with zero fail/repair rates is fully deterministic. All are
+  /// tolerant of the server already being in the target state.
+  void ForceFail(size_t server_index);
+  void ForceRepair(size_t server_index);
+  void ForceTypeOutage();
+  void ForceTypeRestore();
+
   /// Closes time-weighted statistics at the current time.
   void FinishStats();
 
@@ -92,6 +105,11 @@ class ServerPool {
   void ScheduleFailure(size_t server_index);
   void FailServer(size_t server_index);
   void RepairServer(size_t server_index);
+  /// Mechanics shared by the random processes and the Force* entry
+  /// points: take a server down (displacing its work) / bring it back up
+  /// (draining parked requests). Return false if already in that state.
+  bool FailNow(size_t server_index);
+  bool RepairNow(size_t server_index);
   double DrawServiceTime();
   void UpdateGauges();
 

@@ -18,6 +18,8 @@ Result<Simulator> Simulator::Create(const workflow::Environment& env,
     return Status::InvalidArgument(
         "simulation needs 0 <= warmup < duration");
   }
+  WFMS_RETURN_NOT_OK(
+      options.faults.Validate(options.config, env.num_server_types()));
   return Simulator(&env, std::move(options));
 }
 
@@ -159,14 +161,19 @@ void Simulator::IssueRequests(const ChartState& state, double residence,
 
 Result<SimulationResult> Simulator::Run() {
   const size_t k = env_->num_server_types();
+  // A scripted schedule supersedes the random failure/repair processes:
+  // with both rates zero the pools never schedule a random event, so the
+  // run is a deterministic replay of the schedule.
+  const bool scripted = !options_.faults.empty();
   pools_.clear();
   pools_.reserve(k);
   for (size_t x = 0; x < k; ++x) {
     const workflow::ServerType& type = env_->servers.type(x);
+    const bool random_faults = options_.enable_failures && !scripted;
     pools_.push_back(std::make_unique<ServerPool>(
         &queue_, rng_.Split(), options_.config.replicas[x], type.service,
-        options_.enable_failures ? type.failure_rate : 0.0,
-        options_.enable_failures ? type.repair_rate : 0.0,
+        random_faults ? type.failure_rate : 0.0,
+        random_faults ? type.repair_rate : 0.0,
         options_.warmup));
     pools_.back()->SetUpChangeCallback([this] { UpdateAvailabilityGauge(); });
     if (options_.record_audit_trail) {
@@ -177,6 +184,25 @@ Result<SimulationResult> Simulator::Run() {
     }
   }
   for (auto& pool : pools_) pool->Start();
+  for (const FaultEvent& event : options_.faults.Sorted()) {
+    queue_.ScheduleAt(event.time, [this, event] {
+      ServerPool& pool = *pools_[event.server_type];
+      switch (event.action) {
+        case FaultAction::kCrash:
+          pool.ForceFail(static_cast<size_t>(event.server_index));
+          break;
+        case FaultAction::kRepair:
+          pool.ForceRepair(static_cast<size_t>(event.server_index));
+          break;
+        case FaultAction::kTypeOutage:
+          pool.ForceTypeOutage();
+          break;
+        case FaultAction::kTypeRestore:
+          pool.ForceTypeRestore();
+          break;
+      }
+    });
+  }
   UpdateAvailabilityGauge();
   queue_.ScheduleAt(options_.warmup, [this] {
     all_up_ = TimeWeightedStats();

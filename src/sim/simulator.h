@@ -25,6 +25,7 @@
 #include "common/result.h"
 #include "common/statistics.h"
 #include "sim/event_queue.h"
+#include "sim/fault_schedule.h"
 #include "sim/server_pool.h"
 #include "workflow/audit_trail.h"
 #include "workflow/configuration.h"
@@ -59,6 +60,11 @@ struct SimulationOptions {
   /// Sample state residence times exponentially (matching the CTMC
   /// assumption); when false, residences are deterministic.
   bool exponential_residence = true;
+  /// Scripted fault injection. A non-empty schedule *replaces* the random
+  /// exponential failure/repair processes (regardless of enable_failures):
+  /// only the listed events fire, so runs are bit-identical given the same
+  /// seed and schedule.
+  FaultSchedule faults;
 };
 
 struct WorkflowTypeResult {

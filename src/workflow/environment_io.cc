@@ -1,5 +1,6 @@
 #include "workflow/environment_io.h"
 
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -161,6 +162,19 @@ Result<Environment> ParseEnvironment(std::string_view text) {
         if (kv.count("service_scv") > 0) {
           WFMS_ASSIGN_OR_RETURN(scv, GetDouble(kv, "service_scv", line_no));
         }
+        // Reject non-finite / out-of-range numerics at parse time, naming
+        // the server type: a NaN or negative moment would otherwise only
+        // surface deep inside a solver as an opaque numerical failure.
+        if (!std::isfinite(mean) || !(mean > 0.0)) {
+          return LineError(line_no, "server '" + type.name +
+                                        "': service_mean must be finite "
+                                        "and positive");
+        }
+        if (!std::isfinite(scv) || scv < 0.0) {
+          return LineError(line_no, "server '" + type.name +
+                                        "': service_scv must be finite "
+                                        "and non-negative");
+        }
         auto moments = queueing::ServiceFromMeanScv(mean, scv);
         if (!moments.ok()) {
           return moments.status().WithContext("line " +
@@ -169,8 +183,11 @@ Result<Environment> ParseEnvironment(std::string_view text) {
         type.service = *moments;
         WFMS_ASSIGN_OR_RETURN(double mttf, GetDouble(kv, "mttf", line_no));
         WFMS_ASSIGN_OR_RETURN(double mttr, GetDouble(kv, "mttr", line_no));
-        if (!(mttf > 0.0) || !(mttr > 0.0)) {
-          return LineError(line_no, "mttf/mttr must be positive");
+        if (!std::isfinite(mttf) || !std::isfinite(mttr) || !(mttf > 0.0) ||
+            !(mttr > 0.0)) {
+          return LineError(line_no, "server '" + type.name +
+                                        "': mttf/mttr must be finite and "
+                                        "positive");
         }
         type.failure_rate = 1.0 / mttf;
         type.repair_rate = 1.0 / mttr;
@@ -199,6 +216,11 @@ Result<Environment> ParseEnvironment(std::string_view text) {
         spec.chart = chart_it == kv.end() ? spec.name : chart_it->second;
         WFMS_ASSIGN_OR_RETURN(spec.arrival_rate,
                               GetDouble(kv, "rate", line_no));
+        if (!std::isfinite(spec.arrival_rate) || spec.arrival_rate < 0.0) {
+          return LineError(line_no, "workflow '" + spec.name +
+                                        "': rate must be finite and "
+                                        "non-negative");
+        }
         env.workflows.push_back(std::move(spec));
         break;
       }

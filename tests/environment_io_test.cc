@@ -192,5 +192,39 @@ TEST(EnvironmentIoTest, BadNumbersRejected) {
           .ok());
 }
 
+TEST(EnvironmentIoTest, NonFiniteAndNegativeRatesRejectedNamingTheServer) {
+  // NaN/inf/negative moments and rates must die at parse time, with the
+  // offending server type named in the message — not deep inside a solver.
+  const struct {
+    const char* line;
+  } cases[] = {
+      {"  server payments kind=engine service_mean=nan mttf=100 mttr=10"},
+      {"  server payments kind=engine service_mean=inf mttf=100 mttr=10"},
+      {"  server payments kind=engine service_mean=-0.5 mttf=100 mttr=10"},
+      {"  server payments kind=engine service_mean=0.01 service_scv=nan "
+       "mttf=100 mttr=10"},
+      {"  server payments kind=engine service_mean=0.01 service_scv=-1 "
+       "mttf=100 mttr=10"},
+      {"  server payments kind=engine service_mean=0.01 mttf=inf mttr=10"},
+      {"  server payments kind=engine service_mean=0.01 mttf=100 mttr=nan"},
+      {"  server payments kind=engine service_mean=0.01 mttf=-100 mttr=10"},
+  };
+  for (const auto& c : cases) {
+    auto env = ParseEnvironment(std::string("servers\n") + c.line + "\nend\n");
+    ASSERT_FALSE(env.ok()) << c.line;
+    EXPECT_EQ(env.status().code(), StatusCode::kParseError) << c.line;
+    EXPECT_NE(env.status().ToString().find("payments"), std::string::npos)
+        << env.status();
+  }
+  EXPECT_FALSE(ParseEnvironment(R"(servers
+  server s kind=engine service_mean=0.01 mttf=100 mttr=10
+end
+workflows
+  workflow W chart=W rate=inf
+end
+)")
+                   .ok());
+}
+
 }  // namespace
 }  // namespace wfms::workflow

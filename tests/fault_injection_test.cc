@@ -1,0 +1,246 @@
+// Scripted fault injection: deterministic timed crash/repair/outage
+// events that replace the simulator's random failure processes, and the
+// symbolic PrescribedAvailability replay that cross-validates what the
+// simulator observes.
+#include "sim/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::sim {
+namespace {
+
+using workflow::Configuration;
+using workflow::Environment;
+
+SimulationResult RunSim(const Environment& env, SimulationOptions options) {
+  auto sim = Simulator::Create(env, std::move(options));
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  auto result = sim->Run();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+FaultEvent Event(double time, FaultAction action, size_t type,
+                 int index = 0) {
+  FaultEvent event;
+  event.time = time;
+  event.action = action;
+  event.server_type = type;
+  event.server_index = index;
+  return event;
+}
+
+TEST(FaultScheduleTest, PrescribedAvailabilityClosedForm) {
+  // One replica per type; the engine (type 1) is down for 100 of the
+  // 1000 measured minutes -> availability 0.9.
+  FaultSchedule schedule;
+  schedule.events = {Event(100.0, FaultAction::kCrash, 1),
+                     Event(200.0, FaultAction::kRepair, 1)};
+  const Configuration config({1, 1, 1});
+  auto availability =
+      schedule.PrescribedAvailability(config, 3, /*warmup=*/0.0,
+                                      /*duration=*/1000.0);
+  ASSERT_TRUE(availability.ok()) << availability.status();
+  EXPECT_DOUBLE_EQ(*availability, 0.9);
+
+  // A single crash with 2 replicas keeps the type (and the WFMS) up.
+  FaultSchedule redundant;
+  redundant.events = {Event(100.0, FaultAction::kCrash, 1)};
+  auto still_up = redundant.PrescribedAvailability(Configuration({1, 2, 1}),
+                                                   3, 0.0, 1000.0);
+  ASSERT_TRUE(still_up.ok());
+  EXPECT_DOUBLE_EQ(*still_up, 1.0);
+
+  // A whole-type outage takes the WFMS down regardless of replication.
+  FaultSchedule outage;
+  outage.events = {Event(100.0, FaultAction::kTypeOutage, 1),
+                   Event(350.0, FaultAction::kTypeRestore, 1)};
+  auto with_outage = outage.PrescribedAvailability(Configuration({1, 2, 1}),
+                                                   3, 0.0, 1000.0);
+  ASSERT_TRUE(with_outage.ok());
+  EXPECT_DOUBLE_EQ(*with_outage, 0.75);
+}
+
+TEST(FaultScheduleTest, ValidateRejectsBadEvents) {
+  const Configuration config({2, 2, 2});
+  FaultSchedule bad_type;
+  bad_type.events = {Event(1.0, FaultAction::kCrash, 7)};
+  EXPECT_FALSE(bad_type.Validate(config, 3).ok());
+
+  FaultSchedule bad_index;
+  bad_index.events = {Event(1.0, FaultAction::kCrash, 0, 2)};
+  EXPECT_FALSE(bad_index.Validate(config, 3).ok());
+
+  FaultSchedule bad_time;
+  bad_time.events = {Event(-1.0, FaultAction::kCrash, 0)};
+  EXPECT_FALSE(bad_time.Validate(config, 3).ok());
+
+  FaultSchedule ok;
+  ok.events = {Event(1.0, FaultAction::kCrash, 0, 1),
+               Event(2.0, FaultAction::kTypeOutage, 2)};
+  EXPECT_TRUE(ok.Validate(config, 3).ok());
+}
+
+TEST(FaultScheduleTest, ParsesDslWithLineNumberedErrors) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  auto schedule = ParseFaultSchedule(R"(# schedule
+at 100 crash engine 1
+at 200 repair engine 1
+
+at 5000 outage app
+at 5500 restore app
+)",
+                                     env->servers);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  ASSERT_EQ(schedule->events.size(), 4u);
+  EXPECT_EQ(schedule->events[0].action, FaultAction::kCrash);
+  EXPECT_EQ(schedule->events[0].server_index, 1);
+  EXPECT_EQ(schedule->events[2].action, FaultAction::kTypeOutage);
+
+  auto bad_verb = ParseFaultSchedule("at 1 explode engine", env->servers);
+  ASSERT_FALSE(bad_verb.ok());
+  EXPECT_EQ(bad_verb.status().code(), StatusCode::kParseError);
+  EXPECT_NE(bad_verb.status().ToString().find("line 1"), std::string::npos);
+
+  auto bad_type = ParseFaultSchedule("\nat 1 crash warp-core", env->servers);
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_NE(bad_type.status().ToString().find("line 2"), std::string::npos);
+
+  auto extra_index =
+      ParseFaultSchedule("at 1 outage engine 1", env->servers);
+  EXPECT_FALSE(extra_index.ok());
+}
+
+TEST(FaultInjectionTest, WholeTypeOutageDowntimeMatchesPrescribed) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  SimulationOptions options;
+  options.config = Configuration({2, 2, 2});
+  options.duration = 40000.0;
+  options.warmup = 2000.0;
+  options.seed = 3;
+  // Whole app tier down for 500 minutes inside the measurement window.
+  options.faults.events = {Event(10000.0, FaultAction::kTypeOutage, 2),
+                           Event(10500.0, FaultAction::kTypeRestore, 2)};
+
+  auto prescribed = options.faults.PrescribedAvailability(
+      options.config, env->num_server_types(), options.warmup,
+      options.duration);
+  ASSERT_TRUE(prescribed.ok()) << prescribed.status();
+  EXPECT_NEAR(*prescribed, 1.0 - 500.0 / 38000.0, 1e-12);
+
+  const SimulationResult result = RunSim(*env, options);
+  // ISSUE acceptance: observed downtime within 1% of the prescribed
+  // schedule. The gauge integrates the exact same event times, so the
+  // match is in fact much tighter.
+  EXPECT_NEAR(result.observed_availability, *prescribed,
+              0.01 * *prescribed);
+  // Work displaced by the outage is parked, not lost: requests submitted
+  // during the outage complete after the restore.
+  EXPECT_GT(result.servers[2].completed_requests, 0);
+}
+
+TEST(FaultInjectionTest, CrashDuringServiceRequeuesRequests) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  SimulationOptions options;
+  options.config = Configuration({2, 2, 2});
+  options.duration = 30000.0;
+  options.warmup = 1000.0;
+  options.seed = 5;
+  // Repeatedly crash one app replica (the busiest type) so that some
+  // crash lands mid-service; its work must fail over to the survivor.
+  for (int i = 0; i < 40; ++i) {
+    const double t = 2000.0 + 500.0 * i;
+    options.faults.events.push_back(Event(t, FaultAction::kCrash, 2, 0));
+    options.faults.events.push_back(
+        Event(t + 50.0, FaultAction::kRepair, 2, 0));
+  }
+
+  const SimulationResult faulted = RunSim(*env, options);
+  EXPECT_GT(faulted.servers[2].requeued, 0);
+  EXPECT_GT(faulted.servers[2].failovers, 0);
+
+  // Requeued requests are not lost: throughput stays close to the
+  // fault-free run (one of two replicas down 10% of the time).
+  SimulationOptions clean = options;
+  clean.faults = FaultSchedule();
+  clean.enable_failures = false;
+  const SimulationResult baseline = RunSim(*env, clean);
+  EXPECT_GT(faulted.servers[2].completed_requests,
+            baseline.servers[2].completed_requests * 9 / 10);
+}
+
+TEST(FaultInjectionTest, ScriptedRunsAreBitIdentical) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 8000.0;
+  options.warmup = 500.0;
+  options.seed = 17;
+  options.faults.events = {Event(1000.0, FaultAction::kCrash, 1),
+                           Event(1100.0, FaultAction::kRepair, 1),
+                           Event(4000.0, FaultAction::kTypeOutage, 2),
+                           Event(4200.0, FaultAction::kTypeRestore, 2)};
+
+  const SimulationResult a = RunSim(*env, options);
+  const SimulationResult b = RunSim(*env, options);
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (size_t x = 0; x < a.servers.size(); ++x) {
+    EXPECT_EQ(a.servers[x].completed_requests,
+              b.servers[x].completed_requests);
+    EXPECT_EQ(a.servers[x].requeued, b.servers[x].requeued);
+    EXPECT_EQ(a.servers[x].failovers, b.servers[x].failovers);
+    EXPECT_EQ(a.servers[x].waiting_time.count(),
+              b.servers[x].waiting_time.count());
+    EXPECT_DOUBLE_EQ(a.servers[x].waiting_time.mean(),
+                     b.servers[x].waiting_time.mean());
+    EXPECT_DOUBLE_EQ(a.servers[x].up_servers.time_average(),
+                     b.servers[x].up_servers.time_average());
+  }
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.observed_availability, b.observed_availability);
+
+  // With a single replica per type the dispatch policy is irrelevant:
+  // stats must be bit-identical across policies too.
+  SimulationOptions bound = options;
+  bound.dispatch = DispatchPolicy::kPerInstanceBinding;
+  const SimulationResult c = RunSim(*env, bound);
+  for (size_t x = 0; x < a.servers.size(); ++x) {
+    EXPECT_EQ(a.servers[x].completed_requests,
+              c.servers[x].completed_requests);
+    EXPECT_DOUBLE_EQ(a.servers[x].waiting_time.mean(),
+                     c.servers[x].waiting_time.mean());
+  }
+  EXPECT_EQ(a.events_executed, c.events_executed);
+}
+
+TEST(FaultInjectionTest, ScheduleDisablesRandomFailures) {
+  // With a schedule and enable_failures=true, only scripted events fire:
+  // the up-server gauge outside the scripted windows must pin at the full
+  // replication level.
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  SimulationOptions options;
+  options.config = Configuration({1, 1, 1});
+  options.duration = 5000.0;
+  options.warmup = 100.0;
+  options.seed = 23;
+  options.enable_failures = true;
+  options.faults.events = {Event(6000.0, FaultAction::kCrash, 0)};  // after end
+  const SimulationResult result = RunSim(*env, options);
+  EXPECT_DOUBLE_EQ(result.observed_availability, 1.0);
+  for (size_t x = 0; x < result.servers.size(); ++x) {
+    EXPECT_DOUBLE_EQ(result.servers[x].up_servers.time_average(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace wfms::sim

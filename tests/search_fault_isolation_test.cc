@@ -1,0 +1,142 @@
+// Fault-isolated configuration search: a candidate whose availability
+// solve fails numerically must become data (SearchResult::
+// failed_candidates) rather than aborting the search, and a search-level
+// deadline must return a best-so-far result with a DeadlineExceeded
+// termination status.
+#include "configtool/tool.h"
+
+#include <gtest/gtest.h>
+
+#include "workflow/scenarios.h"
+
+namespace wfms::configtool {
+namespace {
+
+using workflow::Configuration;
+
+// Solver options that starve the iterative rungs (2 total iterations) and
+// cap the dense LU rescue at 26 states. Every configuration in the
+// [1,2]^3 box has prod(Y_x + 1) <= 18 states except (2,2,2) with 27:
+// that one candidate terminally fails with a numerical cause while all
+// others are rescued by the exact LU rung.
+performability::PerformabilityOptions StarvedSolverOptions() {
+  performability::PerformabilityOptions options;
+  options.availability.solver.budget.max_total_iterations = 2;
+  options.availability.solver.max_dense_states = 26;
+  return options;
+}
+
+Goals ModestGoals() {
+  Goals goals;
+  goals.max_waiting_time = 10.0;
+  goals.min_availability = 0.9995;
+  return goals;
+}
+
+TEST(SearchFaultIsolationTest, DivergingCandidateIsReportedNotFatal) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  auto tool = ConfigurationTool::Create(*env, StarvedSolverOptions());
+  ASSERT_TRUE(tool.ok()) << tool.status();
+
+  SearchConstraints constraints;
+  constraints.max_replicas = {2, 2, 2};
+  auto result = tool->ExhaustiveMinCost(ModestGoals(), constraints);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->termination.ok());
+  EXPECT_TRUE(result->satisfied);
+
+  ASSERT_EQ(result->failed_candidates.size(), 1u);
+  const FailedCandidate& failed = result->failed_candidates[0];
+  EXPECT_EQ(failed.config.replicas, (std::vector<int>{2, 2, 2}));
+  EXPECT_TRUE(failed.numerical);
+  EXPECT_EQ(failed.error.code(), StatusCode::kNumericError)
+      << failed.error;
+  // The LU retry is gated by the same dense cap that failed the first
+  // attempt, so it must not have run.
+  EXPECT_FALSE(failed.retried_exact);
+
+  // The winner itself was rescued by the cascade's LU rung.
+  EXPECT_EQ(result->assessment.performability.avail_solver_method,
+            markov::SteadyStateMethod::kLu);
+
+  // Same winner as a search whose constraints exclude the failing
+  // candidate (the winner (1,2,2) lies inside the smaller box).
+  auto excluded_tool =
+      ConfigurationTool::Create(*env, StarvedSolverOptions());
+  ASSERT_TRUE(excluded_tool.ok());
+  SearchConstraints excluded = constraints;
+  excluded.max_replicas = {1, 2, 2};
+  auto reference = excluded_tool->ExhaustiveMinCost(ModestGoals(), excluded);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_TRUE(reference->satisfied);
+  EXPECT_TRUE(reference->failed_candidates.empty());
+  EXPECT_EQ(result->config.replicas, reference->config.replicas);
+  EXPECT_DOUBLE_EQ(result->cost, reference->cost);
+}
+
+TEST(SearchFaultIsolationTest, EveryStrategySurvivesTheFailingCandidate) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  auto tool = ConfigurationTool::Create(*env, StarvedSolverOptions());
+  ASSERT_TRUE(tool.ok());
+  SearchConstraints constraints;
+  constraints.max_replicas = {2, 2, 2};
+  const Goals goals = ModestGoals();
+
+  auto greedy = tool->GreedyMinCost(goals, constraints);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  auto annealing = tool->AnnealingMinCost(goals, constraints);
+  ASSERT_TRUE(annealing.ok()) << annealing.status();
+  auto bnb = tool->BranchAndBoundMinCost(goals, constraints);
+  ASSERT_TRUE(bnb.ok()) << bnb.status();
+  // Strategies that touch (2,2,2) record it; none abort. Branch-and-bound
+  // probes the all-max bound first, so it must have seen the failure.
+  ASSERT_EQ(bnb->failed_candidates.size(), 1u);
+  EXPECT_EQ(bnb->failed_candidates[0].config.replicas,
+            (std::vector<int>{2, 2, 2}));
+  EXPECT_TRUE(bnb->satisfied);
+}
+
+TEST(SearchFaultIsolationTest, BatchAssessmentIsolatesFailures) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  auto tool = ConfigurationTool::Create(*env, StarvedSolverOptions());
+  ASSERT_TRUE(tool.ok());
+  const std::vector<Configuration> configs = {
+      Configuration({1, 2, 2}), Configuration({2, 2, 2})};
+  auto batch = tool->AssessBatch(configs, ModestGoals());
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_TRUE((*batch)[0].error.ok());
+  EXPECT_FALSE((*batch)[1].error.ok());
+  EXPECT_TRUE((*batch)[1].numerical_failure);
+  EXPECT_FALSE((*batch)[1].Satisfies());
+}
+
+TEST(SearchFaultIsolationTest, DeadlineReturnsBestSoFar) {
+  auto env = workflow::EpEnvironment();
+  ASSERT_TRUE(env.ok());
+  auto tool = ConfigurationTool::Create(*env);
+  ASSERT_TRUE(tool.ok());
+  SearchConstraints constraints;
+  constraints.max_replicas = {3, 3, 3};
+  SearchOptions search;
+  search.deadline_seconds = 1e-9;  // expires before the first wave
+  auto result = tool->ExhaustiveMinCost(ModestGoals(), constraints,
+                                        CostModel::Uniform(), search);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->termination.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(result->satisfied);
+
+  // An unlimited deadline leaves termination OK.
+  search.deadline_seconds = 0.0;
+  auto full = tool->ExhaustiveMinCost(ModestGoals(), constraints,
+                                      CostModel::Uniform(), search);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->termination.ok());
+  EXPECT_TRUE(full->satisfied);
+}
+
+}  // namespace
+}  // namespace wfms::configtool

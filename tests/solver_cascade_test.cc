@@ -1,0 +1,137 @@
+// Property tests for the steady-state degradation cascade: on random
+// ergodic chains the cascade must agree with the dense LU reference, and
+// on ill-conditioned (nearly completely decomposable) chains it must give
+// up on the iterative rungs quickly and fall through to LU.
+#include "markov/steady_state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "markov/ctmc.h"
+
+namespace wfms::markov {
+namespace {
+
+using linalg::Vector;
+
+// Random chain that is irreducible by construction: a directed ring plus
+// random extra transitions.
+Ctmc RandomErgodicChain(Rng& rng, size_t n) {
+  CtmcBuilder builder(n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        builder.AddTransition(i, (i + 1) % n, rng.NextDouble(0.1, 10.0)).ok());
+  }
+  const size_t extra = n;  // sprinkle extra structure
+  for (size_t e = 0; e < extra; ++e) {
+    const size_t from = rng.NextUint64(n);
+    size_t to = rng.NextUint64(n);
+    if (to == from) to = (to + 1) % n;
+    EXPECT_TRUE(
+        builder.AddTransition(from, to, rng.NextDouble(0.01, 5.0)).ok());
+  }
+  auto chain = builder.Build();
+  EXPECT_TRUE(chain.ok()) << chain.status();
+  return *std::move(chain);
+}
+
+TEST(SolverCascadeTest, MatchesDenseLuOnRandomErgodicChains) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng.NextUint64(19);  // 2..20 states
+    const Ctmc chain = RandomErgodicChain(rng, n);
+
+    SteadyStateOptions lu;
+    lu.method = SteadyStateMethod::kLu;
+    auto exact = SolveSteadyState(chain, lu);
+    ASSERT_TRUE(exact.ok()) << "trial " << trial << ": " << exact.status();
+
+    auto cascade = SolveSteadyState(chain, {});  // kAuto = cascade
+    ASSERT_TRUE(cascade.ok()) << "trial " << trial << ": "
+                              << cascade.status();
+    ASSERT_EQ(cascade->pi.size(), exact->pi.size());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(cascade->pi[i], exact->pi[i], 1e-9)
+          << "trial " << trial << " state " << i << " (method "
+          << SteadyStateMethodName(cascade->method_used) << ")";
+    }
+    EXPECT_FALSE(cascade->attempts.empty());
+    EXPECT_EQ(cascade->attempts.back().method, cascade->method_used);
+  }
+}
+
+TEST(SolverCascadeTest, IllConditionedChainFallsThroughToLu) {
+  // Nearly completely decomposable chain: two clusters with internal
+  // rates 1e6 and cross-cluster rates 1e-6 / 1e-4 (rate ratio 1e12).
+  // The iterative rungs contract the inter-cluster error by a factor of
+  // roughly (1 - 1e-12) per sweep, so stall detection must abandon them
+  // and the cascade must land on the exact LU rung.
+  CtmcBuilder builder(4);
+  ASSERT_TRUE(builder.AddTransition(0, 1, 1e6).ok());
+  ASSERT_TRUE(builder.AddTransition(1, 0, 1e6).ok());
+  ASSERT_TRUE(builder.AddTransition(2, 3, 1e6).ok());
+  ASSERT_TRUE(builder.AddTransition(3, 2, 1e6).ok());
+  ASSERT_TRUE(builder.AddTransition(1, 2, 1e-6).ok());
+  ASSERT_TRUE(builder.AddTransition(2, 1, 1e-4).ok());
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+
+  auto cascade = SolveSteadyState(*chain, {});
+  ASSERT_TRUE(cascade.ok()) << cascade.status();
+  EXPECT_EQ(cascade->method_used, SteadyStateMethod::kLu)
+      << "solved by " << SteadyStateMethodName(cascade->method_used);
+  EXPECT_TRUE(cascade->used_fallback);
+  EXPECT_GE(cascade->attempts.size(), 2u);
+  // Stall detection must cut every iterative rung far short of its
+  // 100000-iteration cap.
+  SteadyStateOptions defaults;
+  EXPECT_LT(cascade->iterations, defaults.max_iterations / 5);
+
+  SteadyStateOptions lu;
+  lu.method = SteadyStateMethod::kLu;
+  auto exact = SolveSteadyState(*chain, lu);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(cascade->pi[i], exact->pi[i], 1e-12);
+  }
+}
+
+TEST(SolverCascadeTest, BudgetExhaustionStillReachesLu) {
+  // With a 2-iteration budget no iterative rung can converge, but the LU
+  // rung is budget-exempt: the cascade's contract is an exact answer as
+  // last resort.
+  Rng rng(7);
+  const Ctmc chain = RandomErgodicChain(rng, 12);
+  SteadyStateOptions options;
+  options.budget.max_total_iterations = 2;
+  auto result = SolveSteadyState(chain, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->method_used, SteadyStateMethod::kLu);
+  EXPECT_TRUE(result->used_fallback);
+  EXPECT_LE(result->iterations, 2);
+
+  // Gating LU out (max_dense_states too small) turns the same starved
+  // solve into a NumericError that names the attempted rungs.
+  options.max_dense_states = 4;
+  auto starved = SolveSteadyState(chain, options);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kNumericError);
+}
+
+TEST(SolverCascadeTest, ExplicitMethodsKeepStrictContract) {
+  // An explicitly requested iterative method must not silently fall back:
+  // starved of iterations it returns NumericError.
+  Rng rng(11);
+  const Ctmc chain = RandomErgodicChain(rng, 10);
+  SteadyStateOptions options;
+  options.method = SteadyStateMethod::kGaussSeidel;
+  options.max_iterations = 1;
+  auto result = SolveSteadyState(chain, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericError);
+}
+
+}  // namespace
+}  // namespace wfms::markov

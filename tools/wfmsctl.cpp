@@ -26,6 +26,7 @@
 #include "markov/first_passage_moments.h"
 #include "markov/transient_distribution.h"
 #include "perf/performance_model.h"
+#include "sim/fault_schedule.h"
 #include "sim/simulator.h"
 #include "workflow/calibration.h"
 #include "workflow/environment_io.h"
@@ -33,6 +34,30 @@
 
 namespace wfms {
 namespace {
+
+// Exit codes (documented in README): 0 success / goals met, 1 internal
+// error, 2 usage error, 3 goals not met, 4 bad input (parse or
+// validation), 5 numerical solve failure.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kNumericError:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+// Prints the full status chain (root cause plus every WithContext frame)
+// to stderr and returns the matching exit code.
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "wfmsctl: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
 
 struct Flags {
   std::map<std::string, std::string> values;
@@ -71,7 +96,16 @@ common flags:
   --min-avail availability goal                 (default 0.99999)
   --method    greedy | exhaustive | annealing | bnb   (default greedy)
   --max-replicas per-type search bound          (default 8)
+  --deadline  search deadline in seconds; on expiry the best-so-far
+              result is reported (recommend)
   --duration / --warmup / --seed / --no-failures   (simulate)
+  --faults    fault-schedule file: scripted crash/repair/outage events
+              replacing the random failure processes (simulate)
+
+exit codes:
+  0 success / goals met     3 goals not met
+  1 internal error          4 bad input (parse or validation)
+  2 usage error             5 numerical solve failure
 )");
   return 2;
 }
@@ -114,10 +148,7 @@ configtool::Goals GoalsFromFlags(const Flags& flags) {
 
 int Analyze(const workflow::Environment& env) {
   auto model = perf::PerformanceModel::Create(env);
-  if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
-    return 1;
-  }
+  if (!model.ok()) return FailWith(model.status());
   for (const perf::WorkflowAnalysis& wf : model->workflows()) {
     std::printf("workflow %s (chart %s)\n", wf.workflow_type.c_str(),
                 wf.chart.c_str());
@@ -153,20 +184,12 @@ int Analyze(const workflow::Environment& env) {
 
 int Assess(const workflow::Environment& env, const Flags& flags) {
   auto config = ParseConfig(flags.Get("config", ""), env.num_server_types());
-  if (!config.ok()) {
-    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
-    return 1;
-  }
+  if (!config.ok()) return FailWith(config.status());
   auto tool = configtool::ConfigurationTool::Create(env);
-  if (!tool.ok()) {
-    std::fprintf(stderr, "%s\n", tool.status().ToString().c_str());
-    return 1;
-  }
+  if (!tool.ok()) return FailWith(tool.status());
   auto assessment = tool->Assess(*config, GoalsFromFlags(flags));
-  if (!assessment.ok()) {
-    std::fprintf(stderr, "%s\n", assessment.status().ToString().c_str());
-    return 1;
-  }
+  if (!assessment.ok()) return FailWith(assessment.status());
+  if (!assessment->error.ok()) return FailWith(assessment->error);
   std::printf("configuration %s (cost %.0f)\n", config->ToString().c_str(),
               assessment->cost);
   for (size_t x = 0; x < env.num_server_types(); ++x) {
@@ -189,42 +212,36 @@ int Assess(const workflow::Environment& env, const Flags& flags) {
 
 int Recommend(const workflow::Environment& env, const Flags& flags) {
   auto tool = configtool::ConfigurationTool::Create(env);
-  if (!tool.ok()) {
-    std::fprintf(stderr, "%s\n", tool.status().ToString().c_str());
-    return 1;
-  }
+  if (!tool.ok()) return FailWith(tool.status());
   configtool::SearchConstraints constraints;
   const int max_replicas =
       static_cast<int>(flags.GetDouble("max-replicas", 8));
   constraints.max_replicas.assign(env.num_server_types(), max_replicas);
   const configtool::Goals goals = GoalsFromFlags(flags);
   const std::string method = flags.Get("method", "greedy");
+  configtool::SearchOptions search;
+  search.deadline_seconds = flags.GetDouble("deadline", 0.0);
 
   Result<configtool::SearchResult> result =
       Status::InvalidArgument("unknown --method '" + method + "'");
+  const configtool::CostModel cost = configtool::CostModel::Uniform();
   if (method == "greedy") {
-    result = tool->GreedyMinCost(goals, constraints);
+    result = tool->GreedyMinCost(goals, constraints, cost, search);
   } else if (method == "exhaustive") {
-    result = tool->ExhaustiveMinCost(goals, constraints);
+    result = tool->ExhaustiveMinCost(goals, constraints, cost, search);
   } else if (method == "annealing") {
-    result = tool->AnnealingMinCost(goals, constraints);
+    result = tool->AnnealingMinCost(goals, constraints, cost, {}, search);
   } else if (method == "bnb") {
-    result = tool->BranchAndBoundMinCost(goals, constraints);
+    result = tool->BranchAndBoundMinCost(goals, constraints, cost, search);
   }
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return FailWith(result.status());
   std::printf("%s", tool->RenderRecommendation(*result).c_str());
   return result->satisfied ? 0 : 3;
 }
 
 int Simulate(const workflow::Environment& env, const Flags& flags) {
   auto config = ParseConfig(flags.Get("config", ""), env.num_server_types());
-  if (!config.ok()) {
-    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
-    return 1;
-  }
+  if (!config.ok()) return FailWith(config.status());
   sim::SimulationOptions options;
   options.config = *config;
   options.duration = flags.GetDouble("duration", 50000.0);
@@ -235,27 +252,37 @@ int Simulate(const workflow::Environment& env, const Flags& flags) {
   if (flags.Has("bind-instances")) {
     options.dispatch = sim::DispatchPolicy::kPerInstanceBinding;
   }
+  if (flags.Has("faults")) {
+    const std::string path = flags.Get("faults", "");
+    std::ifstream file(path);
+    if (!file) {
+      return FailWith(
+          Status::NotFound("cannot open fault schedule '" + path + "'"));
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto schedule = sim::ParseFaultSchedule(buffer.str(), env.servers);
+    if (!schedule.ok()) return FailWith(schedule.status());
+    options.faults = *std::move(schedule);
+  }
   auto simulator = sim::Simulator::Create(env, options);
-  if (!simulator.ok()) {
-    std::fprintf(stderr, "%s\n", simulator.status().ToString().c_str());
-    return 1;
-  }
+  if (!simulator.ok()) return FailWith(simulator.status());
   auto result = simulator->Run();
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return FailWith(result.status());
   std::printf("simulated %s for %s (%lld events)\n",
               config->ToString().c_str(),
               FormatMinutes(options.duration).c_str(),
               static_cast<long long>(result->events_executed));
   for (size_t x = 0; x < env.num_server_types(); ++x) {
     const auto& stats = result->servers[x];
-    std::printf("  %-10s util %.3f, mean wait %s (n=%lld), failovers %lld\n",
-                env.servers.type(x).name.c_str(), result->utilization[x],
-                FormatMinutes(stats.waiting_time.mean()).c_str(),
-                static_cast<long long>(stats.waiting_time.count()),
-                static_cast<long long>(stats.failovers));
+    std::printf(
+        "  %-10s util %.3f, mean wait %s (n=%lld), failovers %lld, "
+        "requeued %lld\n",
+        env.servers.type(x).name.c_str(), result->utilization[x],
+        FormatMinutes(stats.waiting_time.mean()).c_str(),
+        static_cast<long long>(stats.waiting_time.count()),
+        static_cast<long long>(stats.failovers),
+        static_cast<long long>(stats.requeued));
   }
   for (const auto& [name, wf] : result->workflows) {
     std::printf("  workflow %-8s completed %lld, mean turnaround %s\n",
@@ -264,6 +291,14 @@ int Simulate(const workflow::Environment& env, const Flags& flags) {
   }
   std::printf("  observed availability %.6f\n",
               result->observed_availability);
+  if (!options.faults.empty()) {
+    auto prescribed = options.faults.PrescribedAvailability(
+        *config, env.num_server_types(), options.warmup, options.duration);
+    if (prescribed.ok()) {
+      std::printf("  prescribed availability %.6f (scripted faults)\n",
+                  *prescribed);
+    }
+  }
   if (flags.Has("trail-out")) {
     const std::string path = flags.Get("trail-out", "");
     std::ofstream out(path);
@@ -286,22 +321,15 @@ int Calibrate(const workflow::Environment& env, const Flags& flags) {
   }
   std::ifstream file(path);
   if (!file) {
-    std::fprintf(stderr, "cannot open trail '%s'\n", path.c_str());
-    return 1;
+    return FailWith(Status::NotFound("cannot open trail '" + path + "'"));
   }
   std::stringstream buffer;
   buffer << file.rdbuf();
   auto trail = workflow::AuditTrail::Deserialize(buffer.str());
-  if (!trail.ok()) {
-    std::fprintf(stderr, "%s\n", trail.status().ToString().c_str());
-    return 1;
-  }
+  if (!trail.ok()) return FailWith(trail.status());
   workflow::CalibrationReport report;
   auto calibrated = workflow::CalibrateEnvironment(env, *trail, {}, &report);
-  if (!calibrated.ok()) {
-    std::fprintf(stderr, "%s\n", calibrated.status().ToString().c_str());
-    return 1;
-  }
+  if (!calibrated.ok()) return FailWith(calibrated.status());
   std::fprintf(stderr,
                "calibrated: %d states re-estimated (%d kept), %d server "
                "types, %d workflow rates\n",
@@ -336,10 +364,7 @@ int Main(int argc, char** argv) {
   }
 
   auto env = LoadScenario(flags.Get("scenario", "ep"));
-  if (!env.ok()) {
-    std::fprintf(stderr, "%s\n", env.status().ToString().c_str());
-    return 1;
-  }
+  if (!env.ok()) return FailWith(env.status());
   if (command == "analyze") return Analyze(*env);
   if (command == "assess") return Assess(*env, flags);
   if (command == "recommend") return Recommend(*env, flags);
