@@ -51,6 +51,12 @@ class Rng {
   /// advances this generator.
   Rng Split();
 
+  /// The full generator state (the four xoshiro256** words). Saving and
+  /// later restoring the state reproduces the exact tail of the stream —
+  /// the primitive the checkpoint/resume subsystem builds on.
+  std::array<uint64_t, 4> SaveState() const { return s_; }
+  void RestoreState(const std::array<uint64_t, 4>& state) { s_ = state; }
+
  private:
   std::array<uint64_t, 4> s_;
 };

@@ -1,0 +1,362 @@
+#include "common/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace wfms {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'F', 'S', 'N'};
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void AppendLe(std::string* out, uint64_t value, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t ReadLe(std::string_view bytes, size_t offset, size_t n) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < n; ++i) {
+    value |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(bytes[offset + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::string ErrnoString(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t state) {
+  for (char ch : bytes) {
+    state ^= static_cast<unsigned char>(ch);
+    state *= 0x100000001B3ULL;
+  }
+  return state;
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  return Fnv1a64(bytes, kFnv1a64Seed);
+}
+
+void SnapshotWriter::Field(uint32_t tag, std::string_view value) {
+  AppendLe(&payload_, tag, 4);
+  AppendLe(&payload_, value.size(), 8);
+  payload_.append(value.data(), value.size());
+}
+
+void SnapshotWriter::U32(uint32_t tag, uint32_t value) {
+  std::string bytes;
+  AppendLe(&bytes, value, 4);
+  Field(tag, bytes);
+}
+
+void SnapshotWriter::U64(uint32_t tag, uint64_t value) {
+  std::string bytes;
+  AppendLe(&bytes, value, 8);
+  Field(tag, bytes);
+}
+
+void SnapshotWriter::I64(uint32_t tag, int64_t value) {
+  U64(tag, static_cast<uint64_t>(value));
+}
+
+void SnapshotWriter::F64(uint32_t tag, double value) {
+  U64(tag, std::bit_cast<uint64_t>(value));
+}
+
+void SnapshotWriter::Str(uint32_t tag, std::string_view value) {
+  Field(tag, value);
+}
+
+void SnapshotWriter::VecF64(uint32_t tag, const std::vector<double>& value) {
+  std::string bytes;
+  bytes.reserve(value.size() * 8);
+  for (double v : value) AppendLe(&bytes, std::bit_cast<uint64_t>(v), 8);
+  Field(tag, bytes);
+}
+
+void SnapshotWriter::VecI32(uint32_t tag, const std::vector<int>& value) {
+  std::string bytes;
+  bytes.reserve(value.size() * 4);
+  for (int v : value) {
+    AppendLe(&bytes, static_cast<uint32_t>(v), 4);
+  }
+  Field(tag, bytes);
+}
+
+void SnapshotWriter::VecU64(uint32_t tag, const uint64_t* data, size_t n) {
+  std::string bytes;
+  bytes.reserve(n * 8);
+  for (size_t i = 0; i < n; ++i) AppendLe(&bytes, data[i], 8);
+  Field(tag, bytes);
+}
+
+Result<std::string_view> SnapshotReader::Field(uint32_t tag) {
+  if (offset_ + 12 > payload_.size()) {
+    return Status::ParseError(
+        "snapshot payload truncated at offset " + std::to_string(offset_) +
+        " reading field tag " + std::to_string(tag));
+  }
+  const uint32_t stored_tag =
+      static_cast<uint32_t>(ReadLe(payload_, offset_, 4));
+  const uint64_t length = ReadLe(payload_, offset_ + 4, 8);
+  if (stored_tag != tag) {
+    return Status::ParseError("snapshot field tag mismatch at offset " +
+                              std::to_string(offset_) + ": expected " +
+                              std::to_string(tag) + ", found " +
+                              std::to_string(stored_tag));
+  }
+  if (offset_ + 12 + length > payload_.size()) {
+    return Status::ParseError("snapshot field " + std::to_string(tag) +
+                              " overruns the payload (length " +
+                              std::to_string(length) + ")");
+  }
+  std::string_view value = payload_.substr(offset_ + 12, length);
+  offset_ += 12 + length;
+  return value;
+}
+
+Result<uint32_t> SnapshotReader::U32(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(std::string_view value, Field(tag));
+  if (value.size() != 4) {
+    return Status::ParseError("snapshot field " + std::to_string(tag) +
+                              " has length " + std::to_string(value.size()) +
+                              ", expected 4");
+  }
+  return static_cast<uint32_t>(ReadLe(value, 0, 4));
+}
+
+Result<uint64_t> SnapshotReader::U64(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(std::string_view value, Field(tag));
+  if (value.size() != 8) {
+    return Status::ParseError("snapshot field " + std::to_string(tag) +
+                              " has length " + std::to_string(value.size()) +
+                              ", expected 8");
+  }
+  return ReadLe(value, 0, 8);
+}
+
+Result<int64_t> SnapshotReader::I64(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(uint64_t value, U64(tag));
+  return static_cast<int64_t>(value);
+}
+
+Result<double> SnapshotReader::F64(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(uint64_t value, U64(tag));
+  return std::bit_cast<double>(value);
+}
+
+Result<std::string> SnapshotReader::Str(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(std::string_view value, Field(tag));
+  return std::string(value);
+}
+
+Result<std::vector<double>> SnapshotReader::VecF64(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(std::string_view value, Field(tag));
+  if (value.size() % 8 != 0) {
+    return Status::ParseError("snapshot field " + std::to_string(tag) +
+                              " is not a multiple of 8 bytes");
+  }
+  std::vector<double> out(value.size() / 8);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::bit_cast<double>(ReadLe(value, i * 8, 8));
+  }
+  return out;
+}
+
+Result<std::vector<int>> SnapshotReader::VecI32(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(std::string_view value, Field(tag));
+  if (value.size() % 4 != 0) {
+    return Status::ParseError("snapshot field " + std::to_string(tag) +
+                              " is not a multiple of 4 bytes");
+  }
+  std::vector<int> out(value.size() / 4);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<int>(static_cast<uint32_t>(ReadLe(value, i * 4, 4)));
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> SnapshotReader::VecU64(uint32_t tag) {
+  WFMS_ASSIGN_OR_RETURN(std::string_view value, Field(tag));
+  if (value.size() % 8 != 0) {
+    return Status::ParseError("snapshot field " + std::to_string(tag) +
+                              " is not a multiple of 8 bytes");
+  }
+  std::vector<uint64_t> out(value.size() / 8);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = ReadLe(value, i * 8, 8);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(ErrnoString("cannot create temp file", tmp));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status error =
+          Status::Internal(ErrnoString("cannot write temp file", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return error;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status error =
+        Status::Internal(ErrnoString("cannot fsync temp file", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal(ErrnoString("cannot close temp file", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status error =
+        Status::Internal(ErrnoString("cannot rename temp file over", path));
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best-effort; the data itself is already durable
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file '" + path + "'");
+    }
+    return Status::Internal(ErrnoString("cannot open", path));
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status error = Status::Internal(ErrnoString("cannot read", path));
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;
+    bytes.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Status WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                         std::string_view payload) {
+  std::string bytes;
+  bytes.reserve(24 + payload.size() + 4);
+  bytes.append(kMagic, sizeof(kMagic));
+  AppendLe(&bytes, kSnapshotFormatVersion, 4);
+  AppendLe(&bytes, static_cast<uint32_t>(kind), 4);
+  AppendLe(&bytes, payload.size(), 8);
+  bytes.append(payload.data(), payload.size());
+  AppendLe(&bytes, Crc32(bytes), 4);
+  return AtomicWriteFile(path, bytes);
+}
+
+Result<std::string> ReadSnapshotFile(const std::string& path,
+                                     SnapshotKind kind) {
+  WFMS_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  constexpr size_t kHeader = 20;
+  constexpr size_t kFooter = 4;
+  if (bytes.size() < kHeader + kFooter) {
+    return Status::ParseError("snapshot '" + path + "' is truncated: " +
+                              std::to_string(bytes.size()) +
+                              " bytes is smaller than the fixed framing");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("'" + path +
+                              "' is not a snapshot file (bad magic)");
+  }
+  const uint32_t version = static_cast<uint32_t>(ReadLe(bytes, 4, 4));
+  if (version < 1 || version > kSnapshotFormatVersion) {
+    return Status::ParseError(
+        "snapshot '" + path + "' has unsupported snapshot format version " +
+        std::to_string(version) + " (this build reads 1.." +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const uint32_t stored_kind = static_cast<uint32_t>(ReadLe(bytes, 8, 4));
+  if (stored_kind != static_cast<uint32_t>(kind)) {
+    return Status::ParseError(
+        "snapshot '" + path + "' holds the wrong snapshot kind " +
+        std::to_string(stored_kind) + " (expected " +
+        std::to_string(static_cast<uint32_t>(kind)) + ")");
+  }
+  const uint64_t payload_size = ReadLe(bytes, 12, 8);
+  if (bytes.size() != kHeader + payload_size + kFooter) {
+    return Status::ParseError(
+        "snapshot '" + path + "' is truncated: header declares " +
+        std::to_string(payload_size) + " payload bytes but the file holds " +
+        std::to_string(bytes.size() - kHeader - kFooter));
+  }
+  const uint32_t stored_crc =
+      static_cast<uint32_t>(ReadLe(bytes, bytes.size() - kFooter, 4));
+  const uint32_t computed_crc =
+      Crc32(std::string_view(bytes).substr(0, bytes.size() - kFooter));
+  if (stored_crc != computed_crc) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "CRC mismatch (stored %08x, computed %08x)", stored_crc,
+                  computed_crc);
+    return Status::ParseError("snapshot '" + path + "' is corrupt: " +
+                              buffer);
+  }
+  return bytes.substr(kHeader, payload_size);
+}
+
+}  // namespace wfms

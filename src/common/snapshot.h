@@ -1,0 +1,124 @@
+// Crash-safe snapshot I/O: the on-disk substrate of the checkpoint/resume
+// subsystem (configtool search checkpoints, simulator replay cursors; see
+// DESIGN.md "Checkpointing and recovery").
+//
+// A snapshot file is
+//
+//   magic "WFSN" | format u32 | kind u32 | payload length u64 | payload
+//   | CRC32 u32 over everything before the footer
+//
+// written atomically: the bytes go to a temp file in the same directory,
+// are fsync'd, and are renamed over the destination (followed by a
+// directory fsync), so a reader never observes a half-written snapshot —
+// either the old file, the new file, or (on first write) no file at all.
+// A torn, truncated, or bit-flipped file is rejected by the CRC/length
+// checks with a descriptive Status, never interpreted.
+//
+// Payloads are encoded with a small tag-length-value codec: every field is
+//
+//   tag u32 | length u64 | value bytes
+//
+// read back strictly in writing order (a tag mismatch reports both tags),
+// so format drift between writer and reader versions is detected rather
+// than misparsed. All integers are little-endian fixed-width; doubles are
+// bit-cast to u64 so round-trips are bit-exact.
+#ifndef WFMS_COMMON_SNAPSHOT_H_
+#define WFMS_COMMON_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfms {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+uint32_t Crc32(std::string_view bytes);
+
+/// FNV-1a 64-bit hash — the fingerprint primitive used to key checkpoints
+/// to the environment/goals/options they were taken under.
+uint64_t Fnv1a64(std::string_view bytes);
+/// Chains another chunk onto an existing FNV-1a state (start from
+/// kFnv1a64Seed).
+uint64_t Fnv1a64(std::string_view bytes, uint64_t state);
+inline constexpr uint64_t kFnv1a64Seed = 0xCBF29CE484222325ULL;
+
+/// Appends TLV fields to a payload buffer.
+class SnapshotWriter {
+ public:
+  void U32(uint32_t tag, uint32_t value);
+  void U64(uint32_t tag, uint64_t value);
+  void I64(uint32_t tag, int64_t value);
+  void F64(uint32_t tag, double value);
+  void Str(uint32_t tag, std::string_view value);
+  void VecF64(uint32_t tag, const std::vector<double>& value);
+  void VecI32(uint32_t tag, const std::vector<int>& value);
+  void VecU64(uint32_t tag, const uint64_t* data, size_t n);
+
+  const std::string& payload() const { return payload_; }
+  std::string Take() { return std::move(payload_); }
+
+ private:
+  void Field(uint32_t tag, std::string_view value);
+  std::string payload_;
+};
+
+/// Reads TLV fields back in writing order. Every accessor validates the
+/// expected tag and the value length; errors name the offending tag and
+/// offset so corruption reports are actionable.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view payload) : payload_(payload) {}
+
+  Result<uint32_t> U32(uint32_t tag);
+  Result<uint64_t> U64(uint32_t tag);
+  Result<int64_t> I64(uint32_t tag);
+  Result<double> F64(uint32_t tag);
+  Result<std::string> Str(uint32_t tag);
+  Result<std::vector<double>> VecF64(uint32_t tag);
+  Result<std::vector<int>> VecI32(uint32_t tag);
+  Result<std::vector<uint64_t>> VecU64(uint32_t tag);
+
+  /// True when every field has been consumed.
+  bool AtEnd() const { return offset_ == payload_.size(); }
+
+ private:
+  Result<std::string_view> Field(uint32_t tag);
+
+  std::string_view payload_;
+  size_t offset_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically (temp file + fsync + rename +
+/// directory fsync).
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file; NotFound when it does not exist.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Current snapshot container format version.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Payload kinds, so a search checkpoint is never misread as a simulation
+/// checkpoint (and vice versa).
+enum class SnapshotKind : uint32_t {
+  kSearchCheckpoint = 1,
+  kSimulationCheckpoint = 2,
+};
+
+/// Frames `payload` in the header/CRC container and writes it atomically.
+Status WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                         std::string_view payload);
+
+/// Reads and validates a snapshot file: magic, container version within
+/// [1, kSnapshotFormatVersion], kind, payload length, CRC. Each failure
+/// mode is named in the Status ("truncated", "CRC mismatch",
+/// "unsupported snapshot format version", "wrong snapshot kind", ...).
+Result<std::string> ReadSnapshotFile(const std::string& path,
+                                     SnapshotKind kind);
+
+}  // namespace wfms
+
+#endif  // WFMS_COMMON_SNAPSHOT_H_

@@ -21,6 +21,7 @@ enum class StatusCode {
   kNumericError,      // divergence, singular matrix, non-convergence
   kParseError,        // statechart DSL / scenario file syntax errors
   kDeadlineExceeded,  // a search/solve hit its wall-clock deadline
+  kCancelled,         // cooperatively stopped (e.g. SIGINT-driven search)
   kUnimplemented,
   kInternal,
 };
@@ -65,6 +66,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

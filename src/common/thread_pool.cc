@@ -15,25 +15,42 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // idempotent (second call or dtor after Shutdown)
     stopping_ = true;
   }
   work_available_.notify_all();
+  // Workers exit only once the queue is empty, so every task queued before
+  // the stop flag was raised still runs and resolves its future.
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
-  if (workers_.empty()) {
-    task();  // single-lane pool: deterministic inline execution
-    return;
-  }
+Status ThreadPool::Enqueue(std::function<void()> task) {
+  bool run_inline = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    if (stopping_) {
+      // A Submit racing Shutdown (checkpoint-on-signal vs. pool teardown)
+      // is rejected, never enqueued onto a dying queue.
+      return Status::FailedPrecondition("ThreadPool::Submit after Shutdown");
+    }
+    if (workers_.empty()) {
+      run_inline = true;  // single-lane pool: deterministic inline execution
+    } else {
+      queue_.push_back(std::move(task));
+    }
+  }
+  if (run_inline) {
+    task();
+    return Status::OK();
   }
   work_available_.notify_one();
+  return Status::OK();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+
 namespace wfms {
 
 class ThreadPool {
@@ -48,21 +50,30 @@ class ThreadPool {
 
   /// Enqueues a task and returns a future for its return value (typically
   /// a Result<T>; the task must not throw). With a single-lane pool the
-  /// task runs inline before Submit returns.
+  /// task runs inline before Submit returns. After Shutdown() (or during
+  /// destruction — checkpoint-on-signal paths race pool teardown) the task
+  /// is NOT run and a FailedPrecondition status is returned instead; the
+  /// pool never crashes on a late Submit.
   template <typename F, typename R = std::invoke_result_t<F>>
-  std::future<R> Submit(F&& f) {
+  Result<std::future<R>> Submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
-    Enqueue([task]() { (*task)(); });
+    WFMS_RETURN_NOT_OK(Enqueue([task]() { (*task)(); }));
     return future;
   }
+
+  /// Stops accepting new tasks, drains every task already queued, and
+  /// joins the workers. Idempotent; implied by the destructor. Tasks
+  /// queued before Shutdown always run to completion (their futures
+  /// become ready); Submit afterwards fails with a Status.
+  void Shutdown();
 
   /// Worker count from the WFMS_NUM_THREADS environment variable if set to
   /// a positive integer, else std::thread::hardware_concurrency (>= 1).
   static size_t DefaultThreadCount();
 
  private:
-  void Enqueue(std::function<void()> task);
+  Status Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::mutex mutex_;

@@ -140,6 +140,34 @@ void ConfigurationTool::ClearAssessmentCache() {
   cache_->failures.clear();
 }
 
+ConfigurationTool::CacheDump ConfigurationTool::DumpAssessmentCache() const {
+  CacheDump dump;
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  dump.reports.reserve(cache_->entries.size());
+  for (const auto& [key, report] : cache_->entries) {
+    dump.reports.emplace_back(key, report);
+  }
+  dump.failures.reserve(cache_->failures.size());
+  for (const auto& [key, failure] : cache_->failures) {
+    dump.failures.emplace_back(
+        key, CachedFailure{failure.error, failure.numerical,
+                           failure.retried_exact});
+  }
+  return dump;
+}
+
+void ConfigurationTool::RestoreAssessmentCache(const CacheDump& dump) const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  for (const auto& [key, report] : dump.reports) {
+    cache_->entries.try_emplace(key, report);
+  }
+  for (const auto& [key, failure] : dump.failures) {
+    cache_->failures.try_emplace(
+        key, AssessmentCache::FailureEntry{failure.error, failure.numerical,
+                                           failure.retried_exact});
+  }
+}
+
 Assessment ConfigurationTool::BuildAssessment(
     const Configuration& config, performability::PerformabilityReport report,
     const Goals& goals, const CostModel& cost) const {
@@ -284,6 +312,50 @@ class SearchDeadline {
  private:
   double seconds_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Everything a search does at a wave/step boundary besides the search
+/// itself: poll the deadline, poll cooperative cancellation, and fire the
+/// periodic checkpoint hook. Exactly one instance per search invocation,
+/// used from the search thread only.
+class SearchBoundary {
+ public:
+  explicit SearchBoundary(const SearchOptions& search)
+      : search_(search),
+        deadline_(search),
+        last_checkpoint_(std::chrono::steady_clock::now()) {}
+
+  /// True when the search must stop now (cancelled or out of time);
+  /// `result->termination` is then set and the caller returns its
+  /// best-so-far. Otherwise fires the checkpoint hook when it is due.
+  bool ShouldStop(const char* strategy, SearchResult* result) {
+    if (search_.cancel != nullptr &&
+        search_.cancel->load(std::memory_order_relaxed)) {
+      result->termination = Status::Cancelled(
+          std::string(strategy) + " search cancelled after " +
+          std::to_string(result->evaluations) +
+          " evaluations; result is best-so-far");
+      return true;
+    }
+    if (deadline_.Expired()) {
+      deadline_.Terminate(strategy, result);
+      return true;
+    }
+    if (search_.on_checkpoint) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_checkpoint_).count() >=
+          search_.checkpoint_interval_seconds) {
+        search_.on_checkpoint();
+        last_checkpoint_ = std::chrono::steady_clock::now();
+      }
+    }
+    return false;
+  }
+
+ private:
+  const SearchOptions& search_;
+  SearchDeadline deadline_;
+  std::chrono::steady_clock::time_point last_checkpoint_;
 };
 
 }  // namespace
@@ -497,8 +569,8 @@ void ConfigurationTool::PrefetchNeighborFrontier(
     if (config.replicas[x] >= constraints.MaxFor(x)) continue;
     Configuration child = config;
     ++child.replicas[x];
-    pending.push_back(pool().Submit([this, child = std::move(child), &parent,
-                                     &goals, &cost]() {
+    auto submitted = pool().Submit([this, child = std::move(child), &parent,
+                                    &goals, &cost]() {
       // Same warm start the sequential path would use, so a later cache
       // hit is bit-identical to the miss it replaces.
       const linalg::Vector guess = WarmStartGuess(parent, child);
@@ -507,7 +579,9 @@ void ConfigurationTool::PrefetchNeighborFrontier(
           child, goals, cost, guess.empty() ? nullptr : &guess,
           /*cache_hit=*/nullptr);
       (void)speculative;
-    }));
+    });
+    // A pool already shutting down just skips the speculation.
+    if (submitted.ok()) pending.push_back(*std::move(submitted));
   }
   // Block until the frontier is resident: the subsequent pick must hit the
   // cache deterministically rather than race the prefill.
@@ -527,7 +601,7 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
   }
 
   SearchResult result;
-  SearchDeadline deadline(search);
+  SearchBoundary boundary(search);
   WFMS_ASSIGN_OR_RETURN(
       Assessment assessment,
       AssessCounted(config, goals, cost, /*avail_guess=*/nullptr, search,
@@ -560,10 +634,7 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
   // interleaved manner, re-evaluating after every added replica so the
   // configuration is never oversized.
   while (!assessment.Satisfies() && budget > 0) {
-    if (deadline.Expired()) {
-      deadline.Terminate("greedy", &result);
-      break;
-    }
+    if (boundary.ShouldStop("greedy", &result)) break;
     bool added = false;
     PrefetchNeighborFrontier(config, assessment, goals, cost, constraints);
 
@@ -658,7 +729,7 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
   SearchResult result;
-  SearchDeadline deadline(search);
+  SearchBoundary boundary(search);
   bool have_best = false;
   Configuration best;
   double best_cost = 0.0;
@@ -676,10 +747,7 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
   wave.reserve(kExhaustiveWaveSize);
   bool enumeration_done = false;
   while (!enumeration_done) {
-    if (deadline.Expired()) {
-      deadline.Terminate("exhaustive", &result);
-      break;
-    }
+    if (boundary.ShouldStop("exhaustive", &result)) break;
     wave.clear();
     while (wave.size() < kExhaustiveWaveSize && !enumeration_done) {
       if (!have_best || cost.Cost(current.replicas) < best_cost) {
@@ -769,7 +837,7 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
   };
 
   SearchResult result;
-  SearchDeadline deadline(search);
+  SearchBoundary boundary(search);
   Configuration current = MinimalConfig(constraints, k);
   WFMS_ASSIGN_OR_RETURN(
       Assessment current_assessment,
@@ -785,21 +853,20 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
   std::vector<std::future<void>> pipeline;
   const auto prefill = [&](std::optional<Configuration> candidate) {
     if (!candidate.has_value()) return;
-    pipeline.push_back(
+    auto submitted =
         pool().Submit([this, config = *std::move(candidate), &goals, &cost]() {
           auto speculative = AssessInternal(config, goals, cost,
                                             /*avail_guess=*/nullptr,
                                             /*cache_hit=*/nullptr);
           (void)speculative;
-        }));
+        });
+    // A pool already shutting down just skips the speculation.
+    if (submitted.ok()) pipeline.push_back(*std::move(submitted));
   };
 
   double temperature = annealing.initial_temperature;
   for (size_t iter = 0; iter < moves.size(); ++iter) {
-    if (deadline.Expired()) {
-      deadline.Terminate("annealing", &result);
-      break;
-    }
+    if (boundary.ShouldStop("annealing", &result)) break;
     const std::optional<Configuration> proposal = apply(current, moves[iter]);
     if (!proposal.has_value()) continue;
 
@@ -860,7 +927,7 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   SearchResult result;
-  SearchDeadline deadline(search);
+  SearchBoundary boundary(search);
 
   // Feasibility bound: if the most generous configuration fails, nothing
   // in the box can succeed (goals are monotone in replication). When the
@@ -906,8 +973,7 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
   wave.reserve(kBnbWaveSize);
   Assessment last_assessment = max_assessment;
   while (!frontier.empty()) {
-    if (deadline.Expired()) {
-      deadline.Terminate("branch-and-bound", &result);
+    if (boundary.ShouldStop("branch-and-bound", &result)) {
       result.config = max_config;
       result.cost = cost.Cost(max_config.replicas);
       result.satisfied = false;

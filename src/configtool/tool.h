@@ -20,6 +20,8 @@
 #ifndef WFMS_CONFIGTOOL_TOOL_H_
 #define WFMS_CONFIGTOOL_TOOL_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -98,6 +100,19 @@ struct SearchOptions {
   /// (honoring the configured max_dense_states) before declaring it
   /// failed.
   bool retry_numerical_failures = true;
+  /// Cooperative cancellation (e.g. a SIGINT/SIGTERM flag), polled at the
+  /// same wave/step boundaries as the deadline. When it reads true the
+  /// search stops and returns its best-so-far with termination set to
+  /// Cancelled — the caller can then write a final checkpoint.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Periodic checkpoint hook, invoked on the search thread at wave/step
+  /// boundaries (never mid-assessment, never concurrently with itself) at
+  /// most once per checkpoint_interval_seconds. Typically writes the
+  /// assessment cache to disk via configtool/checkpoint.h.
+  std::function<void()> on_checkpoint;
+  /// Minimum seconds between on_checkpoint invocations; 0 fires at every
+  /// boundary.
+  double checkpoint_interval_seconds = 0.0;
 };
 
 struct SearchResult {
@@ -235,6 +250,31 @@ class ConfigurationTool {
   CacheStats cache_stats() const;
   /// Drops every memoized assessment (e.g. to benchmark cold paths).
   void ClearAssessmentCache();
+
+  /// A terminally failed evaluation as stored in the negative cache.
+  struct CachedFailure {
+    Status error;
+    bool numerical = false;
+    bool retried_exact = false;
+  };
+  /// The memoized assessment state, externalized. This is the search's
+  /// durable progress: every report (and negative failure entry) a resumed
+  /// search finds here is a cache hit it does not have to re-solve, so a
+  /// deterministic re-run through a restored dump fast-forwards to where
+  /// the dumped run stopped (see configtool/checkpoint.h and DESIGN.md
+  /// "Checkpointing and recovery").
+  struct CacheDump {
+    std::vector<std::pair<std::vector<int>,
+                          performability::PerformabilityReport>>
+        reports;
+    std::vector<std::pair<std::vector<int>, CachedFailure>> failures;
+  };
+  /// Copies the cache contents in deterministic (key) order.
+  CacheDump DumpAssessmentCache() const;
+  /// Merges a dump into the cache (existing entries win, like any other
+  /// insert race). Logically const for the same reason Assess is: the
+  /// cache holds pure functions of the environment.
+  void RestoreAssessmentCache(const CacheDump& dump) const;
 
  private:
   struct AssessmentCache;

@@ -1,0 +1,202 @@
+#include "sim/checkpoint.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/snapshot.h"
+#include "workflow/environment_io.h"
+
+namespace wfms::sim {
+
+namespace {
+
+constexpr uint32_t kTagFingerprint = 1;
+constexpr uint32_t kTagEventsExecuted = 2;
+constexpr uint32_t kTagSimTime = 3;
+constexpr uint32_t kTagNextInstanceId = 4;
+constexpr uint32_t kTagPendingEvents = 5;
+constexpr uint32_t kTagMasterRng = 6;
+constexpr uint32_t kTagPoolCount = 7;
+constexpr uint32_t kTagPoolRng = 8;
+constexpr uint32_t kTagPoolUp = 9;
+constexpr uint32_t kTagPoolBusy = 10;
+constexpr uint32_t kTagPoolParked = 11;
+
+std::string HexU64(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+uint64_t SimulationFingerprint(const workflow::Environment& env,
+                               const SimulationOptions& options) {
+  SnapshotWriter w;
+  w.Str(1, workflow::SerializeEnvironment(env));
+  w.VecI32(2, options.config.replicas);
+  w.U32(3, static_cast<uint32_t>(options.dispatch));
+  w.F64(4, options.duration);
+  w.F64(5, options.warmup);
+  w.U64(6, options.seed);
+  w.U32(7, (options.enable_failures ? 1u : 0u) |
+               (options.exponential_residence ? 2u : 0u));
+  for (const FaultEvent& event : options.faults.events) {
+    w.F64(8, event.time);
+    w.U32(9, static_cast<uint32_t>(event.action));
+    w.U64(10, event.server_type);
+    w.I64(11, event.server_index);
+  }
+  return Fnv1a64(w.payload());
+}
+
+Status WriteSimulationCheckpoint(const std::string& path,
+                                 const SimulationCheckpoint& state) {
+  SnapshotWriter w;
+  w.U64(kTagFingerprint, state.fingerprint);
+  w.I64(kTagEventsExecuted, state.events_executed);
+  w.F64(kTagSimTime, state.sim_time);
+  w.I64(kTagNextInstanceId, state.next_instance_id);
+  w.U64(kTagPendingEvents, state.pending_events);
+  w.VecU64(kTagMasterRng, state.master_rng.data(), state.master_rng.size());
+  w.U64(kTagPoolCount, state.pool_rngs.size());
+  for (const auto& rng : state.pool_rngs) {
+    w.VecU64(kTagPoolRng, rng.data(), rng.size());
+  }
+  w.VecI32(kTagPoolUp, state.pool_up);
+  w.VecI32(kTagPoolBusy, state.pool_busy);
+  w.VecI32(kTagPoolParked, state.pool_parked);
+  return WriteSnapshotFile(path, SnapshotKind::kSimulationCheckpoint,
+                           w.payload())
+      .WithContext("writing simulation checkpoint");
+}
+
+Result<SimulationCheckpoint> ReadSimulationCheckpoint(const std::string& path,
+                                                      uint64_t fingerprint) {
+  WFMS_ASSIGN_OR_RETURN(
+      const std::string payload,
+      ReadSnapshotFile(path, SnapshotKind::kSimulationCheckpoint));
+  SnapshotReader r(payload);
+  SimulationCheckpoint state;
+  WFMS_ASSIGN_OR_RETURN(state.fingerprint, r.U64(kTagFingerprint));
+  if (state.fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        "stale simulation checkpoint '" + path +
+        "': scenario/options hash mismatch (checkpoint 0x" +
+        HexU64(state.fingerprint) + ", current 0x" + HexU64(fingerprint) +
+        ") — it was taken under a different environment, configuration, "
+        "seed, or fault schedule");
+  }
+  WFMS_ASSIGN_OR_RETURN(state.events_executed, r.I64(kTagEventsExecuted));
+  WFMS_ASSIGN_OR_RETURN(state.sim_time, r.F64(kTagSimTime));
+  WFMS_ASSIGN_OR_RETURN(state.next_instance_id, r.I64(kTagNextInstanceId));
+  WFMS_ASSIGN_OR_RETURN(state.pending_events, r.U64(kTagPendingEvents));
+  WFMS_ASSIGN_OR_RETURN(std::vector<uint64_t> master,
+                        r.VecU64(kTagMasterRng));
+  if (master.size() != 4) {
+    return Status::ParseError("simulation checkpoint '" + path +
+                              "' has a malformed master RNG state");
+  }
+  std::memcpy(state.master_rng.data(), master.data(), 4 * sizeof(uint64_t));
+  WFMS_ASSIGN_OR_RETURN(uint64_t pool_count, r.U64(kTagPoolCount));
+  state.pool_rngs.reserve(pool_count);
+  for (uint64_t i = 0; i < pool_count; ++i) {
+    WFMS_ASSIGN_OR_RETURN(std::vector<uint64_t> words, r.VecU64(kTagPoolRng));
+    if (words.size() != 4) {
+      return Status::ParseError("simulation checkpoint '" + path +
+                                "' has a malformed pool RNG state");
+    }
+    std::array<uint64_t, 4> rng;
+    std::memcpy(rng.data(), words.data(), 4 * sizeof(uint64_t));
+    state.pool_rngs.push_back(rng);
+  }
+  WFMS_ASSIGN_OR_RETURN(state.pool_up, r.VecI32(kTagPoolUp));
+  WFMS_ASSIGN_OR_RETURN(state.pool_busy, r.VecI32(kTagPoolBusy));
+  WFMS_ASSIGN_OR_RETURN(state.pool_parked, r.VecI32(kTagPoolParked));
+  if (!r.AtEnd()) {
+    return Status::ParseError("simulation checkpoint '" + path +
+                              "' has trailing bytes after the last field");
+  }
+  return state;
+}
+
+namespace {
+
+Status Diverged(const char* field, const std::string& saved,
+                const std::string& replayed) {
+  return Status::FailedPrecondition(
+      "replay diverged from the checkpointed run at field '" +
+      std::string(field) + "' (checkpoint " + saved + ", replay " + replayed +
+      ") — the checkpoint was taken under a different build or an "
+      "undetected option change");
+}
+
+std::string RngToString(const std::array<uint64_t, 4>& s) {
+  return "0x" + HexU64(s[0]) + ":" + HexU64(s[1]) + ":" + HexU64(s[2]) + ":" +
+         HexU64(s[3]);
+}
+
+template <typename T>
+std::string VecToString(const std::vector<T>& v) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i];
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+Status VerifyReplayCursor(const SimulationCheckpoint& saved,
+                          const SimulationCheckpoint& replayed) {
+  if (saved.events_executed != replayed.events_executed) {
+    return Diverged("events_executed", std::to_string(saved.events_executed),
+                    std::to_string(replayed.events_executed));
+  }
+  // Bit-exact comparison: deterministic replay reproduces the clock to the
+  // last ulp, so any drift at all is a divergence.
+  if (saved.sim_time != replayed.sim_time) {
+    return Diverged("sim_time", std::to_string(saved.sim_time),
+                    std::to_string(replayed.sim_time));
+  }
+  if (saved.next_instance_id != replayed.next_instance_id) {
+    return Diverged("next_instance_id",
+                    std::to_string(saved.next_instance_id),
+                    std::to_string(replayed.next_instance_id));
+  }
+  if (saved.pending_events != replayed.pending_events) {
+    return Diverged("pending_events", std::to_string(saved.pending_events),
+                    std::to_string(replayed.pending_events));
+  }
+  if (saved.master_rng != replayed.master_rng) {
+    return Diverged("master_rng", RngToString(saved.master_rng),
+                    RngToString(replayed.master_rng));
+  }
+  if (saved.pool_rngs != replayed.pool_rngs) {
+    for (size_t i = 0;
+         i < saved.pool_rngs.size() && i < replayed.pool_rngs.size(); ++i) {
+      if (saved.pool_rngs[i] != replayed.pool_rngs[i]) {
+        return Diverged(("pool_rng[" + std::to_string(i) + "]").c_str(),
+                        RngToString(saved.pool_rngs[i]),
+                        RngToString(replayed.pool_rngs[i]));
+      }
+    }
+    return Diverged("pool_rngs", std::to_string(saved.pool_rngs.size()),
+                    std::to_string(replayed.pool_rngs.size()));
+  }
+  if (saved.pool_up != replayed.pool_up) {
+    return Diverged("pool_up", VecToString(saved.pool_up),
+                    VecToString(replayed.pool_up));
+  }
+  if (saved.pool_busy != replayed.pool_busy) {
+    return Diverged("pool_busy", VecToString(saved.pool_busy),
+                    VecToString(replayed.pool_busy));
+  }
+  if (saved.pool_parked != replayed.pool_parked) {
+    return Diverged("pool_parked", VecToString(saved.pool_parked),
+                    VecToString(replayed.pool_parked));
+  }
+  return Status::OK();
+}
+
+}  // namespace wfms::sim

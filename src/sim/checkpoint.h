@@ -1,0 +1,78 @@
+// Crash-safe checkpointing for the discrete-event simulator (see
+// DESIGN.md "Checkpointing and recovery").
+//
+// The simulator's live state is a priority queue of closures — not
+// serializable. What *is* durable is the run's determinism: given the
+// same environment, options, and seed, the event sequence is bit-identical
+// (FIFO tie-breaking, per-pool split RNG streams). A checkpoint is
+// therefore a *replay cursor*: the number of events executed, the clock,
+// the master and per-pool RNG states, pool occupancy (up/busy/parked),
+// the pending-event count, and the next instance id — everything needed
+// to recognize "the replay has reached exactly the state the crashed run
+// was in". Resume re-runs the simulation from t=0 and, at the saved
+// cursor, verifies the live state against the checkpoint word for word:
+// a match proves the resumed run is replaying the crashed run's
+// trajectory (and will finish with its exact statistics); a mismatch —
+// wrong binary version, different option, cosmic-ray file damage that
+// slipped past the CRC — fails loudly with the first diverging field.
+//
+// A fingerprint of the environment and every option that shapes the event
+// stream keys the checkpoint, so a cursor from a different scenario,
+// seed, or fault schedule is rejected before any replay happens.
+#ifndef WFMS_SIM_CHECKPOINT_H_
+#define WFMS_SIM_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/simulator.h"
+#include "workflow/environment.h"
+
+namespace wfms::sim {
+
+/// The replay cursor: a word-for-word image of the simulator's
+/// deterministic state at an event boundary.
+struct SimulationCheckpoint {
+  uint64_t fingerprint = 0;
+  int64_t events_executed = 0;
+  double sim_time = 0.0;
+  int64_t next_instance_id = 0;
+  uint64_t pending_events = 0;
+  std::array<uint64_t, 4> master_rng{};
+  /// Per server type, aligned with the environment's registry.
+  std::vector<std::array<uint64_t, 4>> pool_rngs;
+  std::vector<int> pool_up;
+  std::vector<int> pool_busy;
+  std::vector<int> pool_parked;
+};
+
+/// Hash of the environment plus every SimulationOptions field that shapes
+/// the event stream (config, dispatch, duration, warmup, seed, failure
+/// switches, fault schedule). Checkpoint-only options (path, cadence,
+/// resume, cancel) and audit-trail recording are excluded: they never
+/// change the trajectory.
+uint64_t SimulationFingerprint(const workflow::Environment& env,
+                               const SimulationOptions& options);
+
+/// Atomically writes `state` to `path`.
+Status WriteSimulationCheckpoint(const std::string& path,
+                                 const SimulationCheckpoint& state);
+
+/// Loads and validates a checkpoint; a fingerprint mismatch is a
+/// FailedPrecondition naming both hashes.
+Result<SimulationCheckpoint> ReadSimulationCheckpoint(const std::string& path,
+                                                      uint64_t fingerprint);
+
+/// Compares the saved cursor against the live state captured when the
+/// replay reached saved.events_executed. OK iff every field matches
+/// bit-for-bit; otherwise FailedPrecondition naming the first diverging
+/// field and both values.
+Status VerifyReplayCursor(const SimulationCheckpoint& saved,
+                          const SimulationCheckpoint& replayed);
+
+}  // namespace wfms::sim
+
+#endif  // WFMS_SIM_CHECKPOINT_H_

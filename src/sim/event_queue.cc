@@ -15,6 +15,10 @@ void EventQueue::ScheduleAfter(double delay, Action action) {
 }
 
 int64_t EventQueue::RunUntil(double end_time) {
+  return RunUntil(end_time, Observer());
+}
+
+int64_t EventQueue::RunUntil(double end_time, const Observer& observer) {
   int64_t executed = 0;
   while (!queue_.empty() && queue_.top().time <= end_time) {
     // Move the action out before popping; the action may schedule events.
@@ -23,6 +27,7 @@ int64_t EventQueue::RunUntil(double end_time) {
     now_ = event.time;
     event.action();
     ++executed;
+    if (observer && !observer(executed)) return executed;
   }
   if (now_ < end_time) now_ = end_time;
   return executed;

@@ -29,6 +29,18 @@ class EventQueue {
   /// event time). Returns the number of events executed.
   int64_t RunUntil(double end_time);
 
+  /// Invoked after each executed event with the cumulative count; return
+  /// false to stop the loop at that event boundary (the clock then stays
+  /// at the last event's time rather than advancing to `end_time`).
+  using Observer = std::function<bool(int64_t executed)>;
+
+  /// As RunUntil(end_time), but with an inter-event observation point —
+  /// the hook the simulator's checkpoint/cancel machinery uses. Observing
+  /// happens outside the queue (no event is scheduled for it), so the
+  /// event sequence and its deterministic tie-breaking are bit-identical
+  /// to an unobserved run.
+  int64_t RunUntil(double end_time, const Observer& observer);
+
   /// Drops all pending events (used at teardown).
   void Clear();
 

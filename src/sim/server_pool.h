@@ -7,6 +7,8 @@
 #ifndef WFMS_SIM_SERVER_POOL_H_
 #define WFMS_SIM_SERVER_POOL_H_
 
+#include <array>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -81,6 +83,12 @@ class ServerPool {
   void FinishStats();
 
   int up_count() const { return up_count_; }
+  int busy_count() const { return busy_count_; }
+  /// Requests parked while the whole type is down.
+  size_t parked_count() const { return parked_.size(); }
+  /// The pool's RNG state — part of the simulator's replay-cursor
+  /// checkpoint (see sim/checkpoint.h).
+  std::array<uint64_t, 4> RngState() const { return rng_.SaveState(); }
   const ServerPoolStats& stats() const { return stats_; }
   /// Observed mean service time per completed request.
   bool AllDown() const { return up_count_ == 0; }

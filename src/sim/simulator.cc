@@ -1,9 +1,11 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/logging.h"
+#include "sim/checkpoint.h"
 
 namespace wfms::sim {
 
@@ -213,7 +215,93 @@ Result<SimulationResult> Simulator::Run() {
     if (env_->workflows[t].arrival_rate > 0.0) ScheduleArrival(t);
   }
 
-  result_.events_executed = queue_.RunUntil(options_.duration);
+  // Checkpoint/resume plumbing (DESIGN.md "Checkpointing and recovery").
+  // Everything happens at event boundaries outside the queue, so the event
+  // sequence is bit-identical to an unobserved run.
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  uint64_t fingerprint = 0;
+  SimulationCheckpoint resume_target;
+  bool awaiting_cursor = false;
+  if (checkpointing) {
+    fingerprint = SimulationFingerprint(*env_, options_);
+    if (options_.resume) {
+      auto loaded =
+          ReadSimulationCheckpoint(options_.checkpoint_path, fingerprint);
+      if (loaded.ok()) {
+        resume_target = *std::move(loaded);
+        awaiting_cursor = true;
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        return loaded.status();  // corrupt or stale: never replayed past
+      }
+      // NotFound: nothing to resume; run from scratch.
+    }
+  }
+  const auto capture = [&](int64_t executed) {
+    SimulationCheckpoint state;
+    state.fingerprint = fingerprint;
+    state.events_executed = executed;
+    state.sim_time = queue_.now();
+    state.next_instance_id = next_instance_id_;
+    state.pending_events = queue_.pending();
+    state.master_rng = rng_.SaveState();
+    for (const auto& pool : pools_) {
+      state.pool_rngs.push_back(pool->RngState());
+      state.pool_up.push_back(pool->up_count());
+      state.pool_busy.push_back(pool->busy_count());
+      state.pool_parked.push_back(static_cast<int>(pool->parked_count()));
+    }
+    return state;
+  };
+  Status boundary_error;
+  bool cancelled = false;
+  const int64_t cadence = options_.checkpoint_every_events;
+  const EventQueue::Observer observer = [&](int64_t executed) {
+    if (awaiting_cursor && executed == resume_target.events_executed) {
+      // The replay has reached the crashed run's cursor: the live state
+      // must match it word for word, proving this run retraces — and will
+      // complete — the interrupted trajectory.
+      boundary_error = VerifyReplayCursor(resume_target, capture(executed));
+      if (!boundary_error.ok()) return false;
+      awaiting_cursor = false;
+    }
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      return false;
+    }
+    if (checkpointing && cadence > 0 && executed % cadence == 0) {
+      boundary_error =
+          WriteSimulationCheckpoint(options_.checkpoint_path,
+                                    capture(executed));
+      if (!boundary_error.ok()) return false;
+    }
+    return true;
+  };
+  const bool observed =
+      checkpointing || options_.cancel != nullptr || awaiting_cursor;
+  result_.events_executed = observed
+                                ? queue_.RunUntil(options_.duration, observer)
+                                : queue_.RunUntil(options_.duration);
+  WFMS_RETURN_NOT_OK(boundary_error);
+  if (cancelled) {
+    std::string message = "simulation cancelled after " +
+                          std::to_string(result_.events_executed) +
+                          " events (t=" + std::to_string(queue_.now()) + ")";
+    if (checkpointing) {
+      WFMS_RETURN_NOT_OK(WriteSimulationCheckpoint(
+          options_.checkpoint_path, capture(result_.events_executed)));
+      message += "; checkpoint written to " + options_.checkpoint_path;
+    }
+    return Status::Cancelled(std::move(message));
+  }
+  if (awaiting_cursor) {
+    return Status::FailedPrecondition(
+        "checkpoint cursor (event " +
+        std::to_string(resume_target.events_executed) +
+        ") lies beyond the end of the run (" +
+        std::to_string(result_.events_executed) +
+        " events) — the checkpoint does not belong to this scenario");
+  }
 
   for (auto& pool : pools_) pool->FinishStats();
   all_up_.Finish(queue_.now());

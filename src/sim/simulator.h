@@ -16,6 +16,8 @@
 #ifndef WFMS_SIM_SIMULATOR_H_
 #define WFMS_SIM_SIMULATOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -65,6 +67,23 @@ struct SimulationOptions {
   /// only the listed events fire, so runs are bit-identical given the same
   /// seed and schedule.
   FaultSchedule faults;
+  /// Crash-safe checkpointing (DESIGN.md "Checkpointing and recovery"):
+  /// when non-empty, a replay cursor (event count, clock, RNG states, pool
+  /// occupancy) is written here atomically every `checkpoint_every_events`
+  /// executed events. Checkpoints happen at event boundaries, outside the
+  /// queue, so a checkpointed run's event sequence is bit-identical to an
+  /// uncheckpointed one.
+  std::string checkpoint_path;
+  int64_t checkpoint_every_events = 0;
+  /// Load `checkpoint_path` (if it exists) before running and validate the
+  /// deterministic replay against it when the run reaches the saved
+  /// cursor; a divergence (or a checkpoint from a different scenario —
+  /// fingerprint mismatch) is a FailedPrecondition, not a silent skew.
+  bool resume = false;
+  /// Cooperative cancellation, checked at event boundaries. When raised,
+  /// Run() writes a final checkpoint (if checkpointing) and returns
+  /// StatusCode::kCancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct WorkflowTypeResult {

@@ -1,0 +1,209 @@
+// Simulator checkpoint/replay-cursor guarantees (DESIGN.md "Checkpointing
+// and recovery"): a resumed run replays the interrupted trajectory to the
+// same statistics, validates the saved cursor word for word, and rejects
+// cursors from other scenarios.
+#include "sim/checkpoint.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::sim {
+namespace {
+
+using workflow::Environment;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("wfms_sim_checkpoint_test_") + name))
+      .string();
+}
+
+Environment MakeEnv() {
+  auto env = workflow::EpEnvironment(1.0);
+  EXPECT_TRUE(env.ok());
+  return *std::move(env);
+}
+
+SimulationOptions BaseOptions() {
+  SimulationOptions options;
+  options.config.replicas = {2, 2, 3};
+  options.duration = 2000.0;
+  options.warmup = 200.0;
+  options.seed = 17;
+  return options;
+}
+
+Result<SimulationResult> RunSim(const Environment& env,
+                                const SimulationOptions& options) {
+  auto sim = Simulator::Create(env, options);
+  if (!sim.ok()) return sim.status();
+  return sim->Run();
+}
+
+void ExpectSameStatistics(const SimulationResult& a,
+                          const SimulationResult& b) {
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.observed_availability, b.observed_availability);
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (size_t x = 0; x < a.servers.size(); ++x) {
+    EXPECT_EQ(a.servers[x].waiting_time.mean(),
+              b.servers[x].waiting_time.mean());
+    EXPECT_EQ(a.servers[x].completed_requests,
+              b.servers[x].completed_requests);
+    EXPECT_EQ(a.utilization[x], b.utilization[x]);
+  }
+  ASSERT_EQ(a.workflows.size(), b.workflows.size());
+  for (const auto& [name, wf] : a.workflows) {
+    const auto it = b.workflows.find(name);
+    ASSERT_NE(it, b.workflows.end()) << name;
+    EXPECT_EQ(wf.completed, it->second.completed);
+    EXPECT_EQ(wf.turnaround.mean(), it->second.turnaround.mean());
+  }
+}
+
+TEST(SimCheckpointTest, ResumedRunReplaysToIdenticalStatistics) {
+  const Environment env = MakeEnv();
+  SimulationOptions options = BaseOptions();
+  auto baseline = RunSim(env, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  const std::string path = TempPath("resume");
+  options.checkpoint_path = path;
+  options.checkpoint_every_events = 500;
+  auto checkpointed = RunSim(env, options);
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status();
+  // Checkpointing happens outside the event queue: statistics unchanged.
+  ExpectSameStatistics(*baseline, *checkpointed);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Resume validates the saved cursor mid-replay and finishes identically.
+  options.resume = true;
+  auto resumed = RunSim(env, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectSameStatistics(*baseline, *resumed);
+  std::remove(path.c_str());
+}
+
+TEST(SimCheckpointTest, CancelWritesResumableCheckpoint) {
+  const Environment env = MakeEnv();
+  SimulationOptions options = BaseOptions();
+  auto baseline = RunSim(env, options);
+  ASSERT_TRUE(baseline.ok());
+
+  const std::string path = TempPath("cancel");
+  std::atomic<bool> cancel{true};  // cancel at the first event boundary
+  options.checkpoint_path = path;
+  options.checkpoint_every_events = 500;
+  options.cancel = &cancel;
+  auto cancelled = RunSim(env, options);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // The final on-cancel checkpoint is a valid resume point.
+  options.cancel = nullptr;
+  options.resume = true;
+  auto resumed = RunSim(env, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectSameStatistics(*baseline, *resumed);
+  std::remove(path.c_str());
+}
+
+TEST(SimCheckpointTest, FingerprintMismatchIsRejectedBeforeReplay) {
+  const Environment env = MakeEnv();
+  SimulationOptions options = BaseOptions();
+  const std::string path = TempPath("stale");
+  options.checkpoint_path = path;
+  options.checkpoint_every_events = 500;
+  ASSERT_TRUE(RunSim(env, options).ok());
+
+  options.resume = true;
+  options.seed = 99;  // different trajectory: the cursor must be refused
+  auto rejected = RunSim(env, options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.status().message().find("hash mismatch"),
+            std::string::npos)
+      << rejected.status();
+  std::remove(path.c_str());
+}
+
+TEST(SimCheckpointTest, FingerprintCoversFaultSchedule) {
+  const Environment env = MakeEnv();
+  SimulationOptions a = BaseOptions();
+  SimulationOptions b = a;
+  b.faults.events.push_back({100.0, FaultAction::kCrash, 0, 0});
+  EXPECT_NE(SimulationFingerprint(env, a), SimulationFingerprint(env, b));
+  SimulationOptions c = a;
+  c.dispatch = DispatchPolicy::kPerInstanceBinding;
+  EXPECT_NE(SimulationFingerprint(env, a), SimulationFingerprint(env, c));
+  // Checkpoint plumbing itself does not change the trajectory.
+  SimulationOptions d = a;
+  d.checkpoint_path = "/elsewhere.wfsn";
+  d.checkpoint_every_events = 123;
+  d.resume = true;
+  EXPECT_EQ(SimulationFingerprint(env, a), SimulationFingerprint(env, d));
+}
+
+TEST(SimCheckpointTest, VerifyReplayCursorNamesTheDivergingField) {
+  SimulationCheckpoint saved;
+  saved.events_executed = 10;
+  saved.sim_time = 5.0;
+  saved.master_rng = {1, 2, 3, 4};
+  saved.pool_up = {2, 2};
+  SimulationCheckpoint replayed = saved;
+  EXPECT_TRUE(VerifyReplayCursor(saved, replayed).ok());
+
+  replayed.master_rng[2] ^= 0x10;
+  auto diverged = VerifyReplayCursor(saved, replayed);
+  ASSERT_FALSE(diverged.ok());
+  EXPECT_EQ(diverged.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(diverged.message().find("master_rng"), std::string::npos)
+      << diverged;
+
+  replayed = saved;
+  replayed.pool_up = {2, 1};
+  diverged = VerifyReplayCursor(saved, replayed);
+  ASSERT_FALSE(diverged.ok());
+  EXPECT_NE(diverged.message().find("pool_up"), std::string::npos);
+}
+
+TEST(SimCheckpointTest, CheckpointStateRoundTripsThroughDisk) {
+  SimulationCheckpoint state;
+  state.fingerprint = 0xABCDEF;
+  state.events_executed = 12345;
+  state.sim_time = 678.901;
+  state.next_instance_id = 42;
+  state.pending_events = 17;
+  state.master_rng = {11, 22, 33, 44};
+  state.pool_rngs = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+  state.pool_up = {2, 3};
+  state.pool_busy = {1, 0};
+  state.pool_parked = {0, 5};
+
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(WriteSimulationCheckpoint(path, state).ok());
+  auto loaded = ReadSimulationCheckpoint(path, state.fingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->events_executed, state.events_executed);
+  EXPECT_EQ(loaded->sim_time, state.sim_time);
+  EXPECT_EQ(loaded->next_instance_id, state.next_instance_id);
+  EXPECT_EQ(loaded->pending_events, state.pending_events);
+  EXPECT_EQ(loaded->master_rng, state.master_rng);
+  EXPECT_EQ(loaded->pool_rngs, state.pool_rngs);
+  EXPECT_EQ(loaded->pool_up, state.pool_up);
+  EXPECT_EQ(loaded->pool_busy, state.pool_busy);
+  EXPECT_EQ(loaded->pool_parked, state.pool_parked);
+  EXPECT_TRUE(VerifyReplayCursor(state, *loaded).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wfms::sim

@@ -1,0 +1,298 @@
+// Snapshot I/O guarantees (DESIGN.md "Checkpointing and recovery"):
+// bit-exact TLV round-trips, Save->Load->Save byte identity, CRC/framing
+// rejection of truncated and bit-flipped files, atomic replacement, and
+// RNG state capture reproducing the exact stream tail.
+#include "common/snapshot.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace wfms {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("wfms_snapshot_test_") + name))
+      .string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SnapshotCodecTest, RoundTripsEveryFieldTypeBitExactly) {
+  SnapshotWriter w;
+  w.U32(1, 0xDEADBEEFu);
+  w.U64(2, 0x0123456789ABCDEFULL);
+  w.I64(3, -42);
+  w.F64(4, 0.1);  // not exactly representable: survives only if bit-cast
+  w.F64(5, -std::numeric_limits<double>::infinity());
+  const std::string with_nul = std::string("hello ") + '\0' + "world";
+  w.Str(6, with_nul);
+  w.VecF64(7, {1.5, -2.25, std::numeric_limits<double>::denorm_min()});
+  w.VecI32(8, {-1, 0, 7});
+  const uint64_t words[3] = {1, 2, 0xFFFFFFFFFFFFFFFFULL};
+  w.VecU64(9, words, 3);
+
+  SnapshotReader r(w.payload());
+  auto u32 = r.U32(1);
+  ASSERT_TRUE(u32.ok()) << u32.status();
+  EXPECT_EQ(*u32, 0xDEADBEEFu);
+  auto u64 = r.U64(2);
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0x0123456789ABCDEFULL);
+  auto i64 = r.I64(3);
+  ASSERT_TRUE(i64.ok());
+  EXPECT_EQ(*i64, -42);
+  auto f1 = r.F64(4);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(*f1, 0.1);
+  auto f2 = r.F64(5);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_TRUE(std::isinf(*f2) && *f2 < 0);
+  auto str = r.Str(6);
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(*str, with_nul);  // embedded NUL survives
+  auto vf = r.VecF64(7);
+  ASSERT_TRUE(vf.ok());
+  EXPECT_EQ(*vf, (std::vector<double>{
+                     1.5, -2.25, std::numeric_limits<double>::denorm_min()}));
+  auto vi = r.VecI32(8);
+  ASSERT_TRUE(vi.ok());
+  EXPECT_EQ(*vi, (std::vector<int>{-1, 0, 7}));
+  auto vu = r.VecU64(9);
+  ASSERT_TRUE(vu.ok());
+  EXPECT_EQ(*vu, (std::vector<uint64_t>{1, 2, 0xFFFFFFFFFFFFFFFFULL}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotCodecTest, NanRoundTripsWithPayloadBitsIntact) {
+  const double nan = std::nan("0x7ff");
+  SnapshotWriter w;
+  w.F64(1, nan);
+  SnapshotReader r(w.payload());
+  auto read = r.F64(1);
+  ASSERT_TRUE(read.ok());
+  // NaN != NaN, so compare the raw bits.
+  double out = *read;
+  EXPECT_EQ(std::memcmp(&out, &nan, sizeof(double)), 0);
+}
+
+TEST(SnapshotCodecTest, TagMismatchNamesBothTags) {
+  SnapshotWriter w;
+  w.U32(7, 1);
+  SnapshotReader r(w.payload());
+  auto read = r.U32(8);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("7"), std::string::npos);
+  EXPECT_NE(read.status().message().find("8"), std::string::npos);
+}
+
+TEST(SnapshotCodecTest, ReadingPastTheEndFails) {
+  SnapshotWriter w;
+  w.U32(1, 1);
+  SnapshotReader r(w.payload());
+  ASSERT_TRUE(r.U32(1).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.U32(2).ok());
+}
+
+TEST(SnapshotCodecTest, WrongLengthForFixedWidthFieldFails) {
+  SnapshotWriter w;
+  w.Str(1, "xyz");  // 3-byte value under tag 1
+  SnapshotReader r(w.payload());
+  EXPECT_FALSE(r.U32(1).ok());  // U32 demands exactly 4 bytes
+}
+
+TEST(SnapshotFileTest, SaveLoadSaveIsByteIdentical) {
+  const std::string path = TempPath("roundtrip");
+  SnapshotWriter w;
+  w.Str(1, "payload");
+  w.VecF64(2, {3.14159, 2.71828});
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint, w.payload())
+          .ok());
+  const std::string first = ReadAll(path);
+
+  auto loaded = ReadSnapshotFile(path, SnapshotKind::kSearchCheckpoint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint, *loaded).ok());
+  EXPECT_EQ(ReadAll(path), first);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsNotFound) {
+  auto loaded = ReadSnapshotFile(TempPath("does_not_exist"),
+                                 SnapshotKind::kSearchCheckpoint);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotFileTest, TruncationIsDetectedAtEveryLength) {
+  const std::string path = TempPath("truncate");
+  SnapshotWriter w;
+  w.Str(1, "some payload long enough to truncate meaningfully");
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint, w.payload())
+          .ok());
+  const std::string intact = ReadAll(path);
+  for (size_t len = 0; len < intact.size(); ++len) {
+    WriteAll(path, intact.substr(0, len));
+    auto loaded = ReadSnapshotFile(path, SnapshotKind::kSearchCheckpoint);
+    EXPECT_FALSE(loaded.ok()) << "prefix of length " << len << " accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, EveryBitFlipIsDetected) {
+  const std::string path = TempPath("bitflip");
+  SnapshotWriter w;
+  w.U64(1, 0x1122334455667788ULL);
+  w.Str(2, "checkpoint");
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint, w.payload())
+          .ok());
+  const std::string intact = ReadAll(path);
+  for (size_t byte = 0; byte < intact.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = intact;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      WriteAll(path, damaged);
+      auto loaded = ReadSnapshotFile(path, SnapshotKind::kSearchCheckpoint);
+      EXPECT_FALSE(loaded.ok())
+          << "flip of byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, CrcMismatchNamesBothChecksums) {
+  const std::string path = TempPath("crcmsg");
+  SnapshotWriter w;
+  w.Str(1, "x");
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint, w.payload())
+          .ok());
+  std::string damaged = ReadAll(path);
+  // Flip a payload byte (past the 20-byte header, before the CRC footer).
+  damaged[damaged.size() - 5] =
+      static_cast<char>(damaged[damaged.size() - 5] ^ 0x01);
+  WriteAll(path, damaged);
+  auto loaded = ReadSnapshotFile(path, SnapshotKind::kSearchCheckpoint);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("CRC"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, WrongKindIsRejected) {
+  const std::string path = TempPath("kind");
+  SnapshotWriter w;
+  w.U32(1, 1);
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kSimulationCheckpoint, w.payload())
+          .ok());
+  auto loaded = ReadSnapshotFile(path, SnapshotKind::kSearchCheckpoint);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("kind"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, FutureFormatVersionIsRejected) {
+  const std::string path = TempPath("version");
+  SnapshotWriter w;
+  w.U32(1, 1);
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint, w.payload())
+          .ok());
+  std::string bytes = ReadAll(path);
+  // Bump the version word (offset 4..8) to a future value and re-stamp the
+  // CRC so only the version check can object.
+  bytes[4] = static_cast<char>(kSnapshotFormatVersion + 1);
+  const uint32_t crc = Crc32(std::string_view(bytes).substr(0, bytes.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + static_cast<size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  WriteAll(path, bytes);
+  auto loaded = ReadSnapshotFile(path, SnapshotKind::kSearchCheckpoint);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, AtomicWriteReplacesExistingFile) {
+  const std::string path = TempPath("atomic");
+  ASSERT_TRUE(AtomicWriteFile(path, "old contents").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "new").ok());
+  EXPECT_EQ(ReadAll(path), "new");
+  // No temp litter left beside the destination.
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(path + ".tmp"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHashTest, Crc32MatchesKnownVector) {
+  // The classic IEEE test vector.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+}
+
+TEST(SnapshotHashTest, Fnv1a64MatchesKnownVectorsAndChains) {
+  EXPECT_EQ(Fnv1a64(""), kFnv1a64Seed);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  // Chaining two halves equals hashing the whole.
+  EXPECT_EQ(Fnv1a64("world", Fnv1a64("hello")), Fnv1a64("helloworld"));
+}
+
+TEST(RngStateTest, RestoreStateReproducesExactStreamTail) {
+  Rng rng(12345);
+  for (int i = 0; i < 100; ++i) rng.NextDouble();  // advance
+  const auto state = rng.SaveState();
+  std::vector<double> tail;
+  for (int i = 0; i < 1000; ++i) tail.push_back(rng.NextDouble());
+
+  Rng restored(999);  // different seed: state restore must fully override
+  restored.RestoreState(state);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(restored.NextDouble(), tail[static_cast<size_t>(i)])
+        << "draw " << i;
+  }
+}
+
+TEST(RngStateTest, SaveStateDoesNotPerturbTheStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 10; ++i) {
+    (void)a.SaveState();
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace wfms

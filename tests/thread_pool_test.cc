@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <future>
 #include <numeric>
 #include <vector>
 
@@ -42,13 +43,15 @@ TEST(ThreadPoolTest, ParallelForZeroAndOneElement) {
 TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
   ThreadPool pool(2);
   auto future = pool.Submit([] { return 6 * 7; });
-  EXPECT_EQ(future.get(), 42);
+  ASSERT_TRUE(future.ok()) << future.status();
+  EXPECT_EQ(future->get(), 42);
 }
 
 TEST(ThreadPoolTest, SubmitInlineWhenSingleThreaded) {
   ThreadPool pool(1);
   auto future = pool.Submit([] { return std::string("inline"); });
-  EXPECT_EQ(future.get(), "inline");
+  ASSERT_TRUE(future.ok()) << future.status();
+  EXPECT_EQ(future->get(), "inline");
 }
 
 TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
@@ -56,10 +59,56 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < 64; ++i) {
-      (void)pool.Submit([&done] { done.fetch_add(1); });
+      ASSERT_TRUE(pool.Submit([&done] { done.fetch_add(1); }).ok());
     }
   }  // pool destruction joins workers after the queue is drained
   EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndResolvesFutures) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    auto submitted = pool.Submit([&done, i] {
+      done.fetch_add(1);
+      return i;
+    });
+    ASSERT_TRUE(submitted.ok()) << submitted.status();
+    futures.push_back(*std::move(submitted));
+  }
+  pool.Shutdown();
+  // Every task queued before Shutdown ran and its future resolved.
+  EXPECT_EQ(done.load(), 64);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(futures[static_cast<size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsErrorNotCrash) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  auto rejected = pool.Submit([] { return 1; });
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  auto future = pool.Submit([] { return 7; });
+  ASSERT_TRUE(future.ok());
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op, not a double-join
+  EXPECT_EQ(future->get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownSingleThreadedDoesNotRunInline) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  bool ran = false;
+  auto rejected = pool.Submit([&ran] { ran = true; });
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_FALSE(ran);
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
@@ -92,9 +141,11 @@ TEST(ThreadPoolTest, WorkerMaySubmitIntoItsOwnPool) {
   std::atomic<int> inner{0};
   auto outer = pool.Submit([&] {
     auto future = pool.Submit([&inner] { inner.fetch_add(1); });
-    future.wait();
+    ASSERT_TRUE(future.ok());
+    future->wait();
   });
-  outer.wait();
+  ASSERT_TRUE(outer.ok());
+  (*outer).wait();
   EXPECT_EQ(inner.load(), 1);
 }
 

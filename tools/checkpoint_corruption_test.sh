@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Checkpoint integrity: a truncated, bit-flipped, or stale checkpoint must
+# be rejected with a descriptive error (exit 4), never silently replayed.
+#
+# usage: checkpoint_corruption_test.sh <wfmsctl> <workdir>
+set -u
+
+WFMSCTL="$1"
+WORKDIR="$2"
+CK="$WORKDIR/corruption.wfsn"
+ERR="$WORKDIR/corruption.err"
+ARGS=(recommend --scenario ep --method greedy --max-replicas 4)
+
+fail() { echo "FAIL: $1"; [ -f "$ERR" ] && cat "$ERR"; exit 1; }
+
+make_checkpoint() {
+  rm -f "$CK"
+  "$WFMSCTL" "${ARGS[@]}" --checkpoint="$CK" --checkpoint-interval=0 \
+    > /dev/null 2>&1
+  [ -f "$CK" ] || fail "no checkpoint produced"
+}
+
+expect_rejected() {  # <label> <grep-pattern>
+  "$WFMSCTL" "${ARGS[@]}" --checkpoint="$CK" --resume > /dev/null 2> "$ERR"
+  local rc=$?
+  if [ "$rc" -ne 4 ]; then
+    fail "$1: expected exit 4 (rejected checkpoint), got $rc"
+  fi
+  if ! grep -qi "$2" "$ERR"; then
+    fail "$1: error does not mention '$2'"
+  fi
+}
+
+# 1. Truncation (a torn write the atomic rename is meant to prevent).
+make_checkpoint
+size=$(wc -c < "$CK")
+head -c $((size / 2)) "$CK" > "$CK.tmp" && mv "$CK.tmp" "$CK"
+expect_rejected "truncated checkpoint" "truncat"
+
+# 2. Single bit flip in the payload: caught by the CRC footer.
+make_checkpoint
+offset=25  # inside the payload (after the 20-byte header)
+byte=$(od -An -tu1 -j "$offset" -N 1 "$CK" | tr -d ' ')
+flipped=$((byte ^ 1))
+printf "$(printf '\\%03o' "$flipped")" | \
+  dd of="$CK" bs=1 seek="$offset" conv=notrunc 2> /dev/null
+expect_rejected "bit-flipped checkpoint" "CRC"
+
+# 3. Stale checkpoint: same file, different goals => fingerprint mismatch.
+make_checkpoint
+"$WFMSCTL" "${ARGS[@]}" --max-wait 0.2 --checkpoint="$CK" --resume \
+  > /dev/null 2> "$ERR"
+rc=$?
+[ "$rc" -eq 4 ] || fail "stale checkpoint: expected exit 4, got $rc"
+grep -qi "hash mismatch" "$ERR" || fail "stale: no fingerprint message"
+
+# 4. Wrong kind: a search must refuse a simulation checkpoint.
+rm -f "$CK"
+"$WFMSCTL" simulate --scenario ep --config 2,2,3 --duration 2000 \
+  --checkpoint="$CK" --checkpoint-events=500 > /dev/null 2>&1 || \
+  fail "simulate with checkpointing failed"
+expect_rejected "wrong snapshot kind" "kind"
+
+rm -f "$CK" "$ERR"
+echo "PASS: truncation, bit flip, staleness, and kind mismatch all rejected"

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs every bench_* experiment binary and archives machine-readable
+# results: each suite's output lands in <outdir>/BENCH_<name>.json, ready
+# for cross-commit comparison.
+#
+# The bench binaries are self-contained experiment programs, not a
+# benchmark framework: each prints its table to stdout, and those that
+# support it (e.g. bench_config_search) emit JSON when passed
+# --benchmark_format=json. This script always asks for JSON; if a suite's
+# output already parses as JSON it is archived verbatim, otherwise the
+# table text is wrapped as {"benchmark": ..., "format": "text",
+# "lines": [...]} so every BENCH_<name>.json is valid JSON either way.
+#
+# usage: run_benches.sh [build-dir] [outdir] [extra benchmark args...]
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR/bench_results}"
+shift $(( $# > 2 ? 2 : $# ))
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "no $BUILD_DIR/bench directory — configure with WFMS_BUILD_BENCHMARKS=ON" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+failures=0
+ran=0
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  out="$OUT_DIR/BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  if ! "$bench" --benchmark_format=json "$@" > "$out.raw"; then
+    echo "FAILED: $name" >&2
+    rm -f "$out.raw"
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! python3 - "$name" "$out.raw" "$out" << 'PYEOF'
+import json, sys
+name, raw_path, out_path = sys.argv[1:4]
+raw = open(raw_path, encoding="utf-8", errors="replace").read()
+try:
+    doc = json.loads(raw)
+except ValueError:
+    doc = {"benchmark": name, "format": "text", "lines": raw.splitlines()}
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
+  then
+    echo "FAILED to archive: $name" >&2
+    rm -f "$out.raw"
+    failures=$((failures + 1))
+    continue
+  fi
+  rm -f "$out.raw"
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "no benchmark binaries found under $BUILD_DIR/bench" >&2
+  exit 1
+fi
+echo "$ran suite(s) written to $OUT_DIR ($failures failure(s))"
+[ "$failures" -eq 0 ]

@@ -1,0 +1,44 @@
+# Simulator checkpoint/resume through the CLI: a checkpointed run and a
+# resumed run (which replays and validates the saved cursor) must print
+# byte-identical statistics, and a checkpoint from another scenario must
+# be refused.
+set(CK ${WORKDIR}/sim_resume.wfsn)
+file(REMOVE ${CK})
+
+execute_process(
+  COMMAND ${WFMSCTL} simulate --scenario ep --config 2,2,3
+          --duration 3000 --seed 5 --checkpoint=${CK}
+          --checkpoint-events=2000
+  OUTPUT_VARIABLE base_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "checkpointed simulate failed: ${rc}")
+endif()
+if(NOT EXISTS ${CK})
+  message(FATAL_ERROR "no simulation checkpoint written")
+endif()
+
+execute_process(
+  COMMAND ${WFMSCTL} simulate --scenario ep --config 2,2,3
+          --duration 3000 --seed 5 --checkpoint=${CK}
+          --checkpoint-events=2000 --resume
+  OUTPUT_VARIABLE resume_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed simulate failed: ${rc}")
+endif()
+if(NOT base_out STREQUAL resume_out)
+  message(FATAL_ERROR "resumed statistics differ from the baseline:\n"
+          "--- baseline ---\n${base_out}\n--- resumed ---\n${resume_out}")
+endif()
+
+# A different seed is a different trajectory: the cursor must be refused.
+execute_process(
+  COMMAND ${WFMSCTL} simulate --scenario ep --config 2,2,3
+          --duration 3000 --seed 6 --checkpoint=${CK} --resume
+  ERROR_VARIABLE stale_err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR "stale sim checkpoint accepted (exit ${rc})")
+endif()
+if(NOT stale_err MATCHES "hash mismatch")
+  message(FATAL_ERROR "stale rejection lacks fingerprint detail: ${stale_err}")
+endif()
+file(REMOVE ${CK})

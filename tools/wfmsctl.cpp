@@ -11,7 +11,9 @@
 //   wfmsctl simulate  --scenario ep --config 2,2,3 --duration 50000
 //   wfmsctl export    --scenario benchmark > my_scenario.wfms
 
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -22,6 +24,7 @@
 #include "avail/availability_model.h"
 #include "common/string_util.h"
 #include "common/time_units.h"
+#include "configtool/checkpoint.h"
 #include "configtool/tool.h"
 #include "markov/first_passage_moments.h"
 #include "markov/transient_distribution.h"
@@ -37,19 +40,36 @@ namespace {
 
 // Exit codes (documented in README): 0 success / goals met, 1 internal
 // error, 2 usage error, 3 goals not met, 4 bad input (parse or
-// validation), 5 numerical solve failure.
+// validation, including stale/corrupt checkpoints), 5 numerical solve
+// failure, 6 interrupted by SIGINT/SIGTERM with a final checkpoint
+// written (resume with --resume).
 int ExitCodeFor(const Status& status) {
   switch (status.code()) {
     case StatusCode::kParseError:
     case StatusCode::kInvalidArgument:
     case StatusCode::kNotFound:
     case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
       return 4;
     case StatusCode::kNumericError:
       return 5;
+    case StatusCode::kCancelled:
+      return 6;
     default:
       return 1;
   }
+}
+
+// SIGINT/SIGTERM raise this flag; the searches and the simulator poll it
+// at their wave/step/event boundaries, stop with best-so-far, and the
+// front end writes a final checkpoint before exiting with code 6.
+std::atomic<bool> g_cancel{false};
+
+void HandleTerminationSignal(int) { g_cancel.store(true); }
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, HandleTerminationSignal);
+  std::signal(SIGTERM, HandleTerminationSignal);
 }
 
 // Prints the full status chain (root cause plus every WithContext frame)
@@ -101,11 +121,28 @@ common flags:
   --duration / --warmup / --seed / --no-failures   (simulate)
   --faults    fault-schedule file: scripted crash/repair/outage events
               replacing the random failure processes (simulate)
+  --iterations annealing iteration count          (recommend, default 2000)
+  --verbose   also report cache statistics and per-candidate failure
+              causes (recommend)
+
+checkpointing (recommend, simulate):
+  --checkpoint PATH      write crash-safe checkpoints to PATH (atomic
+                         rename + CRC); on SIGINT/SIGTERM a final
+                         checkpoint is written and the exit code is 6
+  --checkpoint-interval  seconds between periodic search checkpoints
+                         (recommend, default 60; 0 = every boundary)
+  --checkpoint-events    events between simulator checkpoints
+                         (simulate, default 100000)
+  --resume               load PATH first: a search resumes from its
+                         memoized assessments; a simulation replays and
+                         verifies the saved cursor. A checkpoint from a
+                         different scenario/goals/options is rejected.
 
 exit codes:
   0 success / goals met     3 goals not met
-  1 internal error          4 bad input (parse or validation)
-  2 usage error             5 numerical solve failure
+  1 internal error          4 bad input (parse, validation, or a stale/
+  2 usage error               corrupt checkpoint)
+  5 numerical solve failure 6 interrupted; checkpoint written (resumable)
 )");
   return 2;
 }
@@ -219,8 +256,56 @@ int Recommend(const workflow::Environment& env, const Flags& flags) {
   constraints.max_replicas.assign(env.num_server_types(), max_replicas);
   const configtool::Goals goals = GoalsFromFlags(flags);
   const std::string method = flags.Get("method", "greedy");
+  configtool::AnnealingOptions annealing;
+  annealing.iterations =
+      static_cast<int>(flags.GetDouble("iterations", annealing.iterations));
   configtool::SearchOptions search;
   search.deadline_seconds = flags.GetDouble("deadline", 0.0);
+  search.cancel = &g_cancel;
+
+  // Crash-safe checkpointing: the memoized assessment cache is the
+  // search's durable progress (see configtool/checkpoint.h). `--resume`
+  // restores it; periodic and on-signal checkpoints persist it.
+  const std::string checkpoint_path = flags.Get("checkpoint", "");
+  uint64_t fingerprint = 0;
+  // Deterministic crash injection for the chaos harness: SIGKILL
+  // ourselves after the Nth checkpoint write (undocumented).
+  const int crash_after =
+      static_cast<int>(flags.GetDouble("crash-after-checkpoints", 0));
+  int checkpoints_written = 0;
+  Status checkpoint_error;
+  if (!checkpoint_path.empty()) {
+    fingerprint = configtool::SearchFingerprint(
+        env, goals, constraints, configtool::CostModel::Uniform(), method,
+        method == "annealing" ? &annealing : nullptr);
+    if (flags.Has("resume")) {
+      auto resumed = configtool::ResumeSearchFrom(*tool, checkpoint_path,
+                                                  fingerprint, method);
+      if (resumed.ok()) {
+        std::fprintf(stderr,
+                     "wfmsctl: resumed from %s (%zu cached assessments, "
+                     "%zu cached failures)\n",
+                     checkpoint_path.c_str(), resumed->cached_reports,
+                     resumed->cached_failures);
+      } else if (resumed.status().code() != StatusCode::kNotFound) {
+        return FailWith(resumed.status());  // stale or corrupt: refuse
+      }
+      // NotFound: nothing to resume yet; run from scratch.
+    }
+    search.checkpoint_interval_seconds =
+        flags.GetDouble("checkpoint-interval", 60.0);
+    search.on_checkpoint = [&] {
+      const Status written = configtool::WriteSearchCheckpoint(
+          checkpoint_path, *tool, fingerprint, method);
+      if (!written.ok() && checkpoint_error.ok()) {
+        checkpoint_error = written;  // surfaced after the search returns
+      }
+      if (written.ok() && crash_after > 0 &&
+          ++checkpoints_written >= crash_after) {
+        std::raise(SIGKILL);
+      }
+    };
+  }
 
   Result<configtool::SearchResult> result =
       Status::InvalidArgument("unknown --method '" + method + "'");
@@ -230,12 +315,48 @@ int Recommend(const workflow::Environment& env, const Flags& flags) {
   } else if (method == "exhaustive") {
     result = tool->ExhaustiveMinCost(goals, constraints, cost, search);
   } else if (method == "annealing") {
-    result = tool->AnnealingMinCost(goals, constraints, cost, {}, search);
+    result = tool->AnnealingMinCost(goals, constraints, cost, annealing,
+                                    search);
   } else if (method == "bnb") {
     result = tool->BranchAndBoundMinCost(goals, constraints, cost, search);
   }
   if (!result.ok()) return FailWith(result.status());
+  if (!checkpoint_error.ok()) return FailWith(checkpoint_error);
+
+  const bool cancelled =
+      result->termination.code() == StatusCode::kCancelled;
+  if (!checkpoint_path.empty() && cancelled) {
+    // Final checkpoint carries the best-so-far so an operator can inspect
+    // it without resuming.
+    const Status written = configtool::WriteSearchCheckpoint(
+        checkpoint_path, *tool, fingerprint, method, &*result);
+    if (!written.ok()) return FailWith(written);
+    std::fprintf(stderr, "wfmsctl: interrupted; checkpoint written to %s\n",
+                 checkpoint_path.c_str());
+  }
   std::printf("%s", tool->RenderRecommendation(*result).c_str());
+  if (flags.Has("verbose")) {
+    const auto stats = tool->cache_stats();
+    std::printf(
+        "cache: %zu entries, %zu hits, %zu misses (%d of %d evaluations "
+        "served from cache)\n",
+        stats.entries, stats.hits, stats.misses, result->cache_hits,
+        result->evaluations);
+    if (!result->failed_candidates.empty()) {
+      std::printf("failed candidates (%zu):\n",
+                  result->failed_candidates.size());
+      for (const configtool::FailedCandidate& failed :
+           result->failed_candidates) {
+        std::printf("  %s: %s [%s, solver rung: %s]\n",
+                    failed.config.ToString().c_str(),
+                    failed.error.ToString().c_str(),
+                    failed.numerical ? "numerical" : "structural",
+                    failed.retried_exact ? "iterative cascade + exact LU retry"
+                                         : "iterative cascade");
+      }
+    }
+  }
+  if (cancelled) return 6;
   return result->satisfied ? 0 : 3;
 }
 
@@ -252,6 +373,11 @@ int Simulate(const workflow::Environment& env, const Flags& flags) {
   if (flags.Has("bind-instances")) {
     options.dispatch = sim::DispatchPolicy::kPerInstanceBinding;
   }
+  options.checkpoint_path = flags.Get("checkpoint", "");
+  options.checkpoint_every_events =
+      static_cast<int64_t>(flags.GetDouble("checkpoint-events", 100000.0));
+  options.resume = flags.Has("resume");
+  options.cancel = &g_cancel;
   if (flags.Has("faults")) {
     const std::string path = flags.Get("faults", "");
     std::ifstream file(path);
@@ -353,7 +479,11 @@ int Main(int argc, char** argv) {
       return Usage();
     }
     arg = arg.substr(2);
-    if (arg == "no-failures" || arg == "bind-instances") {
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {  // --flag=value form
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (arg == "no-failures" || arg == "bind-instances" ||
+               arg == "resume" || arg == "verbose") {
       flags.values[arg] = "1";
     } else if (i + 1 < argc) {
       flags.values[arg] = argv[++i];
@@ -363,6 +493,7 @@ int Main(int argc, char** argv) {
     }
   }
 
+  InstallSignalHandlers();
   auto env = LoadScenario(flags.Get("scenario", "ep"));
   if (!env.ok()) return FailWith(env.status());
   if (command == "analyze") return Analyze(*env);
