@@ -1,9 +1,12 @@
 #include "avail/availability_model.h"
 
+#include <chrono>
 #include <cmath>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/time_units.h"
+#include "common/trace.h"
 #include "markov/birth_death.h"
 #include "markov/ctmc_transient.h"
 #include "markov/ctmc.h"
@@ -123,6 +126,25 @@ Result<double> AvailabilityModel::PointAvailability(
 Result<AvailabilityReport> AvailabilityModel::Evaluate(
     const Configuration& config, const linalg::Vector* steady_state_guess,
     const markov::SteadyStateOptions* solver_override) const {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& evaluations =
+      registry.GetCounter("wfms_avail_evaluations_total");
+  static metrics::Counter& product_form =
+      registry.GetCounter("wfms_avail_product_form_total");
+  static metrics::Counter& ctmc_solves =
+      registry.GetCounter("wfms_avail_ctmc_solves_total");
+  static metrics::Histogram& evaluate_seconds =
+      registry.GetHistogram("wfms_avail_evaluate_seconds");
+  evaluations.Increment();
+  trace::TraceSpan span("avail/evaluate", "avail");
+  const auto start = std::chrono::steady_clock::now();
+  const auto observe_elapsed = [&start]() {
+    evaluate_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+  };
+
   const size_t k = num_types();
   WFMS_RETURN_NOT_OK(config.Validate(k));
   WFMS_ASSIGN_OR_RETURN(MixedRadixSpace space,
@@ -131,8 +153,10 @@ Result<AvailabilityReport> AvailabilityModel::Evaluate(
   AvailabilityReport report;
   Vector pi;
   if (options_.use_product_form) {
+    product_form.Increment();
     WFMS_ASSIGN_OR_RETURN(pi, ProductFormStateProbabilities(config, space));
   } else {
+    ctmc_solves.Increment();
     WFMS_ASSIGN_OR_RETURN(markov::Ctmc chain, BuildCtmc(config, space));
     markov::SteadyStateOptions solver_options =
         solver_override != nullptr ? *solver_override : options_.solver;
@@ -169,6 +193,7 @@ Result<AvailabilityReport> AvailabilityModel::Evaluate(
   report.state_probabilities = std::move(pi);
   report.space = std::move(space);
   report.expected_up_servers = std::move(expected_up);
+  observe_elapsed();
   return report;
 }
 

@@ -1,6 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 
 namespace wfms {
 
@@ -22,6 +26,23 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+// Applies WFMS_LOG_LEVEL before main() runs.
+[[maybe_unused]] const bool g_env_level_applied = []() {
+  InitLogLevelFromEnv();
+  return true;
+}();
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
@@ -30,13 +51,53 @@ void SetLogLevel(LogLevel level) {
   g_log_level.store(level, std::memory_order_relaxed);
 }
 
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("WFMS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  struct Alias {
+    const char* name;
+    LogLevel level;
+  };
+  static constexpr Alias kAliases[] = {
+      {"debug", LogLevel::kDebug},  {"0", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},    {"1", LogLevel::kInfo},
+      {"warning", LogLevel::kWarning}, {"warn", LogLevel::kWarning},
+      {"2", LogLevel::kWarning},    {"error", LogLevel::kError},
+      {"3", LogLevel::kError},      {"fatal", LogLevel::kFatal},
+      {"4", LogLevel::kFatal},
+  };
+  for (const Alias& alias : kAliases) {
+    if (EqualsIgnoreCase(env, alias.name)) {
+      SetLogLevel(alias.level);
+      return;
+    }
+  }
+  // Invalid values are ignored rather than fatal: a bad env var must not
+  // take down an otherwise healthy run.
+}
+
 namespace internal {
+
+int ThreadTag() {
+  static std::atomic<int> next_tag{0};
+  thread_local const int tag = next_tag.fetch_add(1) + 1;
+  return tag;
+}
+
+double MonotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - origin).count();
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
       enabled_(level >= GetLogLevel() || level == LogLevel::kFatal) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+    char timestamp[32];
+    std::snprintf(timestamp, sizeof(timestamp), "%.6f", MonotonicSeconds());
+    stream_ << "[" << LevelName(level) << " " << timestamp << " t"
+            << ThreadTag() << " " << file << ":" << line << "] ";
   }
 }
 

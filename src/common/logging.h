@@ -1,7 +1,15 @@
 // Minimal leveled logging and check macros used throughout the library.
+//
+// Each line is prefixed with the level, a monotonic timestamp (seconds
+// since process start), a small per-thread tag, and the call site:
+//   [INFO 12.345678 t3 steady_state.cc:142] ...
+// The minimum level defaults to warning and can be set at startup via the
+// WFMS_LOG_LEVEL environment variable (debug|info|warning|error|fatal, or
+// 0-4) or at runtime via SetLogLevel().
 #ifndef WFMS_COMMON_LOGGING_H_
 #define WFMS_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -15,7 +23,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Re-reads WFMS_LOG_LEVEL and applies it (no-op when unset or invalid).
+/// Runs automatically at process start; exposed for tests.
+void InitLogLevelFromEnv();
+
 namespace internal {
+
+/// Small dense tag for the calling thread (1, 2, 3, ... in first-use
+/// order) — stable for the thread's lifetime, reused nowhere. Used in log
+/// prefixes and as the trace-event tid.
+int ThreadTag();
+
+/// Seconds since process start on the monotonic clock.
+double MonotonicSeconds();
 
 /// Accumulates one log line and emits it (to stderr) on destruction.
 /// Fatal messages abort the process after emitting.
@@ -54,6 +74,21 @@ class NullLog {
 #define WFMS_LOG(level)                                              \
   ::wfms::internal::LogMessage(::wfms::LogLevel::k##level, __FILE__, \
                                __LINE__)
+
+/// Emits on the 1st, (n+1)th, (2n+1)th, ... execution of the statement —
+/// lets solver inner loops log without flooding. Each textual occurrence
+/// has its own counter (the lambda's static is unique per expansion).
+/// Expands to a single statement, so it is safe in unbraced if/else.
+#define WFMS_LOG_EVERY_N(level, n)                                        \
+  for (bool wfms_log_every_n_fire = ([&]() -> bool {                      \
+         static ::std::atomic<unsigned long long> wfms_occurrences{0};    \
+         return wfms_occurrences.fetch_add(                               \
+                    1, ::std::memory_order_relaxed) %                     \
+                    static_cast<unsigned long long>((n)) ==               \
+                0;                                                        \
+       })();                                                              \
+       wfms_log_every_n_fire; wfms_log_every_n_fire = false)              \
+  WFMS_LOG(level)
 
 /// Aborts with a message when `condition` is false. Active in all builds:
 /// the checks guard numerical invariants whose violation would silently

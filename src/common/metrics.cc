@@ -1,0 +1,393 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wfms::metrics {
+
+namespace {
+
+// %.17g round-trips doubles; JSON has no Infinity/NaN literals, so clamp
+// non-finite values to the largest finite double (metrics should never
+// produce them, but a malformed export must not poison the whole file).
+void AppendJsonNumber(std::string& out, double value) {
+  if (std::isnan(value)) value = 0.0;
+  if (std::isinf(value)) {
+    value = value > 0 ? std::numeric_limits<double>::max()
+                      : std::numeric_limits<double>::lowest();
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void AppendPromNumber(std::string& out, double value) {
+  // Prometheus accepts +Inf/-Inf/NaN spellings.
+  if (std::isnan(value)) {
+    out += "NaN";
+  } else if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::UpdateMax(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < value && !value_.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negative, or NaN
+  int exponent = 0;
+  const double fraction = std::frexp(value, &exponent);  // in [0.5, 1)
+  if (exponent <= kMinExponent) return 1;  // underflow: lowest finite bucket
+  if (exponent > kMaxExponent) return kNumBuckets - 1;  // overflow
+  int sub = static_cast<int>((fraction - 0.5) * 2.0 * kSubBucketsPerOctave);
+  sub = std::min(sub, kSubBucketsPerOctave - 1);
+  return 1 + (exponent - 1 - kMinExponent) * kSubBucketsPerOctave + sub;
+}
+
+double Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0.0;
+  if (index >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExponent);
+  const int linear = index - 1;
+  const int exponent = kMinExponent + linear / kSubBucketsPerOctave;
+  const int sub = linear % kSubBucketsPerOctave;
+  return std::ldexp(0.5 + sub / (2.0 * kSubBucketsPerOctave), exponent + 1);
+}
+
+double Histogram::BucketUpperBound(int index) {
+  if (index <= 0) return 0.0;
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(index + 1);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    // First observation seeds both extremes; racing observers fall through
+    // to the CAS loops below, which only tighten the bounds.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  double current_min = min_.load(std::memory_order_relaxed);
+  while (value < current_min &&
+         !min_.compare_exchange_weak(current_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  double current_max = max_.load(std::memory_order_relaxed);
+  while (value > current_max &&
+         !max_.compare_exchange_weak(current_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  return any_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::max() const {
+  return any_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Per-bucket counts are read without a barrier; a concurrent Observe may
+  // or may not be visible, which only shifts the estimate by one sample.
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      const double lo = BucketLowerBound(i);
+      double hi = BucketUpperBound(i);
+      const double observed_min = min();
+      const double observed_max = max();
+      if (std::isinf(hi)) hi = std::max(observed_max, lo);
+      const double fraction =
+          counts[i] == 0 ? 0.0
+                         : (target - cumulative) / static_cast<double>(counts[i]);
+      const double estimate = lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+      // Clamp to the exactly-tracked observed range: a sample quantile can
+      // never leave [min, max], but the interpolation can when every
+      // observation sits in a magnitude-clamped edge bucket whose nominal
+      // bounds don't contain it.
+      return std::clamp(estimate, observed_min, observed_max);
+    }
+    cumulative = next;
+  }
+  return max();
+}
+
+std::vector<HistogramBucket> Histogram::NonEmptyBuckets() const {
+  std::vector<HistogramBucket> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.push_back(HistogramBucket{BucketUpperBound(i), n});
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  any_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name,
+                                  uint64_t fallback) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name, double fallback) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? fallback : it->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  const auto it = histograms.find(std::string(name));
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    AppendJsonNumber(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\n";
+    out += "      \"count\": " + std::to_string(h.count) + ",\n";
+    out += "      \"sum\": ";
+    AppendJsonNumber(out, h.sum);
+    out += ",\n      \"min\": ";
+    AppendJsonNumber(out, h.min);
+    out += ",\n      \"max\": ";
+    AppendJsonNumber(out, h.max);
+    out += ",\n      \"p50\": ";
+    AppendJsonNumber(out, h.p50);
+    out += ",\n      \"p90\": ";
+    AppendJsonNumber(out, h.p90);
+    out += ",\n      \"p99\": ";
+    AppendJsonNumber(out, h.p99);
+    out += ",\n      \"buckets\": [";
+    bool first_bucket = true;
+    for (const HistogramBucket& bucket : h.buckets) {
+      out += first_bucket ? "\n" : ",\n";
+      first_bucket = false;
+      out += "        {\"le\": ";
+      if (std::isinf(bucket.upper_bound)) {
+        // JSON has no Infinity literal; the overflow bucket's bound is the
+        // string "+Inf", matching the Prometheus spelling.
+        out += "\"+Inf\"";
+      } else {
+        AppendJsonNumber(out, bucket.upper_bound);
+      }
+      out += ", \"count\": " + std::to_string(bucket.count) + "}";
+    }
+    out += first_bucket ? "]\n" : "\n      ]\n";
+    out += "    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  out.reserve(1024);
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    AppendPromNumber(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    bool has_inf = false;
+    for (const HistogramBucket& bucket : h.buckets) {
+      cumulative += bucket.count;
+      out += name + "_bucket{le=\"";
+      AppendPromNumber(out, bucket.upper_bound);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+      if (std::isinf(bucket.upper_bound)) has_inf = true;
+    }
+    if (!has_inf) {
+      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += name + "_sum ";
+    AppendPromNumber(out, h.sum);
+    out += "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: handles cached across the process (including in static
+  // destructors and detached threads) must never dangle.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::SanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kNumShards];
+}
+
+template <typename T>
+T& MetricsRegistry::GetMetric(std::string_view name,
+                              std::unique_ptr<T> Entry::* member,
+                              const char* kind) {
+  const std::string sanitized = SanitizeName(name);
+  Shard& shard = ShardFor(sanitized);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Entry& entry = shard.metrics[sanitized];
+  if (!(entry.*member)) {
+    if (entry.counter || entry.gauge || entry.histogram) {
+      WFMS_LOG(Fatal) << "metric '" << sanitized
+                      << "' already registered as a different kind "
+                      << "(requested " << kind << ")";
+    }
+    entry.*member = std::make_unique<T>();
+  }
+  return *(entry.*member);
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  return GetMetric<Counter>(name, &Entry::counter, "counter");
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  return GetMetric<Gauge>(name, &Entry::gauge, "gauge");
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetMetric<Histogram>(name, &Entry::histogram, "histogram");
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, entry] : shard.metrics) {
+      if (entry.counter) {
+        snapshot.counters[name] = entry.counter->value();
+      } else if (entry.gauge) {
+        snapshot.gauges[name] = entry.gauge->value();
+      } else if (entry.histogram) {
+        HistogramSnapshot h;
+        h.count = entry.histogram->count();
+        h.sum = entry.histogram->sum();
+        h.min = entry.histogram->min();
+        h.max = entry.histogram->max();
+        h.p50 = entry.histogram->Quantile(0.50);
+        h.p90 = entry.histogram->Quantile(0.90);
+        h.p99 = entry.histogram->Quantile(0.99);
+        h.buckets = entry.histogram->NonEmptyBuckets();
+        snapshot.histograms[name] = std::move(h);
+      }
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [name, entry] : shard.metrics) {
+      (void)name;
+      if (entry.counter) entry.counter->Reset();
+      if (entry.gauge) entry.gauge->Reset();
+      if (entry.histogram) entry.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace wfms::metrics

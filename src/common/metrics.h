@@ -1,0 +1,208 @@
+// Process-wide metrics: named counters, gauges, and log-linear histograms
+// behind a lock-sharded registry. Designed for solver inner loops:
+//  - recording is wait-free after registration (relaxed atomic fetch-add for
+//    counters and histogram buckets, a CAS loop for double accumulators);
+//  - no allocation after registration: handles returned by the registry are
+//    stable for the life of the process and histograms use a fixed bucket
+//    array, so Observe() never allocates;
+//  - registration is a sharded map lookup under a mutex — cache the handle
+//    (typically in a function-local static) rather than re-looking it up.
+//
+// Naming scheme (DESIGN.md §8): `wfms_<module>_<name>` with the unit as a
+// suffix — `_total` for counters, `_seconds` for latency histograms, bare
+// nouns for gauges (`wfms_configtool_frontier_depth`). Names are sanitized
+// to Prometheus' charset at registration.
+//
+// These types live in wfms::metrics (not wfms) because the statistics
+// helpers already define an unrelated wfms::Histogram.
+#ifndef WFMS_COMMON_METRICS_H_
+#define WFMS_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfms::metrics {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, utilization, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  /// Keeps the running maximum of everything Set/Update'd through it.
+  void UpdateMax(double value);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One exported histogram bucket: observations in [lower, upper_bound).
+/// Bucket counts are per-bucket (non-cumulative); the overflow bucket has
+/// upper_bound = +infinity. The Prometheus export labels buckets with
+/// le=upper_bound, inclusive-vs-exclusive at the exact boundary being
+/// well inside the bucketing error.
+struct HistogramBucket {
+  double upper_bound = 0.0;
+  uint64_t count = 0;
+};
+
+/// Log-linear (HDR-style) histogram over positive doubles. Buckets are 16
+/// linear sub-buckets per power of two across 2^-40 .. 2^40, giving a
+/// worst-case relative quantile error of 1/16 (~6.25%) from bucketing
+/// alone (less in practice, since quantiles interpolate within a bucket).
+/// Non-positive and NaN observations land in a dedicated zero bucket.
+/// Observe() is a handful of relaxed atomic adds; quantiles are computed
+/// only at snapshot time by interpolating within the covering bucket.
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 16;
+  static constexpr int kMinExponent = -40;  // frexp exponent, value >= 2^-41
+  static constexpr int kMaxExponent = 40;   // values >= 2^40 overflow
+  // zero bucket + log-linear range + overflow bucket.
+  static constexpr int kNumBuckets =
+      2 + (kMaxExponent - kMinExponent) * kSubBucketsPerOctave;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+
+  /// Interpolated quantile estimate, q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Non-empty buckets in ascending order (the zero bucket reports
+  /// upper_bound = 0). Allocates; snapshot/export path only.
+  std::vector<HistogramBucket> NonEmptyBuckets() const;
+
+  void Reset();
+
+  /// Bucket index covering `value`; exposed for tests.
+  static int BucketIndex(double value);
+  /// Exclusive upper bound of bucket `index` (+inf for the overflow bucket).
+  static double BucketUpperBound(int index);
+  /// Inclusive lower bound of bucket `index` (0 for the zero bucket).
+  static double BucketLowerBound(int index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min/max are tracked exactly so snapshot quantiles can be clamped to the
+  // observed range (tightens p99 inside the top occupied bucket).
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+};
+
+/// Point-in-time copy of one histogram, precomputed for export.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::vector<HistogramBucket> buckets;  // non-empty, ascending
+};
+
+/// Point-in-time copy of every registered metric, in sorted name order (the
+/// export is deterministic for a deterministic run).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value by name; `fallback` when absent.
+  uint64_t counter(std::string_view name, uint64_t fallback = 0) const;
+  /// Gauge value by name; `fallback` when absent.
+  double gauge(std::string_view name, double fallback = 0.0) const;
+  /// Histogram by name; nullptr when absent.
+  const HistogramSnapshot* histogram(std::string_view name) const;
+
+  /// JSON document: {"schema_version": 1, "counters": {...}, "gauges":
+  /// {...}, "histograms": {...}}. Validated by
+  /// tools/schemas/metrics_schema.json.
+  std::string ToJson() const;
+  /// Prometheus text exposition format (counters, gauges, and cumulative
+  /// histogram series with `le` labels, `_sum`, `_count`).
+  std::string ToPrometheusText() const;
+};
+
+/// Owner of every metric. Handles returned by Get* are valid for the
+/// registry's lifetime; Global() is a leaked singleton, so handles obtained
+/// from it never dangle (safe to use from static destructors).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the instrumented pipeline.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the metric. The name is sanitized (characters outside
+  /// [a-zA-Z0-9_:] become '_'; a leading digit gains a '_' prefix). Looking
+  /// up an existing name with a different metric kind aborts — a name maps
+  /// to exactly one kind for the life of the process.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric, keeping registrations (handles stay valid).
+  void ResetAll();
+
+  static std::string SanitizeName(std::string_view name);
+
+ private:
+  struct Entry {
+    // Exactly one is non-null; which one defines the metric's kind.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Entry, std::less<>> metrics;
+  };
+  static constexpr size_t kNumShards = 8;
+
+  Shard& ShardFor(std::string_view name);
+  /// Finds or creates the `member` slot of the named entry under the shard
+  /// lock; aborts if the name is already registered as another kind.
+  template <typename T>
+  T& GetMetric(std::string_view name, std::unique_ptr<T> Entry::* member,
+               const char* kind);
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace wfms::metrics
+
+#endif  // WFMS_COMMON_METRICS_H_

@@ -1,11 +1,50 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
+
 namespace wfms {
+
+namespace {
+
+metrics::Counter& TasksSubmitted() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_threadpool_tasks_submitted_total");
+  return counter;
+}
+
+metrics::Counter& TasksExecuted() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_threadpool_tasks_executed_total");
+  return counter;
+}
+
+metrics::Histogram& QueueWaitSeconds() {
+  static metrics::Histogram& histogram = metrics::MetricsRegistry::Global()
+      .GetHistogram("wfms_threadpool_queue_wait_seconds");
+  return histogram;
+}
+
+// Wraps a queued task so its time-in-queue is observed at dequeue. Inline
+// executions (single-lane pool) record a zero wait instead.
+std::function<void()> TimedTask(std::function<void()> task) {
+  const auto enqueued = std::chrono::steady_clock::now();
+  return [enqueued, task = std::move(task)]() {
+    QueueWaitSeconds().Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      enqueued)
+            .count());
+    TasksExecuted().Increment();
+    task();
+  };
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
@@ -42,10 +81,13 @@ Status ThreadPool::Enqueue(std::function<void()> task) {
     if (workers_.empty()) {
       run_inline = true;  // single-lane pool: deterministic inline execution
     } else {
-      queue_.push_back(std::move(task));
+      queue_.push_back(TimedTask(std::move(task)));
     }
   }
+  TasksSubmitted().Increment();
   if (run_inline) {
+    QueueWaitSeconds().Observe(0.0);
+    TasksExecuted().Increment();
     task();
     return Status::OK();
   }
@@ -106,9 +148,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t h = 0; h < helpers; ++h) {
-      queue_.push_back([state, drain]() { drain(state); });
+      queue_.push_back(TimedTask([state, drain]() { drain(state); }));
     }
   }
+  TasksSubmitted().Increment(helpers);
   work_available_.notify_all();
 
   drain(state);

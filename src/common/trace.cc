@@ -1,0 +1,247 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace wfms::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct Event {
+  std::string name;
+  const char* category;  // string literal, stored by pointer
+  double ts_us;          // since process start (monotonic)
+  double dur_us;         // 0 for instant events
+  int tid;
+  char phase;  // 'X' complete, 'i' instant
+};
+
+// One per live recording thread. The buffer's own mutex is uncontended in
+// steady state (only its owner touches it) and taken by the exporter or by
+// thread teardown; both also hold the collector mutex, always acquired
+// first, so lock order is collector -> buffer.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+};
+
+class Collector {
+ public:
+  static Collector& Get() {
+    // Leaked: thread_local destructors of late-exiting threads run after
+    // static destructors and must still find the collector alive.
+    static Collector* const collector = new Collector();
+    return *collector;
+  }
+
+  ThreadBuffer* Register() {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = buffer.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::move(buffer));
+    return raw;
+  }
+
+  // Called from a thread_local destructor when a recording thread exits:
+  // its events move to the orphan list so they survive until export.
+  void Orphan(ThreadBuffer* buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+      if (it->get() != buffer) continue;
+      {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        orphans_.insert(orphans_.end(),
+                        std::make_move_iterator(buffer->events.begin()),
+                        std::make_move_iterator(buffer->events.end()));
+      }
+      buffers_.erase(it);
+      return;
+    }
+  }
+
+  std::vector<Event> CopyAll() const {
+    std::vector<Event> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = orphans_;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+    return out;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphans_.clear();
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->events.clear();
+    }
+  }
+
+  size_t EventCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = orphans_.size();
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      n += buffer->events.size();
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<Event> orphans_;
+};
+
+// Thread-local handle whose destructor orphans the buffer on thread exit.
+struct TlsHandle {
+  ThreadBuffer* buffer = nullptr;
+  ~TlsHandle() {
+    if (buffer != nullptr) Collector::Get().Orphan(buffer);
+  }
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local TlsHandle handle;
+  if (handle.buffer == nullptr) handle.buffer = Collector::Get().Register();
+  return *handle.buffer;
+}
+
+void Record(Event event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendMicros(std::string& out, double us) {
+  if (!std::isfinite(us) || us < 0.0) us = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool IsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+TraceSpan::TraceSpan(std::string_view name, const char* category) {
+  if (!IsEnabled()) return;
+  name_ = std::string(name);
+  category_ = category;
+  start_us_ = internal::MonotonicSeconds() * 1e6;
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0.0) return;  // was disabled at construction
+  const double end_us = internal::MonotonicSeconds() * 1e6;
+  Record(Event{std::move(name_), category_, start_us_,
+               std::max(0.0, end_us - start_us_), internal::ThreadTag(),
+               'X'});
+}
+
+void Instant(std::string_view name, const char* category) {
+  if (!IsEnabled()) return;
+  Record(Event{std::string(name), category,
+               internal::MonotonicSeconds() * 1e6, 0.0,
+               internal::ThreadTag(), 'i'});
+}
+
+std::string ExportJson() {
+  std::vector<Event> events = Collector::Get().CopyAll();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::string out;
+  out.reserve(64 + events.size() * 96);
+  out += "{\n\"traceEvents\": [";
+  bool first = true;
+  for (const Event& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    AppendJsonEscaped(out, event.name);
+    out += "\", \"cat\": \"";
+    AppendJsonEscaped(out, event.category != nullptr ? event.category
+                                                     : "wfms");
+    out += "\", \"ph\": \"";
+    out += event.phase;
+    out += "\", \"ts\": ";
+    AppendMicros(out, event.ts_us);
+    if (event.phase == 'X') {
+      out += ", \"dur\": ";
+      AppendMicros(out, event.dur_us);
+    } else {
+      out += ", \"s\": \"t\"";  // instant events: thread scope
+    }
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(event.tid) + "}";
+  }
+  out += first ? "],\n" : "\n],\n";
+  out += "\"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+Status WriteJson(const std::string& path) {
+  const std::string json = ExportJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != json.size() || !closed) {
+    return Status::Internal("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+void Clear() { Collector::Get().Clear(); }
+
+size_t event_count() { return Collector::Get().EventCount(); }
+
+}  // namespace wfms::trace

@@ -1,0 +1,66 @@
+// Scoped trace spans emitting Chrome trace_event JSON ("complete" events,
+// ph:"X") that Perfetto and chrome://tracing open directly.
+//
+// Recording is off by default: every span checks a process-wide atomic flag
+// and is a no-op (no clock read, no buffer touch) when disabled. When
+// enabled, each thread appends finished spans to its own buffer under its
+// own mutex — uncontended except while an export is copying it — so spans
+// from the parallel search lanes never serialize against each other.
+// Buffers of exited threads are folded into an orphan list so their spans
+// survive until export.
+//
+// Span naming convention (DESIGN.md §8): `<module>/<operation>`, e.g.
+// "configtool/greedy_search", "markov/steady_state". The category string
+// must be a string literal (it is stored by pointer).
+#ifndef WFMS_COMMON_TRACE_H_
+#define WFMS_COMMON_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wfms::trace {
+
+/// Turns recording on/off process-wide. Spans already open keep the state
+/// they saw at construction.
+void SetEnabled(bool enabled);
+bool IsEnabled();
+
+/// RAII scoped timer: records one complete event from construction to
+/// destruction on the current thread's buffer. No-op while disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, const char* category = "wfms");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_ = nullptr;
+  double start_us_ = -1.0;  // < 0 marks a disabled (no-op) span
+};
+
+/// Records a zero-duration instant event (ph:"i"). No-op while disabled.
+void Instant(std::string_view name, const char* category = "wfms");
+
+/// All events recorded so far as a trace_event JSON document:
+/// {"traceEvents": [...], "displayTimeUnit": "ms"}. Events are sorted by
+/// timestamp. Does not clear the buffers.
+std::string ExportJson();
+
+/// Writes ExportJson() to `path`.
+Status WriteJson(const std::string& path);
+
+/// Drops every recorded event (tests).
+void Clear();
+
+/// Number of events currently buffered.
+size_t event_count();
+
+}  // namespace wfms::trace
+
+#endif  // WFMS_COMMON_TRACE_H_

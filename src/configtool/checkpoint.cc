@@ -1,8 +1,11 @@
 #include "configtool/checkpoint.h"
 
+#include <chrono>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/snapshot.h"
+#include "common/trace.h"
 #include "workflow/environment_io.h"
 
 namespace wfms::configtool {
@@ -137,6 +140,21 @@ Status WriteSearchCheckpoint(const std::string& path,
                              const ConfigurationTool& tool,
                              uint64_t fingerprint, std::string_view strategy,
                              const SearchResult* best_so_far) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& writes =
+      registry.GetCounter("wfms_configtool_checkpoint_writes_total");
+  static metrics::Histogram& write_seconds =
+      registry.GetHistogram("wfms_configtool_checkpoint_write_seconds");
+  writes.Increment();
+  trace::TraceSpan span("configtool/checkpoint_write", "configtool");
+  const auto start = std::chrono::steady_clock::now();
+  const auto observe = [&start]() {
+    write_seconds.Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+  };
+
   const ConfigurationTool::CacheDump dump = tool.DumpAssessmentCache();
   SnapshotWriter w;
   w.U64(kTagFingerprint, fingerprint);
@@ -161,9 +179,11 @@ Status WriteSearchCheckpoint(const std::string& path,
     w.U32(kTagFailureFlags, (failure.numerical ? 1u : 0u) |
                                 (failure.retried_exact ? 2u : 0u));
   }
-  return WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint,
-                           w.payload())
-      .WithContext("writing search checkpoint");
+  Status status = WriteSnapshotFile(path, SnapshotKind::kSearchCheckpoint,
+                                    w.payload())
+                      .WithContext("writing search checkpoint");
+  observe();
+  return status;
 }
 
 Result<CheckpointMetadata> ResumeSearchFrom(const ConfigurationTool& tool,

@@ -12,13 +12,69 @@
 #include <set>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/time_units.h"
+#include "common/trace.h"
 #include "markov/state_space.h"
 
 namespace wfms::configtool {
 
 using workflow::Configuration;
+
+namespace {
+
+// Registry handles for the search pipeline, resolved once. Cache-level
+// counters are mirrored at the exact sites that maintain the per-tool
+// CacheStats atomics, so stderr accounting and --metrics-out exports are
+// two views of the same increments and can never disagree.
+metrics::Counter& CacheHitsTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_configtool_cache_hits_total");
+  return counter;
+}
+metrics::Counter& CacheMissesTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_configtool_cache_misses_total");
+  return counter;
+}
+metrics::Gauge& CacheEntriesGauge() {
+  static metrics::Gauge& gauge = metrics::MetricsRegistry::Global()
+      .GetGauge("wfms_configtool_cache_entries");
+  return gauge;
+}
+metrics::Counter& CandidatesAssessedTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_configtool_candidates_assessed_total");
+  return counter;
+}
+metrics::Counter& SearchCacheHitsTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_configtool_search_cache_hits_total");
+  return counter;
+}
+metrics::Counter& CandidatesFailedTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_configtool_candidates_failed_total");
+  return counter;
+}
+metrics::Counter& CandidatesPrunedTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_configtool_candidates_pruned_total");
+  return counter;
+}
+metrics::Histogram& AssessmentSeconds() {
+  static metrics::Histogram& histogram = metrics::MetricsRegistry::Global()
+      .GetHistogram("wfms_configtool_assessment_seconds");
+  return histogram;
+}
+metrics::Gauge& FrontierDepthGauge() {
+  static metrics::Gauge& gauge = metrics::MetricsRegistry::Global()
+      .GetGauge("wfms_configtool_frontier_depth");
+  return gauge;
+}
+
+}  // namespace
 
 Status SearchConstraints::Validate(size_t num_types) const {
   if (!min_replicas.empty() && min_replicas.size() != num_types) {
@@ -74,6 +130,7 @@ struct ConfigurationTool::AssessmentCache {
       performability::PerformabilityReport report) {
     std::lock_guard<std::mutex> lock(mutex);
     auto [it, inserted] = entries.try_emplace(key, std::move(report));
+    CacheEntriesGauge().Set(static_cast<double>(entries.size()));
     return it->second;
   }
 
@@ -138,6 +195,7 @@ void ConfigurationTool::ClearAssessmentCache() {
   std::lock_guard<std::mutex> lock(cache_->mutex);
   cache_->entries.clear();
   cache_->failures.clear();
+  CacheEntriesGauge().Set(0.0);
 }
 
 ConfigurationTool::CacheDump ConfigurationTool::DumpAssessmentCache() const {
@@ -166,6 +224,7 @@ void ConfigurationTool::RestoreAssessmentCache(const CacheDump& dump) const {
         key, AssessmentCache::FailureEntry{failure.error, failure.numerical,
                                            failure.retried_exact});
   }
+  CacheEntriesGauge().Set(static_cast<double>(cache_->entries.size()));
 }
 
 Assessment ConfigurationTool::BuildAssessment(
@@ -223,12 +282,20 @@ Result<Assessment> ConfigurationTool::AssessInternal(
   if (cache_hit != nullptr) *cache_hit = false;
   if (auto cached = cache_->Lookup(config.replicas)) {
     cache_->hits.fetch_add(1);
+    CacheHitsTotal().Increment();
     if (cache_hit != nullptr) *cache_hit = true;
     return BuildAssessment(config, *std::move(cached), goals, cost);
   }
   cache_->misses.fetch_add(1);
+  CacheMissesTotal().Increment();
+  trace::TraceSpan span("configtool/assess", "configtool");
+  const auto eval_start = std::chrono::steady_clock::now();
   WFMS_ASSIGN_OR_RETURN(performability::PerformabilityReport report,
                         model_.Evaluate(config, avail_guess));
+  AssessmentSeconds().Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    eval_start)
+          .count());
   report = cache_->Insert(config.replicas, std::move(report));
   return BuildAssessment(config, std::move(report), goals, cost);
 }
@@ -267,6 +334,9 @@ void AppendFailure(const Assessment& assessment, SearchResult* result) {
   for (const FailedCandidate& seen : result->failed_candidates) {
     if (seen.config.replicas == assessment.config.replicas) return;
   }
+  // Counted here — the site that builds the --verbose failure list — so
+  // the exported counter equals the number of causes printed.
+  CandidatesFailedTotal().Increment();
   result->failed_candidates.push_back({assessment.config, assessment.error,
                                        assessment.numerical_failure,
                                        assessment.retried_exact});
@@ -358,6 +428,36 @@ class SearchBoundary {
   std::chrono::steady_clock::time_point last_checkpoint_;
 };
 
+/// Per-strategy search accounting: opens a trace span for the whole search
+/// and, on scope exit (any return path), bumps the strategy's search and
+/// evaluation counters from the accumulating SearchResult.
+class SearchScope {
+ public:
+  SearchScope(const char* strategy, const SearchResult* result)
+      : span_(std::string("configtool/") + strategy + "_search",
+              "configtool"),
+        strategy_(strategy),
+        result_(result) {}
+
+  ~SearchScope() {
+    auto& registry = metrics::MetricsRegistry::Global();
+    const std::string prefix = std::string("wfms_configtool_") + strategy_;
+    registry.GetCounter(prefix + "_searches_total").Increment();
+    if (result_->evaluations > 0) {
+      registry.GetCounter(prefix + "_evaluations_total")
+          .Increment(static_cast<uint64_t>(result_->evaluations));
+    }
+  }
+
+  SearchScope(const SearchScope&) = delete;
+  SearchScope& operator=(const SearchScope&) = delete;
+
+ private:
+  trace::TraceSpan span_;
+  const char* strategy_;
+  const SearchResult* result_;
+};
+
 }  // namespace
 
 Result<Assessment> ConfigurationTool::AssessIsolated(
@@ -372,6 +472,7 @@ Result<Assessment> ConfigurationTool::AssessIsolated(
   if (cache_hit != nullptr) *cache_hit = false;
   if (auto failed = cache_->LookupFailure(config.replicas)) {
     cache_->hits.fetch_add(1);
+    CacheHitsTotal().Increment();
     if (cache_hit != nullptr) *cache_hit = true;
     return FailedAssessment(config, cost, std::move(failed->error),
                             failed->numerical, failed->retried_exact);
@@ -420,6 +521,8 @@ Result<Assessment> ConfigurationTool::AssessCounted(
                      search.retry_numerical_failures, &hit));
   ++result->evaluations;
   if (hit) ++result->cache_hits;
+  CandidatesAssessedTotal().Increment();
+  if (hit) SearchCacheHitsTotal().Increment();
   AppendFailure(assessment, result);
   return assessment;
 }
@@ -467,6 +570,10 @@ Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
   if (result != nullptr) {
     result->evaluations += static_cast<int>(n);
     result->cache_hits += hits.load();
+    CandidatesAssessedTotal().Increment(n);
+    if (hits.load() > 0) {
+      SearchCacheHitsTotal().Increment(static_cast<uint64_t>(hits.load()));
+    }
   }
   return assessments;
 }
@@ -562,6 +669,7 @@ void ConfigurationTool::PrefetchNeighborFrontier(
     const Configuration& config, const Assessment& parent, const Goals& goals,
     const CostModel& cost, const SearchConstraints& constraints) const {
   if (num_threads_ <= 1) return;
+  trace::TraceSpan span("configtool/prefetch_frontier", "configtool");
   const size_t k = env_->num_server_types();
   std::vector<std::future<void>> pending;
   pending.reserve(k);
@@ -601,6 +709,7 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
   }
 
   SearchResult result;
+  SearchScope scope("greedy", &result);
   SearchBoundary boundary(search);
   WFMS_ASSIGN_OR_RETURN(
       Assessment assessment,
@@ -729,6 +838,7 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
   SearchResult result;
+  SearchScope scope("exhaustive", &result);
   SearchBoundary boundary(search);
   bool have_best = false;
   Configuration best;
@@ -752,6 +862,8 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
     while (wave.size() < kExhaustiveWaveSize && !enumeration_done) {
       if (!have_best || cost.Cost(current.replicas) < best_cost) {
         wave.push_back(current);
+      } else {
+        CandidatesPrunedTotal().Increment();  // dominated by the incumbent
       }
       size_t x = 0;
       for (; x < k; ++x) {
@@ -837,6 +949,7 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
   };
 
   SearchResult result;
+  SearchScope scope("annealing", &result);
   SearchBoundary boundary(search);
   Configuration current = MinimalConfig(constraints, k);
   WFMS_ASSIGN_OR_RETURN(
@@ -927,6 +1040,7 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   SearchResult result;
+  SearchScope scope("branch_and_bound", &result);
   SearchBoundary boundary(search);
 
   // Feasibility bound: if the most generous configuration fails, nothing
@@ -980,6 +1094,7 @@ Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
       result.assessment = std::move(last_assessment);
       return result;
     }
+    FrontierDepthGauge().Set(static_cast<double>(frontier.size()));
     const double wave_cost = frontier.top().cost;
     wave.clear();
     while (!frontier.empty() && wave.size() < kBnbWaveSize &&

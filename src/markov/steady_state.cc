@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/iterative_solver.h"
 #include "linalg/lu_solver.h"
@@ -176,6 +179,9 @@ SweepOutcome MarkovSweep(const Ctmc& chain, const SparseMatrix& incoming,
       break;
     }
     if (iter % check_every == 0) {
+      WFMS_LOG_EVERY_N(Debug, 16)
+          << "markov sweep: iter " << iter << " omega " << omega
+          << " change " << change;
       if (stall_window > 0) {
         if (have_checkpoint && !(change < stall_decay * checkpoint_change)) {
           out.diag.stalled = true;
@@ -398,6 +404,99 @@ Result<SteadyStateResult> SolveCascade(const Ctmc& chain,
   return Status::NumericError(summary);
 }
 
+// Per-rung attempt/win counters, keyed by the method that ran. Handles are
+// resolved once; recording a solve is then pure atomic adds.
+metrics::Counter& RungAttempts(SteadyStateMethod method) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& gs =
+      registry.GetCounter("wfms_markov_rung_gauss_seidel_attempts_total");
+  static metrics::Counter& sor =
+      registry.GetCounter("wfms_markov_rung_sor_attempts_total");
+  static metrics::Counter& power =
+      registry.GetCounter("wfms_markov_rung_power_attempts_total");
+  static metrics::Counter& lu =
+      registry.GetCounter("wfms_markov_rung_lu_attempts_total");
+  static metrics::Counter& other =
+      registry.GetCounter("wfms_markov_rung_other_attempts_total");
+  switch (method) {
+    case SteadyStateMethod::kGaussSeidel:
+      return gs;
+    case SteadyStateMethod::kSor:
+      return sor;
+    case SteadyStateMethod::kPower:
+      return power;
+    case SteadyStateMethod::kLu:
+      return lu;
+    default:
+      return other;
+  }
+}
+
+metrics::Counter& RungWins(SteadyStateMethod method) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& gs =
+      registry.GetCounter("wfms_markov_rung_gauss_seidel_wins_total");
+  static metrics::Counter& sor =
+      registry.GetCounter("wfms_markov_rung_sor_wins_total");
+  static metrics::Counter& power =
+      registry.GetCounter("wfms_markov_rung_power_wins_total");
+  static metrics::Counter& lu =
+      registry.GetCounter("wfms_markov_rung_lu_wins_total");
+  static metrics::Counter& other =
+      registry.GetCounter("wfms_markov_rung_other_wins_total");
+  switch (method) {
+    case SteadyStateMethod::kGaussSeidel:
+      return gs;
+    case SteadyStateMethod::kSor:
+      return sor;
+    case SteadyStateMethod::kPower:
+      return power;
+    case SteadyStateMethod::kLu:
+      return lu;
+    default:
+      return other;
+  }
+}
+
+// Solve-level metrics, observed once per SolveSteadyState call (never per
+// iteration — see DESIGN.md §8 on instrumentation granularity).
+void RecordSolveMetrics(const Result<SteadyStateResult>& result,
+                        double wall_seconds) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& solves =
+      registry.GetCounter("wfms_markov_steady_solves_total");
+  static metrics::Counter& failures =
+      registry.GetCounter("wfms_markov_steady_failures_total");
+  static metrics::Counter& fallbacks =
+      registry.GetCounter("wfms_markov_steady_fallbacks_total");
+  static metrics::Counter& iterations =
+      registry.GetCounter("wfms_markov_steady_iterations_total");
+  static metrics::Histogram& solve_seconds =
+      registry.GetHistogram("wfms_markov_steady_solve_seconds");
+  static metrics::Histogram& residual =
+      registry.GetHistogram("wfms_markov_steady_residual");
+
+  solves.Increment();
+  solve_seconds.Observe(wall_seconds);
+  if (!result.ok()) {
+    failures.Increment();
+    return;
+  }
+  if (result->iterations > 0) {
+    iterations.Increment(static_cast<uint64_t>(result->iterations));
+  }
+  if (result->used_fallback) fallbacks.Increment();
+  residual.Observe(result->diagnostics.final_residual);
+  if (result->attempts.empty()) {
+    RungAttempts(result->method_used).Increment();
+  } else {
+    for (const auto& attempt : result->attempts) {
+      RungAttempts(attempt.method).Increment();
+    }
+  }
+  RungWins(result->method_used).Increment();
+}
+
 }  // namespace
 
 const char* SteadyStateMethodName(SteadyStateMethod method) {
@@ -420,24 +519,33 @@ const char* SteadyStateMethodName(SteadyStateMethod method) {
 
 Result<SteadyStateResult> SolveSteadyState(const Ctmc& chain,
                                            const SteadyStateOptions& options) {
-  switch (options.method) {
-    case SteadyStateMethod::kLu:
-      return SolveLu(chain, options);
-    case SteadyStateMethod::kGaussSeidel:
-      return SolveGaussSeidel(chain, options, 1.0,
-                              SteadyStateMethod::kGaussSeidel);
-    case SteadyStateMethod::kSor:
-      return SolveGaussSeidel(
-          chain, options,
-          options.sor_omega > 0.0 ? options.sor_omega : 1.5,
-          SteadyStateMethod::kSor);
-    case SteadyStateMethod::kPower:
-      return SolvePower(chain, options);
-    case SteadyStateMethod::kAuto:
-    case SteadyStateMethod::kCascade:
-      return SolveCascade(chain, options);
-  }
-  return Status::Internal("unknown steady-state method");
+  trace::TraceSpan span("markov/steady_state", "markov");
+  const auto start = std::chrono::steady_clock::now();
+  Result<SteadyStateResult> result = [&]() -> Result<SteadyStateResult> {
+    switch (options.method) {
+      case SteadyStateMethod::kLu:
+        return SolveLu(chain, options);
+      case SteadyStateMethod::kGaussSeidel:
+        return SolveGaussSeidel(chain, options, 1.0,
+                                SteadyStateMethod::kGaussSeidel);
+      case SteadyStateMethod::kSor:
+        return SolveGaussSeidel(
+            chain, options,
+            options.sor_omega > 0.0 ? options.sor_omega : 1.5,
+            SteadyStateMethod::kSor);
+      case SteadyStateMethod::kPower:
+        return SolvePower(chain, options);
+      case SteadyStateMethod::kAuto:
+      case SteadyStateMethod::kCascade:
+        return SolveCascade(chain, options);
+    }
+    return Status::Internal("unknown steady-state method");
+  }();
+  RecordSolveMetrics(
+      result,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
 }
 
 }  // namespace wfms::markov

@@ -1,8 +1,11 @@
 #include "perf/performance_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "queueing/mg1.h"
 
 namespace wfms::perf {
@@ -12,6 +15,15 @@ using workflow::Configuration;
 
 Result<PerformanceModel> PerformanceModel::Create(
     const workflow::Environment& env, const AnalysisOptions& options) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& builds =
+      registry.GetCounter("wfms_perf_model_builds_total");
+  static metrics::Histogram& build_seconds =
+      registry.GetHistogram("wfms_perf_model_build_seconds");
+  builds.Increment();
+  trace::TraceSpan span("perf/model_build", "perf");
+  const auto start = std::chrono::steady_clock::now();
+
   WFMS_RETURN_NOT_OK(env.Validate());
   std::vector<WorkflowAnalysis> analyses;
   analyses.reserve(env.workflows.size());
@@ -24,6 +36,9 @@ Result<PerformanceModel> PerformanceModel::Create(
     }
     analyses.push_back(std::move(analysis));
   }
+  build_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
   return PerformanceModel(&env, std::move(analyses), std::move(rates));
 }
 

@@ -1,8 +1,11 @@
 #include "performability/performability_model.h"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "queueing/mg1.h"
 
 namespace wfms::performability {
@@ -24,6 +27,15 @@ Result<PerformabilityModel> PerformabilityModel::Create(
 Result<PerformabilityReport> PerformabilityModel::Evaluate(
     const Configuration& config, const linalg::Vector* avail_guess,
     const markov::SteadyStateOptions* solver_override) const {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& evaluations =
+      registry.GetCounter("wfms_performability_evaluations_total");
+  static metrics::Histogram& evaluate_seconds =
+      registry.GetHistogram("wfms_performability_evaluate_seconds");
+  evaluations.Increment();
+  trace::TraceSpan span("performability/evaluate", "performability");
+  const auto start = std::chrono::steady_clock::now();
+
   const workflow::Environment& env = perf_.environment();
   const size_t k = env.num_server_types();
   WFMS_RETURN_NOT_OK(config.Validate(k));
@@ -116,6 +128,9 @@ Result<PerformabilityReport> PerformabilityModel::Evaluate(
           std::max(report.max_expected_waiting, report.expected_waiting[x]);
     }
   }
+  evaluate_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
   return report;
 }
 

@@ -3,10 +3,16 @@
 #include <cmath>
 #include <string>
 
+#include "common/metrics.h"
+
 namespace wfms::queueing {
 
 Result<QueueMetrics> Mg1Metrics(double arrival_rate,
                                 const ServiceMoments& service) {
+  static metrics::Counter& evaluations =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "wfms_queueing_mg1_evaluations_total");
+  evaluations.Increment();
   if (arrival_rate < 0.0) {
     return Status::InvalidArgument("arrival rate must be non-negative");
   }
@@ -51,6 +57,10 @@ Result<double> ErlangC(double offered_load, int servers) {
 
 Result<QueueMetrics> MmcMetrics(double arrival_rate, double service_mean,
                                 int servers) {
+  static metrics::Counter& evaluations =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "wfms_queueing_mmc_evaluations_total");
+  evaluations.Increment();
   if (!(service_mean > 0.0)) {
     return Status::InvalidArgument("service mean must be positive");
   }

@@ -1,8 +1,10 @@
 #include "sim/checkpoint.h"
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/snapshot.h"
 #include "workflow/environment_io.h"
 
@@ -52,6 +54,13 @@ uint64_t SimulationFingerprint(const workflow::Environment& env,
 
 Status WriteSimulationCheckpoint(const std::string& path,
                                  const SimulationCheckpoint& state) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& writes =
+      registry.GetCounter("wfms_sim_checkpoint_writes_total");
+  static metrics::Histogram& write_seconds =
+      registry.GetHistogram("wfms_sim_checkpoint_write_seconds");
+  writes.Increment();
+  const auto start = std::chrono::steady_clock::now();
   SnapshotWriter w;
   w.U64(kTagFingerprint, state.fingerprint);
   w.I64(kTagEventsExecuted, state.events_executed);
@@ -66,9 +75,14 @@ Status WriteSimulationCheckpoint(const std::string& path,
   w.VecI32(kTagPoolUp, state.pool_up);
   w.VecI32(kTagPoolBusy, state.pool_busy);
   w.VecI32(kTagPoolParked, state.pool_parked);
-  return WriteSnapshotFile(path, SnapshotKind::kSimulationCheckpoint,
-                           w.payload())
-      .WithContext("writing simulation checkpoint");
+  Status status =
+      WriteSnapshotFile(path, SnapshotKind::kSimulationCheckpoint,
+                        w.payload())
+          .WithContext("writing simulation checkpoint");
+  write_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return status;
 }
 
 Result<SimulationCheckpoint> ReadSimulationCheckpoint(const std::string& path,

@@ -7,6 +7,7 @@ namespace wfms::sim {
 void EventQueue::ScheduleAt(double time, Action action) {
   WFMS_DCHECK(time >= now_);
   queue_.push(Event{time, next_seq_++, std::move(action)});
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
 }
 
 void EventQueue::ScheduleAfter(double delay, Action action) {

@@ -18,6 +18,8 @@ class EventQueue {
 
   double now() const { return now_; }
   size_t pending() const { return queue_.size(); }
+  /// High-water mark of pending() over the queue's lifetime.
+  size_t peak_pending() const { return peak_pending_; }
 
   /// Schedules `action` at absolute time `time` (must be >= now).
   void ScheduleAt(double time, Action action);
@@ -59,6 +61,7 @@ class EventQueue {
 
   double now_ = 0.0;
   uint64_t next_seq_ = 0;
+  size_t peak_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "sim/checkpoint.h"
 
 namespace wfms::sim {
@@ -279,9 +282,17 @@ Result<SimulationResult> Simulator::Run() {
   };
   const bool observed =
       checkpointing || options_.cancel != nullptr || awaiting_cursor;
-  result_.events_executed = observed
-                                ? queue_.RunUntil(options_.duration, observer)
-                                : queue_.RunUntil(options_.duration);
+  const auto loop_start = std::chrono::steady_clock::now();
+  {
+    trace::TraceSpan span("sim/event_loop", "sim");
+    result_.events_executed =
+        observed ? queue_.RunUntil(options_.duration, observer)
+                 : queue_.RunUntil(options_.duration);
+  }
+  const double loop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    loop_start)
+          .count();
   WFMS_RETURN_NOT_OK(boundary_error);
   if (cancelled) {
     std::string message = "simulation cancelled after " +
@@ -314,6 +325,34 @@ Result<SimulationResult> Simulator::Run() {
         pools_[x]->stats().busy_servers.time_average() /
         options_.config.replicas[x]);
   }
+
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& runs =
+      registry.GetCounter("wfms_sim_runs_total");
+  static metrics::Counter& events =
+      registry.GetCounter("wfms_sim_events_total");
+  static metrics::Gauge& events_per_second =
+      registry.GetGauge("wfms_sim_events_per_second");
+  static metrics::Gauge& queue_peak =
+      registry.GetGauge("wfms_sim_event_queue_peak");
+  runs.Increment();
+  if (result_.events_executed > 0) {
+    events.Increment(static_cast<uint64_t>(result_.events_executed));
+  }
+  if (loop_seconds > 0.0) {
+    events_per_second.Set(
+        static_cast<double>(result_.events_executed) / loop_seconds);
+  }
+  queue_peak.UpdateMax(static_cast<double>(queue_.peak_pending()));
+  for (size_t x = 0; x < k; ++x) {
+    // Per-pool gauges are registered by (sanitized) server-type name; the
+    // handful of types per environment keeps the lookup cost negligible.
+    registry
+        .GetGauge("wfms_sim_pool_busy_fraction_" +
+                  env_->servers.type(x).name)
+        .Set(result_.utilization[x]);
+  }
+
   queue_.Clear();
   return std::move(result_);
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/statistics.h"
 #include "common/time_units.h"
 
@@ -51,6 +54,70 @@ TEST_F(LoggingTest, LevelRoundTrip) {
   SetLogLevel(LogLevel::kDebug);
   EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
   SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, PrefixCarriesTimestampAndThreadTag) {
+  SetLogLevel(LogLevel::kInfo);
+  const std::string out =
+      CaptureStderr([] { WFMS_LOG(Info) << "tagged"; });
+  // Prefix format: "[INFO <monotonic seconds> t<thread id> <file>:<line>] ".
+  double timestamp = -1.0;
+  int thread_tag = -1;
+  ASSERT_EQ(std::sscanf(out.c_str(), "[INFO %lf t%d", &timestamp,
+                        &thread_tag),
+            2)
+      << out;
+  EXPECT_GE(timestamp, 0.0);
+  EXPECT_GE(thread_tag, 1);
+}
+
+TEST_F(LoggingTest, EveryNFiresOnFirstAndEveryNth) {
+  SetLogLevel(LogLevel::kInfo);
+  const std::string out = CaptureStderr([] {
+    for (int i = 0; i < 10; ++i) {
+      WFMS_LOG_EVERY_N(Info, 3) << "sampled " << i;
+    }
+  });
+  // Occurrences 0, 3, 6, 9 fire: four lines.
+  EXPECT_NE(out.find("sampled 0"), std::string::npos);
+  EXPECT_NE(out.find("sampled 3"), std::string::npos);
+  EXPECT_NE(out.find("sampled 6"), std::string::npos);
+  EXPECT_NE(out.find("sampled 9"), std::string::npos);
+  EXPECT_EQ(out.find("sampled 1"), std::string::npos);
+  size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST_F(LoggingTest, EveryNStillRespectsTheLevel) {
+  SetLogLevel(LogLevel::kWarning);
+  const std::string out = CaptureStderr([] {
+    for (int i = 0; i < 5; ++i) {
+      WFMS_LOG_EVERY_N(Info, 1) << "suppressed";
+    }
+  });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, EnvVarSetsTheLevel) {
+  ASSERT_EQ(setenv("WFMS_LOG_LEVEL", "debug", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  ASSERT_EQ(setenv("WFMS_LOG_LEVEL", "ERROR", 1), 0);  // case-insensitive
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Invalid values leave the level untouched.
+  ASSERT_EQ(setenv("WFMS_LOG_LEVEL", "chatty", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  ASSERT_EQ(unsetenv("WFMS_LOG_LEVEL"), 0);
+  InitLogLevelFromEnv();  // no variable: no change
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
 }
 

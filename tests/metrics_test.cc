@@ -1,0 +1,337 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace wfms::metrics {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddUpdateMax) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.UpdateMax(1.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.UpdateMax(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("wfms_test_events_total");
+  Counter& b = registry.GetCounter("wfms_test_events_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(RegistryTest, NamesAreSanitized) {
+  EXPECT_EQ(MetricsRegistry::SanitizeName("wfms sim/pool-busy"),
+            "wfms_sim_pool_busy");
+  EXPECT_EQ(MetricsRegistry::SanitizeName("9lives"), "_9lives");
+  EXPECT_EQ(MetricsRegistry::SanitizeName("ok_name:sub"), "ok_name:sub");
+
+  MetricsRegistry registry;
+  registry.GetCounter("wfms test/total").Increment();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("wfms_test_total"), 1u);
+}
+
+// Named to stay outside the CI TSan job's -R selection: gtest death
+// tests fork, which is unreliable under ThreadSanitizer.
+TEST(KindConflictDeathTest, SecondKindAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("wfms_test_conflict");
+  EXPECT_DEATH(registry.GetGauge("wfms_test_conflict"),
+               "already registered");
+}
+
+TEST(RegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Each thread resolves the handle itself: registration is racy on
+      // purpose, the shard lock must make it idempotent.
+      Counter& c = registry.GetCounter("wfms_test_concurrent_total");
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("wfms_test_concurrent_total").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("wfms_test_total");
+  Gauge& g = registry.GetGauge("wfms_test_depth");
+  Histogram& h = registry.GetHistogram("wfms_test_seconds");
+  c.Increment(3);
+  g.Set(1.5);
+  h.Observe(0.25);
+  registry.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // Handles stay valid and keep feeding the same entries.
+  c.Increment();
+  EXPECT_EQ(registry.Snapshot().counter("wfms_test_total"), 1u);
+}
+
+TEST(HistogramBucketsTest, IndexAndBoundsAreConsistent) {
+  // Every positive value lands in a bucket whose [lower, upper) range
+  // contains it, across the full supported magnitude span.
+  for (double v : {1e-11, 3e-4, 0.5, 0.9999, 1.0, 1.0001, 2.0, 3.14159,
+                   1023.0, 1e6, 1e11}) {
+    const int idx = Histogram::BucketIndex(v);
+    ASSERT_GT(idx, 0) << v;
+    ASSERT_LT(idx, Histogram::kNumBuckets - 1) << v;
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << v;
+    EXPECT_LT(v, Histogram::BucketUpperBound(idx)) << v;
+  }
+  // Non-positive and NaN go to the zero bucket.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+  // Out-of-range magnitudes clamp to the edge buckets.
+  EXPECT_EQ(Histogram::BucketIndex(std::ldexp(1.0, -60)), 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::ldexp(1.0, 50)),
+            Histogram::kNumBuckets - 1);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  Histogram h;
+  const std::vector<double> values = {0.001, 0.25, 0.5, 2.0, 17.0};
+  double sum = 0.0;
+  for (double v : values) {
+    h.Observe(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 17.0);
+  uint64_t bucket_total = 0;
+  for (const HistogramBucket& b : h.NonEmptyBuckets()) {
+    bucket_total += b.count;
+  }
+  EXPECT_EQ(bucket_total, values.size());
+}
+
+TEST(HistogramTest, QuantilesTrackSortedReference) {
+  // Log-uniform sample across nine decades; bucketing alone bounds the
+  // relative quantile error at 1/16, interpolation tightens it further.
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> log10_value(-6.0, 3.0);
+  Histogram h;
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::pow(10.0, log10_value(rng));
+    values.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    const double reference =
+        values[static_cast<size_t>(q * (values.size() - 1))];
+    const double estimate = h.Quantile(q);
+    EXPECT_NEAR(estimate / reference, 1.0, 0.08)
+        << "q=" << q << " reference=" << reference
+        << " estimate=" << estimate;
+  }
+  // Extremes clamp to the observed range.
+  EXPECT_GE(h.Quantile(0.0), values.front());
+  EXPECT_LE(h.Quantile(1.0), values.back());
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(0.001 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (const HistogramBucket& b : h.NonEmptyBuckets()) {
+    bucket_total += b.count;
+  }
+  EXPECT_EQ(bucket_total, h.count());
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.008);
+}
+
+TEST(SnapshotTest, AccessorsAndFallbacks) {
+  MetricsRegistry registry;
+  registry.GetCounter("wfms_test_total").Increment(7);
+  registry.GetGauge("wfms_test_depth").Set(3.5);
+  registry.GetHistogram("wfms_test_seconds").Observe(0.5);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("wfms_test_total"), 7u);
+  EXPECT_EQ(snap.counter("missing", 99), 99u);
+  EXPECT_DOUBLE_EQ(snap.gauge("wfms_test_depth"), 3.5);
+  EXPECT_DOUBLE_EQ(snap.gauge("missing", -1.0), -1.0);
+  ASSERT_NE(snap.histogram("wfms_test_seconds"), nullptr);
+  EXPECT_EQ(snap.histogram("wfms_test_seconds")->count, 1u);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+// Checks a JSON document is well formed: balanced braces/brackets outside
+// strings, no trailing garbage. Enough to catch escaping and comma bugs;
+// the CI smoke test additionally runs it through python3 -m json.tool.
+bool JsonIsBalanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(SnapshotTest, JsonExportIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("wfms_test_total").Increment(3);
+  registry.GetGauge("wfms_test_depth").Set(0.25);
+  Histogram& h = registry.GetHistogram("wfms_test_seconds");
+  h.Observe(0.0);  // zero bucket
+  h.Observe(1.5);
+  h.Observe(1e50);  // overflow bucket: le must serialize as "+Inf"
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"wfms_test_total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"wfms_test_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"wfms_test_seconds\""), std::string::npos);
+  // JSON has no Infinity literal; the overflow bucket bound is a string.
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+  EXPECT_EQ(json.find("Infinity"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+// Minimal parser for the Prometheus text exposition format: returns
+// sample name (with labels) -> value, skipping # comment lines.
+std::map<std::string, double> ParsePrometheus(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+  return samples;
+}
+
+TEST(SnapshotTest, PrometheusRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("wfms_test_total").Increment(5);
+  registry.GetGauge("wfms_test_depth").Set(2.25);
+  Histogram& h = registry.GetHistogram("wfms_test_seconds");
+  const std::vector<double> values = {0.01, 0.02, 0.04, 1.0};
+  for (double v : values) h.Observe(v);
+
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  const std::map<std::string, double> samples = ParsePrometheus(text);
+
+  EXPECT_DOUBLE_EQ(samples.at("wfms_test_total"), 5.0);
+  EXPECT_DOUBLE_EQ(samples.at("wfms_test_depth"), 2.25);
+  EXPECT_DOUBLE_EQ(samples.at("wfms_test_seconds_count"), 4.0);
+  EXPECT_NEAR(samples.at("wfms_test_seconds_sum"), 1.07, 1e-12);
+  // Bucket series are cumulative in ascending `le` order (the map above
+  // sorts names lexicographically, so sort numerically here) and end at
+  // +Inf with the total count.
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  for (const auto& [name, value] : samples) {
+    if (name.rfind("wfms_test_seconds_bucket", 0) != 0) continue;
+    const size_t le_pos = name.find("le=\"");
+    ASSERT_NE(le_pos, std::string::npos) << name;
+    const std::string le = name.substr(le_pos + 4, name.size() - le_pos - 6);
+    buckets.emplace_back(le == "+Inf"
+                             ? std::numeric_limits<double>::infinity()
+                             : std::stod(le),
+                         value);
+  }
+  std::sort(buckets.begin(), buckets.end());
+  ASSERT_FALSE(buckets.empty());
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second)
+        << "le=" << buckets[i].first;
+  }
+  EXPECT_TRUE(std::isinf(buckets.back().first));
+  EXPECT_DOUBLE_EQ(buckets.back().second, 4.0);
+  EXPECT_NE(text.find("# TYPE wfms_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wfms_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wfms_test_seconds histogram"),
+            std::string::npos);
+}
+
+TEST(GlobalRegistryTest, IsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace wfms::metrics

@@ -1,0 +1,216 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wfms::trace {
+namespace {
+
+// The trace buffers are process-global: every test starts from a clean,
+// enabled state and leaves recording off.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Clear();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Clear();
+  }
+};
+
+// One exported event, extracted with string surgery (the exporter emits
+// one event per line, see trace.cc).
+struct ParsedEvent {
+  std::string name;
+  double ts = -1.0;
+  double dur = -1.0;
+};
+
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t name_pos = line.find("\"name\": \"");
+    if (name_pos == std::string::npos) continue;
+    ParsedEvent event;
+    const size_t name_start = name_pos + 9;
+    event.name = line.substr(name_start, line.find('"', name_start) -
+                                             name_start);
+    const size_t ts_pos = line.find("\"ts\": ");
+    if (ts_pos != std::string::npos) {
+      event.ts = std::stod(line.substr(ts_pos + 6));
+    }
+    const size_t dur_pos = line.find("\"dur\": ");
+    if (dur_pos != std::string::npos) {
+      event.dur = std::stod(line.substr(dur_pos + 7));
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
+bool JsonIsBalanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetEnabled(false);
+  {
+    TraceSpan span("test/ignored", "test");
+    Instant("test/also_ignored", "test");
+  }
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsOneCompleteEvent) {
+  { TraceSpan span("test/unit", "test"); }
+  EXPECT_EQ(event_count(), 1u);
+  const std::string json = ExportJson();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test/unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  {
+    TraceSpan outer("test/outer", "test");
+    { TraceSpan inner("test/inner", "test"); }
+  }
+  const std::vector<ParsedEvent> events = ParseEvents(ExportJson());
+  ASSERT_EQ(events.size(), 2u);
+  const ParsedEvent* outer = nullptr;
+  const ParsedEvent* inner = nullptr;
+  for (const ParsedEvent& e : events) {
+    if (e.name == "test/outer") outer = &e;
+    if (e.name == "test/inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The inner span's [ts, ts+dur] interval lies inside the outer's.
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+  EXPECT_GE(outer->dur, 0.0);
+  EXPECT_GE(inner->dur, 0.0);
+}
+
+TEST_F(TraceTest, ExportIsSortedByTimestamp) {
+  for (int i = 0; i < 8; ++i) {
+    TraceSpan span("test/step", "test");
+  }
+  const std::vector<ParsedEvent> events = ParseEvents(ExportJson());
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts, events[i - 1].ts);
+  }
+}
+
+TEST_F(TraceTest, InstantEventsAreRecorded) {
+  Instant("test/marker", "test");
+  EXPECT_EQ(event_count(), 1u);
+  const std::string json = ExportJson();
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test/marker\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NamesAreJsonEscaped) {
+  { TraceSpan span("test/\"quoted\"\\slash", "test"); }
+  const std::string json = ExportJson();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentEmittersProduceValidJson) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("test/worker_" + std::to_string(t), "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Exited threads' buffers are orphaned, not dropped.
+  EXPECT_EQ(event_count(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  const std::string json = ExportJson();
+  EXPECT_TRUE(JsonIsBalanced(json));
+  EXPECT_EQ(ParseEvents(json).size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(TraceTest, ClearDropsEverything) {
+  { TraceSpan span("test/gone", "test"); }
+  ASSERT_GT(event_count(), 0u);
+  Clear();
+  EXPECT_EQ(event_count(), 0u);
+  EXPECT_EQ(ExportJson().find("test/gone"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteJsonRoundTrips) {
+  { TraceSpan span("test/to_disk", "test"); }
+  const std::string path =
+      ::testing::TempDir() + "/wfms_trace_test_out.json";
+  ASSERT_TRUE(WriteJson(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, ExportJson());
+}
+
+TEST_F(TraceTest, WriteJsonReportsUnwritablePath) {
+  EXPECT_FALSE(WriteJson("/nonexistent_dir_zzz/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace wfms::trace

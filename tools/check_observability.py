@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Validates wfmsctl observability exports. Stdlib only.
+
+Commands:
+
+  validate --schema SCHEMA.json DOC.json
+      Structural validation against a checked-in schema (the JSON-Schema
+      subset used by tools/schemas/), plus semantic checks keyed off the
+      schema's title: metric names follow the wfms_<module>_<name>
+      convention, histogram bucket counts sum to the total count,
+      quantiles are ordered and inside [min, max], trace events are
+      timestamp-sorted with non-negative durations.
+
+  cross-check --stderr STDERR.txt --metrics METRICS.json
+      Asserts that the cache accounting `wfmsctl recommend --verbose`
+      printed to stderr matches the counters in --metrics-out exactly.
+      Both are sourced from the same registry, so any mismatch is a bug.
+
+Exit code 0 on success, 1 with a message on the first failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^wfms_[a-z0-9_:]+$")
+
+
+def fail(message):
+    print(f"check_observability: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ---------------------------------------------------------------------------
+# JSON-Schema subset: type, enum, minimum, required, properties,
+# additionalProperties, patternProperties, items. Enough for the two
+# schemas in tools/schemas/; extend as they grow.
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def _check_type(value, expected, path):
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        python_type = _TYPES[name]
+        if isinstance(value, python_type) and not (
+            name in ("number", "integer") and isinstance(value, bool)
+        ):
+            return
+    fail(f"{path}: expected {expected}, got {type(value).__name__}")
+
+
+def validate_schema(value, schema, path="$"):
+    if "type" in schema:
+        _check_type(value, schema["type"], path)
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            fail(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"{path}: missing required key '{key}'")
+        properties = schema.get("properties", {})
+        patterns = {
+            re.compile(p): s
+            for p, s in schema.get("patternProperties", {}).items()
+        }
+        allow_extra = schema.get("additionalProperties", True)
+        for key, child in value.items():
+            if key in properties:
+                validate_schema(child, properties[key], f"{path}.{key}")
+                continue
+            matched = False
+            for pattern, subschema in patterns.items():
+                if pattern.search(key):
+                    validate_schema(child, subschema, f"{path}.{key}")
+                    matched = True
+                    break
+            if not matched and allow_extra is False:
+                fail(f"{path}: unexpected key '{key}'")
+    if isinstance(value, list) and "items" in schema:
+        for i, child in enumerate(value):
+            validate_schema(child, schema["items"], f"{path}[{i}]")
+
+
+# ---------------------------------------------------------------------------
+# Semantic checks beyond structure.
+
+
+def check_metrics_semantics(doc):
+    for section in ("counters", "gauges", "histograms"):
+        for name in doc[section]:
+            if not METRIC_NAME.match(name):
+                fail(
+                    f"{section}.{name}: name breaks the wfms_<module>_<name>"
+                    " convention"
+                )
+    for name, hist in doc["histograms"].items():
+        bucket_total = sum(b["count"] for b in hist["buckets"])
+        if bucket_total != hist["count"]:
+            fail(
+                f"histograms.{name}: bucket counts sum to {bucket_total},"
+                f" count is {hist['count']}"
+            )
+        for bucket in hist["buckets"]:
+            le = bucket["le"]
+            if isinstance(le, str) and le != "+Inf":
+                fail(f"histograms.{name}: string le must be '+Inf', got {le!r}")
+        if hist["count"] > 0:
+            if not hist["min"] <= hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"]:
+                fail(
+                    f"histograms.{name}: quantiles out of order or outside"
+                    f" [min, max]: min={hist['min']} p50={hist['p50']}"
+                    f" p90={hist['p90']} p99={hist['p99']} max={hist['max']}"
+                )
+    print(
+        f"check_observability: metrics OK ({len(doc['counters'])} counters,"
+        f" {len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms)"
+    )
+
+
+def check_trace_semantics(doc):
+    events = doc["traceEvents"]
+    previous_ts = 0.0
+    for i, event in enumerate(events):
+        if event["ts"] < previous_ts:
+            fail(f"traceEvents[{i}]: timestamps are not sorted")
+        previous_ts = event["ts"]
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"traceEvents[{i}]: complete event without dur")
+    print(f"check_observability: trace OK ({len(events)} events)")
+
+
+def cmd_validate(args):
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+    with open(args.doc, encoding="utf-8") as f:
+        doc = json.load(f)
+    validate_schema(doc, schema)
+    title = schema.get("title", "")
+    if "metrics" in title:
+        check_metrics_semantics(doc)
+    elif "trace" in title:
+        check_trace_semantics(doc)
+    else:
+        print("check_observability: structural validation OK")
+
+
+# ---------------------------------------------------------------------------
+# --verbose stderr vs --metrics-out cross-check.
+
+CACHE_LINE = re.compile(
+    r"cache: (\d+) entries, (\d+) hits, (\d+) misses "
+    r"\((\d+) of (\d+) evaluations served from cache\)"
+)
+FAILED_LINE = re.compile(r"failed candidates \((\d+)\):")
+
+
+def cmd_cross_check(args):
+    with open(args.stderr, encoding="utf-8") as f:
+        stderr_text = f.read()
+    with open(args.metrics, encoding="utf-8") as f:
+        doc = json.load(f)
+    counters = doc["counters"]
+    gauges = doc["gauges"]
+
+    match = CACHE_LINE.search(stderr_text)
+    if not match:
+        fail(f"no 'cache: ...' line in {args.stderr} (was --verbose passed?)")
+    entries, hits, misses, search_hits, assessed = map(int, match.groups())
+    expected = [
+        ("cache entries", entries, int(gauges.get("wfms_configtool_cache_entries", 0))),
+        ("cache hits", hits, counters.get("wfms_configtool_cache_hits_total", 0)),
+        ("cache misses", misses, counters.get("wfms_configtool_cache_misses_total", 0)),
+        ("search cache hits", search_hits,
+         counters.get("wfms_configtool_search_cache_hits_total", 0)),
+        ("candidates assessed", assessed,
+         counters.get("wfms_configtool_candidates_assessed_total", 0)),
+    ]
+    failed_match = FAILED_LINE.search(stderr_text)
+    stderr_failed = int(failed_match.group(1)) if failed_match else 0
+    expected.append(
+        ("failed candidates", stderr_failed,
+         counters.get("wfms_configtool_candidates_failed_total", 0))
+    )
+    for label, from_stderr, from_metrics in expected:
+        if from_stderr != from_metrics:
+            fail(
+                f"{label}: --verbose stderr says {from_stderr},"
+                f" --metrics-out says {from_metrics}"
+            )
+    print(
+        "check_observability: cross-check OK"
+        f" ({assessed} assessed, {search_hits} cache hits,"
+        f" {stderr_failed} failed)"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser("validate")
+    validate.add_argument("--schema", required=True)
+    validate.add_argument("doc")
+    validate.set_defaults(func=cmd_validate)
+    cross = sub.add_parser("cross-check")
+    cross.add_argument("--stderr", required=True)
+    cross.add_argument("--metrics", required=True)
+    cross.set_defaults(func=cmd_cross_check)
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

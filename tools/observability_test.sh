@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end check of the observability surface:
+#   1. `recommend --verbose --metrics-out --trace-out` produces exports
+#      that parse, validate against tools/schemas/, and agree exactly
+#      with the stderr cache accounting (cross-check);
+#   2. `--metrics-format=prometheus` emits parseable exposition text;
+#   3. `simulate --metrics-out` records the simulator counters;
+#   4. stdout without export flags is byte-identical to a plain run (the
+#      run report must never leak into default output).
+#
+# usage: observability_test.sh <wfmsctl> <workdir>
+set -eu
+
+WFMSCTL="$1"
+WORKDIR="$2/observability_test"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
+CHECKER="$TOOLS_DIR/check_observability.py"
+SCHEMAS="$TOOLS_DIR/schemas"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+if ! command -v python3 > /dev/null; then
+  echo "SKIP: python3 not available" >&2
+  exit 0
+fi
+
+echo "== recommend with json metrics + trace"
+"$WFMSCTL" recommend --scenario benchmark --method greedy \
+    --max-wait 0.1 --min-avail 0.9999 --verbose \
+    --metrics-out "$WORKDIR/metrics.json" \
+    --trace-out "$WORKDIR/trace.json" \
+    > "$WORKDIR/stdout.txt" 2> "$WORKDIR/stderr.txt"
+
+python3 -m json.tool "$WORKDIR/metrics.json" > /dev/null
+python3 -m json.tool "$WORKDIR/trace.json" > /dev/null
+python3 "$CHECKER" validate --schema "$SCHEMAS/metrics_schema.json" \
+    "$WORKDIR/metrics.json"
+python3 "$CHECKER" validate --schema "$SCHEMAS/trace_schema.json" \
+    "$WORKDIR/trace.json"
+python3 "$CHECKER" cross-check --stderr "$WORKDIR/stderr.txt" \
+    --metrics "$WORKDIR/metrics.json"
+grep -q "run report:" "$WORKDIR/stdout.txt" || {
+  echo "FAIL: no run report on stdout" >&2
+  exit 1
+}
+grep -q '"configtool/greedy_search"' "$WORKDIR/trace.json" || {
+  echo "FAIL: trace has no greedy search span" >&2
+  exit 1
+}
+
+echo "== recommend with prometheus metrics"
+"$WFMSCTL" recommend --scenario benchmark --method greedy \
+    --max-wait 0.1 --min-avail 0.9999 \
+    --metrics-out "$WORKDIR/metrics.prom" --metrics-format prometheus \
+    > /dev/null
+grep -q "^# TYPE wfms_configtool_candidates_assessed_total counter" \
+    "$WORKDIR/metrics.prom"
+grep -q "^wfms_configtool_assessment_seconds_bucket{le=\"+Inf\"}" \
+    "$WORKDIR/metrics.prom"
+
+echo "== simulate with metrics"
+"$WFMSCTL" simulate --scenario ep --config 1,2,2 --duration 2000 \
+    --no-failures --metrics-out "$WORKDIR/sim_metrics.json" > /dev/null
+python3 "$CHECKER" validate --schema "$SCHEMAS/metrics_schema.json" \
+    "$WORKDIR/sim_metrics.json"
+python3 - "$WORKDIR/sim_metrics.json" << 'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["counters"]["wfms_sim_runs_total"] == 1, doc["counters"]
+assert doc["counters"]["wfms_sim_events_total"] > 0, doc["counters"]
+assert doc["gauges"]["wfms_sim_event_queue_peak"] > 0, doc["gauges"]
+PYEOF
+
+echo "== default stdout is unchanged by the observability layer"
+"$WFMSCTL" recommend --scenario benchmark --method greedy \
+    --max-wait 0.1 --min-avail 0.9999 > "$WORKDIR/plain.txt"
+"$WFMSCTL" recommend --scenario benchmark --method greedy \
+    --max-wait 0.1 --min-avail 0.9999 --verbose \
+    > "$WORKDIR/verbose_stdout.txt" 2> /dev/null
+diff "$WORKDIR/plain.txt" "$WORKDIR/verbose_stdout.txt"
+
+echo "== export failure fails a successful command"
+if "$WFMSCTL" analyze --scenario ep \
+    --metrics-out /nonexistent_dir_zzz/metrics.json > /dev/null 2>&1; then
+  echo "FAIL: unwritable --metrics-out did not fail the run" >&2
+  exit 1
+fi
+
+echo "observability_test: OK"

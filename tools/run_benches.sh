@@ -24,6 +24,23 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 mkdir -p "$OUT_DIR"
 
+# Provenance stamped into every archive's "context" field so results from
+# different commits, build types, and machines compare honestly.
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH_GIT_SHA="$(git -C "$REPO_DIR" rev-parse HEAD 2> /dev/null || echo unknown)"
+BENCH_GIT_DIRTY=0
+if ! git -C "$REPO_DIR" diff --quiet HEAD 2> /dev/null; then
+  BENCH_GIT_DIRTY=1
+fi
+BENCH_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "$BUILD_DIR/CMakeCache.txt" 2> /dev/null | head -n 1)"
+BENCH_HOST="$(hostname 2> /dev/null || echo unknown)"
+BENCH_KERNEL="$(uname -sr 2> /dev/null || echo unknown)"
+BENCH_CPUS="$(nproc 2> /dev/null || echo 0)"
+BENCH_TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+export BENCH_GIT_SHA BENCH_GIT_DIRTY BENCH_BUILD_TYPE BENCH_HOST \
+    BENCH_KERNEL BENCH_CPUS BENCH_TIMESTAMP
+
 failures=0
 ran=0
 for bench in "$BUILD_DIR"/bench/bench_*; do
@@ -38,13 +55,26 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     continue
   fi
   if ! python3 - "$name" "$out.raw" "$out" << 'PYEOF'
-import json, sys
+import json, os, sys
 name, raw_path, out_path = sys.argv[1:4]
 raw = open(raw_path, encoding="utf-8", errors="replace").read()
 try:
     doc = json.loads(raw)
 except ValueError:
     doc = {"benchmark": name, "format": "text", "lines": raw.splitlines()}
+if not isinstance(doc, dict):
+    doc = {"benchmark": name, "results": doc}
+doc["context"] = {
+    "git_sha": os.environ.get("BENCH_GIT_SHA", "unknown"),
+    "git_dirty": os.environ.get("BENCH_GIT_DIRTY", "0") == "1",
+    "build_type": os.environ.get("BENCH_BUILD_TYPE", "") or "unspecified",
+    "timestamp": os.environ.get("BENCH_TIMESTAMP", "unknown"),
+    "host": {
+        "name": os.environ.get("BENCH_HOST", "unknown"),
+        "kernel": os.environ.get("BENCH_KERNEL", "unknown"),
+        "cpus": int(os.environ.get("BENCH_CPUS", "0") or 0),
+    },
+}
 with open(out_path, "w", encoding="utf-8") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")

@@ -12,6 +12,7 @@
 //   wfmsctl export    --scenario benchmark > my_scenario.wfms
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -22,7 +23,9 @@
 #include <vector>
 
 #include "avail/availability_model.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "common/time_units.h"
 #include "configtool/checkpoint.h"
 #include "configtool/tool.h"
@@ -123,7 +126,14 @@ common flags:
               replacing the random failure processes (simulate)
   --iterations annealing iteration count          (recommend, default 2000)
   --verbose   also report cache statistics and per-candidate failure
-              causes (recommend)
+              causes on stderr (recommend)
+
+observability (any command):
+  --metrics-out FILE     write a metrics snapshot after the command runs
+  --metrics-format       json | prometheus        (default json)
+  --trace-out FILE       record trace spans as Chrome trace_event JSON
+                         (open in Perfetto or chrome://tracing)
+  passing either export flag also prints a run-report summary to stdout
 
 checkpointing (recommend, simulate):
   --checkpoint PATH      write crash-safe checkpoints to PATH (atomic
@@ -336,23 +346,41 @@ int Recommend(const workflow::Environment& env, const Flags& flags) {
   }
   std::printf("%s", tool->RenderRecommendation(*result).c_str());
   if (flags.Has("verbose")) {
-    const auto stats = tool->cache_stats();
-    std::printf(
-        "cache: %zu entries, %zu hits, %zu misses (%d of %d evaluations "
-        "served from cache)\n",
-        stats.entries, stats.hits, stats.misses, result->cache_hits,
-        result->evaluations);
+    // Cache accounting is read back from the metrics registry — the same
+    // counters --metrics-out exports — so stderr and the machine-readable
+    // snapshot can never disagree. The counts are mirrored at the exact
+    // sites that maintain the tool's own cache_stats() atomics.
+    const metrics::MetricsSnapshot snap =
+        metrics::MetricsRegistry::Global().Snapshot();
+    std::fprintf(
+        stderr,
+        "cache: %llu entries, %llu hits, %llu misses (%llu of %llu "
+        "evaluations served from cache)\n",
+        static_cast<unsigned long long>(
+            snap.gauge("wfms_configtool_cache_entries")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_configtool_cache_hits_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_configtool_cache_misses_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_configtool_search_cache_hits_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_configtool_candidates_assessed_total")));
     if (!result->failed_candidates.empty()) {
-      std::printf("failed candidates (%zu):\n",
-                  result->failed_candidates.size());
+      // The counter is incremented exactly where a cause is recorded, so
+      // it equals the number of lines below.
+      std::fprintf(stderr, "failed candidates (%llu):\n",
+                   static_cast<unsigned long long>(snap.counter(
+                       "wfms_configtool_candidates_failed_total")));
       for (const configtool::FailedCandidate& failed :
            result->failed_candidates) {
-        std::printf("  %s: %s [%s, solver rung: %s]\n",
-                    failed.config.ToString().c_str(),
-                    failed.error.ToString().c_str(),
-                    failed.numerical ? "numerical" : "structural",
-                    failed.retried_exact ? "iterative cascade + exact LU retry"
-                                         : "iterative cascade");
+        std::fprintf(stderr, "  %s: %s [%s, solver rung: %s]\n",
+                     failed.config.ToString().c_str(),
+                     failed.error.ToString().c_str(),
+                     failed.numerical ? "numerical" : "structural",
+                     failed.retried_exact
+                         ? "iterative cascade + exact LU retry"
+                         : "iterative cascade");
       }
     }
   }
@@ -468,6 +496,104 @@ int Calibrate(const workflow::Environment& env, const Flags& flags) {
   return 0;
 }
 
+// Human summary of the metrics registry, printed to stdout only alongside
+// the machine-readable exports (the default stdout stays byte-identical —
+// the chaos harness diffs it). Lines appear only for subsystems that ran.
+void PrintRunReport(const metrics::MetricsSnapshot& snap,
+                    double wall_seconds) {
+  std::printf("run report:\n");
+  std::printf("  wall time %.3f s\n", wall_seconds);
+  const uint64_t assessed =
+      snap.counter("wfms_configtool_candidates_assessed_total");
+  if (assessed > 0) {
+    const uint64_t hits =
+        snap.counter("wfms_configtool_search_cache_hits_total");
+    std::printf(
+        "  candidates assessed %llu (%.1f/s), cache hits %llu (%.1f%%), "
+        "failed %llu, pruned %llu\n",
+        static_cast<unsigned long long>(assessed),
+        wall_seconds > 0.0 ? static_cast<double>(assessed) / wall_seconds
+                           : 0.0,
+        static_cast<unsigned long long>(hits),
+        100.0 * static_cast<double>(hits) / static_cast<double>(assessed),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_configtool_candidates_failed_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_configtool_candidates_pruned_total")));
+  }
+  if (const metrics::HistogramSnapshot* latency =
+          snap.histogram("wfms_configtool_assessment_seconds");
+      latency != nullptr && latency->count > 0) {
+    std::printf("  assessment latency p50 %.3f ms, p99 %.3f ms\n",
+                latency->p50 * 1e3, latency->p99 * 1e3);
+  }
+  const uint64_t solves = snap.counter("wfms_markov_steady_solves_total");
+  if (solves > 0) {
+    const uint64_t fallbacks =
+        snap.counter("wfms_markov_steady_fallbacks_total");
+    std::printf(
+        "  steady-state solves %llu, fallbacks %llu (%.1f%%), failures "
+        "%llu\n",
+        static_cast<unsigned long long>(solves),
+        static_cast<unsigned long long>(fallbacks),
+        100.0 * static_cast<double>(fallbacks) / static_cast<double>(solves),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_markov_steady_failures_total")));
+  }
+  const uint64_t sim_events = snap.counter("wfms_sim_events_total");
+  if (sim_events > 0) {
+    std::printf("  sim events %llu (%.0f events/s, peak queue %.0f)\n",
+                static_cast<unsigned long long>(sim_events),
+                snap.gauge("wfms_sim_events_per_second"),
+                snap.gauge("wfms_sim_event_queue_peak"));
+  }
+  const uint64_t checkpoint_writes =
+      snap.counter("wfms_configtool_checkpoint_writes_total") +
+      snap.counter("wfms_sim_checkpoint_writes_total");
+  if (checkpoint_writes > 0) {
+    std::printf("  checkpoint writes %llu\n",
+                static_cast<unsigned long long>(checkpoint_writes));
+  }
+}
+
+// Writes --metrics-out / --trace-out and prints the run report after the
+// command finishes. A failed export turns a successful run into exit 1;
+// a failed command keeps its own exit code (exports are still attempted —
+// the partial snapshot is exactly what an operator wants post-mortem).
+int ObservabilityEpilogue(int code, const Flags& flags,
+                          double wall_seconds) {
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string trace_out = flags.Get("trace-out", "");
+  if (metrics_out.empty() && trace_out.empty()) return code;
+
+  const metrics::MetricsSnapshot snap =
+      metrics::MetricsRegistry::Global().Snapshot();
+  Status export_error;
+  if (!metrics_out.empty()) {
+    const std::string body =
+        flags.Get("metrics-format", "json") == "prometheus"
+            ? snap.ToPrometheusText()
+            : snap.ToJson();
+    std::ofstream out(metrics_out, std::ios::binary);
+    if (out) out << body;
+    if (!out) {
+      export_error =
+          Status::Internal("cannot write metrics to '" + metrics_out + "'");
+    }
+  }
+  if (!trace_out.empty()) {
+    const Status written = trace::WriteJson(trace_out);
+    if (!written.ok() && export_error.ok()) export_error = written;
+  }
+  PrintRunReport(snap, wall_seconds);
+  if (!export_error.ok()) {
+    std::fprintf(stderr, "wfmsctl: %s\n",
+                 export_error.ToString().c_str());
+    if (code == 0) return 1;
+  }
+  return code;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -493,19 +619,42 @@ int Main(int argc, char** argv) {
     }
   }
 
+  const std::string metrics_format = flags.Get("metrics-format", "json");
+  if (metrics_format != "json" && metrics_format != "prometheus") {
+    std::fprintf(stderr, "bad --metrics-format '%s' (json|prometheus)\n",
+                 metrics_format.c_str());
+    return Usage();
+  }
+  // Tracing must be on before the command runs; spans recorded while
+  // disabled are dropped at the start site, not filtered at export.
+  if (flags.Has("trace-out")) trace::SetEnabled(true);
+
   InstallSignalHandlers();
+  const auto run_start = std::chrono::steady_clock::now();
   auto env = LoadScenario(flags.Get("scenario", "ep"));
   if (!env.ok()) return FailWith(env.status());
-  if (command == "analyze") return Analyze(*env);
-  if (command == "assess") return Assess(*env, flags);
-  if (command == "recommend") return Recommend(*env, flags);
-  if (command == "simulate") return Simulate(*env, flags);
-  if (command == "calibrate") return Calibrate(*env, flags);
-  if (command == "export") {
+  int code;
+  if (command == "analyze") {
+    code = Analyze(*env);
+  } else if (command == "assess") {
+    code = Assess(*env, flags);
+  } else if (command == "recommend") {
+    code = Recommend(*env, flags);
+  } else if (command == "simulate") {
+    code = Simulate(*env, flags);
+  } else if (command == "calibrate") {
+    code = Calibrate(*env, flags);
+  } else if (command == "export") {
     std::printf("%s", workflow::SerializeEnvironment(*env).c_str());
-    return 0;
+    code = 0;
+  } else {
+    return Usage();
   }
-  return Usage();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
+  return ObservabilityEpilogue(code, flags, wall_seconds);
 }
 
 }  // namespace
