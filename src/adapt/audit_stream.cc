@@ -1,0 +1,168 @@
+#include "adapt/audit_stream.h"
+
+#include "common/metrics.h"
+
+namespace wfms::adapt {
+
+namespace {
+
+struct EventTimeVisitor {
+  double operator()(const workflow::StateVisitRecord& r) const {
+    return r.leave_time;
+  }
+  double operator()(const workflow::ServiceRecord& r) const { return r.time; }
+  double operator()(const workflow::ArrivalRecord& r) const {
+    return r.arrival_time;
+  }
+  double operator()(const workflow::CompletionRecord& r) const {
+    return r.end_time;
+  }
+  double operator()(const workflow::ServerCountRecord& r) const {
+    return r.time;
+  }
+};
+
+metrics::Counter& PublishedCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_adapt_stream_published_total");
+  return counter;
+}
+
+metrics::Counter& DroppedCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_adapt_stream_dropped_total");
+  return counter;
+}
+
+metrics::Gauge& DepthGauge() {
+  static metrics::Gauge& gauge = metrics::MetricsRegistry::Global().GetGauge(
+      "wfms_adapt_stream_depth_peak");
+  return gauge;
+}
+
+}  // namespace
+
+double EventTime(const AuditEvent& event) {
+  return std::visit(EventTimeVisitor{}, event);
+}
+
+AuditStream::AuditStream(size_t capacity, Overflow overflow)
+    : capacity_(capacity == 0 ? 1 : capacity), overflow_(overflow) {}
+
+bool AuditStream::EnqueueLocked(std::unique_lock<std::mutex>& lock,
+                                AuditEvent&& event, bool block) {
+  if (block) {
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+  }
+  if (closed_ || queue_.size() >= capacity_) {
+    ++dropped_;
+    lock.unlock();
+    CountDrop();
+    return false;
+  }
+  queue_.push_back(std::move(event));
+  ++published_;
+  DepthGauge().UpdateMax(static_cast<double>(queue_.size()));
+  lock.unlock();
+  PublishedCounter().Increment();
+  not_empty_.notify_one();
+  return true;
+}
+
+void AuditStream::CountDrop() { DroppedCounter().Increment(); }
+
+void AuditStream::Publish(AuditEvent event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  EnqueueLocked(lock, std::move(event), /*block=*/true);
+}
+
+bool AuditStream::TryPublish(AuditEvent event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return EnqueueLocked(lock, std::move(event), /*block=*/false);
+}
+
+void AuditStream::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t AuditStream::Drain(std::vector<AuditEvent>* out, size_t max_events) {
+  size_t moved = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (moved < max_events && !queue_.empty()) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++moved;
+    }
+  }
+  if (moved > 0) not_full_.notify_all();
+  return moved;
+}
+
+size_t AuditStream::WaitDrain(std::vector<AuditEvent>* out,
+                              size_t max_events) {
+  size_t moved = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    while (moved < max_events && !queue_.empty()) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++moved;
+    }
+  }
+  if (moved > 0) not_full_.notify_all();
+  return moved;
+}
+
+size_t AuditStream::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool AuditStream::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+uint64_t AuditStream::published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+uint64_t AuditStream::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void AuditStream::SinkPublish(AuditEvent event) {
+  if (overflow_ == Overflow::kBlock) {
+    Publish(std::move(event));
+  } else {
+    TryPublish(std::move(event));
+  }
+}
+
+void AuditStream::OnStateVisit(const workflow::StateVisitRecord& record) {
+  SinkPublish(record);
+}
+void AuditStream::OnService(const workflow::ServiceRecord& record) {
+  SinkPublish(record);
+}
+void AuditStream::OnArrival(const workflow::ArrivalRecord& record) {
+  SinkPublish(record);
+}
+void AuditStream::OnCompletion(const workflow::CompletionRecord& record) {
+  SinkPublish(record);
+}
+void AuditStream::OnServerCount(const workflow::ServerCountRecord& record) {
+  SinkPublish(record);
+}
+
+}  // namespace wfms::adapt

@@ -1,0 +1,106 @@
+// Bounded MPSC channel between the operational system (the simulator's
+// audit hooks, running on the simulation thread) and the adaptive
+// reconfiguration loop's consumer. The paper's §7 vision has the audit
+// trail "continuously monitored"; this is the transport.
+//
+// Concurrency contract: any number of producer threads may Publish /
+// TryPublish concurrently; exactly one consumer thread drains. Per
+// producer, events arrive in publish order (the queue is FIFO), which is
+// what makes the single-producer closed loop deterministic.
+//
+// Backpressure: the stream is bounded. `Publish` blocks the producer when
+// the queue is full (lossless mode — the closed loop uses this, so a slow
+// controller slows the simulator instead of corrupting its estimates);
+// `TryPublish` drops the event instead and counts the drop. Both the
+// published and dropped totals are mirrored into the metrics registry
+// (`wfms_adapt_stream_published_total` / `wfms_adapt_stream_dropped_total`)
+// so a lossy monitoring deployment is visible in every metrics export.
+#ifndef WFMS_ADAPT_AUDIT_STREAM_H_
+#define WFMS_ADAPT_AUDIT_STREAM_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <variant>
+#include <vector>
+
+#include "workflow/audit_trail.h"
+
+namespace wfms::adapt {
+
+/// One monitored occurrence, timestamped in model time.
+using AuditEvent =
+    std::variant<workflow::StateVisitRecord, workflow::ServiceRecord,
+                 workflow::ArrivalRecord, workflow::CompletionRecord,
+                 workflow::ServerCountRecord>;
+
+/// The model-time stamp of an event (leave/start/arrival/end/change time).
+double EventTime(const AuditEvent& event);
+
+class AuditStream : public workflow::AuditSink {
+ public:
+  /// What a full queue does to the *sink-interface* publishes (the
+  /// explicit Publish/TryPublish entry points choose per call).
+  enum class Overflow {
+    kBlock,      // wait for space — lossless, backpressures the producer
+    kDropNewest  // drop the incoming event, count it
+  };
+
+  explicit AuditStream(size_t capacity, Overflow overflow = Overflow::kBlock);
+
+  /// Blocks until there is space (or the stream is closed, in which case
+  /// the event is dropped and counted — a closed stream accepts nothing).
+  void Publish(AuditEvent event);
+  /// Never blocks: false (and a counted drop) when full or closed.
+  bool TryPublish(AuditEvent event);
+
+  /// Marks the end of the stream: producers' publishes become drops and
+  /// blocked consumers wake. Idempotent.
+  void Close();
+
+  /// Moves up to `max_events` queued events into `*out` (appending).
+  /// Returns the number moved; never blocks.
+  size_t Drain(std::vector<AuditEvent>* out, size_t max_events = SIZE_MAX);
+
+  /// Blocks until at least one event is available or the stream is closed
+  /// and empty; then drains like Drain(). A return of 0 means closed and
+  /// fully drained — the consumer's termination signal.
+  size_t WaitDrain(std::vector<AuditEvent>* out,
+                   size_t max_events = SIZE_MAX);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  bool closed() const;
+  uint64_t published() const;
+  uint64_t dropped() const;
+
+  // workflow::AuditSink — publishes under the constructed overflow policy.
+  void OnStateVisit(const workflow::StateVisitRecord& record) override;
+  void OnService(const workflow::ServiceRecord& record) override;
+  void OnArrival(const workflow::ArrivalRecord& record) override;
+  void OnCompletion(const workflow::CompletionRecord& record) override;
+  void OnServerCount(const workflow::ServerCountRecord& record) override;
+
+ private:
+  void SinkPublish(AuditEvent event);
+  /// Precondition: lock held. Returns false when the event was dropped.
+  bool EnqueueLocked(std::unique_lock<std::mutex>& lock, AuditEvent&& event,
+                     bool block);
+  void CountDrop();
+
+  const size_t capacity_;
+  const Overflow overflow_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<AuditEvent> queue_;
+  bool closed_ = false;
+  uint64_t published_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace wfms::adapt
+
+#endif  // WFMS_ADAPT_AUDIT_STREAM_H_

@@ -1,0 +1,82 @@
+// The end-to-end closed loop: simulate → monitor → calibrate → assess →
+// reconfigure, in control periods ("epochs").
+//
+// The one-shot simulator cannot change its configuration mid-run, so the
+// loop runs one simulation per epoch: epoch e covers model time
+// [e*epoch, (e+1)*epoch) under the configuration the controller currently
+// recommends, with arrival rates taken from the scripted load schedule
+// (base rates at the epoch start, the schedule slice within the epoch).
+// The simulation thread publishes every audit record into a bounded
+// AuditStream (blocking mode — lossless, so estimates are exact); the
+// loop thread drains the stream into the ReconfigurationController and
+// evaluates it at the epoch boundary.
+//
+// Determinism: each epoch's simulation seed is derived from the master
+// seed by a SplitMix-seeded draw per epoch, the stream is FIFO, and the
+// controller is single-threaded — the whole loop is a pure function of
+// (environment, options), bit-identical across runs and machines
+// regardless of thread scheduling.
+#ifndef WFMS_ADAPT_AUTOTUNE_H_
+#define WFMS_ADAPT_AUTOTUNE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "common/result.h"
+#include "sim/simulator.h"
+
+namespace wfms::adapt {
+
+struct AutotuneOptions {
+  workflow::Configuration initial;
+  /// Total model time and control-period length (model minutes).
+  double duration = 20000.0;
+  double epoch = 2000.0;
+  uint64_t seed = 1;
+  sim::DispatchPolicy dispatch = sim::DispatchPolicy::kRoundRobin;
+  bool enable_failures = true;
+  bool exponential_residence = true;
+  /// Scripted load phases over the *whole* run (absolute times).
+  sim::LoadSchedule load;
+  /// Bounded stream between the simulation thread and the loop thread.
+  size_t stream_capacity = 4096;
+  ControllerOptions controller;
+  OnlineCalibratorOptions calibrator;
+};
+
+/// One control period of the run.
+struct EpochReport {
+  int index = 0;
+  double start = 0.0;
+  double end = 0.0;
+  /// Configuration the epoch ran under.
+  workflow::Configuration config;
+  /// Arrival rates in force at the epoch start (schedule ground truth).
+  std::vector<double> scheduled_rates;
+  uint64_t events = 0;
+  /// Mean observed turnaround across workflow types this epoch (simulator
+  /// ground truth, not the estimator view).
+  double observed_turnaround = 0.0;
+  ControllerDecision decision;
+};
+
+struct AutotuneReport {
+  std::vector<EpochReport> epochs;
+  workflow::Configuration final_config;
+  int reconfigurations = 0;
+  uint64_t events_total = 0;
+  uint64_t dropped_total = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs the closed loop over `env` (the designed model; also the source of
+/// the base arrival rates the load schedule modulates).
+Result<AutotuneReport> RunAutotune(const workflow::Environment& env,
+                                   const AutotuneOptions& options);
+
+}  // namespace wfms::adapt
+
+#endif  // WFMS_ADAPT_AUTOTUNE_H_

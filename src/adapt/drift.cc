@@ -1,0 +1,46 @@
+#include "adapt/drift.h"
+
+#include <algorithm>
+
+namespace wfms::adapt {
+
+PageHinkleyDetector::PageHinkleyDetector(PageHinkleyOptions options)
+    : options_(options) {}
+
+bool PageHinkleyDetector::Add(double value) {
+  ++samples_;
+  sum_ += value;
+  const double mean = sum_ / static_cast<double>(samples_);
+  cum_up_ = std::max(0.0, cum_up_ + value - mean - options_.delta);
+  cum_down_ = std::max(0.0, cum_down_ + mean - value - options_.delta);
+  if (samples_ >= options_.min_samples &&
+      (cum_up_ > options_.lambda || cum_down_ > options_.lambda)) {
+    triggered_ = true;
+  }
+  return triggered_;
+}
+
+double PageHinkleyDetector::mean() const {
+  return samples_ > 0 ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+double PageHinkleyDetector::score() const {
+  if (options_.lambda <= 0.0) return triggered_ ? 1.0 : 0.0;
+  return std::max(cum_up_, cum_down_) / options_.lambda;
+}
+
+void PageHinkleyDetector::Reset() {
+  samples_ = 0;
+  sum_ = 0.0;
+  cum_up_ = 0.0;
+  cum_down_ = 0.0;
+  triggered_ = false;
+}
+
+bool DriftMonitor::Observe(double estimate) {
+  const double normalized =
+      baseline != 0.0 ? estimate / baseline : 1.0 + estimate;
+  return detector.Add(normalized);
+}
+
+}  // namespace wfms::adapt

@@ -1,0 +1,78 @@
+// Per-parameter drift detection for the adaptive loop: a two-sided
+// Page–Hinkley test (the sequential-analysis cousin of CUSUM) over a
+// stream of estimate samples. The detector answers "has the mean of this
+// series shifted by more than the tolerated slack?" with O(1) state.
+//
+// Usage in the controller: each monitored parameter (per-type arrival
+// rate, per-server-type service mean, observed turnaround) gets its own
+// detector and is fed *normalized* samples — estimate / baseline — so a
+// single (delta, lambda) pair is meaningful across parameters of very
+// different magnitudes. After a reconfiguration (or a confirmed
+// no-change decision) the detectors are Reset() to re-baseline on the
+// new regime.
+#ifndef WFMS_ADAPT_DRIFT_H_
+#define WFMS_ADAPT_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wfms::adapt {
+
+struct PageHinkleyOptions {
+  /// Slack per sample: deviations below delta never accumulate. With
+  /// normalized inputs, 0.05 tolerates 5% wobble around the baseline.
+  double delta = 0.05;
+  /// Detection threshold on the accumulated deviation. Larger lambda means
+  /// fewer false alarms and slower detection.
+  double lambda = 1.0;
+  /// No alarm before this many samples (the running mean is noise first).
+  int64_t min_samples = 5;
+};
+
+/// Two-sided Page–Hinkley: tracks cumulative deviation of the samples
+/// from their running mean in both directions; alarms (and latches) when
+/// either side exceeds lambda.
+class PageHinkleyDetector {
+ public:
+  explicit PageHinkleyDetector(PageHinkleyOptions options = {});
+
+  /// Feeds one sample; returns true when the detector is (now) triggered.
+  /// Once triggered it stays triggered until Reset().
+  bool Add(double value);
+
+  bool triggered() const { return triggered_; }
+  int64_t samples() const { return samples_; }
+  /// Running mean of everything fed since the last Reset().
+  double mean() const;
+  /// Current accumulated statistic of the side closer to alarming,
+  /// normalized by lambda (>= 1 once triggered) — a drift "score" for
+  /// reports.
+  double score() const;
+
+  /// Re-baselines: clears the running mean, the cumulative sums, and the
+  /// latch.
+  void Reset();
+
+ private:
+  PageHinkleyOptions options_;
+  int64_t samples_ = 0;
+  double sum_ = 0.0;
+  double cum_up_ = 0.0;    // cumulative (x - mean - delta), floored at 0
+  double cum_down_ = 0.0;  // cumulative (mean - x - delta), floored at 0
+  bool triggered_ = false;
+};
+
+/// One monitored parameter: a named detector fed normalized samples.
+struct DriftMonitor {
+  std::string name;
+  double baseline = 1.0;
+  PageHinkleyDetector detector;
+
+  /// Feeds estimate/baseline (baseline of 0 feeds 1 + estimate so a move
+  /// off zero still registers). Returns triggered state.
+  bool Observe(double estimate);
+};
+
+}  // namespace wfms::adapt
+
+#endif  // WFMS_ADAPT_DRIFT_H_

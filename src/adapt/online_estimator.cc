@@ -1,0 +1,372 @@
+#include "adapt/online_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wfms::adapt {
+
+namespace {
+
+double ZForLevel(double level) {
+  if (level >= 0.989) return 2.5758293035489004;
+  if (level <= 0.901) return 1.6448536269514722;
+  return 1.959963984540054;  // 95%
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DecayedMoments
+
+DecayedMoments::DecayedMoments(double tau) : tau_(tau > 0.0 ? tau : 1.0) {}
+
+void DecayedMoments::Add(double time, double value) {
+  WFMS_DCHECK(time >= last_time_ || weight_ == 0.0);
+  if (weight_ > 0.0 && time > last_time_) {
+    const double decay = std::exp(-(time - last_time_) / tau_);
+    weight_ *= decay;
+    weighted_sum_ *= decay;
+    weighted_sq_ *= decay;
+  }
+  last_time_ = std::max(last_time_, time);
+  weight_ += 1.0;
+  weighted_sum_ += value;
+  weighted_sq_ += value * value;
+}
+
+void DecayedMoments::Reset() {
+  last_time_ = 0.0;
+  weight_ = 0.0;
+  weighted_sum_ = 0.0;
+  weighted_sq_ = 0.0;
+}
+
+double DecayedMoments::mean() const {
+  return weight_ > 0.0 ? weighted_sum_ / weight_ : 0.0;
+}
+
+double DecayedMoments::second_moment() const {
+  return weight_ > 0.0 ? weighted_sq_ / weight_ : 0.0;
+}
+
+double DecayedMoments::variance() const {
+  const double m = mean();
+  return std::max(0.0, second_moment() - m * m);
+}
+
+double DecayedMoments::effective_samples(double now) const {
+  if (weight_ <= 0.0) return 0.0;
+  if (now <= last_time_) return weight_;
+  return weight_ * std::exp(-(now - last_time_) / tau_);
+}
+
+double DecayedMoments::ConfidenceHalfWidth(double level) const {
+  const double n = effective_samples();
+  if (n < 2.0) return 0.0;
+  return ZForLevel(level) * std::sqrt(variance() / n);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedRate
+
+WindowedRate::WindowedRate(double window)
+    : window_(window > 0.0 ? window : 1.0) {}
+
+void WindowedRate::AddEvent(double time) {
+  events_.push_back(time);
+  PruneBefore(time - window_);
+}
+
+void WindowedRate::Reset() { events_.clear(); }
+
+void WindowedRate::PruneBefore(double cutoff) const {
+  while (!events_.empty() && events_.front() <= cutoff) events_.pop_front();
+}
+
+int64_t WindowedRate::count(double now) const {
+  PruneBefore(now - window_);
+  return static_cast<int64_t>(events_.size());
+}
+
+double WindowedRate::rate(double now) const {
+  const double span = std::min(std::max(now, 1e-12), window_);
+  return static_cast<double>(count(now)) / span;
+}
+
+double WindowedRate::ConfidenceHalfWidth(double now, double level) const {
+  const double span = std::min(std::max(now, 1e-12), window_);
+  return ZForLevel(level) * std::sqrt(static_cast<double>(count(now))) / span;
+}
+
+// ---------------------------------------------------------------------------
+// WindowedSample
+
+WindowedSample::WindowedSample(double window)
+    : window_(window > 0.0 ? window : 1.0) {}
+
+void WindowedSample::Add(double time, double value) {
+  samples_.emplace_back(time, value);
+  PruneBefore(time - window_);
+}
+
+void WindowedSample::Reset() { samples_.clear(); }
+
+void WindowedSample::PruneBefore(double cutoff) const {
+  while (!samples_.empty() && samples_.front().first <= cutoff) {
+    samples_.pop_front();
+  }
+}
+
+int64_t WindowedSample::count(double now) const {
+  PruneBefore(now - window_);
+  return static_cast<int64_t>(samples_.size());
+}
+
+double WindowedSample::mean(double now) const {
+  PruneBefore(now - window_);
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [t, v] : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double WindowedSample::stddev(double now) const {
+  PruneBefore(now - window_);
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean(now);
+  double sq = 0.0;
+  for (const auto& [t, v] : samples_) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+}
+
+double WindowedSample::ConfidenceHalfWidth(double now, double level) const {
+  const int64_t n = count(now);
+  if (n < 2) return 0.0;
+  return ZForLevel(level) * stddev(now) / std::sqrt(static_cast<double>(n));
+}
+
+// ---------------------------------------------------------------------------
+// FailureRepairEstimator
+
+void FailureRepairEstimator::Observe(const workflow::ServerCountRecord& record) {
+  if (started_ && record.time >= last_time_) {
+    const double dt = record.time - last_time_;
+    up_server_time_ += dt * static_cast<double>(last_up_);
+    down_server_time_ +=
+        dt * static_cast<double>(std::max(0, last_configured_ - last_up_));
+    if (record.up < last_up_) failures_ += last_up_ - record.up;
+    if (record.up > last_up_) repairs_ += record.up - last_up_;
+  }
+  started_ = true;
+  last_time_ = record.time;
+  last_up_ = record.up;
+  last_configured_ = record.configured;
+}
+
+void FailureRepairEstimator::Reset() { *this = FailureRepairEstimator(); }
+
+Result<double> FailureRepairEstimator::FailureRate(int64_t min_events) const {
+  if (failures_ < min_events || up_server_time_ <= 0.0) {
+    return Status::NotFound("too few observed failures for a rate estimate");
+  }
+  return static_cast<double>(failures_) / up_server_time_;
+}
+
+Result<double> FailureRepairEstimator::RepairRate(int64_t min_events) const {
+  if (repairs_ < min_events || down_server_time_ <= 0.0) {
+    return Status::NotFound("too few observed repairs for a rate estimate");
+  }
+  return static_cast<double>(repairs_) / down_server_time_;
+}
+
+// ---------------------------------------------------------------------------
+// OnlineCalibrator
+
+OnlineCalibrator::OnlineCalibrator(const workflow::Environment* env,
+                                   OnlineCalibratorOptions options)
+    : env_(env), options_(options) {
+  WFMS_CHECK(env_ != nullptr);
+  const size_t k = env_->num_server_types();
+  service_moments_.assign(k, DecayedMoments(options_.tau));
+  failure_repair_.assign(k, FailureRepairEstimator());
+  up_counts_.assign(k, 0);
+  up_known_.assign(k, 0);
+  for (const auto& wf : env_->workflows) {
+    arrival_rates_.emplace(wf.name, WindowedRate(options_.window));
+    turnarounds_.emplace(wf.name, WindowedSample(options_.window));
+  }
+}
+
+void OnlineCalibrator::Advance(double time) {
+  if (time > now_) now_ = time;
+}
+
+void OnlineCalibrator::Consume(const AuditEvent& event) {
+  ++events_consumed_;
+  Advance(EventTime(event));
+  if (const auto* visit = std::get_if<workflow::StateVisitRecord>(&event)) {
+    visit_history_.push_back(*visit);
+  } else if (const auto* service =
+                 std::get_if<workflow::ServiceRecord>(&event)) {
+    if (service->server_type < service_moments_.size()) {
+      service_moments_[service->server_type].Add(service->time,
+                                                 service->service_time);
+    }
+    service_history_.push_back(*service);
+  } else if (const auto* arrival =
+                 std::get_if<workflow::ArrivalRecord>(&event)) {
+    auto it = arrival_rates_.find(arrival->workflow_type);
+    if (it != arrival_rates_.end()) it->second.AddEvent(arrival->arrival_time);
+    arrival_history_.push_back(*arrival);
+  } else if (const auto* completion =
+                 std::get_if<workflow::CompletionRecord>(&event)) {
+    auto it = turnarounds_.find(completion->workflow_type);
+    if (it != turnarounds_.end()) {
+      it->second.Add(completion->end_time,
+                     completion->end_time - completion->start_time);
+    }
+  } else if (const auto* count =
+                 std::get_if<workflow::ServerCountRecord>(&event)) {
+    if (count->server_type < failure_repair_.size()) {
+      failure_repair_[count->server_type].Observe(*count);
+      up_counts_[count->server_type] = count->up;
+      up_known_[count->server_type] = 1;
+      any_server_record_ = true;
+      bool all_up = true;
+      for (size_t i = 0; i < up_counts_.size(); ++i) {
+        if (up_known_[i] && up_counts_[i] <= 0) all_up = false;
+      }
+      availability_log_.emplace_back(count->time, all_up ? 1 : 0);
+    }
+  }
+  PruneHistory();
+}
+
+void OnlineCalibrator::PruneHistory() {
+  const double cutoff = now_ - options_.window;
+  while (!visit_history_.empty() && visit_history_.front().leave_time <= cutoff)
+    visit_history_.pop_front();
+  while (!service_history_.empty() && service_history_.front().time <= cutoff)
+    service_history_.pop_front();
+  while (!arrival_history_.empty() &&
+         arrival_history_.front().arrival_time <= cutoff)
+    arrival_history_.pop_front();
+  // Keep one availability entry at or before the cutoff so the integral over
+  // the window has a defined starting value.
+  while (availability_log_.size() > 1 &&
+         availability_log_[1].first <= cutoff) {
+    availability_log_.pop_front();
+  }
+}
+
+WorkflowEstimate OnlineCalibrator::EstimateFor(
+    const std::string& workflow) const {
+  WorkflowEstimate estimate;
+  auto rate_it = arrival_rates_.find(workflow);
+  if (rate_it != arrival_rates_.end()) {
+    estimate.arrival_rate = rate_it->second.rate(now_);
+    estimate.arrival_half_width = rate_it->second.ConfidenceHalfWidth(now_);
+    estimate.arrivals = rate_it->second.count(now_);
+  }
+  auto turn_it = turnarounds_.find(workflow);
+  if (turn_it != turnarounds_.end()) {
+    estimate.turnaround_mean = turn_it->second.mean(now_);
+    estimate.turnaround_half_width = turn_it->second.ConfidenceHalfWidth(now_);
+    estimate.completions = turn_it->second.count(now_);
+  }
+  return estimate;
+}
+
+const DecayedMoments& OnlineCalibrator::ServiceMoments(
+    size_t server_type) const {
+  WFMS_CHECK(server_type < service_moments_.size());
+  return service_moments_[server_type];
+}
+
+const FailureRepairEstimator& OnlineCalibrator::FailureRepair(
+    size_t server_type) const {
+  WFMS_CHECK(server_type < failure_repair_.size());
+  return failure_repair_[server_type];
+}
+
+double OnlineCalibrator::ObservedAvailability() const {
+  if (!any_server_record_ || availability_log_.empty()) return 1.0;
+  const double window_start = std::max(0.0, now_ - options_.window);
+  double up_time = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < availability_log_.size(); ++i) {
+    const double from = std::max(window_start, availability_log_[i].first);
+    const double to = (i + 1 < availability_log_.size())
+                          ? std::max(window_start,
+                                     availability_log_[i + 1].first)
+                          : now_;
+    if (to <= from) continue;
+    total += to - from;
+    if (availability_log_[i].second) up_time += to - from;
+  }
+  if (total <= 0.0) {
+    return availability_log_.back().second ? 1.0 : 0.0;
+  }
+  return up_time / total;
+}
+
+Result<workflow::Environment> OnlineCalibrator::RebuildEnvironment(
+    workflow::CalibrationReport* report) const {
+  // Replay the windowed history through the batch calibration math.
+  workflow::AuditTrail trail;
+  for (const auto& visit : visit_history_) trail.RecordStateVisit(visit);
+  for (const auto& service : service_history_) trail.RecordService(service);
+  for (const auto& arrival : arrival_history_) trail.RecordArrival(arrival);
+  workflow::CalibrationOptions cal_options;
+  cal_options.min_observations = options_.min_observations;
+  WFMS_ASSIGN_OR_RETURN(
+      workflow::Environment calibrated,
+      workflow::CalibrateEnvironment(*env_, trail, cal_options, report));
+
+  // The batch arrival-rate estimate divides by the span since t = 0; the
+  // windowed estimator is anchored to the observation window, so it tracks
+  // a load shift instead of averaging it away. Override where trusted.
+  for (auto& wf : calibrated.workflows) {
+    auto it = arrival_rates_.find(wf.name);
+    if (it == arrival_rates_.end()) continue;
+    if (it->second.count(now_) >= options_.min_observations) {
+      wf.arrival_rate = it->second.rate(now_);
+    }
+  }
+
+  // Failure/repair rates: the batch path has no server-count records at
+  // all; the online estimator is the only source. Designed values are kept
+  // where observations are thin.
+  for (size_t i = 0; i < calibrated.servers.size(); ++i) {
+    workflow::ServerType& type = calibrated.servers.mutable_type(i);
+    if (auto rate = failure_repair_[i].FailureRate(options_.min_observations);
+        rate.ok()) {
+      type.failure_rate = *rate;
+    }
+    if (auto rate = failure_repair_[i].RepairRate(options_.min_observations);
+        rate.ok()) {
+      type.repair_rate = *rate;
+    }
+  }
+  return calibrated;
+}
+
+void OnlineCalibrator::ResetEstimators() {
+  for (auto& [name, rate] : arrival_rates_) rate.Reset();
+  for (auto& [name, sample] : turnarounds_) sample.Reset();
+  for (auto& moments : service_moments_) moments.Reset();
+  for (auto& estimator : failure_repair_) estimator.Reset();
+  visit_history_.clear();
+  service_history_.clear();
+  arrival_history_.clear();
+  // The availability log keeps its last entry: the up/down state persists
+  // across a reconfiguration even though the statistics restart.
+  if (availability_log_.size() > 1) {
+    availability_log_.erase(availability_log_.begin(),
+                            availability_log_.end() - 1);
+  }
+}
+
+}  // namespace wfms::adapt

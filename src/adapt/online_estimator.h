@@ -1,0 +1,231 @@
+// Online re-estimation of the model inputs from the monitored audit
+// stream — the continuously-running version of the batch calibration
+// component (workflow/calibration.h, §7.1 of the paper). Two estimator
+// families, chosen per parameter by data volume:
+//
+//  - exponentially-decayed moments (O(1) memory) for high-volume series:
+//    service times per server type, residence times and transition counts
+//    per chart state;
+//  - sliding-window estimators (memory bounded by window x rate) where
+//    the quantity *is* a windowed statistic: arrival rates, observed
+//    turnaround, observed availability, failure/repair rates.
+//
+// Every estimator carries a normal-approximation confidence interval via
+// its effective sample size, so the drift detectors and the controller
+// can distinguish "the estimate moved" from "the estimate is noisy".
+//
+// RebuildEnvironment() closes the loop back into the analytic models: the
+// windowed record history is replayed through CalibrateEnvironment (the
+// §7.1 batch math, reused verbatim), then arrival and failure/repair
+// rates are overridden from the windowed estimators, which unlike the
+// batch path are anchored to the observation window rather than to t = 0.
+#ifndef WFMS_ADAPT_ONLINE_ESTIMATOR_H_
+#define WFMS_ADAPT_ONLINE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adapt/audit_stream.h"
+#include "common/result.h"
+#include "workflow/calibration.h"
+#include "workflow/environment.h"
+
+namespace wfms::adapt {
+
+/// Exponentially-decayed first/second moments: an observation made at
+/// model time t carries weight exp(-(now - t)/tau). The effective sample
+/// size is the decayed weight sum, which the confidence interval uses in
+/// place of n.
+class DecayedMoments {
+ public:
+  explicit DecayedMoments(double tau);
+
+  /// `time` must be non-decreasing across calls.
+  void Add(double time, double value);
+  void Reset();
+
+  double mean() const;
+  double second_moment() const;
+  /// Decayed-weight analogue of the sample variance (>= 0).
+  double variance() const;
+  /// Decayed weight sum, further decayed to `now` when `now` is past the
+  /// last observation.
+  double effective_samples(double now) const;
+  double effective_samples() const { return effective_samples(last_time_); }
+  /// Half-width of the normal-approximation CI at the given level
+  /// (supported: 0.90, 0.95, 0.99), using the effective sample size.
+  double ConfidenceHalfWidth(double level = 0.95) const;
+  double last_time() const { return last_time_; }
+
+ private:
+  double tau_;
+  double last_time_ = 0.0;
+  double weight_ = 0.0;       // decayed sum of weights
+  double weighted_sum_ = 0.0;  // decayed sum of w * x
+  double weighted_sq_ = 0.0;   // decayed sum of w * x^2
+};
+
+/// Sliding-window point-event rate (arrivals, failures): the event count
+/// over the trailing window divided by the window length, with a Poisson
+/// normal-approximation confidence interval.
+class WindowedRate {
+ public:
+  explicit WindowedRate(double window);
+
+  void AddEvent(double time);
+  void Reset();
+
+  /// Events in (now - window, now] / window. Before a full window has
+  /// elapsed (now < window) the elapsed time is used as the denominator,
+  /// so early estimates are unbiased rather than deflated.
+  double rate(double now) const;
+  int64_t count(double now) const;
+  /// z * sqrt(count) / window (Poisson standard error).
+  double ConfidenceHalfWidth(double now, double level = 0.95) const;
+
+ private:
+  void PruneBefore(double cutoff) const;
+
+  double window_;
+  mutable std::deque<double> events_;
+};
+
+/// Sliding-window sample statistics over timestamped values (observed
+/// turnaround per workflow type).
+class WindowedSample {
+ public:
+  explicit WindowedSample(double window);
+
+  void Add(double time, double value);
+  void Reset();
+
+  int64_t count(double now) const;
+  double mean(double now) const;
+  double stddev(double now) const;
+  double ConfidenceHalfWidth(double now, double level = 0.95) const;
+
+ private:
+  void PruneBefore(double cutoff) const;
+
+  double window_;
+  mutable std::deque<std::pair<double, double>> samples_;  // (time, value)
+};
+
+/// Failure/repair-rate estimation for one server type from the stream of
+/// up-count changes: integrates up-server-time and down-server-time and
+/// counts transitions, giving the per-server exponential rates the
+/// availability model consumes (lambda = downs / up-server-time, mu = ups
+/// / down-server-time).
+class FailureRepairEstimator {
+ public:
+  void Observe(const workflow::ServerCountRecord& record);
+  void Reset();
+
+  int64_t failures() const { return failures_; }
+  int64_t repairs() const { return repairs_; }
+  /// NotFound until at least `min_events` transitions of the kind have
+  /// been observed (rates from thin data are wild).
+  Result<double> FailureRate(int64_t min_events) const;
+  Result<double> RepairRate(int64_t min_events) const;
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  int last_up_ = 0;
+  int last_configured_ = 0;
+  double up_server_time_ = 0.0;
+  double down_server_time_ = 0.0;
+  int64_t failures_ = 0;
+  int64_t repairs_ = 0;
+};
+
+struct OnlineCalibratorOptions {
+  /// Sliding-window length (model minutes) for rates, turnaround,
+  /// availability, and the retained record history.
+  double window = 4000.0;
+  /// Decay constant (model minutes) for the decayed-moment estimators.
+  double tau = 2000.0;
+  /// Forwarded to the batch calibration on RebuildEnvironment, and the
+  /// floor for trusting windowed arrival rates and failure/repair rates.
+  int min_observations = 10;
+};
+
+/// Point-in-time view of one workflow type's estimates.
+struct WorkflowEstimate {
+  double arrival_rate = 0.0;
+  double arrival_half_width = 0.0;
+  int64_t arrivals = 0;
+  double turnaround_mean = 0.0;
+  double turnaround_half_width = 0.0;
+  int64_t completions = 0;
+};
+
+/// Single-threaded consumer of the audit stream. Feed events in stream
+/// order via Consume(); query estimates at control-loop boundaries.
+class OnlineCalibrator {
+ public:
+  /// The environment (the *designed* model, used as the calibration prior
+  /// and for name resolution) must outlive the calibrator.
+  OnlineCalibrator(const workflow::Environment* env,
+                   OnlineCalibratorOptions options);
+
+  void Consume(const AuditEvent& event);
+
+  /// Largest event time seen (the consumer's model-time clock).
+  double now() const { return now_; }
+  int64_t events_consumed() const { return events_consumed_; }
+
+  WorkflowEstimate EstimateFor(const std::string& workflow) const;
+  const DecayedMoments& ServiceMoments(size_t server_type) const;
+  const FailureRepairEstimator& FailureRepair(size_t server_type) const;
+  /// Fraction of the trailing window with every server type up; 1.0
+  /// before any server-count record arrives.
+  double ObservedAvailability() const;
+
+  /// Re-derives a full Environment from the current window: the batch
+  /// §7.1 calibration over the windowed record history (transition
+  /// probabilities, residence times, service moments), then windowed
+  /// arrival rates and observed failure/repair rates override the
+  /// anchored-to-zero batch estimates where enough data exists.
+  Result<workflow::Environment> RebuildEnvironment(
+      workflow::CalibrationReport* report = nullptr) const;
+
+  /// Forgets windowed history and transition/moment decay state but keeps
+  /// the clock — called after a reconfiguration so the next control
+  /// period estimates the *new* regime from scratch.
+  void ResetEstimators();
+
+ private:
+  void Advance(double time);
+  void PruneHistory();
+
+  const workflow::Environment* env_;
+  OnlineCalibratorOptions options_;
+  double now_ = 0.0;
+  int64_t events_consumed_ = 0;
+
+  // Per workflow type (by name).
+  std::map<std::string, WindowedRate> arrival_rates_;
+  std::map<std::string, WindowedSample> turnarounds_;
+  // Per server type (by registry index).
+  std::vector<DecayedMoments> service_moments_;
+  std::vector<FailureRepairEstimator> failure_repair_;
+  // All-types-up availability over the window: up counts per type plus a
+  // transition log (time, all_up_after) pruned to the window.
+  std::vector<int> up_counts_;
+  std::vector<char> up_known_;
+  mutable std::deque<std::pair<double, char>> availability_log_;
+  bool any_server_record_ = false;
+
+  // Windowed raw-record history replayed through the batch calibration.
+  std::deque<workflow::StateVisitRecord> visit_history_;
+  std::deque<workflow::ServiceRecord> service_history_;
+  std::deque<workflow::ArrivalRecord> arrival_history_;
+};
+
+}  // namespace wfms::adapt
+
+#endif  // WFMS_ADAPT_ONLINE_ESTIMATOR_H_

@@ -49,6 +49,12 @@ uint64_t SimulationFingerprint(const workflow::Environment& env,
     w.U64(10, event.server_type);
     w.I64(11, event.server_index);
   }
+  for (const LoadEvent& event : options.load.events) {
+    w.F64(12, event.time);
+    w.U32(13, static_cast<uint32_t>(event.action));
+    w.U64(14, event.workflow);
+    w.F64(15, event.value);
+  }
   return Fnv1a64(w.payload());
 }
 

@@ -1,0 +1,149 @@
+#include "sim/load_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace wfms::sim {
+
+const char* LoadActionName(LoadAction action) {
+  switch (action) {
+    case LoadAction::kSetRate:
+      return "rate";
+    case LoadAction::kScale:
+      return "scale";
+    case LoadAction::kScaleAll:
+      return "scale-all";
+  }
+  return "unknown";
+}
+
+Status LoadSchedule::Validate(size_t num_workflows) const {
+  for (size_t i = 0; i < events.size(); ++i) {
+    const LoadEvent& event = events[i];
+    const std::string where = "load event " + std::to_string(i + 1);
+    if (!std::isfinite(event.time) || event.time < 0.0) {
+      return Status::InvalidArgument(where +
+                                     ": time must be finite and >= 0");
+    }
+    if (!std::isfinite(event.value) || event.value < 0.0) {
+      return Status::InvalidArgument(
+          where + std::string(": ") + LoadActionName(event.action) +
+          " value must be finite and >= 0");
+    }
+    if (event.action != LoadAction::kScaleAll &&
+        event.workflow >= num_workflows) {
+      return Status::InvalidArgument(
+          where + ": workflow index " + std::to_string(event.workflow) +
+          " out of range (have " + std::to_string(num_workflows) +
+          " workflow types)");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<LoadEvent> LoadSchedule::Sorted() const {
+  std::vector<LoadEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const LoadEvent& a, const LoadEvent& b) {
+                     return a.time < b.time;
+                   });
+  return sorted;
+}
+
+Result<std::vector<double>> LoadSchedule::RatesAt(
+    double time, const std::vector<double>& base_rates) const {
+  WFMS_RETURN_NOT_OK(Validate(base_rates.size()));
+  std::vector<double> rates = base_rates;
+  for (const LoadEvent& event : Sorted()) {
+    if (event.time > time) break;
+    switch (event.action) {
+      case LoadAction::kSetRate:
+        rates[event.workflow] = event.value;
+        break;
+      case LoadAction::kScale:
+        rates[event.workflow] *= event.value;
+        break;
+      case LoadAction::kScaleAll:
+        for (double& rate : rates) rate *= event.value;
+        break;
+    }
+  }
+  return rates;
+}
+
+LoadSchedule LoadSchedule::Slice(double from, double to) const {
+  LoadSchedule slice;
+  for (const LoadEvent& event : Sorted()) {
+    if (event.time < from || event.time >= to) continue;
+    LoadEvent shifted = event;
+    shifted.time = event.time - from;
+    slice.events.push_back(shifted);
+  }
+  return slice;
+}
+
+Result<LoadSchedule> ParseLoadSchedule(
+    const std::string& text,
+    const std::vector<workflow::WorkflowTypeSpec>& workflows) {
+  const auto workflow_index = [&](const std::string& name) -> int {
+    for (size_t t = 0; t < workflows.size(); ++t) {
+      if (workflows[t].name == name) return static_cast<int>(t);
+    }
+    return -1;
+  };
+
+  LoadSchedule schedule;
+  const std::vector<std::string> lines = SplitString(text, '\n');
+  for (size_t lineno = 0; lineno < lines.size(); ++lineno) {
+    std::string_view line = StripWhitespace(lines[lineno]);
+    const auto fail = [&](const std::string& why) {
+      return Status::ParseError("load schedule line " +
+                                std::to_string(lineno + 1) + ": " + why);
+    };
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens =
+        SplitString(line, ' ', /*skip_empty=*/true);
+    if (tokens.size() < 4 || tokens[0] != "at") {
+      return fail(
+          "expected 'at <time> rate|scale <workflow-type> <value>' or "
+          "'at <time> scale-all <factor>'");
+    }
+    LoadEvent event;
+    if (!ParseDouble(tokens[1], &event.time)) {
+      return fail("bad time '" + tokens[1] + "'");
+    }
+    const std::string& verb = tokens[2];
+    size_t value_token = 4;
+    if (verb == "rate") {
+      event.action = LoadAction::kSetRate;
+    } else if (verb == "scale") {
+      event.action = LoadAction::kScale;
+    } else if (verb == "scale-all") {
+      event.action = LoadAction::kScaleAll;
+      value_token = 3;
+    } else {
+      return fail("unknown action '" + verb +
+                  "' (want rate, scale, or scale-all)");
+    }
+    if (event.action != LoadAction::kScaleAll) {
+      const int index = workflow_index(tokens[3]);
+      if (index < 0) {
+        return fail("unknown workflow type '" + tokens[3] + "'");
+      }
+      event.workflow = static_cast<size_t>(index);
+    }
+    if (tokens.size() <= value_token) {
+      return fail(std::string("'") + verb + "' needs a value");
+    }
+    if (!ParseDouble(tokens[value_token], &event.value)) {
+      return fail("bad value '" + tokens[value_token] + "'");
+    }
+    if (tokens.size() > value_token + 1) return fail("trailing tokens");
+    schedule.events.push_back(event);
+  }
+  return schedule;
+}
+
+}  // namespace wfms::sim

@@ -1,0 +1,83 @@
+// Scripted load-phase changes for the simulator: a deterministic schedule
+// of timed arrival-rate changes per workflow type (or across the whole
+// mix), the workload-side twin of sim/fault_schedule. A schedule turns the
+// simulator's stationary Poisson arrivals into a phase-type workload — the
+// WfBench-style "phase-shifting workload generator" the adaptive
+// reconfiguration loop (src/adapt) is exercised against, and a useful
+// standalone tool for transient-load experiments.
+//
+// Text DSL (one event per line; blank lines and '#' comments ignored):
+//
+//   at <time> rate      <workflow-type> <arrivals-per-minute>
+//   at <time> scale     <workflow-type> <factor>   # multiply current rate
+//   at <time> scale-all <factor>                   # whole mix
+//
+// Times are simulation minutes. Events firing at the same instant apply in
+// schedule order. A change affects the *next* interarrival draw; an
+// arrival already scheduled keeps its drawn time (the memoryless
+// approximation is exact when rates only ever increase, and the error is
+// one interarrival otherwise).
+#ifndef WFMS_SIM_LOAD_SCHEDULE_H_
+#define WFMS_SIM_LOAD_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/environment.h"
+
+namespace wfms::sim {
+
+enum class LoadAction {
+  kSetRate,   // set one workflow type's arrival rate
+  kScale,     // multiply one workflow type's current rate
+  kScaleAll,  // multiply every workflow type's current rate
+};
+
+const char* LoadActionName(LoadAction action);
+
+struct LoadEvent {
+  double time = 0.0;
+  LoadAction action = LoadAction::kSetRate;
+  /// Index into the environment's workflow list; ignored by kScaleAll.
+  size_t workflow = 0;
+  /// New rate (kSetRate) or multiplicative factor (kScale/kScaleAll).
+  double value = 0.0;
+};
+
+struct LoadSchedule {
+  std::vector<LoadEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Finite non-negative times, known workflow indices, finite
+  /// non-negative rates/factors.
+  Status Validate(size_t num_workflows) const;
+
+  /// Events sorted by time (stable: same-instant events keep schedule
+  /// order) — the order the simulator applies them in.
+  std::vector<LoadEvent> Sorted() const;
+
+  /// The arrival-rate vector in force at `time` (events with time <= the
+  /// query instant applied, in order), starting from `base_rates`. This is
+  /// the symbolic replay the epoch-based autotune loop and the tests use
+  /// as ground truth.
+  Result<std::vector<double>> RatesAt(double time,
+                                      const std::vector<double>& base_rates)
+      const;
+
+  /// The sub-schedule covering [from, to), with event times shifted by
+  /// -from, so a window of a long schedule can drive a simulation that
+  /// starts its clock at zero.
+  LoadSchedule Slice(double from, double to) const;
+};
+
+/// Parses the text DSL above, resolving workflow types by name against the
+/// environment's workflow list. Errors carry the 1-based line number.
+Result<LoadSchedule> ParseLoadSchedule(
+    const std::string& text,
+    const std::vector<workflow::WorkflowTypeSpec>& workflows);
+
+}  // namespace wfms::sim
+
+#endif  // WFMS_SIM_LOAD_SCHEDULE_H_

@@ -25,6 +25,7 @@ Result<Simulator> Simulator::Create(const workflow::Environment& env,
   }
   WFMS_RETURN_NOT_OK(
       options.faults.Validate(options.config, env.num_server_types()));
+  WFMS_RETURN_NOT_OK(options.load.Validate(env.workflows.size()));
   return Simulator(&env, std::move(options));
 }
 
@@ -40,9 +41,14 @@ void Simulator::UpdateAvailabilityGauge() {
 }
 
 void Simulator::ScheduleArrival(size_t workflow_index) {
-  const workflow::WorkflowTypeSpec& spec = env_->workflows[workflow_index];
-  queue_.ScheduleAfter(rng_.NextExponential(spec.arrival_rate),
-                       [this, workflow_index] {
+  const double rate = arrival_rates_[workflow_index];
+  if (rate <= 0.0) {
+    // The chain stops; a later load event raising the rate restarts it.
+    arrival_pending_[workflow_index] = 0;
+    return;
+  }
+  arrival_pending_[workflow_index] = 1;
+  queue_.ScheduleAfter(rng_.NextExponential(rate), [this, workflow_index] {
     const workflow::WorkflowTypeSpec& wf = env_->workflows[workflow_index];
     const int64_t instance = next_instance_id_++;
     const double start_time = queue_.now();
@@ -50,6 +56,9 @@ void Simulator::ScheduleArrival(size_t workflow_index) {
     ++wf_result.started;
     if (options_.record_audit_trail) {
       result_.trail.RecordArrival({wf.name, start_time});
+    }
+    if (options_.sink != nullptr) {
+      options_.sink->OnArrival({wf.name, start_time});
     }
     const StateChart* chart = *env_->charts.GetChart(wf.chart);
     StartChart(chart, instance, [this, workflow_index, start_time] {
@@ -60,9 +69,32 @@ void Simulator::ScheduleArrival(size_t workflow_index) {
       if (start_time >= options_.warmup) {
         stats.turnaround.Add(queue_.now() - start_time);
       }
+      if (options_.sink != nullptr) {
+        options_.sink->OnCompletion({done_wf.name, start_time, queue_.now()});
+      }
     });
     ScheduleArrival(workflow_index);
   });
+}
+
+void Simulator::ApplyLoadEvent(const LoadEvent& event) {
+  const auto set_rate = [this](size_t t, double rate) {
+    arrival_rates_[t] = rate;
+    if (rate > 0.0 && !arrival_pending_[t]) ScheduleArrival(t);
+  };
+  switch (event.action) {
+    case LoadAction::kSetRate:
+      set_rate(event.workflow, event.value);
+      break;
+    case LoadAction::kScale:
+      set_rate(event.workflow, arrival_rates_[event.workflow] * event.value);
+      break;
+    case LoadAction::kScaleAll:
+      for (size_t t = 0; t < arrival_rates_.size(); ++t) {
+        set_rate(t, arrival_rates_[t] * event.value);
+      }
+      break;
+  }
 }
 
 void Simulator::StartChart(const StateChart* chart, int64_t instance,
@@ -131,6 +163,10 @@ void Simulator::LeaveState(
     result_.trail.RecordStateVisit({chart->name(), instance, state.name,
                                     enter_time, queue_.now(), next_name});
   }
+  if (options_.sink != nullptr) {
+    options_.sink->OnStateVisit({chart->name(), instance, state.name,
+                                 enter_time, queue_.now(), next_name});
+  }
   if (is_final) {
     (*on_complete)();
   } else {
@@ -180,15 +216,35 @@ Result<SimulationResult> Simulator::Run() {
         random_faults ? type.failure_rate : 0.0,
         random_faults ? type.repair_rate : 0.0,
         options_.warmup));
-    pools_.back()->SetUpChangeCallback([this] { UpdateAvailabilityGauge(); });
-    if (options_.record_audit_trail) {
-      const size_t type_index = x;
+    const size_t type_index = x;
+    pools_.back()->SetUpChangeCallback([this, type_index] {
+      UpdateAvailabilityGauge();
+      if (options_.sink != nullptr) {
+        options_.sink->OnServerCount(
+            {type_index, pools_[type_index]->up_count(),
+             options_.config.replicas[type_index], queue_.now()});
+      }
+    });
+    if (options_.record_audit_trail || options_.sink != nullptr) {
       pools_.back()->SetServiceCallback([this, type_index](double service) {
-        result_.trail.RecordService({type_index, service});
+        if (options_.record_audit_trail) {
+          result_.trail.RecordService({type_index, service, queue_.now()});
+        }
+        if (options_.sink != nullptr) {
+          options_.sink->OnService({type_index, service, queue_.now()});
+        }
       });
     }
   }
   for (auto& pool : pools_) pool->Start();
+  if (options_.sink != nullptr) {
+    // Initial up counts so the consumer can integrate up-time from t = 0.
+    for (size_t x = 0; x < k; ++x) {
+      options_.sink->OnServerCount({x, pools_[x]->up_count(),
+                                    options_.config.replicas[x],
+                                    queue_.now()});
+    }
+  }
   for (const FaultEvent& event : options_.faults.Sorted()) {
     queue_.ScheduleAt(event.time, [this, event] {
       ServerPool& pool = *pools_[event.server_type];
@@ -214,9 +270,15 @@ Result<SimulationResult> Simulator::Run() {
     UpdateAvailabilityGauge();
   });
 
-  for (size_t t = 0; t < env_->workflows.size(); ++t) {
-    if (env_->workflows[t].arrival_rate > 0.0) ScheduleArrival(t);
+  arrival_rates_.clear();
+  arrival_pending_.assign(env_->workflows.size(), 0);
+  for (const workflow::WorkflowTypeSpec& wf : env_->workflows) {
+    arrival_rates_.push_back(wf.arrival_rate);
   }
+  for (const LoadEvent& event : options_.load.Sorted()) {
+    queue_.ScheduleAt(event.time, [this, event] { ApplyLoadEvent(event); });
+  }
+  for (size_t t = 0; t < env_->workflows.size(); ++t) ScheduleArrival(t);
 
   // Checkpoint/resume plumbing (DESIGN.md "Checkpointing and recovery").
   // Everything happens at event boundaries outside the queue, so the event

@@ -28,6 +28,7 @@
 #include "common/statistics.h"
 #include "sim/event_queue.h"
 #include "sim/fault_schedule.h"
+#include "sim/load_schedule.h"
 #include "sim/server_pool.h"
 #include "workflow/audit_trail.h"
 #include "workflow/configuration.h"
@@ -67,6 +68,18 @@ struct SimulationOptions {
   /// only the listed events fire, so runs are bit-identical given the same
   /// seed and schedule.
   FaultSchedule faults;
+  /// Scripted arrival-rate phase changes (see sim/load_schedule.h). The
+  /// environment's rates are the phase-0 baseline; each event retargets
+  /// the interarrival draws from its firing time on. Deterministic: the
+  /// same seed and schedule replay bit-identically.
+  LoadSchedule load;
+  /// Online-monitoring hook: when non-null, every audit record (state
+  /// visit, service, arrival), instance completion, and server up-count
+  /// change is pushed into the sink as it happens, independent of
+  /// `record_audit_trail`. Callbacks run on the simulation thread; the
+  /// sink must not re-enter the simulator. The sink does not alter the
+  /// event trajectory (pure observation).
+  workflow::AuditSink* sink = nullptr;
   /// Crash-safe checkpointing (DESIGN.md "Checkpointing and recovery"):
   /// when non-empty, a replay cursor (event count, clock, RNG states, pool
   /// occupancy) is written here atomically every `checkpoint_every_events`
@@ -130,6 +143,7 @@ class Simulator {
   void IssueRequests(const statechart::ChartState& state, double residence,
                      int64_t instance);
   void UpdateAvailabilityGauge();
+  void ApplyLoadEvent(const LoadEvent& event);
 
   const workflow::Environment* env_;
   SimulationOptions options_;
@@ -139,6 +153,12 @@ class Simulator {
   TimeWeightedStats all_up_;
   SimulationResult result_;
   int64_t next_instance_id_ = 0;
+  /// Current arrival rate per workflow type (starts at the environment's
+  /// rates; mutated by the load schedule).
+  std::vector<double> arrival_rates_;
+  /// Whether an interarrival draw is outstanding for the type — a rate
+  /// change from zero must restart the arrival chain exactly once.
+  std::vector<char> arrival_pending_;
 };
 
 }  // namespace wfms::sim

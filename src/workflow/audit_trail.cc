@@ -32,7 +32,8 @@ std::string AuditTrail::Serialize() const {
        << r.enter_time << "," << r.leave_time << "," << r.next_state << "\n";
   }
   for (const ServiceRecord& r : services_) {
-    os << "service," << r.server_type << "," << r.service_time << "\n";
+    os << "service," << r.server_type << "," << r.service_time << ","
+       << r.time << "\n";
   }
   for (const ArrivalRecord& r : arrivals_) {
     os << "arrival," << r.workflow_type << "," << r.arrival_time << "\n";
@@ -69,8 +70,10 @@ Result<AuditTrail> AuditTrail::Deserialize(const std::string& text) {
       r.next_state = fields[6];
       trail.RecordStateVisit(std::move(r));
     } else if (fields[0] == "service") {
-      if (fields.size() != 3) {
-        return Status::ParseError(context + ": service needs 3 fields");
+      // 3 fields is the pre-timestamp format; trails recorded before the
+      // service start time was added still parse (time stays 0).
+      if (fields.size() != 3 && fields.size() != 4) {
+        return Status::ParseError(context + ": service needs 3 or 4 fields");
       }
       ServiceRecord r;
       int type = 0;
@@ -80,6 +83,9 @@ Result<AuditTrail> AuditTrail::Deserialize(const std::string& text) {
       r.server_type = static_cast<size_t>(type);
       if (!ParseDouble(fields[2], &r.service_time)) {
         return Status::ParseError(context + ": bad service time");
+      }
+      if (fields.size() == 4 && !ParseDouble(fields[3], &r.time)) {
+        return Status::ParseError(context + ": bad service start time");
       }
       trail.RecordService(r);
     } else if (fields[0] == "arrival") {

@@ -29,12 +29,45 @@ struct StateVisitRecord {
 struct ServiceRecord {
   size_t server_type = 0;
   double service_time = 0.0;  // busy time, excluding queueing delay
+  double time = 0.0;          // service start (model time)
 };
 
 /// One workflow instance arrival (for arrival-rate estimation).
 struct ArrivalRecord {
   std::string workflow_type;
   double arrival_time = 0.0;
+};
+
+/// One workflow instance completion (observed turnaround).
+struct CompletionRecord {
+  std::string workflow_type;
+  double start_time = 0.0;
+  double end_time = 0.0;
+};
+
+/// The up-replica count of one server type changed (failure/repair
+/// observation for online failure- and repair-rate estimation).
+struct ServerCountRecord {
+  size_t server_type = 0;
+  int up = 0;          // replicas currently up
+  int configured = 0;  // replication degree Y_x
+  double time = 0.0;
+};
+
+/// Receiver of audit records as they happen — the online-monitoring hook
+/// of §7.1. The recorded AuditTrail is the offline counterpart; a sink
+/// additionally sees instance completions and server up/down transitions,
+/// which a batch trail does not carry. Callbacks run synchronously on the
+/// emitting (simulator) thread; implementations decide whether to buffer,
+/// forward, or drop (see adapt/audit_stream.h).
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void OnStateVisit(const StateVisitRecord& record) = 0;
+  virtual void OnService(const ServiceRecord& record) = 0;
+  virtual void OnArrival(const ArrivalRecord& record) = 0;
+  virtual void OnCompletion(const CompletionRecord& record) = 0;
+  virtual void OnServerCount(const ServerCountRecord& record) = 0;
 };
 
 class AuditTrail {

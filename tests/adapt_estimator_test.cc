@@ -1,0 +1,287 @@
+// Online estimators and drift detection for the adaptive loop: decayed
+// moments, windowed rates/samples, failure/repair estimation, the
+// Page–Hinkley detector, and environment rebuilding from a live window.
+#include "adapt/online_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adapt/drift.h"
+#include "common/random.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::adapt {
+namespace {
+
+using workflow::Environment;
+
+Environment Ep(double rate = 0.5) {
+  auto env = workflow::EpEnvironment(rate);
+  EXPECT_TRUE(env.ok()) << env.status();
+  return *std::move(env);
+}
+
+TEST(DecayedMomentsTest, ConstantSeriesRecoversValue) {
+  DecayedMoments moments(100.0);
+  for (int i = 0; i < 50; ++i) moments.Add(i, 4.0);
+  EXPECT_NEAR(moments.mean(), 4.0, 1e-12);
+  EXPECT_NEAR(moments.variance(), 0.0, 1e-9);
+  EXPECT_GT(moments.effective_samples(), 10.0);
+  EXPECT_LE(moments.effective_samples(), 50.0);
+}
+
+TEST(DecayedMomentsTest, RecentObservationsDominate) {
+  DecayedMoments moments(50.0);
+  for (int i = 0; i < 100; ++i) moments.Add(i, 1.0);
+  // Regime change: same number of samples at the new level, but they are
+  // recent — the decayed mean must sit well above the global mean.
+  for (int i = 100; i < 200; ++i) moments.Add(i, 3.0);
+  EXPECT_GT(moments.mean(), 2.5);
+  EXPECT_LE(moments.mean(), 3.0);
+}
+
+TEST(DecayedMomentsTest, EffectiveSamplesDecayWithSilence) {
+  DecayedMoments moments(10.0);
+  for (int i = 0; i < 20; ++i) moments.Add(i, 1.0);
+  const double at_last = moments.effective_samples();
+  EXPECT_NEAR(moments.effective_samples(19.0 + 10.0),
+              at_last * std::exp(-1.0), 1e-9);
+  moments.Reset();
+  EXPECT_EQ(moments.effective_samples(), 0.0);
+  EXPECT_EQ(moments.mean(), 0.0);
+}
+
+TEST(DecayedMomentsTest, ConfidenceShrinksWithData) {
+  DecayedMoments few(1000.0);
+  DecayedMoments many(1000.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) few.Add(i, rng.NextDouble());
+  for (int i = 0; i < 1000; ++i) many.Add(i, rng.NextDouble());
+  EXPECT_GT(few.ConfidenceHalfWidth(), many.ConfidenceHalfWidth());
+}
+
+TEST(WindowedRateTest, RecoversPoissonRateWithinConfidence) {
+  const double true_rate = 2.0;
+  WindowedRate estimator(500.0);
+  Rng rng(7);
+  double t = 0.0;
+  while (t < 2000.0) {
+    t += rng.NextExponential(true_rate);
+    estimator.AddEvent(t);
+  }
+  const double estimate = estimator.rate(2000.0);
+  const double half_width = estimator.ConfidenceHalfWidth(2000.0, 0.99);
+  EXPECT_GT(half_width, 0.0);
+  EXPECT_NEAR(estimate, true_rate, 3.0 * half_width);
+}
+
+TEST(WindowedRateTest, WindowForgetsOldPhases) {
+  WindowedRate estimator(100.0);
+  // Dense phase long in the past, sparse recent phase.
+  for (int i = 0; i < 1000; ++i) estimator.AddEvent(i * 0.1);  // rate 10
+  for (int i = 0; i < 10; ++i) estimator.AddEvent(400.0 + i * 10.0);  // rate .1
+  EXPECT_LT(estimator.rate(500.0), 0.5);
+  // Window is (now - window, now]: the event at exactly 400 is out.
+  EXPECT_EQ(estimator.count(500.0), 9);
+}
+
+TEST(WindowedRateTest, EarlyEstimateUsesElapsedTime) {
+  WindowedRate estimator(1000.0);
+  for (int i = 1; i <= 10; ++i) estimator.AddEvent(i);  // 10 events in 10 min
+  // Dividing by the full window would deflate the rate 100x.
+  EXPECT_NEAR(estimator.rate(10.0), 1.0, 1e-9);
+}
+
+TEST(WindowedSampleTest, StatsOverWindowOnly) {
+  WindowedSample sample(100.0);
+  for (int i = 0; i < 50; ++i) sample.Add(i, 100.0);       // forgotten
+  for (int i = 0; i < 10; ++i) sample.Add(200.0 + i, 7.0);
+  EXPECT_EQ(sample.count(210.0), 10);
+  EXPECT_NEAR(sample.mean(210.0), 7.0, 1e-12);
+  EXPECT_NEAR(sample.stddev(210.0), 0.0, 1e-12);
+  EXPECT_EQ(sample.ConfidenceHalfWidth(210.0), 0.0);  // zero variance
+}
+
+TEST(FailureRepairEstimatorTest, RecoversRatesFromTransitions) {
+  // One server alternating 90 minutes up, 10 minutes down:
+  // lambda = 1/90, mu = 1/10.
+  FailureRepairEstimator estimator;
+  double t = 0.0;
+  estimator.Observe({0, 1, 1, t});
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    t += 90.0;
+    estimator.Observe({0, 0, 1, t});
+    t += 10.0;
+    estimator.Observe({0, 1, 1, t});
+  }
+  auto failure = estimator.FailureRate(10);
+  auto repair = estimator.RepairRate(10);
+  ASSERT_TRUE(failure.ok()) << failure.status();
+  ASSERT_TRUE(repair.ok()) << repair.status();
+  EXPECT_NEAR(*failure, 1.0 / 90.0, 1e-9);
+  EXPECT_NEAR(*repair, 1.0 / 10.0, 1e-9);
+  EXPECT_EQ(estimator.failures(), 50);
+  EXPECT_EQ(estimator.repairs(), 50);
+}
+
+TEST(FailureRepairEstimatorTest, ThinDataIsRefused) {
+  FailureRepairEstimator estimator;
+  estimator.Observe({0, 2, 2, 0.0});
+  estimator.Observe({0, 1, 2, 100.0});
+  EXPECT_FALSE(estimator.FailureRate(10).ok());
+  EXPECT_FALSE(estimator.RepairRate(1).ok());  // no repair seen at all
+}
+
+TEST(PageHinkleyTest, NoAlarmOnStationaryNoise) {
+  PageHinkleyOptions options;
+  options.delta = 0.05;
+  options.lambda = 1.0;
+  PageHinkleyDetector detector(options);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    detector.Add(1.0 + 0.02 * (rng.NextDouble() - 0.5));
+  }
+  EXPECT_FALSE(detector.triggered());
+  EXPECT_LT(detector.score(), 1.0);
+}
+
+TEST(PageHinkleyTest, DetectsUpwardAndDownwardShifts) {
+  PageHinkleyOptions options;
+  options.delta = 0.05;
+  options.lambda = 0.5;
+  PageHinkleyDetector up(options);
+  for (int i = 0; i < 10; ++i) up.Add(1.0);
+  for (int i = 0; i < 20 && !up.triggered(); ++i) up.Add(2.0);
+  EXPECT_TRUE(up.triggered());
+  EXPECT_GE(up.score(), 1.0);
+
+  PageHinkleyDetector down(options);
+  for (int i = 0; i < 10; ++i) down.Add(1.0);
+  for (int i = 0; i < 20 && !down.triggered(); ++i) down.Add(0.4);
+  EXPECT_TRUE(down.triggered());
+
+  // The latch holds until Reset.
+  up.Add(1.0);
+  EXPECT_TRUE(up.triggered());
+  up.Reset();
+  EXPECT_FALSE(up.triggered());
+  EXPECT_EQ(up.samples(), 0);
+}
+
+TEST(PageHinkleyTest, MinSamplesSuppressesEarlyAlarms) {
+  PageHinkleyOptions options;
+  options.delta = 0.0;
+  options.lambda = 0.01;
+  options.min_samples = 10;
+  PageHinkleyDetector detector(options);
+  for (int i = 0; i < 9; ++i) detector.Add(i % 2 ? 5.0 : 1.0);
+  EXPECT_FALSE(detector.triggered());
+}
+
+TEST(DriftMonitorTest, NormalizesAgainstBaseline) {
+  DriftMonitor monitor;
+  monitor.name = "arrival:EP";
+  monitor.baseline = 0.5;
+  monitor.detector = PageHinkleyDetector({0.05, 0.5, 3});
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(monitor.Observe(0.5));
+  bool triggered = false;
+  for (int i = 0; i < 20 && !triggered; ++i) triggered = monitor.Observe(1.0);
+  EXPECT_TRUE(triggered);
+}
+
+TEST(OnlineCalibratorTest, TracksArrivalsTurnaroundAndClock) {
+  const Environment env = Ep(0.5);
+  OnlineCalibratorOptions options;
+  options.window = 1000.0;
+  OnlineCalibrator calibrator(&env, options);
+
+  for (int i = 0; i < 100; ++i) {
+    const double t = i * 1.0;  // rate 1/min, not the designed 0.5
+    calibrator.Consume(workflow::ArrivalRecord{"EP", t});
+    calibrator.Consume(workflow::CompletionRecord{"EP", t, t + 30.0});
+  }
+  EXPECT_EQ(calibrator.events_consumed(), 200);
+  EXPECT_NEAR(calibrator.now(), 129.0, 1e-9);
+  const WorkflowEstimate estimate = calibrator.EstimateFor("EP");
+  EXPECT_EQ(estimate.arrivals, 100);
+  EXPECT_NEAR(estimate.arrival_rate, 100.0 / 129.0, 1e-9);
+  EXPECT_NEAR(estimate.turnaround_mean, 30.0, 1e-9);
+  EXPECT_EQ(estimate.completions, 100);
+  // Unknown workflow types yield an empty estimate, not a crash.
+  EXPECT_EQ(calibrator.EstimateFor("nope").arrivals, 0);
+}
+
+TEST(OnlineCalibratorTest, ObservedAvailabilityIntegratesDowntime) {
+  const Environment env = Ep();
+  OnlineCalibratorOptions options;
+  options.window = 1000.0;
+  OnlineCalibrator calibrator(&env, options);
+  EXPECT_DOUBLE_EQ(calibrator.ObservedAvailability(), 1.0);
+
+  calibrator.Consume(workflow::ServerCountRecord{0, 1, 1, 0.0});
+  calibrator.Consume(workflow::ServerCountRecord{0, 0, 1, 800.0});  // down
+  calibrator.Consume(workflow::ServerCountRecord{0, 1, 1, 900.0});  // back
+  calibrator.Consume(workflow::ArrivalRecord{"EP", 1000.0});  // advance clock
+  // 100 of the trailing 1000 minutes down.
+  EXPECT_NEAR(calibrator.ObservedAvailability(), 0.9, 1e-9);
+}
+
+TEST(OnlineCalibratorTest, RebuildOverridesArrivalAndFailureRates) {
+  const Environment env = Ep(0.5);
+  OnlineCalibratorOptions options;
+  options.window = 2000.0;
+  options.min_observations = 10;
+  OnlineCalibrator calibrator(&env, options);
+
+  // Window-anchored arrivals at rate 2/min over [0, 200).
+  for (int i = 0; i < 400; ++i) {
+    calibrator.Consume(workflow::ArrivalRecord{"EP", i * 0.5});
+  }
+  // Failure/repair cycles on server type 0 over the same span: up 9.5
+  // minutes, down 0.5 — keeps the clock inside the arrival burst so the
+  // windowed rate stays honest.
+  double t = 0.0;
+  calibrator.Consume(workflow::ServerCountRecord{0, 1, 1, t});
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    t += 9.5;
+    calibrator.Consume(workflow::ServerCountRecord{0, 0, 1, t});
+    t += 0.5;
+    calibrator.Consume(workflow::ServerCountRecord{0, 1, 1, t});
+  }
+  auto rebuilt = calibrator.RebuildEnvironment();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_NEAR(rebuilt->workflows[0].arrival_rate, 2.0, 0.1);
+  EXPECT_NEAR(rebuilt->servers.type(0).failure_rate, 1.0 / 9.5, 1e-6);
+  EXPECT_NEAR(rebuilt->servers.type(0).repair_rate, 1.0 / 0.5, 1e-6);
+  // Types without observations keep their designed rates.
+  EXPECT_DOUBLE_EQ(rebuilt->servers.type(1).failure_rate,
+                   env.servers.type(1).failure_rate);
+  EXPECT_TRUE(rebuilt->Validate().ok());
+}
+
+TEST(OnlineCalibratorTest, RebuildFromEmptyWindowKeepsDesign) {
+  const Environment env = Ep(0.5);
+  OnlineCalibrator calibrator(&env, {});
+  auto rebuilt = calibrator.RebuildEnvironment();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_DOUBLE_EQ(rebuilt->workflows[0].arrival_rate, 0.5);
+  EXPECT_TRUE(rebuilt->Validate().ok());
+}
+
+TEST(OnlineCalibratorTest, ResetEstimatorsKeepsClockDropsState) {
+  const Environment env = Ep();
+  OnlineCalibrator calibrator(&env, {});
+  for (int i = 0; i < 50; ++i) {
+    calibrator.Consume(workflow::ArrivalRecord{"EP", i * 1.0});
+    calibrator.Consume(workflow::ServiceRecord{0, 0.02, i * 1.0});
+  }
+  EXPECT_GT(calibrator.EstimateFor("EP").arrivals, 0);
+  calibrator.ResetEstimators();
+  EXPECT_EQ(calibrator.EstimateFor("EP").arrivals, 0);
+  EXPECT_EQ(calibrator.ServiceMoments(0).effective_samples(), 0.0);
+  EXPECT_NEAR(calibrator.now(), 49.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wfms::adapt

@@ -1,0 +1,184 @@
+// The bounded MPSC audit stream: FIFO ordering, backpressure vs drop
+// semantics, close/drain protocol, and producer/consumer concurrency
+// (this test is part of the TSan selection — see .github/workflows/ci.yml).
+#include "adapt/audit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wfms::adapt {
+namespace {
+
+AuditEvent Arrival(double time) {
+  workflow::ArrivalRecord record;
+  record.workflow_type = "EP";
+  record.arrival_time = time;
+  return record;
+}
+
+TEST(AuditStreamTest, EventTimeCoversEveryAlternative) {
+  EXPECT_DOUBLE_EQ(EventTime(Arrival(1.5)), 1.5);
+  workflow::StateVisitRecord visit;
+  visit.leave_time = 2.5;
+  EXPECT_DOUBLE_EQ(EventTime(AuditEvent(visit)), 2.5);
+  workflow::ServiceRecord service;
+  service.time = 3.5;
+  EXPECT_DOUBLE_EQ(EventTime(AuditEvent(service)), 3.5);
+  workflow::CompletionRecord completion;
+  completion.end_time = 4.5;
+  EXPECT_DOUBLE_EQ(EventTime(AuditEvent(completion)), 4.5);
+  workflow::ServerCountRecord count;
+  count.time = 5.5;
+  EXPECT_DOUBLE_EQ(EventTime(AuditEvent(count)), 5.5);
+}
+
+TEST(AuditStreamTest, FifoOrderSingleProducer) {
+  AuditStream stream(128);
+  for (int i = 0; i < 100; ++i) stream.Publish(Arrival(i));
+  std::vector<AuditEvent> out;
+  EXPECT_EQ(stream.Drain(&out), 100u);
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(EventTime(out[i]), i);
+  EXPECT_EQ(stream.published(), 100u);
+  EXPECT_EQ(stream.dropped(), 0u);
+}
+
+TEST(AuditStreamTest, TryPublishDropsWhenFull) {
+  AuditStream stream(4, AuditStream::Overflow::kDropNewest);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(stream.TryPublish(Arrival(i)));
+  EXPECT_FALSE(stream.TryPublish(Arrival(4)));
+  EXPECT_FALSE(stream.TryPublish(Arrival(5)));
+  EXPECT_EQ(stream.size(), 4u);
+  EXPECT_EQ(stream.published(), 4u);
+  EXPECT_EQ(stream.dropped(), 2u);
+  // Draining frees capacity again.
+  std::vector<AuditEvent> out;
+  stream.Drain(&out, 2);
+  EXPECT_TRUE(stream.TryPublish(Arrival(6)));
+}
+
+TEST(AuditStreamTest, SinkInterfaceHonorsOverflowPolicy) {
+  AuditStream lossy(1, AuditStream::Overflow::kDropNewest);
+  workflow::AuditSink& sink = lossy;
+  sink.OnArrival({"EP", 1.0});
+  sink.OnArrival({"EP", 2.0});  // dropped, must not block
+  EXPECT_EQ(lossy.published(), 1u);
+  EXPECT_EQ(lossy.dropped(), 1u);
+}
+
+TEST(AuditStreamTest, PublishAfterCloseDrops) {
+  AuditStream stream(8);
+  stream.Publish(Arrival(1.0));
+  stream.Close();
+  EXPECT_TRUE(stream.closed());
+  stream.Publish(Arrival(2.0));  // must not block
+  EXPECT_FALSE(stream.TryPublish(Arrival(3.0)));
+  EXPECT_EQ(stream.published(), 1u);
+  EXPECT_EQ(stream.dropped(), 2u);
+  // Queued events survive the close.
+  std::vector<AuditEvent> out;
+  EXPECT_EQ(stream.WaitDrain(&out), 1u);
+  EXPECT_EQ(stream.WaitDrain(&out), 0u);  // closed and empty: terminate
+}
+
+TEST(AuditStreamTest, PublishBlocksUntilConsumerDrains) {
+  AuditStream stream(2);
+  stream.Publish(Arrival(0.0));
+  stream.Publish(Arrival(1.0));
+  std::thread producer([&stream] {
+    stream.Publish(Arrival(2.0));  // blocks until the drain below
+    stream.Close();
+  });
+  std::vector<AuditEvent> out;
+  while (out.size() < 3) stream.WaitDrain(&out);
+  producer.join();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(EventTime(out[2]), 2.0);
+  EXPECT_EQ(stream.dropped(), 0u);
+}
+
+TEST(AuditStreamTest, WaitDrainBlocksUntilPublish) {
+  AuditStream stream(8);
+  std::thread producer([&stream] { stream.Publish(Arrival(7.0)); });
+  std::vector<AuditEvent> out;
+  EXPECT_EQ(stream.WaitDrain(&out), 1u);  // blocks until the publish lands
+  producer.join();
+  EXPECT_DOUBLE_EQ(EventTime(out[0]), 7.0);
+}
+
+// The MPSC contract under contention: several producers block against a
+// tiny queue while one consumer drains; nothing is lost or duplicated and
+// per-producer order is preserved. This is the TSan workhorse.
+TEST(AuditStreamTest, MultiProducerLosslessUnderBackpressure) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  AuditStream stream(8);  // far smaller than the event count
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&stream, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, sequence) in the timestamp.
+        stream.Publish(Arrival(p * 1000000.0 + i));
+      }
+    });
+  }
+  std::thread closer([&producers, &stream] {
+    for (auto& t : producers) t.join();
+    stream.Close();
+  });
+  std::vector<AuditEvent> out;
+  while (stream.WaitDrain(&out) > 0) {
+  }
+  closer.join();
+  ASSERT_EQ(out.size(), static_cast<size_t>(kProducers * kPerProducer));
+  // Per-producer FIFO: sequence numbers strictly increase.
+  std::vector<int> next(kProducers, 0);
+  for (const AuditEvent& event : out) {
+    const double time = EventTime(event);
+    const int producer = static_cast<int>(time / 1000000.0);
+    const int sequence = static_cast<int>(time - producer * 1000000.0);
+    ASSERT_LT(producer, kProducers);
+    EXPECT_EQ(sequence, next[producer]);
+    ++next[producer];
+  }
+  EXPECT_EQ(stream.published(), static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(stream.dropped(), 0u);
+}
+
+// Lossy mode under contention: published + dropped must account for every
+// attempt, with no torn counters.
+TEST(AuditStreamTest, MultiProducerDropAccounting) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 300;
+  AuditStream stream(16, AuditStream::Overflow::kDropNewest);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&stream] {
+      workflow::AuditSink& sink = stream;
+      for (int i = 0; i < kPerProducer; ++i) sink.OnArrival({"EP", 1.0});
+    });
+  }
+  std::vector<AuditEvent> out;
+  size_t drained = 0;
+  // Concurrent consumer; stops when producers are done and queue is empty.
+  std::thread consumer([&] {
+    while (!stream.closed() || stream.size() > 0) {
+      out.clear();
+      drained += stream.Drain(&out);
+    }
+  });
+  for (auto& t : producers) t.join();
+  stream.Close();
+  consumer.join();
+  out.clear();
+  drained += stream.Drain(&out);
+  EXPECT_EQ(stream.published() + stream.dropped(),
+            static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(drained, stream.published());
+}
+
+}  // namespace
+}  // namespace wfms::adapt

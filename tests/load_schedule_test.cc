@@ -1,0 +1,188 @@
+// Scripted load-phase changes: DSL parsing, symbolic rate replay, window
+// slicing, and the simulator actually following the schedule.
+#include "sim/load_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::sim {
+namespace {
+
+using workflow::Configuration;
+using workflow::Environment;
+
+Environment Ep(double rate = 0.5) {
+  auto env = workflow::EpEnvironment(rate);
+  EXPECT_TRUE(env.ok()) << env.status();
+  return *std::move(env);
+}
+
+SimulationResult RunSim(const Environment& env, SimulationOptions options) {
+  auto sim = Simulator::Create(env, std::move(options));
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  auto result = sim->Run();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+TEST(LoadScheduleParseTest, ParsesAllActions) {
+  const Environment env = Ep();
+  auto schedule = ParseLoadSchedule(R"(
+# phase plan
+at 100 rate EP 2.5
+at 200 scale EP 0.5
+at 300 scale-all 2
+)",
+                                    env.workflows);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  ASSERT_EQ(schedule->events.size(), 3u);
+  EXPECT_EQ(schedule->events[0].action, LoadAction::kSetRate);
+  EXPECT_DOUBLE_EQ(schedule->events[0].time, 100.0);
+  EXPECT_EQ(schedule->events[0].workflow, 0u);
+  EXPECT_DOUBLE_EQ(schedule->events[0].value, 2.5);
+  EXPECT_EQ(schedule->events[1].action, LoadAction::kScale);
+  EXPECT_EQ(schedule->events[2].action, LoadAction::kScaleAll);
+  EXPECT_TRUE(schedule->Validate(env.workflows.size()).ok());
+}
+
+TEST(LoadScheduleParseTest, ErrorsCarryLineNumbers) {
+  const Environment env = Ep();
+  auto unknown_wf = ParseLoadSchedule("at 5 rate Nope 1\n", env.workflows);
+  ASSERT_FALSE(unknown_wf.ok());
+  EXPECT_NE(unknown_wf.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(unknown_wf.status().message().find("Nope"), std::string::npos);
+
+  auto bad_verb =
+      ParseLoadSchedule("\nat 5 wobble EP 1\n", env.workflows);
+  ASSERT_FALSE(bad_verb.ok());
+  EXPECT_NE(bad_verb.status().message().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(ParseLoadSchedule("at x rate EP 1\n", env.workflows).ok());
+  EXPECT_FALSE(ParseLoadSchedule("at 5 rate EP\n", env.workflows).ok());
+  EXPECT_FALSE(
+      ParseLoadSchedule("at 5 scale-all 2 extra\n", env.workflows).ok());
+  EXPECT_FALSE(ParseLoadSchedule("rate EP 1\n", env.workflows).ok());
+}
+
+TEST(LoadScheduleTest, ValidateRejectsBadEvents) {
+  LoadSchedule schedule;
+  schedule.events = {{-1.0, LoadAction::kSetRate, 0, 1.0}};
+  EXPECT_FALSE(schedule.Validate(1).ok());
+  schedule.events = {{1.0, LoadAction::kSetRate, 5, 1.0}};
+  EXPECT_FALSE(schedule.Validate(1).ok());
+  schedule.events = {{1.0, LoadAction::kScale, 0, -2.0}};
+  EXPECT_FALSE(schedule.Validate(1).ok());
+  // scale-all ignores the workflow index.
+  schedule.events = {{1.0, LoadAction::kScaleAll, 99, 2.0}};
+  EXPECT_TRUE(schedule.Validate(1).ok());
+}
+
+TEST(LoadScheduleTest, RatesAtReplaysInOrder) {
+  LoadSchedule schedule;
+  schedule.events = {{300.0, LoadAction::kScaleAll, 0, 2.0},
+                     {100.0, LoadAction::kSetRate, 0, 1.0},
+                     {200.0, LoadAction::kScale, 0, 3.0}};
+  const std::vector<double> base = {0.5};
+  auto at_0 = schedule.RatesAt(0.0, base);
+  ASSERT_TRUE(at_0.ok());
+  EXPECT_DOUBLE_EQ((*at_0)[0], 0.5);
+  auto at_150 = schedule.RatesAt(150.0, base);
+  ASSERT_TRUE(at_150.ok());
+  EXPECT_DOUBLE_EQ((*at_150)[0], 1.0);
+  auto at_250 = schedule.RatesAt(250.0, base);
+  ASSERT_TRUE(at_250.ok());
+  EXPECT_DOUBLE_EQ((*at_250)[0], 3.0);
+  // An event exactly at the query instant has applied.
+  auto at_300 = schedule.RatesAt(300.0, base);
+  ASSERT_TRUE(at_300.ok());
+  EXPECT_DOUBLE_EQ((*at_300)[0], 6.0);
+}
+
+TEST(LoadScheduleTest, SliceShiftsToLocalClock) {
+  LoadSchedule schedule;
+  schedule.events = {{100.0, LoadAction::kSetRate, 0, 1.0},
+                     {250.0, LoadAction::kScale, 0, 2.0},
+                     {400.0, LoadAction::kScaleAll, 0, 0.5}};
+  const LoadSchedule slice = schedule.Slice(200.0, 400.0);
+  ASSERT_EQ(slice.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(slice.events[0].time, 50.0);
+  EXPECT_EQ(slice.events[0].action, LoadAction::kScale);
+  // Boundaries: `from` inclusive, `to` exclusive.
+  EXPECT_EQ(schedule.Slice(100.0, 101.0).events.size(), 1u);
+  EXPECT_EQ(schedule.Slice(99.0, 100.0).events.size(), 0u);
+}
+
+TEST(LoadScheduleSimTest, RateIncreaseRaisesArrivals) {
+  const Environment env = Ep(0.2);
+  SimulationOptions options;
+  options.config = Configuration({2, 2, 3});
+  options.duration = 4000.0;
+  options.warmup = 0.0;
+  options.seed = 11;
+  options.enable_failures = false;
+
+  const SimulationResult steady = RunSim(env, options);
+
+  SimulationOptions shifted = options;
+  shifted.load.events = {{2000.0, LoadAction::kScaleAll, 0, 5.0}};
+  const SimulationResult ramped = RunSim(env, shifted);
+
+  // 5x the rate over the second half: clearly more instances started.
+  const int64_t steady_started = steady.workflows.at("EP").started;
+  const int64_t ramped_started = ramped.workflows.at("EP").started;
+  EXPECT_GT(ramped_started, steady_started + steady_started / 2);
+}
+
+TEST(LoadScheduleSimTest, ZeroRateStopsAndRestartsArrivals) {
+  const Environment env = Ep(1.0);
+  SimulationOptions options;
+  options.config = Configuration({2, 2, 3});
+  options.duration = 3000.0;
+  options.warmup = 0.0;
+  options.seed = 3;
+  options.enable_failures = false;
+  options.record_audit_trail = true;
+  // Silence in [1000, 2000), then resume.
+  options.load.events = {{1000.0, LoadAction::kSetRate, 0, 0.0},
+                         {2000.0, LoadAction::kSetRate, 0, 1.0}};
+  const SimulationResult result = RunSim(env, options);
+
+  int64_t before = 0, during = 0, after = 0;
+  for (const auto& arrival : result.trail.arrivals()) {
+    if (arrival.arrival_time < 1000.0) {
+      ++before;
+    } else if (arrival.arrival_time < 2000.0) {
+      ++during;
+    } else {
+      ++after;
+    }
+  }
+  EXPECT_GT(before, 0);
+  // At most the one interarrival already drawn when the rate dropped.
+  EXPECT_LE(during, 1);
+  EXPECT_GT(after, 0);
+}
+
+TEST(LoadScheduleSimTest, ScheduledRunsAreDeterministic) {
+  const Environment env = Ep(0.5);
+  SimulationOptions options;
+  options.config = Configuration({2, 2, 3});
+  options.duration = 3000.0;
+  options.warmup = 500.0;
+  options.seed = 42;
+  options.load.events = {{1000.0, LoadAction::kScaleAll, 0, 2.0},
+                         {2000.0, LoadAction::kSetRate, 0, 0.25}};
+  const SimulationResult a = RunSim(env, options);
+  const SimulationResult b = RunSim(env, options);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.workflows.at("EP").completed, b.workflows.at("EP").completed);
+  EXPECT_DOUBLE_EQ(a.workflows.at("EP").turnaround.mean(),
+                   b.workflows.at("EP").turnaround.mean());
+}
+
+}  // namespace
+}  // namespace wfms::sim

@@ -1,0 +1,191 @@
+// Property tests for the §7.1 calibration component: audit trails are
+// synthesized from *known* ground-truth parameters and the estimators
+// must recover those parameters within normal-approximation confidence
+// bounds, across several seeded parameter draws. Degenerate inputs
+// (empty trail, a single record) must leave the designed model intact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/random.h"
+#include "statechart/parser.h"
+#include "workflow/audit_trail.h"
+#include "workflow/calibration.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::workflow {
+namespace {
+
+statechart::StateChart MakeBranchChart() {
+  auto chart = statechart::ParseSingleChart(R"(
+chart Branch
+  state A residence=10
+  state B residence=20
+  state Done residence=1
+  initial A
+  final Done
+  trans A -> B prob=0.5
+  trans A -> Done prob=0.5
+  trans B -> Done prob=1
+end
+)");
+  EXPECT_TRUE(chart.ok()) << chart.status();
+  return *std::move(chart);
+}
+
+double ResidenceOf(const statechart::StateChart& chart,
+                   const std::string& state) {
+  return chart.state(*chart.StateIndex(state)).residence_time;
+}
+
+// Transition frequencies from Bernoulli draws with known p must land
+// within the binomial confidence interval around p (plus the Laplace
+// smoothing shift, which is < 1/n).
+TEST(PropertyCalibrationTest, TransitionProbabilitiesWithinBinomialBounds) {
+  const statechart::StateChart chart = MakeBranchChart();
+  Rng rng(2024);
+  const int kVisits = 2000;
+  for (double p : {0.1, 0.35, 0.5, 0.8, 0.95}) {
+    AuditTrail trail;
+    for (int i = 0; i < kVisits; ++i) {
+      const char* next = rng.NextBernoulli(p) ? "B" : "Done";
+      trail.RecordStateVisit({"Branch", i, "A", 10.0 * i, 10.0 * i + 1, next});
+    }
+    auto calibrated = CalibrateChart(chart, trail);
+    ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+    double estimated = 0.0;
+    for (const auto* t : calibrated->OutgoingTransitions("A")) {
+      if (t->to == "B") estimated = t->probability;
+    }
+    // 4-sigma binomial bound plus the smoothing shift: deterministic seed,
+    // so a failure means estimation is wrong, not that we got unlucky.
+    const double bound =
+        4.0 * std::sqrt(p * (1.0 - p) / kVisits) + 1.0 / kVisits;
+    EXPECT_NEAR(estimated, p, bound) << "p=" << p;
+  }
+}
+
+// Mean residence times estimated from exponential samples with known mean
+// must recover the mean within 4 standard errors (sigma = mean for the
+// exponential).
+TEST(PropertyCalibrationTest, ResidenceTimesWithinConfidenceBounds) {
+  const statechart::StateChart chart = MakeBranchChart();
+  Rng rng(7);
+  const int kVisits = 1500;
+  for (double mean : {0.5, 3.0, 12.0, 40.0}) {
+    AuditTrail trail;
+    double t = 0.0;
+    for (int i = 0; i < kVisits; ++i) {
+      const double residence = rng.NextExponential(1.0 / mean);
+      trail.RecordStateVisit({"Branch", i, "A", t, t + residence, "Done"});
+      t += residence + 1.0;
+    }
+    auto calibrated = CalibrateChart(chart, trail);
+    ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+    const double bound = 4.0 * mean / std::sqrt(static_cast<double>(kVisits));
+    EXPECT_NEAR(ResidenceOf(*calibrated, "A"), mean, bound) << "mean=" << mean;
+    // Unobserved states keep the design.
+    EXPECT_DOUBLE_EQ(ResidenceOf(*calibrated, "B"), 20.0);
+  }
+}
+
+// Service-time first and second moments from lognormal samples with known
+// moments; both must land within 4 standard errors of the truth.
+TEST(PropertyCalibrationTest, ServiceMomentsWithinConfidenceBounds) {
+  auto env = EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  Rng rng(99);
+  const int kSamples = 4000;
+  const double mean = 0.08;
+  const double scv = 1.5;  // squared coefficient of variation
+  AuditTrail trail;
+  for (int i = 0; i < kSamples; ++i) {
+    trail.RecordService({1, rng.NextLognormalByMoments(mean, scv), i * 0.1});
+  }
+  auto calibrated = CalibrateEnvironment(*env, trail);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+  const auto& service = calibrated->servers.type(1).service;
+  const double variance = scv * mean * mean;
+  const double mean_bound = 4.0 * std::sqrt(variance / kSamples);
+  EXPECT_NEAR(service.mean, mean, mean_bound);
+  // E[X^2] = mean^2 (1 + scv); its sampling error involves the fourth
+  // moment — use a generous relative bound.
+  const double second = mean * mean * (1.0 + scv);
+  EXPECT_NEAR(service.second_moment, second, 0.25 * second);
+  // Server types with no observations keep the design.
+  EXPECT_DOUBLE_EQ(calibrated->servers.type(0).service.mean,
+                   env->servers.type(0).service.mean);
+}
+
+// Poisson arrival streams with known rate: the estimated rate must fall
+// within the 4-sigma Poisson bound sqrt(n)/T around the truth.
+TEST(PropertyCalibrationTest, ArrivalRatesWithinPoissonBounds) {
+  auto env = EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  Rng rng(5);
+  for (double rate : {0.2, 1.0, 4.0}) {
+    AuditTrail trail;
+    double t = 0.0;
+    int64_t count = 0;
+    while (t < 2000.0) {
+      t += rng.NextExponential(rate);
+      if (t >= 2000.0) break;
+      trail.RecordArrival({"EP", t});
+      ++count;
+    }
+    ASSERT_GE(count, 100);
+    auto calibrated = CalibrateEnvironment(*env, trail);
+    ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+    const double bound = 4.0 * std::sqrt(static_cast<double>(count)) / 2000.0;
+    EXPECT_NEAR(calibrated->workflows[0].arrival_rate, rate, bound)
+        << "rate=" << rate;
+  }
+}
+
+// Edge case: an empty trail is not an error — every parameter keeps its
+// designed value and the result still validates.
+TEST(PropertyCalibrationTest, EmptyTrailKeepsDesignedModel) {
+  auto env = EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  AuditTrail trail;
+  CalibrationReport report;
+  auto calibrated = CalibrateEnvironment(*env, trail, {}, &report);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+  EXPECT_EQ(report.states_recalibrated, 0);
+  EXPECT_EQ(report.server_types_recalibrated, 0);
+  EXPECT_EQ(report.workflow_types_recalibrated, 0);
+  EXPECT_DOUBLE_EQ(calibrated->workflows[0].arrival_rate, 0.5);
+  for (size_t i = 0; i < env->servers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(calibrated->servers.type(i).service.mean,
+                     env->servers.type(i).service.mean);
+  }
+  EXPECT_TRUE(calibrated->Validate().ok());
+}
+
+// Edge case: one record of each kind sits below min_observations — the
+// design survives untouched, no matter how extreme the observations.
+TEST(PropertyCalibrationTest, SingleRecordBelowMinObservationsIsIgnored) {
+  auto env = EpEnvironment(0.5);
+  ASSERT_TRUE(env.ok());
+  AuditTrail trail;
+  trail.RecordStateVisit({"EP", 0, "NewOrder", 0.0, 99999.0, "Shipment"});
+  trail.RecordService({1, 99999.0, 0.0});
+  trail.RecordArrival({"EP", 0.001});  // would imply a huge rate
+  CalibrationOptions options;
+  options.min_observations = 10;
+  CalibrationReport report;
+  auto calibrated = CalibrateEnvironment(*env, trail, options, &report);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status();
+  EXPECT_EQ(report.states_recalibrated, 0);
+  EXPECT_EQ(report.server_types_recalibrated, 0);
+  const auto* ep = *calibrated->charts.GetChart("EP");
+  EXPECT_DOUBLE_EQ(ep->state(*ep->StateIndex("NewOrder")).residence_time,
+                   5.0);
+  EXPECT_DOUBLE_EQ(calibrated->servers.type(1).service.mean,
+                   env->servers.type(1).service.mean);
+  EXPECT_TRUE(calibrated->Validate().ok());
+}
+
+}  // namespace
+}  // namespace wfms::workflow

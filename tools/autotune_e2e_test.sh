@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end check of the closed adaptive loop (`wfmsctl autotune`):
+#   1. a mid-run load doubling drives a reconfiguration to a strictly
+#      larger, component-wise >= replication vector whose plan predicts
+#      the goals met again;
+#   2. the run is deterministic: a repeat under the same seed is
+#      byte-identical;
+#   3. a steady-load control run under the same goals performs ZERO
+#      reconfigurations (no flapping);
+#   4. the controller's decisions are observable: --metrics-out carries
+#      the wfms_adapt_* counters consistent with the printed report.
+#
+# usage: autotune_e2e_test.sh <wfmsctl> <workdir>
+set -eu
+
+WFMSCTL="$1"
+WORKDIR="$2/autotune_e2e_test"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+cat > "$WORKDIR/double.schedule" << 'EOF'
+# load doubles a third of the way into the run
+at 3000 scale-all 2.0
+EOF
+
+run_autotune() {
+  "$WFMSCTL" autotune --scenario ep --config 1,1,2 \
+      --duration 9000 --epoch 1000 --seed 7 --no-failures \
+      --max-wait 0.05 --min-avail 0.99 --max-turnaround 250 \
+      --hysteresis 1 --cooldown 2000 \
+      "$@"
+}
+
+echo "== load doubling mid-run reconfigures to a larger vector"
+run_autotune --load "$WORKDIR/double.schedule" > "$WORKDIR/shift.txt"
+grep -q "final config" "$WORKDIR/shift.txt"
+
+initial_vec="1,1,2"
+final_vec=$(sed -n 's/^final config (\([0-9,]*\)).*/\1/p' "$WORKDIR/shift.txt")
+reconfigs=$(sed -n 's/^final config [^)]*) after \([0-9]*\) reconfiguration.*/\1/p' \
+    "$WORKDIR/shift.txt")
+[ -n "$final_vec" ] || { echo "FAIL: no final config line" >&2; exit 1; }
+if [ "$reconfigs" -lt 1 ]; then
+  echo "FAIL: load doubling caused no reconfiguration" >&2
+  cat "$WORKDIR/shift.txt" >&2
+  exit 1
+fi
+
+# Component-wise >= with a strictly larger total.
+initial_total=0; final_total=0
+IFS=, read -r -a init_arr <<< "$initial_vec"
+IFS=, read -r -a final_arr <<< "$final_vec"
+[ "${#init_arr[@]}" -eq "${#final_arr[@]}" ] || {
+  echo "FAIL: vector length changed: ($initial_vec) -> ($final_vec)" >&2
+  exit 1
+}
+for idx in "${!init_arr[@]}"; do
+  if [ "${final_arr[$idx]}" -lt "${init_arr[$idx]}" ]; then
+    echo "FAIL: component $idx shrank: ($initial_vec) -> ($final_vec)" >&2
+    exit 1
+  fi
+  initial_total=$((initial_total + init_arr[idx]))
+  final_total=$((final_total + final_arr[idx]))
+done
+if [ "$final_total" -le "$initial_total" ]; then
+  echo "FAIL: total replicas did not grow: ($initial_vec) -> ($final_vec)" >&2
+  exit 1
+fi
+
+# The applied plan must predict the goals met again.
+grep -q "reconfigured: .*, goals met)" "$WORKDIR/shift.txt" || {
+  echo "FAIL: no 'goals met' prediction in the applied plan" >&2
+  cat "$WORKDIR/shift.txt" >&2
+  exit 1
+}
+
+echo "== same seed, byte-identical repeat"
+run_autotune --load "$WORKDIR/double.schedule" > "$WORKDIR/shift2.txt"
+cmp "$WORKDIR/shift.txt" "$WORKDIR/shift2.txt" || {
+  echo "FAIL: repeat run differs under the same seed" >&2
+  exit 1
+}
+
+echo "== steady-load control run never reconfigures"
+run_autotune > "$WORKDIR/steady.txt"
+grep -q "after 0 reconfigurations" "$WORKDIR/steady.txt" || {
+  echo "FAIL: control run reconfigured under steady load" >&2
+  cat "$WORKDIR/steady.txt" >&2
+  exit 1
+}
+
+echo "== controller decisions visible in the metrics export"
+run_autotune --load "$WORKDIR/double.schedule" \
+    --metrics-out "$WORKDIR/metrics.json" > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - "$WORKDIR/metrics.json" "$reconfigs" << 'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["counters"]
+assert counters["wfms_adapt_epochs_total"] == 9, counters
+assert counters["wfms_adapt_evaluations_total"] == 9, counters
+assert counters["wfms_adapt_triggers_total"] >= 1, counters
+assert counters["wfms_adapt_searches_total"] >= 1, counters
+assert counters["wfms_adapt_reconfigurations_total"] == int(sys.argv[2]), counters
+assert counters["wfms_adapt_stream_published_total"] > 0, counters
+assert counters.get("wfms_adapt_stream_dropped_total", 0) == 0, counters
+PYEOF
+else
+  grep -q "wfms_adapt_reconfigurations_total" "$WORKDIR/metrics.json"
+fi
+
+echo "autotune_e2e_test: OK"

@@ -12,10 +12,15 @@
 # "lines": [...]} so every BENCH_<name>.json is valid JSON either way.
 #
 # usage: run_benches.sh [build-dir] [outdir] [extra benchmark args...]
+#
+# BENCH_FILTER (env var, shell glob, default '*') selects which suites
+# run by suite name (without the bench_ prefix), e.g.
+#   BENCH_FILTER=config_search tools/run_benches.sh build
 set -u
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR/bench_results}"
+BENCH_FILTER="${BENCH_FILTER:-*}"
 shift $(( $# > 2 ? 2 : $# ))
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
@@ -46,6 +51,11 @@ ran=0
 for bench in "$BUILD_DIR"/bench/bench_*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
   name=$(basename "$bench")
+  # shellcheck disable=SC2254  # BENCH_FILTER is deliberately a glob
+  case "${name#bench_}" in
+    $BENCH_FILTER) ;;
+    *) continue ;;
+  esac
   out="$OUT_DIR/BENCH_${name#bench_}.json"
   echo "== $name -> $out"
   if ! "$bench" --benchmark_format=json "$@" > "$out.raw"; then
@@ -93,5 +103,15 @@ if [ "$ran" -eq 0 ]; then
   echo "no benchmark binaries found under $BUILD_DIR/bench" >&2
   exit 1
 fi
+
+# The config-search suite doubles as the repo's perf trajectory file:
+# a copy always lands at the repo root (gitignored) so tooling that
+# diffs BENCH_config_search.json across commits finds it in a fixed
+# place regardless of the build/out directories in use.
+if [ -f "$OUT_DIR/BENCH_config_search.json" ]; then
+  cp "$OUT_DIR/BENCH_config_search.json" "$REPO_DIR/BENCH_config_search.json"
+  echo "trajectory copy: $REPO_DIR/BENCH_config_search.json"
+fi
+
 echo "$ran suite(s) written to $OUT_DIR ($failures failure(s))"
 [ "$failures" -eq 0 ]

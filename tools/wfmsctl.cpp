@@ -9,6 +9,8 @@
 //                     --min-avail 0.99999
 //   wfmsctl recommend --scenario scenario.wfms --method greedy
 //   wfmsctl simulate  --scenario ep --config 2,2,3 --duration 50000
+//   wfmsctl autotune  --scenario ep --config 1,1,1 --load load.schedule
+//                     --max-turnaround 40
 //   wfmsctl export    --scenario benchmark > my_scenario.wfms
 
 #include <atomic>
@@ -22,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/autotune.h"
 #include "avail/availability_model.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -33,6 +36,7 @@
 #include "markov/transient_distribution.h"
 #include "perf/performance_model.h"
 #include "sim/fault_schedule.h"
+#include "sim/load_schedule.h"
 #include "sim/simulator.h"
 #include "workflow/calibration.h"
 #include "workflow/environment_io.h"
@@ -110,6 +114,10 @@ commands:
                --bind-instances uses per-instance server binding)
   calibrate   re-estimate the scenario from an audit trail (--trail FILE);
               prints the calibrated scenario to stdout
+  autotune    closed-loop adaptive reconfiguration: simulate under a
+              scripted load schedule, monitor the audit stream, detect
+              drift / goal violations, and re-run the configuration
+              search when warranted
   export      print a scenario file for a built-in scenario
 
 common flags:
@@ -124,9 +132,25 @@ common flags:
   --duration / --warmup / --seed / --no-failures   (simulate)
   --faults    fault-schedule file: scripted crash/repair/outage events
               replacing the random failure processes (simulate)
+  --load      load-schedule file: timed arrival-rate phase changes
+              (simulate, autotune)
   --iterations annealing iteration count          (recommend, default 2000)
   --verbose   also report cache statistics and per-candidate failure
               causes on stderr (recommend)
+
+autotune flags:
+  --config          initial configuration        (default all-ones)
+  --load FILE       load schedule: timed arrival-rate phase changes
+                    (at <t> rate <wf> <r> | scale <wf> <f> | scale-all <f>)
+  --duration        total model minutes          (default 20000)
+  --epoch           control period in model minutes (default 2000)
+  --max-turnaround  observed mean-turnaround SLO in minutes (0 = off)
+  --window / --tau  estimator window / decay constant (model minutes)
+  --hysteresis      consecutive triggered periods before a search (default 2)
+  --cooldown        minimum model minutes between reconfigurations
+                    (default 2 epochs)
+  --min-margin-gain minimum predicted improvement to act (default 0.05)
+  --checkpoint PATH persist the search's assessment cache across periods
 
 observability (any command):
   --metrics-out FILE     write a metrics snapshot after the command runs
@@ -419,6 +443,19 @@ int Simulate(const workflow::Environment& env, const Flags& flags) {
     if (!schedule.ok()) return FailWith(schedule.status());
     options.faults = *std::move(schedule);
   }
+  if (flags.Has("load")) {
+    const std::string path = flags.Get("load", "");
+    std::ifstream file(path);
+    if (!file) {
+      return FailWith(
+          Status::NotFound("cannot open load schedule '" + path + "'"));
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto schedule = sim::ParseLoadSchedule(buffer.str(), env.workflows);
+    if (!schedule.ok()) return FailWith(schedule.status());
+    options.load = *std::move(schedule);
+  }
   auto simulator = sim::Simulator::Create(env, options);
   if (!simulator.ok()) return FailWith(simulator.status());
   auto result = simulator->Run();
@@ -496,6 +533,91 @@ int Calibrate(const workflow::Environment& env, const Flags& flags) {
   return 0;
 }
 
+int Autotune(const workflow::Environment& env, const Flags& flags) {
+  adapt::AutotuneOptions options;
+  if (flags.Has("config")) {
+    auto config =
+        ParseConfig(flags.Get("config", ""), env.num_server_types());
+    if (!config.ok()) return FailWith(config.status());
+    options.initial = *config;
+  } else {
+    options.initial = workflow::Configuration::Ones(env.num_server_types());
+  }
+  options.duration = flags.GetDouble("duration", 20000.0);
+  options.epoch = flags.GetDouble("epoch", 2000.0);
+  options.seed = static_cast<uint64_t>(flags.GetDouble("seed", 1.0));
+  options.enable_failures = !flags.Has("no-failures");
+  if (flags.Has("bind-instances")) {
+    options.dispatch = sim::DispatchPolicy::kPerInstanceBinding;
+  }
+  if (flags.Has("load")) {
+    const std::string path = flags.Get("load", "");
+    std::ifstream file(path);
+    if (!file) {
+      return FailWith(
+          Status::NotFound("cannot open load schedule '" + path + "'"));
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto schedule = sim::ParseLoadSchedule(buffer.str(), env.workflows);
+    if (!schedule.ok()) return FailWith(schedule.status());
+    options.load = *std::move(schedule);
+  }
+
+  options.controller.goals = GoalsFromFlags(flags);
+  const int max_replicas =
+      static_cast<int>(flags.GetDouble("max-replicas", 8));
+  options.controller.constraints.max_replicas.assign(env.num_server_types(),
+                                                     max_replicas);
+  auto method = adapt::ParseSearchMethod(flags.Get("method", "greedy"));
+  if (!method.ok()) return FailWith(method.status());
+  options.controller.method = *method;
+  options.controller.annealing.iterations = static_cast<int>(
+      flags.GetDouble("iterations", options.controller.annealing.iterations));
+  options.controller.max_turnaround = flags.GetDouble("max-turnaround", 0.0);
+  options.controller.hysteresis =
+      static_cast<int>(flags.GetDouble("hysteresis", 2));
+  options.controller.cooldown =
+      flags.GetDouble("cooldown", 2.0 * options.epoch);
+  options.controller.min_margin_gain =
+      flags.GetDouble("min-margin-gain", 0.05);
+  options.controller.migration_cost_per_server =
+      flags.GetDouble("migration-cost", 0.5);
+  options.controller.min_observations =
+      static_cast<int>(flags.GetDouble("min-observations", 10));
+  options.controller.checkpoint_path = flags.Get("checkpoint", "");
+  options.calibrator.window = flags.GetDouble("window", 2.0 * options.epoch);
+  options.calibrator.tau = flags.GetDouble("tau", options.epoch);
+  options.calibrator.min_observations = options.controller.min_observations;
+
+  auto report = adapt::RunAutotune(env, options);
+  if (!report.ok()) return FailWith(report.status());
+
+  std::printf("autotune: initial %s, %s in epochs of %s\n",
+              options.initial.ToString().c_str(),
+              FormatMinutes(options.duration).c_str(),
+              FormatMinutes(options.epoch).c_str());
+  for (const adapt::EpochReport& epoch : report->epochs) {
+    std::printf("epoch %d [%.0f, %.0f) config %s rates (", epoch.index,
+                epoch.start, epoch.end, epoch.config.ToString().c_str());
+    for (size_t i = 0; i < epoch.scheduled_rates.size(); ++i) {
+      std::printf("%s%.4g", i ? "," : "", epoch.scheduled_rates[i]);
+    }
+    std::printf(") turnaround %.3f events %llu\n", epoch.observed_turnaround,
+                static_cast<unsigned long long>(epoch.events));
+    std::printf("  decision: %s\n", epoch.decision.reason.c_str());
+  }
+  std::printf("final config %s after %d reconfiguration%s (%zu epochs, "
+              "%llu events, %llu dropped)\n",
+              report->final_config.ToString().c_str(),
+              report->reconfigurations,
+              report->reconfigurations == 1 ? "" : "s",
+              report->epochs.size(),
+              static_cast<unsigned long long>(report->events_total),
+              static_cast<unsigned long long>(report->dropped_total));
+  return 0;
+}
+
 // Human summary of the metrics registry, printed to stdout only alongside
 // the machine-readable exports (the default stdout stays byte-identical —
 // the chaos harness diffs it). Lines appear only for subsystems that ran.
@@ -546,6 +668,23 @@ void PrintRunReport(const metrics::MetricsSnapshot& snap,
                 static_cast<unsigned long long>(sim_events),
                 snap.gauge("wfms_sim_events_per_second"),
                 snap.gauge("wfms_sim_event_queue_peak"));
+  }
+  const uint64_t adapt_evals = snap.counter("wfms_adapt_evaluations_total");
+  if (adapt_evals > 0) {
+    std::printf(
+        "  adapt evaluations %llu, triggers %llu, searches %llu, "
+        "reconfigurations %llu (stream events %llu, dropped %llu)\n",
+        static_cast<unsigned long long>(adapt_evals),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_adapt_triggers_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_adapt_searches_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_adapt_reconfigurations_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_adapt_stream_published_total")),
+        static_cast<unsigned long long>(
+            snap.counter("wfms_adapt_stream_dropped_total")));
   }
   const uint64_t checkpoint_writes =
       snap.counter("wfms_configtool_checkpoint_writes_total") +
@@ -644,6 +783,8 @@ int Main(int argc, char** argv) {
     code = Simulate(*env, flags);
   } else if (command == "calibrate") {
     code = Calibrate(*env, flags);
+  } else if (command == "autotune") {
+    code = Autotune(*env, flags);
   } else if (command == "export") {
     std::printf("%s", workflow::SerializeEnvironment(*env).c_str());
     code = 0;
