@@ -2,7 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
 #include <string>
+#include <tuple>
 
 #include "common/metrics.h"
 #include "common/time_units.h"
@@ -161,6 +165,30 @@ Result<AvailabilityReport> AvailabilityModel::Evaluate(
     markov::SteadyStateOptions solver_options =
         solver_override != nullptr ? *solver_override : options_.solver;
     solver_options.initial_guess = steady_state_guess;
+    // Seed the lumping pass with canonical orbits of exchangeable server
+    // types: dimensions whose (failure rate, repair rate, replica count)
+    // coincide bit-for-bit have permutation-invariant dynamics, so states
+    // differing only by such a permutation are lumping candidates.
+    std::vector<uint32_t> seed_storage;
+    if (solver_options.lumping != markov::LumpingMode::kOff &&
+        solver_options.lumping_seed == nullptr && k > 1) {
+      std::map<std::tuple<uint64_t, uint64_t, int>, uint64_t> sig_ids;
+      std::vector<uint64_t> signature(k);
+      for (size_t x = 0; x < k; ++x) {
+        uint64_t failure_bits, repair_bits;
+        std::memcpy(&failure_bits, &failure_rates_[x], sizeof(double));
+        std::memcpy(&repair_bits, &repair_rates_[x], sizeof(double));
+        const auto [it, inserted] = sig_ids.emplace(
+            std::make_tuple(failure_bits, repair_bits, config.replicas[x]),
+            sig_ids.size());
+        signature[x] = it->second;
+      }
+      auto labels = markov::ExchangeableStateLabels(space, signature);
+      if (labels.ok()) {
+        seed_storage = *std::move(labels);
+        solver_options.lumping_seed = &seed_storage;
+      }
+    }
     auto solved = markov::SolveSteadyState(chain, solver_options);
     if (!solved.ok()) {
       return solved.status().WithContext("availability CTMC for " +
@@ -171,6 +199,8 @@ Result<AvailabilityReport> AvailabilityModel::Evaluate(
     report.solver_method = solved->method_used;
     report.solver_diagnostics = solved->diagnostics;
     report.solver_attempts = std::move(solved->attempts);
+    report.lumping_applied = solved->lumping_applied;
+    report.lumped_states = solved->lumped_states;
   }
 
   // Aggregate: available iff all types have at least one server up.

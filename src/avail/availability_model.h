@@ -61,6 +61,10 @@ struct AvailabilityReport {
   SolveDiagnostics solver_diagnostics;
   /// When the degradation cascade ran: every rung attempted, in order.
   std::vector<markov::CascadeAttempt> solver_attempts;
+  /// True when the solve ran on the lumped quotient chain (see
+  /// markov/lumping.h); `lumped_states` is then the quotient size.
+  bool lumping_applied = false;
+  size_t lumped_states = 0;
 };
 
 class AvailabilityModel {

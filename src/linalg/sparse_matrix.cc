@@ -15,10 +15,39 @@ void SparseMatrixBuilder::Add(size_t row, size_t col, double value) {
   WFMS_DCHECK(col < cols_);
   if (value == 0.0) return;
   triplets_.push_back({row, col, value});
+  if (triplets_.size() >= coalesce_watermark_) Compact();
 }
 
 void SparseMatrixBuilder::Reserve(size_t nnz_hint) {
   triplets_.reserve(nnz_hint);
+}
+
+void SparseMatrixBuilder::SetCoalesceWatermark(size_t watermark) {
+  coalesce_watermark_ = std::max<size_t>(1, watermark);
+  if (triplets_.size() >= coalesce_watermark_) Compact();
+}
+
+void SparseMatrixBuilder::Compact() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < triplets_.size();) {
+    Triplet merged = triplets_[i++];
+    while (i < triplets_.size() && triplets_[i].row == merged.row &&
+           triplets_[i].col == merged.col) {
+      merged.value += triplets_[i++].value;
+    }
+    // Exact-zero sums are kept: dropping them here while Build() drops them
+    // again would be harmless, but keeping Compact a pure regrouping makes
+    // it composable with any number of later insertions to the same slot.
+    triplets_[out++] = merged;
+  }
+  triplets_.resize(out);
+  // Next compaction only once the store doubles again, so an assembly with
+  // few duplicates pays at most O(log n) compaction sorts.
+  coalesce_watermark_ = std::max(coalesce_watermark_, 2 * triplets_.size());
 }
 
 SparseMatrix SparseMatrixBuilder::Build() & {

@@ -1,0 +1,163 @@
+#include "linalg/spmv.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wfms::linalg {
+
+namespace {
+
+/// Scatter kernel for one row panel: y[col] += value * x[row], rows in
+/// ascending order. Identical statement order to the sequential reference
+/// restricted to [row_begin, row_end).
+inline void ScatterPanel(const SparseMatrix& a, const Vector& x, double* y,
+                         size_t row_begin, size_t row_end) {
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+  for (size_t r = row_begin; r < row_end; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const size_t end = offsets[r + 1];
+#pragma GCC ivdep
+    for (size_t k = offsets[r]; k < end; ++k) {
+      y[cols[k]] += values[k] * xr;
+    }
+  }
+}
+
+}  // namespace
+
+RowPanels BuildRowPanels(const SparseMatrix& a, size_t target_panels,
+                         size_t max_panel_nnz) {
+  RowPanels panels;
+  const size_t n = a.rows();
+  panels.starts.push_back(0);
+  if (n == 0) return panels;
+  target_panels = std::max<size_t>(1, target_panels);
+  max_panel_nnz = std::max<size_t>(1, max_panel_nnz);
+  const size_t nnz = a.num_nonzeros();
+  const size_t per_panel =
+      std::min(max_panel_nnz, std::max<size_t>(1, nnz / target_panels));
+  const auto& offsets = a.row_offsets();
+  size_t panel_start_nnz = 0;
+  for (size_t r = 0; r < n; ++r) {
+    if (offsets[r + 1] - panel_start_nnz >= per_panel && r + 1 < n) {
+      panels.starts.push_back(r + 1);
+      panel_start_nnz = offsets[r + 1];
+    }
+  }
+  panels.starts.push_back(n);
+  return panels;
+}
+
+std::vector<Vector>& SpmvWorkspace::PartialBuffers(size_t lanes, size_t n) {
+  if (partials_.size() < lanes) partials_.resize(lanes);
+  for (size_t i = 0; i < lanes; ++i) {
+    partials_[i].assign(n, 0.0);
+  }
+  return partials_;
+}
+
+void ReferenceMultiply(const SparseMatrix& a, const Vector& x, Vector* y) {
+  WFMS_CHECK_EQ(x.size(), a.cols());
+  y->assign(a.rows(), 0.0);
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      sum += values[k] * x[cols[k]];
+    }
+    (*y)[r] = sum;
+  }
+}
+
+void ReferenceMultiplyTransposed(const SparseMatrix& a, const Vector& x,
+                                 Vector* y) {
+  WFMS_CHECK_EQ(x.size(), a.rows());
+  y->assign(a.cols(), 0.0);
+  ScatterPanel(a, x, y->data(), 0, a.rows());
+}
+
+void BlockedMultiply(const SparseMatrix& a, const Vector& x, Vector* y,
+                     ThreadPool* pool) {
+  WFMS_CHECK_EQ(x.size(), a.cols());
+  WFMS_DCHECK(y != &x);
+  y->assign(a.rows(), 0.0);
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+  const double* xp = x.data();
+  double* yp = y->data();
+
+  const size_t lanes = pool != nullptr ? pool->num_threads() : 1;
+  auto run_rows = [&](size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      yp[r] = CsrRowDot(values.data(), cols.data(), offsets[r],
+                        offsets[r + 1], xp);
+    }
+  };
+  if (lanes <= 1 || a.rows() < 2) {
+    run_rows(0, a.rows());
+    return;
+  }
+  // Each row's result is produced by exactly one lane with the same inner
+  // order, so parallelism cannot change bits here.
+  const RowPanels panels = BuildRowPanels(a, lanes * 4);
+  pool->ParallelFor(panels.num_panels(), [&](size_t p) {
+    run_rows(panels.starts[p], panels.starts[p + 1]);
+  });
+}
+
+void BlockedMultiplyTransposed(const SparseMatrix& a, const Vector& x,
+                               Vector* y, SpmvWorkspace* workspace,
+                               ThreadPool* pool) {
+  WFMS_CHECK_EQ(x.size(), a.rows());
+  WFMS_DCHECK(y != &x);
+  const size_t n = a.cols();
+  const size_t lanes = pool != nullptr ? pool->num_threads() : 1;
+  if (lanes <= 1 || a.rows() < 2) {
+    // Sequential blocked scatter: panels processed in order, accumulating
+    // directly into y — the global row-major addition order is exactly the
+    // reference's, so this path is bit-identical to it.
+    y->assign(n, 0.0);
+    ScatterPanel(a, x, y->data(), 0, a.rows());
+    return;
+  }
+  // Parallel scatter: a *fixed* panel decomposition (independent of the
+  // lane count) scatters into per-panel partial vectors, reduced in panel
+  // order over disjoint column ranges. The result is deterministic for a
+  // given matrix whatever the pool size, but the partial-sum association
+  // differs from the sequential order — callers on the bit-exact contract
+  // (small chains) must pass pool == nullptr. Memory: kScatterPanels * n
+  // doubles of scratch, reused across calls via `workspace`.
+  constexpr size_t kScatterPanels = 16;
+  const RowPanels panels = BuildRowPanels(a, kScatterPanels,
+                                          /*max_panel_nnz=*/~size_t{0});
+  const size_t p_count = panels.num_panels();
+  SpmvWorkspace local;
+  SpmvWorkspace& ws = workspace != nullptr ? *workspace : local;
+  std::vector<Vector>& partials = ws.PartialBuffers(p_count, n);
+  pool->ParallelFor(p_count, [&](size_t p) {
+    ScatterPanel(a, x, partials[p].data(), panels.starts[p],
+                 panels.starts[p + 1]);
+  });
+  y->assign(n, 0.0);
+  double* yp = y->data();
+  const size_t chunk = std::max<size_t>(1, n / (lanes * 4));
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  pool->ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    for (size_t p = 0; p < p_count; ++p) {
+      const double* src = partials[p].data();
+#pragma GCC ivdep
+      for (size_t i = begin; i < end; ++i) yp[i] += src[i];
+    }
+  });
+}
+
+}  // namespace wfms::linalg

@@ -1,0 +1,124 @@
+// Cache-blocked, SIMD-assisted, thread-parallel SpMV kernels over the CSR
+// storage of SparseMatrix — the compute core of the sparse-first steady-state
+// engine. Large availability CTMCs (10^6 states, ~2k nonzeros per row) spend
+// essentially all solve time in y = A x (power iteration, residual
+// validation) and the scatter-form y = A^T x (inflow accumulation), so these
+// kernels are built around three ideas:
+//
+//  1. *Row panels.* Rows are grouped into panels balanced by nonzero count
+//     (not row count), so thread-pool lanes get equal work even when the
+//     nonzero distribution is skewed. Panels are sized so a panel's slice of
+//     y plus its gathered x entries stay L2-resident.
+//  2. *SIMD inner loop, reassociation-free.* The gather + multiply half of
+//     the row kernel is vectorizable and is written so the compiler can use
+//     vector loads for values/columns; the *additions* stay in ascending
+//     column order with a single running accumulator. This is deliberate:
+//     the engine's contract is bit-identical results vs. the scalar
+//     reference kernel (see spmv_kernel_test.cc), which forbids the
+//     reassociating multi-accumulator reductions classic SIMD SpMV uses.
+//     Gather bandwidth, not FLOPs, bounds these kernels, so the trade costs
+//     little and buys exact reproducibility across lane counts.
+//  3. *Transposed multiply without materializing A^T.* The scatter form
+//     walks A's CSR rows and accumulates into y[col]; Q^T is never built.
+//     In parallel, a *fixed* panel decomposition (independent of the lane
+//     count) scatters into per-panel partial vectors, reduced in panel
+//     order — deterministic for a given matrix whatever the pool size, but
+//     the partial-sum association differs from the sequential order, so the
+//     parallel path is near-identical (not bit-identical) to the reference.
+//     Callers on the bit-exact contract pass pool == nullptr; the
+//     steady-state engine only passes a pool above its large-chain
+//     threshold, where no bit-exactness is pinned.
+//
+// All entry points fall back to the scalar reference loop when no pool is
+// supplied (or the pool has one lane), so small-chain results never depend
+// on the execution configuration.
+#ifndef WFMS_LINALG_SPMV_H_
+#define WFMS_LINALG_SPMV_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+
+namespace wfms::linalg {
+
+/// Row-panel decomposition of a CSR matrix: panel p covers rows
+/// [starts[p], starts[p+1]), chosen so panels carry roughly equal nonzero
+/// counts and at most `max_panel_nnz` each.
+struct RowPanels {
+  std::vector<size_t> starts;  // size num_panels + 1
+  size_t num_panels() const { return starts.empty() ? 0 : starts.size() - 1; }
+};
+
+/// Builds a nonzero-balanced panel decomposition. `target_panels` is
+/// typically a small multiple of the lane count; panels are additionally
+/// capped near `max_panel_nnz` nonzeros (default sized so a panel's value +
+/// index streams fit in a 512 KiB L2 slice).
+RowPanels BuildRowPanels(const SparseMatrix& a, size_t target_panels,
+                         size_t max_panel_nnz = 32768);
+
+/// Reusable scratch for the parallel transposed multiply: per-lane partial
+/// output vectors. Reusing a workspace across sweeps keeps the inner loops
+/// allocation-free; the buffers grow on demand and are never shrunk.
+class SpmvWorkspace {
+ public:
+  /// Returns `lanes` buffers of size `n` each, zeroed.
+  std::vector<Vector>& PartialBuffers(size_t lanes, size_t n);
+
+ private:
+  std::vector<Vector> partials_;
+};
+
+/// y = A x with the blocked/SIMD row kernel, parallel over row panels when
+/// `pool` has more than one lane. Bit-identical to SparseMatrix::Multiply
+/// for every pool configuration. `y` is resized to a.rows().
+void BlockedMultiply(const SparseMatrix& a, const Vector& x, Vector* y,
+                     ThreadPool* pool = nullptr);
+
+/// y = A^T x in scatter form (A^T is never materialized), parallel via
+/// fixed-count per-panel partials reduced in panel order. Bit-identical to
+/// SparseMatrix::MultiplyTransposed when `pool` is null or single-lane;
+/// with a multi-lane pool the result is deterministic and lane-count
+/// independent but associates partial sums differently (see file header).
+/// `workspace` may be null (scratch is then allocated per call).
+void BlockedMultiplyTransposed(const SparseMatrix& a, const Vector& x,
+                               Vector* y, SpmvWorkspace* workspace = nullptr,
+                               ThreadPool* pool = nullptr);
+
+/// Scalar reference kernels: the exact loops the blocked/SIMD paths must
+/// reproduce bit-for-bit. Exposed for the kernel equivalence tests.
+void ReferenceMultiply(const SparseMatrix& a, const Vector& x, Vector* y);
+void ReferenceMultiplyTransposed(const SparseMatrix& a, const Vector& x,
+                                 Vector* y);
+
+/// The shared CSR row kernel: dot product of row entries [begin, end) with
+/// the gathered x, additions in ascending entry order (one running
+/// accumulator — bit-identical to the naive loop), multiplies unrolled
+/// 4-wide so gathers and products overlap. Inlined into both the SpMV
+/// paths and the Gauss-Seidel/SOR sweeps of the steady-state engine.
+inline double CsrRowDot(const double* values, const size_t* cols,
+                        size_t begin, size_t end, const double* x) {
+  double sum = 0.0;
+  size_t k = begin;
+  const size_t tail = begin + ((end - begin) & ~size_t{3});
+#pragma GCC ivdep
+  for (; k < tail; k += 4) {
+    const double p0 = values[k] * x[cols[k]];
+    const double p1 = values[k + 1] * x[cols[k + 1]];
+    const double p2 = values[k + 2] * x[cols[k + 2]];
+    const double p3 = values[k + 3] * x[cols[k + 3]];
+    // Adds stay sequential: ((sum + p0) + p1) + ... — reassociating them
+    // into lane partials would break bit-identity with the scalar kernel.
+    sum = (((sum + p0) + p1) + p2) + p3;
+  }
+  for (; k < end; ++k) {
+    sum += values[k] * x[cols[k]];
+  }
+  return sum;
+}
+
+}  // namespace wfms::linalg
+
+#endif  // WFMS_LINALG_SPMV_H_

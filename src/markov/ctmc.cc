@@ -42,9 +42,13 @@ double Ctmc::MaxExitRate() const {
   return m;
 }
 
+double Ctmc::UniformizationRate(double rate_margin) const {
+  return std::max(MaxExitRate() * rate_margin, 1e-300);
+}
+
 SparseMatrix Ctmc::UniformizedMatrix(double rate_margin) const {
   const size_t n = num_states();
-  const double lambda = std::max(MaxExitRate() * rate_margin, 1e-300);
+  const double lambda = UniformizationRate(rate_margin);
   SparseMatrixBuilder builder(n, n);
   builder.Reserve(rates_.num_nonzeros() + n);
   const auto& offsets = rates_.row_offsets();

@@ -57,6 +57,13 @@ class Ctmc {
   /// Rate q_ij for i != j; 0 when absent.
   double RateAt(size_t from, size_t to) const { return rates_.At(from, to); }
 
+  /// Uniformization rate lambda = max exit rate times `rate_margin`
+  /// (floored away from zero). The single source of truth shared by
+  /// UniformizedMatrix and the matrix-free uniformization paths, so a
+  /// materialized P = I + Q/lambda and the equivalent matrix-free step use
+  /// bit-identical lambdas.
+  double UniformizationRate(double rate_margin = 1.05) const;
+
   /// Uniformized DTMC transition matrix P = I + Q / lambda with
   /// lambda >= max exit rate (a margin keeps self-loop probability positive
   /// in every state, which guarantees aperiodicity for power iteration).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/sparse_matrix.h"
+#include "linalg/spmv.h"
 
 namespace wfms::markov {
 
@@ -31,10 +32,19 @@ Result<Vector> CtmcTransientDistribution(const Ctmc& chain, const Vector& p0,
   }
   if (t == 0.0) return p0;
 
-  const double lambda = chain.MaxExitRate() * 1.05;
-  if (lambda <= 0.0) return p0;  // no transitions at all
-  const SparseMatrix u_matrix = chain.UniformizedMatrix();
+  if (chain.MaxExitRate() * 1.05 <= 0.0) return p0;  // no transitions at all
+  const double lambda = chain.UniformizationRate();
   const double vt = lambda * t;
+
+  // Past the large-chain threshold the uniformized step runs matrix-free on
+  // the blocked scatter kernel; below it the materialized P keeps the
+  // original arithmetic bit-for-bit.
+  const bool matrix_free = n >= options.large_chain_threshold;
+  SparseMatrix u_matrix;
+  if (!matrix_free) u_matrix = chain.UniformizedMatrix();
+  const double* exit_rates = chain.exit_rates().data();
+  linalg::SpmvWorkspace workspace;
+  Vector scratch;
 
   Vector p = p0;
   Vector result(n, 0.0);
@@ -54,7 +64,18 @@ Result<Vector> CtmcTransientDistribution(const Ctmc& chain, const Vector& p0,
       for (size_t i = 0; i < n; ++i) result[i] += tail * p[i];
       return result;
     }
-    p = u_matrix.MultiplyTransposed(p);
+    if (matrix_free) {
+      // p' = p P = p + (p Q)/lambda from the off-diagonal CSR and the exit
+      // rates; one scratch vector is reused across every Poisson term.
+      linalg::BlockedMultiplyTransposed(chain.rates(), p, &scratch, &workspace,
+                                        options.pool);
+      for (size_t i = 0; i < n; ++i) {
+        scratch[i] = p[i] + (scratch[i] - p[i] * exit_rates[i]) / lambda;
+      }
+      p.swap(scratch);
+    } else {
+      p = u_matrix.MultiplyTransposed(p);
+    }
     log_weight += std::log(vt) - std::log(static_cast<double>(z) + 1.0);
   }
   return Status::NumericError("CTMC uniformization did not converge");

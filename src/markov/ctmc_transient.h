@@ -7,6 +7,7 @@
 #define WFMS_MARKOV_CTMC_TRANSIENT_H_
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "linalg/vector.h"
 #include "markov/ctmc.h"
 
@@ -15,6 +16,15 @@ namespace wfms::markov {
 struct CtmcTransientOptions {
   double tail_tolerance = 1e-12;
   int max_terms = 5000000;
+  /// Chains with at least this many states take the matrix-free
+  /// uniformization step (p' = p + (p Q)/lambda on the blocked kernels,
+  /// never materializing P = I + Q/lambda and reusing one scratch vector
+  /// across Poisson terms). Smaller chains keep the original materialized
+  /// path bit-for-bit. Same default as SteadyStateOptions.
+  size_t large_chain_threshold = 65536;
+  /// Non-owning thread pool for the matrix-free path's scatter kernel;
+  /// null runs it sequentially.
+  ThreadPool* pool = nullptr;
 };
 
 /// Distribution at time t >= 0 given the initial distribution `p0`

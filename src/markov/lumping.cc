@@ -1,0 +1,248 @@
+#include "markov/lumping.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace wfms::markov {
+
+using linalg::SparseMatrix;
+using linalg::Vector;
+
+namespace {
+
+inline uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline uint64_t Fnv1a64(uint64_t hash, uint64_t token) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int b = 0; b < 8; ++b) {
+    hash ^= (token >> (b * 8)) & 0xffu;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+/// Accumulates one adjacency row (outgoing or incoming) into per-block rate
+/// sums and folds the sorted (block, sum) pairs into `hash`. Sums are
+/// accumulated in CSR entry order and compared via their bit patterns, so
+/// "equal" means bit-for-bit equal — a conservative, reproducible notion of
+/// lumpability that never merges states whose rate sums differ even in the
+/// last ulp.
+class BlockSumFolder {
+ public:
+  explicit BlockSumFolder(size_t num_blocks) : acc_(num_blocks, 0.0) {}
+
+  void EnsureBlocks(size_t num_blocks) {
+    if (acc_.size() < num_blocks) acc_.resize(num_blocks, 0.0);
+  }
+
+  uint64_t Fold(uint64_t hash, const SparseMatrix& m,
+                const std::vector<uint32_t>& block_of, size_t row) {
+    const auto& offsets = m.row_offsets();
+    const auto& cols = m.col_indices();
+    const auto& values = m.values();
+    touched_.clear();
+    for (size_t k = offsets[row]; k < offsets[row + 1]; ++k) {
+      const uint32_t b = block_of[cols[k]];
+      if (acc_[b] == 0.0) touched_.push_back(b);
+      acc_[b] += values[k];
+    }
+    std::sort(touched_.begin(), touched_.end());
+    for (uint32_t b : touched_) {
+      hash = Fnv1a64(hash, b);
+      hash = Fnv1a64(hash, BitsOf(acc_[b]));
+      acc_[b] = 0.0;
+    }
+    return hash;
+  }
+
+ private:
+  std::vector<double> acc_;
+  std::vector<uint32_t> touched_;
+};
+
+/// Renumbers arbitrary labels into dense block ids ordered by each block's
+/// smallest member state, and fills block sizes. Returns the block count.
+size_t Densify(const std::vector<uint64_t>& keys,
+               std::vector<uint32_t>* block_of,
+               std::vector<uint32_t>* block_size) {
+  const size_t n = keys.size();
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+  });
+  // First pass: group consecutive equal keys; remember each group's
+  // smallest state (the first seen, since ties sort by state id).
+  std::vector<uint32_t> group_of(n);
+  std::vector<uint32_t> group_min;
+  for (size_t idx = 0; idx < n; ++idx) {
+    if (idx == 0 || keys[order[idx]] != keys[order[idx - 1]]) {
+      group_min.push_back(order[idx]);
+    }
+    group_of[order[idx]] = static_cast<uint32_t>(group_min.size() - 1);
+  }
+  // Second pass: rank groups by smallest member so ids are deterministic
+  // and independent of the hash values themselves.
+  std::vector<uint32_t> rank(group_min.size());
+  std::vector<uint32_t> by_min(group_min.size());
+  for (size_t g = 0; g < by_min.size(); ++g) {
+    by_min[g] = static_cast<uint32_t>(g);
+  }
+  std::sort(by_min.begin(), by_min.end(), [&](uint32_t a, uint32_t b) {
+    return group_min[a] < group_min[b];
+  });
+  for (size_t r = 0; r < by_min.size(); ++r) rank[by_min[r]] = r;
+
+  block_of->resize(n);
+  block_size->assign(group_min.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t b = rank[group_of[i]];
+    (*block_of)[i] = b;
+    ++(*block_size)[b];
+  }
+  return group_min.size();
+}
+
+}  // namespace
+
+double LumpingPartition::reduction_ratio() const {
+  if (num_states() == 0) return 1.0;
+  return static_cast<double>(num_blocks()) /
+         static_cast<double>(num_states());
+}
+
+Result<LumpingPartition> FindLumpablePartition(const Ctmc& chain,
+                                               const SparseMatrix& incoming,
+                                               const LumpingOptions& options) {
+  const size_t n = chain.num_states();
+  if (incoming.rows() != n || incoming.cols() != n) {
+    return Status::InvalidArgument(
+        "lumping: incoming matrix does not match the chain");
+  }
+  if (options.seed_labels != nullptr && options.seed_labels->size() != n) {
+    return Status::InvalidArgument(
+        "lumping: seed label count does not match the chain");
+  }
+
+  LumpingPartition partition;
+  // Initial partition: the seed labels (one block without seeds). The
+  // total exit rate is deliberately NOT part of the key: it accumulates in
+  // per-state insertion order, so two genuinely symmetric states can
+  // differ in the last ulp of their exit sums while every *per-block* rate
+  // sum — which only ever combines equal values for such states — stays
+  // bit-identical. Per-block sums carry all the information (the exit rate
+  // is their total), so refinement below splits everything that must
+  // split.
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = 14695981039346656037ull;
+    if (options.seed_labels != nullptr) {
+      h = Fnv1a64(h, (*options.seed_labels)[i]);
+    }
+    keys[i] = h;
+  }
+  size_t num_blocks = Densify(keys, &partition.block_of,
+                              &partition.block_size);
+
+  // Signature refinement: each pass re-labels every state by the bit-exact
+  // (block, rate-sum) profile of its outgoing *and* incoming transitions
+  // with respect to the current partition, then splits groups whose
+  // profiles differ. The pass count is bounded by the lattice height (each
+  // pass strictly increases the block count or terminates); the 64-bit
+  // profile hash can in principle collide and under-split, which the
+  // caller's full-chain residual validation turns into a fallback rather
+  // than a wrong answer.
+  BlockSumFolder folder(num_blocks);
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    folder.EnsureBlocks(num_blocks);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h = Fnv1a64(14695981039346656037ull, partition.block_of[i]);
+      h = folder.Fold(h, chain.rates(), partition.block_of, i);
+      h = Fnv1a64(h, ~uint64_t{0});  // separator: outgoing vs incoming
+      h = folder.Fold(h, incoming, partition.block_of, i);
+      keys[i] = h;
+    }
+    const size_t next_blocks = Densify(keys, &partition.block_of,
+                                       &partition.block_size);
+    if (next_blocks == num_blocks) break;  // stable partition reached
+    num_blocks = next_blocks;
+  }
+  return partition;
+}
+
+Result<Ctmc> BuildQuotient(const Ctmc& chain,
+                           const LumpingPartition& partition) {
+  const size_t n = chain.num_states();
+  if (partition.block_of.size() != n) {
+    return Status::InvalidArgument("quotient: partition does not match chain");
+  }
+  const size_t m = partition.num_blocks();
+  // Representative = smallest member of each block (block ids are ordered
+  // by smallest member, so the first state seen per block is it).
+  std::vector<uint32_t> representative(m, 0);
+  std::vector<bool> seen(m, false);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t b = partition.block_of[i];
+    if (!seen[b]) {
+      seen[b] = true;
+      representative[b] = static_cast<uint32_t>(i);
+    }
+  }
+  CtmcBuilder builder(m);
+  const auto& offsets = chain.rates().row_offsets();
+  const auto& cols = chain.rates().col_indices();
+  const auto& values = chain.rates().values();
+  std::vector<double> acc(m, 0.0);
+  std::vector<uint32_t> touched;
+  size_t nnz_hint = 0;
+  for (size_t b = 0; b < m; ++b) {
+    const size_t r = representative[b];
+    nnz_hint += offsets[r + 1] - offsets[r];
+  }
+  builder.Reserve(nnz_hint);
+  for (size_t b = 0; b < m; ++b) {
+    const size_t r = representative[b];
+    touched.clear();
+    for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      const uint32_t c = partition.block_of[cols[k]];
+      if (c == b) continue;  // within-block arcs vanish in the quotient
+      if (acc[c] == 0.0) touched.push_back(c);
+      acc[c] += values[k];
+    }
+    std::sort(touched.begin(), touched.end());
+    for (uint32_t c : touched) {
+      WFMS_RETURN_NOT_OK(builder.AddTransition(b, c, acc[c]));
+      acc[c] = 0.0;
+    }
+  }
+  return builder.Build();
+}
+
+Vector ExpandUniform(const LumpingPartition& partition,
+                     const Vector& quotient_pi) {
+  WFMS_CHECK_EQ(quotient_pi.size(), partition.num_blocks());
+  Vector pi(partition.num_states());
+  for (size_t i = 0; i < pi.size(); ++i) {
+    const uint32_t b = partition.block_of[i];
+    pi[i] = quotient_pi[b] / static_cast<double>(partition.block_size[b]);
+  }
+  return pi;
+}
+
+Vector RestrictToQuotient(const LumpingPartition& partition,
+                          const Vector& full) {
+  WFMS_CHECK_EQ(full.size(), partition.num_states());
+  Vector q(partition.num_blocks(), 0.0);
+  for (size_t i = 0; i < full.size(); ++i) {
+    q[partition.block_of[i]] += full[i];
+  }
+  return q;
+}
+
+}  // namespace wfms::markov

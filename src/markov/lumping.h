@@ -1,0 +1,88 @@
+// Ordinary-lumpability model reduction for CTMC steady-state analysis.
+//
+// The §5.2 mixed-radix state space grows as prod(Y_x + 1); configurations
+// with many exchangeable server types blow past what even the sparse
+// iterative path solves comfortably. This module shrinks such chains
+// *exactly* before the solver runs: a partition-refinement pass finds the
+// coarsest partition of states that is simultaneously
+//
+//   - ordinarily lumpable: for every pair of blocks (B, C), every state in
+//     B has the same total outgoing rate into C, so the quotient process is
+//     itself a CTMC whose stationary distribution gives block
+//     probabilities; and
+//   - exactly lumpable: every state in B also receives the same total
+//     incoming rate from C, which (together with ordinary lumpability)
+//     forces the stationary distribution to be *uniform within blocks* —
+//     so the full-length pi is recovered from the quotient solve as
+//     pi_i = pi_B / |B|, exactly, not approximately.
+//
+// Both conditions are checked structurally with bit-exact rate sums; the
+// caller additionally validates the expanded pi against the full chain's
+// residual, so a (theoretically impossible) bad merge degrades to a
+// fallback, never to a wrong answer. Partitions respecting a caller-supplied
+// seed labelling (e.g. canonical orbits of exchangeable state-space
+// dimensions, see markov/state_space.h) start from that coarse guess and
+// only split further, keeping refinement cheap on million-state chains.
+#ifndef WFMS_MARKOV_LUMPING_H_
+#define WFMS_MARKOV_LUMPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector.h"
+#include "markov/ctmc.h"
+
+namespace wfms::markov {
+
+struct LumpingOptions {
+  /// Optional initial partition: states with different labels are never
+  /// merged. Size must equal the chain's state count when provided.
+  /// Refinement starts from this partition and only splits.
+  const std::vector<uint32_t>* seed_labels = nullptr;
+  /// Safety cap on refinement passes; refinement converges when a pass
+  /// leaves the block count unchanged, long before this on real chains.
+  int max_passes = 256;
+};
+
+/// A partition of chain states into lumpable blocks. Block ids are dense
+/// and deterministic: blocks are numbered by their smallest member state.
+struct LumpingPartition {
+  std::vector<uint32_t> block_of;  // state -> block id
+  std::vector<uint32_t> block_size;  // block id -> member count
+  size_t num_blocks() const { return block_size.size(); }
+  size_t num_states() const { return block_of.size(); }
+  /// True when every block is a singleton — lumping does not apply.
+  bool trivial() const { return num_blocks() == num_states(); }
+  /// Quotient size over original size in (0, 1]; 1 means no reduction.
+  double reduction_ratio() const;
+};
+
+/// Finds the coarsest ordinarily + exactly lumpable partition refining the
+/// seed labels (or the trivial one-block partition without seeds).
+/// `incoming` must be chain.rates().Transposed() — callers that already
+/// materialized it for Gauss-Seidel sweeps pass it in so it is built once.
+Result<LumpingPartition> FindLumpablePartition(
+    const Ctmc& chain, const linalg::SparseMatrix& incoming,
+    const LumpingOptions& options = {});
+
+/// Builds the quotient CTMC: one state per block, rate(B -> C) = the
+/// common per-state outgoing rate sum into C (within-block transitions
+/// become self-loops and are dropped).
+Result<Ctmc> BuildQuotient(const Ctmc& chain,
+                           const LumpingPartition& partition);
+
+/// Expands a quotient stationary distribution to the full chain:
+/// pi_i = pi_B / |B| (exact under exact lumpability).
+linalg::Vector ExpandUniform(const LumpingPartition& partition,
+                             const linalg::Vector& quotient_pi);
+
+/// Aggregates a full-chain distribution onto the quotient (sums within
+/// blocks). Used to carry warm-start guesses onto the quotient solve.
+linalg::Vector RestrictToQuotient(const LumpingPartition& partition,
+                                  const linalg::Vector& full);
+
+}  // namespace wfms::markov
+
+#endif  // WFMS_MARKOV_LUMPING_H_

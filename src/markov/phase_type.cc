@@ -1,5 +1,7 @@
 #include "markov/phase_type.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/logging.h"
@@ -83,6 +85,15 @@ Result<ErlangExpansion> ExpandErlangStages(const AbsorbingCtmc& chain,
   ErlangExpansion result{*std::move(expanded), std::move(origin),
                          std::move(is_first)};
   return result;
+}
+
+int ErlangStagesForScv(double scv, int max_stages) {
+  if (max_stages < 1) max_stages = 1;
+  if (!std::isfinite(scv) || scv <= 0.0) return 1;
+  if (scv >= 1.0) return 1;
+  const double k = std::round(1.0 / scv);
+  if (k >= static_cast<double>(max_stages)) return max_stages;
+  return std::max(1, static_cast<int>(k));
 }
 
 }  // namespace wfms::markov

@@ -35,6 +35,16 @@ struct ErlangExpansion {
 Result<ErlangExpansion> ExpandErlangStages(const AbsorbingCtmc& chain,
                                            const std::vector<int>& stages);
 
+/// Erlang stage count matching a target squared coefficient of variation:
+/// an Erlang-k has SCV = 1/k, so the closest match is k = round(1/scv),
+/// clamped to [1, max_stages]. SCV >= 1 (hyperexponential territory) and
+/// non-finite/non-positive SCVs yield 1 stage — a plain exponential, which
+/// still matches the mean. This is the moment-matching half of the
+/// hierarchical composite-state decomposition (statechart/to_ctmc.h): the
+/// subchart's turnaround moments are computed once, and the composite
+/// macro-state is refined into this many phases.
+int ErlangStagesForScv(double scv, int max_stages);
+
 }  // namespace wfms::markov
 
 #endif  // WFMS_MARKOV_PHASE_TYPE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -84,6 +85,54 @@ int MixedRadixSpace::Component(size_t index, size_t dim) const {
   WFMS_DCHECK(dim < bounds_.size());
   const size_t radix = static_cast<size_t>(bounds_[dim]) + 1;
   return static_cast<int>((index / place_values_[dim]) % radix);
+}
+
+Result<std::vector<uint32_t>> ExchangeableStateLabels(
+    const MixedRadixSpace& space, const std::vector<uint64_t>& dim_signature) {
+  const size_t k = space.num_dimensions();
+  if (dim_signature.size() != k) {
+    return Status::InvalidArgument(
+        "exchangeable labels: one signature per dimension required");
+  }
+  // Group dimensions by signature; each group must be bound-homogeneous.
+  std::vector<size_t> order(k);
+  for (size_t j = 0; j < k; ++j) order[j] = j;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return dim_signature[a] < dim_signature[b];
+  });
+  std::vector<std::vector<size_t>> classes;
+  for (size_t idx = 0; idx < k; ++idx) {
+    const size_t j = order[idx];
+    if (idx == 0 || dim_signature[j] != dim_signature[order[idx - 1]]) {
+      classes.emplace_back();
+    } else if (space.bound(j) != space.bound(order[idx - 1])) {
+      return Status::InvalidArgument(
+          "exchangeable labels: dimensions with equal signatures must have "
+          "equal bounds");
+    }
+    classes.back().push_back(j);
+  }
+
+  std::vector<uint32_t> labels(space.size());
+  std::unordered_map<size_t, uint32_t> dense;
+  dense.reserve(space.size() / 2 + 1);
+  StateVector state(k);
+  std::vector<int> sorted_class;
+  for (size_t i = 0; i < space.size(); ++i) {
+    for (size_t j = 0; j < k; ++j) state[j] = space.Component(i, j);
+    for (const auto& cls : classes) {
+      if (cls.size() < 2) continue;
+      sorted_class.clear();
+      for (size_t j : cls) sorted_class.push_back(state[j]);
+      std::sort(sorted_class.begin(), sorted_class.end());
+      for (size_t c = 0; c < cls.size(); ++c) state[cls[c]] = sorted_class[c];
+    }
+    const size_t canonical = space.EncodeUnchecked(state);
+    const auto [it, inserted] =
+        dense.emplace(canonical, static_cast<uint32_t>(dense.size()));
+    labels[i] = it->second;
+  }
+  return labels;
 }
 
 Result<linalg::Vector> ProjectDistribution(const MixedRadixSpace& from,

@@ -6,6 +6,7 @@
 #define WFMS_MARKOV_STATE_SPACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,20 @@ class MixedRadixSpace {
   std::vector<size_t> place_values_;  // prod_{l<j} (Y_l + 1)
   size_t size_ = 1;
 };
+
+/// Canonical-orbit labels used to seed the lumping pass (markov/lumping.h):
+/// dimensions sharing a signature value are treated as exchangeable, and
+/// each state is labelled by the canonical state obtained by sorting its
+/// components within every signature class. States with equal labels are
+/// *candidates* for merging — availability chains whose server types share
+/// failure/repair rates and replica counts produce identical dynamics under
+/// any permutation of those types, so their orbits lump; the partition
+/// refinement downstream verifies rather than assumes this. Labels are
+/// dense, assigned in ascending state order. Dimensions with equal
+/// signatures must have equal bounds (otherwise sorting components across
+/// them is meaningless) — that is an error.
+Result<std::vector<uint32_t>> ExchangeableStateLabels(
+    const MixedRadixSpace& space, const std::vector<uint64_t>& dim_signature);
 
 /// Transfers a distribution over `from` onto `to` (same dimension count,
 /// possibly different bounds): each target state reads the probability of

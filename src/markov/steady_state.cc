@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -11,6 +13,8 @@
 #include "linalg/dense_matrix.h"
 #include "linalg/iterative_solver.h"
 #include "linalg/lu_solver.h"
+#include "linalg/spmv.h"
+#include "markov/lumping.h"
 
 namespace wfms::markov {
 
@@ -48,8 +52,11 @@ Vector InitialIterate(const Ctmc& chain, const SteadyStateOptions& options) {
 }
 
 /// Residual check: max_j |(pi Q)_j| must be small relative to the rates.
+/// `pool` (nullable) parallelizes the inflow scatter on large chains; the
+/// sequential path is bit-identical to the historical implementation.
 Status ValidateSolution(const Ctmc& chain, const Vector& pi,
-                        double tolerance) {
+                        double tolerance, ThreadPool* pool = nullptr,
+                        linalg::SpmvWorkspace* workspace = nullptr) {
   double min_entry = 1.0;
   for (double v : pi) min_entry = std::min(min_entry, v);
   if (min_entry < -1e-9) {
@@ -57,7 +64,9 @@ Status ValidateSolution(const Ctmc& chain, const Vector& pi,
         "steady-state vector has negative entries; chain may be reducible");
   }
   // (pi Q)_j = sum_{i != j} pi_i q_ij - pi_j * exit_j.
-  const Vector inflow = chain.rates().MultiplyTransposed(pi);
+  Vector inflow;
+  linalg::BlockedMultiplyTransposed(chain.rates(), pi, &inflow, workspace,
+                                    pool);
   const double scale = std::max(chain.MaxExitRate(), 1.0);
   for (size_t j = 0; j < pi.size(); ++j) {
     const double residual = inflow[j] - pi[j] * chain.exit_rates()[j];
@@ -130,15 +139,26 @@ struct SweepOutcome {
 
 /// Runs the renormalized Markov sweep pi_j <- (1-omega) pi_j +
 /// omega * inflow_j / exit_j on `pi` in place. `incoming` is the
-/// transposed rate matrix (incoming rates of j on row j).
+/// transposed rate matrix (incoming rates of j on row j). The per-state
+/// inflow accumulation goes through the shared CSR row kernel
+/// (linalg::CsrRowDot), which is bit-identical to the naive loop.
+///
+/// `alternate_directions` (the large-chain locality mode) runs every even
+/// iteration as a *backward* sweep: the sweep revisits the row tail the
+/// forward pass just touched while it is still cache-resident, and the
+/// symmetric-Gauss-Seidel-style alternation also damps the one-directional
+/// error transport of pure forward sweeps. It changes iterate rounding, so
+/// callers enable it only at or above the large-chain threshold.
 SweepOutcome MarkovSweep(const Ctmc& chain, const SparseMatrix& incoming,
                          Vector* pi, double omega, int max_iterations,
                          double tolerance, int stall_window,
-                         double stall_decay, double max_wall_seconds) {
+                         double stall_decay, double max_wall_seconds,
+                         bool alternate_directions = false) {
   const size_t n = chain.num_states();
   const auto& offsets = incoming.row_offsets();
   const auto& cols = incoming.col_indices();
   const auto& values = incoming.values();
+  const double* exit_rates = chain.exit_rates().data();
   const auto start = std::chrono::steady_clock::now();
   const int check_every = stall_window > 0 ? stall_window : 64;
 
@@ -149,13 +169,22 @@ SweepOutcome MarkovSweep(const Ctmc& chain, const SparseMatrix& incoming,
   bool have_checkpoint = false;
   for (int iter = 1; iter <= max_iterations; ++iter) {
     prev = *pi;
-    for (size_t j = 0; j < n; ++j) {
-      double inflow = 0.0;
-      for (size_t k = offsets[j]; k < offsets[j + 1]; ++k) {
-        inflow += values[k] * (*pi)[cols[k]];
+    double* p = pi->data();
+    const bool backward = alternate_directions && iter % 2 == 0;
+    if (backward) {
+      for (size_t j = n; j-- > 0;) {
+        const double inflow = linalg::CsrRowDot(
+            values.data(), cols.data(), offsets[j], offsets[j + 1], p);
+        const double gs_value = inflow / exit_rates[j];
+        p[j] += omega * (gs_value - p[j]);
       }
-      const double gs_value = inflow / chain.exit_rates()[j];
-      (*pi)[j] += omega * (gs_value - (*pi)[j]);
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        const double inflow = linalg::CsrRowDot(
+            values.data(), cols.data(), offsets[j], offsets[j + 1], p);
+        const double gs_value = inflow / exit_rates[j];
+        p[j] += omega * (gs_value - p[j]);
+      }
     }
     const double sum = linalg::Sum(*pi);
     out.diag.iterations = iter;
@@ -234,18 +263,109 @@ Result<SolveDiagnostics> PowerRung(const Ctmc& chain, Vector* pi,
   return stats;
 }
 
+/// Matrix-free variant of the power rung for large chains: applies
+/// pi P = pi + (pi Q) / lambda directly from the generator's off-diagonal
+/// CSR and exit rates — P = I + Q/lambda is never materialized, saving a
+/// full copy of the generator (hundreds of MB at 10^6 states). The inflow
+/// scatter runs on the blocked kernels, pool-parallel when one is
+/// supplied; results are deterministic for a given chain independent of
+/// the lane count (fixed panel decomposition, see linalg/spmv.h).
+SolveDiagnostics MatrixFreePowerRung(const Ctmc& chain, Vector* pi,
+                                     int max_iterations, double tolerance,
+                                     int stall_window, double stall_decay,
+                                     double max_wall_seconds,
+                                     ThreadPool* pool,
+                                     linalg::SpmvWorkspace* workspace) {
+  const size_t n = chain.num_states();
+  // Same lambda as Ctmc::UniformizedMatrix's default: a 5% margin keeps
+  // every self-loop probability positive, guaranteeing aperiodicity.
+  const double lambda = chain.UniformizationRate();
+  const double* exit_rates = chain.exit_rates().data();
+  const auto start = std::chrono::steady_clock::now();
+  const int check_every = stall_window > 0 ? stall_window : 64;
+
+  SolveDiagnostics diag;
+  linalg::NormalizeL1(pi);
+  Vector inflow;
+  double checkpoint_change = 0.0;
+  bool have_checkpoint = false;
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    linalg::BlockedMultiplyTransposed(chain.rates(), *pi, &inflow, workspace,
+                                      pool);
+    double sum = 0.0;
+    double* next = inflow.data();
+    const double* p = pi->data();
+    for (size_t j = 0; j < n; ++j) {
+      next[j] = p[j] + (next[j] - p[j] * exit_rates[j]) / lambda;
+      sum += next[j];
+    }
+    diag.iterations = iter;
+    if (!(sum > 0.0) || !std::isfinite(sum)) {
+      diag.diverged = true;
+      break;
+    }
+    double change = 0.0;
+    const double inv = 1.0 / sum;
+    for (size_t j = 0; j < n; ++j) {
+      next[j] *= inv;
+      change = std::max(change, std::fabs(next[j] - p[j]));
+    }
+    pi->swap(inflow);
+    diag.final_residual = change;
+    if (!std::isfinite(change)) {
+      diag.diverged = true;
+      break;
+    }
+    if (change < tolerance) {
+      diag.converged = true;
+      break;
+    }
+    if (iter % check_every == 0) {
+      if (stall_window > 0) {
+        if (have_checkpoint && !(change < stall_decay * checkpoint_change)) {
+          diag.stalled = true;
+          break;
+        }
+        checkpoint_change = change;
+        have_checkpoint = true;
+      }
+      if (max_wall_seconds > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+                  .count() >= max_wall_seconds) {
+        break;
+      }
+    }
+  }
+  diag.wall_time_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return diag;
+}
+
+/// True when the chain is large enough to engage the locality / parallel
+/// paths (alternating sweeps, matrix-free power, pooled kernels). Below
+/// the threshold everything runs the exact legacy code path.
+bool LargeChain(const Ctmc& chain, const SteadyStateOptions& options) {
+  return chain.num_states() >= options.large_chain_threshold;
+}
+
 Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
                                            const SteadyStateOptions& options,
                                            double omega,
                                            SteadyStateMethod method) {
   WFMS_RETURN_NOT_OK(CheckErgodicExitRates(chain));
+  const bool large = LargeChain(chain, options);
+  ThreadPool* pool = large ? options.pool : nullptr;
+  linalg::SpmvWorkspace workspace;
   const SparseMatrix incoming = chain.rates().Transposed();
   Vector pi = InitialIterate(chain, options);
   BudgetTracker tracker(options.budget);
   SweepOutcome out = MarkovSweep(
       chain, incoming, &pi, omega,
       tracker.RemainingIterations(options.max_iterations), options.tolerance,
-      options.stall_window, options.stall_decay, tracker.RemainingSeconds());
+      options.stall_window, options.stall_decay, tracker.RemainingSeconds(),
+      /*alternate_directions=*/large);
   if (out.diag.diverged) {
     return Status::NumericError(
         std::string(SteadyStateMethodName(method)) +
@@ -258,7 +378,8 @@ Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
   }
   SteadyStateResult result;
   result.pi = std::move(pi);
-  WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance));
+  WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance,
+                                      pool, &workspace));
   result.iterations = out.diag.iterations;
   result.method_used = method;
   result.diagnostics = out.diag;
@@ -267,15 +388,26 @@ Result<SteadyStateResult> SolveGaussSeidel(const Ctmc& chain,
 
 Result<SteadyStateResult> SolvePower(const Ctmc& chain,
                                      const SteadyStateOptions& options) {
+  const bool large = LargeChain(chain, options);
+  ThreadPool* pool = large ? options.pool : nullptr;
+  linalg::SpmvWorkspace workspace;
   SteadyStateResult result;
   result.pi = InitialIterate(chain, options);
   BudgetTracker tracker(options.budget);
-  WFMS_ASSIGN_OR_RETURN(
-      SolveDiagnostics diag,
-      PowerRung(chain, &result.pi,
-                tracker.RemainingIterations(options.max_iterations),
-                options.tolerance, options.stall_window, options.stall_decay,
-                tracker.RemainingSeconds()));
+  SolveDiagnostics diag;
+  if (large) {
+    diag = MatrixFreePowerRung(
+        chain, &result.pi, tracker.RemainingIterations(options.max_iterations),
+        options.tolerance, options.stall_window, options.stall_decay,
+        tracker.RemainingSeconds(), pool, &workspace);
+  } else {
+    WFMS_ASSIGN_OR_RETURN(
+        diag,
+        PowerRung(chain, &result.pi,
+                  tracker.RemainingIterations(options.max_iterations),
+                  options.tolerance, options.stall_window, options.stall_decay,
+                  tracker.RemainingSeconds()));
+  }
   if (!diag.converged) {
     return Status::NumericError("power iteration did not converge: " +
                                 diag.ToString());
@@ -283,7 +415,8 @@ Result<SteadyStateResult> SolvePower(const Ctmc& chain,
   result.iterations = diag.iterations;
   result.method_used = SteadyStateMethod::kPower;
   result.diagnostics = diag;
-  WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance));
+  WFMS_RETURN_NOT_OK(ValidateSolution(chain, result.pi, options.tolerance,
+                                      pool, &workspace));
   return result;
 }
 
@@ -299,6 +432,9 @@ Result<SteadyStateResult> SolveCascade(const Ctmc& chain,
   const int stall_window = options.stall_window > 0
                                ? options.stall_window
                                : kDefaultCascadeStallWindow;
+  const bool large = LargeChain(chain, options);
+  ThreadPool* pool = large ? options.pool : nullptr;
+  linalg::SpmvWorkspace workspace;
   BudgetTracker tracker(options.budget);
   SteadyStateResult result;
   const SparseMatrix incoming = chain.rates().Transposed();
@@ -323,12 +459,14 @@ Result<SteadyStateResult> SolveCascade(const Ctmc& chain,
       SweepOutcome out = MarkovSweep(chain, incoming, &pi, 1.0, cap,
                                      options.tolerance, stall_window,
                                      options.stall_decay,
-                                     tracker.RemainingSeconds());
+                                     tracker.RemainingSeconds(),
+                                     /*alternate_directions=*/large);
       tracker.Charge(out.diag.iterations);
       observed_rate = out.observed_rate;
       result.attempts.push_back({SteadyStateMethod::kGaussSeidel, out.diag});
       if (out.diag.converged &&
-          ValidateSolution(chain, pi, options.tolerance).ok()) {
+          ValidateSolution(chain, pi, options.tolerance, pool, &workspace)
+              .ok()) {
         return finish(SteadyStateMethod::kGaussSeidel, out.diag,
                       std::move(pi));
       }
@@ -348,11 +486,13 @@ Result<SteadyStateResult> SolveCascade(const Ctmc& chain,
       SweepOutcome out = MarkovSweep(chain, incoming, &pi, omega, cap,
                                      options.tolerance, stall_window,
                                      options.stall_decay,
-                                     tracker.RemainingSeconds());
+                                     tracker.RemainingSeconds(),
+                                     /*alternate_directions=*/large);
       tracker.Charge(out.diag.iterations);
       result.attempts.push_back({SteadyStateMethod::kSor, out.diag});
       if (out.diag.converged &&
-          ValidateSolution(chain, pi, options.tolerance).ok()) {
+          ValidateSolution(chain, pi, options.tolerance, pool, &workspace)
+              .ok()) {
         return finish(SteadyStateMethod::kSor, out.diag, std::move(pi));
       }
       if (out.diag.diverged) pi = initial;
@@ -364,16 +504,28 @@ Result<SteadyStateResult> SolveCascade(const Ctmc& chain,
   {
     const int cap = tracker.RemainingIterations(options.max_iterations);
     if (cap > 0) {
-      auto diag = PowerRung(chain, &pi, cap, options.tolerance, stall_window,
-                            options.stall_decay, tracker.RemainingSeconds());
-      WFMS_RETURN_NOT_OK(diag.status());
-      tracker.Charge(diag->iterations);
-      result.attempts.push_back({SteadyStateMethod::kPower, *diag});
-      if (diag->converged &&
-          ValidateSolution(chain, pi, options.tolerance).ok()) {
-        return finish(SteadyStateMethod::kPower, *diag, std::move(pi));
+      SolveDiagnostics diag;
+      if (large) {
+        // Matrix-free uniformized power: never builds P = I + Q/lambda,
+        // which would double the generator's footprint at this size.
+        diag = MatrixFreePowerRung(chain, &pi, cap, options.tolerance,
+                                   stall_window, options.stall_decay,
+                                   tracker.RemainingSeconds(), pool,
+                                   &workspace);
+      } else {
+        auto rung = PowerRung(chain, &pi, cap, options.tolerance, stall_window,
+                              options.stall_decay, tracker.RemainingSeconds());
+        WFMS_RETURN_NOT_OK(rung.status());
+        diag = *rung;
       }
-      if (diag->diverged) pi = initial;
+      tracker.Charge(diag.iterations);
+      result.attempts.push_back({SteadyStateMethod::kPower, diag});
+      if (diag.converged &&
+          ValidateSolution(chain, pi, options.tolerance, pool, &workspace)
+              .ok()) {
+        return finish(SteadyStateMethod::kPower, diag, std::move(pi));
+      }
+      if (diag.diverged) pi = initial;
     }
   }
 
@@ -458,10 +610,32 @@ metrics::Counter& RungWins(SteadyStateMethod method) {
   }
 }
 
+/// Per-size solve-time histogram: one stream per decade of state count, so
+/// the registry separates "many fast small solves" from "a few big ones"
+/// (the bench harness reads these to spot large-chain regressions).
+metrics::Histogram& SolveSecondsBySize(size_t num_states) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Histogram& le_1k =
+      registry.GetHistogram("wfms_markov_steady_solve_seconds_le_1k");
+  static metrics::Histogram& le_10k =
+      registry.GetHistogram("wfms_markov_steady_solve_seconds_le_10k");
+  static metrics::Histogram& le_100k =
+      registry.GetHistogram("wfms_markov_steady_solve_seconds_le_100k");
+  static metrics::Histogram& le_1m =
+      registry.GetHistogram("wfms_markov_steady_solve_seconds_le_1m");
+  static metrics::Histogram& gt_1m =
+      registry.GetHistogram("wfms_markov_steady_solve_seconds_gt_1m");
+  if (num_states <= 1000) return le_1k;
+  if (num_states <= 10000) return le_10k;
+  if (num_states <= 100000) return le_100k;
+  if (num_states <= 1000000) return le_1m;
+  return gt_1m;
+}
+
 // Solve-level metrics, observed once per SolveSteadyState call (never per
 // iteration — see DESIGN.md §8 on instrumentation granularity).
 void RecordSolveMetrics(const Result<SteadyStateResult>& result,
-                        double wall_seconds) {
+                        size_t num_states, double wall_seconds) {
   auto& registry = metrics::MetricsRegistry::Global();
   static metrics::Counter& solves =
       registry.GetCounter("wfms_markov_steady_solves_total");
@@ -478,6 +652,7 @@ void RecordSolveMetrics(const Result<SteadyStateResult>& result,
 
   solves.Increment();
   solve_seconds.Observe(wall_seconds);
+  SolveSecondsBySize(num_states).Observe(wall_seconds);
   if (!result.ok()) {
     failures.Increment();
     return;
@@ -495,6 +670,104 @@ void RecordSolveMetrics(const Result<SteadyStateResult>& result,
     }
   }
   RungWins(result->method_used).Increment();
+}
+
+/// Direct (non-lumped) dispatch on the selected method.
+Result<SteadyStateResult> SolveDirect(const Ctmc& chain,
+                                      const SteadyStateOptions& options) {
+  switch (options.method) {
+    case SteadyStateMethod::kLu:
+      return SolveLu(chain, options);
+    case SteadyStateMethod::kGaussSeidel:
+      return SolveGaussSeidel(chain, options, 1.0,
+                              SteadyStateMethod::kGaussSeidel);
+    case SteadyStateMethod::kSor:
+      return SolveGaussSeidel(
+          chain, options,
+          options.sor_omega > 0.0 ? options.sor_omega : 1.5,
+          SteadyStateMethod::kSor);
+    case SteadyStateMethod::kPower:
+      return SolvePower(chain, options);
+    case SteadyStateMethod::kAuto:
+    case SteadyStateMethod::kCascade:
+      return SolveCascade(chain, options);
+  }
+  return Status::Internal("unknown steady-state method");
+}
+
+/// Lumping pre-pass: refine a lumpable partition, solve the quotient, and
+/// expand uniformly. Any miss — trivial partition, refinement error, failed
+/// quotient solve, or a full-chain residual that does not validate —
+/// returns nullopt and the caller falls through to the direct path, so
+/// lumping can degrade performance-wise but never correctness-wise.
+std::optional<SteadyStateResult> TrySolveLumped(
+    const Ctmc& chain, const SteadyStateOptions& options) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& attempts =
+      registry.GetCounter("wfms_markov_lumping_attempts_total");
+  static metrics::Counter& wins =
+      registry.GetCounter("wfms_markov_lumping_wins_total");
+  static metrics::Counter& trivial =
+      registry.GetCounter("wfms_markov_lumping_trivial_total");
+  static metrics::Counter& rejected =
+      registry.GetCounter("wfms_markov_lumping_rejected_total");
+  static metrics::Histogram& ratio =
+      registry.GetHistogram("wfms_markov_lumping_reduction_ratio");
+
+  trace::TraceSpan span("markov/lumping", "markov");
+  attempts.Increment();
+  const SparseMatrix incoming = chain.rates().Transposed();
+  LumpingOptions lump_options;
+  lump_options.seed_labels = options.lumping_seed;
+  auto partition = FindLumpablePartition(chain, incoming, lump_options);
+  if (!partition.ok()) {
+    WFMS_LOG(Warning) << "lumping pass failed, solving the full chain: "
+                   << partition.status().ToString();
+    rejected.Increment();
+    return std::nullopt;
+  }
+  if (partition->trivial()) {
+    trivial.Increment();
+    return std::nullopt;
+  }
+  auto quotient = BuildQuotient(chain, *partition);
+  if (!quotient.ok()) {
+    rejected.Increment();
+    return std::nullopt;
+  }
+
+  SteadyStateOptions sub = options;
+  sub.lumping = LumpingMode::kOff;
+  sub.lumping_seed = nullptr;
+  Vector restricted;
+  if (options.initial_guess != nullptr &&
+      options.initial_guess->size() == chain.num_states()) {
+    restricted = RestrictToQuotient(*partition, *options.initial_guess);
+    sub.initial_guess = &restricted;
+  } else {
+    sub.initial_guess = nullptr;
+  }
+  auto solved = SolveDirect(*quotient, sub);
+  if (!solved.ok()) {
+    rejected.Increment();
+    return std::nullopt;
+  }
+
+  Vector full = ExpandUniform(*partition, solved->pi);
+  linalg::SpmvWorkspace workspace;
+  ThreadPool* pool = LargeChain(chain, options) ? options.pool : nullptr;
+  if (!ValidateSolution(chain, full, options.tolerance, pool, &workspace)
+           .ok()) {
+    rejected.Increment();
+    return std::nullopt;
+  }
+  wins.Increment();
+  ratio.Observe(partition->reduction_ratio());
+  SteadyStateResult result = *std::move(solved);
+  result.pi = std::move(full);
+  result.lumping_applied = true;
+  result.lumped_states = partition->num_blocks();
+  return result;
 }
 
 }  // namespace
@@ -517,32 +790,48 @@ const char* SteadyStateMethodName(SteadyStateMethod method) {
   return "unknown";
 }
 
+const char* LumpingModeName(LumpingMode mode) {
+  switch (mode) {
+    case LumpingMode::kOff:
+      return "off";
+    case LumpingMode::kAuto:
+      return "auto";
+    case LumpingMode::kOn:
+      return "on";
+  }
+  return "unknown";
+}
+
 Result<SteadyStateResult> SolveSteadyState(const Ctmc& chain,
                                            const SteadyStateOptions& options) {
   trace::TraceSpan span("markov/steady_state", "markov");
   const auto start = std::chrono::steady_clock::now();
+  const size_t n = chain.num_states();
+
+  // Large chains get a transient pool when the caller did not supply one;
+  // small chains never touch a pool (the sequential kernels are
+  // bit-identical to the historical scalar path).
+  SteadyStateOptions opts = options;
+  std::unique_ptr<ThreadPool> transient_pool;
+  if (opts.pool == nullptr && n >= opts.large_chain_threshold) {
+    transient_pool =
+        std::make_unique<ThreadPool>(ThreadPool::DefaultThreadCount());
+    opts.pool = transient_pool.get();
+  }
+
   Result<SteadyStateResult> result = [&]() -> Result<SteadyStateResult> {
-    switch (options.method) {
-      case SteadyStateMethod::kLu:
-        return SolveLu(chain, options);
-      case SteadyStateMethod::kGaussSeidel:
-        return SolveGaussSeidel(chain, options, 1.0,
-                                SteadyStateMethod::kGaussSeidel);
-      case SteadyStateMethod::kSor:
-        return SolveGaussSeidel(
-            chain, options,
-            options.sor_omega > 0.0 ? options.sor_omega : 1.5,
-            SteadyStateMethod::kSor);
-      case SteadyStateMethod::kPower:
-        return SolvePower(chain, options);
-      case SteadyStateMethod::kAuto:
-      case SteadyStateMethod::kCascade:
-        return SolveCascade(chain, options);
+    const bool try_lumping =
+        opts.lumping == LumpingMode::kOn ||
+        (opts.lumping == LumpingMode::kAuto && n >= opts.lumping_min_states);
+    if (try_lumping && n > 1) {
+      if (auto lumped = TrySolveLumped(chain, opts)) {
+        return *std::move(lumped);
+      }
     }
-    return Status::Internal("unknown steady-state method");
+    return SolveDirect(chain, opts);
   }();
   RecordSolveMetrics(
-      result,
+      result, n,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count());
   return result;

@@ -18,10 +18,12 @@
 #ifndef WFMS_MARKOV_STEADY_STATE_H_
 #define WFMS_MARKOV_STEADY_STATE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
 #include "common/solve_diagnostics.h"
+#include "common/thread_pool.h"
 #include "linalg/vector.h"
 #include "markov/ctmc.h"
 
@@ -32,6 +34,22 @@ enum class SteadyStateMethod { kAuto, kGaussSeidel, kSor, kLu, kPower,
 
 /// Human-readable method name, e.g. "gauss-seidel".
 const char* SteadyStateMethodName(SteadyStateMethod method);
+
+/// Lumping-based model reduction (see markov/lumping.h):
+///  - kOff: never attempted — every solve is bit-identical to the direct
+///    sparse path (the default, and the contract the regression suite
+///    pins).
+///  - kAuto: attempted once the chain reaches `lumping_min_states`; small
+///    chains keep the direct path untouched.
+///  - kOn: always attempted (used by tests and the bench harness).
+/// A lumped solve returns the exact stationary vector of the full chain
+/// (uniform within blocks, which exact lumpability guarantees) and is
+/// residual-validated against the full generator; on any validation miss
+/// the solver transparently falls back to the direct path.
+enum class LumpingMode { kOff, kAuto, kOn };
+
+/// Human-readable mode name: "off" | "auto" | "on".
+const char* LumpingModeName(LumpingMode mode);
 
 struct SteadyStateOptions {
   SteadyStateMethod method = SteadyStateMethod::kAuto;
@@ -66,6 +84,32 @@ struct SteadyStateOptions {
   /// and silently ignored if its size mismatches the chain or its sum is
   /// not positive and finite.
   const linalg::Vector* initial_guess = nullptr;
+  /// Model-reduction mode; see LumpingMode. kOff preserves bit-identical
+  /// behavior for every chain.
+  LumpingMode lumping = LumpingMode::kOff;
+  /// kAuto attempts lumping only at or above this state count; kOn ignores
+  /// it (always attempts), kOff never attempts.
+  size_t lumping_min_states = 32768;
+  /// Optional seed partition for the lumping pass: states with different
+  /// labels are never merged, and refinement starts from this coarse guess
+  /// instead of the one-block partition (see
+  /// markov::ExchangeableStateLabels). Non-owning; must outlive the solve.
+  /// Size must match the chain or the seed is an error.
+  const std::vector<uint32_t>* lumping_seed = nullptr;
+  /// Non-owning thread pool for the blocked SpMV kernels (power-iteration
+  /// rung, residual validation) on chains at or above
+  /// `large_chain_threshold`. When null, a transient pool is created for
+  /// large chains; small chains always run the sequential kernels, which
+  /// are bit-identical to the scalar reference.
+  ThreadPool* pool = nullptr;
+  /// At or above this state count the solve engages the large-chain paths:
+  /// forward/backward alternating Gauss-Seidel sweeps, the matrix-free
+  /// uniformized power rung (P = I + Q/lambda applied without building P),
+  /// and pool-parallel kernels. These change floating-point rounding, so
+  /// the threshold guarantees every pre-existing (small) solve stays
+  /// bit-identical. Results above the threshold are still deterministic
+  /// for a given chain regardless of lane count.
+  size_t large_chain_threshold = 65536;
 };
 
 /// One rung of the degradation cascade and how it fared.
@@ -86,6 +130,10 @@ struct SteadyStateResult {
   SolveDiagnostics diagnostics;
   /// Cascade only: every rung attempted, in order, including the winner.
   std::vector<CascadeAttempt> attempts;
+  /// True when the answer came from a lumped (quotient) solve.
+  bool lumping_applied = false;
+  /// Quotient state count when lumping_applied (0 otherwise).
+  size_t lumped_states = 0;
 };
 
 /// Computes the stationary distribution. The chain must be irreducible

@@ -4,6 +4,8 @@
 
 #include "linalg/dense_matrix.h"
 #include "markov/first_passage.h"
+#include "markov/first_passage_moments.h"
+#include "markov/phase_type.h"
 
 namespace wfms::statechart {
 
@@ -26,8 +28,12 @@ class Mapper {
     std::vector<MappedState> state_infos;
     state_infos.reserve(n);
 
-    // Residence times; composite states recurse into their subcharts.
+    // Residence times; composite states recurse into their subcharts. When
+    // the hierarchical phase-type decomposition is on, the dominant
+    // subchart's turnaround SCV is kept per composite so the macro-state
+    // can be refined into Erlang stages after the flat chain is built.
     linalg::Vector residence(n + 1, 0.0);
+    std::vector<double> composite_scv(n, 1.0);
     for (size_t i = 0; i < n; ++i) {
       const ChartState& s = chart.state(i);
       MappedState info;
@@ -37,8 +43,12 @@ class Mapper {
       if (s.kind == StateKind::kComposite) {
         double max_turnaround = 0.0;
         for (const std::string& sub : s.subcharts) {
-          WFMS_ASSIGN_OR_RETURN(double sub_r, SubchartTurnaround(sub));
-          max_turnaround = std::max(max_turnaround, sub_r);
+          WFMS_ASSIGN_OR_RETURN(markov::TurnaroundMoments sub_m,
+                                SubchartTurnaround(sub));
+          if (sub_m.mean > max_turnaround) {
+            max_turnaround = sub_m.mean;
+            composite_scv[i] = sub_m.scv();
+          }
         }
         info.residence_time = max_turnaround;
       } else {
@@ -76,29 +86,61 @@ class Mapper {
                                         "'");
     }
 
+    // Hierarchical phase-type decomposition: refine composite macro-states
+    // into Erlang stages matching the dominant subchart's turnaround SCV.
+    // The flat chain above stays the one and only path when the option is
+    // off or no composite warrants more than one stage.
+    std::vector<size_t> phase_origin;
+    if (options_.phase_type_composites) {
+      std::vector<int> stages(n + 1, 1);
+      bool any_expanded = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (chart.state(i).kind != StateKind::kComposite) continue;
+        stages[i] = markov::ErlangStagesForScv(composite_scv[i],
+                                               options_.max_phase_stages);
+        state_infos[i].phase_stages = stages[i];
+        any_expanded |= stages[i] > 1;
+      }
+      if (any_expanded) {
+        auto expansion = markov::ExpandErlangStages(*chain, stages);
+        if (!expansion.ok()) {
+          return expansion.status().WithContext(
+              "phase-type decomposition of chart '" + chart.name() + "'");
+        }
+        chain = std::move(expansion->chain);
+        phase_origin = std::move(expansion->origin);
+      }
+    }
+
     WFMS_ASSIGN_OR_RETURN(double turnaround,
                           markov::MeanTurnaroundTime(*chain));
     return MappedWorkflow{*std::move(chain), std::move(state_infos),
-                          turnaround, turnaround_cache_};
+                          turnaround, turnaround_cache_,
+                          std::move(phase_origin)};
   }
 
  private:
-  Result<double> SubchartTurnaround(const std::string& name) {
-    const auto it = turnaround_cache_.find(name);
-    if (it != turnaround_cache_.end()) return it->second;
+  Result<markov::TurnaroundMoments> SubchartTurnaround(
+      const std::string& name) {
+    const auto it = moments_cache_.find(name);
+    if (it != moments_cache_.end()) return it->second;
     WFMS_ASSIGN_OR_RETURN(const StateChart* chart, registry_.GetChart(name));
     WFMS_ASSIGN_OR_RETURN(MappedWorkflow sub, MapChart(*chart));
+    WFMS_ASSIGN_OR_RETURN(markov::TurnaroundMoments moments,
+                          markov::TurnaroundTimeMoments(sub.chain));
+    moments_cache_[name] = moments;
     turnaround_cache_[name] = sub.turnaround_time;
     // Fold the subchart's own nested turnarounds into the cache.
     for (const auto& [sub_name, sub_r] : sub.subchart_turnarounds) {
       turnaround_cache_.emplace(sub_name, sub_r);
     }
-    return sub.turnaround_time;
+    return moments;
   }
 
   const ChartRegistry& registry_;
   const MappingOptions& options_;
   std::map<std::string, double> turnaround_cache_;
+  std::map<std::string, markov::TurnaroundMoments> moments_cache_;
 };
 
 }  // namespace

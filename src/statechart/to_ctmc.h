@@ -29,6 +29,9 @@ struct MappedState {
   /// Effective mean residence time used in the CTMC: the declared value
   /// for simple states, max of subchart turnarounds for composite states.
   double residence_time = 0.0;
+  /// Erlang stages this state was refined into (1 unless the hierarchical
+  /// phase-type decomposition expanded a composite state).
+  int phase_stages = 1;
 };
 
 struct MappedWorkflow {
@@ -41,6 +44,11 @@ struct MappedWorkflow {
   double turnaround_time = 0.0;
   /// Turnaround times of all (transitively) embedded subcharts.
   std::map<std::string, double> subchart_turnarounds;
+  /// Hierarchical phase-type decomposition only: chart-state index that
+  /// each chain state originates from (chain states outnumber chart states
+  /// once composites expand into Erlang stages). Empty when no state was
+  /// expanded — chain indices then align with `states` directly.
+  std::vector<size_t> phase_origin;
 
   size_t num_activity_states() const { return states.size(); }
 };
@@ -50,6 +58,17 @@ struct MappingOptions {
   /// this residence so the CTMC stays well-formed; negligible vs. real
   /// activity durations.
   double min_residence_time = 1e-9;
+  /// Hierarchical decomposition of composite states into phase-type
+  /// macro-states: each subchart is solved once for its turnaround *moments*
+  /// (mean and SCV, memoized across composites referencing it), and the
+  /// composite state — whose residence is far less variable than an
+  /// exponential when its subworkflows have many stages — is refined into
+  /// an Erlang-k macro-state matching the dominant subchart's SCV
+  /// (markov::ErlangStagesForScv). Off by default: the flat exponential
+  /// mapping of §3.2 is the paper's baseline and the regression contract.
+  bool phase_type_composites = false;
+  /// Stage cap per composite state for the phase-type refinement.
+  int max_phase_stages = 8;
 };
 
 /// Maps `chart_name` (and, recursively, its subcharts) from the registry.

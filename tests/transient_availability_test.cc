@@ -39,6 +39,43 @@ TEST(CtmcTransientTest, TwoStateClosedForm) {
   }
 }
 
+TEST(CtmcTransientTest, MatrixFreePathMatchesMaterialized) {
+  // A ring with heterogeneous rates plus shortcut arcs; forcing the
+  // large-chain threshold down runs the matrix-free uniformization step,
+  // which must agree with the materialized-P path to solver tolerance.
+  constexpr size_t kStates = 40;
+  markov::CtmcBuilder builder(kStates);
+  for (size_t i = 0; i < kStates; ++i) {
+    ASSERT_TRUE(
+        builder.AddTransition(i, (i + 1) % kStates, 0.3 + 0.01 * i).ok());
+    ASSERT_TRUE(
+        builder.AddTransition(i, (i + 7) % kStates, 0.05 + 0.002 * i).ok());
+  }
+  auto chain = builder.Build();
+  ASSERT_TRUE(chain.ok());
+  linalg::Vector p0(kStates, 0.0);
+  p0[3] = 1.0;
+  markov::CtmcTransientOptions matrix_free;
+  matrix_free.large_chain_threshold = 1;
+  ThreadPool pool(3);
+  markov::CtmcTransientOptions pooled = matrix_free;
+  pooled.pool = &pool;
+  for (double t : {0.1, 2.0, 25.0}) {
+    auto reference = markov::CtmcTransientDistribution(*chain, p0, t);
+    auto free_path =
+        markov::CtmcTransientDistribution(*chain, p0, t, matrix_free);
+    auto pooled_path =
+        markov::CtmcTransientDistribution(*chain, p0, t, pooled);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_TRUE(free_path.ok());
+    ASSERT_TRUE(pooled_path.ok());
+    for (size_t i = 0; i < kStates; ++i) {
+      EXPECT_NEAR((*free_path)[i], (*reference)[i], 1e-12) << "t=" << t;
+      EXPECT_NEAR((*pooled_path)[i], (*reference)[i], 1e-12) << "t=" << t;
+    }
+  }
+}
+
 TEST(CtmcTransientTest, Validation) {
   markov::CtmcBuilder builder(2);
   ASSERT_TRUE(builder.AddTransition(0, 1, 1.0).ok());

@@ -113,5 +113,13 @@ if [ -f "$OUT_DIR/BENCH_config_search.json" ]; then
   echo "trajectory copy: $REPO_DIR/BENCH_config_search.json"
 fi
 
+# The large-chain suite is the solver engine's perf trajectory; its copy
+# at the repo root is *committed* (see .gitignore exception) so the CI
+# perf-smoke job can diff fresh runs against the pinned numbers.
+if [ -f "$OUT_DIR/BENCH_large_chain.json" ]; then
+  cp "$OUT_DIR/BENCH_large_chain.json" "$REPO_DIR/BENCH_large_chain.json"
+  echo "trajectory copy: $REPO_DIR/BENCH_large_chain.json"
+fi
+
 echo "$ran suite(s) written to $OUT_DIR ($failures failure(s))"
 [ "$failures" -eq 0 ]

@@ -127,6 +127,11 @@ common flags:
   --min-avail availability goal                 (default 0.99999)
   --method    greedy | exhaustive | annealing | bnb   (default greedy)
   --max-replicas per-type search bound          (default 8)
+  --lumping   off | auto | on — lumpability aggregation for the CTMC
+              steady-state solve (assess, recommend). off (default)
+              keeps solves bit-identical to previous releases; auto
+              engages aggregation once a chain reaches 32768 states
+              (falling back transparently when no symmetry is found)
   --deadline  search deadline in seconds; on expiry the best-so-far
               result is reported (recommend)
   --duration / --warmup / --seed / --no-failures   (simulate)
@@ -217,6 +222,26 @@ configtool::Goals GoalsFromFlags(const Flags& flags) {
   return goals;
 }
 
+/// Solver-related tool options shared by assess and recommend. --lumping
+/// selects lumpability aggregation for the availability CTMC solve; off is
+/// the default so existing runs stay bit-identical.
+Result<performability::PerformabilityOptions> ToolOptionsFromFlags(
+    const Flags& flags) {
+  performability::PerformabilityOptions options;
+  const std::string lumping = flags.Get("lumping", "off");
+  if (lumping == "off") {
+    options.availability.solver.lumping = markov::LumpingMode::kOff;
+  } else if (lumping == "auto") {
+    options.availability.solver.lumping = markov::LumpingMode::kAuto;
+  } else if (lumping == "on") {
+    options.availability.solver.lumping = markov::LumpingMode::kOn;
+  } else {
+    return Status::InvalidArgument("bad --lumping '" + lumping +
+                                   "' (on|off|auto)");
+  }
+  return options;
+}
+
 int Analyze(const workflow::Environment& env) {
   auto model = perf::PerformanceModel::Create(env);
   if (!model.ok()) return FailWith(model.status());
@@ -256,7 +281,9 @@ int Analyze(const workflow::Environment& env) {
 int Assess(const workflow::Environment& env, const Flags& flags) {
   auto config = ParseConfig(flags.Get("config", ""), env.num_server_types());
   if (!config.ok()) return FailWith(config.status());
-  auto tool = configtool::ConfigurationTool::Create(env);
+  auto tool_options = ToolOptionsFromFlags(flags);
+  if (!tool_options.ok()) return FailWith(tool_options.status());
+  auto tool = configtool::ConfigurationTool::Create(env, *tool_options);
   if (!tool.ok()) return FailWith(tool.status());
   auto assessment = tool->Assess(*config, GoalsFromFlags(flags));
   if (!assessment.ok()) return FailWith(assessment.status());
@@ -282,7 +309,9 @@ int Assess(const workflow::Environment& env, const Flags& flags) {
 }
 
 int Recommend(const workflow::Environment& env, const Flags& flags) {
-  auto tool = configtool::ConfigurationTool::Create(env);
+  auto tool_options = ToolOptionsFromFlags(flags);
+  if (!tool_options.ok()) return FailWith(tool_options.status());
+  auto tool = configtool::ConfigurationTool::Create(env, *tool_options);
   if (!tool.ok()) return FailWith(tool.status());
   configtool::SearchConstraints constraints;
   const int max_replicas =
