@@ -233,6 +233,7 @@ Status ReconfigurationController::RunSearch(double now,
 
   const char* method_name = SearchMethodName(options_.method);
   configtool::SearchOptions search_options;
+  search_options.deadline_seconds = options_.search_deadline_seconds;
   uint64_t search_fingerprint = 0;
   if (!options_.checkpoint_path.empty()) {
     search_fingerprint = configtool::SearchFingerprint(

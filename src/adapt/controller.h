@@ -74,6 +74,12 @@ struct ControllerOptions {
   /// Non-empty: the search persists/reuses its assessment cache on disk
   /// via configtool/checkpoint.h, surviving a crash of the whole loop.
   std::string checkpoint_path;
+
+  /// Wall-clock cap for each reconfiguration search (seconds); <= 0 means
+  /// unlimited. Propagated into SearchOptions::deadline_seconds, so it
+  /// also bounds each candidate's steady-state solve — a slow period
+  /// yields a best-so-far plan instead of stalling the control loop.
+  double search_deadline_seconds = 0.0;
 };
 
 /// Predicted safety margins of a configuration, normalized so 0 is "at

@@ -106,6 +106,9 @@ inline constexpr uint32_t kSnapshotFormatVersion = 1;
 enum class SnapshotKind : uint32_t {
   kSearchCheckpoint = 1,
   kSimulationCheckpoint = 2,
+  /// The wfmsd daemon's shared assessment cache (see src/service),
+  /// persisted so a restarted daemon answers warm.
+  kServiceCache = 3,
 };
 
 /// Frames `payload` in the header/CRC container and writes it atomically.

@@ -24,6 +24,9 @@ enum class StatusCode {
   kCancelled,         // cooperatively stopped (e.g. SIGINT-driven search)
   kUnimplemented,
   kInternal,
+  // Appended (not inserted) so persisted status codes in existing
+  // checkpoints keep their numeric values.
+  kUnavailable,       // transient overload: shed request, full queue, ...
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -75,6 +78,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

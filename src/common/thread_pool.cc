@@ -30,6 +30,18 @@ metrics::Histogram& QueueWaitSeconds() {
   return histogram;
 }
 
+metrics::Gauge& QueueDepthGauge() {
+  static metrics::Gauge& gauge = metrics::MetricsRegistry::Global()
+      .GetGauge("wfms_threadpool_queue_depth");
+  return gauge;
+}
+
+metrics::Counter& TasksRejected() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_threadpool_tasks_rejected_total");
+  return counter;
+}
+
 // Wraps a queued task so its time-in-queue is observed at dequeue. Inline
 // executions (single-lane pool) record a zero wait instead.
 std::function<void()> TimedTask(std::function<void()> task) {
@@ -46,7 +58,8 @@ std::function<void()> TimedTask(std::function<void()> task) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -69,7 +82,7 @@ void ThreadPool::Shutdown() {
   workers_.clear();
 }
 
-Status ThreadPool::Enqueue(std::function<void()> task) {
+Status ThreadPool::Enqueue(std::function<void()> task, bool bounded) {
   bool run_inline = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -81,7 +94,17 @@ Status ThreadPool::Enqueue(std::function<void()> task) {
     if (workers_.empty()) {
       run_inline = true;  // single-lane pool: deterministic inline execution
     } else {
+      if (bounded && max_queue_ > 0 && queue_.size() >= max_queue_) {
+        // Shed-don't-block: the caller gets an immediate, explicit
+        // rejection instead of unbounded queueing (the daemon turns this
+        // into a `rejected: overloaded` response).
+        TasksRejected().Increment();
+        return Status::Unavailable(
+            "ThreadPool queue full (" + std::to_string(queue_.size()) +
+            " of " + std::to_string(max_queue_) + " slots)");
+      }
       queue_.push_back(TimedTask(std::move(task)));
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
     }
   }
   TasksSubmitted().Increment();
@@ -105,6 +128,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
     }
     task();
   }
@@ -144,12 +168,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     }
   };
 
+  // Helper fan-out bypasses the Submit bound: the calling lane drains the
+  // whole index range itself if no helper ever runs, so these tasks can
+  // never wedge a bounded pool.
   const size_t helpers = std::min(workers_.size(), n - 1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t h = 0; h < helpers; ++h) {
       queue_.push_back(TimedTask([state, drain]() { drain(state); }));
     }
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   }
   TasksSubmitted().Increment(helpers);
   work_available_.notify_all();
@@ -159,6 +187,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   state->all_done.wait(lock, [&state]() {
     return state->done.load() == state->total;
   });
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 size_t ThreadPool::DefaultThreadCount() {

@@ -32,7 +32,16 @@ class ThreadPool {
   /// spawns no workers: every task runs inline on the calling thread.
   /// `num_threads = n > 1` spawns n - 1 workers; the caller participates
   /// in ParallelFor, so n lanes compute concurrently.
-  explicit ThreadPool(size_t num_threads);
+  ///
+  /// `max_queue` bounds the Submit queue: 0 (the default) is unbounded —
+  /// the original behaviour every search path relies on; > 0 makes Submit
+  /// *reject* with Status::Unavailable once `max_queue` tasks are waiting
+  /// instead of queueing without bound. Shed-don't-block is the admission
+  /// policy of the wfmsd daemon (see src/service): a caller that cannot
+  /// enqueue gets an immediate, explicit answer, never a silent stall.
+  /// ParallelFor's internal helper fan-out is exempt from the bound (its
+  /// tasks are drained by the calling lane regardless).
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -58,7 +67,7 @@ class ThreadPool {
   Result<std::future<R>> Submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
-    WFMS_RETURN_NOT_OK(Enqueue([task]() { (*task)(); }));
+    WFMS_RETURN_NOT_OK(Enqueue([task]() { (*task)(); }, /*bounded=*/true));
     return future;
   }
 
@@ -72,14 +81,23 @@ class ThreadPool {
   /// a positive integer, else std::thread::hardware_concurrency (>= 1).
   static size_t DefaultThreadCount();
 
+  /// Tasks waiting in the Submit queue right now (excludes running tasks).
+  /// Also exported as the `wfms_threadpool_queue_depth` gauge, which the
+  /// daemon's degradation ladder reads between requests.
+  size_t queue_depth() const;
+
+  /// The configured Submit-queue bound; 0 = unbounded.
+  size_t max_queue() const { return max_queue_; }
+
  private:
-  Status Enqueue(std::function<void()> task);
+  Status Enqueue(std::function<void()> task, bool bounded);
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  size_t max_queue_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -104,6 +104,39 @@ ReadReport(SnapshotReader* r) {
 
 }  // namespace
 
+void EncodeCachedReport(SnapshotWriter* w, const std::vector<int>& replicas,
+                        const performability::PerformabilityReport& report) {
+  WriteReport(w, replicas, report);
+}
+
+Result<std::pair<std::vector<int>, performability::PerformabilityReport>>
+DecodeCachedReport(SnapshotReader* r) {
+  return ReadReport(r);
+}
+
+void EncodeCachedFailure(SnapshotWriter* w, const std::vector<int>& replicas,
+                         const ConfigurationTool::CachedFailure& failure) {
+  w->VecI32(kTagFailureReplicas, replicas);
+  w->U32(kTagFailureCode, static_cast<uint32_t>(failure.error.code()));
+  w->Str(kTagFailureMessage, failure.error.message());
+  w->U32(kTagFailureFlags, (failure.numerical ? 1u : 0u) |
+                               (failure.retried_exact ? 2u : 0u));
+}
+
+Result<std::pair<std::vector<int>, ConfigurationTool::CachedFailure>>
+DecodeCachedFailure(SnapshotReader* r) {
+  std::pair<std::vector<int>, ConfigurationTool::CachedFailure> entry;
+  WFMS_ASSIGN_OR_RETURN(entry.first, r->VecI32(kTagFailureReplicas));
+  WFMS_ASSIGN_OR_RETURN(uint32_t code, r->U32(kTagFailureCode));
+  WFMS_ASSIGN_OR_RETURN(std::string message, r->Str(kTagFailureMessage));
+  entry.second.error =
+      Status(static_cast<StatusCode>(code), std::move(message));
+  WFMS_ASSIGN_OR_RETURN(uint32_t flags, r->U32(kTagFailureFlags));
+  entry.second.numerical = (flags & 1u) != 0;
+  entry.second.retried_exact = (flags & 2u) != 0;
+  return entry;
+}
+
 uint64_t SearchFingerprint(const workflow::Environment& env,
                            const Goals& goals,
                            const SearchConstraints& constraints,

@@ -25,8 +25,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
+#include "common/snapshot.h"
 #include "configtool/tool.h"
 #include "workflow/environment.h"
 
@@ -77,6 +80,21 @@ Result<CheckpointMetadata> ResumeSearchFrom(const ConfigurationTool& tool,
                                             const std::string& path,
                                             uint64_t fingerprint,
                                             std::string_view strategy);
+
+/// The TLV codec for one memoized (replicas -> report) cache entry — the
+/// same field encoding the search checkpoint payload uses, exposed so the
+/// wfmsd service-cache snapshot (SnapshotKind::kServiceCache) stores
+/// reports byte-compatibly instead of inventing a second format.
+void EncodeCachedReport(SnapshotWriter* w, const std::vector<int>& replicas,
+                        const performability::PerformabilityReport& report);
+Result<std::pair<std::vector<int>, performability::PerformabilityReport>>
+DecodeCachedReport(SnapshotReader* r);
+
+/// Same, for one negatively cached terminal failure.
+void EncodeCachedFailure(SnapshotWriter* w, const std::vector<int>& replicas,
+                         const ConfigurationTool::CachedFailure& failure);
+Result<std::pair<std::vector<int>, ConfigurationTool::CachedFailure>>
+DecodeCachedFailure(SnapshotReader* r);
 
 }  // namespace wfms::configtool
 

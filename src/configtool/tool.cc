@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -42,6 +43,11 @@ metrics::Gauge& CacheEntriesGauge() {
   static metrics::Gauge& gauge = metrics::MetricsRegistry::Global()
       .GetGauge("wfms_configtool_cache_entries");
   return gauge;
+}
+metrics::Counter& CacheEvictionsTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_configtool_cache_evictions_total");
+  return counter;
 }
 metrics::Counter& CandidatesAssessedTotal() {
   static metrics::Counter& counter = metrics::MetricsRegistry::Global()
@@ -109,19 +115,73 @@ struct ConfigurationTool::AssessmentCache {
     bool retried_exact = false;
   };
 
+  struct Entry;
+  using EntryMap = std::map<std::vector<int>, Entry>;
+
+  /// A memoized report plus its LRU bookkeeping. The recency list holds
+  /// map iterators (stable under insert/erase of other keys); front =
+  /// most recently used.
+  struct Entry {
+    performability::PerformabilityReport report;
+    std::list<EntryMap::iterator>::iterator lru_it;
+    size_t bytes = 0;
+  };
+
   mutable std::mutex mutex;
-  std::map<std::vector<int>, performability::PerformabilityReport> entries;
+  EntryMap entries;
+  std::list<EntryMap::iterator> lru;
+  size_t total_bytes = 0;
+  CacheLimits limits;
+  size_t evictions = 0;
   std::map<std::vector<int>, FailureEntry> failures;
   std::atomic<size_t> hits{0};
   std::atomic<size_t> misses{0};
 
-  /// Returns a copy of the entry, if present.
+  /// Estimated resident footprint of one memoized report: the three
+  /// per-type vectors, the stationary vector (the dominant term), the key,
+  /// and a fixed allowance for map/list/struct overhead.
+  static size_t EntryBytes(const std::vector<int>& key,
+                           const performability::PerformabilityReport& r) {
+    return 256 + key.size() * sizeof(int) +
+           (r.expected_waiting.size() + r.full_config_waiting.size() +
+            r.avail_state_probabilities.size()) *
+               sizeof(double);
+  }
+
+  bool OverBudget() const {
+    return (limits.max_entries > 0 && entries.size() > limits.max_entries) ||
+           (limits.max_bytes > 0 && total_bytes > limits.max_bytes);
+  }
+
+  /// Drops least-recently-used reports until the budget holds. Always
+  /// keeps at least one entry, so the report just inserted survives long
+  /// enough to be returned (budgets smaller than a single report would
+  /// otherwise make Insert useless). Caller holds the lock.
+  void EvictToBudget() {
+    while (OverBudget() && entries.size() > 1) {
+      EntryMap::iterator victim = lru.back();
+      lru.pop_back();
+      total_bytes -= victim->second.bytes;
+      entries.erase(victim);
+      ++evictions;
+      CacheEvictionsTotal().Increment();
+    }
+    CacheEntriesGauge().Set(static_cast<double>(entries.size()));
+  }
+
+  /// Marks `it` most recently used. Caller holds the lock.
+  void Touch(EntryMap::iterator it) {
+    lru.splice(lru.begin(), lru, it->second.lru_it);
+  }
+
+  /// Returns a copy of the entry, if present, refreshing its recency.
   std::optional<performability::PerformabilityReport> Lookup(
       const std::vector<int>& key) {
     std::lock_guard<std::mutex> lock(mutex);
     auto it = entries.find(key);
     if (it == entries.end()) return std::nullopt;
-    return it->second;
+    Touch(it);
+    return it->second.report;
   }
 
   /// Inserts unless another thread won the race; returns the stored entry.
@@ -129,9 +189,18 @@ struct ConfigurationTool::AssessmentCache {
       const std::vector<int>& key,
       performability::PerformabilityReport report) {
     std::lock_guard<std::mutex> lock(mutex);
-    auto [it, inserted] = entries.try_emplace(key, std::move(report));
-    CacheEntriesGauge().Set(static_cast<double>(entries.size()));
-    return it->second;
+    auto [it, inserted] = entries.try_emplace(key);
+    if (inserted) {
+      it->second.report = std::move(report);
+      it->second.bytes = EntryBytes(key, it->second.report);
+      lru.push_front(it);
+      it->second.lru_it = lru.begin();
+      total_bytes += it->second.bytes;
+      EvictToBudget();
+    } else {
+      Touch(it);
+    }
+    return it->second.report;
   }
 
   std::optional<FailureEntry> LookupFailure(const std::vector<int>& key) {
@@ -176,6 +245,11 @@ void ConfigurationTool::set_num_threads(size_t n) {
 }
 
 ThreadPool& ConfigurationTool::pool() const {
+  // Guarded: the daemon assesses on the same tool from many worker
+  // threads, so first-use construction must not race (the cache mutex is
+  // a convenient always-present lock; the fast path after construction is
+  // one uncontended acquire).
+  std::lock_guard<std::mutex> lock(cache_->mutex);
   if (!pool_) pool_ = std::make_unique<ThreadPool>(num_threads_);
   return *pool_;
 }
@@ -185,25 +259,41 @@ ConfigurationTool::CacheStats ConfigurationTool::cache_stats() const {
   {
     std::lock_guard<std::mutex> lock(cache_->mutex);
     stats.entries = cache_->entries.size();
+    stats.evictions = cache_->evictions;
+    stats.bytes = cache_->total_bytes;
   }
   stats.hits = cache_->hits.load();
   stats.misses = cache_->misses.load();
   return stats;
 }
 
+bool ConfigurationTool::HasCachedAssessment(
+    const std::vector<int>& replicas) const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->entries.find(replicas) != cache_->entries.end();
+}
+
 void ConfigurationTool::ClearAssessmentCache() {
   std::lock_guard<std::mutex> lock(cache_->mutex);
   cache_->entries.clear();
+  cache_->lru.clear();
+  cache_->total_bytes = 0;
   cache_->failures.clear();
   CacheEntriesGauge().Set(0.0);
+}
+
+void ConfigurationTool::set_cache_limits(const CacheLimits& limits) {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->limits = limits;
+  cache_->EvictToBudget();
 }
 
 ConfigurationTool::CacheDump ConfigurationTool::DumpAssessmentCache() const {
   CacheDump dump;
   std::lock_guard<std::mutex> lock(cache_->mutex);
   dump.reports.reserve(cache_->entries.size());
-  for (const auto& [key, report] : cache_->entries) {
-    dump.reports.emplace_back(key, report);
+  for (const auto& [key, entry] : cache_->entries) {
+    dump.reports.emplace_back(key, entry.report);
   }
   dump.failures.reserve(cache_->failures.size());
   for (const auto& [key, failure] : cache_->failures) {
@@ -217,14 +307,20 @@ ConfigurationTool::CacheDump ConfigurationTool::DumpAssessmentCache() const {
 void ConfigurationTool::RestoreAssessmentCache(const CacheDump& dump) const {
   std::lock_guard<std::mutex> lock(cache_->mutex);
   for (const auto& [key, report] : dump.reports) {
-    cache_->entries.try_emplace(key, report);
+    auto [it, inserted] = cache_->entries.try_emplace(key);
+    if (!inserted) continue;  // existing entries win, like any insert race
+    it->second.report = report;
+    it->second.bytes = AssessmentCache::EntryBytes(key, report);
+    cache_->lru.push_front(it);
+    it->second.lru_it = cache_->lru.begin();
+    cache_->total_bytes += it->second.bytes;
   }
   for (const auto& [key, failure] : dump.failures) {
     cache_->failures.try_emplace(
         key, AssessmentCache::FailureEntry{failure.error, failure.numerical,
                                            failure.retried_exact});
   }
-  CacheEntriesGauge().Set(static_cast<double>(cache_->entries.size()));
+  cache_->EvictToBudget();
 }
 
 Assessment ConfigurationTool::BuildAssessment(
@@ -273,7 +369,8 @@ Assessment ConfigurationTool::BuildAssessment(
 
 Result<Assessment> ConfigurationTool::AssessInternal(
     const Configuration& config, const Goals& goals, const CostModel& cost,
-    const linalg::Vector* avail_guess, bool* cache_hit) const {
+    const linalg::Vector* avail_guess, bool* cache_hit,
+    const markov::SteadyStateOptions* solver_override) const {
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(goals.Validate(k));
   WFMS_RETURN_NOT_OK(cost.Validate(k));
@@ -291,7 +388,7 @@ Result<Assessment> ConfigurationTool::AssessInternal(
   trace::TraceSpan span("configtool/assess", "configtool");
   const auto eval_start = std::chrono::steady_clock::now();
   WFMS_ASSIGN_OR_RETURN(performability::PerformabilityReport report,
-                        model_.Evaluate(config, avail_guess));
+                        model_.Evaluate(config, avail_guess, solver_override));
   AssessmentSeconds().Observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     eval_start)
@@ -355,18 +452,30 @@ bool FitsDenseCap(const Configuration& config, size_t cap) {
 }
 
 /// Wall-clock deadline for a whole search, checked at wave/step
-/// boundaries.
+/// boundaries. An absolute `deadline_point` (set by the daemon, or derived
+/// from `deadline_seconds` at strategy entry) takes precedence over the
+/// relative form so queue wait already charged stays charged.
 class SearchDeadline {
  public:
   explicit SearchDeadline(const SearchOptions& search)
-      : seconds_(search.deadline_seconds),
-        start_(std::chrono::steady_clock::now()) {}
+      : seconds_(search.deadline_seconds) {
+    const auto now = std::chrono::steady_clock::now();
+    if (search.deadline_point != std::chrono::steady_clock::time_point{}) {
+      active_ = true;
+      deadline_ = search.deadline_point;
+      if (seconds_ <= 0.0) {
+        seconds_ = std::chrono::duration<double>(deadline_ - now).count();
+      }
+    } else if (seconds_ > 0.0) {
+      active_ = true;
+      deadline_ = now + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds_));
+    }
+  }
 
   bool Expired() const {
-    if (seconds_ <= 0.0) return false;
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-               .count() >= seconds_;
+    return active_ && std::chrono::steady_clock::now() >= deadline_;
   }
 
   /// Marks the result as deadline-terminated; the caller then returns its
@@ -381,8 +490,25 @@ class SearchDeadline {
 
  private:
   double seconds_;
-  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 };
+
+/// Copy of `search` with `deadline_point` materialized from
+/// `deadline_seconds` (when only the relative form was given). Each
+/// strategy normalizes once at entry so per-candidate solver bounding in
+/// AssessIsolated sees the same absolute instant the boundary checks do.
+SearchOptions NormalizedDeadline(const SearchOptions& search_in) {
+  SearchOptions search = search_in;
+  if (search.deadline_point == std::chrono::steady_clock::time_point{} &&
+      search.deadline_seconds > 0.0) {
+    search.deadline_point =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(search.deadline_seconds));
+  }
+  return search;
+}
 
 /// Everything a search does at a wave/step boundary besides the search
 /// itself: poll the deadline, poll cooperative cancellation, and fire the
@@ -462,7 +588,7 @@ class SearchScope {
 
 Result<Assessment> ConfigurationTool::AssessIsolated(
     const Configuration& config, const Goals& goals, const CostModel& cost,
-    const linalg::Vector* avail_guess, bool retry_exact,
+    const linalg::Vector* avail_guess, const SearchOptions& search,
     bool* cache_hit) const {
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(goals.Validate(k));
@@ -478,14 +604,48 @@ Result<Assessment> ConfigurationTool::AssessIsolated(
                             failed->numerical, failed->retried_exact);
   }
 
-  auto assessed = AssessInternal(config, goals, cost, avail_guess, cache_hit);
+  // With a deadline in force, bound the candidate's steady-state solve by
+  // the wall clock remaining right now: the deadline is enforced *inside*
+  // a solve, not just between candidates, so one heavyweight candidate
+  // cannot overshoot the whole search's budget.
+  markov::SteadyStateOptions bounded_solver;
+  const markov::SteadyStateOptions* solver_override = nullptr;
+  if (search.deadline_bounds_solver &&
+      search.deadline_point != std::chrono::steady_clock::time_point{}) {
+    const double remaining =
+        std::chrono::duration<double>(search.deadline_point -
+                                      std::chrono::steady_clock::now())
+            .count();
+    // Floor at 1ms: the boundary check will stop the search; the solve
+    // itself still gets a sliver so an instant cache-adjacent candidate
+    // can complete.
+    const double cap = std::max(remaining, 1e-3);
+    bounded_solver = model_.options().availability.solver;
+    if (bounded_solver.budget.max_wall_time_seconds <= 0.0 ||
+        cap < bounded_solver.budget.max_wall_time_seconds) {
+      bounded_solver.budget.max_wall_time_seconds = cap;
+    }
+    solver_override = &bounded_solver;
+  }
+
+  auto assessed = AssessInternal(config, goals, cost, avail_guess, cache_hit,
+                                 solver_override);
   if (assessed.ok()) return assessed;
   Status cause = assessed.status();
+  if (solver_override != nullptr &&
+      cause.code() == StatusCode::kDeadlineExceeded) {
+    // The *deadline we imposed* expired mid-solve. That says nothing about
+    // the candidate itself, so it is returned as an isolated failure but
+    // never negatively cached and never retried with the exact solver — a
+    // resumed or re-issued search re-assesses it cleanly.
+    return FailedAssessment(config, cost, std::move(cause),
+                            /*numerical=*/false, /*retried=*/false);
+  }
   if (!IsIsolatableFailure(cause.code())) return cause;
 
   const bool numerical = cause.code() == StatusCode::kNumericError;
   bool retried = false;
-  if (numerical && retry_exact &&
+  if (numerical && search.retry_numerical_failures &&
       FitsDenseCap(config,
                    model_.options().availability.solver.max_dense_states)) {
     retried = true;
@@ -517,8 +677,7 @@ Result<Assessment> ConfigurationTool::AssessCounted(
   bool hit = false;
   WFMS_ASSIGN_OR_RETURN(
       Assessment assessment,
-      AssessIsolated(config, goals, cost, avail_guess,
-                     search.retry_numerical_failures, &hit));
+      AssessIsolated(config, goals, cost, avail_guess, search, &hit));
   ++result->evaluations;
   if (hit) ++result->cache_hits;
   CandidatesAssessedTotal().Increment();
@@ -534,6 +693,16 @@ Result<Assessment> ConfigurationTool::Assess(const Configuration& config,
                         /*cache_hit=*/nullptr);
 }
 
+Result<Assessment> ConfigurationTool::AssessWithDeadline(
+    const Configuration& config, const Goals& goals,
+    std::chrono::steady_clock::time_point deadline_point,
+    const CostModel& cost) const {
+  SearchOptions search;
+  search.deadline_point = deadline_point;
+  return AssessIsolated(config, goals, cost, /*avail_guess=*/nullptr, search,
+                        /*cache_hit=*/nullptr);
+}
+
 Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
     std::span<const Configuration> configs, const Goals& goals,
     const CostModel& cost, const SearchOptions& search,
@@ -545,8 +714,7 @@ Result<std::vector<Assessment>> ConfigurationTool::AssessBatchInternal(
   pool().ParallelFor(n, [&](size_t i) {
     bool hit = false;
     auto assessed = AssessIsolated(configs[i], goals, cost,
-                                   /*avail_guess=*/nullptr,
-                                   search.retry_numerical_failures, &hit);
+                                   /*avail_guess=*/nullptr, search, &hit);
     if (assessed.ok()) {
       slots[i] = *std::move(assessed);
     } else {
@@ -698,7 +866,8 @@ void ConfigurationTool::PrefetchNeighborFrontier(
 
 Result<SearchResult> ConfigurationTool::GreedyMinCost(
     const Goals& goals, const SearchConstraints& constraints,
-    const CostModel& cost, const SearchOptions& search) const {
+    const CostModel& cost, const SearchOptions& search_in) const {
+  const SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   Configuration config = MinimalConfig(constraints, k);
@@ -833,7 +1002,8 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
 
 Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
     const Goals& goals, const SearchConstraints& constraints,
-    const CostModel& cost, const SearchOptions& search) const {
+    const CostModel& cost, const SearchOptions& search_in) const {
+  const SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
@@ -910,7 +1080,8 @@ Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
 Result<SearchResult> ConfigurationTool::AnnealingMinCost(
     const Goals& goals, const SearchConstraints& constraints,
     const CostModel& cost, const AnnealingOptions& annealing,
-    const SearchOptions& search) const {
+    const SearchOptions& search_in) const {
+  const SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
@@ -1036,7 +1207,8 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
 
 Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
     const Goals& goals, const SearchConstraints& constraints,
-    const CostModel& cost, const SearchOptions& search) const {
+    const CostModel& cost, const SearchOptions& search_in) const {
+  const SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   SearchResult result;

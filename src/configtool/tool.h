@@ -21,6 +21,7 @@
 #define WFMS_CONFIGTOOL_TOOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <span>
@@ -96,6 +97,21 @@ struct SearchOptions {
   /// the search stops at the next wave/step boundary and returns its
   /// best-so-far with SearchResult::termination set to DeadlineExceeded.
   double deadline_seconds = 0.0;
+  /// Absolute variant of `deadline_seconds`: when set (non-epoch), the
+  /// search expires at this monotonic instant regardless of when it
+  /// started — the daemon charges queue wait against the request's
+  /// deadline this way. When unset, the strategies derive it from
+  /// `deadline_seconds` at search entry.
+  std::chrono::steady_clock::time_point deadline_point{};
+  /// With a deadline in force, also bound each candidate's availability
+  /// steady-state solve by the wall-clock remaining when its assessment
+  /// starts (SolveBudget::max_wall_time_seconds) — the deadline is
+  /// enforced *inside* a solve, not only between candidates, so one slow
+  /// solve cannot overshoot it. A deadline-bounded solve failure is
+  /// transient: it is never negatively cached and never retried with the
+  /// exact solver (the candidate re-assesses cleanly on resume). No
+  /// effect without a deadline; on by default.
+  bool deadline_bounds_solver = true;
   /// Retry a numerically failed candidate once with the exact LU solver
   /// (honoring the configured max_dense_states) before declaring it
   /// failed.
@@ -169,6 +185,18 @@ class ConfigurationTool {
   Result<Assessment> Assess(const workflow::Configuration& config,
                             const Goals& goals,
                             const CostModel& cost = CostModel::Uniform()) const;
+
+  /// Assess with a per-request absolute deadline (the wfmsd daemon's
+  /// entry point): the availability solve is budget-bounded by the wall
+  /// clock remaining at call time (SearchOptions::deadline_bounds_solver
+  /// semantics) and fault-isolated — terminal failures come back as an
+  /// Assessment with `error` set. A deadline expiry surfaces as
+  /// `error` = DeadlineExceeded and is never negatively cached, so a
+  /// retry after the load spike re-solves cleanly.
+  Result<Assessment> AssessWithDeadline(
+      const workflow::Configuration& config, const Goals& goals,
+      std::chrono::steady_clock::time_point deadline_point,
+      const CostModel& cost = CostModel::Uniform()) const;
 
   /// Assesses a batch of candidates, fanning the model evaluations out
   /// across the tool's thread pool. The returned vector is index-aligned
@@ -246,10 +274,35 @@ class ConfigurationTool {
     size_t entries = 0;
     size_t hits = 0;
     size_t misses = 0;
+    /// Reports dropped by the LRU bound (0 with unlimited limits).
+    size_t evictions = 0;
+    /// Estimated bytes held by the memoized reports.
+    size_t bytes = 0;
   };
   CacheStats cache_stats() const;
+  /// True when a memoized report for `replicas` is resident right now.
+  /// The daemon's cache-only degraded mode probes this to answer from the
+  /// cache without ever starting a solve. Does not touch LRU recency and
+  /// counts neither a hit nor a miss.
+  bool HasCachedAssessment(const std::vector<int>& replicas) const;
   /// Drops every memoized assessment (e.g. to benchmark cold paths).
   void ClearAssessmentCache();
+
+  /// Budget for the memoized-report cache. Unlimited by default (one-shot
+  /// searches want every assessment kept); a long-lived daemon sets a
+  /// bound so the cache cannot grow without limit. When either bound is
+  /// exceeded the least-recently-used report is evicted (counted by the
+  /// `wfms_configtool_cache_evictions_total` metric). Eviction only costs
+  /// recomputation — results are bit-identical whatever the cache holds
+  /// (the PR-1 invariant). Negative failure entries are a few bytes each
+  /// and stay unbounded.
+  struct CacheLimits {
+    size_t max_entries = 0;  // 0 = unlimited
+    size_t max_bytes = 0;    // 0 = unlimited (estimated footprint)
+  };
+  /// Applies `limits` and immediately evicts down to the new budget.
+  /// Thread-safe (takes the cache lock).
+  void set_cache_limits(const CacheLimits& limits);
 
   /// A terminally failed evaluation as stored in the negative cache.
   struct CachedFailure {
@@ -284,21 +337,27 @@ class ConfigurationTool {
 
   /// Cache-aware assessment core. `avail_guess` optionally warm-starts the
   /// availability solve on a miss; `cache_hit` (optional) reports whether
-  /// the report came from the cache.
-  Result<Assessment> AssessInternal(const workflow::Configuration& config,
-                                    const Goals& goals, const CostModel& cost,
-                                    const linalg::Vector* avail_guess,
-                                    bool* cache_hit) const;
+  /// the report came from the cache. `solver_override`, when non-null,
+  /// replaces the configured availability solver options for a miss (used
+  /// to bound a solve by a search deadline).
+  Result<Assessment> AssessInternal(
+      const workflow::Configuration& config, const Goals& goals,
+      const CostModel& cost, const linalg::Vector* avail_guess,
+      bool* cache_hit,
+      const markov::SteadyStateOptions* solver_override = nullptr) const;
   /// Fault-isolating wrapper around AssessInternal: a numerical evaluation
-  /// failure is retried once with the exact LU solver (when `retry_exact`
-  /// and the state space fits the configured dense cap) and, if terminal,
-  /// returned as an Assessment with `error` set rather than a Status.
-  /// Terminal failures are negatively cached. Structural errors (invalid
-  /// goals/cost/configuration) still surface as Status.
+  /// failure is retried once with the exact LU solver (when
+  /// `search.retry_numerical_failures` and the state space fits the
+  /// configured dense cap) and, if terminal, returned as an Assessment
+  /// with `error` set rather than a Status. Terminal failures are
+  /// negatively cached; deadline-bounded solve expiries are not (they are
+  /// a property of the budget, not the candidate). Structural errors
+  /// (invalid goals/cost/configuration) still surface as Status.
   Result<Assessment> AssessIsolated(const workflow::Configuration& config,
                                     const Goals& goals, const CostModel& cost,
                                     const linalg::Vector* avail_guess,
-                                    bool retry_exact, bool* cache_hit) const;
+                                    const SearchOptions& search,
+                                    bool* cache_hit) const;
   /// AssessIsolated + SearchResult accounting (evaluations, cache hits,
   /// failed_candidates).
   Result<Assessment> AssessCounted(const workflow::Configuration& config,

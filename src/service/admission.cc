@@ -1,0 +1,89 @@
+#include "service/admission.h"
+
+#include "common/metrics.h"
+
+namespace wfms::service {
+
+namespace {
+
+metrics::Counter& ShedTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_service_shed_total");
+  return counter;
+}
+
+metrics::Counter& TenantThrottledTotal() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_service_tenant_throttled_total");
+  return counter;
+}
+
+metrics::Gauge& DegradeLevelGauge() {
+  static metrics::Gauge& gauge = metrics::MetricsRegistry::Global()
+      .GetGauge("wfms_service_degrade_level");
+  return gauge;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+AdmissionDecision AdmissionController::Admit(
+    const std::string& tenant, size_t queue_depth,
+    std::chrono::steady_clock::time_point now) {
+  AdmissionDecision decision;
+
+  // Tenant quota first: an over-quota tenant is shed even on an idle
+  // server, so the quota is meaningful protection for the other tenants.
+  if (options_.tenant_rate > 0.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_
+               .emplace(tenant, TokenBucket(options_.tenant_rate,
+                                            options_.tenant_burst, now))
+               .first;
+    }
+    if (!it->second.TryAcquire(now)) {
+      TenantThrottledTotal().Increment();
+      ShedTotal().Increment();
+      decision.admitted = false;
+      decision.reason = "tenant '" + tenant + "' over quota (" +
+                        std::to_string(options_.tenant_rate) + " req/s, burst " +
+                        std::to_string(options_.tenant_burst) + ")";
+      return decision;
+    }
+  }
+
+  if (options_.max_queue == 0) return decision;  // ladder disabled (tests)
+
+  const double load = static_cast<double>(queue_depth) /
+                      static_cast<double>(options_.max_queue);
+  if (queue_depth >= options_.max_queue) {
+    // The worker queue is full; the ThreadPool bound would reject the
+    // Submit anyway — shed here with the explicit admission reason.
+    ShedTotal().Increment();
+    decision.admitted = false;
+    decision.reason = "worker queue full (" + std::to_string(queue_depth) +
+                      " of " + std::to_string(options_.max_queue) +
+                      " slots)";
+    DegradeLevelGauge().Set(2.0);
+    return decision;
+  }
+  if (load >= options_.level2_fraction) {
+    decision.degrade_level = 2;
+    decision.reason = "queue load " + std::to_string(load) +
+                      " >= " + std::to_string(options_.level2_fraction) +
+                      ": cache-only";
+  } else if (load >= options_.level1_fraction) {
+    decision.degrade_level = 1;
+    decision.reason = "queue load " + std::to_string(load) +
+                      " >= " + std::to_string(options_.level1_fraction) +
+                      ": downgraded strategy and tightened budget";
+  }
+  DegradeLevelGauge().Set(static_cast<double>(decision.degrade_level));
+  return decision;
+}
+
+}  // namespace wfms::service

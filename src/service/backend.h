@@ -1,0 +1,111 @@
+// Request execution backend of wfmsd: maps scenarios to long-lived
+// ConfigurationTool instances whose memoization caches are shared across
+// requests, applies degradation, and persists the caches as a
+// SnapshotKind::kServiceCache snapshot so a SIGKILL'd daemon restarts
+// warm (see DESIGN.md "Service architecture").
+//
+// Cache key discipline: each scenario's cache entries are valid only for
+// (environment, solver options) — the `ServiceFingerprint`. The snapshot
+// stores the fingerprint and the serialized environment per scenario; on
+// load, a scenario whose stored fingerprint does not match the
+// fingerprint recomputed under the *current* daemon options is rejected
+// with a clean per-scenario error (it starts cold) instead of poisoning
+// answers with stale reports. Because assessments are pure functions of
+// (environment, options, replication vector), a warm answer is
+// byte-identical to the cold answer it replaces — the PR-1 invariant the
+// chaos test pins.
+#ifndef WFMS_SERVICE_BACKEND_H_
+#define WFMS_SERVICE_BACKEND_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "configtool/tool.h"
+#include "performability/performability_model.h"
+#include "service/protocol.h"
+#include "workflow/environment.h"
+
+namespace wfms::service {
+
+struct BackendOptions {
+  /// LRU budget applied to every scenario's assessment cache.
+  configtool::ConfigurationTool::CacheLimits cache_limits{
+      /*max_entries=*/4096, /*max_bytes=*/64u << 20};
+  /// Non-empty: the shared caches persist here (atomic snapshot writes).
+  std::string snapshot_path;
+  /// Daemon-wide solver options; part of the cache fingerprint.
+  performability::PerformabilityOptions tool_options;
+  /// Deadline applied when a request does not carry one; <= 0 = none.
+  double default_deadline_seconds = 0.0;
+};
+
+/// Fingerprint of everything a cached report's validity depends on: the
+/// serialized environment plus the solver-relevant tool options.
+uint64_t ServiceFingerprint(
+    const workflow::Environment& env,
+    const performability::PerformabilityOptions& options);
+
+class Backend {
+ public:
+  explicit Backend(const BackendOptions& options);
+  ~Backend();
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// Executes one admitted request under `degrade_level` (0/1/2, see
+  /// service/admission.h). `admitted_at` anchors the request's deadline:
+  /// queue wait before Handle ran is already charged against it. Never
+  /// returns kRejectedOverloaded except from degraded cache-only misses
+  /// and degraded sheds; transport-level rejections happen before Handle.
+  Response Handle(const Request& req, int degrade_level,
+                  std::chrono::steady_clock::time_point admitted_at);
+
+  /// Persists every scenario's cache to `snapshot_path` (atomic
+  /// temp+rename). OK no-op when no path is configured.
+  Status SaveCacheSnapshot() const;
+
+  struct SnapshotLoadStats {
+    size_t scenarios = 0;
+    size_t reports = 0;
+    size_t failures = 0;
+    /// One clean error per scenario whose fingerprint was stale under the
+    /// current daemon options (that scenario starts cold).
+    std::vector<std::string> rejected;
+  };
+  /// Warm-restart: loads `snapshot_path` and prefills per-scenario
+  /// caches. NotFound (first boot) yields empty stats, not an error;
+  /// torn/corrupt files surface the snapshot layer's Status.
+  Result<SnapshotLoadStats> LoadCacheSnapshot();
+
+  /// Total memoized reports across scenarios (for the stats endpoint and
+  /// tests).
+  size_t TotalCachedReports() const;
+
+ private:
+  struct ScenarioState;
+
+  Result<ScenarioState*> GetScenario(const std::string& scenario);
+  Response HandleAssess(const Request& req, ScenarioState& state,
+                        int degrade_level, double remaining_seconds);
+  Response HandleRecommend(const Request& req, ScenarioState& state,
+                           int degrade_level, double remaining_seconds);
+  Response HandleAutotune(const Request& req, ScenarioState& state,
+                          int degrade_level, double remaining_seconds);
+
+  BackendOptions options_;
+  mutable std::mutex mutex_;  // guards the maps' shape, not the tools
+  /// Keyed by the canonical serialized environment, so aliases of one
+  /// environment share one tool (and its cache).
+  std::map<std::string, std::unique_ptr<ScenarioState>> scenarios_;
+  /// Request scenario string ("ep", inline text, ...) -> canonical key.
+  std::map<std::string, std::string> aliases_;
+};
+
+}  // namespace wfms::service
+
+#endif  // WFMS_SERVICE_BACKEND_H_

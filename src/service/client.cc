@@ -1,0 +1,227 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace wfms::service {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+/// Waits for `events` on `fd` within the timeout. OK, DeadlineExceeded,
+/// or Unavailable (poll error).
+Status PollFor(int fd, short events, double timeout_seconds) {
+  pollfd p{fd, events, 0};
+  const int timeout_ms =
+      timeout_seconds <= 0.0
+          ? -1
+          : static_cast<int>(std::min(timeout_seconds * 1000.0, 2.0e9));
+  for (;;) {
+    const int ready = ::poll(&p, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("timed out after " +
+                                      std::to_string(timeout_seconds) +
+                                      "s waiting for the server");
+    }
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+Client::Client(const ClientOptions& options)
+    : options_(options), rng_(options.jitter_seed) {}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : options_(std::move(other.options_)),
+      fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      rng_(other.rng_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    options_ = std::move(other.options_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    rng_ = other.rng_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status Client::Connect() {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host '" + options_.host + "'");
+  }
+
+  // Non-blocking connect so the timeout is enforceable.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status failed = ErrnoStatus("connect " + options_.host + ":" +
+                                std::to_string(options_.port));
+    Close();
+    return failed;
+  }
+  if (rc != 0) {
+    Status ready = PollFor(fd_, POLLOUT, options_.connect_timeout_seconds);
+    if (!ready.ok()) {
+      Close();
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      Close();
+      return Status::Unavailable("connect " + options_.host + ":" +
+                                 std::to_string(options_.port) + ": " +
+                                 std::strerror(err));
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);  // back to blocking; I/O uses poll
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status Client::ReadLine(std::string* line) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.io_timeout_seconds);
+  for (;;) {
+    const size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      *line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return Status::OK();
+    }
+    const double remaining =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0.0) {
+      return Status::DeadlineExceeded(
+          "timed out after " + std::to_string(options_.io_timeout_seconds) +
+          "s waiting for a response line");
+    }
+    WFMS_RETURN_NOT_OK(PollFor(fd_, POLLIN, remaining));
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read");
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed by the server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status Client::Send(const std::string& request_line) {
+  if (fd_ < 0) WFMS_RETURN_NOT_OK(Connect());
+  std::string framed = request_line;
+  framed.push_back('\n');
+  size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status failed = ErrnoStatus("write");
+      Close();
+      return failed;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string response;
+  Status read = ReadLine(&response);
+  if (!read.ok()) {
+    Close();
+    return read;
+  }
+  return response;
+}
+
+Result<std::string> Client::CallOnce(const std::string& line) {
+  WFMS_RETURN_NOT_OK(Send(line));
+  std::string response;
+  Status read = ReadLine(&response);
+  if (!read.ok()) {
+    Close();  // the stream position is unknown; resync via reconnect
+    return read;
+  }
+  return response;
+}
+
+Result<std::string> Client::Call(const std::string& request_line) {
+  double backoff = options_.backoff_initial_seconds;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Full jitter: sleep uniform in (0, backoff] so retry storms from
+      // many clients decorrelate instead of hammering in waves.
+      std::uniform_real_distribution<double> jitter(0.0, backoff);
+      const double sleep_s = std::max(1e-4, jitter(rng_));
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      backoff = std::min(backoff * options_.backoff_multiplier,
+                         options_.backoff_max_seconds);
+    }
+    Result<std::string> response = CallOnce(request_line);
+    if (response.ok()) return response;
+    last = response.status();
+    // InvalidArgument (bad host) cannot improve with retries.
+    if (last.code() == StatusCode::kInvalidArgument) return last;
+  }
+  return Status::Unavailable(
+      "request failed after " + std::to_string(options_.max_retries + 1) +
+      " attempt(s): " + last.ToString());
+}
+
+}  // namespace wfms::service

@@ -1,0 +1,78 @@
+// Blocking client for the wfmsd protocol: one TCP connection, one
+// request line out, one response line back (used by `wfmsctl --connect`
+// and tools/load_driver).
+//
+// Retry discipline: only *transport* failures are retried — connection
+// refused, I/O timeout, torn connection before a full response line
+// arrived — with jittered exponential backoff (deterministically seeded,
+// so a fleet of load-driver threads does not retry in lockstep). A
+// response the server actually sent is NEVER retried, whatever its
+// disposition: `rejected-overloaded` and `deadline-exceeded` are answers,
+// and retrying them would double-count work the server already refused.
+#ifndef WFMS_SERVICE_CLIENT_H_
+#define WFMS_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "common/result.h"
+
+namespace wfms::service {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double connect_timeout_seconds = 5.0;
+  /// Per-call cap on waiting for the response line.
+  double io_timeout_seconds = 60.0;
+  /// Transport-failure retries per Call (0 = single attempt).
+  int max_retries = 3;
+  double backoff_initial_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 2.0;
+  /// Seed of the backoff jitter (deterministic per client).
+  uint64_t jitter_seed = 1;
+};
+
+class Client {
+ public:
+  explicit Client(const ClientOptions& options);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+
+  /// Sends `request_line` (newline appended) and returns the next
+  /// response line. Connects lazily; reconnects between retries.
+  /// Unavailable after retries are exhausted; DeadlineExceeded on I/O
+  /// timeout of the final attempt.
+  Result<std::string> Call(const std::string& request_line);
+
+  /// Pipelining primitives (tools/load_driver keeps many requests in
+  /// flight per connection): Send writes one request line without
+  /// waiting; ReadResponse returns the next response line. Neither
+  /// retries — a pipelined retry would duplicate server-side work and
+  /// desynchronize the stream.
+  Status Send(const std::string& request_line);
+  Result<std::string> ReadResponse();
+
+  /// Explicit connect (e.g. to fail fast before a measurement run).
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Result<std::string> CallOnce(const std::string& line);
+  Status ReadLine(std::string* line);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+  std::mt19937_64 rng_;
+};
+
+}  // namespace wfms::service
+
+#endif  // WFMS_SERVICE_CLIENT_H_

@@ -1,0 +1,334 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wfms::service {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Document() {
+    WFMS_ASSIGN_OR_RETURN(Json value, Value(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> Value(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ObjectValue(depth);
+      case '[':
+        return ArrayValue(depth);
+      case '"': {
+        WFMS_ASSIGN_OR_RETURN(std::string s, String());
+        return Json::Str(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return Json::Bool(true);
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeWord("false")) return Json::Bool(false);
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeWord("null")) return Json::Null();
+        return Error("bad literal");
+      default:
+        return NumberValue();
+    }
+  }
+
+  Result<Json> ObjectValue(int depth) {
+    Consume('{');
+    Json object = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      WFMS_ASSIGN_OR_RETURN(std::string key, String());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      WFMS_ASSIGN_OR_RETURN(Json value, Value(depth + 1));
+      object.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ArrayValue(int depth) {
+    Consume('[');
+    Json array = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    for (;;) {
+      WFMS_ASSIGN_OR_RETURN(Json value, Value(depth + 1));
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> String() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences; the protocol is ASCII in
+          // practice).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> NumberValue() {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+      return Error("bad number '" + token + "'");
+    }
+    return Json::Number(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendNumber(std::string* out, double value) {
+  char buffer[32];
+  // Integers dominate the protocol (replica counts, ports, counts); keep
+  // them clean. Everything else uses %.17g so a reparse is bit-exact.
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string Json::GetString(std::string_view key, std::string fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr && value->is_string() ? value->str()
+                                                : std::move(fallback);
+}
+
+double Json::GetNumber(std::string_view key, double fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr && value->is_number() ? value->number() : fallback;
+}
+
+bool Json::GetBool(std::string_view key, bool fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr && value->is_bool() ? value->bool_value()
+                                              : fallback;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  type_ = Type::kObject;
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Append(Json value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      out->push_back('"');
+      out->append(JsonEscape(string_));
+      out->push_back('"');
+      return;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        item.DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        out->append(JsonEscape(key));
+        out->append("\":");
+        value.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Document();
+}
+
+}  // namespace wfms::service

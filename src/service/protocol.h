@@ -1,0 +1,102 @@
+// Wire protocol of the wfmsd assessment service: newline-delimited JSON
+// over a plain TCP stream (one request object per line, one response
+// object per line; responses carry the request's `id` so a pipelining
+// client can match them). The same listening socket also answers
+// `GET /metrics` and `GET /metrics.json` HTTP requests with the live
+// metrics registry, so one port serves both the protocol and scraping.
+//
+// Request:
+//   {"id": "r1", "op": "assess", "scenario": "ep", "tenant": "teamA",
+//    "config": [2,2,3], "max_wait": 0.05, "min_avail": 0.99999,
+//    "method": "greedy", "max_replicas": 8, "deadline_seconds": 5.0}
+//
+// Response:
+//   {"id": "r1", "status": "completed", "degraded": false,
+//    "result": {...}, "elapsed_seconds": 0.012}
+//
+// `status` is the request's terminal disposition — exactly one of:
+//   completed          full-fidelity answer
+//   degraded           answered under degradation (downgraded strategy,
+//                      tightened budget, or cache-only); `degrade_reason`
+//                      says which rung
+//   rejected-overloaded  shed by admission control (queue full or tenant
+//                      over quota); carries no result
+//   deadline-exceeded  the per-request deadline expired (in queue or
+//                      mid-solve); best-so-far is NOT returned — the
+//                      answer would be nondeterministic
+//   error              malformed or invalid request
+//
+// Everything inside `result` is deterministic for a given (scenario,
+// request): derived only from solver output, never from wall-clock or
+// cache state. Nondeterministic observability (elapsed time) stays at the
+// top level, so chaos tests can compare `result` byte-for-byte across
+// cold and warm-restarted daemons.
+#ifndef WFMS_SERVICE_PROTOCOL_H_
+#define WFMS_SERVICE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/json.h"
+
+namespace wfms::service {
+
+enum class Op {
+  kPing,       // liveness probe; answered inline, never queued
+  kAssess,
+  kRecommend,
+  kAutotune,
+};
+
+const char* OpName(Op op);
+
+struct Request {
+  std::string id;
+  Op op = Op::kPing;
+  std::string tenant;      // quota key; empty = the shared default tenant
+  std::string scenario;    // "ep" | "benchmark" | inline scenario text
+  std::vector<int> config;  // replication vector (assess, autotune initial)
+  double max_wait = 0.05;
+  double min_avail = 0.99999;
+  std::string method = "greedy";  // recommend/autotune search strategy
+  int max_replicas = 8;
+  int iterations = 2000;          // annealing
+  double deadline_seconds = 0.0;  // <= 0: server default
+  // Autotune horizon (model minutes).
+  double duration = 4000.0;
+  double epoch = 1000.0;
+  double max_turnaround = 0.0;
+};
+
+/// Parses one request line. A missing/unknown `op` or a non-object
+/// document is an error; unknown members are ignored (forward
+/// compatibility).
+Result<Request> ParseRequest(std::string_view line);
+
+/// Terminal disposition of a request (see file comment).
+enum class Disposition {
+  kCompleted,
+  kDegraded,
+  kRejectedOverloaded,
+  kDeadlineExceeded,
+  kError,
+};
+
+const char* DispositionName(Disposition d);
+
+struct Response {
+  std::string id;
+  Disposition disposition = Disposition::kCompleted;
+  std::string degrade_reason;  // non-empty iff kDegraded
+  std::string error;           // non-empty for rejected/deadline/error
+  Json result = Json::Null();  // deterministic payload (or null)
+  double elapsed_seconds = 0.0;
+
+  /// One response line (no trailing newline).
+  std::string Render() const;
+};
+
+}  // namespace wfms::service
+
+#endif  // WFMS_SERVICE_PROTOCOL_H_

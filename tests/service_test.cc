@@ -1,0 +1,457 @@
+// Tests for the wfmsd service layer: the JSON codec, the wire protocol,
+// admission control and the degradation ladder, the backend's dispositions
+// and snapshot warm-restart, and a live loopback server exercised through
+// the real client (including pipelining and graceful drain).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/admission.h"
+#include "service/backend.h"
+#include "service/client.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::service {
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+std::string TempPath(const std::string& stem) {
+  return testing::TempDir() + stem;
+}
+
+// ---------------------------------------------------------------- Json --
+
+TEST(JsonTest, RoundTripsScalarsAndContainers) {
+  auto doc = Json::Parse(
+      R"({"a":1,"b":-2.5,"c":"x\ny","d":[true,false,null],"e":{"k":3}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetNumber("a", 0), 1.0);
+  EXPECT_EQ(doc->GetNumber("b", 0), -2.5);
+  EXPECT_EQ(doc->GetString("c", ""), "x\ny");
+  const Json* d = doc->Find("d");
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->items().size(), 3u);
+  EXPECT_TRUE(d->items()[0].bool_value());
+  EXPECT_TRUE(d->items()[2].is_null());
+  // Dump -> Parse -> Dump is a fixed point (deterministic serialization).
+  const std::string once = doc->Dump();
+  auto again = Json::Parse(once);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Dump(), once);
+}
+
+TEST(JsonTest, IntegersPrintWithoutDecimalPoint) {
+  Json doc = Json::Object();
+  doc.Set("n", Json::Number(42));
+  doc.Set("f", Json::Number(0.5));
+  EXPECT_EQ(doc.Dump(), R"({"n":42,"f":0.5})");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{}trailing").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("").ok());
+  // Nesting bomb: depth is limited, not stack-crashing.
+  std::string bomb(100, '[');
+  EXPECT_FALSE(Json::Parse(bomb).ok());
+}
+
+// ------------------------------------------------------------ Protocol --
+
+TEST(ProtocolTest, ParsesFullRequest) {
+  auto req = ParseRequest(
+      R"({"id":"r7","op":"assess","scenario":"ep","tenant":"teamA",)"
+      R"("config":[2,2,3],"max_wait":0.1,"min_avail":0.999,)"
+      R"("deadline_seconds":5})");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->id, "r7");
+  EXPECT_EQ(req->op, Op::kAssess);
+  EXPECT_EQ(req->tenant, "teamA");
+  EXPECT_EQ(req->config, (std::vector<int>{2, 2, 3}));
+  EXPECT_EQ(req->max_wait, 0.1);
+  EXPECT_EQ(req->deadline_seconds, 5.0);
+}
+
+TEST(ProtocolTest, RejectsBadOpAndBadConfig) {
+  EXPECT_FALSE(ParseRequest(R"({"op":"launch-missiles"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"assess","config":"2,2,3"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"assess","config":[1.5]})").ok());
+  EXPECT_FALSE(ParseRequest("[1,2,3]").ok());
+  EXPECT_FALSE(ParseRequest("not json at all").ok());
+}
+
+TEST(ProtocolTest, RenderCarriesDispositionNames) {
+  Response resp;
+  resp.id = "x";
+  resp.disposition = Disposition::kRejectedOverloaded;
+  resp.error = "queue full";
+  const std::string line = resp.Render();
+  auto doc = Json::Parse(line);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("status", ""), "rejected-overloaded");
+  EXPECT_EQ(doc->GetString("error", ""), "queue full");
+  EXPECT_EQ(doc->GetBool("degraded", true), false);
+}
+
+// ----------------------------------------------------------- Admission --
+
+TEST(AdmissionTest, TenantBucketThrottlesBurst) {
+  AdmissionOptions options;
+  options.max_queue = 0;  // ladder off; isolate the bucket
+  options.tenant_rate = 10.0;
+  options.tenant_burst = 3.0;
+  AdmissionController admission(options);
+  const auto t0 = steady_clock::now();
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (admission.Admit("hog", /*queue_depth=*/0, t0).admitted) ++admitted;
+  }
+  EXPECT_EQ(admitted, 3);  // the burst, no refill at t0
+  // Another tenant is unaffected by the hog's empty bucket.
+  EXPECT_TRUE(admission.Admit("quiet", 0, t0).admitted);
+  // After one second the hog has ~10 fresh tokens.
+  const auto t1 = t0 + std::chrono::seconds(1);
+  EXPECT_TRUE(admission.Admit("hog", 0, t1).admitted);
+}
+
+TEST(AdmissionTest, LadderDegradesThenSheds) {
+  AdmissionOptions options;
+  options.max_queue = 100;
+  AdmissionController admission(options);
+  const auto now = steady_clock::now();
+  EXPECT_EQ(admission.Admit("", 0, now).degrade_level, 0);
+  EXPECT_EQ(admission.Admit("", 49, now).degrade_level, 0);
+  EXPECT_EQ(admission.Admit("", 50, now).degrade_level, 1);
+  EXPECT_EQ(admission.Admit("", 75, now).degrade_level, 2);
+  const AdmissionDecision full = admission.Admit("", 100, now);
+  EXPECT_FALSE(full.admitted);
+  EXPECT_FALSE(full.reason.empty());
+}
+
+// ------------------------------------------------------------- Backend --
+
+Request AssessRequest(const std::vector<int>& config) {
+  Request req;
+  req.id = "t";
+  req.op = Op::kAssess;
+  req.scenario = "ep";
+  req.config = config;
+  req.max_wait = 0.05;
+  req.min_avail = 0.99;
+  return req;
+}
+
+TEST(BackendTest, AssessCompletesAndMemoizes) {
+  Backend backend(BackendOptions{});
+  const auto now = steady_clock::now();
+  Response first = backend.Handle(AssessRequest({2, 2, 3}), 0, now);
+  ASSERT_EQ(first.disposition, Disposition::kCompleted) << first.error;
+  EXPECT_TRUE(first.result.is_object());
+  EXPECT_EQ(backend.TotalCachedReports(), 1u);
+  // The repeat answers from the cache with an identical payload.
+  Response again = backend.Handle(AssessRequest({2, 2, 3}), 0, now);
+  EXPECT_EQ(again.result.Dump(), first.result.Dump());
+  EXPECT_EQ(backend.TotalCachedReports(), 1u);
+}
+
+TEST(BackendTest, ErrorsAreContained) {
+  Backend backend(BackendOptions{});
+  const auto now = steady_clock::now();
+  Request bad_scenario = AssessRequest({1, 1, 1});
+  bad_scenario.scenario = "definitely not a scenario";
+  EXPECT_EQ(backend.Handle(bad_scenario, 0, now).disposition,
+            Disposition::kError);
+  Request bad_config = AssessRequest({1, -3, 1});
+  EXPECT_EQ(backend.Handle(bad_config, 0, now).disposition,
+            Disposition::kError);
+  // The backend survives both and still answers.
+  EXPECT_EQ(backend.Handle(AssessRequest({1, 1, 1}), 0, now).disposition,
+            Disposition::kCompleted);
+}
+
+TEST(BackendTest, ExpiredDeadlineAnswersDeadlineExceeded) {
+  Backend backend(BackendOptions{});
+  Request req = AssessRequest({1, 1, 1});
+  req.deadline_seconds = 0.001;
+  // Admitted two seconds ago: the deadline died in the queue.
+  const auto admitted = steady_clock::now() - std::chrono::seconds(2);
+  Response resp = backend.Handle(req, 0, admitted);
+  EXPECT_EQ(resp.disposition, Disposition::kDeadlineExceeded);
+  EXPECT_TRUE(resp.result.is_null());
+}
+
+TEST(BackendTest, CacheOnlyLevelHitsCacheOrSheds) {
+  Backend backend(BackendOptions{});
+  const auto now = steady_clock::now();
+  // Cold cache at level 2: a miss is shed, never computed.
+  Response miss = backend.Handle(AssessRequest({2, 2, 3}), 2, now);
+  EXPECT_EQ(miss.disposition, Disposition::kRejectedOverloaded);
+  EXPECT_EQ(backend.TotalCachedReports(), 0u);
+  // Warm the entry at level 0, then the same request serves degraded.
+  ASSERT_EQ(backend.Handle(AssessRequest({2, 2, 3}), 0, now).disposition,
+            Disposition::kCompleted);
+  Response hit = backend.Handle(AssessRequest({2, 2, 3}), 2, now);
+  EXPECT_EQ(hit.disposition, Disposition::kDegraded);
+  EXPECT_FALSE(hit.degrade_reason.empty());
+}
+
+TEST(BackendTest, RecommendDowngradesAtLevelOne) {
+  Backend backend(BackendOptions{});
+  const auto now = steady_clock::now();
+  Request req;
+  req.op = Op::kRecommend;
+  req.scenario = "ep";
+  req.method = "exhaustive";
+  req.max_wait = 0.1;
+  req.min_avail = 0.999;
+  req.max_replicas = 3;
+  Response resp = backend.Handle(req, 1, now);
+  ASSERT_EQ(resp.disposition, Disposition::kDegraded) << resp.error;
+  EXPECT_NE(resp.degrade_reason.find("greedy"), std::string::npos);
+  EXPECT_EQ(resp.result.GetString("method", ""), "greedy");
+  // Level 0 honors the requested strategy.
+  Response full = backend.Handle(req, 0, now);
+  ASSERT_EQ(full.disposition, Disposition::kCompleted) << full.error;
+  EXPECT_EQ(full.result.GetString("method", ""), "exhaustive");
+}
+
+TEST(BackendTest, SnapshotRoundTripsWarm) {
+  const std::string path = TempPath("service_snapshot_roundtrip.wfsn");
+  std::remove(path.c_str());
+  BackendOptions options;
+  options.snapshot_path = path;
+
+  Backend cold(options);
+  const auto now = steady_clock::now();
+  Response original = cold.Handle(AssessRequest({2, 2, 3}), 0, now);
+  ASSERT_EQ(original.disposition, Disposition::kCompleted);
+  ASSERT_TRUE(cold.SaveCacheSnapshot().ok());
+
+  Backend warm(options);
+  auto stats = warm.LoadCacheSnapshot();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->scenarios, 1u);
+  EXPECT_EQ(stats->reports, 1u);
+  EXPECT_TRUE(stats->rejected.empty());
+  // The warm answer is byte-identical to the cold one — and is a cache
+  // hit (serving at level 2 proves no recomputation happened).
+  Response restored = warm.Handle(AssessRequest({2, 2, 3}), 2, now);
+  EXPECT_EQ(restored.disposition, Disposition::kDegraded);
+  EXPECT_EQ(restored.result.Dump(), original.result.Dump());
+  std::remove(path.c_str());
+}
+
+TEST(BackendTest, StaleFingerprintRejectsCleanly) {
+  const std::string path = TempPath("service_snapshot_stale.wfsn");
+  std::remove(path.c_str());
+  BackendOptions options;
+  options.snapshot_path = path;
+  Backend writer(options);
+  ASSERT_EQ(writer.Handle(AssessRequest({1, 1, 1}), 0, steady_clock::now())
+                .disposition,
+            Disposition::kCompleted);
+  ASSERT_TRUE(writer.SaveCacheSnapshot().ok());
+
+  // Different solver options => different fingerprint => cold start with
+  // a clean per-scenario rejection, not an error and not a stale answer.
+  BackendOptions changed = options;
+  changed.tool_options.availability.solver.tolerance = 1e-6;
+  Backend reader(changed);
+  auto stats = reader.LoadCacheSnapshot();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->scenarios, 0u);
+  ASSERT_EQ(stats->rejected.size(), 1u);
+  EXPECT_NE(stats->rejected[0].find("fingerprint"), std::string::npos);
+  EXPECT_EQ(reader.TotalCachedReports(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BackendTest, MissingSnapshotIsAColdStartNotAnError) {
+  BackendOptions options;
+  options.snapshot_path = TempPath("service_snapshot_never_written.wfsn");
+  Backend backend(options);
+  auto stats = backend.LoadCacheSnapshot();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->scenarios, 0u);
+}
+
+TEST(BackendTest, FingerprintSeparatesEnvironmentsAndOptions) {
+  auto ep_result = workflow::EpEnvironment();
+  auto bench_result = workflow::BenchmarkEnvironment();
+  ASSERT_TRUE(ep_result.ok() && bench_result.ok());
+  const workflow::Environment& ep = *ep_result;
+  const workflow::Environment& bench = *bench_result;
+  performability::PerformabilityOptions options;
+  const uint64_t base = ServiceFingerprint(ep, options);
+  EXPECT_NE(base, ServiceFingerprint(bench, options));
+  performability::PerformabilityOptions tweaked = options;
+  tweaked.availability.solver.max_iterations += 1;
+  EXPECT_NE(base, ServiceFingerprint(ep, tweaked));
+  EXPECT_EQ(base, ServiceFingerprint(ep, options));  // deterministic
+}
+
+// ------------------------------------------------------ Server loopback --
+
+class ServerLoopbackTest : public testing::Test {
+ protected:
+  ServerOptions DefaultOptions() {
+    ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    options.max_queue = 16;
+    return options;
+  }
+
+  Client MakeClient(int port) {
+    ClientOptions client_options;
+    client_options.port = port;
+    client_options.io_timeout_seconds = 60.0;
+    return Client(client_options);
+  }
+};
+
+TEST_F(ServerLoopbackTest, PingAssessAndErrorOverTheWire) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+
+  auto pong = client.Call(R"({"id":"p","op":"ping"})");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  auto pong_doc = Json::Parse(*pong);
+  ASSERT_TRUE(pong_doc.ok());
+  EXPECT_EQ(pong_doc->GetString("status", ""), "completed");
+
+  auto assess = client.Call(
+      R"({"id":"a","op":"assess","scenario":"ep","config":[2,2,3],)"
+      R"("max_wait":0.05,"min_avail":0.99})");
+  ASSERT_TRUE(assess.ok()) << assess.status().ToString();
+  auto assess_doc = Json::Parse(*assess);
+  ASSERT_TRUE(assess_doc.ok());
+  EXPECT_EQ(assess_doc->GetString("status", ""), "completed");
+  EXPECT_EQ(assess_doc->GetString("id", ""), "a");
+
+  // Malformed input answers `error` on the same connection, which stays
+  // usable afterwards.
+  auto garbage = client.Call("this is not json");
+  ASSERT_TRUE(garbage.ok()) << garbage.status().ToString();
+  auto garbage_doc = Json::Parse(*garbage);
+  ASSERT_TRUE(garbage_doc.ok());
+  EXPECT_EQ(garbage_doc->GetString("status", ""), "error");
+  auto after = client.Call(R"({"id":"p2","op":"ping"})");
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+TEST_F(ServerLoopbackTest, PipelinedRequestsAllAnswerWithMatchingIds) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client
+                    .Send(R"({"id":"q)" + std::to_string(i) +
+                          R"(","op":"assess","scenario":"ep",)"
+                          R"("config":[1,1,)" + std::to_string(1 + i % 3) +
+                          R"(],"max_wait":0.05,"min_avail":0.99})")
+                    .ok());
+  }
+  std::vector<bool> seen(kRequests, false);
+  for (int i = 0; i < kRequests; ++i) {
+    auto line = client.ReadResponse();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    auto doc = Json::Parse(*line);
+    ASSERT_TRUE(doc.ok());
+    const std::string id = doc->GetString("id", "");
+    ASSERT_EQ(id.substr(0, 1), "q");
+    const int index = std::stoi(id.substr(1));
+    EXPECT_FALSE(seen[index]) << "duplicate response for " << id;
+    seen[index] = true;
+    const std::string status = doc->GetString("status", "");
+    EXPECT_TRUE(status == "completed" || status == "degraded" ||
+                status == "rejected-overloaded")
+        << status;
+  }
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+TEST_F(ServerLoopbackTest, DrainAnswersInFlightRequestsBeforeExit) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+
+  // Uncached assess requests in flight when the stop lands.
+  constexpr int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client
+                    .Send(R"({"id":"d)" + std::to_string(i) +
+                          R"(","op":"assess","scenario":"ep",)"
+                          R"("config":[)" + std::to_string(1 + i % 4) +
+                          R"(,2,2],"max_wait":0.05,"min_avail":0.99})")
+                    .ok());
+  }
+  server.RequestStop();
+  // Every admitted request still answers; the drain never drops one.
+  int answered = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    auto line = client.ReadResponse();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    auto doc = Json::Parse(*line);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_NE(doc->GetString("status", ""), "");
+    ++answered;
+  }
+  EXPECT_EQ(answered, kRequests);
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+TEST_F(ServerLoopbackTest, TenantQuotaShedsOverTheWire) {
+  ServerOptions options = DefaultOptions();
+  options.admission.tenant_rate = 1.0;
+  options.admission.tenant_burst = 2.0;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+
+  int shed = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto line = client.Call(
+        R"({"id":"t)" + std::to_string(i) +
+        R"(","op":"assess","scenario":"ep","tenant":"hog",)"
+        R"("config":[1,1,1],"max_wait":0.05,"min_avail":0.99})");
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    auto doc = Json::Parse(*line);
+    ASSERT_TRUE(doc.ok());
+    if (doc->GetString("status", "") == "rejected-overloaded") ++shed;
+  }
+  EXPECT_GE(shed, 3);  // burst 2, rate 1/s: most of a tight loop is shed
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+TEST_F(ServerLoopbackTest, ClientRetriesUntilServerAppears) {
+  // Nothing listens yet: the client's transport retries are exhausted.
+  ClientOptions client_options;
+  client_options.port = 1;  // reserved port, nothing listens
+  client_options.max_retries = 1;
+  client_options.backoff_initial_seconds = 0.01;
+  Client client(client_options);
+  auto result = client.Call(R"({"op":"ping"})");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace wfms::service

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Crash-recovery chaos harness for wfmsd's persistent assessment cache.
+#
+#   1. Cold daemon with --snapshot-interval 0 (persist after every
+#      cache-changing request): capture a baseline answer, then SIGKILL
+#      the daemon while a request is in flight.
+#   2. Warm restart on the same snapshot: the daemon must log the warm
+#      start and answer the baseline request *byte-identically* — cached
+#      assessments are pure functions of (environment, solver options,
+#      configuration), so recovery must not drift.
+#   3. Restart under different solver options (--lumping on): the stored
+#      fingerprint no longer matches, the stale snapshot is rejected with
+#      a clean per-scenario message, and the daemon serves cold instead
+#      of answering from a poisoned cache.
+#
+# usage: daemon_chaos_test.sh <wfmsd> <wfmsctl> <workdir>
+set -u
+
+WFMSD="$1"
+WFMSCTL="$2"
+WORKDIR="$3/daemon_chaos_test"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+SNAP="$WORKDIR/cache.wfsn"
+
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2> /dev/null; then
+    kill -9 "$DAEMON_PID" 2> /dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  local tag="$1"
+  shift
+  echo "FAIL: $*"
+  echo "--- daemon stderr ($tag) ---"
+  cat "$WORKDIR/wfmsd_$tag.err" 2> /dev/null || true
+  exit 1
+}
+
+# boot <tag> [extra flags...] — starts a daemon, sets DAEMON_PID + PORT.
+boot() {
+  local tag="$1"
+  shift
+  "$WFMSD" --port 0 --snapshot "$SNAP" --snapshot-interval 0 "$@" \
+    > "$WORKDIR/wfmsd_$tag.out" 2> "$WORKDIR/wfmsd_$tag.err" &
+  DAEMON_PID=$!
+  PORT=""
+  for _ in $(seq 100); do
+    PORT=$(sed -n 's/^wfmsd: listening on .*:\([0-9]*\)$/\1/p' \
+      "$WORKDIR/wfmsd_$tag.out" 2> /dev/null)
+    [ -n "$PORT" ] && break
+    kill -0 "$DAEMON_PID" 2> /dev/null || fail "$tag daemon died on startup"
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "$tag daemon never reported its port"
+}
+
+assess() {
+  "$WFMSCTL" assess --connect "127.0.0.1:$PORT" --config 2,2,3 \
+    --max-wait 0.05 --min-avail 0.99
+}
+
+echo "== cold daemon, baseline answer"
+boot cold
+assess > "$WORKDIR/cold.json" || fail cold "baseline assess exited $?"
+# A second distinct entry so the snapshot holds more than one report
+# (exit 3 = answered, goals not met — still a cached assessment).
+"$WFMSCTL" assess --connect "127.0.0.1:$PORT" --config 1,1,1 \
+  --max-wait 0.05 --min-avail 0.99 > /dev/null
+rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || fail cold "second assess exited $rc"
+# The snapshot is written after the response, so allow it a moment.
+for _ in $(seq 50); do
+  [ -s "$SNAP" ] && break
+  sleep 0.1
+done
+[ -s "$SNAP" ] || fail cold "no snapshot written despite --snapshot-interval 0"
+
+echo "== SIGKILL mid-request"
+# Fire an uncached request and kill the daemon while it is in flight; the
+# client loses the connection, the snapshot (written *before* this
+# request) must survive.
+"$WFMSCTL" assess --connect "127.0.0.1:$PORT" --config 4,4,4 \
+  --max-wait 0.05 --min-avail 0.99 --timeout 30 \
+  > /dev/null 2> /dev/null &
+CLIENT_PID=$!
+sleep 0.1
+kill -9 "$DAEMON_PID" || fail cold "could not SIGKILL the daemon"
+wait "$DAEMON_PID" 2> /dev/null
+DAEMON_PID=""
+wait "$CLIENT_PID" 2> /dev/null  # whatever it got, it must not hang
+[ -s "$SNAP" ] || fail cold "snapshot vanished with the SIGKILL"
+
+echo "== warm restart: byte-identical answer"
+boot warm
+grep -q "warm start" "$WORKDIR/wfmsd_warm.err" \
+  || fail warm "no warm-start log after restart with a snapshot"
+assess > "$WORKDIR/warm.json" || fail warm "warm assess exited $?"
+cmp -s "$WORKDIR/cold.json" "$WORKDIR/warm.json" || {
+  diff "$WORKDIR/cold.json" "$WORKDIR/warm.json" || true
+  fail warm "warm answer differs from the cold baseline"
+}
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || fail warm "warm daemon exited $rc on SIGTERM (want 0)"
+
+echo "== stale fingerprint: clean rejection, cold serve"
+boot stale --lumping on
+grep -q "fingerprint mismatch" "$WORKDIR/wfmsd_stale.err" \
+  || fail stale "stale snapshot not rejected with a fingerprint message"
+grep -q "warm start" "$WORKDIR/wfmsd_stale.err" \
+  && fail stale "daemon claims a warm start from a stale snapshot"
+assess > "$WORKDIR/stale.json" || fail stale "cold assess exited $?"
+grep -q '"satisfies":true' "$WORKDIR/stale.json" \
+  || fail stale "cold answer after rejection is wrong"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || fail stale "stale daemon exited $rc on SIGTERM (want 0)"
+
+echo "PASS"

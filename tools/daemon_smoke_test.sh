@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the wfmsd daemon surface:
+#   1. boot on an ephemeral port (the stdout handshake reports it);
+#   2. liveness + remote commands through `wfmsctl --connect`;
+#   3. a load-driver burst of hundreds of concurrent pipelined requests —
+#      exit 0 requires every request terminated in exactly one protocol
+#      disposition and the client tallies matched the server counters;
+#   4. hostile input: malformed JSON answers `error` without killing the
+#      connection, an oversized line answers `error` and closes it, a
+#      mid-stream disconnect leaves the daemon serving others;
+#   5. live GET /metrics + /metrics.json scrapes, the JSON one validated
+#      against the checked-in metrics schema;
+#   6. SIGTERM drain: a request in flight when the signal lands is still
+#      answered, the daemon exits 0 and reports a clean drain.
+#
+# usage: daemon_smoke_test.sh <wfmsd> <wfmsctl> <load_driver> <workdir>
+set -u
+
+WFMSD="$1"
+WFMSCTL="$2"
+LOAD_DRIVER="$3"
+WORKDIR="$4/daemon_smoke_test"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+if ! command -v python3 > /dev/null; then
+  echo "SKIP: python3 not available" >&2
+  exit 0
+fi
+
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2> /dev/null; then
+    kill -9 "$DAEMON_PID" 2> /dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*"
+  echo "--- daemon stderr ---"
+  cat "$WORKDIR/wfmsd.err" 2> /dev/null
+  exit 1
+}
+
+echo "== boot"
+"$WFMSD" --port 0 --max-queue 256 \
+  > "$WORKDIR/wfmsd.out" 2> "$WORKDIR/wfmsd.err" &
+DAEMON_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT=$(sed -n 's/^wfmsd: listening on .*:\([0-9]*\)$/\1/p' \
+    "$WORKDIR/wfmsd.out" 2> /dev/null)
+  [ -n "$PORT" ] && break
+  kill -0 "$DAEMON_PID" 2> /dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "no listening handshake on stdout"
+
+echo "== wfmsctl --connect"
+"$WFMSCTL" ping --connect "127.0.0.1:$PORT" > /dev/null \
+  || fail "ping exited $?"
+"$WFMSCTL" assess --connect "127.0.0.1:$PORT" --config 2,2,3 \
+  --max-wait 0.05 --min-avail 0.99 > "$WORKDIR/assess.json" \
+  || fail "remote assess exited $?"
+grep -q '"satisfies":true' "$WORKDIR/assess.json" \
+  || fail "remote assess result lacks satisfies:true"
+
+echo "== load burst"
+"$LOAD_DRIVER" --port "$PORT" --requests 600 --connections 20 \
+  --pipeline 10 --out "$WORKDIR/bench.json" > "$WORKDIR/driver.out" \
+  || fail "load driver exited $? (invariant violation or transport loss)"
+grep -q '"invariants_ok":true' "$WORKDIR/bench.json" \
+  || fail "driver report does not assert invariants_ok"
+
+echo "== hostile input"
+python3 - "$PORT" << 'EOF' || exit 1
+import json, socket, sys
+
+port = int(sys.argv[1])
+
+def connect():
+    s = socket.create_connection(("127.0.0.1", port), timeout=30)
+    return s, s.makefile("r")
+
+def fail(msg):
+    print("FAIL: " + msg)
+    sys.exit(1)
+
+# Malformed JSON answers `error`; the connection survives and still
+# serves a well-formed request afterwards.
+s, r = connect()
+s.sendall(b"this is not json\n")
+resp = json.loads(r.readline())
+if resp.get("status") != "error":
+    fail("malformed line answered %r" % resp.get("status"))
+s.sendall(b'{"id":"after","op":"ping"}\n')
+resp = json.loads(r.readline())
+if resp.get("status") != "completed" or resp.get("id") != "after":
+    fail("connection unusable after a malformed line: %r" % resp)
+s.close()
+
+# An oversized line (> 1 MiB without a newline) answers `error` once and
+# closes the connection (it cannot be resynchronized).
+s, r = connect()
+s.sendall(b"x" * (1 << 21))
+resp = json.loads(r.readline())
+if resp.get("status") != "error":
+    fail("oversized line answered %r" % resp.get("status"))
+if r.readline() != "":
+    fail("connection not closed after an oversized line")
+s.close()
+
+# A mid-stream disconnect (half a request, then a hard close) must not
+# take the daemon down.
+s, _ = connect()
+s.sendall(b'{"id":"torn","op":"ass')
+s.close()
+
+s, r = connect()
+s.sendall(b'{"id":"alive","op":"ping"}\n')
+resp = json.loads(r.readline())
+if resp.get("status") != "completed":
+    fail("daemon unhealthy after a mid-stream disconnect: %r" % resp)
+s.close()
+print("hostile input handled")
+EOF
+[ $? -eq 0 ] || fail "hostile-input checks failed"
+
+echo "== metrics scrapes"
+python3 - "$PORT" "$WORKDIR" << 'EOF' || exit 1
+import socket, sys
+
+port, workdir = int(sys.argv[1]), sys.argv[2]
+
+def scrape(path):
+    s = socket.create_connection(("127.0.0.1", port), timeout=30)
+    s.sendall(("GET %s HTTP/1.0\r\n\r\n" % path).encode())
+    data = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    s.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    if not head.startswith(b"HTTP/1.1 200"):
+        print("FAIL: GET %s answered %s" % (path, head.split(b"\r\n")[0]))
+        sys.exit(1)
+    return body
+
+body = scrape("/metrics")
+if b"wfms_service_requests_total" not in body:
+    print("FAIL: /metrics lacks wfms_service_requests_total")
+    sys.exit(1)
+with open(workdir + "/metrics.json", "wb") as f:
+    f.write(scrape("/metrics.json"))
+if scrape("/healthz").strip() != b"ok":
+    print("FAIL: /healthz not ok")
+    sys.exit(1)
+EOF
+[ $? -eq 0 ] || fail "metrics scrape failed"
+python3 "$TOOLS_DIR/check_observability.py" validate \
+  --schema "$TOOLS_DIR/schemas/metrics_schema.json" \
+  "$WORKDIR/metrics.json" || fail "live /metrics.json fails the schema"
+
+echo "== SIGTERM drain with a request in flight"
+python3 - "$PORT" "$DAEMON_PID" << 'EOF' || exit 1
+import json, os, signal, socket, sys
+
+port, pid = int(sys.argv[1]), int(sys.argv[2])
+s = socket.create_connection(("127.0.0.1", port), timeout=60)
+r = s.makefile("r")
+# An uncached assessment, so the answer is genuinely computed while the
+# daemon is draining.
+s.sendall(json.dumps({
+    "id": "drain", "op": "assess", "scenario": "ep", "config": [3, 1, 3],
+    "max_wait": 0.05, "min_avail": 0.99,
+}).encode() + b"\n")
+os.kill(pid, signal.SIGTERM)
+resp = json.loads(r.readline())
+if resp.get("id") != "drain" or resp.get("status") not in (
+        "completed", "degraded"):
+    print("FAIL: in-flight request lost by the drain: %r" % resp)
+    sys.exit(1)
+print("drained request answered: " + resp["status"])
+EOF
+[ $? -eq 0 ] || fail "drain lost an in-flight request"
+
+wait "$DAEMON_PID"
+rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || fail "daemon exited $rc after SIGTERM (want 0)"
+grep -q "drained cleanly" "$WORKDIR/wfmsd.err" \
+  || fail "daemon did not report a clean drain"
+
+echo "PASS"

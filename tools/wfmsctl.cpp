@@ -35,6 +35,8 @@
 #include "markov/first_passage_moments.h"
 #include "markov/transient_distribution.h"
 #include "perf/performance_model.h"
+#include "service/client.h"
+#include "service/json.h"
 #include "sim/fault_schedule.h"
 #include "sim/load_schedule.h"
 #include "sim/simulator.h"
@@ -49,7 +51,8 @@ namespace {
 // error, 2 usage error, 3 goals not met, 4 bad input (parse or
 // validation, including stale/corrupt checkpoints), 5 numerical solve
 // failure, 6 interrupted by SIGINT/SIGTERM with a final checkpoint
-// written (resume with --resume).
+// written (resume with --resume), 7 deadline exceeded or service
+// unavailable (daemon shed the request or cannot be reached).
 int ExitCodeFor(const Status& status) {
   switch (status.code()) {
     case StatusCode::kParseError:
@@ -62,6 +65,9 @@ int ExitCodeFor(const Status& status) {
       return 5;
     case StatusCode::kCancelled:
       return 6;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return 7;
     default:
       return 1;
   }
@@ -119,6 +125,14 @@ commands:
               drift / goal violations, and re-run the configuration
               search when warranted
   export      print a scenario file for a built-in scenario
+  ping        liveness probe of a running wfmsd (requires --connect)
+
+client mode (assess, recommend, autotune, ping):
+  --connect HOST:PORT    execute the command on a running wfmsd instead
+                         of in-process; scenario files are inlined into
+                         the request, so the daemon needs no file access
+  --tenant NAME          tenant id for the daemon's per-tenant admission
+  --timeout S            response wait per attempt   (default 120)
 
 common flags:
   --scenario  ep | benchmark | <path to scenario file>   (default: ep)
@@ -132,8 +146,10 @@ common flags:
               keeps solves bit-identical to previous releases; auto
               engages aggregation once a chain reaches 32768 states
               (falling back transparently when no symmetry is found)
-  --deadline  search deadline in seconds; on expiry the best-so-far
-              result is reported (recommend)
+  --deadline  wall-clock deadline in seconds. recommend/autotune: bounds
+              the whole search AND each candidate's steady-state solve;
+              on expiry the best-so-far result is reported. assess: bounds
+              the solve itself; on expiry the command fails with exit 7
   --duration / --warmup / --seed / --no-failures   (simulate)
   --faults    fault-schedule file: scripted crash/repair/outage events
               replacing the random failure processes (simulate)
@@ -182,6 +198,7 @@ exit codes:
   1 internal error          4 bad input (parse, validation, or a stale/
   2 usage error               corrupt checkpoint)
   5 numerical solve failure 6 interrupted; checkpoint written (resumable)
+  7 deadline exceeded, request shed by the daemon, or daemon unreachable
 )");
   return 2;
 }
@@ -283,6 +300,17 @@ int Assess(const workflow::Environment& env, const Flags& flags) {
   if (!config.ok()) return FailWith(config.status());
   auto tool_options = ToolOptionsFromFlags(flags);
   if (!tool_options.ok()) return FailWith(tool_options.status());
+  // --deadline bounds the assessment's steady-state solve itself (the
+  // SolveBudget shared across cascade rungs), not just the caller's
+  // patience: on expiry the solve fails with DeadlineExceeded (exit 7).
+  const double deadline = flags.GetDouble("deadline", 0.0);
+  if (deadline > 0.0) {
+    auto& budget = tool_options->availability.solver.budget;
+    if (budget.max_wall_time_seconds <= 0.0 ||
+        deadline < budget.max_wall_time_seconds) {
+      budget.max_wall_time_seconds = deadline;
+    }
+  }
   auto tool = configtool::ConfigurationTool::Create(env, *tool_options);
   if (!tool.ok()) return FailWith(tool.status());
   auto assessment = tool->Assess(*config, GoalsFromFlags(flags));
@@ -604,6 +632,8 @@ int Autotune(const workflow::Environment& env, const Flags& flags) {
   options.controller.annealing.iterations = static_cast<int>(
       flags.GetDouble("iterations", options.controller.annealing.iterations));
   options.controller.max_turnaround = flags.GetDouble("max-turnaround", 0.0);
+  options.controller.search_deadline_seconds =
+      flags.GetDouble("deadline", 0.0);
   options.controller.hysteresis =
       static_cast<int>(flags.GetDouble("hysteresis", 2));
   options.controller.cooldown =
@@ -762,6 +792,127 @@ int ObservabilityEpilogue(int code, const Flags& flags,
   return code;
 }
 
+// Client mode (`--connect HOST:PORT`): the command is executed by a
+// running wfmsd instead of in-process. Only the protocol ops (ping,
+// assess, recommend, autotune) are supported remotely; the scenario is
+// passed by name for the builtins and inlined for scenario files, so the
+// daemon needs no filesystem access. Dispositions map onto the standard
+// exit codes: completed/degraded follow the goal verdict (0 or 3),
+// rejected-overloaded / deadline-exceeded / unreachable exit 7, a server
+// error exits 4.
+int RemoteCommand(const std::string& command, const Flags& flags) {
+  const std::string endpoint = flags.Get("connect", "");
+  const size_t colon = endpoint.rfind(':');
+  int port = 0;
+  if (colon == std::string::npos ||
+      !ParseInt(endpoint.substr(colon + 1), &port) || port <= 0 ||
+      port > 65535) {
+    std::fprintf(stderr, "wfmsctl: bad --connect '%s' (HOST:PORT)\n",
+                 endpoint.c_str());
+    return 2;
+  }
+
+  service::Json request = service::Json::Object();
+  request.Set("id", service::Json::Str("wfmsctl"));
+  request.Set("op", service::Json::Str(command));
+  if (flags.Has("tenant")) {
+    request.Set("tenant", service::Json::Str(flags.Get("tenant", "")));
+  }
+  if (command != "ping") {
+    const std::string scenario = flags.Get("scenario", "ep");
+    if (scenario == "ep" || scenario == "benchmark") {
+      request.Set("scenario", service::Json::Str(scenario));
+    } else {
+      std::ifstream file(scenario);
+      if (!file) {
+        return FailWith(Status::NotFound("cannot open scenario file '" +
+                                         scenario + "'"));
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      request.Set("scenario", service::Json::Str(buffer.str()));
+    }
+    if (flags.Has("config")) {
+      service::Json config = service::Json::Array();
+      for (const std::string& part :
+           SplitString(flags.Get("config", ""), ',')) {
+        int value = 0;
+        if (!ParseInt(part, &value)) {
+          return FailWith(
+              Status::InvalidArgument("bad --config entry '" + part + "'"));
+        }
+        config.Append(service::Json::Number(value));
+      }
+      request.Set("config", config);
+    }
+    request.Set("max_wait",
+                service::Json::Number(flags.GetDouble("max-wait", 0.05)));
+    request.Set("min_avail",
+                service::Json::Number(flags.GetDouble("min-avail", 0.99999)));
+    request.Set("method",
+                service::Json::Str(flags.Get("method", "greedy")));
+    request.Set("max_replicas",
+                service::Json::Number(flags.GetDouble("max-replicas", 8)));
+    request.Set("iterations",
+                service::Json::Number(flags.GetDouble("iterations", 2000)));
+    const double deadline = flags.GetDouble("deadline", 0.0);
+    if (deadline > 0.0) {
+      request.Set("deadline_seconds", service::Json::Number(deadline));
+    }
+    if (command == "autotune") {
+      request.Set("duration",
+                  service::Json::Number(flags.GetDouble("duration", 4000)));
+      request.Set("epoch",
+                  service::Json::Number(flags.GetDouble("epoch", 1000)));
+      request.Set("max_turnaround", service::Json::Number(
+                                        flags.GetDouble("max-turnaround", 0)));
+    }
+  }
+
+  service::ClientOptions client_options;
+  client_options.host = endpoint.substr(0, colon);
+  client_options.port = port;
+  client_options.io_timeout_seconds = flags.GetDouble("timeout", 120.0);
+  service::Client client(client_options);
+  auto response_line = client.Call(request.Dump());
+  if (!response_line.ok()) return FailWith(response_line.status());
+
+  auto response = service::Json::Parse(*response_line);
+  if (!response.ok()) {
+    return FailWith(response.status().WithContext("parsing daemon response"));
+  }
+  const std::string status = response->GetString("status", "");
+  const std::string error = response->GetString("error", "");
+  if (status == "rejected-overloaded") {
+    std::fprintf(stderr, "wfmsctl: request shed by the daemon: %s\n",
+                 error.c_str());
+    return 7;
+  }
+  if (status == "deadline-exceeded") {
+    std::fprintf(stderr, "wfmsctl: %s\n", error.c_str());
+    return 7;
+  }
+  if (status == "error") {
+    std::fprintf(stderr, "wfmsctl: daemon: %s\n", error.c_str());
+    return 4;
+  }
+  if (status == "degraded") {
+    std::fprintf(stderr, "wfmsctl: degraded answer (%s)\n",
+                 response->GetString("degrade_reason", "").c_str());
+  }
+  const service::Json* result = response->Find("result");
+  std::printf("%s\n", result != nullptr ? result->Dump().c_str() : "null");
+  if (result != nullptr) {
+    if (const service::Json* goal = result->Find("satisfies")) {
+      return goal->bool_value() ? 0 : 3;
+    }
+    if (const service::Json* goal = result->Find("satisfied")) {
+      return goal->bool_value() ? 0 : 3;
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -796,6 +947,23 @@ int Main(int argc, char** argv) {
   // Tracing must be on before the command runs; spans recorded while
   // disabled are dropped at the start site, not filtered at export.
   if (flags.Has("trace-out")) trace::SetEnabled(true);
+
+  // Client mode runs before any local scenario resolution — the daemon
+  // owns the scenario (builtins by name, files inlined by RemoteCommand).
+  if (flags.Has("connect")) {
+    if (command == "ping" || command == "assess" || command == "recommend" ||
+        command == "autotune") {
+      return RemoteCommand(command, flags);
+    }
+    std::fprintf(stderr,
+                 "wfmsctl: --connect supports ping, assess, recommend, and "
+                 "autotune\n");
+    return 2;
+  }
+  if (command == "ping") {
+    std::fprintf(stderr, "wfmsctl: ping needs --connect HOST:PORT\n");
+    return 2;
+  }
 
   InstallSignalHandlers();
   const auto run_start = std::chrono::steady_clock::now();

@@ -1,0 +1,175 @@
+// wfmsd — the always-on assessment daemon (see DESIGN.md "Service
+// architecture"): serves the newline-delimited-JSON protocol and
+// GET /metrics scrapes on one TCP port, with admission control, a
+// degradation ladder, per-request deadlines, and a crash-safe shared
+// assessment cache.
+//
+//   wfmsd --port 7414
+//   wfmsd --port 0 --snapshot cache.wfsn --snapshot-interval 0
+//   wfmsd --tenant-rate 50 --tenant-burst 100 --default-deadline 10
+//
+// Prints exactly one line `wfmsd: listening on HOST:PORT` to stdout once
+// the socket is live (scripts parse it — the ephemeral-port handshake).
+// SIGTERM/SIGINT drain gracefully: every admitted request completes and
+// is answered, a final cache snapshot is written, exit code 0. SIGKILL is
+// survivable with --snapshot: the next start restores the cache and
+// answers warm (byte-identically, see tools/daemon_chaos_test.sh).
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "service/server.h"
+
+namespace wfms {
+namespace {
+
+service::Server* g_server = nullptr;
+
+void HandleTerminationSignal(int) {
+  // Async-signal-safe: one write to the server's wake pipe.
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: wfmsd [--flag value]...
+
+  --host HOST            listen address            (default 127.0.0.1)
+  --port PORT            listen port; 0 = ephemeral (default 7414)
+  --workers N            request worker lanes      (default 4, min 2)
+  --max-queue N          worker queue bound; also the base of the
+                         degradation ladder        (default 64)
+  --tenant-rate R        per-tenant admission rate, req/s (0 = off)
+  --tenant-burst B       per-tenant burst          (default 2*rate)
+  --default-deadline S   deadline for requests that carry none (0 = none)
+  --snapshot PATH        persist the shared assessment cache here;
+                         restored on start (warm restart)
+  --snapshot-interval S  seconds between cache snapshots; 0 = after every
+                         cache-changing request    (default 5)
+  --cache-entries N      per-scenario LRU entry bound (default 4096)
+  --cache-bytes N        per-scenario LRU byte bound  (default 64 MiB)
+  --lumping MODE         off | auto | on for the availability solve
+                         (default off)
+
+The protocol and GET /metrics share the port; see DESIGN.md "Service
+architecture" for the request/response format and the disposition
+semantics. Exit codes: 0 clean drain after SIGTERM/SIGINT, 1 startup or
+shutdown failure, 2 usage error.
+)");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  service::ServerOptions options;
+  options.port = 7414;
+  double snapshot_interval = 5.0;
+  bool snapshot_configured = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--host" && (value = next())) {
+      options.host = value;
+    } else if (arg == "--port" && (value = next())) {
+      int port = 0;
+      if (!ParseInt(value, &port) || port < 0 || port > 65535) {
+        std::fprintf(stderr, "wfmsd: bad --port '%s'\n", value);
+        return 2;
+      }
+      options.port = port;
+    } else if (arg == "--workers" && (value = next())) {
+      int n = 0;
+      if (!ParseInt(value, &n) || n < 1) return Usage();
+      options.num_workers = static_cast<size_t>(n);
+    } else if (arg == "--max-queue" && (value = next())) {
+      int n = 0;
+      if (!ParseInt(value, &n) || n < 1) return Usage();
+      options.max_queue = static_cast<size_t>(n);
+    } else if (arg == "--tenant-rate" && (value = next())) {
+      if (!ParseDouble(value, &options.admission.tenant_rate)) return Usage();
+    } else if (arg == "--tenant-burst" && (value = next())) {
+      if (!ParseDouble(value, &options.admission.tenant_burst)) {
+        return Usage();
+      }
+    } else if (arg == "--default-deadline" && (value = next())) {
+      if (!ParseDouble(value, &options.backend.default_deadline_seconds)) {
+        return Usage();
+      }
+    } else if (arg == "--snapshot" && (value = next())) {
+      options.backend.snapshot_path = value;
+      snapshot_configured = true;
+    } else if (arg == "--snapshot-interval" && (value = next())) {
+      if (!ParseDouble(value, &snapshot_interval)) return Usage();
+    } else if (arg == "--cache-entries" && (value = next())) {
+      int n = 0;
+      if (!ParseInt(value, &n) || n < 0) return Usage();
+      options.backend.cache_limits.max_entries = static_cast<size_t>(n);
+    } else if (arg == "--cache-bytes" && (value = next())) {
+      double bytes = 0.0;
+      if (!ParseDouble(value, &bytes) || bytes < 0.0) return Usage();
+      options.backend.cache_limits.max_bytes = static_cast<size_t>(bytes);
+    } else if (arg == "--lumping" && (value = next())) {
+      const std::string mode = value;
+      auto& solver = options.backend.tool_options.availability.solver;
+      if (mode == "off") {
+        solver.lumping = markov::LumpingMode::kOff;
+      } else if (mode == "auto") {
+        solver.lumping = markov::LumpingMode::kAuto;
+      } else if (mode == "on") {
+        solver.lumping = markov::LumpingMode::kOn;
+      } else {
+        std::fprintf(stderr, "wfmsd: bad --lumping '%s' (off|auto|on)\n",
+                     value);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "wfmsd: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  options.snapshot_interval_seconds =
+      snapshot_configured ? snapshot_interval : -1.0;
+  if (options.admission.tenant_rate > 0.0 &&
+      options.admission.tenant_burst <= 0.0) {
+    options.admission.tenant_burst = 2.0 * options.admission.tenant_rate;
+  }
+
+  // A daemon's lifecycle events (warm start, snapshot rejections, drain)
+  // belong on stderr by default; WFMS_LOG_LEVEL still overrides.
+  SetLogLevel(LogLevel::kInfo);
+  InitLogLevelFromEnv();
+
+  service::Server server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "wfmsd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleTerminationSignal);
+  std::signal(SIGINT, HandleTerminationSignal);
+
+  std::printf("wfmsd: listening on %s:%d\n", options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  const Status drained = server.Wait();
+  g_server = nullptr;
+  if (!drained.ok()) {
+    std::fprintf(stderr, "wfmsd: drain failed: %s\n",
+                 drained.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wfmsd: drained cleanly\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace wfms
+
+int main(int argc, char** argv) { return wfms::Main(argc, argv); }
