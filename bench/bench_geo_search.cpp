@@ -1,0 +1,134 @@
+// Geo placement search (DESIGN.md §12): GreedySiteMinCost on the
+// two-site EP scenario, with and without survivability goals, cold vs
+// replayed on the warmed assessment cache, at 1 lane and the pool's
+// default lane count. Reports recommended placement, cost, evaluations,
+// cache hits, and wall-clock time.
+//
+// Usage: bench_geo_search [--benchmark_format=json]
+// The JSON mode emits one machine-readable object per measurement on
+// stdout (an array), for regression tracking.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "configtool/tool.h"
+#include "workflow/scenarios.h"
+
+namespace {
+
+double MillisSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Measurement {
+  std::string goals;
+  std::string mode;
+  std::string config;
+  double cost = 0.0;
+  int evaluations = 0;
+  int cache_hits = 0;
+  bool satisfied = false;
+  double wall_ms = 0.0;
+};
+
+void EmitJson(const std::vector<Measurement>& measurements) {
+  std::printf("[\n");
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::printf("  {\"scenario\": \"geo-ep-2\", \"goals\": \"%s\", "
+                "\"mode\": \"%s\", \"method\": \"greedy-site\", "
+                "\"config\": \"%s\", \"cost\": %.1f, \"evaluations\": %d, "
+                "\"cache_hits\": %d, \"satisfied\": %s, \"wall_ms\": %.3f}%s\n",
+                m.goals.c_str(), m.mode.c_str(), m.config.c_str(), m.cost,
+                m.evaluations, m.cache_hits, m.satisfied ? "true" : "false",
+                m.wall_ms, i + 1 < measurements.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfms;
+
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
+  }
+
+  auto env = workflow::GeoEpEnvironment();
+  if (!env.ok()) {
+    std::fprintf(stderr, "environment: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  auto tool = configtool::ConfigurationTool::Create(*env);
+  if (!tool.ok()) {
+    std::fprintf(stderr, "tool: %s\n", tool.status().ToString().c_str());
+    return 1;
+  }
+
+  struct GoalLevel {
+    const char* name;
+    bool survivability;
+  };
+  const GoalLevel levels[] = {{"steady-state", false}, {"survive-1", true}};
+  const size_t lanes = ThreadPool::DefaultThreadCount();
+  std::vector<Measurement> measurements;
+
+  if (!json) {
+    std::printf("geo placement search (EP on EU/US, greedy-site)\n");
+    std::printf("%-14s %-14s %-16s %5s %6s %5s %9s\n", "goals", "mode",
+                "config", "cost", "evals", "hits", "time[ms]");
+  }
+  for (const GoalLevel& level : levels) {
+    configtool::Goals goals;
+    goals.max_waiting_time = 0.2;
+    goals.min_availability = 0.999;
+    if (level.survivability) {
+      goals.survive_sites = 1;
+      goals.survive_partitions = true;
+      goals.degraded_max_waiting_time = 0.2;
+      goals.degraded_min_availability = 0.995;
+    }
+
+    struct Mode {
+      std::string name;
+      size_t threads;
+      bool clear_cache;
+    };
+    const Mode modes[] = {{"cold/1-lane", 1, true},
+                          {"cold/" + std::to_string(lanes) + "-lane", lanes,
+                           true},
+                          {"warm-cache", lanes, false}};
+    for (const Mode& mode : modes) {
+      tool->set_num_threads(mode.threads);
+      if (mode.clear_cache) tool->ClearAssessmentCache();
+      const auto t0 = std::chrono::steady_clock::now();
+      auto result = tool->GreedySiteMinCost(goals);
+      const double ms = MillisSince(t0);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s %s failed: %s\n", level.name,
+                     mode.name.c_str(), result.status().ToString().c_str());
+        continue;
+      }
+      measurements.push_back({level.name, mode.name,
+                              result->config.ToString(), result->cost,
+                              result->evaluations, result->cache_hits,
+                              result->satisfied, ms});
+      if (!json) {
+        std::printf("%-14s %-14s %-16s %5.0f %6d %5d %9.1f%s\n", level.name,
+                    mode.name.c_str(), result->config.ToString().c_str(),
+                    result->cost, result->evaluations, result->cache_hits,
+                    ms, result->satisfied ? "" : "  (goals unreachable)");
+      }
+    }
+  }
+  if (json) EmitJson(measurements);
+  return 0;
+}

@@ -1,0 +1,22 @@
+# Determinism gate for the geo example programs: run the binary twice and
+# fail unless both runs exit 0 with byte-identical stdout (fixed seeds and
+# single-lane searches make the outputs reproducible by construction).
+# Usage: cmake -DEXE=<path> -P run_twice_compare.cmake
+if(NOT DEFINED EXE)
+  message(FATAL_ERROR "pass -DEXE=<path-to-example-binary>")
+endif()
+execute_process(COMMAND "${EXE}" OUTPUT_VARIABLE first_out
+                RESULT_VARIABLE first_code)
+if(NOT first_code EQUAL 0)
+  message(FATAL_ERROR "${EXE} exited ${first_code} on the first run")
+endif()
+execute_process(COMMAND "${EXE}" OUTPUT_VARIABLE second_out
+                RESULT_VARIABLE second_code)
+if(NOT second_code EQUAL 0)
+  message(FATAL_ERROR "${EXE} exited ${second_code} on the second run")
+endif()
+if(NOT first_out STREQUAL second_out)
+  message(FATAL_ERROR "${EXE} output differs between runs:\n"
+                      "--- first ---\n${first_out}\n"
+                      "--- second ---\n${second_out}")
+endif()

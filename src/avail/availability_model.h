@@ -9,6 +9,16 @@
 // steady state also has a product form (per-type birth-death chains);
 // ProductFormStateProbabilities exposes it as an exact cross-check of the
 // full CTMC solve — and as the fast path for large configurations.
+//
+// Geo-distributed extension (DESIGN.md §12): with a SiteTopology, the
+// CTMC gains one birth-death dimension per (server type, site) placement,
+// a binary up/down dimension per crashing site (the common shock: a
+// site-down state masks every replica at that site simultaneously), and a
+// binary dimension per site pair that can partition. All dimensions stay
+// mutually independent — correlation enters solely through the coverage
+// structure function (workflow::ServingComponent) applied at aggregation
+// time — so the product form remains exact and permutations of
+// identically-parameterized dimensions seed the lumping partition.
 #ifndef WFMS_AVAIL_AVAILABILITY_MODEL_H_
 #define WFMS_AVAIL_AVAILABILITY_MODEL_H_
 
@@ -21,8 +31,55 @@
 #include "markov/steady_state.h"
 #include "workflow/configuration.h"
 #include "workflow/environment.h"
+#include "workflow/sites.h"
 
 namespace wfms::avail {
+
+/// A survivability contingency: evaluate the model conditioned on some
+/// sites being down and/or some site pairs being partitioned for the whole
+/// horizon (the "what if we lose region X" / "what if X and Y split"
+/// questions). Pinned dimensions are removed from the CTMC state space.
+struct SiteContingency {
+  /// Bit a set: site a is down for the entire evaluation.
+  uint64_t down_sites = 0;
+  /// Bit workflow::PairIndex(a, b) set: pair (a, b) is partitioned.
+  uint64_t partitioned_pairs = 0;
+
+  bool none() const { return down_sites == 0 && partitioned_pairs == 0; }
+  bool operator==(const SiteContingency& other) const {
+    return down_sites == other.down_sites &&
+           partitioned_pairs == other.partitioned_pairs;
+  }
+  /// "site EU down", "partition EU|US", or "baseline".
+  std::string ToString(const workflow::SiteTopology& topology) const;
+};
+
+/// How the site-mode CTMC state space is laid out, so consumers
+/// (performability, reporting) can decode states back into
+/// per-(type, site) up counts plus site/partition indicators. Dimensions
+/// 0 .. num_types*num_sites-1 are always the replica counts in type-major
+/// order; sites that cannot change state (never-crashing, or pinned by the
+/// contingency) and pairs that cannot change state carry no dimension and
+/// read from the static masks instead.
+struct SiteStateLayout {
+  bool active = false;
+  size_t num_types = 0;
+  size_t num_sites = 0;
+  /// Per site: CTMC dimension of its up/down indicator, or -1 if static.
+  std::vector<int> site_dim;
+  /// Per pair (workflow::PairIndex order): dimension or -1 if static.
+  std::vector<int> pair_dim;
+  /// Up-state of dimension-less sites (never-crashing sites have their bit
+  /// set; contingency-pinned down sites have it clear).
+  uint64_t static_up_sites = 0;
+  /// Partition-state of dimension-less pairs (contingency-pinned pairs).
+  uint64_t static_partitions = 0;
+
+  /// Decode the site up-mask / partition-mask of an encoded state.
+  uint64_t UpSites(const markov::MixedRadixSpace& space, size_t state) const;
+  uint64_t Partitions(const markov::MixedRadixSpace& space,
+                      size_t state) const;
+};
 
 enum class RepairPolicy {
   /// Every failed server is repaired in parallel: repair rate
@@ -65,14 +122,21 @@ struct AvailabilityReport {
   /// markov/lumping.h); `lumped_states` is then the quotient size.
   bool lumping_applied = false;
   size_t lumped_states = 0;
+  /// Site-mode evaluations only: how to decode `state_probabilities`
+  /// (`active` stays false for the classic single-site model, where
+  /// dimensions are the per-type up counts).
+  SiteStateLayout site_layout;
 };
 
 class AvailabilityModel {
  public:
-  /// Captures per-type failure/repair rates from the registry.
+  /// Captures per-type failure/repair rates from the registry. A non-null
+  /// `topology` enables the geo-distributed path for site-placed
+  /// configurations (it is copied; single-site evaluation is unchanged).
   static Result<AvailabilityModel> Create(
       const workflow::ServerTypeRegistry& servers,
-      const AvailabilityOptions& options = {});
+      const AvailabilityOptions& options = {},
+      const workflow::SiteTopology* topology = nullptr);
 
   /// Evaluates a configuration (replication vector Y). `steady_state_guess`
   /// optionally warm-starts the iterative pi Q = 0 solve: it must be a
@@ -83,10 +147,30 @@ class AvailabilityModel {
   /// non-null, replaces the model's configured steady-state solver options
   /// for this evaluation only — the fault-isolated search uses it to retry
   /// a numerically failed candidate with the exact LU rung.
+  /// Site-placed configurations (config.has_sites() with a topology)
+  /// dispatch to EvaluateSites with an empty contingency; the warm-start
+  /// guess is ignored there (the site state space has a different shape).
   Result<AvailabilityReport> Evaluate(
       const workflow::Configuration& config,
       const linalg::Vector* steady_state_guess = nullptr,
       const markov::SteadyStateOptions* solver_override = nullptr) const;
+
+  /// Geo-distributed evaluation: availability is the steady-state
+  /// probability that some connected component of up sites hosts >= 1 up
+  /// replica of every type (workflow::ServingComponent), optionally
+  /// conditioned on a contingency. `expected_up_servers` then counts only
+  /// replicas inside the serving component (zero while the system is
+  /// down).
+  Result<AvailabilityReport> EvaluateSites(
+      const workflow::Configuration& config,
+      const SiteContingency& contingency = {},
+      const markov::SteadyStateOptions* solver_override = nullptr) const;
+
+  const workflow::SiteTopology& topology() const { return topology_; }
+  /// True when `config` should take the geo-distributed path.
+  bool site_mode(const workflow::Configuration& config) const {
+    return !topology_.empty() && config.has_sites();
+  }
 
   /// Per-type distribution of up servers via the birth-death closed form.
   Result<linalg::Vector> PerTypeDistribution(size_t type_index,
@@ -113,14 +197,22 @@ class AvailabilityModel {
 
  private:
   AvailabilityModel(linalg::Vector failures, linalg::Vector repairs,
-                    AvailabilityOptions options)
+                    AvailabilityOptions options,
+                    workflow::SiteTopology topology)
       : failure_rates_(std::move(failures)),
         repair_rates_(std::move(repairs)),
-        options_(options) {}
+        options_(options),
+        topology_(std::move(topology)) {}
+
+  /// Stationary distribution of one birth-death dimension of the site
+  /// chain: up-count of `bound` replicas of type `type_index`.
+  Result<linalg::Vector> ReplicaDimDistribution(size_t type_index,
+                                                int bound) const;
 
   linalg::Vector failure_rates_;
   linalg::Vector repair_rates_;
   AvailabilityOptions options_;
+  workflow::SiteTopology topology_;
 };
 
 }  // namespace wfms::avail

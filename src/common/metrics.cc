@@ -312,7 +312,10 @@ std::string MetricsRegistry::SanitizeName(std::string_view name) {
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     out += ok ? c : '_';
   }
-  if (out.empty()) out = "_";
+  // push_back instead of assigning a literal: GCC 12's -Wrestrict sees a
+  // potential self-overlap in the literal assignment and -Werror trips on
+  // the false positive (GCC PR105329).
+  if (out.empty()) out.push_back('_');
   if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
   return out;
 }

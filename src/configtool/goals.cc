@@ -26,6 +26,14 @@ Status Goals::Validate(size_t num_types) const {
                                      workflow + "' must be positive");
     }
   }
+  if (survive_sites < 0 || survive_sites > 1) {
+    return Status::InvalidArgument(
+        "survive-sites supports 0 (off) or 1 (any single site loss)");
+  }
+  if (degraded_min_availability >= 1.0) {
+    return Status::InvalidArgument(
+        "degraded availability goal must be below 1");
+  }
   return Status::OK();
 }
 

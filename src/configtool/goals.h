@@ -31,6 +31,32 @@ struct Goals {
   /// D_t = sum_x r_{x,t} * W^Y_x. Unlisted workflow types are unbounded.
   std::map<std::string, double> max_instance_delay;
 
+  // --- Survivability goals (multi-site environments, DESIGN.md §12) ---
+  /// Number of simultaneous whole-site losses the goals must survive:
+  /// 1 re-assesses every single-site-loss contingency against the
+  /// degraded goals below (0 disables; only 0 and 1 are supported).
+  int survive_sites = 0;
+  /// Re-assess every two-way partition contingency against the degraded
+  /// goals.
+  bool survive_partitions = false;
+  /// Goal thresholds applied *under a contingency*; <= 0 means "inherit
+  /// the corresponding base goal". Operators typically relax these — a
+  /// region loss may justify slower responses, not an outage.
+  double degraded_max_waiting_time = 0.0;
+  double degraded_min_availability = -1.0;
+
+  bool wants_survivability() const {
+    return survive_sites > 0 || survive_partitions;
+  }
+  double DegradedWaitingThreshold() const {
+    return degraded_max_waiting_time > 0.0 ? degraded_max_waiting_time
+                                           : max_waiting_time;
+  }
+  double DegradedAvailabilityGoal() const {
+    return degraded_min_availability >= 0.0 ? degraded_min_availability
+                                            : min_availability;
+  }
+
   Status Validate(size_t num_types) const;
   /// Effective threshold for server type x.
   double WaitingThreshold(size_t x) const;

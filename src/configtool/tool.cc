@@ -101,6 +101,39 @@ Status SearchConstraints::Validate(size_t num_types) const {
   return Status::OK();
 }
 
+Status SiteSearchConstraints::Validate(size_t num_types,
+                                       size_t num_sites) const {
+  if (num_sites == 0) {
+    return Status::InvalidArgument(
+        "site placement search needs a multi-site environment");
+  }
+  if (!min_per_site.empty() &&
+      min_per_site.size() != num_types * num_sites) {
+    return Status::InvalidArgument(
+        "min_per_site must have num_types * num_sites entries");
+  }
+  if (max_per_type < 1) {
+    return Status::InvalidArgument("max replicas per type must be >= 1");
+  }
+  for (size_t x = 0; x < num_types; ++x) {
+    int total = 0;
+    for (size_t a = 0; a < num_sites; ++a) {
+      const int m = MinFor(x, a, num_sites);
+      if (m < 0) {
+        return Status::InvalidArgument(
+            "per-site minimum placement must be >= 0");
+      }
+      total += m;
+    }
+    if (total > max_per_type) {
+      return Status::InvalidArgument(
+          "per-site minimums for server type " + std::to_string(x) +
+          " exceed the per-type maximum of " + std::to_string(max_per_type));
+    }
+  }
+  return Status::OK();
+}
+
 /// Memoized goal-independent assessments, keyed by the replication vector.
 /// The report for a configuration is a pure function of the environment, so
 /// cache hits are exact, not approximations. Guarded by a mutex: entries are
@@ -377,11 +410,18 @@ Result<Assessment> ConfigurationTool::AssessInternal(
   WFMS_RETURN_NOT_OK(config.Validate(k));
 
   if (cache_hit != nullptr) *cache_hit = false;
-  if (auto cached = cache_->Lookup(config.replicas)) {
+  // Site-placed configurations key the cache by replicas ++ {-1} ++
+  // site_counts, so a placement and its aggregate never collide.
+  const std::vector<int> key = config.CacheKey();
+  if (auto cached = cache_->Lookup(key)) {
     cache_->hits.fetch_add(1);
     CacheHitsTotal().Increment();
     if (cache_hit != nullptr) *cache_hit = true;
-    return BuildAssessment(config, *std::move(cached), goals, cost);
+    Assessment assessment =
+        BuildAssessment(config, *std::move(cached), goals, cost);
+    WFMS_RETURN_NOT_OK(
+        ApplySurvivability(&assessment, goals, solver_override));
+    return assessment;
   }
   cache_->misses.fetch_add(1);
   CacheMissesTotal().Increment();
@@ -393,8 +433,80 @@ Result<Assessment> ConfigurationTool::AssessInternal(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     eval_start)
           .count());
-  report = cache_->Insert(config.replicas, std::move(report));
-  return BuildAssessment(config, std::move(report), goals, cost);
+  report = cache_->Insert(key, std::move(report));
+  Assessment assessment =
+      BuildAssessment(config, std::move(report), goals, cost);
+  WFMS_RETURN_NOT_OK(ApplySurvivability(&assessment, goals, solver_override));
+  return assessment;
+}
+
+Status ConfigurationTool::ApplySurvivability(
+    Assessment* assessment, const Goals& goals,
+    const markov::SteadyStateOptions* solver_override) const {
+  const workflow::Configuration& config = assessment->config;
+  if (!goals.wants_survivability() ||
+      !model_.availability().site_mode(config)) {
+    return Status::OK();
+  }
+  const workflow::SiteTopology& topology = model_.availability().topology();
+  const size_t s = topology.num_sites();
+
+  // Enumerate the requested contingencies in a fixed order: every
+  // single-site loss first, then every two-way partition.
+  std::vector<avail::SiteContingency> contingencies;
+  if (goals.survive_sites > 0) {
+    for (size_t a = 0; a < s; ++a) {
+      avail::SiteContingency c;
+      c.down_sites = uint64_t{1} << a;
+      contingencies.push_back(c);
+    }
+  }
+  if (goals.survive_partitions) {
+    for (size_t a = 0; a < s; ++a) {
+      for (size_t b = a + 1; b < s; ++b) {
+        avail::SiteContingency c;
+        c.partitioned_pairs = uint64_t{1} << workflow::PairIndex(a, b, s);
+        contingencies.push_back(c);
+      }
+    }
+  }
+
+  const double degraded_wait = goals.DegradedWaitingThreshold();
+  const double degraded_avail = goals.DegradedAvailabilityGoal();
+  assessment->contingencies.clear();
+  assessment->contingencies.reserve(contingencies.size());
+  assessment->meets_survivability_goal = true;
+  for (const avail::SiteContingency& contingency : contingencies) {
+    // Each contingency's report is memoized under its own fingerprint:
+    // the configuration key extended by a -2 marker and the two masks.
+    std::vector<int> key = config.CacheKey();
+    key.push_back(-2);
+    key.push_back(static_cast<int>(contingency.down_sites));
+    key.push_back(static_cast<int>(contingency.partitioned_pairs));
+    performability::PerformabilityReport report;
+    if (auto cached = cache_->Lookup(key)) {
+      cache_->hits.fetch_add(1);
+      CacheHitsTotal().Increment();
+      report = *std::move(cached);
+    } else {
+      cache_->misses.fetch_add(1);
+      CacheMissesTotal().Increment();
+      WFMS_ASSIGN_OR_RETURN(
+          report, model_.Evaluate(config, /*avail_guess=*/nullptr,
+                                  solver_override, &contingency));
+      report = cache_->Insert(key, std::move(report));
+    }
+    ContingencyAssessment verdict;
+    verdict.contingency = contingency;
+    verdict.label = contingency.ToString(topology);
+    verdict.availability = report.availability;
+    verdict.max_expected_waiting = report.max_expected_waiting;
+    verdict.satisfied = report.availability >= degraded_avail &&
+                        report.max_expected_waiting <= degraded_wait;
+    if (!verdict.satisfied) assessment->meets_survivability_goal = false;
+    assessment->contingencies.push_back(std::move(verdict));
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -443,6 +555,9 @@ void AppendFailure(const Assessment& assessment, SearchResult* result) {
 /// cap, i.e. an exact retry is worth attempting.
 bool FitsDenseCap(const Configuration& config, size_t cap) {
   if (cap == 0) return false;
+  // Site-placed state spaces carry extra site/partition dimensions the
+  // replica product below does not see; skip the exact retry for them.
+  if (config.has_sites()) return false;
   size_t states = 1;
   for (int r : config.replicas) {
     states *= static_cast<size_t>(r) + 1;
@@ -596,7 +711,7 @@ Result<Assessment> ConfigurationTool::AssessIsolated(
   WFMS_RETURN_NOT_OK(config.Validate(k));
 
   if (cache_hit != nullptr) *cache_hit = false;
-  if (auto failed = cache_->LookupFailure(config.replicas)) {
+  if (auto failed = cache_->LookupFailure(config.CacheKey())) {
     cache_->hits.fetch_add(1);
     CacheHitsTotal().Increment();
     if (cache_hit != nullptr) *cache_hit = true;
@@ -655,16 +770,22 @@ Result<Assessment> ConfigurationTool::AssessIsolated(
     lu_options.budget = {};
     auto exact = model_.Evaluate(config, /*avail_guess=*/nullptr, &lu_options);
     if (exact.ok()) {
-      auto report = cache_->Insert(config.replicas, *std::move(exact));
+      auto report = cache_->Insert(config.CacheKey(), *std::move(exact));
       Assessment assessment =
           BuildAssessment(config, std::move(report), goals, cost);
       assessment.retried_exact = true;
-      return assessment;
+      Status applied = ApplySurvivability(&assessment, goals, &lu_options);
+      if (!applied.ok()) {
+        cause = applied.WithContext("after exact LU retry");
+      } else {
+        return assessment;
+      }
+    } else {
+      cause = exact.status().WithContext("exact LU retry also failed; first " +
+                                         cause.ToString());
     }
-    cause = exact.status().WithContext("exact LU retry also failed; first " +
-                                       cause.ToString());
   }
-  auto stored = cache_->InsertFailure(config.replicas,
+  auto stored = cache_->InsertFailure(config.CacheKey(),
                                       {std::move(cause), numerical, retried});
   return FailedAssessment(config, cost, std::move(stored.error),
                           stored.numerical, stored.retried_exact);
@@ -796,6 +917,26 @@ double ConfigurationTool::ViolationMeasure(const Assessment& assessment,
       violation += (delay - bound->second) / bound->second;
     }
   }
+  // Survivability: each contingency that misses its degraded goals adds
+  // its own shortfall, so placements that survive more contingencies rank
+  // strictly better even while none fully satisfies.
+  const double degraded_wait = goals.DegradedWaitingThreshold();
+  const double degraded_unavail = 1.0 - goals.DegradedAvailabilityGoal();
+  for (const ContingencyAssessment& c : assessment.contingencies) {
+    if (c.satisfied) continue;
+    const double w = c.max_expected_waiting;
+    if (std::isinf(w) || std::isnan(w)) {
+      violation += 10.0;
+    } else if (w > degraded_wait) {
+      violation += (w - degraded_wait) / degraded_wait;
+    }
+    const double unavail = 1.0 - c.availability;
+    if (unavail > degraded_unavail && degraded_unavail > 0.0) {
+      violation += std::log10(unavail / degraded_unavail);
+    } else if (degraded_unavail <= 0.0 && unavail > 0.0) {
+      violation += 1.0;
+    }
+  }
   return violation;
 }
 
@@ -815,6 +956,9 @@ linalg::Vector WarmStartGuess(const Assessment& parent,
   const linalg::Vector& parent_pi =
       parent.performability.avail_state_probabilities;
   if (parent_pi.empty()) return {};
+  // Site-placed state spaces are not the replica mixed-radix space the
+  // projection below assumes; the site path cold-starts instead.
+  if (parent.config.has_sites() || child.has_sites()) return {};
   auto parent_space = markov::MixedRadixSpace::Create(parent.config.replicas);
   auto child_space = markov::MixedRadixSpace::Create(child.replicas);
   if (!parent_space.ok() || !child_space.ok()) return {};
@@ -991,6 +1135,120 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
     }
 
     if (!added) break;  // every critical type is capped or failed
+  }
+
+  result.config = config;
+  result.cost = cost.Cost(config.replicas);
+  result.satisfied = assessment.Satisfies();
+  result.assessment = std::move(assessment);
+  return result;
+}
+
+Result<SearchResult> ConfigurationTool::GreedySiteMinCost(
+    const Goals& goals, const SiteSearchConstraints& constraints,
+    const CostModel& cost, const SearchOptions& search_in) const {
+  const SearchOptions search = NormalizedDeadline(search_in);
+  const size_t k = env_->num_server_types();
+  const workflow::SiteTopology& topology = model_.availability().topology();
+  const size_t s = topology.num_sites();
+  if (s == 0) {
+    return Status::InvalidArgument(
+        "site placement search needs an environment with a sites section");
+  }
+  WFMS_RETURN_NOT_OK(constraints.Validate(k, s));
+
+  // Start from the per-site minimums, raising each all-zero type to one
+  // replica at the lowest site index so the configuration is valid.
+  std::vector<int> counts(k * s, 0);
+  for (size_t x = 0; x < k; ++x) {
+    int total = 0;
+    for (size_t a = 0; a < s; ++a) {
+      counts[x * s + a] = constraints.MinFor(x, a, s);
+      total += counts[x * s + a];
+    }
+    if (total == 0) counts[x * s] = 1;
+  }
+  Configuration config = Configuration::FromSiteCounts(std::move(counts), s);
+
+  SearchResult result;
+  SearchScope scope("greedy_site", &result);
+  SearchBoundary boundary(search);
+  WFMS_ASSIGN_OR_RETURN(
+      Assessment assessment,
+      AssessCounted(config, goals, cost, /*avail_guess=*/nullptr, search,
+                    &result));
+
+  while (!assessment.Satisfies()) {
+    if (boundary.ShouldStop("greedy-site", &result)) break;
+    // Admissible +1 neighbors: one more replica of type x at site a,
+    // subject to the per-type total cap. Enumerated (type, site)-ascending
+    // so index order is the deterministic tie-break below.
+    std::vector<Configuration> wave;
+    wave.reserve(k * s);
+    for (size_t x = 0; x < k; ++x) {
+      if (config.replicas[x] >= constraints.max_per_type) continue;
+      for (size_t a = 0; a < s; ++a) {
+        std::vector<int> next = config.site_counts;
+        ++next[x * s + a];
+        wave.push_back(Configuration::FromSiteCounts(std::move(next), s));
+      }
+    }
+    // Coverage moves: a single +1 can never lift a contingency whose
+    // surviving component is missing a whole server type (its availability
+    // stays 0 however many replicas the covered types gain), so the +1
+    // landscape is flat exactly where survivability needs progress. Per
+    // site, also offer the smallest move that completes coverage there:
+    // one replica of every type the site lacks.
+    if (goals.wants_survivability()) {
+      for (size_t a = 0; a < s; ++a) {
+        std::vector<int> next = config.site_counts;
+        bool changed = false;
+        bool feasible = true;
+        for (size_t x = 0; x < k; ++x) {
+          if (next[x * s + a] > 0) continue;
+          if (config.replicas[x] >= constraints.max_per_type) {
+            feasible = false;
+            break;
+          }
+          ++next[x * s + a];
+          changed = true;
+        }
+        if (feasible && changed) {
+          wave.push_back(Configuration::FromSiteCounts(std::move(next), s));
+        }
+      }
+    }
+    if (wave.empty()) break;  // every type is at its cap
+    WFMS_ASSIGN_OR_RETURN(
+        std::vector<Assessment> assessed,
+        AssessBatchInternal(wave, goals, cost, search, &result));
+    // Pick: a satisfying candidate with the lowest cost wins; otherwise
+    // the candidate with the smallest remaining goal violation
+    // (survivability contingencies included). Strict comparisons keep the
+    // lowest (type, site) index on ties.
+    size_t pick = SIZE_MAX;
+    bool pick_satisfies = false;
+    double pick_cost = 0.0;
+    double pick_violation = 0.0;
+    for (size_t i = 0; i < assessed.size(); ++i) {
+      if (!assessed[i].error.ok()) continue;  // recorded and skipped
+      const bool satisfies = assessed[i].Satisfies();
+      const double violation = ViolationMeasure(assessed[i], goals);
+      const bool better =
+          pick == SIZE_MAX || (satisfies && !pick_satisfies) ||
+          (satisfies == pick_satisfies &&
+           (satisfies ? assessed[i].cost < pick_cost
+                      : violation < pick_violation));
+      if (better) {
+        pick = i;
+        pick_satisfies = satisfies;
+        pick_cost = assessed[i].cost;
+        pick_violation = violation;
+      }
+    }
+    if (pick == SIZE_MAX) break;  // the whole frontier failed assessment
+    config = wave[pick];
+    assessment = std::move(assessed[pick]);
   }
 
   result.config = config;
@@ -1324,9 +1582,22 @@ std::string ConfigurationTool::RenderRecommendation(
      << result.config.ToString() << " (cost " << result.cost << ", "
      << result.evaluations << " evaluations)\n";
   const auto& waiting = result.assessment.performability.expected_waiting;
+  const workflow::SiteTopology& topology = env_->topology;
+  const bool sited = result.config.has_sites() && !topology.empty();
   for (size_t x = 0; x < env_->num_server_types(); ++x) {
     os << "  " << env_->servers.type(x).name << ": " << result.config.replicas[x]
-       << " server(s), W = ";
+       << " server(s)";
+    if (sited) {
+      os << " [";
+      const size_t s = topology.num_sites();
+      for (size_t a = 0; a < s; ++a) {
+        if (a > 0) os << ", ";
+        os << topology.sites[a].name << "="
+           << result.config.SiteCount(x, a);
+      }
+      os << "]";
+    }
+    os << ", W = ";
     if (x >= waiting.size()) {
       os << "unknown";  // the final assessment failed; no waiting data
     } else if (std::isinf(waiting[x])) {
@@ -1345,6 +1616,19 @@ std::string ConfigurationTool::RenderRecommendation(
   } else {
     os << "  assessment failed: " << result.assessment.error.ToString()
        << "\n";
+  }
+  if (!result.assessment.contingencies.empty()) {
+    os << "  survivability:\n";
+    for (const ContingencyAssessment& c : result.assessment.contingencies) {
+      os << "    " << c.label << ": availability " << c.availability
+         << ", W = ";
+      if (std::isinf(c.max_expected_waiting)) {
+        os << "saturated";
+      } else {
+        os << FormatMinutes(c.max_expected_waiting);
+      }
+      os << (c.satisfied ? " [ok]" : " [violated]") << "\n";
+    }
   }
   if (!result.failed_candidates.empty()) {
     os << "  " << result.failed_candidates.size()

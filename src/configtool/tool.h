@@ -53,6 +53,37 @@ struct SearchConstraints {
   Status Validate(size_t num_types) const;
 };
 
+/// Bounds on the per-site placement search (GreedySiteMinCost). Placement
+/// vectors are type-major: entry x * num_sites + a is the replica count of
+/// server type x at site a.
+struct SiteSearchConstraints {
+  /// Minimum replicas per (type, site); empty means all 0. Expresses data
+  /// residency or anchoring constraints ("the EU site always keeps one
+  /// workflow server").
+  std::vector<int> min_per_site;
+  /// Upper bound on the *total* replicas of each server type across all
+  /// sites.
+  int max_per_type = 8;
+
+  int MinFor(size_t x, size_t a, size_t num_sites) const {
+    const size_t i = x * num_sites + a;
+    return i < min_per_site.size() ? min_per_site[i] : 0;
+  }
+  Status Validate(size_t num_types, size_t num_sites) const;
+};
+
+/// Verdict of one contingency (single-site loss or two-way partition)
+/// re-evaluation against the degraded goals (DESIGN.md §12).
+struct ContingencyAssessment {
+  avail::SiteContingency contingency;
+  /// Human-readable form ("site EU down", "partition EU|US").
+  std::string label;
+  double availability = 0.0;
+  double max_expected_waiting = 0.0;
+  /// Both degraded goals hold under this contingency.
+  bool satisfied = false;
+};
+
 /// Verdict of one configuration against the goals.
 struct Assessment {
   workflow::Configuration config;
@@ -62,6 +93,14 @@ struct Assessment {
   bool meets_availability_goal = false;
   bool meets_saturation_goal = false;
   bool meets_instance_delay_goal = true;
+  /// Per-contingency verdicts when the goals ask for survivability and the
+  /// configuration is site-placed; empty otherwise. Each contingency's
+  /// report is memoized under its own cache fingerprint.
+  std::vector<ContingencyAssessment> contingencies;
+  /// False when any requested contingency misses the degraded goals.
+  /// Vacuously true for single-site configurations (survivability is a
+  /// property of a placement; classic searches are unaffected).
+  bool meets_survivability_goal = true;
   /// Expected queueing delay per workflow-type instance under W^Y
   /// (aligned with the environment's workflow list).
   linalg::Vector instance_delays;
@@ -79,7 +118,8 @@ struct Assessment {
 
   bool Satisfies() const {
     return error.ok() && meets_waiting_goal && meets_availability_goal &&
-           meets_saturation_goal && meets_instance_delay_goal;
+           meets_saturation_goal && meets_instance_delay_goal &&
+           meets_survivability_goal;
   }
 };
 
@@ -256,6 +296,20 @@ class ConfigurationTool {
       const CostModel& cost = CostModel::Uniform(),
       const SearchOptions& search = {}) const;
 
+  /// Greedy minimum-cost search over per-site placements (DESIGN.md §12):
+  /// grows one replica of one (type, site) pair per step, assessing every
+  /// admissible +1 neighbor in parallel and picking deterministically —
+  /// a satisfying candidate with the lowest cost (then lowest (type, site)
+  /// index) wins; otherwise the candidate with the smallest remaining goal
+  /// violation (survivability contingencies included). Requires a
+  /// multi-site environment; honors `goals.survive_sites` /
+  /// `goals.survive_partitions` via the per-contingency re-assessment in
+  /// Assess. Deadline/cancel are polled at step boundaries.
+  Result<SearchResult> GreedySiteMinCost(
+      const Goals& goals, const SiteSearchConstraints& constraints = {},
+      const CostModel& cost = CostModel::Uniform(),
+      const SearchOptions& search = {}) const;
+
   /// Human-readable recommendation (§7.1's "recommendations" component).
   std::string RenderRecommendation(const SearchResult& result) const;
 
@@ -375,6 +429,14 @@ class ConfigurationTool {
   Assessment BuildAssessment(const workflow::Configuration& config,
                              performability::PerformabilityReport report,
                              const Goals& goals, const CostModel& cost) const;
+  /// When the goals ask for survivability and `assessment->config` is
+  /// site-placed, re-evaluates every requested contingency (each memoized
+  /// under its own cache fingerprint: CacheKey() ++ {-2, down_mask,
+  /// part_mask}) and fills `contingencies` / `meets_survivability_goal`.
+  /// No-op otherwise.
+  Status ApplySurvivability(
+      Assessment* assessment, const Goals& goals,
+      const markov::SteadyStateOptions* solver_override) const;
   /// Speculatively assesses every admissible +1 neighbor of `config` on
   /// the pool (warm-started from `parent`), blocking until the cache holds
   /// them all. No-op with a single lane.

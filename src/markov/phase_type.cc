@@ -61,7 +61,13 @@ Result<ErlangExpansion> ExpandErlangStages(const AbsorbingCtmc& chain,
       is_first[idx] = (s == 0);
       h[idx] = stage_time;
       names[idx] = chain.state_name(i);
-      if (k > 1) names[idx] += "#" + std::to_string(s + 1);
+      // Appended in two steps: GCC 12's -Wrestrict flags the fused
+      // literal+number concatenation as a potential self-overlap and
+      // -Werror trips on the false positive (GCC PR105329).
+      if (k > 1) {
+        names[idx] += '#';
+        names[idx] += std::to_string(s + 1);
+      }
       if (s + 1 < k) {
         p.At(idx, idx + 1) = 1.0;  // advance to next stage
       } else if (i != chain.absorbing_state()) {

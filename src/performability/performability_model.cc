@@ -19,14 +19,26 @@ Result<PerformabilityModel> PerformabilityModel::Create(
                         perf::PerformanceModel::Create(env, options.analysis));
   WFMS_ASSIGN_OR_RETURN(
       avail::AvailabilityModel availability,
-      avail::AvailabilityModel::Create(env.servers, options.availability));
+      avail::AvailabilityModel::Create(env.servers, options.availability,
+                                       &env.topology));
   return PerformabilityModel(std::move(perf), std::move(availability),
                              options);
 }
 
 Result<PerformabilityReport> PerformabilityModel::Evaluate(
     const Configuration& config, const linalg::Vector* avail_guess,
-    const markov::SteadyStateOptions* solver_override) const {
+    const markov::SteadyStateOptions* solver_override,
+    const avail::SiteContingency* contingency) const {
+  if (avail_.site_mode(config)) {
+    (void)avail_guess;  // site state spaces have their own shape
+    return EvaluateSitePath(
+        config, contingency != nullptr ? *contingency : avail::SiteContingency{},
+        solver_override);
+  }
+  if (contingency != nullptr && !contingency->none()) {
+    return Status::InvalidArgument(
+        "site contingency supplied for a single-site configuration");
+  }
   auto& registry = metrics::MetricsRegistry::Global();
   static metrics::Counter& evaluations =
       registry.GetCounter("wfms_performability_evaluations_total");
@@ -117,6 +129,138 @@ Result<PerformabilityReport> PerformabilityModel::Evaluate(
   }
 
   report.avail_state_probabilities = std::move(avail_report.state_probabilities);
+  report.expected_waiting.assign(k,
+                                 std::numeric_limits<double>::infinity());
+  report.max_expected_waiting = std::numeric_limits<double>::infinity();
+  if (accumulated_mass > 0.0) {
+    report.max_expected_waiting = 0.0;
+    for (size_t x = 0; x < k; ++x) {
+      report.expected_waiting[x] = weighted[x] / accumulated_mass;
+      report.max_expected_waiting =
+          std::max(report.max_expected_waiting, report.expected_waiting[x]);
+    }
+  }
+  evaluate_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return report;
+}
+
+Result<PerformabilityReport> PerformabilityModel::EvaluateSitePath(
+    const Configuration& config, const avail::SiteContingency& contingency,
+    const markov::SteadyStateOptions* solver_override) const {
+  auto& registry = metrics::MetricsRegistry::Global();
+  static metrics::Counter& evaluations =
+      registry.GetCounter("wfms_performability_site_evaluations_total");
+  static metrics::Histogram& evaluate_seconds =
+      registry.GetHistogram("wfms_performability_evaluate_seconds");
+  evaluations.Increment();
+  trace::TraceSpan span("performability/evaluate_sites", "performability");
+  const auto start = std::chrono::steady_clock::now();
+
+  const workflow::Environment& env = perf_.environment();
+  const size_t k = env.num_server_types();
+  const size_t s = env.topology.num_sites();
+  WFMS_RETURN_NOT_OK(config.ValidateSites(k, s));
+
+  WFMS_ASSIGN_OR_RETURN(
+      avail::AvailabilityReport avail_report,
+      avail_.EvaluateSites(config, contingency, solver_override));
+  const avail::SiteStateLayout& layout = avail_report.site_layout;
+
+  // Per-type waiting time depends only on the type's *effective* up-count
+  // (replicas inside the serving component); tabulate w_x(c) for
+  // c = 1..Y_x once. Communication servers pay the mean cross-site latency
+  // of the placement as a deterministic service-time shift (a constant
+  // across CTMC states — the per-state routing detail is below the
+  // resolution of the M/G/1 layer and documented in DESIGN.md §12).
+  constexpr double kSaturatedMarker =
+      std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> wait_table(k);
+  const Vector& rates = perf_.total_request_rates();
+  for (size_t x = 0; x < k; ++x) {
+    queueing::ServiceMoments moments = env.servers.type(x).service;
+    if (env.servers.type(x).kind ==
+        workflow::ServerKind::kCommunicationServer) {
+      moments = queueing::ShiftService(
+          moments, workflow::MeanCrossSiteLatency(env.topology,
+                                                  config.site_counts, x));
+    }
+    wait_table[x].resize(static_cast<size_t>(config.replicas[x]) + 1, 0.0);
+    for (int c = 1; c <= config.replicas[x]; ++c) {
+      const double per_server = rates[x] / static_cast<double>(c);
+      auto queue = queueing::Mg1Metrics(per_server, moments);
+      if (queue.ok()) {
+        wait_table[x][static_cast<size_t>(c)] = queue->mean_waiting_time;
+      } else if (queue.status().code() == StatusCode::kFailedPrecondition) {
+        wait_table[x][static_cast<size_t>(c)] = kSaturatedMarker;
+      } else {
+        return queue.status();
+      }
+    }
+  }
+
+  PerformabilityReport report;
+  report.availability = avail_report.availability;
+  report.prob_down = avail_report.unavailability;
+  report.solver_iterations = avail_report.solver_iterations;
+  report.avail_solver_method = avail_report.solver_method;
+  report.avail_solver_diagnostics = avail_report.solver_diagnostics;
+  report.full_config_waiting.assign(k, 0.0);
+  for (size_t x = 0; x < k; ++x) {
+    report.full_config_waiting[x] =
+        wait_table[x][static_cast<size_t>(config.replicas[x])];
+  }
+
+  // MRM accumulation: each state's reward uses the per-type up-counts
+  // summed over the serving component only; states with no covering
+  // component are down.
+  Vector weighted(k, 0.0);
+  double accumulated_mass = 0.0;
+  const auto& space = avail_report.space;
+  std::vector<int> up_counts(k * s, 0);
+  std::vector<size_t> effective(k, 0);
+  for (size_t i = 0; i < space.size(); ++i) {
+    const double pi = avail_report.state_probabilities[i];
+    if (pi <= 0.0) continue;
+    for (size_t d = 0; d < k * s; ++d) {
+      up_counts[d] = space.Component(i, d);
+    }
+    const uint64_t serving = workflow::ServingComponent(
+        k, s, up_counts.data(), layout.UpSites(space, i),
+        layout.Partitions(space, i));
+    if (serving == 0) continue;  // down; accounted for by prob_down
+    bool saturated = false;
+    bool degraded = false;
+    for (size_t x = 0; x < k; ++x) {
+      size_t c = 0;
+      for (size_t a = 0; a < s; ++a) {
+        if (serving & (uint64_t{1} << a)) {
+          c += static_cast<size_t>(up_counts[x * s + a]);
+        }
+      }
+      effective[x] = c;  // >= 1: the serving component covers every type
+      if (std::isinf(wait_table[x][c])) saturated = true;
+      if (c < static_cast<size_t>(config.replicas[x])) degraded = true;
+    }
+    if (saturated) {
+      report.prob_saturated += pi;
+      if (options_.saturation_policy ==
+          SaturationPolicy::kConditionOnStable) {
+        continue;
+      }
+    } else if (degraded) {
+      report.prob_degraded += pi;
+    }
+    for (size_t x = 0; x < k; ++x) {
+      const double w = wait_table[x][effective[x]];
+      weighted[x] += pi * (std::isinf(w) ? options_.penalty_waiting_time : w);
+    }
+    accumulated_mass += pi;
+  }
+
+  report.avail_state_probabilities =
+      std::move(avail_report.state_probabilities);
   report.expected_waiting.assign(k,
                                  std::numeric_limits<double>::infinity());
   report.max_expected_waiting = std::numeric_limits<double>::infinity();

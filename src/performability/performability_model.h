@@ -95,10 +95,19 @@ class PerformabilityModel {
   /// used by the fault-isolated search to retry a numerically failed
   /// candidate with the exact LU rung. Evaluate is const and safe to call
   /// concurrently.
+  /// Site-placed configurations (config.has_sites() in a multi-site
+  /// environment) take the geo path: communication-server service moments
+  /// are inflated by the mean cross-site latency of the placement, states
+  /// are decoded through the coverage structure function (only replicas in
+  /// the serving component count toward each type's effective up-count),
+  /// and `contingency` optionally conditions the whole evaluation on a
+  /// site loss / partition scenario. Passing a non-trivial contingency for
+  /// a single-site configuration is an error.
   Result<PerformabilityReport> Evaluate(
       const workflow::Configuration& config,
       const linalg::Vector* avail_guess = nullptr,
-      const markov::SteadyStateOptions* solver_override = nullptr) const;
+      const markov::SteadyStateOptions* solver_override = nullptr,
+      const avail::SiteContingency* contingency = nullptr) const;
 
   const perf::PerformanceModel& performance() const { return perf_; }
   const avail::AvailabilityModel& availability() const { return avail_; }
@@ -111,6 +120,11 @@ class PerformabilityModel {
       : perf_(std::move(perf)),
         avail_(std::move(availability)),
         options_(options) {}
+
+  Result<PerformabilityReport> EvaluateSitePath(
+      const workflow::Configuration& config,
+      const avail::SiteContingency& contingency,
+      const markov::SteadyStateOptions* solver_override) const;
 
   perf::PerformanceModel perf_;
   avail::AvailabilityModel avail_;

@@ -23,6 +23,13 @@ Result<ServiceMoments> ServiceFromMeanScv(double mean, double scv) {
   return ServiceMoments{mean, (scv + 1.0) * mean * mean};
 }
 
+ServiceMoments ShiftService(const ServiceMoments& moments, double shift) {
+  if (shift <= 0.0) return moments;
+  return ServiceMoments{
+      moments.mean + shift,
+      moments.second_moment + 2.0 * shift * moments.mean + shift * shift};
+}
+
 Result<ServiceMoments> MixServices(const std::vector<double>& weights,
                                    const std::vector<ServiceMoments>& parts) {
   if (weights.size() != parts.size() || parts.empty()) {

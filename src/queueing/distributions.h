@@ -32,6 +32,12 @@ Result<ServiceMoments> ErlangService(int stages, double mean);
 /// From mean and squared coefficient of variation.
 Result<ServiceMoments> ServiceFromMeanScv(double mean, double scv);
 
+/// Shifts a service time by a deterministic constant d >= 0 (e.g. the mean
+/// cross-site network latency a geo-distributed request pays before
+/// reaching its serving replica): X' = X + d, so mean' = mean + d and
+/// E[X'^2] = E[X^2] + 2 d mean + d^2.
+ServiceMoments ShiftService(const ServiceMoments& moments, double shift);
+
 /// Probability mixture of services: requests arrive as a superposition and
 /// each request is of class i with probability weights[i]/sum(weights).
 /// Moments mix linearly. Used for §4.4's multiple-server-types-per-computer

@@ -78,6 +78,10 @@ configtool::Goals GoalsOf(const Request& req) {
   configtool::Goals goals;
   goals.max_waiting_time = req.max_wait;
   goals.min_availability = req.min_avail;
+  goals.survive_sites = req.survive_sites;
+  goals.survive_partitions = req.survive_partitions;
+  goals.degraded_max_waiting_time = req.degraded_max_wait;
+  goals.degraded_min_availability = req.degraded_min_avail;
   return goals;
 }
 
@@ -91,6 +95,22 @@ Json ReplicasJson(const std::vector<int>& replicas) {
   Json array = Json::Array();
   for (int r : replicas) array.Append(Json::Number(r));
   return array;
+}
+
+/// Per-contingency survivability verdicts (multi-site assessments with
+/// survive goals only).
+Json ContingenciesJson(const configtool::Assessment& assessment) {
+  Json table = Json::Array();
+  for (const configtool::ContingencyAssessment& c :
+       assessment.contingencies) {
+    Json entry = Json::Object();
+    entry.Set("contingency", Json::Str(c.label));
+    entry.Set("availability", Json::Number(c.availability));
+    entry.Set("max_waiting", Json::Number(c.max_expected_waiting));
+    entry.Set("satisfied", Json::Bool(c.satisfied));
+    table.Append(std::move(entry));
+  }
+  return table;
 }
 
 /// The deterministic assess payload: pure solver output, no wall-clock,
@@ -113,6 +133,14 @@ Json AssessmentJson(const configtool::Assessment& assessment) {
   result.Set("meets_waiting_goal", Json::Bool(assessment.meets_waiting_goal));
   result.Set("meets_availability_goal",
              Json::Bool(assessment.meets_availability_goal));
+  if (assessment.config.has_sites()) {
+    result.Set("site_config", ReplicasJson(assessment.config.site_counts));
+  }
+  if (!assessment.contingencies.empty()) {
+    result.Set("contingencies", ContingenciesJson(assessment));
+    result.Set("meets_survivability_goal",
+               Json::Bool(assessment.meets_survivability_goal));
+  }
   return result;
 }
 
@@ -161,6 +189,7 @@ Result<Backend::ScenarioState*> Backend::GetScenario(
 
   Result<workflow::Environment> parsed = [&]() {
     if (scenario == "ep") return workflow::EpEnvironment();
+    if (scenario == "geo") return workflow::GeoEpEnvironment();
     if (scenario == "benchmark") return workflow::BenchmarkEnvironment();
     return workflow::ParseEnvironment(scenario);
   }();
@@ -275,14 +304,30 @@ Response Backend::Handle(const Request& req, int degrade_level,
 Response Backend::HandleAssess(const Request& req, ScenarioState& state,
                                int degrade_level, double remaining_seconds) {
   workflow::Configuration config;
-  config.replicas = req.config;
-  if (Status valid = config.Validate(state.env->num_server_types());
-      !valid.ok()) {
-    return ErrorResponse(req, valid.WithContext("bad 'config'"));
+  if (!req.site_config.empty()) {
+    const size_t num_sites = state.env->topology.num_sites();
+    if (num_sites == 0) {
+      return ErrorResponse(
+          req, Status::InvalidArgument(
+                   "'site_config' requires a scenario with a sites section"));
+    }
+    config =
+        workflow::Configuration::FromSiteCounts(req.site_config, num_sites);
+    if (Status valid =
+            config.ValidateSites(state.env->num_server_types(), num_sites);
+        !valid.ok()) {
+      return ErrorResponse(req, valid.WithContext("bad 'site_config'"));
+    }
+  } else {
+    config.replicas = req.config;
+    if (Status valid = config.Validate(state.env->num_server_types());
+        !valid.ok()) {
+      return ErrorResponse(req, valid.WithContext("bad 'config'"));
+    }
   }
 
   if (degrade_level >= 2 &&
-      !state.tool->HasCachedAssessment(config.replicas)) {
+      !state.tool->HasCachedAssessment(config.CacheKey())) {
     // Cache-only rung: answers come from the memoization cache alone; a
     // miss is shed rather than starting a solve under heavy load.
     return ShedResponse(req,
@@ -334,7 +379,9 @@ Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
   std::string method = req.method;
   std::string degrade_reason;
   if (degrade_level >= 1) {
-    if (method != "greedy") {
+    // greedy-site is already the cheapest multi-site strategy (and the
+    // classic greedy cannot place sites), so it is not downgraded.
+    if (method != "greedy" && method != "greedy-site") {
       degrade_reason = "strategy downgraded " + method + " -> greedy";
       method = "greedy";
     }
@@ -360,9 +407,15 @@ Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
 
   Result<configtool::SearchResult> result =
       Status::InvalidArgument("bad method '" + method +
-                              "' (greedy|exhaustive|annealing|bnb)");
+                              "' (greedy|greedy-site|exhaustive|annealing|"
+                              "bnb)");
   if (method == "greedy") {
     result = state.tool->GreedyMinCost(goals, constraints, cost, search);
+  } else if (method == "greedy-site") {
+    configtool::SiteSearchConstraints site_constraints;
+    site_constraints.max_per_type = std::max(1, req.max_replicas);
+    result = state.tool->GreedySiteMinCost(goals, site_constraints, cost,
+                                           search);
   } else if (method == "exhaustive") {
     result = state.tool->ExhaustiveMinCost(goals, constraints, cost, search);
   } else if (method == "annealing") {
@@ -384,6 +437,9 @@ Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
   resp.id = req.id;
   Json payload = Json::Object();
   payload.Set("config", ReplicasJson(result->config.replicas));
+  if (result->config.has_sites()) {
+    payload.Set("site_config", ReplicasJson(result->config.site_counts));
+  }
   payload.Set("cost", Json::Number(result->cost));
   payload.Set("satisfied", Json::Bool(result->satisfied));
   payload.Set("method", Json::Str(method));
@@ -398,6 +454,12 @@ Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
     payload.Set(
         "max_waiting",
         Json::Number(result->assessment.performability.max_expected_waiting));
+  }
+  if (!result->assessment.contingencies.empty()) {
+    payload.Set("contingencies", ContingenciesJson(result->assessment));
+    payload.Set(
+        "meets_survivability_goal",
+        Json::Bool(result->assessment.meets_survivability_goal));
   }
   resp.result = std::move(payload);
   if (!degrade_reason.empty()) {

@@ -14,6 +14,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace wfms::service {
 
 namespace {
@@ -189,7 +191,12 @@ Result<std::string> Client::ReadResponse() {
   return response;
 }
 
-Result<std::string> Client::CallOnce(const std::string& line) {
+Result<std::string> Client::CallOnce(const std::string& line,
+                                     bool* maybe_sent) {
+  if (fd_ < 0) WFMS_RETURN_NOT_OK(Connect());
+  // From here on bytes may reach the server even if the write errors
+  // part-way — the conservative cutoff for non-idempotent retries.
+  if (maybe_sent != nullptr) *maybe_sent = true;
   WFMS_RETURN_NOT_OK(Send(line));
   std::string response;
   Status read = ReadLine(&response);
@@ -200,11 +207,15 @@ Result<std::string> Client::CallOnce(const std::string& line) {
   return response;
 }
 
-Result<std::string> Client::Call(const std::string& request_line) {
+Result<std::string> Client::Call(const std::string& request_line,
+                                 bool idempotent) {
+  static metrics::Counter& retries = metrics::MetricsRegistry::Global()
+      .GetCounter("wfms_service_client_retries_total");
   double backoff = options_.backoff_initial_seconds;
   Status last = Status::OK();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
+      retries.Increment();
       // Full jitter: sleep uniform in (0, backoff] so retry storms from
       // many clients decorrelate instead of hammering in waves.
       std::uniform_real_distribution<double> jitter(0.0, backoff);
@@ -213,11 +224,19 @@ Result<std::string> Client::Call(const std::string& request_line) {
       backoff = std::min(backoff * options_.backoff_multiplier,
                          options_.backoff_max_seconds);
     }
-    Result<std::string> response = CallOnce(request_line);
+    bool maybe_sent = false;
+    Result<std::string> response = CallOnce(request_line, &maybe_sent);
     if (response.ok()) return response;
     last = response.status();
     // InvalidArgument (bad host) cannot improve with retries.
     if (last.code() == StatusCode::kInvalidArgument) return last;
+    if (!idempotent && maybe_sent) {
+      // The request may have reached the server; re-sending a mutating
+      // command could apply it twice. Surface the transport error.
+      return last.WithContext(
+          "not retried: the non-idempotent request may have reached the "
+          "server");
+    }
   }
   return Status::Unavailable(
       "request failed after " + std::to_string(options_.max_retries + 1) +

@@ -9,6 +9,13 @@
 // response the server actually sent is NEVER retried, whatever its
 // disposition: `rejected-overloaded` and `deadline-exceeded` are answers,
 // and retrying them would double-count work the server already refused.
+// Idempotency gate: read-only protocol commands (ping, assess, recommend)
+// are safe to re-send because the retry carries the same request id — the
+// server computes the same pure function of the environment. Mutating
+// commands (autotune) pass idempotent = false and are retried only while
+// the request provably never reached the wire (connect failure); once
+// bytes may have been sent, the transport error is surfaced instead.
+// Every retry increments `wfms_service_client_retries_total`.
 #ifndef WFMS_SERVICE_CLIENT_H_
 #define WFMS_SERVICE_CLIENT_H_
 
@@ -47,8 +54,11 @@ class Client {
   /// Sends `request_line` (newline appended) and returns the next
   /// response line. Connects lazily; reconnects between retries.
   /// Unavailable after retries are exhausted; DeadlineExceeded on I/O
-  /// timeout of the final attempt.
-  Result<std::string> Call(const std::string& request_line);
+  /// timeout of the final attempt. `idempotent` = false restricts retries
+  /// to attempts where the request never reached the wire (see the retry
+  /// discipline above).
+  Result<std::string> Call(const std::string& request_line,
+                           bool idempotent = true);
 
   /// Pipelining primitives (tools/load_driver keeps many requests in
   /// flight per connection): Send writes one request line without
@@ -64,7 +74,9 @@ class Client {
   bool connected() const { return fd_ >= 0; }
 
  private:
-  Result<std::string> CallOnce(const std::string& line);
+  /// One attempt. `*maybe_sent` is set once request bytes may have
+  /// reached the server (the non-idempotent retry cutoff).
+  Result<std::string> CallOnce(const std::string& line, bool* maybe_sent);
   Status ReadLine(std::string* line);
 
   ClientOptions options_;

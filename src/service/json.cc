@@ -200,6 +200,12 @@ class Parser {
 
 void AppendNumber(std::string* out, double value) {
   char buffer[32];
+  // JSON has no inf/nan literal; a saturated waiting time (+inf) must not
+  // corrupt the response line, so non-finite values serialize as null.
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
   // Integers dominate the protocol (replica counts, ports, counts); keep
   // them clean. Everything else uses %.17g so a reparse is bit-exact.
   if (value == static_cast<double>(static_cast<int64_t>(value)) &&

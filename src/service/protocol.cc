@@ -60,8 +60,30 @@ Result<Request> ParseRequest(std::string_view line) {
       req.config.push_back(static_cast<int>(item.number()));
     }
   }
+  if (const Json* site_config = doc.Find("site_config")) {
+    if (!site_config->is_array()) {
+      return Status::InvalidArgument(
+          "'site_config' must be an array of integers");
+    }
+    for (const Json& item : site_config->items()) {
+      if (!item.is_number() ||
+          item.number() != std::floor(item.number())) {
+        return Status::InvalidArgument(
+            "'site_config' must be an array of integers");
+      }
+      req.site_config.push_back(static_cast<int>(item.number()));
+    }
+  }
   req.max_wait = doc.GetNumber("max_wait", req.max_wait);
   req.min_avail = doc.GetNumber("min_avail", req.min_avail);
+  req.survive_sites =
+      static_cast<int>(doc.GetNumber("survive_sites", req.survive_sites));
+  req.survive_partitions =
+      doc.GetBool("survive_partitions", req.survive_partitions);
+  req.degraded_max_wait =
+      doc.GetNumber("degraded_max_wait", req.degraded_max_wait);
+  req.degraded_min_avail =
+      doc.GetNumber("degraded_min_avail", req.degraded_min_avail);
   req.method = doc.GetString("method", req.method);
   req.max_replicas =
       static_cast<int>(doc.GetNumber("max_replicas", req.max_replicas));

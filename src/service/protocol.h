@@ -57,8 +57,19 @@ struct Request {
   std::string tenant;      // quota key; empty = the shared default tenant
   std::string scenario;    // "ep" | "benchmark" | inline scenario text
   std::vector<int> config;  // replication vector (assess, autotune initial)
+  // Per-site placement (type-major, num_types * num_sites entries). When
+  // non-empty it overrides `config` for assess: the configuration is built
+  // with Configuration::FromSiteCounts, so latency inflation and the
+  // site-level CTMC dimensions apply. Requires a scenario with a sites
+  // section.
+  std::vector<int> site_config;
   double max_wait = 0.05;
   double min_avail = 0.99999;
+  // Survivability goals (multi-site scenarios only; see configtool::Goals).
+  int survive_sites = 0;          // 0 or 1: tolerate any single site loss
+  bool survive_partitions = false;  // tolerate any two-way partition
+  double degraded_max_wait = 0.0;   // <= 0: inherit max_wait
+  double degraded_min_avail = -1.0;  // < 0: inherit min_avail
   std::string method = "greedy";  // recommend/autotune search strategy
   int max_replicas = 8;
   int iterations = 2000;          // annealing

@@ -43,12 +43,23 @@ uint64_t SimulationFingerprint(const workflow::Environment& env,
   w.U64(6, options.seed);
   w.U32(7, (options.enable_failures ? 1u : 0u) |
                (options.exponential_residence ? 2u : 0u));
+  // Site fields are written only where they apply so that legacy
+  // (single-site, non-overlay) scenarios hash to exactly what they did
+  // before the geo extension — their old checkpoints stay resumable.
+  if (!options.config.site_counts.empty()) {
+    w.VecI32(16, options.config.site_counts);
+  }
   for (const FaultEvent& event : options.faults.events) {
     w.F64(8, event.time);
     w.U32(9, static_cast<uint32_t>(event.action));
     w.U64(10, event.server_type);
     w.I64(11, event.server_index);
+    if (IsSiteAction(event.action)) {
+      w.U64(17, event.site_a);
+      w.U64(18, event.site_b);
+    }
   }
+  if (options.faults.overlay) w.U32(19, 1u);
   for (const LoadEvent& event : options.load.events) {
     w.F64(12, event.time);
     w.U32(13, static_cast<uint32_t>(event.action));

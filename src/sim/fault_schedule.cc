@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -17,19 +19,61 @@ const char* FaultActionName(FaultAction action) {
       return "outage";
     case FaultAction::kTypeRestore:
       return "restore";
+    case FaultAction::kSiteCrash:
+      return "site-crash";
+    case FaultAction::kSiteRepair:
+      return "site-repair";
+    case FaultAction::kPartition:
+      return "partition";
+    case FaultAction::kHeal:
+      return "heal";
   }
   return "unknown";
 }
 
+bool IsSiteAction(FaultAction action) {
+  return action == FaultAction::kSiteCrash ||
+         action == FaultAction::kSiteRepair ||
+         action == FaultAction::kPartition || action == FaultAction::kHeal;
+}
+
 Status FaultSchedule::Validate(const workflow::Configuration& config,
-                               size_t num_types) const {
+                               size_t num_types,
+                               const workflow::SiteTopology* topology) const {
   WFMS_RETURN_NOT_OK(config.Validate(num_types));
+  const size_t num_sites =
+      topology != nullptr ? topology->num_sites() : 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const FaultEvent& event = events[i];
     const std::string where = "fault event " + std::to_string(i + 1);
     if (!std::isfinite(event.time) || event.time < 0.0) {
       return Status::InvalidArgument(where +
                                      ": time must be finite and >= 0");
+    }
+    if (IsSiteAction(event.action)) {
+      if (num_sites == 0) {
+        return Status::InvalidArgument(
+            where + ": '" + FaultActionName(event.action) +
+            "' needs an environment with a sites section");
+      }
+      if (!config.has_sites()) {
+        return Status::InvalidArgument(
+            where + ": '" + FaultActionName(event.action) +
+            "' needs a site-placed configuration");
+      }
+      if (event.site_a >= num_sites ||
+          ((event.action == FaultAction::kPartition ||
+            event.action == FaultAction::kHeal) &&
+           (event.site_b >= num_sites || event.site_a == event.site_b))) {
+        return Status::InvalidArgument(where + ": site index out of range");
+      }
+      continue;
+    }
+    if (overlay) {
+      return Status::InvalidArgument(
+          where + ": overlay mode permits only site-level events "
+                  "(site-crash, site-repair, partition, heal), got '" +
+          FaultActionName(event.action) + "'");
     }
     if (event.server_type >= num_types) {
       return Status::InvalidArgument(
@@ -62,30 +106,77 @@ std::vector<FaultEvent> FaultSchedule::Sorted() const {
 
 Result<double> FaultSchedule::PrescribedAvailability(
     const workflow::Configuration& config, size_t num_types, double warmup,
-    double duration) const {
-  WFMS_RETURN_NOT_OK(Validate(config, num_types));
+    double duration, const workflow::SiteTopology* topology) const {
+  WFMS_RETURN_NOT_OK(Validate(config, num_types, topology));
   if (!(duration > warmup) || warmup < 0.0) {
     return Status::InvalidArgument(
         "prescribed availability needs 0 <= warmup < duration");
   }
-  // Replay over per-replica up flags, integrating the all-types-up
-  // indicator over the measurement window.
+  const bool site_mode =
+      topology != nullptr && !topology->empty() && config.has_sites();
+  const size_t s = site_mode ? topology->num_sites() : 0;
+  if (site_mode) WFMS_RETURN_NOT_OK(config.ValidateSites(num_types, s));
+
+  // Replay over per-replica up flags (plus site/partition masks in site
+  // mode), integrating the availability indicator over the window.
   std::vector<std::vector<char>> up(num_types);
   std::vector<int> up_counts(num_types);
   for (size_t x = 0; x < num_types; ++x) {
     up[x].assign(static_cast<size_t>(config.replicas[x]), 1);
     up_counts[x] = config.replicas[x];
   }
-  const auto all_types_up = [&] {
-    for (size_t x = 0; x < num_types; ++x) {
-      if (up_counts[x] == 0) return false;
+  uint64_t up_sites =
+      s > 0 ? ((uint64_t{1} << s) - 1) : 0;
+  uint64_t partitioned = 0;
+  std::vector<int> site_up_counts;  // per (type, site), site mode only
+
+  const auto available = [&] {
+    if (!site_mode) {
+      for (size_t x = 0; x < num_types; ++x) {
+        if (up_counts[x] == 0) return false;
+      }
+      return true;
     }
-    return true;
+    // Attribute the per-replica flags back to sites via the site-major
+    // block mapping, then ask the coverage structure function.
+    site_up_counts.assign(num_types * s, 0);
+    for (size_t x = 0; x < num_types; ++x) {
+      size_t g = 0;
+      for (size_t a = 0; a < s; ++a) {
+        const int placed = config.SiteCount(x, a);
+        for (int i = 0; i < placed; ++i, ++g) {
+          site_up_counts[x * s + a] += up[x][g];
+        }
+      }
+    }
+    return workflow::ServingComponent(num_types, s, site_up_counts.data(),
+                                      up_sites, partitioned) != 0;
+  };
+
+  // One whole site's replica block per type, forced to `value` (the
+  // non-overlay site-crash/site-repair mechanics).
+  const auto force_site = [&](size_t site, char value) {
+    for (size_t x = 0; x < num_types; ++x) {
+      size_t g = 0;
+      for (size_t a = 0; a < s; ++a) {
+        const int placed = config.SiteCount(x, a);
+        if (a != site) {
+          g += static_cast<size_t>(placed);
+          continue;
+        }
+        for (int i = 0; i < placed; ++i, ++g) {
+          if (up[x][g] != value) {
+            up[x][g] = value;
+            up_counts[x] += value ? 1 : -1;
+          }
+        }
+      }
+    }
   };
 
   double uptime = 0.0;
   double cursor = warmup;
-  bool currently_up = true;  // full configuration before the first event
+  bool currently_up = available();  // full configuration before any event
   for (const FaultEvent& event : Sorted()) {
     if (event.time >= duration) break;
     if (event.time > cursor && currently_up) uptime += event.time - cursor;
@@ -118,17 +209,42 @@ Result<double> FaultSchedule::PrescribedAvailability(
         up_counts[event.server_type] =
             static_cast<int>(up[event.server_type].size());
         break;
+      case FaultAction::kSiteCrash:
+        up_sites &= ~(uint64_t{1} << event.site_a);
+        if (!overlay) force_site(event.site_a, 0);
+        break;
+      case FaultAction::kSiteRepair:
+        up_sites |= uint64_t{1} << event.site_a;
+        if (!overlay) force_site(event.site_a, 1);
+        break;
+      case FaultAction::kPartition:
+        partitioned |= uint64_t{1} << workflow::PairIndex(
+            std::min(event.site_a, event.site_b),
+            std::max(event.site_a, event.site_b), s);
+        break;
+      case FaultAction::kHeal:
+        partitioned &= ~(uint64_t{1} << workflow::PairIndex(
+            std::min(event.site_a, event.site_b),
+            std::max(event.site_a, event.site_b), s));
+        break;
     }
-    currently_up = all_types_up();
+    currently_up = available();
   }
   if (currently_up && duration > cursor) uptime += duration - cursor;
   return uptime / (duration - warmup);
 }
 
 Result<FaultSchedule> ParseFaultSchedule(
-    const std::string& text, const workflow::ServerTypeRegistry& servers) {
+    const std::string& text, const workflow::ServerTypeRegistry& servers,
+    const workflow::SiteTopology* topology) {
   FaultSchedule schedule;
   const std::vector<std::string> lines = SplitString(text, '\n');
+  // Hardening state: the schedule must be chronological, and a replica or
+  // site crashed by the script must be repaired before it crashes again.
+  double last_time = 0.0;
+  bool have_time = false;
+  std::set<std::pair<size_t, int>> crashed_replicas;
+  std::set<size_t> crashed_sites;
   for (size_t lineno = 0; lineno < lines.size(); ++lineno) {
     std::string_view line = StripWhitespace(lines[lineno]);
     const auto fail = [&](const std::string& why) {
@@ -138,27 +254,87 @@ Result<FaultSchedule> ParseFaultSchedule(
     if (line.empty() || line[0] == '#') continue;
     const std::vector<std::string> tokens =
         SplitString(line, ' ', /*skip_empty=*/true);
+    if (tokens[0] == "mode") {
+      if (tokens.size() != 2 || tokens[1] != "overlay") {
+        return fail("expected 'mode overlay'");
+      }
+      schedule.overlay = true;
+      continue;
+    }
     if (tokens.size() < 4 || tokens[0] != "at") {
       return fail(
           "expected 'at <time> crash|repair|outage|restore <server-type> "
-          "[replica-index]'");
+          "[replica-index]', a site directive ('at <time> "
+          "site-crash|site-repair <site>', 'at <time> partition|heal "
+          "<A>|<B>'), or 'mode overlay'");
     }
     FaultEvent event;
     if (!ParseDouble(tokens[1], &event.time)) {
       return fail("bad time '" + tokens[1] + "'");
     }
+    if (have_time && event.time < last_time) {
+      return fail("out-of-order timestamp " + tokens[1] +
+                  " (previous event was at " + std::to_string(last_time) +
+                  "; schedules must be chronological)");
+    }
+    last_time = event.time;
+    have_time = true;
     const std::string& verb = tokens[2];
-    if (verb == "crash") {
-      event.action = FaultAction::kCrash;
-    } else if (verb == "repair") {
-      event.action = FaultAction::kRepair;
+    const auto resolve_site = [&](const std::string& name,
+                                  size_t* index) -> Status {
+      if (topology == nullptr || topology->empty()) {
+        return fail("'" + verb +
+                    "' needs an environment with a sites section");
+      }
+      auto resolved = topology->IndexOf(name);
+      if (!resolved.ok()) {
+        return fail("unknown site '" + name + "'");
+      }
+      *index = *resolved;
+      return Status::OK();
+    };
+    if (verb == "crash" || verb == "repair") {
+      event.action =
+          verb == "crash" ? FaultAction::kCrash : FaultAction::kRepair;
     } else if (verb == "outage") {
       event.action = FaultAction::kTypeOutage;
     } else if (verb == "restore") {
       event.action = FaultAction::kTypeRestore;
+    } else if (verb == "site-crash" || verb == "site-repair") {
+      event.action = verb == "site-crash" ? FaultAction::kSiteCrash
+                                          : FaultAction::kSiteRepair;
+      if (tokens.size() > 4) return fail("trailing tokens");
+      WFMS_RETURN_NOT_OK(resolve_site(tokens[3], &event.site_a));
+      if (event.action == FaultAction::kSiteCrash) {
+        if (!crashed_sites.insert(event.site_a).second) {
+          return fail("overlapping crash window: site '" + tokens[3] +
+                      "' is already down (no intervening site-repair)");
+        }
+      } else {
+        crashed_sites.erase(event.site_a);
+      }
+      schedule.events.push_back(event);
+      continue;
+    } else if (verb == "partition" || verb == "heal") {
+      event.action =
+          verb == "partition" ? FaultAction::kPartition : FaultAction::kHeal;
+      if (tokens.size() > 4) return fail("trailing tokens");
+      const std::vector<std::string> pair = SplitString(tokens[3], '|');
+      if (pair.size() != 2 || pair[0].empty() || pair[1].empty()) {
+        return fail("'" + verb + "' wants '<site>|<site>', got '" +
+                    tokens[3] + "'");
+      }
+      WFMS_RETURN_NOT_OK(resolve_site(pair[0], &event.site_a));
+      WFMS_RETURN_NOT_OK(resolve_site(pair[1], &event.site_b));
+      if (event.site_a == event.site_b) {
+        return fail("a site cannot be partitioned from itself");
+      }
+      schedule.events.push_back(event);
+      continue;
     } else {
       return fail("unknown action '" + verb +
-                  "' (want crash, repair, outage, or restore)");
+                  "' (want crash, repair, outage, restore, site-crash, "
+                  "site-repair, partition, or heal)");
     }
     auto type_index = servers.IndexOf(tokens[3]);
     if (!type_index.ok()) {
@@ -175,6 +351,17 @@ Result<FaultSchedule> ParseFaultSchedule(
       }
     }
     if (tokens.size() > 5) return fail("trailing tokens");
+    if (event.action == FaultAction::kCrash) {
+      const std::pair<size_t, int> replica{event.server_type,
+                                           event.server_index};
+      if (!crashed_replicas.insert(replica).second) {
+        return fail("overlapping crash window: " + tokens[3] + " replica " +
+                    std::to_string(event.server_index) +
+                    " is already down (no intervening repair)");
+      }
+    } else if (event.action == FaultAction::kRepair) {
+      crashed_replicas.erase({event.server_type, event.server_index});
+    }
     schedule.events.push_back(event);
   }
   return schedule;

@@ -14,8 +14,19 @@
 //   at <time> outage  <server-type>     # whole type down
 //   at <time> restore <server-type>     # whole type back up
 //
+// Multi-site environments (DESIGN.md §12) add site-level directives
+// (site names resolve against the environment's site topology):
+//
+//   at <time> site-crash  <site>        # every replica at the site down
+//   at <time> site-repair <site>
+//   at <time> partition   <A>|<B>       # cross-site traffic A<->B severed
+//   at <time> heal        <A>|<B>
+//   mode overlay                        # see FaultSchedule::overlay
+//
 // Times are simulation minutes; replica-index defaults to 0. Events firing
-// at the same instant apply in schedule order.
+// at the same instant apply in schedule order. The parser enforces
+// chronological order, known names, and non-overlapping crash windows —
+// every violation carries its 1-based line number.
 #ifndef WFMS_SIM_FAULT_SCHEDULE_H_
 #define WFMS_SIM_FAULT_SCHEDULE_H_
 
@@ -25,58 +36,93 @@
 #include "common/result.h"
 #include "workflow/configuration.h"
 #include "workflow/environment.h"
+#include "workflow/sites.h"
 
 namespace wfms::sim {
 
 enum class FaultAction {
-  kCrash,       // one replica down (no-op if already down)
-  kRepair,      // one replica up (no-op if already up)
-  kTypeOutage,  // every replica of the type down
-  kTypeRestore  // every replica of the type up
+  kCrash,        // one replica down (no-op if already down)
+  kRepair,       // one replica up (no-op if already up)
+  kTypeOutage,   // every replica of the type down
+  kTypeRestore,  // every replica of the type up
+  kSiteCrash,    // every replica at the site down (common-shock site loss)
+  kSiteRepair,   // every replica at the site back up
+  kPartition,    // network partition between two sites
+  kHeal          // partition healed
 };
 
 const char* FaultActionName(FaultAction action);
 
+/// True for the site-level actions that carry site indices instead of a
+/// server type.
+bool IsSiteAction(FaultAction action);
+
 struct FaultEvent {
   double time = 0.0;
   FaultAction action = FaultAction::kCrash;
-  /// Index into the environment's server-type registry.
+  /// Index into the environment's server-type registry (replica/type
+  /// actions only).
   size_t server_type = 0;
-  /// Replica within the type; ignored by the whole-type actions.
+  /// Replica within the type; ignored by the whole-type and site actions.
   int server_index = 0;
+  /// Site indices for the site-level actions: site_a is the crashed /
+  /// repaired site, or the first endpoint of a partition pair (site_b the
+  /// second).
+  size_t site_a = 0;
+  size_t site_b = 0;
 };
 
 struct FaultSchedule {
   std::vector<FaultEvent> events;
+  /// Overlay mode ("mode overlay" in the DSL): the schedule *coexists*
+  /// with the random per-replica failure/repair processes instead of
+  /// replacing them, and its events are restricted to the site level
+  /// (site-crash/site-repair/partition/heal), applied as coverage-mask
+  /// flips only — no replica is force-failed. This is the configuration
+  /// for cross-checking the analytic partition/site contingencies against
+  /// simulated replay: the replica processes stay stochastic while the
+  /// site trajectory is prescribed.
+  bool overlay = false;
 
   bool empty() const { return events.empty(); }
 
   /// Checks every event against the configuration: finite non-negative
   /// times, known server types, replica indices within the replication
-  /// degree.
-  Status Validate(const workflow::Configuration& config,
-                  size_t num_types) const;
+  /// degree. Site-level events additionally need a non-empty `topology`
+  /// with the site indices in range; overlay mode permits only site-level
+  /// events.
+  Status Validate(const workflow::Configuration& config, size_t num_types,
+                  const workflow::SiteTopology* topology = nullptr) const;
 
   /// Events sorted by time (stable: same-instant events keep schedule
   /// order) — the order the simulator applies them in.
   std::vector<FaultEvent> Sorted() const;
 
   /// Exact availability a failure-free simulator run under this schedule
-  /// must observe: the fraction of [warmup, duration) in which every
-  /// server type has at least one replica up, obtained by replaying the
-  /// schedule symbolically over per-type up-counts. This is the same
-  /// "available iff every type has >= 1 server up" structure function the
-  /// §5 availability CTMC aggregates — evaluated on the prescribed
-  /// trajectory instead of the stationary distribution.
-  Result<double> PrescribedAvailability(const workflow::Configuration& config,
-                                        size_t num_types, double warmup,
-                                        double duration) const;
+  /// must observe: the fraction of [warmup, duration) in which the system
+  /// is available, obtained by replaying the schedule symbolically. In the
+  /// classic (single-site) case "available" means every server type has
+  /// >= 1 replica up — the same structure function the §5 availability
+  /// CTMC aggregates. When `topology` is non-empty and the configuration
+  /// is site-placed, "available" means a serving connected component
+  /// exists (workflow::ServingComponent over the prescribed site/partition
+  /// trajectory); replicas map to sites in site-major blocks (site a of
+  /// type x owns global replica indices [sum of counts before a, ...)).
+  Result<double> PrescribedAvailability(
+      const workflow::Configuration& config, size_t num_types, double warmup,
+      double duration,
+      const workflow::SiteTopology* topology = nullptr) const;
 };
 
 /// Parses the text DSL above, resolving server types by name against the
-/// registry. Errors carry the 1-based line number.
+/// registry and site names against `topology` (site directives without a
+/// topology are errors). Errors carry the 1-based line number. Beyond
+/// per-line syntax, the parser rejects out-of-order timestamps,
+/// unknown server/site names, and overlapping crash windows (a replica or
+/// site crashed again before its scripted repair).
 Result<FaultSchedule> ParseFaultSchedule(
-    const std::string& text, const workflow::ServerTypeRegistry& servers);
+    const std::string& text, const workflow::ServerTypeRegistry& servers,
+    const workflow::SiteTopology* topology = nullptr);
 
 }  // namespace wfms::sim
 

@@ -84,6 +84,11 @@ class ServerPool {
 
   int up_count() const { return up_count_; }
   int busy_count() const { return busy_count_; }
+  /// Whether one specific replica is up — the site-aware availability
+  /// gauge attributes replicas back to sites with this.
+  bool ServerUp(size_t server_index) const {
+    return servers_[server_index].up;
+  }
   /// Requests parked while the whole type is down.
   size_t parked_count() const { return parked_.size(); }
   /// The pool's RNG state — part of the simulator's replay-cursor

@@ -23,21 +23,106 @@ Result<Simulator> Simulator::Create(const workflow::Environment& env,
     return Status::InvalidArgument(
         "simulation needs 0 <= warmup < duration");
   }
-  WFMS_RETURN_NOT_OK(
-      options.faults.Validate(options.config, env.num_server_types()));
+  if (options.config.has_sites()) {
+    WFMS_RETURN_NOT_OK(options.config.ValidateSites(
+        env.num_server_types(), env.topology.num_sites()));
+  }
+  WFMS_RETURN_NOT_OK(options.faults.Validate(
+      options.config, env.num_server_types(), &env.topology));
   WFMS_RETURN_NOT_OK(options.load.Validate(env.workflows.size()));
   return Simulator(&env, std::move(options));
 }
 
 void Simulator::UpdateAvailabilityGauge() {
-  bool all_up = true;
-  for (const auto& pool : pools_) {
-    if (pool->AllDown()) {
-      all_up = false;
-      break;
+  bool up = true;
+  if (site_up_.empty()) {
+    for (const auto& pool : pools_) {
+      if (pool->AllDown()) {
+        up = false;
+        break;
+      }
+    }
+  } else {
+    // Multi-site: available iff a serving connected component exists.
+    // Replicas attribute to sites via the site-major block mapping; the
+    // site/partition masks come from the scripted site trajectory.
+    const size_t k = env_->num_server_types();
+    const size_t s = env_->topology.num_sites();
+    std::vector<int> up_counts(k * s, 0);
+    uint64_t up_sites = 0;
+    uint64_t partitioned = 0;
+    for (size_t a = 0; a < s; ++a) {
+      if (site_up_[a]) up_sites |= uint64_t{1} << a;
+    }
+    for (size_t p = 0; p < pair_partitioned_.size(); ++p) {
+      if (pair_partitioned_[p]) partitioned |= uint64_t{1} << p;
+    }
+    for (size_t x = 0; x < k; ++x) {
+      size_t g = 0;
+      for (size_t a = 0; a < s; ++a) {
+        const int placed = options_.config.SiteCount(x, a);
+        for (int i = 0; i < placed; ++i, ++g) {
+          if (pools_[x]->ServerUp(g)) ++up_counts[x * s + a];
+        }
+      }
+    }
+    up = workflow::ServingComponent(k, s, up_counts.data(), up_sites,
+                                    partitioned) != 0;
+  }
+  all_up_.Update(queue_.now(), up ? 1.0 : 0.0);
+}
+
+void Simulator::ForceSiteReplicas(size_t site, bool up) {
+  const size_t k = env_->num_server_types();
+  const size_t s = env_->topology.num_sites();
+  for (size_t x = 0; x < k; ++x) {
+    size_t g = 0;
+    for (size_t a = 0; a < s; ++a) {
+      const int placed = options_.config.SiteCount(x, a);
+      if (a != site) {
+        g += static_cast<size_t>(placed);
+        continue;
+      }
+      for (int i = 0; i < placed; ++i, ++g) {
+        if (up) {
+          pools_[x]->ForceRepair(g);
+        } else {
+          pools_[x]->ForceFail(g);
+        }
+      }
     }
   }
-  all_up_.Update(queue_.now(), all_up ? 1.0 : 0.0);
+}
+
+void Simulator::ApplySiteFaultEvent(const FaultEvent& event) {
+  const size_t s = env_->topology.num_sites();
+  switch (event.action) {
+    case FaultAction::kSiteCrash:
+      site_up_[event.site_a] = 0;
+      // Overlay mode prescribes the coverage mask only; the replicas keep
+      // their own (random) failure processes.
+      if (!options_.faults.overlay) ForceSiteReplicas(event.site_a, false);
+      break;
+    case FaultAction::kSiteRepair:
+      site_up_[event.site_a] = 1;
+      if (!options_.faults.overlay) ForceSiteReplicas(event.site_a, true);
+      break;
+    case FaultAction::kPartition:
+      pair_partitioned_[workflow::PairIndex(
+          std::min(event.site_a, event.site_b),
+          std::max(event.site_a, event.site_b), s)] = 1;
+      break;
+    case FaultAction::kHeal:
+      pair_partitioned_[workflow::PairIndex(
+          std::min(event.site_a, event.site_b),
+          std::max(event.site_a, event.site_b), s)] = 0;
+      break;
+    default:
+      break;
+  }
+  // ForceFail/ForceRepair only fire the gauge when an up-count changes;
+  // mask flips (overlay, partitions) must refresh it explicitly.
+  UpdateAvailabilityGauge();
 }
 
 void Simulator::ScheduleArrival(size_t workflow_index) {
@@ -204,8 +289,20 @@ Result<SimulationResult> Simulator::Run() {
   const size_t k = env_->num_server_types();
   // A scripted schedule supersedes the random failure/repair processes:
   // with both rates zero the pools never schedule a random event, so the
-  // run is a deterministic replay of the schedule.
-  const bool scripted = !options_.faults.empty();
+  // run is a deterministic replay of the schedule. Overlay mode is the
+  // exception: its site-level events coexist with the random replica
+  // processes (the analytic/simulated contingency cross-check needs both).
+  const bool scripted = !options_.faults.empty() && !options_.faults.overlay;
+  const bool site_mode =
+      !env_->topology.empty() && options_.config.has_sites();
+  if (site_mode) {
+    site_up_.assign(env_->topology.num_sites(), 1);
+    pair_partitioned_.assign(
+        workflow::PairCount(env_->topology.num_sites()), 0);
+  } else {
+    site_up_.clear();
+    pair_partitioned_.clear();
+  }
   pools_.clear();
   pools_.reserve(k);
   for (size_t x = 0; x < k; ++x) {
@@ -247,6 +344,10 @@ Result<SimulationResult> Simulator::Run() {
   }
   for (const FaultEvent& event : options_.faults.Sorted()) {
     queue_.ScheduleAt(event.time, [this, event] {
+      if (IsSiteAction(event.action)) {
+        ApplySiteFaultEvent(event);
+        return;
+      }
       ServerPool& pool = *pools_[event.server_type];
       switch (event.action) {
         case FaultAction::kCrash:
@@ -261,6 +362,8 @@ Result<SimulationResult> Simulator::Run() {
         case FaultAction::kTypeRestore:
           pool.ForceTypeRestore();
           break;
+        default:
+          break;  // site actions handled above
       }
     });
   }

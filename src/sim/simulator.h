@@ -144,6 +144,10 @@ class Simulator {
                      int64_t instance);
   void UpdateAvailabilityGauge();
   void ApplyLoadEvent(const LoadEvent& event);
+  void ApplySiteFaultEvent(const FaultEvent& event);
+  /// Replicas of `type` placed at `site` (site-major block mapping),
+  /// forced down/up — the non-overlay site-crash/site-repair mechanics.
+  void ForceSiteReplicas(size_t site, bool up);
 
   const workflow::Environment* env_;
   SimulationOptions options_;
@@ -159,6 +163,13 @@ class Simulator {
   /// Whether an interarrival draw is outstanding for the type — a rate
   /// change from zero must restart the arrival chain exactly once.
   std::vector<char> arrival_pending_;
+  /// Multi-site state (empty in single-site runs): the availability gauge
+  /// then asks the coverage structure function (workflow::ServingComponent)
+  /// instead of the every-type-up test. site_up_[a] is flipped by
+  /// site-crash/site-repair events; pair_partitioned_ is indexed by
+  /// workflow::PairIndex.
+  std::vector<char> site_up_;
+  std::vector<char> pair_partitioned_;
 };
 
 }  // namespace wfms::sim

@@ -4,6 +4,22 @@
 
 namespace wfms::workflow {
 
+Configuration Configuration::FromSiteCounts(std::vector<int> counts,
+                                            size_t num_sites) {
+  Configuration config;
+  if (num_sites > 0 && counts.size() % num_sites == 0) {
+    const size_t num_types = counts.size() / num_sites;
+    config.replicas.resize(num_types, 0);
+    for (size_t x = 0; x < num_types; ++x) {
+      for (size_t a = 0; a < num_sites; ++a) {
+        config.replicas[x] += counts[x * num_sites + a];
+      }
+    }
+  }
+  config.site_counts = std::move(counts);
+  return config;
+}
+
 Status Configuration::Validate(size_t num_types) const {
   if (replicas.size() != num_types) {
     return Status::InvalidArgument(
@@ -19,12 +35,63 @@ Status Configuration::Validate(size_t num_types) const {
   return Status::OK();
 }
 
+Status Configuration::ValidateSites(size_t num_types,
+                                    size_t num_sites) const {
+  WFMS_RETURN_NOT_OK(Validate(num_types));
+  if (num_sites == 0) {
+    return Status::InvalidArgument(
+        "site-placed configuration in an environment without sites");
+  }
+  if (site_counts.size() != num_types * num_sites) {
+    return Status::InvalidArgument(
+        "site placement has " + std::to_string(site_counts.size()) +
+        " entries, expected " + std::to_string(num_types * num_sites) + " (" +
+        std::to_string(num_types) + " types x " + std::to_string(num_sites) +
+        " sites)");
+  }
+  for (size_t x = 0; x < num_types; ++x) {
+    int total = 0;
+    for (size_t a = 0; a < num_sites; ++a) {
+      const int n = site_counts[x * num_sites + a];
+      if (n < 0) {
+        return Status::InvalidArgument(
+            "server type " + std::to_string(x) + " has negative count at "
+            "site " + std::to_string(a));
+      }
+      total += n;
+    }
+    if (total != replicas[x]) {
+      return Status::InvalidArgument(
+          "server type " + std::to_string(x) + ": site counts sum to " +
+          std::to_string(total) + " but Y_x = " +
+          std::to_string(replicas[x]));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> Configuration::CacheKey() const {
+  if (site_counts.empty()) return replicas;
+  std::vector<int> key = replicas;
+  key.push_back(-1);
+  key.insert(key.end(), site_counts.begin(), site_counts.end());
+  return key;
+}
+
 std::string Configuration::ToString() const {
   std::ostringstream os;
+  const size_t s = num_sites();
   os << "(";
   for (size_t i = 0; i < replicas.size(); ++i) {
     if (i > 0) os << ",";
-    os << replicas[i];
+    if (has_sites() && s > 0) {
+      for (size_t a = 0; a < s; ++a) {
+        if (a > 0) os << "/";
+        os << site_counts[i * s + a];
+      }
+    } else {
+      os << replicas[i];
+    }
   }
   os << ")";
   return os.str();

@@ -13,9 +13,19 @@ namespace wfms::workflow {
 struct Configuration {
   /// replicas[x] = Y_x, the number of servers of server type x.
   std::vector<int> replicas;
+  /// Optional per-site placement for geo-distributed environments
+  /// (DESIGN.md §12), type-major: site_counts[x * s + a] = number of
+  /// replicas of server type x placed at site a. Empty for the classic
+  /// single-site model. When present, each type's row must sum to
+  /// replicas[x].
+  std::vector<int> site_counts;
 
   Configuration() = default;
   explicit Configuration(std::vector<int> y) : replicas(std::move(y)) {}
+  /// Builds a site-placed configuration from the type-major placement;
+  /// replicas[x] is derived as the row sum.
+  static Configuration FromSiteCounts(std::vector<int> counts,
+                                      size_t num_sites);
   /// The minimal configuration: one server of each of `num_types` types.
   static Configuration Ones(size_t num_types) {
     return Configuration(std::vector<int>(num_types, 1));
@@ -32,17 +42,36 @@ struct Configuration {
     return total;
   }
 
+  bool has_sites() const { return !site_counts.empty(); }
+  size_t num_sites() const {
+    return replicas.empty() ? 0 : site_counts.size() / replicas.size();
+  }
+  /// Replicas of type x at site a (requires has_sites()).
+  int SiteCount(size_t x, size_t a) const {
+    return site_counts[x * num_sites() + a];
+  }
+
   /// All Y_x >= 1 and the type count matches.
   Status Validate(size_t num_types) const;
+  /// Additionally: placement shape is num_types x num_sites, entries are
+  /// >= 0, and each type's row sums to replicas[x].
+  Status ValidateSites(size_t num_types, size_t num_sites) const;
 
-  /// "(2,1,3)".
+  /// Memoization-cache key: the replica vector for single-site configs;
+  /// site-placed configs append a -1 sentinel (impossible in a valid
+  /// replica vector) followed by the placement so the two spaces never
+  /// collide in the shared cache.
+  std::vector<int> CacheKey() const;
+
+  /// "(2,1,3)"; site-placed configs show per-site splits: "(1/1,1/0,2/1)".
   std::string ToString() const;
 
   bool operator==(const Configuration& other) const {
-    return replicas == other.replicas;
+    return replicas == other.replicas && site_counts == other.site_counts;
   }
   bool operator<(const Configuration& other) const {
-    return replicas < other.replicas;
+    if (replicas != other.replicas) return replicas < other.replicas;
+    return site_counts < other.site_counts;
   }
 };
 

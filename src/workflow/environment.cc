@@ -120,6 +120,7 @@ Status Environment::Validate() const {
                                      "' has negative arrival rate");
     }
   }
+  WFMS_RETURN_NOT_OK(topology.Validate().WithContext("site topology"));
   return Status::OK();
 }
 

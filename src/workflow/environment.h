@@ -15,6 +15,7 @@
 #include "linalg/vector.h"
 #include "queueing/distributions.h"
 #include "statechart/model.h"
+#include "workflow/sites.h"
 
 namespace wfms::workflow {
 
@@ -92,6 +93,9 @@ struct Environment {
   ServerTypeRegistry servers;
   ActivityLoadTable loads;
   std::vector<WorkflowTypeSpec> workflows;
+  /// Optional multi-site topology (DESIGN.md §12); empty for the classic
+  /// single-site model.
+  SiteTopology topology;
 
   size_t num_server_types() const { return servers.size(); }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -99,7 +100,16 @@ Result<Environment> ParseEnvironment(std::string_view text) {
   };
   std::vector<PendingLoad> pending_loads;
 
-  enum class Section { kNone, kServers, kLoads, kWorkflows, kChart };
+  // Latency rows are parsed after all sites are known (the row width is
+  // the site count, and rows are keyed by site name).
+  struct PendingLatencyRow {
+    int line_no;
+    std::string site;
+    std::vector<double> values;
+  };
+  std::vector<PendingLatencyRow> pending_latency;
+
+  enum class Section { kNone, kServers, kLoads, kWorkflows, kSites, kChart };
   Section section = Section::kNone;
 
   std::istringstream stream{std::string(text)};
@@ -128,6 +138,8 @@ Result<Environment> ParseEnvironment(std::string_view text) {
         section = Section::kLoads;
       } else if (keyword == "workflows") {
         section = Section::kWorkflows;
+      } else if (keyword == "sites") {
+        section = Section::kSites;
       } else if (keyword == "chart") {
         chart_dsl += std::string(raw) + "\n";
         section = Section::kChart;
@@ -224,6 +236,65 @@ Result<Environment> ParseEnvironment(std::string_view text) {
         env.workflows.push_back(std::move(spec));
         break;
       }
+      case Section::kSites: {
+        if (keyword == "site") {
+          if (tokens.size() < 2) {
+            return LineError(line_no, "usage: site NAME [mttf=H mttr=H]");
+          }
+          WFMS_ASSIGN_OR_RETURN(auto kv, ParseKeyValues(tokens, 2, line_no));
+          Site site;
+          site.name = tokens[1];
+          if (env.topology.IndexOf(site.name).ok()) {
+            return LineError(line_no,
+                             "duplicate site '" + site.name + "'");
+          }
+          if (kv.count("mttf") > 0 || kv.count("mttr") > 0) {
+            WFMS_ASSIGN_OR_RETURN(double mttf,
+                                  GetDouble(kv, "mttf", line_no));
+            WFMS_ASSIGN_OR_RETURN(double mttr,
+                                  GetDouble(kv, "mttr", line_no));
+            if (!std::isfinite(mttf) || !std::isfinite(mttr) ||
+                !(mttf > 0.0) || !(mttr > 0.0)) {
+              return LineError(line_no, "site '" + site.name +
+                                            "': mttf/mttr must be finite "
+                                            "and positive");
+            }
+            site.failure_rate = 1.0 / mttf;
+            site.repair_rate = 1.0 / mttr;
+          }
+          env.topology.sites.push_back(std::move(site));
+        } else if (keyword == "latency") {
+          if (tokens.size() < 2) {
+            return LineError(line_no, "usage: latency SITE v1 v2 ... vs");
+          }
+          PendingLatencyRow row;
+          row.line_no = line_no;
+          row.site = tokens[1];
+          for (size_t i = 2; i < tokens.size(); ++i) {
+            double value = 0.0;
+            if (!ParseDouble(tokens[i], &value)) {
+              return LineError(line_no, "latency row for site '" + row.site +
+                                            "': entry " +
+                                            std::to_string(i - 1) + " ('" +
+                                            tokens[i] +
+                                            "') is not a number");
+            }
+            row.values.push_back(value);
+          }
+          pending_latency.push_back(std::move(row));
+        } else if (keyword == "partition") {
+          WFMS_ASSIGN_OR_RETURN(auto kv, ParseKeyValues(tokens, 1, line_no));
+          WFMS_ASSIGN_OR_RETURN(env.topology.partition_rate,
+                                GetDouble(kv, "rate", line_no));
+          WFMS_ASSIGN_OR_RETURN(env.topology.heal_rate,
+                                GetDouble(kv, "heal", line_no));
+        } else {
+          return LineError(line_no, "unexpected '" + keyword +
+                                        "' in sites section "
+                                        "(site|latency|partition)");
+        }
+        break;
+      }
       default:
         return LineError(line_no, "internal section error");
     }
@@ -253,6 +324,47 @@ Result<Environment> ParseEnvironment(std::string_view text) {
       requests[*index] = count;
     }
     WFMS_RETURN_NOT_OK(env.loads.SetLoad(load.activity, std::move(requests)));
+  }
+
+  // Resolve latency rows now that the site list (and so the expected row
+  // width) is known. Errors name the offending site or matrix entry.
+  const size_t num_sites = env.topology.num_sites();
+  if (num_sites > 0) {
+    env.topology.latency.assign(num_sites * num_sites, 0.0);
+    std::set<std::string> seen_rows;
+    for (const PendingLatencyRow& row : pending_latency) {
+      const auto index = env.topology.IndexOf(row.site);
+      if (!index.ok()) {
+        return LineError(row.line_no,
+                         "latency row names unknown site '" + row.site + "'");
+      }
+      if (!seen_rows.insert(row.site).second) {
+        return LineError(row.line_no,
+                         "duplicate latency row for site '" + row.site + "'");
+      }
+      if (row.values.size() != num_sites) {
+        return LineError(row.line_no,
+                         "latency row for site '" + row.site + "' has " +
+                             std::to_string(row.values.size()) +
+                             " entries, expected " +
+                             std::to_string(num_sites) + " (one per site)");
+      }
+      for (size_t b = 0; b < num_sites; ++b) {
+        env.topology.latency[*index * num_sites + b] = row.values[b];
+      }
+    }
+    if (!pending_latency.empty() && seen_rows.size() != num_sites) {
+      for (const Site& site : env.topology.sites) {
+        if (seen_rows.count(site.name) == 0) {
+          return Status::ParseError("missing latency row for site '" +
+                                    site.name + "'");
+        }
+      }
+    }
+  } else if (!pending_latency.empty()) {
+    return LineError(pending_latency.front().line_no,
+                     "latency row for site '" + pending_latency.front().site +
+                         "' but no sites declared");
   }
 
   if (!chart_dsl.empty()) {
@@ -295,7 +407,35 @@ std::string SerializeEnvironment(const Environment& env) {
     os << "  workflow " << spec.name << " chart=" << spec.chart
        << " rate=" << spec.arrival_rate << "\n";
   }
-  os << "end\n\n" << env.charts.ToDsl();
+  os << "end\n\n";
+  // The sites section is emitted only for multi-site environments so
+  // single-site scenario round-trips stay byte-identical to pre-site
+  // builds.
+  if (!env.topology.empty()) {
+    const size_t s = env.topology.num_sites();
+    os << "sites\n";
+    for (const Site& site : env.topology.sites) {
+      os << "  site " << site.name;
+      if (site.failure_rate > 0.0) {
+        os << " mttf=" << 1.0 / site.failure_rate
+           << " mttr=" << 1.0 / site.repair_rate;
+      }
+      os << "\n";
+    }
+    for (size_t a = 0; a < s; ++a) {
+      os << "  latency " << env.topology.sites[a].name;
+      for (size_t b = 0; b < s; ++b) {
+        os << " " << env.topology.Latency(a, b);
+      }
+      os << "\n";
+    }
+    if (env.topology.partition_rate > 0.0) {
+      os << "  partition rate=" << env.topology.partition_rate
+         << " heal=" << env.topology.heal_rate << "\n";
+    }
+    os << "end\n\n";
+  }
+  os << env.charts.ToDsl();
   return os.str();
 }
 

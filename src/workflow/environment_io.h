@@ -13,6 +13,13 @@
 //   workflows
 //     workflow EP chart=EP rate=1.0
 //   end
+//   sites                                              (optional, §12)
+//     site EU mttf=20000 mttr=20     # omit mttf/mttr: site never crashes
+//     site US mttf=20000 mttr=20
+//     latency EU 0 6                 # symmetric s x s matrix, one row
+//     latency US 6 0                 # per site (defaults to all-zero)
+//     partition rate=0.00005 heal=0.05
+//   end
 //   chart EP
 //     ... statechart DSL (parser.h) ...
 //   end

@@ -172,6 +172,25 @@ Result<Environment> EpEnvironment(double arrival_rate) {
   return env;
 }
 
+Result<Environment> GeoEpEnvironment(double arrival_rate,
+                                     double cross_site_latency) {
+  WFMS_ASSIGN_OR_RETURN(Environment env, EpEnvironment(arrival_rate));
+  Site eu;
+  eu.name = "EU";
+  eu.failure_rate = 1.0 / 525600.0;  // one whole-site loss per year
+  eu.repair_rate = 1.0 / 60.0;       // restored in an hour
+  Site us = eu;
+  us.name = "US";
+  env.topology.sites.push_back(std::move(eu));
+  env.topology.sites.push_back(std::move(us));
+  env.topology.latency = {0.0, cross_site_latency,  //
+                          cross_site_latency, 0.0};
+  env.topology.partition_rate = 1.0 / 43200.0;  // about once a month
+  env.topology.heal_rate = 1.0 / 20.0;          // heals in ~20 min
+  WFMS_RETURN_NOT_OK(env.Validate());
+  return env;
+}
+
 Result<Environment> BenchmarkEnvironment(double ep_rate, double loan_rate,
                                          double claim_rate) {
   Environment env;

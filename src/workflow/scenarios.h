@@ -38,6 +38,16 @@ Result<Environment> EpEnvironment(double arrival_rate = 0.5);
 const char* LoanChartsDsl();
 const char* ClaimChartsDsl();
 
+/// EP on two sites (EU, US) for the geo-distribution experiments
+/// (DESIGN.md §12): each site can crash as a whole (MTTF 1 year, MTTR
+/// 1 h), the WAN link partitions about once a month and heals in ~20 min,
+/// and cross-site communication adds `cross_site_latency` minutes to the
+/// communication-server service time (default 0.002 min = 120 ms).
+/// Replica placement is per configuration (Configuration::FromSiteCounts);
+/// the environment itself fixes only the topology.
+Result<Environment> GeoEpEnvironment(double arrival_rate = 0.5,
+                                     double cross_site_latency = 0.002);
+
 /// Three-workflow benchmark mix on five server types:
 ///   0: comm      (communication server)
 ///   1: eng-order (workflow engine, order processing)

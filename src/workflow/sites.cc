@@ -1,0 +1,202 @@
+#include "workflow/sites.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace wfms::workflow {
+namespace {
+
+// Tolerance for the symmetry check of the latency matrix: entries may come
+// from a text scenario with limited precision, so a relative slack is
+// allowed before an asymmetry is flagged as an authoring error.
+constexpr double kSymmetryTolerance = 1e-9;
+
+std::string FormatEntry(const SiteTopology& topo, size_t a, size_t b) {
+  std::ostringstream os;
+  os << "latency[" << topo.sites[a].name << "][" << topo.sites[b].name << "]";
+  return os.str();
+}
+
+}  // namespace
+
+Result<size_t> SiteTopology::IndexOf(const std::string& name) const {
+  for (size_t a = 0; a < sites.size(); ++a) {
+    if (sites[a].name == name) return a;
+  }
+  return Status::NotFound("unknown site '" + name + "'");
+}
+
+Status SiteTopology::Validate() const {
+  if (sites.empty()) {
+    if (!latency.empty() || partition_rate != 0.0 || heal_rate != 0.0) {
+      return Status::InvalidArgument(
+          "site topology has latency/partition data but no sites");
+    }
+    return Status::OK();
+  }
+  const size_t s = sites.size();
+  if (s > kMaxSites) {
+    std::ostringstream os;
+    os << "too many sites: " << s << " (max " << kMaxSites << ")";
+    return Status::InvalidArgument(os.str());
+  }
+  std::set<std::string> names;
+  for (const Site& site : sites) {
+    if (site.name.empty()) {
+      return Status::InvalidArgument("site with empty name");
+    }
+    if (!names.insert(site.name).second) {
+      return Status::InvalidArgument("duplicate site name '" + site.name +
+                                     "'");
+    }
+    if (!std::isfinite(site.failure_rate) || site.failure_rate < 0.0) {
+      return Status::InvalidArgument("site '" + site.name +
+                                     "': failure rate must be finite and "
+                                     ">= 0");
+    }
+    if (!std::isfinite(site.repair_rate) || site.repair_rate < 0.0) {
+      return Status::InvalidArgument(
+          "site '" + site.name + "': repair rate must be finite and >= 0");
+    }
+    if (site.failure_rate > 0.0 && site.repair_rate == 0.0) {
+      return Status::InvalidArgument(
+          "site '" + site.name +
+          "': a failing site needs a positive repair rate");
+    }
+  }
+  if (latency.size() != s * s) {
+    std::ostringstream os;
+    os << "latency matrix is not " << s << "x" << s << ": got "
+       << latency.size() << " entries for " << s << " sites";
+    return Status::InvalidArgument(os.str());
+  }
+  for (size_t a = 0; a < s; ++a) {
+    for (size_t b = 0; b < s; ++b) {
+      const double v = Latency(a, b);
+      if (!std::isfinite(v) || v < 0.0) {
+        std::ostringstream os;
+        os << FormatEntry(*this, a, b) << " = " << v
+           << ": latency must be finite and >= 0";
+        return Status::InvalidArgument(os.str());
+      }
+      if (a == b && v != 0.0) {
+        std::ostringstream os;
+        os << FormatEntry(*this, a, b) << " = " << v
+           << ": diagonal latency must be zero";
+        return Status::InvalidArgument(os.str());
+      }
+      if (a < b) {
+        const double w = Latency(b, a);
+        const double scale = std::max({1.0, std::abs(v), std::abs(w)});
+        if (std::abs(v - w) > kSymmetryTolerance * scale) {
+          std::ostringstream os;
+          os << "asymmetric latency: " << FormatEntry(*this, a, b) << " = "
+             << v << " but " << FormatEntry(*this, b, a) << " = " << w;
+          return Status::InvalidArgument(os.str());
+        }
+      }
+    }
+  }
+  if (!std::isfinite(partition_rate) || partition_rate < 0.0) {
+    return Status::InvalidArgument("partition rate must be finite and >= 0");
+  }
+  if (!std::isfinite(heal_rate) || heal_rate < 0.0) {
+    return Status::InvalidArgument("heal rate must be finite and >= 0");
+  }
+  if (partition_rate > 0.0 && heal_rate == 0.0) {
+    return Status::InvalidArgument(
+        "a positive partition rate needs a positive heal rate");
+  }
+  return Status::OK();
+}
+
+size_t PairIndex(size_t a, size_t b, size_t num_sites) {
+  // Lexicographic index of (a, b), a < b, among all unordered pairs.
+  return a * num_sites - a * (a + 1) / 2 + (b - a - 1);
+}
+
+uint64_t ServingComponent(size_t num_types, size_t num_sites,
+                          const int* up_counts, uint64_t up_sites,
+                          uint64_t partitioned_pairs) {
+  // Union-find over the up sites; an edge (a, b) exists iff both endpoints
+  // are up and the pair is not partitioned.
+  size_t parent[SiteTopology::kMaxSites];
+  for (size_t a = 0; a < num_sites; ++a) parent[a] = a;
+  const auto find = [&](size_t a) {
+    while (parent[a] != a) a = parent[a] = parent[parent[a]];
+    return a;
+  };
+  for (size_t a = 0; a + 1 < num_sites; ++a) {
+    if ((up_sites & (uint64_t{1} << a)) == 0) continue;
+    for (size_t b = a + 1; b < num_sites; ++b) {
+      if ((up_sites & (uint64_t{1} << b)) == 0) continue;
+      if (partitioned_pairs & (uint64_t{1} << PairIndex(a, b, num_sites))) {
+        continue;
+      }
+      const size_t ra = find(a);
+      const size_t rb = find(b);
+      if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+    }
+  }
+  // Scan components in order of their root (== lowest member index), which
+  // resolves the tie-break "lowest minimum site index" for free: the first
+  // component with the maximal replica total wins.
+  uint64_t best_mask = 0;
+  long best_total = -1;
+  for (size_t root = 0; root < num_sites; ++root) {
+    if ((up_sites & (uint64_t{1} << root)) == 0) continue;
+    if (find(root) != root) continue;
+    uint64_t mask = 0;
+    for (size_t a = root; a < num_sites; ++a) {
+      if ((up_sites & (uint64_t{1} << a)) != 0 && find(a) == root) {
+        mask |= uint64_t{1} << a;
+      }
+    }
+    bool covers = true;
+    long total = 0;
+    for (size_t x = 0; x < num_types && covers; ++x) {
+      long type_total = 0;
+      for (size_t a = 0; a < num_sites; ++a) {
+        if (mask & (uint64_t{1} << a)) {
+          type_total += up_counts[x * num_sites + a];
+        }
+      }
+      if (type_total == 0) covers = false;
+      total += type_total;
+    }
+    if (covers && total > best_total) {
+      best_total = total;
+      best_mask = mask;
+    }
+  }
+  return best_mask;
+}
+
+double MeanCrossSiteLatency(const SiteTopology& topology,
+                            const std::vector<int>& site_counts,
+                            size_t type_index) {
+  const size_t s = topology.num_sites();
+  if (s == 0) return 0.0;
+  long total = 0;
+  for (size_t a = 0; a < s; ++a) {
+    total += site_counts[type_index * s + a];
+  }
+  if (total == 0) return 0.0;
+  // Origin site uniform over sites, serving replica proportional to the
+  // placement: lambda_bar = sum_a sum_b (n_xa / Y_x) * (1/s) * L(b, a).
+  double mean = 0.0;
+  for (size_t a = 0; a < s; ++a) {
+    const double weight =
+        static_cast<double>(site_counts[type_index * s + a]) /
+        static_cast<double>(total);
+    if (weight == 0.0) continue;
+    for (size_t b = 0; b < s; ++b) {
+      mean += weight * topology.Latency(b, a) / static_cast<double>(s);
+    }
+  }
+  return mean;
+}
+
+}  // namespace wfms::workflow

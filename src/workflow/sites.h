@@ -1,0 +1,91 @@
+// Multi-site extension of the environment model (DESIGN.md §12): server
+// replicas are placed at named sites, sites fail and repair as a whole
+// (common-shock crash taking down every replica at the site at once),
+// site pairs can partition (cross-site traffic severed until healed), and
+// an inter-site latency matrix inflates communication-server service
+// times. The coverage structure function here — "the WFMS is available
+// iff some connected component of up sites hosts at least one up replica
+// of every server type" — is shared by the availability CTMC, the
+// contingency assessment, and the simulator's availability gauge, so all
+// three agree on what "available" means in a geo-distributed deployment.
+#ifndef WFMS_WORKFLOW_SITES_H_
+#define WFMS_WORKFLOW_SITES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfms::workflow {
+
+/// One named site (data center / region). Zero rates mean the site never
+/// crashes as a whole (individual server failures still apply).
+struct Site {
+  std::string name;
+  /// Site-crash rate (1/MTTF of the whole site) and repair rate.
+  double failure_rate = 0.0;
+  double repair_rate = 0.0;
+};
+
+/// Sites plus the symmetric inter-site latency matrix and the pairwise
+/// partition/heal process shared by every site pair. Empty (no sites)
+/// means the classic single-site model; every site-aware code path is
+/// gated on !empty() so single-site behavior stays byte-identical.
+struct SiteTopology {
+  /// Masks over sites and site pairs are uint64_t; the pair count
+  /// s*(s-1)/2 must fit, and realistic geo deployments are small.
+  static constexpr size_t kMaxSites = 8;
+
+  std::vector<Site> sites;
+  /// Row-major s x s one-way latency in model time units; the diagonal is
+  /// zero and the matrix is symmetric (within tolerance).
+  std::vector<double> latency;
+  /// Per-pair partition rate (any pair severs at this rate) and heal rate.
+  double partition_rate = 0.0;
+  double heal_rate = 0.0;
+
+  bool empty() const { return sites.empty(); }
+  size_t num_sites() const { return sites.size(); }
+  double Latency(size_t a, size_t b) const {
+    return latency[a * sites.size() + b];
+  }
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Names the offending site or latency-matrix entry on failure: matrix
+  /// not s x s, asymmetric beyond tolerance, negative/non-finite entries,
+  /// nonzero diagonal, duplicate site names, bad rates.
+  Status Validate() const;
+};
+
+/// Number of unordered site pairs, and the lexicographic index of pair
+/// (a, b) with a < b among them (pair masks are bitsets over this index).
+inline size_t PairCount(size_t num_sites) {
+  return num_sites * (num_sites - 1) / 2;
+}
+size_t PairIndex(size_t a, size_t b, size_t num_sites);
+
+/// The coverage structure function. `up_counts` is type-major: entry
+/// x * num_sites + a = number of up replicas of server type x at site a.
+/// Sites connect iff both are up and their pair is not partitioned
+/// (bit PairIndex(a,b) of `partitioned_pairs`). Returns the site mask of
+/// the serving component: the connected component of up sites that hosts
+/// >= 1 up replica of every type, picking the one with the most up
+/// replicas in total (ties: lowest minimum site index) when several
+/// qualify. 0 when no component covers every type (system down).
+uint64_t ServingComponent(size_t num_types, size_t num_sites,
+                          const int* up_counts, uint64_t up_sites,
+                          uint64_t partitioned_pairs);
+
+/// Mean extra one-way latency a request of server type x pays when its
+/// origin site (uniform over all sites) differs from the serving replica's
+/// site (drawn proportionally to the placement `site_counts`, type-major
+/// as in Configuration::site_counts). This deterministic shift inflates
+/// the type's service-time moments in the queueing layer.
+double MeanCrossSiteLatency(const SiteTopology& topology,
+                            const std::vector<int>& site_counts,
+                            size_t type_index);
+
+}  // namespace wfms::workflow
+
+#endif  // WFMS_WORKFLOW_SITES_H_

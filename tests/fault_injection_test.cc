@@ -117,6 +117,100 @@ at 5500 restore app
   EXPECT_FALSE(extra_index.ok());
 }
 
+TEST(FaultScheduleTest, HardeningRejectsWithLineNumbers) {
+  auto env = workflow::GeoEpEnvironment();
+  ASSERT_TRUE(env.ok());
+  const auto expect_error_at = [&](const std::string& text, int line,
+                                   const std::string& needle) {
+    auto parsed = ParseFaultSchedule(text, env->servers, &env->topology);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+    const std::string message = parsed.status().ToString();
+    EXPECT_NE(message.find("line " + std::to_string(line)), std::string::npos)
+        << message;
+    EXPECT_NE(message.find(needle), std::string::npos) << message;
+  };
+
+  // Out-of-order timestamps.
+  expect_error_at("at 100 crash engine\nat 50 crash comm\n", 2,
+                  "out-of-order timestamp");
+  // Unknown server and site names.
+  expect_error_at("at 1 crash warp-core\n", 1, "unknown server type");
+  expect_error_at("at 1 site-crash MARS\n", 1, "unknown site");
+  expect_error_at("at 1 partition EU|MARS\n", 1, "unknown site");
+  // Overlapping crash windows: a replica or site crashed again before its
+  // scripted repair.
+  expect_error_at("at 1 crash engine 0\nat 2 crash engine 0\n", 2,
+                  "overlapping crash window");
+  expect_error_at(
+      "at 1 site-crash EU\nat 2 site-repair EU\nat 3 site-crash EU\n"
+      "at 4 site-crash EU\n",
+      4, "overlapping crash window");
+  // A site cannot partition from itself.
+  expect_error_at("at 1 partition EU|EU\n", 1, "partitioned from itself");
+
+  // Site directives without a topology are errors, with the line number.
+  auto no_topology =
+      ParseFaultSchedule("at 1 site-crash EU", env->servers, nullptr);
+  ASSERT_FALSE(no_topology.ok());
+  EXPECT_NE(no_topology.status().ToString().find("sites section"),
+            std::string::npos);
+
+  // Repair closes the window; distinct replicas do not collide.
+  auto ok = ParseFaultSchedule(
+      "at 1 crash engine 0\nat 2 repair engine 0\nat 3 crash engine 0\n"
+      "at 3 crash engine 1\nat 4 site-crash EU\nat 5 site-repair EU\n"
+      "at 6 site-crash EU\n",
+      env->servers, &env->topology);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(FaultScheduleTest, EveryPrefixOfAValidScheduleParses) {
+  auto env = workflow::GeoEpEnvironment();
+  ASSERT_TRUE(env.ok());
+  const std::string text =
+      "# geo schedule\n"
+      "mode overlay\n"
+      "at 100 partition EU|US\n"
+      "at 160 heal EU|US\n"
+      "at 2000 site-crash EU\n"
+      "\n"
+      "at 2500 site-repair EU\n"
+      "at 3000 site-crash US\n";
+  auto full = ParseFaultSchedule(text, env->servers, &env->topology);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_EQ(full->events.size(), 5u);
+
+  // Property: the hardening state (chronology, open crash windows) is
+  // prefix-closed, so truncating a valid schedule after any complete line
+  // still parses — a partially written schedule file never turns into a
+  // hard error — and yields a prefix of the full event list.
+  size_t newline = 0;
+  while ((newline = text.find('\n', newline)) != std::string::npos) {
+    ++newline;
+    const std::string prefix = text.substr(0, newline);
+    auto parsed = ParseFaultSchedule(prefix, env->servers, &env->topology);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status() << " for prefix:\n" << prefix;
+    ASSERT_LE(parsed->events.size(), full->events.size());
+    for (size_t i = 0; i < parsed->events.size(); ++i) {
+      EXPECT_EQ(parsed->events[i].time, full->events[i].time);
+      EXPECT_EQ(parsed->events[i].action, full->events[i].action);
+    }
+  }
+
+  // Character-level truncation may cut a line mid-token: the parser must
+  // answer ok or a line-numbered parse error — never anything else.
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    auto parsed = ParseFaultSchedule(text.substr(0, cut), env->servers,
+                                     &env->topology);
+    if (parsed.ok()) continue;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+    EXPECT_NE(parsed.status().ToString().find("line "), std::string::npos)
+        << parsed.status();
+  }
+}
+
 TEST(FaultInjectionTest, WholeTypeOutageDowntimeMatchesPrescribed) {
   auto env = workflow::EpEnvironment();
   ASSERT_TRUE(env.ok());

@@ -1,0 +1,439 @@
+// Geo-distributed environments (DESIGN.md §12): the coverage structure
+// function, the site-mode availability CTMC vs its product form, the
+// survivability contingency assessment, the per-site placement search,
+// and the simulator cross-checks (overlay partitions and scripted site
+// evacuation against the analytic / prescribed availability).
+#include "workflow/sites.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "avail/availability_model.h"
+#include "configtool/tool.h"
+#include "sim/fault_schedule.h"
+#include "sim/simulator.h"
+#include "workflow/configuration.h"
+#include "workflow/scenarios.h"
+
+namespace wfms {
+namespace {
+
+using workflow::Configuration;
+using workflow::Environment;
+using workflow::ServingComponent;
+
+Environment GeoEnv() {
+  auto env = workflow::GeoEpEnvironment();
+  EXPECT_TRUE(env.ok()) << env.status();
+  return *std::move(env);
+}
+
+// Split replica placement across EU/US: comm 1/1, engine 1/1, app 2/2.
+Configuration SymmetricPlacement() {
+  return Configuration::FromSiteCounts({1, 1, 1, 1, 2, 2}, 2);
+}
+
+// All engines at EU, all app servers at US: a partition severs the
+// workflow (no side hosts every type).
+Configuration SplitBrainPlacement() {
+  return Configuration::FromSiteCounts({1, 1, 2, 0, 0, 2}, 2);
+}
+
+// ------------------------------------------------ structure function --
+
+TEST(ServingComponentTest, RequiresEveryTypeInOneComponent) {
+  // 2 types x 2 sites, type-major up counts.
+  const int covered[] = {1, 1, 1, 1};
+  // All up, no partition: both sites connect; serving mask covers both.
+  EXPECT_EQ(ServingComponent(2, 2, covered, 0b11, 0), 0b11u);
+  // Partitioned, but each site self-sufficient: a singleton serves.
+  EXPECT_NE(ServingComponent(2, 2, covered, 0b11, 0b1), 0u);
+
+  // Type 0 only at site 0, type 1 only at site 1: needs the link.
+  const int split[] = {1, 0, 0, 1};
+  EXPECT_EQ(ServingComponent(2, 2, split, 0b11, 0), 0b11u);
+  EXPECT_EQ(ServingComponent(2, 2, split, 0b11, 0b1), 0u);
+  // Losing either site kills it too.
+  EXPECT_EQ(ServingComponent(2, 2, split, 0b01, 0), 0u);
+  EXPECT_EQ(ServingComponent(2, 2, split, 0b10, 0), 0u);
+
+  // A down site contributes nothing even if its counts are up.
+  EXPECT_EQ(ServingComponent(2, 2, covered, 0b01, 0), 0b01u);
+  EXPECT_EQ(ServingComponent(2, 2, covered, 0, 0), 0u);
+}
+
+TEST(ServingComponentTest, PicksTheBestQualifyingComponent) {
+  // Both singletons qualify under a partition; the one with more up
+  // replicas wins, ties break to the lowest site index.
+  const int heavier_b[] = {1, 2, 1, 2};
+  EXPECT_EQ(ServingComponent(2, 2, heavier_b, 0b11, 0b1), 0b10u);
+  const int tie[] = {1, 1, 1, 1};
+  EXPECT_EQ(ServingComponent(2, 2, tie, 0b11, 0b1), 0b01u);
+}
+
+TEST(SiteTopologyTest, PairIndexingAndGeoScenario) {
+  EXPECT_EQ(workflow::PairCount(2), 1u);
+  EXPECT_EQ(workflow::PairCount(4), 6u);
+  EXPECT_EQ(workflow::PairIndex(0, 1, 2), 0u);
+
+  const Environment env = GeoEnv();
+  ASSERT_EQ(env.topology.num_sites(), 2u);
+  EXPECT_EQ(env.topology.sites[0].name, "EU");
+  EXPECT_EQ(env.topology.sites[1].name, "US");
+  EXPECT_GT(env.topology.Latency(0, 1), 0.0);
+  EXPECT_EQ(env.topology.Latency(0, 0), 0.0);
+  auto eu = env.topology.IndexOf("EU");
+  ASSERT_TRUE(eu.ok());
+  EXPECT_EQ(*eu, 0u);
+  EXPECT_FALSE(env.topology.IndexOf("MARS").ok());
+}
+
+// ------------------------------------------- availability, site mode --
+
+TEST(GeoAvailabilityTest, ProductFormMatchesCtmcSolve) {
+  const Environment env = GeoEnv();
+  avail::AvailabilityOptions ctmc_options;
+  auto ctmc_model = avail::AvailabilityModel::Create(env.servers, ctmc_options,
+                                                     &env.topology);
+  ASSERT_TRUE(ctmc_model.ok()) << ctmc_model.status();
+  avail::AvailabilityOptions pf_options;
+  pf_options.use_product_form = true;
+  auto pf_model =
+      avail::AvailabilityModel::Create(env.servers, pf_options, &env.topology);
+  ASSERT_TRUE(pf_model.ok());
+
+  for (const Configuration& config :
+       {SymmetricPlacement(), SplitBrainPlacement()}) {
+    auto ctmc = ctmc_model->EvaluateSites(config);
+    ASSERT_TRUE(ctmc.ok()) << ctmc.status();
+    auto pf = pf_model->EvaluateSites(config);
+    ASSERT_TRUE(pf.ok()) << pf.status();
+    EXPECT_NEAR(ctmc->availability, pf->availability, 1e-9)
+        << config.ToString();
+    ASSERT_EQ(ctmc->expected_up_servers.size(), pf->expected_up_servers.size());
+    for (size_t x = 0; x < ctmc->expected_up_servers.size(); ++x) {
+      EXPECT_NEAR(ctmc->expected_up_servers[x], pf->expected_up_servers[x],
+                  1e-8);
+    }
+  }
+}
+
+TEST(GeoAvailabilityTest, ContingencyConditioningIsMonotone) {
+  const Environment env = GeoEnv();
+  auto model = avail::AvailabilityModel::Create(env.servers, {}, &env.topology);
+  ASSERT_TRUE(model.ok());
+
+  const Configuration config = SymmetricPlacement();
+  auto baseline = model->EvaluateSites(config);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_GT(baseline->availability, 0.999);
+
+  // Losing a site can only hurt; the symmetric placement still serves
+  // from the survivor.
+  avail::SiteContingency eu_down;
+  eu_down.down_sites = 0b01;
+  auto degraded = model->EvaluateSites(config, eu_down);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_LT(degraded->availability, baseline->availability);
+  EXPECT_GT(degraded->availability, 0.99);
+
+  // The split-brain placement is dead under a partition: no side covers
+  // every type, so availability is exactly zero.
+  avail::SiteContingency split;
+  split.partitioned_pairs = 0b1;
+  auto dead = model->EvaluateSites(SplitBrainPlacement(), split);
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ(dead->availability, 0.0);
+  // The symmetric placement rides a partition out on both sides.
+  auto survives = model->EvaluateSites(config, split);
+  ASSERT_TRUE(survives.ok());
+  EXPECT_GT(survives->availability, 0.999);
+}
+
+TEST(GeoAvailabilityTest, ClassicConfigurationIsUnchangedByTopology) {
+  // A non-site-placed configuration must take the classic path even when
+  // the model owns a topology: single-site outputs stay byte-identical.
+  const Environment geo = GeoEnv();
+  auto geo_model =
+      avail::AvailabilityModel::Create(geo.servers, {}, &geo.topology);
+  ASSERT_TRUE(geo_model.ok());
+  auto plain_env = workflow::EpEnvironment();
+  ASSERT_TRUE(plain_env.ok());
+  auto plain_model = avail::AvailabilityModel::Create(plain_env->servers, {});
+  ASSERT_TRUE(plain_model.ok());
+
+  const Configuration classic({2, 2, 3});
+  EXPECT_FALSE(geo_model->site_mode(classic));
+  auto a = geo_model->Evaluate(classic);
+  auto b = plain_model->Evaluate(classic);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->availability, b->availability);
+  EXPECT_EQ(a->downtime_minutes_per_year, b->downtime_minutes_per_year);
+  EXPECT_FALSE(a->site_layout.active);
+}
+
+// -------------------------------------------- survivability assessment --
+
+configtool::Goals SurvivabilityGoals() {
+  configtool::Goals goals;
+  goals.max_waiting_time = 0.2;
+  goals.min_availability = 0.999;
+  goals.survive_sites = 1;
+  goals.survive_partitions = true;
+  goals.degraded_max_waiting_time = 0.2;
+  goals.degraded_min_availability = 0.995;
+  return goals;
+}
+
+TEST(GeoAssessTest, SplitBrainFailsAndSymmetricMeetsSurvivability) {
+  const Environment env = GeoEnv();
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok()) << tool.status();
+  const configtool::Goals goals = SurvivabilityGoals();
+
+  auto split = tool->Assess(SplitBrainPlacement(), goals);
+  ASSERT_TRUE(split.ok()) << split.status();
+  ASSERT_EQ(split->contingencies.size(), 3u);  // 2 site losses + 1 partition
+  EXPECT_FALSE(split->meets_survivability_goal);
+  EXPECT_FALSE(split->Satisfies());
+  bool saw_partition = false;
+  for (const auto& c : split->contingencies) {
+    if (c.label == "partition EU|US") {
+      saw_partition = true;
+      EXPECT_EQ(c.availability, 0.0);
+      EXPECT_FALSE(c.satisfied);
+    }
+  }
+  EXPECT_TRUE(saw_partition);
+
+  auto symmetric = tool->Assess(SymmetricPlacement(), goals);
+  ASSERT_TRUE(symmetric.ok());
+  ASSERT_EQ(symmetric->contingencies.size(), 3u);
+  for (const auto& c : symmetric->contingencies) {
+    EXPECT_TRUE(c.satisfied) << c.label;
+    EXPECT_GE(c.availability, goals.DegradedAvailabilityGoal()) << c.label;
+  }
+  EXPECT_TRUE(symmetric->meets_survivability_goal);
+  EXPECT_TRUE(symmetric->Satisfies());
+
+  // Without survivability goals the same placements skip the contingency
+  // sweep entirely (it is a pure opt-in).
+  configtool::Goals plain;
+  plain.max_waiting_time = 0.2;
+  plain.min_availability = 0.999;
+  auto unswept = tool->Assess(SplitBrainPlacement(), plain);
+  ASSERT_TRUE(unswept.ok());
+  EXPECT_TRUE(unswept->contingencies.empty());
+  EXPECT_TRUE(unswept->meets_survivability_goal);
+}
+
+TEST(GeoAssessTest, ContingencyReportsAreMemoized) {
+  const Environment env = GeoEnv();
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+  const configtool::Goals goals = SurvivabilityGoals();
+
+  auto first = tool->Assess(SymmetricPlacement(), goals);
+  ASSERT_TRUE(first.ok());
+  const auto after_first = tool->cache_stats();
+  // Base report + one per contingency.
+  EXPECT_GE(after_first.entries, 4u);
+
+  auto second = tool->Assess(SymmetricPlacement(), goals);
+  ASSERT_TRUE(second.ok());
+  const auto after_second = tool->cache_stats();
+  EXPECT_EQ(after_second.entries, after_first.entries);
+  EXPECT_GT(after_second.hits, after_first.hits);
+  ASSERT_EQ(second->contingencies.size(), first->contingencies.size());
+  for (size_t i = 0; i < first->contingencies.size(); ++i) {
+    EXPECT_EQ(second->contingencies[i].availability,
+              first->contingencies[i].availability);
+    EXPECT_EQ(second->contingencies[i].max_expected_waiting,
+              first->contingencies[i].max_expected_waiting);
+  }
+}
+
+// -------------------------------------------------- placement search --
+
+TEST(GeoSearchTest, GreedySiteFindsSurvivablePlacement) {
+  const Environment env = GeoEnv();
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+
+  auto result = tool->GreedySiteMinCost(SurvivabilityGoals());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_TRUE(result->assessment.Satisfies());
+  EXPECT_TRUE(result->assessment.meets_survivability_goal);
+  // The ISSUE acceptance scenario: where the split-brain baseline dies
+  // under a partition, the search lands on the symmetric placement.
+  EXPECT_EQ(result->config, SymmetricPlacement());
+  EXPECT_EQ(result->cost, 8.0);
+  // Every site hosts every type, so each side survives alone.
+  for (size_t x = 0; x < env.num_server_types(); ++x) {
+    for (size_t a = 0; a < env.topology.num_sites(); ++a) {
+      EXPECT_GE(result->config.SiteCount(x, a), 1) << x << "/" << a;
+    }
+  }
+}
+
+TEST(GeoSearchTest, GreedySiteIsThreadCountInvariant) {
+  const Environment env = GeoEnv();
+  auto sequential = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(sequential.ok());
+  sequential->set_num_threads(1);
+  auto pooled = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(pooled.ok());
+  pooled->set_num_threads(4);
+
+  const configtool::Goals goals = SurvivabilityGoals();
+  auto a = sequential->GreedySiteMinCost(goals);
+  auto b = pooled->GreedySiteMinCost(goals);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->config, b->config);
+  EXPECT_EQ(a->cost, b->cost);
+  EXPECT_EQ(a->satisfied, b->satisfied);
+  EXPECT_EQ(a->evaluations, b->evaluations);
+  EXPECT_EQ(a->assessment.performability.availability,
+            b->assessment.performability.availability);
+}
+
+TEST(GeoSearchTest, MinPerSiteAnchorsAreHonored) {
+  const Environment env = GeoEnv();
+  auto tool = configtool::ConfigurationTool::Create(env);
+  ASSERT_TRUE(tool.ok());
+
+  configtool::SiteSearchConstraints constraints;
+  // Type-major (k=3, s=2): the US site always keeps two app servers.
+  constraints.min_per_site = {0, 0, 0, 0, 0, 2};
+  auto result = tool->GreedySiteMinCost(SurvivabilityGoals(), constraints);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_GE(result->config.SiteCount(2, 1), 2);
+
+  // Bad shapes are structural errors, not silent truncation.
+  configtool::SiteSearchConstraints bad;
+  bad.min_per_site = {1, 2, 3};  // not k*s entries
+  EXPECT_FALSE(tool->GreedySiteMinCost(SurvivabilityGoals(), bad).ok());
+}
+
+// ----------------------------------------------- simulator cross-checks --
+
+sim::SimulationResult RunSim(const Environment& env,
+                             sim::SimulationOptions options) {
+  auto simulator = sim::Simulator::Create(env, std::move(options));
+  EXPECT_TRUE(simulator.ok()) << simulator.status();
+  auto result = simulator->Run();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+TEST(GeoSimulationTest, OverlayPartitionMatchesAnalyticContingency) {
+  const Environment env = GeoEnv();
+  auto model = avail::AvailabilityModel::Create(env.servers, {}, &env.topology);
+  ASSERT_TRUE(model.ok());
+  avail::SiteContingency partition;
+  partition.partitioned_pairs = 0b1;
+
+  // A partition pinned for the whole run via the overlay schedule (random
+  // replica failures stay on) must reproduce the analytic contingency
+  // availability: exactly 0 for the split-brain placement, and within
+  // confidence bounds of ~0.999998 for the symmetric one.
+  auto schedule = sim::ParseFaultSchedule(
+      "mode overlay\nat 0 partition EU|US\n", env.servers, &env.topology);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+
+  sim::SimulationOptions options;
+  options.duration = 20000.0;
+  options.warmup = 1000.0;
+  options.seed = 7;
+  options.enable_failures = true;
+  options.faults = *schedule;
+
+  options.config = SplitBrainPlacement();
+  const sim::SimulationResult dead = RunSim(env, options);
+  auto dead_analytic =
+      model->EvaluateSites(SplitBrainPlacement(), partition);
+  ASSERT_TRUE(dead_analytic.ok());
+  EXPECT_EQ(dead_analytic->availability, 0.0);
+  EXPECT_EQ(dead.observed_availability, 0.0);
+
+  options.config = SymmetricPlacement();
+  const sim::SimulationResult alive = RunSim(env, options);
+  auto alive_analytic = model->EvaluateSites(SymmetricPlacement(), partition);
+  ASSERT_TRUE(alive_analytic.ok());
+  EXPECT_GT(alive_analytic->availability, 0.999);
+  EXPECT_NEAR(alive.observed_availability, alive_analytic->availability, 0.01);
+}
+
+TEST(GeoSimulationTest, SiteCrashReplayMatchesPrescribedAvailability) {
+  const Environment env = GeoEnv();
+  // Everything at EU: the scripted EU outage (minutes 5000-9000, inside
+  // the 1000-20000 measurement window) takes the whole WFMS down for
+  // 4000 of 19000 measured minutes.
+  const Configuration all_eu =
+      Configuration::FromSiteCounts({1, 0, 1, 0, 2, 0}, 2);
+  auto schedule = sim::ParseFaultSchedule(
+      "at 5000 site-crash EU\nat 9000 site-repair EU\n", env.servers,
+      &env.topology);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+
+  sim::SimulationOptions options;
+  options.config = all_eu;
+  options.duration = 20000.0;
+  options.warmup = 1000.0;
+  options.seed = 11;
+  options.faults = *schedule;
+
+  auto prescribed = options.faults.PrescribedAvailability(
+      all_eu, env.num_server_types(), options.warmup, options.duration,
+      &env.topology);
+  ASSERT_TRUE(prescribed.ok()) << prescribed.status();
+  EXPECT_NEAR(*prescribed, 15000.0 / 19000.0, 1e-12);
+  const sim::SimulationResult result = RunSim(env, options);
+  EXPECT_NEAR(result.observed_availability, *prescribed, 1e-9);
+
+  // A placement with a full replica set at the surviving site rides the
+  // evacuation out.
+  options.config = SymmetricPlacement();
+  auto covered = options.faults.PrescribedAvailability(
+      options.config, env.num_server_types(), options.warmup,
+      options.duration, &env.topology);
+  ASSERT_TRUE(covered.ok());
+  EXPECT_DOUBLE_EQ(*covered, 1.0);
+  const sim::SimulationResult survived = RunSim(env, options);
+  EXPECT_DOUBLE_EQ(survived.observed_availability, 1.0);
+}
+
+TEST(GeoSimulationTest, ScriptedGeoRunsAreBitIdentical) {
+  const Environment env = GeoEnv();
+  sim::SimulationOptions options;
+  options.config = SymmetricPlacement();
+  options.duration = 8000.0;
+  options.warmup = 500.0;
+  options.seed = 29;
+  auto schedule = sim::ParseFaultSchedule(
+      "at 1000 partition EU|US\nat 1400 heal EU|US\n"
+      "at 3000 site-crash US\nat 3600 site-repair US\n",
+      env.servers, &env.topology);
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  options.faults = *schedule;
+
+  const sim::SimulationResult a = RunSim(env, options);
+  const sim::SimulationResult b = RunSim(env, options);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.observed_availability, b.observed_availability);
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (size_t x = 0; x < a.servers.size(); ++x) {
+    EXPECT_EQ(a.servers[x].completed_requests,
+              b.servers[x].completed_requests);
+    EXPECT_DOUBLE_EQ(a.servers[x].waiting_time.mean(),
+                     b.servers[x].waiting_time.mean());
+  }
+}
+
+}  // namespace
+}  // namespace wfms

@@ -31,7 +31,11 @@ AbsorbingCtmc MakeRandomChain(size_t n, uint64_t seed) {
   std::vector<std::string> names;
   for (size_t i = 0; i < n; ++i) {
     h[i] = rng.NextDouble(0.2, 8.0);
-    names.push_back("s" + std::to_string(i));
+    // Two-step name build dodges a GCC 12 -Wrestrict false positive on
+    // the fused literal+number concatenation (GCC PR105329).
+    std::string name(1, 's');
+    name += std::to_string(i);
+    names.push_back(std::move(name));
     // Random outgoing mass to later states, earlier states (loops), and
     // the absorbing state; guaranteed absorbing mass keeps the chain
     // proper.

@@ -30,8 +30,14 @@ Environment MakeRandomEnvironment(uint64_t seed) {
   statechart::ChartBuilder builder("W");
   std::vector<std::string> names;
   for (int i = 0; i < num_states; ++i) {
-    names.push_back("s" + std::to_string(i));
-    builder.AddActivityState(names.back(), "act" + std::to_string(i),
+    // Two-step name builds dodge a GCC 12 -Wrestrict false positive on
+    // the fused literal+number concatenation (GCC PR105329).
+    std::string name(1, 's');
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+    std::string activity("act");
+    activity += std::to_string(i);
+    builder.AddActivityState(names.back(), activity,
                              rng.NextDouble(0.5, 20.0));
   }
   builder.SetInitial(names.front()).SetFinal(names.back());

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "service/admission.h"
 #include "service/backend.h"
 #include "service/client.h"
@@ -451,6 +452,90 @@ TEST_F(ServerLoopbackTest, ClientRetriesUntilServerAppears) {
   auto result = client.Call(R"({"op":"ping"})");
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServerLoopbackTest, RetriesAreCountedAndGatedOnIdempotency) {
+  metrics::Counter& retries = metrics::MetricsRegistry::Global().GetCounter(
+      "wfms_service_client_retries_total");
+  ClientOptions client_options;
+  client_options.port = 1;  // reserved port, nothing listens
+  client_options.max_retries = 2;
+  client_options.backoff_initial_seconds = 0.01;
+  client_options.backoff_max_seconds = 0.02;
+
+  // Idempotent call: every transport retry is counted.
+  const uint64_t before = retries.value();
+  Client idempotent(client_options);
+  EXPECT_FALSE(idempotent.Call(R"({"op":"ping"})").ok());
+  EXPECT_EQ(retries.value(), before + 2);
+
+  // Non-idempotent call against a dead port: the request provably never
+  // reached the wire (connect failure), so retrying is still allowed —
+  // the idempotency gate only stops re-sends once bytes may be out.
+  const uint64_t before_mutating = retries.value();
+  Client mutating(client_options);
+  EXPECT_FALSE(
+      mutating.Call(R"({"op":"autotune"})", /*idempotent=*/false).ok());
+  EXPECT_EQ(retries.value(), before_mutating + 2);
+}
+
+TEST_F(ServerLoopbackTest, GeoSurvivabilityAssessOverTheWire) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+
+  // The split-brain placement dies under a partition; the wire response
+  // carries the per-contingency verdicts and the survivability bit.
+  auto split = client.Call(
+      R"({"id":"g1","op":"assess","scenario":"geo",)"
+      R"("site_config":[1,1,2,0,0,2],"max_wait":0.2,"min_avail":0.999,)"
+      R"("survive_sites":1,"survive_partitions":true,)"
+      R"("degraded_max_wait":0.2,"degraded_min_avail":0.995})");
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  auto split_doc = Json::Parse(*split);
+  ASSERT_TRUE(split_doc.ok()) << *split;
+  EXPECT_EQ(split_doc->GetString("status", ""), "completed");
+  const Json* result = split_doc->Find("result");
+  ASSERT_NE(result, nullptr) << *split;
+  EXPECT_FALSE(result->GetBool("meets_survivability_goal", true));
+  const Json* contingencies = result->Find("contingencies");
+  ASSERT_NE(contingencies, nullptr) << *split;
+  ASSERT_EQ(contingencies->items().size(), 3u);
+  bool saw_dead_partition = false;
+  for (const Json& c : contingencies->items()) {
+    if (c.GetString("contingency", "") == "partition EU|US") {
+      saw_dead_partition = true;
+      EXPECT_EQ(c.GetNumber("availability", -1.0), 0.0);
+      EXPECT_FALSE(c.GetBool("satisfied", true));
+    }
+  }
+  EXPECT_TRUE(saw_dead_partition);
+
+  // The symmetric placement meets the degraded goals everywhere.
+  auto symmetric = client.Call(
+      R"({"id":"g2","op":"assess","scenario":"geo",)"
+      R"("site_config":[1,1,1,1,2,2],"max_wait":0.2,"min_avail":0.999,)"
+      R"("survive_sites":1,"survive_partitions":true,)"
+      R"("degraded_max_wait":0.2,"degraded_min_avail":0.995})");
+  ASSERT_TRUE(symmetric.ok());
+  auto symmetric_doc = Json::Parse(*symmetric);
+  ASSERT_TRUE(symmetric_doc.ok());
+  const Json* ok_result = symmetric_doc->Find("result");
+  ASSERT_NE(ok_result, nullptr) << *symmetric;
+  EXPECT_TRUE(ok_result->GetBool("meets_survivability_goal", false));
+  EXPECT_TRUE(ok_result->GetBool("satisfies", false));
+
+  // site_config against a single-site scenario is a structural error.
+  auto mismatch = client.Call(
+      R"({"id":"g3","op":"assess","scenario":"ep",)"
+      R"("site_config":[1,1,1,1,2,2],"max_wait":0.2,"min_avail":0.999})");
+  ASSERT_TRUE(mismatch.ok());
+  auto mismatch_doc = Json::Parse(*mismatch);
+  ASSERT_TRUE(mismatch_doc.ok());
+  EXPECT_EQ(mismatch_doc->GetString("status", ""), "error");
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
 }
 
 }  // namespace

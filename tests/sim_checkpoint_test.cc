@@ -116,6 +116,53 @@ TEST(SimCheckpointTest, CancelWritesResumableCheckpoint) {
   std::remove(path.c_str());
 }
 
+TEST(SimCheckpointTest, LoadAndFaultScheduleResumeIsBitIdentical) {
+  // load_schedule x fault_schedule: checkpoints land *inside* a scripted
+  // crash window and between load phases (every 300 events over a 3000+
+  // minute horizon), so the saved cursor carries mid-window pool state and
+  // a shifted arrival rate. The resumed replay must validate that cursor
+  // and finish with bit-identical statistics.
+  const Environment env = MakeEnv();
+  SimulationOptions options = BaseOptions();
+  options.duration = 4000.0;
+  options.warmup = 300.0;
+  auto faults = ParseFaultSchedule(
+      "at 1000 crash engine 0\nat 2600 repair engine 0\n"
+      "at 3000 outage app\nat 3200 restore app\n",
+      env.servers);
+  ASSERT_TRUE(faults.ok()) << faults.status();
+  options.faults = *faults;
+  auto load = ParseLoadSchedule(
+      "at 800 scale-all 2.5\nat 2000 rate EP 0.4\nat 3500 scale EP 3\n",
+      env.workflows);
+  ASSERT_TRUE(load.ok()) << load.status();
+  options.load = *load;
+
+  auto baseline = RunSim(env, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  const std::string path = TempPath("load_fault");
+  options.checkpoint_path = path;
+  options.checkpoint_every_events = 300;
+  auto checkpointed = RunSim(env, options);
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status();
+  ExpectSameStatistics(*baseline, *checkpointed);
+
+  options.resume = true;
+  auto resumed = RunSim(env, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectSameStatistics(*baseline, *resumed);
+
+  // The fingerprint covers the load schedule: a cursor from a different
+  // workload phase plan must be refused, not silently replayed.
+  SimulationOptions other_load = options;
+  other_load.load.events[0].value = 3.0;
+  auto rejected = RunSim(env, other_load);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
 TEST(SimCheckpointTest, FingerprintMismatchIsRejectedBeforeReplay) {
   const Environment env = MakeEnv();
   SimulationOptions options = BaseOptions();

@@ -146,7 +146,12 @@ std::string BuildRequestLine(const DriverOptions& options, int index) {
   const std::vector<int>& config = kConfigs[static_cast<size_t>(index) %
                                             kConfigs.size()];
   Json req = Json::Object();
-  req.Set("id", Json::Str("r" + std::to_string(index)));
+  // Two-step id build: GCC 12's -Wrestrict misreads the fused
+  // literal+number concatenation as a potential self-overlap and -Werror
+  // trips on the false positive (GCC PR105329).
+  std::string id(1, 'r');
+  id += std::to_string(index);
+  req.Set("id", Json::Str(std::move(id)));
   req.Set("op", Json::Str(options.op));
   req.Set("scenario", Json::Str(options.scenario));
   if (options.tenant_stripes > 0) {
@@ -203,8 +208,10 @@ void RunWorker(const DriverOptions& options, int worker_index,
             request_count - answered);
         return;
       }
-      in_flight.emplace("r" + std::to_string(index),
-                        std::chrono::steady_clock::now());
+      // Same two-step build as BuildRequestLine (GCC PR105329).
+      std::string key(1, 'r');
+      key += std::to_string(index);
+      in_flight.emplace(std::move(key), std::chrono::steady_clock::now());
       ++sent;
     }
 

@@ -121,5 +121,13 @@ if [ -f "$OUT_DIR/BENCH_large_chain.json" ]; then
   echo "trajectory copy: $REPO_DIR/BENCH_large_chain.json"
 fi
 
+# The geo placement-search suite tracks the multi-site search's cost and
+# wall-clock trajectory; like the config-search copy it lands at the repo
+# root (gitignored) for cross-commit diffing.
+if [ -f "$OUT_DIR/BENCH_geo_search.json" ]; then
+  cp "$OUT_DIR/BENCH_geo_search.json" "$REPO_DIR/BENCH_geo_search.json"
+  echo "trajectory copy: $REPO_DIR/BENCH_geo_search.json"
+fi
+
 echo "$ran suite(s) written to $OUT_DIR ($failures failure(s))"
 [ "$failures" -eq 0 ]

@@ -135,11 +135,16 @@ client mode (assess, recommend, autotune, ping):
   --timeout S            response wait per attempt   (default 120)
 
 common flags:
-  --scenario  ep | benchmark | <path to scenario file>   (default: ep)
-  --config    comma-separated replication vector, e.g. 2,2,3
+  --scenario  ep | geo | benchmark | <path to scenario file> (default: ep;
+              geo = EP placed across two sites EU/US, see DESIGN.md §12)
+  --config    comma-separated replication vector, e.g. 2,2,3; multi-site
+              scenarios also accept per-site counts with '/', e.g.
+              2/1,1/1,2/2 (type-major: type 0 gets 2 at site A + 1 at B)
   --max-wait  waiting-time goal in minutes      (default 0.05)
   --min-avail availability goal                 (default 0.99999)
-  --method    greedy | exhaustive | annealing | bnb   (default greedy)
+  --method    greedy | greedy-site | exhaustive | annealing | bnb
+              (default greedy; greedy-site searches per-site placements
+               in a multi-site scenario)
   --max-replicas per-type search bound          (default 8)
   --lumping   off | auto | on — lumpability aggregation for the CTMC
               steady-state solve (assess, recommend). off (default)
@@ -158,6 +163,18 @@ common flags:
   --iterations annealing iteration count          (recommend, default 2000)
   --verbose   also report cache statistics and per-candidate failure
               causes on stderr (recommend)
+
+survivability goals (multi-site scenarios; assess, recommend):
+  --survive-sites N      goals must also hold with any N sites down
+                         (N = 0 or 1; default 0)
+  --survive-partitions   goals must also hold under any two-way partition
+  --degraded-max-wait    waiting-time goal under contingencies
+                         (default: inherit --max-wait)
+  --degraded-min-avail   availability goal under contingencies
+                         (default: inherit --min-avail)
+  --min-per-site         per-(type,site) placement minimums for
+                         greedy-site: type-major comma list, e.g.
+                         1,0,0,1 anchors types 0/1 at sites A/B
 
 autotune flags:
   --config          initial configuration        (default all-ones)
@@ -205,6 +222,7 @@ exit codes:
 
 Result<workflow::Environment> LoadScenario(const std::string& name) {
   if (name == "ep") return workflow::EpEnvironment();
+  if (name == "geo") return workflow::GeoEpEnvironment();
   if (name == "benchmark") return workflow::BenchmarkEnvironment();
   std::ifstream file(name);
   if (!file) {
@@ -215,10 +233,42 @@ Result<workflow::Environment> LoadScenario(const std::string& name) {
   return workflow::ParseEnvironment(buffer.str());
 }
 
+// Classic form "2,2,3" or, in a multi-site scenario, per-site counts with
+// '/' separators: "2/1,1/1,2/2" places type 0 as 2 at site A + 1 at site B,
+// and so on (type-major, one slash-group per server type).
 Result<workflow::Configuration> ParseConfig(const std::string& text,
-                                            size_t num_types) {
+                                            size_t num_types,
+                                            size_t num_sites) {
   if (text.empty()) {
     return Status::InvalidArgument("--config is required for this command");
+  }
+  if (text.find('/') != std::string::npos) {
+    if (num_sites == 0) {
+      return Status::InvalidArgument(
+          "per-site --config (the a/b/... form) needs a scenario with a "
+          "sites section");
+    }
+    std::vector<int> counts;
+    for (const std::string& part : SplitString(text, ',')) {
+      const std::vector<std::string> per_site = SplitString(part, '/');
+      if (per_site.size() != num_sites) {
+        return Status::InvalidArgument(
+            "--config entry '" + part + "' must list one count per site (" +
+            std::to_string(num_sites) + " sites)");
+      }
+      for (const std::string& entry : per_site) {
+        int value = 0;
+        if (!ParseInt(entry, &value)) {
+          return Status::InvalidArgument("bad --config entry '" + entry +
+                                         "'");
+        }
+        counts.push_back(value);
+      }
+    }
+    workflow::Configuration config =
+        workflow::Configuration::FromSiteCounts(std::move(counts), num_sites);
+    WFMS_RETURN_NOT_OK(config.ValidateSites(num_types, num_sites));
+    return config;
   }
   workflow::Configuration config;
   for (const std::string& part : SplitString(text, ',')) {
@@ -236,6 +286,13 @@ configtool::Goals GoalsFromFlags(const Flags& flags) {
   configtool::Goals goals;
   goals.max_waiting_time = flags.GetDouble("max-wait", 0.05);
   goals.min_availability = flags.GetDouble("min-avail", 0.99999);
+  goals.survive_sites =
+      static_cast<int>(flags.GetDouble("survive-sites", 0));
+  goals.survive_partitions = flags.Has("survive-partitions");
+  goals.degraded_max_waiting_time =
+      flags.GetDouble("degraded-max-wait", 0.0);
+  goals.degraded_min_availability =
+      flags.GetDouble("degraded-min-avail", -1.0);
   return goals;
 }
 
@@ -296,7 +353,8 @@ int Analyze(const workflow::Environment& env) {
 }
 
 int Assess(const workflow::Environment& env, const Flags& flags) {
-  auto config = ParseConfig(flags.Get("config", ""), env.num_server_types());
+  auto config = ParseConfig(flags.Get("config", ""), env.num_server_types(),
+                            env.topology.num_sites());
   if (!config.ok()) return FailWith(config.status());
   auto tool_options = ToolOptionsFromFlags(flags);
   if (!tool_options.ok()) return FailWith(tool_options.status());
@@ -331,6 +389,17 @@ int Assess(const workflow::Environment& env, const Flags& flags) {
   std::printf("  P(saturated) %.3g, P(degraded) %.3g\n",
               assessment->performability.prob_saturated,
               assessment->performability.prob_degraded);
+  if (!assessment->contingencies.empty()) {
+    std::printf("  survivability:\n");
+    for (const configtool::ContingencyAssessment& c :
+         assessment->contingencies) {
+      const double w = c.max_expected_waiting;
+      std::printf("    %-20s availability %.8f, W = %s [%s]\n",
+                  c.label.c_str(), c.availability,
+                  std::isinf(w) ? "saturated" : FormatMinutes(w).c_str(),
+                  c.satisfied ? "ok" : "violated");
+    }
+  }
   std::printf("verdict: %s\n",
               assessment->Satisfies() ? "goals met" : "goals NOT met");
   return assessment->Satisfies() ? 0 : 3;
@@ -403,6 +472,21 @@ int Recommend(const workflow::Environment& env, const Flags& flags) {
   const configtool::CostModel cost = configtool::CostModel::Uniform();
   if (method == "greedy") {
     result = tool->GreedyMinCost(goals, constraints, cost, search);
+  } else if (method == "greedy-site") {
+    configtool::SiteSearchConstraints site_constraints;
+    site_constraints.max_per_type = max_replicas;
+    if (flags.Has("min-per-site")) {
+      for (const std::string& part :
+           SplitString(flags.Get("min-per-site", ""), ',')) {
+        int value = 0;
+        if (!ParseInt(part, &value)) {
+          return FailWith(Status::InvalidArgument(
+              "bad --min-per-site entry '" + part + "'"));
+        }
+        site_constraints.min_per_site.push_back(value);
+      }
+    }
+    result = tool->GreedySiteMinCost(goals, site_constraints, cost, search);
   } else if (method == "exhaustive") {
     result = tool->ExhaustiveMinCost(goals, constraints, cost, search);
   } else if (method == "annealing") {
@@ -470,7 +554,8 @@ int Recommend(const workflow::Environment& env, const Flags& flags) {
 }
 
 int Simulate(const workflow::Environment& env, const Flags& flags) {
-  auto config = ParseConfig(flags.Get("config", ""), env.num_server_types());
+  auto config = ParseConfig(flags.Get("config", ""), env.num_server_types(),
+                            env.topology.num_sites());
   if (!config.ok()) return FailWith(config.status());
   sim::SimulationOptions options;
   options.config = *config;
@@ -496,7 +581,8 @@ int Simulate(const workflow::Environment& env, const Flags& flags) {
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
-    auto schedule = sim::ParseFaultSchedule(buffer.str(), env.servers);
+    auto schedule =
+        sim::ParseFaultSchedule(buffer.str(), env.servers, &env.topology);
     if (!schedule.ok()) return FailWith(schedule.status());
     options.faults = *std::move(schedule);
   }
@@ -541,7 +627,8 @@ int Simulate(const workflow::Environment& env, const Flags& flags) {
               result->observed_availability);
   if (!options.faults.empty()) {
     auto prescribed = options.faults.PrescribedAvailability(
-        *config, env.num_server_types(), options.warmup, options.duration);
+        *config, env.num_server_types(), options.warmup, options.duration,
+        &env.topology);
     if (prescribed.ok()) {
       std::printf("  prescribed availability %.6f (scripted faults)\n",
                   *prescribed);
@@ -593,8 +680,9 @@ int Calibrate(const workflow::Environment& env, const Flags& flags) {
 int Autotune(const workflow::Environment& env, const Flags& flags) {
   adapt::AutotuneOptions options;
   if (flags.Has("config")) {
-    auto config =
-        ParseConfig(flags.Get("config", ""), env.num_server_types());
+    auto config = ParseConfig(flags.Get("config", ""),
+                              env.num_server_types(),
+                              env.topology.num_sites());
     if (!config.ok()) return FailWith(config.status());
     options.initial = *config;
   } else {
@@ -833,22 +921,67 @@ int RemoteCommand(const std::string& command, const Flags& flags) {
       request.Set("scenario", service::Json::Str(buffer.str()));
     }
     if (flags.Has("config")) {
-      service::Json config = service::Json::Array();
-      for (const std::string& part :
-           SplitString(flags.Get("config", ""), ',')) {
-        int value = 0;
-        if (!ParseInt(part, &value)) {
-          return FailWith(
-              Status::InvalidArgument("bad --config entry '" + part + "'"));
+      const std::string text = flags.Get("config", "");
+      if (text.find('/') != std::string::npos) {
+        // Per-site placement: shipped as 'site_config' (type-major); the
+        // daemon validates the shape against its scenario's topology.
+        service::Json site_config = service::Json::Array();
+        size_t sites_per_type = 0;
+        for (const std::string& part : SplitString(text, ',')) {
+          const std::vector<std::string> per_site = SplitString(part, '/');
+          if (sites_per_type == 0) sites_per_type = per_site.size();
+          if (per_site.size() != sites_per_type) {
+            return FailWith(Status::InvalidArgument(
+                "per-site --config entries must all list the same number "
+                "of sites"));
+          }
+          for (const std::string& entry : per_site) {
+            int value = 0;
+            if (!ParseInt(entry, &value)) {
+              return FailWith(Status::InvalidArgument(
+                  "bad --config entry '" + entry + "'"));
+            }
+            site_config.Append(service::Json::Number(value));
+          }
         }
-        config.Append(service::Json::Number(value));
+        request.Set("site_config", site_config);
+      } else {
+        service::Json config = service::Json::Array();
+        for (const std::string& part : SplitString(text, ',')) {
+          int value = 0;
+          if (!ParseInt(part, &value)) {
+            return FailWith(Status::InvalidArgument("bad --config entry '" +
+                                                    part + "'"));
+          }
+          config.Append(service::Json::Number(value));
+        }
+        request.Set("config", config);
       }
-      request.Set("config", config);
     }
     request.Set("max_wait",
                 service::Json::Number(flags.GetDouble("max-wait", 0.05)));
     request.Set("min_avail",
                 service::Json::Number(flags.GetDouble("min-avail", 0.99999)));
+    const int survive_sites =
+        static_cast<int>(flags.GetDouble("survive-sites", 0));
+    if (survive_sites > 0) {
+      request.Set("survive_sites", service::Json::Number(survive_sites));
+    }
+    if (flags.Has("survive-partitions")) {
+      request.Set("survive_partitions", service::Json::Bool(true));
+    }
+    const double degraded_max_wait =
+        flags.GetDouble("degraded-max-wait", 0.0);
+    if (degraded_max_wait > 0.0) {
+      request.Set("degraded_max_wait",
+                  service::Json::Number(degraded_max_wait));
+    }
+    const double degraded_min_avail =
+        flags.GetDouble("degraded-min-avail", -1.0);
+    if (degraded_min_avail >= 0.0) {
+      request.Set("degraded_min_avail",
+                  service::Json::Number(degraded_min_avail));
+    }
     request.Set("method",
                 service::Json::Str(flags.Get("method", "greedy")));
     request.Set("max_replicas",
@@ -874,7 +1007,11 @@ int RemoteCommand(const std::string& command, const Flags& flags) {
   client_options.port = port;
   client_options.io_timeout_seconds = flags.GetDouble("timeout", 120.0);
   service::Client client(client_options);
-  auto response_line = client.Call(request.Dump());
+  // ping/assess/recommend are pure functions of (scenario, request) — safe
+  // to retry under the client's backoff. autotune runs a whole control
+  // horizon; it is only retried while the request provably never reached
+  // the wire (see service/client.h).
+  auto response_line = client.Call(request.Dump(), command != "autotune");
   if (!response_line.ok()) return FailWith(response_line.status());
 
   auto response = service::Json::Parse(*response_line);
@@ -928,8 +1065,14 @@ int Main(int argc, char** argv) {
     if (eq != std::string::npos) {  // --flag=value form
       flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
     } else if (arg == "no-failures" || arg == "bind-instances" ||
-               arg == "resume" || arg == "verbose") {
-      flags.values[arg] = "1";
+               arg == "resume" || arg == "verbose" ||
+               arg == "survive-partitions") {
+      // clear+push_back instead of assigning a literal: GCC 12's
+      // -Wrestrict misreads the literal assignment as a potential
+      // self-overlap and -Werror trips (GCC PR105329).
+      std::string& value = flags.values[arg];
+      value.clear();
+      value.push_back('1');
     } else if (i + 1 < argc) {
       flags.values[arg] = argv[++i];
     } else {
