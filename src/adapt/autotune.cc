@@ -82,7 +82,7 @@ std::string AutotuneReport::ToString() const {
 
 Result<AutotuneReport> RunAutotune(const workflow::Environment& env,
                                    const AutotuneOptions& options) {
-  trace::TraceSpan span("adapt/autotune", "adapt");
+  trace::TraceSpan span("adapt/autotune", "adapt", options.trace);
   if (options.duration <= 0.0 || options.epoch <= 0.0) {
     return Status::InvalidArgument(
         "autotune requires positive duration and epoch length");
@@ -99,8 +99,10 @@ Result<AutotuneReport> RunAutotune(const workflow::Environment& env,
   base_rates.reserve(env.workflows.size());
   for (const auto& wf : env.workflows) base_rates.push_back(wf.arrival_rate);
 
+  ControllerOptions controller_options = options.controller;
+  controller_options.trace = span.context();
   ReconfigurationController controller(&env, options.initial,
-                                       options.controller,
+                                       controller_options,
                                        options.calibrator);
   AutotuneReport report;
   Rng seed_rng(options.seed);
@@ -137,6 +139,7 @@ Result<AutotuneReport> RunAutotune(const workflow::Environment& env,
     sim_options.enable_failures = options.enable_failures;
     sim_options.exponential_residence = options.exponential_residence;
     sim_options.load = options.load.Slice(t0, t1);
+    sim_options.trace = span.context();
 
     AuditStream stream(options.stream_capacity, AuditStream::Overflow::kBlock);
     OffsetSink offset_sink(&stream, t0);

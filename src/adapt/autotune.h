@@ -44,6 +44,9 @@ struct AutotuneOptions {
   size_t stream_capacity = 4096;
   ControllerOptions controller;
   OnlineCalibratorOptions calibrator;
+  /// Request-trace context (DESIGN.md §13): parents the autotune span and
+  /// flows into each epoch's simulation and the controller's searches.
+  trace::TraceContext trace;
 };
 
 /// One control period of the run.

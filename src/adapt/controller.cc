@@ -211,7 +211,7 @@ bool ReconfigurationController::DetectTriggers(double now,
 
 Status ReconfigurationController::RunSearch(double now,
                                             ControllerDecision* decision) {
-  trace::TraceSpan span("adapt/search", "adapt");
+  trace::TraceSpan span("adapt/search", "adapt", options_.trace);
   SearchesCounter().Increment();
   decision->searched = true;
 
@@ -234,6 +234,7 @@ Status ReconfigurationController::RunSearch(double now,
   const char* method_name = SearchMethodName(options_.method);
   configtool::SearchOptions search_options;
   search_options.deadline_seconds = options_.search_deadline_seconds;
+  search_options.trace = span.context();
   uint64_t search_fingerprint = 0;
   if (!options_.checkpoint_path.empty()) {
     search_fingerprint = configtool::SearchFingerprint(
@@ -371,7 +372,7 @@ Status ReconfigurationController::RunSearch(double now,
 }
 
 Result<ControllerDecision> ReconfigurationController::Evaluate(double now) {
-  trace::TraceSpan span("adapt/evaluate", "adapt");
+  trace::TraceSpan span("adapt/evaluate", "adapt", options_.trace);
   EvaluationsCounter().Increment();
   ControllerDecision decision;
   decision.time = now;

@@ -71,6 +71,12 @@ struct ControllerOptions {
   /// drift detectors nor count as goal violations.
   int min_observations = 10;
 
+  /// Request-trace context the controller runs under (DESIGN.md §13):
+  /// parents the evaluate/search spans, and re-parents into the
+  /// reconfiguration searches' SearchOptions. Invalid (default) outside a
+  /// traced request.
+  trace::TraceContext trace;
+
   /// Non-empty: the search persists/reuses its assessment cache on disk
   /// via configtool/checkpoint.h, surviving a crash of the whole loop.
   std::string checkpoint_path;

@@ -42,7 +42,74 @@ void AppendPromNumber(std::string& out, double value) {
   }
 }
 
+// Exemplar trace ids are caller-supplied strings; escape defensively even
+// though well-behaved callers only pass lowercase hex.
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
 }  // namespace
+
+std::string PromEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 void Gauge::Add(double delta) {
   double current = value_.load(std::memory_order_relaxed);
@@ -84,6 +151,30 @@ double Histogram::BucketUpperBound(int index) {
     return std::numeric_limits<double>::infinity();
   }
   return BucketLowerBound(index + 1);
+}
+
+void Histogram::Observe(double value, std::string_view exemplar_trace_id) {
+  Observe(value);
+  if (exemplar_trace_id.empty()) return;
+  // Cheap pre-check outside the lock: only a new (or tied) maximum can
+  // replace the exemplar, so sub-maximal observations never contend.
+  if (value < max_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplar_trace_id_.empty() || value >= exemplar_value_) {
+    exemplar_value_ = value;
+    exemplar_trace_id_.assign(exemplar_trace_id.data(),
+                              exemplar_trace_id.size());
+  }
+}
+
+std::string Histogram::exemplar_trace_id() const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  return exemplar_trace_id_;
+}
+
+double Histogram::exemplar_value() const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  return exemplar_value_;
 }
 
 void Histogram::Observe(double value) {
@@ -180,6 +271,9 @@ void Histogram::Reset() {
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
   any_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplar_trace_id_.clear();
+  exemplar_value_ = 0.0;
 }
 
 uint64_t MetricsSnapshot::counter(std::string_view name,
@@ -202,7 +296,7 @@ const HistogramSnapshot* MetricsSnapshot::histogram(
 std::string MetricsSnapshot::ToJson() const {
   std::string out;
   out.reserve(1024);
-  out += "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  out += "{\n  \"schema_version\": 2,\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
     out += first ? "\n" : ",\n";
@@ -238,6 +332,8 @@ std::string MetricsSnapshot::ToJson() const {
     AppendJsonNumber(out, h.p90);
     out += ",\n      \"p99\": ";
     AppendJsonNumber(out, h.p99);
+    out += ",\n      \"p999\": ";
+    AppendJsonNumber(out, h.p999);
     out += ",\n      \"buckets\": [";
     bool first_bucket = true;
     for (const HistogramBucket& bucket : h.buckets) {
@@ -253,8 +349,15 @@ std::string MetricsSnapshot::ToJson() const {
       }
       out += ", \"count\": " + std::to_string(bucket.count) + "}";
     }
-    out += first_bucket ? "]\n" : "\n      ]\n";
-    out += "    }";
+    out += first_bucket ? "]" : "\n      ]";
+    if (!h.exemplar_trace_id.empty()) {
+      out += ",\n      \"exemplar\": {\"trace_id\": ";
+      AppendJsonString(out, h.exemplar_trace_id);
+      out += ", \"value\": ";
+      AppendJsonNumber(out, h.exemplar_value);
+      out += "}";
+    }
+    out += "\n    }";
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
@@ -264,25 +367,39 @@ std::string MetricsSnapshot::ToJson() const {
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
   out.reserve(1024);
+  const auto header = [this, &out](const std::string& name,
+                                   const char* kind) {
+    const auto it = help.find(name);
+    out += "# HELP " + name + " ";
+    if (it != help.end()) {
+      out += PromEscapeHelp(it->second);
+    } else {
+      // A HELP line is mandatory-in-spirit for scrapers; metrics without a
+      // registered string get a generic one.
+      out += std::string("wfms ") + kind;
+    }
+    out += "\n# TYPE " + name + " " + kind + "\n";
+  };
   for (const auto& [name, value] : counters) {
-    out += "# TYPE " + name + " counter\n";
+    header(name, "counter");
     out += name + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : gauges) {
-    out += "# TYPE " + name + " gauge\n";
+    header(name, "gauge");
     out += name + " ";
     AppendPromNumber(out, value);
     out += "\n";
   }
   for (const auto& [name, h] : histograms) {
-    out += "# TYPE " + name + " histogram\n";
+    header(name, "histogram");
     uint64_t cumulative = 0;
     bool has_inf = false;
     for (const HistogramBucket& bucket : h.buckets) {
       cumulative += bucket.count;
-      out += name + "_bucket{le=\"";
-      AppendPromNumber(out, bucket.upper_bound);
-      out += "\"} " + std::to_string(cumulative) + "\n";
+      std::string le;
+      AppendPromNumber(le, bucket.upper_bound);
+      out += name + "_bucket{le=\"" + PromEscapeLabelValue(le) + "\"} " +
+             std::to_string(cumulative) + "\n";
       if (std::isinf(bucket.upper_bound)) has_inf = true;
     }
     if (!has_inf) {
@@ -355,6 +472,13 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   return GetMetric<Histogram>(name, &Entry::histogram, "histogram");
 }
 
+void MetricsRegistry::SetHelp(std::string_view name, std::string_view help) {
+  const std::string sanitized = SanitizeName(name);
+  Shard& shard = ShardFor(sanitized);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.help[sanitized] = std::string(help);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   for (const Shard& shard : shards_) {
@@ -373,8 +497,16 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         h.p50 = entry.histogram->Quantile(0.50);
         h.p90 = entry.histogram->Quantile(0.90);
         h.p99 = entry.histogram->Quantile(0.99);
+        h.p999 = entry.histogram->Quantile(0.999);
         h.buckets = entry.histogram->NonEmptyBuckets();
+        h.exemplar_trace_id = entry.histogram->exemplar_trace_id();
+        h.exemplar_value = entry.histogram->exemplar_value();
         snapshot.histograms[name] = std::move(h);
+      }
+    }
+    for (const auto& [name, text] : shard.help) {
+      if (shard.metrics.find(name) != shard.metrics.end()) {
+        snapshot.help[name] = text;
       }
     }
   }

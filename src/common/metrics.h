@@ -85,6 +85,13 @@ class Histogram {
       2 + (kMaxExponent - kMinExponent) * kSubBucketsPerOctave;
 
   void Observe(double value);
+  /// Observe with an exemplar: when `value` sets a new maximum, the trace
+  /// id is remembered alongside it, so a tail spike in the export links
+  /// directly to the flight-recorder record / trace of the request that
+  /// caused it. The exemplar slot is mutex-guarded, but the lock is taken
+  /// only when `value` is at or above the running maximum — the common
+  /// case stays wait-free.
+  void Observe(double value, std::string_view exemplar_trace_id);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -97,6 +104,11 @@ class Histogram {
   /// Non-empty buckets in ascending order (the zero bucket reports
   /// upper_bound = 0). Allocates; snapshot/export path only.
   std::vector<HistogramBucket> NonEmptyBuckets() const;
+
+  /// Trace id attached to the largest observation so far ("" when no
+  /// observation carried one) and that observation's value.
+  std::string exemplar_trace_id() const;
+  double exemplar_value() const;
 
   void Reset();
 
@@ -116,6 +128,11 @@ class Histogram {
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
   std::atomic<bool> any_{false};
+  // Max-latency exemplar. Guarded by its own mutex, taken only on
+  // observations that reach the running maximum (rare by construction).
+  mutable std::mutex exemplar_mutex_;
+  std::string exemplar_trace_id_;
+  double exemplar_value_ = 0.0;
 };
 
 /// Point-in-time copy of one histogram, precomputed for export.
@@ -127,7 +144,11 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   std::vector<HistogramBucket> buckets;  // non-empty, ascending
+  /// Max-latency exemplar; empty trace id when no observation carried one.
+  std::string exemplar_trace_id;
+  double exemplar_value = 0.0;
 };
 
 /// Point-in-time copy of every registered metric, in sorted name order (the
@@ -136,6 +157,9 @@ struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Optional help strings (registered via MetricsRegistry::SetHelp),
+  /// keyed by sanitized metric name; exported as `# HELP` lines.
+  std::map<std::string, std::string> help;
 
   /// Counter value by name; `fallback` when absent.
   uint64_t counter(std::string_view name, uint64_t fallback = 0) const;
@@ -144,14 +168,24 @@ struct MetricsSnapshot {
   /// Histogram by name; nullptr when absent.
   const HistogramSnapshot* histogram(std::string_view name) const;
 
-  /// JSON document: {"schema_version": 1, "counters": {...}, "gauges":
-  /// {...}, "histograms": {...}}. Validated by
-  /// tools/schemas/metrics_schema.json.
+  /// JSON document: {"schema_version": 2, "counters": {...}, "gauges":
+  /// {...}, "histograms": {...}}. Histograms carry min/max/p50/p90/p99/
+  /// p999 and, when present, a max-latency "exemplar". Validated by
+  /// tools/schemas/metrics_schema.json (which still accepts version 1 so
+  /// archived BENCH artifacts keep validating).
   std::string ToJson() const;
-  /// Prometheus text exposition format (counters, gauges, and cumulative
-  /// histogram series with `le` labels, `_sum`, `_count`).
+  /// Prometheus text exposition format: `# HELP` + `# TYPE` per metric,
+  /// then the samples (cumulative histogram series with `le` labels,
+  /// `_sum`, `_count`). Label values and help text are escaped per the
+  /// exposition format.
   std::string ToPrometheusText() const;
 };
+
+/// Escapes a label value for the Prometheus text format: backslash,
+/// double-quote, and newline become \\, \", and \n.
+std::string PromEscapeLabelValue(std::string_view value);
+/// Escapes `# HELP` text: backslash and newline become \\ and \n.
+std::string PromEscapeHelp(std::string_view text);
 
 /// Owner of every metric. Handles returned by Get* are valid for the
 /// registry's lifetime; Global() is a leaked singleton, so handles obtained
@@ -173,6 +207,10 @@ class MetricsRegistry {
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
 
+  /// Attaches a `# HELP` string to a (sanitized) metric name. Idempotent;
+  /// the last writer wins. Metrics without help get a generic line.
+  void SetHelp(std::string_view name, std::string_view help);
+
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every metric, keeping registrations (handles stay valid).
@@ -190,6 +228,7 @@ class MetricsRegistry {
   struct Shard {
     mutable std::mutex mutex;
     std::map<std::string, Entry, std::less<>> metrics;
+    std::map<std::string, std::string, std::less<>> help;
   };
   static constexpr size_t kNumShards = 8;
 

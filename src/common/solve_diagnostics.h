@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/trace.h"
+
 namespace wfms {
 
 struct SolveDiagnostics {
@@ -37,6 +39,12 @@ struct SolveDiagnostics {
 struct SolveBudget {
   double max_wall_time_seconds = 0.0;
   int64_t max_total_iterations = 0;
+  /// Request-trace context the solve runs under (DESIGN.md §13). The
+  /// budget is the one value already threaded from the service layer down
+  /// into every cascade rung, so the context rides it explicitly instead
+  /// of leaking through a thread-local across the worker pool. Invalid
+  /// (default) outside a traced request; does not affect `unlimited()`.
+  trace::TraceContext trace;
 
   bool unlimited() const {
     return max_wall_time_seconds <= 0.0 && max_total_iterations <= 0;

@@ -6,15 +6,83 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace wfms::trace {
 
 namespace {
 
+constexpr size_t kDefaultThreadBufferCapacity = 65536;
+
 std::atomic<bool> g_enabled{false};
+std::atomic<size_t> g_buffer_capacity{kDefaultThreadBufferCapacity};
+
+metrics::Counter& DroppedTotal() {
+  static metrics::Counter& counter =
+      metrics::MetricsRegistry::Global().GetCounter("wfms_trace_dropped_total");
+  return counter;
+}
+
+// splitmix64: full-period mix of a counter into well-distributed 64-bit
+// values. Used for span ids so that ids minted by independent processes
+// (client and server traces get merged) do not collide the way plain
+// sequence numbers would.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t ProcessSeed() {
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  return seed;
+}
+
+uint64_t NextId() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = 0;
+  // Mix64(0) == 0 is impossible with the golden-ratio increment, but a
+  // zero id would read as "no span": loop just in case the seed conspires.
+  while (id == 0) {
+    id = Mix64(ProcessSeed() ^ counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+void AppendHex64(std::string& out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    int digit = -1;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
 
 struct Event {
   std::string name;
@@ -23,6 +91,11 @@ struct Event {
   double dur_us;         // 0 for instant events
   int tid;
   char phase;  // 'X' complete, 'i' instant
+  // Request-tracing links; all zero for spans recorded outside a request.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 // One per live recording thread. The buffer's own mutex is uncontended in
@@ -120,8 +193,17 @@ ThreadBuffer& LocalBuffer() {
 
 void Record(Event event) {
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.events.push_back(std::move(event));
+  const size_t capacity = g_buffer_capacity.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.events.size() < capacity) {
+      buffer.events.push_back(std::move(event));
+      return;
+    }
+  }
+  // Full buffer: the span is dropped but never silently — the counter makes
+  // a truncated trace visible in the same export that would miss the spans.
+  DroppedTotal().Increment();
 }
 
 void AppendJsonEscaped(std::string& out, std::string_view text) {
@@ -169,19 +251,83 @@ void SetEnabled(bool enabled) {
 
 bool IsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
 
-TraceSpan::TraceSpan(std::string_view name, const char* category) {
+void SetThreadBufferCapacity(size_t capacity) {
+  g_buffer_capacity.store(
+      capacity == 0 ? kDefaultThreadBufferCapacity : capacity,
+      std::memory_order_relaxed);
+}
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(out, trace_hi);
+  AppendHex64(out, trace_lo);
+  return out;
+}
+
+std::string TraceContext::span_id_hex() const {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(out, span_id);
+  return out;
+}
+
+TraceContext TraceContext::Mint() {
+  TraceContext ctx;
+  ctx.trace_hi = NextId();
+  ctx.trace_lo = NextId();
+  ctx.span_id = 0;  // root: the first span opened on this context
+  return ctx;
+}
+
+TraceContext TraceContext::WithRemoteParent(std::string_view trace_id_hex,
+                                            std::string_view parent_span_hex) {
+  TraceContext ctx;
+  if (trace_id_hex.size() == 32 &&
+      ParseHex64(trace_id_hex.substr(0, 16), &ctx.trace_hi) &&
+      ParseHex64(trace_id_hex.substr(16, 16), &ctx.trace_lo) &&
+      ctx.valid()) {
+    if (!parent_span_hex.empty() &&
+        !ParseHex64(parent_span_hex, &ctx.span_id)) {
+      ctx.span_id = 0;  // unusable parent: keep the trace, drop the link
+    }
+    return ctx;
+  }
+  return Mint();
+}
+
+TraceSpan::TraceSpan(std::string_view name, const char* category)
+    : TraceSpan(name, category, TraceContext{}) {}
+
+TraceSpan::TraceSpan(std::string_view name, const char* category,
+                     const TraceContext& parent)
+    : parent_(parent) {
   if (!IsEnabled()) return;
   name_ = std::string(name);
   category_ = category;
+  if (parent_.valid()) span_id_ = NextId();
   start_us_ = internal::MonotonicSeconds() * 1e6;
 }
 
 TraceSpan::~TraceSpan() {
   if (start_us_ < 0.0) return;  // was disabled at construction
   const double end_us = internal::MonotonicSeconds() * 1e6;
-  Record(Event{std::move(name_), category_, start_us_,
-               std::max(0.0, end_us - start_us_), internal::ThreadTag(),
-               'X'});
+  Event event{std::move(name_), category_, start_us_,
+              std::max(0.0, end_us - start_us_), internal::ThreadTag(), 'X'};
+  if (span_id_ != 0) {
+    event.trace_hi = parent_.trace_hi;
+    event.trace_lo = parent_.trace_lo;
+    event.span_id = span_id_;
+    event.parent_span_id = parent_.span_id;
+  }
+  Record(std::move(event));
+}
+
+TraceContext TraceSpan::context() const {
+  if (span_id_ == 0) return parent_;  // disabled or unlinked: pass through
+  TraceContext ctx = parent_;
+  ctx.span_id = span_id_;
+  return ctx;
 }
 
 void Instant(std::string_view name, const char* category) {
@@ -219,7 +365,22 @@ std::string ExportJson() {
     } else {
       out += ", \"s\": \"t\"";  // instant events: thread scope
     }
-    out += ", \"pid\": 1, \"tid\": " + std::to_string(event.tid) + "}";
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(event.tid);
+    if (event.span_id != 0) {
+      out += ", \"args\": {\"trace_id\": \"";
+      AppendHex64(out, event.trace_hi);
+      AppendHex64(out, event.trace_lo);
+      out += "\", \"span_id\": \"";
+      AppendHex64(out, event.span_id);
+      out += "\"";
+      if (event.parent_span_id != 0) {
+        out += ", \"parent_span_id\": \"";
+        AppendHex64(out, event.parent_span_id);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += first ? "],\n" : "\n],\n";
   out += "\"displayTimeUnit\": \"ms\"\n}\n";

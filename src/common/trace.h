@@ -3,11 +3,23 @@
 //
 // Recording is off by default: every span checks a process-wide atomic flag
 // and is a no-op (no clock read, no buffer touch) when disabled. When
-// enabled, each thread appends finished spans to its own buffer under its
-// own mutex — uncontended except while an export is copying it — so spans
-// from the parallel search lanes never serialize against each other.
+// enabled, each thread appends finished spans to its own bounded buffer
+// under its own mutex — uncontended except while an export is copying it —
+// so spans from the parallel search lanes never serialize against each
+// other. Spans past a buffer's capacity are dropped and counted in
+// `wfms_trace_dropped_total` instead of growing the buffer without bound.
 // Buffers of exited threads are folded into an orphan list so their spans
 // survive until export.
+//
+// Cross-process request tracing (DESIGN.md §13): a TraceContext names a
+// 128-bit trace and the span acting as the current parent. The context is
+// carried *explicitly* — through the protocol `trace` field, then through
+// SolveBudget / SearchOptions / SimulationOptions — never through a
+// thread-local, so pooled worker threads cannot leak one request's context
+// into another's spans. Spans built with a context export `args` with
+// trace_id / span_id / parent_span_id, which stitches a wfmsctl client
+// trace and a wfmsd server trace into one tree when the two JSON files are
+// merged.
 //
 // Span naming convention (DESIGN.md §8): `<module>/<operation>`, e.g.
 // "configtool/greedy_search", "markov/steady_state". The category string
@@ -16,6 +28,7 @@
 #define WFMS_COMMON_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -28,12 +41,52 @@ namespace wfms::trace {
 void SetEnabled(bool enabled);
 bool IsEnabled();
 
+/// Identity of a distributed request: a 128-bit trace id plus the span id
+/// of the current parent (0 = "root of the trace, no parent span yet").
+/// Contexts are minted even while recording is disabled — the flight
+/// recorder keys its records by trace id regardless of span recording.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+
+  /// A default-constructed context is invalid and propagates nothing.
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+
+  /// 32 lowercase hex characters.
+  std::string trace_id_hex() const;
+  /// 16 lowercase hex characters for `span_id`.
+  std::string span_id_hex() const;
+
+  /// Fresh random 128-bit trace id with no parent span. Used by clients
+  /// (wfmsctl, load_driver) and by the server when a request arrives
+  /// without a trace field.
+  static TraceContext Mint();
+
+  /// Adopts a trace id and parent span id received over the wire (32 and
+  /// 16 lowercase/uppercase hex chars respectively; the parent may be
+  /// empty). Mints a fresh trace when `trace_id_hex` does not parse, so a
+  /// hostile client cannot leave a request unattributed.
+  static TraceContext WithRemoteParent(std::string_view trace_id_hex,
+                                       std::string_view parent_span_hex);
+};
+
 /// RAII scoped timer: records one complete event from construction to
 /// destruction on the current thread's buffer. No-op while disabled.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name, const char* category = "wfms");
+  /// Span linked into `parent`'s trace: the exported event carries the
+  /// trace id, a fresh span id, and `parent.span_id` as the parent link.
+  /// With an invalid parent this is identical to the plain constructor.
+  TraceSpan(std::string_view name, const char* category,
+            const TraceContext& parent);
   ~TraceSpan();
+
+  /// Context for children of this span. While recording is disabled (or
+  /// the parent was invalid) the parent context passes through unchanged,
+  /// so links skip unrecorded spans instead of dangling.
+  TraceContext context() const;
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -42,6 +95,8 @@ class TraceSpan {
   std::string name_;
   const char* category_ = nullptr;
   double start_us_ = -1.0;  // < 0 marks a disabled (no-op) span
+  TraceContext parent_;
+  uint64_t span_id_ = 0;  // 0 while disabled or parent invalid
 };
 
 /// Records a zero-duration instant event (ph:"i"). No-op while disabled.
@@ -60,6 +115,12 @@ void Clear();
 
 /// Number of events currently buffered.
 size_t event_count();
+
+/// Caps each thread's event buffer. Spans recorded once a buffer is full
+/// are dropped and counted in `wfms_trace_dropped_total`. 0 restores the
+/// default (65536 events per thread). Tests only; takes effect for
+/// subsequent records.
+void SetThreadBufferCapacity(size_t capacity);
 
 }  // namespace wfms::trace
 

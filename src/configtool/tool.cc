@@ -425,7 +425,18 @@ Result<Assessment> ConfigurationTool::AssessInternal(
   }
   cache_->misses.fetch_add(1);
   CacheMissesTotal().Increment();
-  trace::TraceSpan span("configtool/assess", "configtool");
+  trace::TraceSpan span("configtool/assess", "configtool",
+                        solver_override != nullptr
+                            ? solver_override->budget.trace
+                            : trace::TraceContext{});
+  // Re-parent the solver's context under this span so the steady-state
+  // solve appears as a child of the assessment in the merged trace tree.
+  markov::SteadyStateOptions reparented;
+  if (solver_override != nullptr && solver_override->budget.trace.valid()) {
+    reparented = *solver_override;
+    reparented.budget.trace = span.context();
+    solver_override = &reparented;
+  }
   const auto eval_start = std::chrono::steady_clock::now();
   WFMS_ASSIGN_OR_RETURN(performability::PerformabilityReport report,
                         model_.Evaluate(config, avail_guess, solver_override));
@@ -674,11 +685,15 @@ class SearchBoundary {
 /// evaluation counters from the accumulating SearchResult.
 class SearchScope {
  public:
-  SearchScope(const char* strategy, const SearchResult* result)
+  SearchScope(const char* strategy, const SearchResult* result,
+              const trace::TraceContext& trace = {})
       : span_(std::string("configtool/") + strategy + "_search",
-              "configtool"),
+              "configtool", trace),
         strategy_(strategy),
         result_(result) {}
+
+  /// Context for spans under this search (candidate solves).
+  trace::TraceContext context() const { return span_.context(); }
 
   ~SearchScope() {
     auto& registry = metrics::MetricsRegistry::Global();
@@ -742,6 +757,15 @@ Result<Assessment> ConfigurationTool::AssessIsolated(
     }
     solver_override = &bounded_solver;
   }
+  // A traced request takes the override path even without a deadline so
+  // the context reaches the steady-state solver.
+  if (search.trace.valid()) {
+    if (solver_override == nullptr) {
+      bounded_solver = model_.options().availability.solver;
+      solver_override = &bounded_solver;
+    }
+    bounded_solver.budget.trace = search.trace;
+  }
 
   auto assessed = AssessInternal(config, goals, cost, avail_guess, cache_hit,
                                  solver_override);
@@ -768,6 +792,7 @@ Result<Assessment> ConfigurationTool::AssessIsolated(
         model_.options().availability.solver;
     lu_options.method = markov::SteadyStateMethod::kLu;
     lu_options.budget = {};
+    lu_options.budget.trace = search.trace;  // survive the budget reset
     auto exact = model_.Evaluate(config, /*avail_guess=*/nullptr, &lu_options);
     if (exact.ok()) {
       auto report = cache_->Insert(config.CacheKey(), *std::move(exact));
@@ -817,9 +842,10 @@ Result<Assessment> ConfigurationTool::Assess(const Configuration& config,
 Result<Assessment> ConfigurationTool::AssessWithDeadline(
     const Configuration& config, const Goals& goals,
     std::chrono::steady_clock::time_point deadline_point,
-    const CostModel& cost) const {
+    const CostModel& cost, const trace::TraceContext& trace) const {
   SearchOptions search;
   search.deadline_point = deadline_point;
+  search.trace = trace;
   return AssessIsolated(config, goals, cost, /*avail_guess=*/nullptr, search,
                         /*cache_hit=*/nullptr);
 }
@@ -1011,7 +1037,7 @@ void ConfigurationTool::PrefetchNeighborFrontier(
 Result<SearchResult> ConfigurationTool::GreedyMinCost(
     const Goals& goals, const SearchConstraints& constraints,
     const CostModel& cost, const SearchOptions& search_in) const {
-  const SearchOptions search = NormalizedDeadline(search_in);
+  SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   Configuration config = MinimalConfig(constraints, k);
@@ -1022,7 +1048,8 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
   }
 
   SearchResult result;
-  SearchScope scope("greedy", &result);
+  SearchScope scope("greedy", &result, search.trace);
+  search.trace = scope.context();
   SearchBoundary boundary(search);
   WFMS_ASSIGN_OR_RETURN(
       Assessment assessment,
@@ -1147,7 +1174,7 @@ Result<SearchResult> ConfigurationTool::GreedyMinCost(
 Result<SearchResult> ConfigurationTool::GreedySiteMinCost(
     const Goals& goals, const SiteSearchConstraints& constraints,
     const CostModel& cost, const SearchOptions& search_in) const {
-  const SearchOptions search = NormalizedDeadline(search_in);
+  SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   const workflow::SiteTopology& topology = model_.availability().topology();
   const size_t s = topology.num_sites();
@@ -1171,7 +1198,8 @@ Result<SearchResult> ConfigurationTool::GreedySiteMinCost(
   Configuration config = Configuration::FromSiteCounts(std::move(counts), s);
 
   SearchResult result;
-  SearchScope scope("greedy_site", &result);
+  SearchScope scope("greedy_site", &result, search.trace);
+  search.trace = scope.context();
   SearchBoundary boundary(search);
   WFMS_ASSIGN_OR_RETURN(
       Assessment assessment,
@@ -1261,12 +1289,13 @@ Result<SearchResult> ConfigurationTool::GreedySiteMinCost(
 Result<SearchResult> ConfigurationTool::ExhaustiveMinCost(
     const Goals& goals, const SearchConstraints& constraints,
     const CostModel& cost, const SearchOptions& search_in) const {
-  const SearchOptions search = NormalizedDeadline(search_in);
+  SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
   SearchResult result;
-  SearchScope scope("exhaustive", &result);
+  SearchScope scope("exhaustive", &result, search.trace);
+  search.trace = scope.context();
   SearchBoundary boundary(search);
   bool have_best = false;
   Configuration best;
@@ -1339,7 +1368,7 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
     const Goals& goals, const SearchConstraints& constraints,
     const CostModel& cost, const AnnealingOptions& annealing,
     const SearchOptions& search_in) const {
-  const SearchOptions search = NormalizedDeadline(search_in);
+  SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
 
@@ -1378,7 +1407,8 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
   };
 
   SearchResult result;
-  SearchScope scope("annealing", &result);
+  SearchScope scope("annealing", &result, search.trace);
+  search.trace = scope.context();
   SearchBoundary boundary(search);
   Configuration current = MinimalConfig(constraints, k);
   WFMS_ASSIGN_OR_RETURN(
@@ -1466,11 +1496,12 @@ Result<SearchResult> ConfigurationTool::AnnealingMinCost(
 Result<SearchResult> ConfigurationTool::BranchAndBoundMinCost(
     const Goals& goals, const SearchConstraints& constraints,
     const CostModel& cost, const SearchOptions& search_in) const {
-  const SearchOptions search = NormalizedDeadline(search_in);
+  SearchOptions search = NormalizedDeadline(search_in);
   const size_t k = env_->num_server_types();
   WFMS_RETURN_NOT_OK(constraints.Validate(k));
   SearchResult result;
-  SearchScope scope("branch_and_bound", &result);
+  SearchScope scope("branch_and_bound", &result, search.trace);
+  search.trace = scope.context();
   SearchBoundary boundary(search);
 
   // Feasibility bound: if the most generous configuration fails, nothing

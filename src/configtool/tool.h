@@ -30,6 +30,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "configtool/goals.h"
 #include "performability/performability_model.h"
 #include "workflow/configuration.h"
@@ -169,6 +170,12 @@ struct SearchOptions {
   /// Minimum seconds between on_checkpoint invocations; 0 fires at every
   /// boundary.
   double checkpoint_interval_seconds = 0.0;
+  /// Request-trace context the search runs under (DESIGN.md §13): the
+  /// daemon sets it from the request's `trace` field, and the search
+  /// re-parents it into every candidate's SolveBudget so the solver spans
+  /// attach under the search span. Carried explicitly — never through a
+  /// thread-local — so pool workers cannot mix contexts across requests.
+  trace::TraceContext trace;
 };
 
 struct SearchResult {
@@ -232,11 +239,13 @@ class ConfigurationTool {
   /// semantics) and fault-isolated — terminal failures come back as an
   /// Assessment with `error` set. A deadline expiry surfaces as
   /// `error` = DeadlineExceeded and is never negatively cached, so a
-  /// retry after the load spike re-solves cleanly.
+  /// retry after the load spike re-solves cleanly. `trace` (optional)
+  /// parents the assessment's solver spans under the request's trace.
   Result<Assessment> AssessWithDeadline(
       const workflow::Configuration& config, const Goals& goals,
       std::chrono::steady_clock::time_point deadline_point,
-      const CostModel& cost = CostModel::Uniform()) const;
+      const CostModel& cost = CostModel::Uniform(),
+      const trace::TraceContext& trace = {}) const;
 
   /// Assesses a batch of candidates, fanning the model evaluations out
   /// across the tool's thread pool. The returned vector is index-aligned

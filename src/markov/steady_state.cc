@@ -714,7 +714,7 @@ std::optional<SteadyStateResult> TrySolveLumped(
   static metrics::Histogram& ratio =
       registry.GetHistogram("wfms_markov_lumping_reduction_ratio");
 
-  trace::TraceSpan span("markov/lumping", "markov");
+  trace::TraceSpan span("markov/lumping", "markov", options.budget.trace);
   attempts.Increment();
   const SparseMatrix incoming = chain.rates().Transposed();
   LumpingOptions lump_options;
@@ -804,7 +804,8 @@ const char* LumpingModeName(LumpingMode mode) {
 
 Result<SteadyStateResult> SolveSteadyState(const Ctmc& chain,
                                            const SteadyStateOptions& options) {
-  trace::TraceSpan span("markov/steady_state", "markov");
+  trace::TraceSpan span("markov/steady_state", "markov",
+                        options.budget.trace);
   const auto start = std::chrono::steady_clock::now();
   const size_t n = chain.num_states();
 
@@ -812,6 +813,9 @@ Result<SteadyStateResult> SolveSteadyState(const Ctmc& chain,
   // small chains never touch a pool (the sequential kernels are
   // bit-identical to the historical scalar path).
   SteadyStateOptions opts = options;
+  // Children (the lumping pass, nested solves on the quotient chain)
+  // attach under this span rather than beside it.
+  opts.budget.trace = span.context();
   std::unique_ptr<ThreadPool> transient_pool;
   if (opts.pool == nullptr && n >= opts.large_chain_threshold) {
     transient_pool =

@@ -84,6 +84,12 @@ Result<PerformabilityReport> PerformabilityModel::Evaluate(
   report.solver_iterations = avail_report.solver_iterations;
   report.avail_solver_method = avail_report.solver_method;
   report.avail_solver_diagnostics = avail_report.solver_diagnostics;
+  report.solver_rungs =
+      !avail_report.solver_attempts.empty()
+          ? static_cast<int>(avail_report.solver_attempts.size())
+          : (avail_report.solver_method != markov::SteadyStateMethod::kAuto
+                 ? 1
+                 : 0);
   report.full_config_waiting.assign(k, 0.0);
   for (size_t x = 0; x < k; ++x) {
     report.full_config_waiting[x] =
@@ -206,6 +212,12 @@ Result<PerformabilityReport> PerformabilityModel::EvaluateSitePath(
   report.solver_iterations = avail_report.solver_iterations;
   report.avail_solver_method = avail_report.solver_method;
   report.avail_solver_diagnostics = avail_report.solver_diagnostics;
+  report.solver_rungs =
+      !avail_report.solver_attempts.empty()
+          ? static_cast<int>(avail_report.solver_attempts.size())
+          : (avail_report.solver_method != markov::SteadyStateMethod::kAuto
+                 ? 1
+                 : 0);
   report.full_config_waiting.assign(k, 0.0);
   for (size_t x = 0; x < k; ++x) {
     report.full_config_waiting[x] =

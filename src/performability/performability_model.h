@@ -75,6 +75,12 @@ struct PerformabilityReport {
   markov::SteadyStateMethod avail_solver_method =
       markov::SteadyStateMethod::kAuto;
   SolveDiagnostics avail_solver_diagnostics;
+  /// Cascade rungs the availability solve attempted (1 for an explicit
+  /// single-method solve, 0 when no CTMC solve ran). Fed to the daemon's
+  /// flight recorder; not part of the cache fingerprint or checkpoint
+  /// codec — a restored report legitimately reads 0 (no solve ran to
+  /// produce the warm answer).
+  int solver_rungs = 0;
 };
 
 class PerformabilityModel {

@@ -227,9 +227,22 @@ Result<Backend::ScenarioState*> Backend::GetScenario(
 }
 
 Response Backend::Handle(const Request& req, int degrade_level,
-                         std::chrono::steady_clock::time_point admitted_at) {
+                         std::chrono::steady_clock::time_point admitted_at,
+                         RequestTelemetry* telemetry) {
   const auto start = std::chrono::steady_clock::now();
-  trace::TraceSpan span(std::string("service/") + OpName(req.op), "service");
+  // The request's trace context rides the telemetry struct (explicitly —
+  // never a thread-local — so pool workers cannot mix contexts).
+  std::string span_name = "service/";
+  span_name += OpName(req.op);
+  trace::TraceSpan span(span_name, "service",
+                        telemetry != nullptr ? telemetry->context
+                                             : trace::TraceContext{});
+  const trace::TraceContext handler_ctx = span.context();
+  const auto phase_seconds = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
 
   Response resp = [&]() -> Response {
     if (req.op == Op::kPing) {
@@ -263,23 +276,36 @@ Response Backend::Handle(const Request& req, int degrade_level,
       }
     }
 
+    const auto resolve_start = std::chrono::steady_clock::now();
     auto scenario = GetScenario(req.scenario);
+    if (telemetry != nullptr) {
+      telemetry->phases.emplace_back("resolve_scenario",
+                                     phase_seconds(resolve_start));
+    }
     if (!scenario.ok()) return ErrorResponse(req, scenario.status());
     ScenarioState& state = **scenario;
 
+    const auto execute_start = std::chrono::steady_clock::now();
     Response out = [&]() -> Response {
       switch (req.op) {
         case Op::kAssess:
-          return HandleAssess(req, state, degrade_level, remaining);
+          return HandleAssess(req, state, degrade_level, remaining,
+                              handler_ctx, telemetry);
         case Op::kRecommend:
-          return HandleRecommend(req, state, degrade_level, remaining);
+          return HandleRecommend(req, state, degrade_level, remaining,
+                                 handler_ctx, telemetry);
         case Op::kAutotune:
-          return HandleAutotune(req, state, degrade_level, remaining);
+          return HandleAutotune(req, state, degrade_level, remaining,
+                                handler_ctx, telemetry);
         case Op::kPing:
           break;  // handled above
       }
       return ErrorResponse(req, Status::Internal("unhandled op"));
     }();
+    if (telemetry != nullptr) {
+      telemetry->phases.emplace_back("execute",
+                                     phase_seconds(execute_start));
+    }
 
     // Uniform deadline enforcement: a request that overshot its deadline
     // reports deadline-exceeded no matter which op or rung it took. The
@@ -302,7 +328,9 @@ Response Backend::Handle(const Request& req, int degrade_level,
 }
 
 Response Backend::HandleAssess(const Request& req, ScenarioState& state,
-                               int degrade_level, double remaining_seconds) {
+                               int degrade_level, double remaining_seconds,
+                               const trace::TraceContext& trace,
+                               RequestTelemetry* telemetry) {
   workflow::Configuration config;
   if (!req.site_config.empty()) {
     const size_t num_sites = state.env->topology.num_sites();
@@ -326,8 +354,9 @@ Response Backend::HandleAssess(const Request& req, ScenarioState& state,
     }
   }
 
-  if (degrade_level >= 2 &&
-      !state.tool->HasCachedAssessment(config.CacheKey())) {
+  const bool was_cached = state.tool->HasCachedAssessment(config.CacheKey());
+  if (telemetry != nullptr) telemetry->cache_hit = was_cached;
+  if (degrade_level >= 2 && !was_cached) {
     // Cache-only rung: answers come from the memoization cache alone; a
     // miss is shed rather than starting a solve under heavy load.
     return ShedResponse(req,
@@ -341,11 +370,23 @@ Response Backend::HandleAssess(const Request& req, ScenarioState& state,
           config, GoalsOf(req),
           std::chrono::steady_clock::now() +
               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                  std::chrono::duration<double>(remaining_seconds)));
+                  std::chrono::duration<double>(remaining_seconds)),
+          configtool::CostModel::Uniform(), trace);
+    }
+    if (trace.valid()) {
+      // No deadline, but a traced request: the epoch deadline_point means
+      // "unbounded" to the deadline machinery while the context still
+      // rides SearchOptions::trace down into the solver spans.
+      return state.tool->AssessWithDeadline(
+          config, GoalsOf(req), std::chrono::steady_clock::time_point{},
+          configtool::CostModel::Uniform(), trace);
     }
     return state.tool->Assess(config, GoalsOf(req));
   }();
   if (!assessed.ok()) return ErrorResponse(req, assessed.status());
+  if (telemetry != nullptr && !was_cached) {
+    telemetry->solver_rungs = assessed->performability.solver_rungs;
+  }
   if (!assessed->error.ok()) {
     if (assessed->error.code() == StatusCode::kDeadlineExceeded) {
       return DeadlineResponse(req, assessed->error.ToString());
@@ -371,7 +412,9 @@ Response Backend::HandleAssess(const Request& req, ScenarioState& state,
 
 Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
                                   int degrade_level,
-                                  double remaining_seconds) {
+                                  double remaining_seconds,
+                                  const trace::TraceContext& trace,
+                                  RequestTelemetry* telemetry) {
   if (degrade_level >= 2) {
     return ShedResponse(req, "recommend shed in cache-only degraded mode");
   }
@@ -397,6 +440,7 @@ Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
   constraints.max_replicas.assign(state.env->num_server_types(),
                                   std::max(1, req.max_replicas));
   configtool::SearchOptions search;
+  search.trace = trace;
   if (std::isfinite(remaining_seconds)) {
     search.deadline_seconds = remaining_seconds;
   }
@@ -431,6 +475,11 @@ Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
   }
   if (!result->termination.ok()) {
     return ErrorResponse(req, result->termination);
+  }
+  if (telemetry != nullptr) {
+    // The winner's solve cost stands in for the whole search (per-candidate
+    // rungs live in the trace, not the flight record).
+    telemetry->solver_rungs = result->assessment.performability.solver_rungs;
   }
 
   Response resp;
@@ -471,7 +520,10 @@ Response Backend::HandleRecommend(const Request& req, ScenarioState& state,
 
 Response Backend::HandleAutotune(const Request& req, ScenarioState& state,
                                  int degrade_level,
-                                 double remaining_seconds) {
+                                 double remaining_seconds,
+                                 const trace::TraceContext& trace,
+                                 RequestTelemetry* telemetry) {
+  (void)telemetry;  // autotune's cost shows up in its trace spans
   if (degrade_level >= 1) {
     // Autotune simulates whole control horizons — the most expensive op
     // by far. It is the first thing the ladder sheds.
@@ -479,6 +531,7 @@ Response Backend::HandleAutotune(const Request& req, ScenarioState& state,
   }
 
   adapt::AutotuneOptions options;
+  options.trace = trace;
   if (!req.config.empty()) {
     options.initial.replicas = req.config;
     if (Status valid =

@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "configtool/tool.h"
 #include "performability/performability_model.h"
+#include "service/flight_recorder.h"
 #include "service/protocol.h"
 #include "workflow/environment.h"
 
@@ -62,8 +64,13 @@ class Backend {
   /// queue wait before Handle ran is already charged against it. Never
   /// returns kRejectedOverloaded except from degraded cache-only misses
   /// and degraded sheds; transport-level rejections happen before Handle.
+  /// `telemetry` (optional) carries the request's trace context in — the
+  /// handler span and everything under it parent there — and per-phase
+  /// durations, cache-hit and solver-rung facts out, for the server's
+  /// flight recorder (DESIGN.md §13).
   Response Handle(const Request& req, int degrade_level,
-                  std::chrono::steady_clock::time_point admitted_at);
+                  std::chrono::steady_clock::time_point admitted_at,
+                  RequestTelemetry* telemetry = nullptr);
 
   /// Persists every scenario's cache to `snapshot_path` (atomic
   /// temp+rename). OK no-op when no path is configured.
@@ -90,12 +97,20 @@ class Backend {
   struct ScenarioState;
 
   Result<ScenarioState*> GetScenario(const std::string& scenario);
+  /// `trace` is the handler span's context (children of the op attach
+  /// under it); `telemetry` may be null.
   Response HandleAssess(const Request& req, ScenarioState& state,
-                        int degrade_level, double remaining_seconds);
+                        int degrade_level, double remaining_seconds,
+                        const trace::TraceContext& trace,
+                        RequestTelemetry* telemetry);
   Response HandleRecommend(const Request& req, ScenarioState& state,
-                           int degrade_level, double remaining_seconds);
+                           int degrade_level, double remaining_seconds,
+                           const trace::TraceContext& trace,
+                           RequestTelemetry* telemetry);
   Response HandleAutotune(const Request& req, ScenarioState& state,
-                          int degrade_level, double remaining_seconds);
+                          int degrade_level, double remaining_seconds,
+                          const trace::TraceContext& trace,
+                          RequestTelemetry* telemetry);
 
   BackendOptions options_;
   mutable std::mutex mutex_;  // guards the maps' shape, not the tools

@@ -1,0 +1,112 @@
+// Always-on per-request forensics for wfmsd (DESIGN.md §13): a
+// lock-sharded bounded ring of RequestRecords — one per protocol request,
+// whatever its disposition — answering "why was p99 34 ms last night"
+// after the fact. The ring is served live at `GET /debug/requests`
+// (newest-first JSON) and dumped to a file next to the cache snapshot on
+// SIGTERM drain; it is deliberately NOT crash-safe (a SIGKILL loses it —
+// the chaos path must stay byte-identical and the recorder must never add
+// I/O to the request path).
+//
+// Sharding mirrors the metrics registry: records are spread round-robin
+// over independently locked shards, so concurrent workers committing
+// records contend only 1/N of the time. A global sequence number restores
+// total order at read time.
+#ifndef WFMS_SERVICE_FLIGHT_RECORDER_H_
+#define WFMS_SERVICE_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace wfms::service {
+
+/// Everything the server knows about one finished request. Filled in by
+/// the backend (phases, cache/solver facts) and the server (queue wait,
+/// bytes, disposition) and committed at response-write time.
+struct RequestRecord {
+  uint64_t seq = 0;       // assigned by the recorder; total arrival order
+  std::string trace_id;   // 32 hex chars; adopted from the client or minted
+  std::string tenant;
+  std::string op;           // ping|assess|recommend|autotune
+  std::string disposition;  // protocol DispositionName
+  /// Wall-clock seconds the request sat in the worker queue before its
+  /// handler started.
+  double admission_wait_seconds = 0.0;
+  /// Arrival-to-response wall time (superset of every phase below).
+  double elapsed_seconds = 0.0;
+  /// Named phase durations in execution order, pulled from the handler's
+  /// span tree (e.g. queue / resolve_scenario / execute). Their sum is
+  /// <= elapsed_seconds: phases are disjoint sub-intervals of the wall.
+  std::vector<std::pair<std::string, double>> phases;
+  bool cache_hit = false;
+  /// Steady-state cascade rungs attempted while serving this request (0
+  /// for cache hits, pings, and non-solving dispositions).
+  int solver_rungs = 0;
+  uint64_t bytes_in = 0;   // request line length
+  uint64_t bytes_out = 0;  // rendered response length
+};
+
+/// In-flight accounting handed through Backend::Handle so the handler can
+/// annotate the record without the server and backend sharing state.
+struct RequestTelemetry {
+  /// Server-side trace context of the request (accepted-or-minted).
+  trace::TraceContext context;
+  std::vector<std::pair<std::string, double>> phases;
+  bool cache_hit = false;
+  int solver_rungs = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// Keeps the most recent ~`capacity` records (rounded up to a multiple
+  /// of the shard count).
+  explicit FlightRecorder(size_t capacity = 1024, size_t shards = 8);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Commits one record (assigns `seq`). Lock-sharded; never blocks on
+  /// another shard's writer.
+  void Record(RequestRecord record);
+
+  /// The newest `n` records, newest first (all of them when n == 0 or
+  /// exceeds the retained count).
+  std::vector<RequestRecord> Newest(size_t n) const;
+
+  /// {"schema_version": 1, "total_recorded": N, "records": [...]} with the
+  /// newest `n` records, newest-first. Validated by
+  /// tools/schemas/flight_recorder_schema.json.
+  std::string ToJson(size_t n = 0) const;
+
+  /// Best-effort dump of ToJson() to `path`.
+  Status DumpJson(const std::string& path, size_t n = 0) const;
+
+  /// Total records ever committed (retained or already overwritten).
+  uint64_t total_recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return shards_.size() * per_shard_capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<RequestRecord> ring;  // grows to per-shard capacity, then
+    size_t next = 0;                  // overwrites oldest at `next`
+  };
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> seq_{0};
+};
+
+}  // namespace wfms::service
+
+#endif  // WFMS_SERVICE_FLIGHT_RECORDER_H_

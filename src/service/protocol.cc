@@ -94,6 +94,14 @@ Result<Request> ParseRequest(std::string_view line) {
   req.duration = doc.GetNumber("duration", req.duration);
   req.epoch = doc.GetNumber("epoch", req.epoch);
   req.max_turnaround = doc.GetNumber("max_turnaround", req.max_turnaround);
+  if (const Json* tr = doc.Find("trace")) {
+    // Tolerant: a malformed trace object degrades to "no context" (the
+    // server mints one) rather than failing an otherwise valid request.
+    if (tr->is_object()) {
+      req.trace_id = tr->GetString("trace_id", "");
+      req.parent_span_id = tr->GetString("parent_span_id", "");
+    }
+  }
   return req;
 }
 
@@ -108,6 +116,7 @@ std::string Response::Render() const {
   if (!error.empty()) doc.Set("error", Json::Str(error));
   doc.Set("result", result);
   doc.Set("elapsed_seconds", Json::Number(elapsed_seconds));
+  if (!trace_id.empty()) doc.Set("trace_id", Json::Str(trace_id));
   return doc.Dump();
 }
 

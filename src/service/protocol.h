@@ -8,11 +8,21 @@
 // Request:
 //   {"id": "r1", "op": "assess", "scenario": "ep", "tenant": "teamA",
 //    "config": [2,2,3], "max_wait": 0.05, "min_avail": 0.99999,
-//    "method": "greedy", "max_replicas": 8, "deadline_seconds": 5.0}
+//    "method": "greedy", "max_replicas": 8, "deadline_seconds": 5.0,
+//    "trace": {"trace_id": "<32 hex>", "parent_span_id": "<16 hex>"}}
+//
+// `trace` (optional) is the client's distributed-tracing context
+// (DESIGN.md §13): a 128-bit trace id plus the span id of the client-side
+// span issuing the request. The server adopts it — or mints a fresh trace
+// id when the field is absent or malformed — and echoes the trace id
+// top-level in the response, so a client can find the request in the
+// server's /debug/requests flight recorder and its server-side spans in a
+// merged trace export.
 //
 // Response:
 //   {"id": "r1", "status": "completed", "degraded": false,
-//    "result": {...}, "elapsed_seconds": 0.012}
+//    "result": {...}, "elapsed_seconds": 0.012,
+//    "trace_id": "<32 hex>"}
 //
 // `status` is the request's terminal disposition — exactly one of:
 //   completed          full-fidelity answer
@@ -78,6 +88,11 @@ struct Request {
   double duration = 4000.0;
   double epoch = 1000.0;
   double max_turnaround = 0.0;
+  // Client-supplied trace context ("trace" object); empty trace_id when
+  // the request carried none. Validated/minted by the server, never
+  // trusted as-is (see trace::TraceContext::WithRemoteParent).
+  std::string trace_id;          // 32 hex chars (as sent; unvalidated)
+  std::string parent_span_id;    // 16 hex chars (as sent; unvalidated)
 };
 
 /// Parses one request line. A missing/unknown `op` or a non-object
@@ -103,6 +118,10 @@ struct Response {
   std::string error;           // non-empty for rejected/deadline/error
   Json result = Json::Null();  // deterministic payload (or null)
   double elapsed_seconds = 0.0;
+  /// Server-side trace id for the request (32 hex chars; adopted from the
+  /// request or minted). Top-level like elapsed_seconds — never inside
+  /// `result`, which must stay deterministic.
+  std::string trace_id;
 
   /// One response line (no trailing newline).
   std::string Render() const;

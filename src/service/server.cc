@@ -8,13 +8,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace wfms::service {
 
@@ -100,7 +103,9 @@ struct Server::Connection {
   }
 };
 
-Server::Server(const ServerOptions& options) : options_(options) {
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      recorder_(std::max<size_t>(1, options.flight_recorder_capacity)) {
   options_.num_workers = std::max<size_t>(2, options_.num_workers);
   options_.admission.max_queue = options_.max_queue;
   BackendOptions backend_options = options_.backend;
@@ -208,7 +213,19 @@ Status Server::Wait() {
   if (options_.snapshot_interval_seconds >= 0.0) {
     final_snapshot = backend_->SaveCacheSnapshot();
   }
+  // Best-effort forensics dump on the graceful-drain path only: a SIGKILL
+  // loses the recorder by design (the chaos path must never depend on it).
+  DumpFlightRecorder();
   return final_snapshot;
+}
+
+void Server::DumpFlightRecorder() {
+  if (options_.flight_recorder_path.empty()) return;
+  Status dumped = recorder_.DumpJson(options_.flight_recorder_path);
+  if (!dumped.ok()) {
+    WFMS_LOG(Warning) << "wfmsd: flight-recorder dump failed: "
+                      << dumped.ToString();
+  }
 }
 
 void Server::AcceptLoop() {
@@ -388,42 +405,78 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
                         std::string line) {
   RequestsTotal().Increment();
   const auto now = std::chrono::steady_clock::now();
+  const size_t bytes_in = line.size();
 
   Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) {
+    // Unparseable lines still get a (minted) trace id: the record must be
+    // findable in /debug/requests even when the request never named one.
+    const trace::TraceContext ctx = trace::TraceContext::Mint();
     Response resp;
     resp.disposition = Disposition::kError;
     resp.error = parsed.status().ToString();
-    WriteResponse(conn, resp);
+    resp.trace_id = ctx.trace_id_hex();
+    RequestTelemetry telemetry;
+    telemetry.context = ctx;
+    Respond(conn, resp, /*tenant=*/"", /*op=*/"invalid", telemetry, now,
+            bytes_in);
     return;
   }
   Request req = *std::move(parsed);
 
+  // Accept-or-mint the request's trace context. Minting happens even with
+  // span recording off: the flight recorder keys records by trace id, and
+  // the response echoes it, recording or not.
+  const trace::TraceContext ctx =
+      req.trace_id.empty()
+          ? trace::TraceContext::Mint()
+          : trace::TraceContext::WithRemoteParent(req.trace_id,
+                                                  req.parent_span_id);
+
   if (req.op == Op::kPing) {
     // Liveness probes bypass admission and the queue entirely.
-    WriteResponse(conn, backend_->Handle(req, 0, now));
+    RequestTelemetry telemetry;
+    telemetry.context = ctx;
+    Response resp = backend_->Handle(req, 0, now, &telemetry);
+    resp.trace_id = ctx.trace_id_hex();
+    Respond(conn, resp, req.tenant, OpName(req.op), telemetry, now, bytes_in);
     return;
   }
 
-  const AdmissionDecision decision =
-      admission_->Admit(req.tenant, pool_->queue_depth(), now);
+  const AdmissionDecision decision = [&] {
+    trace::TraceSpan span("service/admission", "service", ctx);
+    return admission_->Admit(req.tenant, pool_->queue_depth(), now);
+  }();
   if (!decision.admitted) {
     Response resp;
     resp.id = req.id;
     resp.disposition = Disposition::kRejectedOverloaded;
     resp.error = decision.reason;
-    WriteResponse(conn, resp);
+    resp.trace_id = ctx.trace_id_hex();
+    RequestTelemetry telemetry;
+    telemetry.context = ctx;
+    Respond(conn, resp, req.tenant, OpName(req.op), telemetry, now, bytes_in);
     return;
   }
 
   auto submitted = pool_->Submit(
       [this, conn, req = std::move(req), level = decision.degrade_level,
-       now]() -> Status {
-        Response resp = backend_->Handle(req, level, now);
+       now, ctx, bytes_in]() -> Status {
+        RequestTelemetry telemetry;
+        telemetry.context = ctx;
+        // Queue wait is a first-class phase: the time between admission
+        // and a worker picking the request up.
+        telemetry.phases.emplace_back(
+            "queue", std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - now)
+                         .count());
+        Response resp = backend_->Handle(req, level, now, &telemetry);
+        resp.trace_id = ctx.trace_id_hex();
         const bool cache_changing =
             resp.disposition == Disposition::kCompleted ||
             resp.disposition == Disposition::kDegraded;
-        WriteResponse(conn, resp);
+        Respond(conn, resp, req.tenant, OpName(req.op), telemetry, now,
+                bytes_in);
         if (cache_changing) MaybeSnapshot();
         return Status::OK();
       });
@@ -435,7 +488,10 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     resp.id = req.id;
     resp.disposition = Disposition::kRejectedOverloaded;
     resp.error = submitted.status().ToString();
-    WriteResponse(conn, resp);
+    resp.trace_id = ctx.trace_id_hex();
+    RequestTelemetry telemetry;
+    telemetry.context = ctx;
+    Respond(conn, resp, req.tenant, OpName(req.op), telemetry, now, bytes_in);
   }
 }
 
@@ -462,6 +518,20 @@ void Server::ServeHttp(const std::shared_ptr<Connection>& conn,
     content_type = "application/json";
   } else if (path == "/healthz") {
     body = "ok\n";
+  } else if (path == "/debug/requests" ||
+             path.rfind("/debug/requests?", 0) == 0) {
+    // Live flight-recorder scrape, newest-first; `?n=` caps the count.
+    size_t n = 0;
+    const size_t q = path.find('?');
+    if (q != std::string::npos) {
+      const size_t at = path.find("n=", q + 1);
+      if (at != std::string::npos) {
+        n = static_cast<size_t>(
+            std::strtoull(path.c_str() + at + 2, nullptr, 10));
+      }
+    }
+    body = recorder_.ToJson(n);
+    content_type = "application/json";
   } else {
     status_line = "HTTP/1.1 404 Not Found";
     body = "not found\n";
@@ -478,12 +548,74 @@ void Server::ServeHttp(const std::shared_ptr<Connection>& conn,
 void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
                            const Response& response) {
   DispositionCounter(response.disposition).Increment();
-  RequestSeconds().Observe(response.elapsed_seconds);
+  // The latency exemplar links the histogram's max bucket to a concrete
+  // trace id in /metrics.json (DESIGN.md §13).
+  RequestSeconds().Observe(response.elapsed_seconds, response.trace_id);
   std::string line = response.Render();
   line.push_back('\n');
   std::lock_guard<std::mutex> lock(conn->write_mutex);
   if (!conn->alive.load()) return;  // client hung up; accounting still done
   if (!WriteAll(conn->fd, line)) conn->alive.store(false);
+}
+
+void Server::Respond(const std::shared_ptr<Connection>& conn,
+                     const Response& response, const std::string& tenant,
+                     const char* op, const RequestTelemetry& telemetry,
+                     std::chrono::steady_clock::time_point arrival,
+                     size_t bytes_in) {
+  DispositionCounter(response.disposition).Increment();
+  RequestSeconds().Observe(response.elapsed_seconds, response.trace_id);
+  std::string line = response.Render();
+  line.push_back('\n');
+  // Record first, write second: once the response is on the wire the
+  // request must already be visible in /debug/requests.
+  CommitRecord(tenant, op, response, telemetry, arrival, bytes_in,
+               line.size());
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->alive.load()) return;  // client hung up; accounting still done
+  if (!WriteAll(conn->fd, line)) conn->alive.store(false);
+}
+
+void Server::CommitRecord(const std::string& tenant, const char* op,
+                          const Response& response,
+                          const RequestTelemetry& telemetry,
+                          std::chrono::steady_clock::time_point arrival,
+                          size_t bytes_in, size_t bytes_out) {
+  RequestRecord record;
+  record.trace_id = telemetry.context.trace_id_hex();
+  record.tenant = tenant;
+  record.op = op;
+  record.disposition = DispositionName(response.disposition);
+  record.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    arrival)
+          .count();
+  record.phases = telemetry.phases;
+  for (const auto& [name, seconds] : telemetry.phases) {
+    if (name == "queue") record.admission_wait_seconds = seconds;
+  }
+  record.cache_hit = telemetry.cache_hit;
+  record.solver_rungs = telemetry.solver_rungs;
+  record.bytes_in = bytes_in;
+  record.bytes_out = bytes_out;
+
+  if (options_.slow_request_ms > 0.0 &&
+      record.elapsed_seconds * 1000.0 >= options_.slow_request_ms) {
+    std::string breakdown;
+    for (const auto& [name, seconds] : record.phases) {
+      breakdown += " " + name + "=" + std::to_string(seconds * 1000.0) +
+                   "ms";
+    }
+    WFMS_LOG(Warning) << "wfmsd: slow request trace=" << record.trace_id
+                      << " op=" << record.op
+                      << " disposition=" << record.disposition
+                      << " elapsed="
+                      << record.elapsed_seconds * 1000.0 << "ms"
+                      << " cache_hit=" << (record.cache_hit ? 1 : 0)
+                      << " solver_rungs=" << record.solver_rungs
+                      << breakdown;
+  }
+  recorder_.Record(std::move(record));
 }
 
 void Server::MaybeSnapshot() {
@@ -505,6 +637,11 @@ void Server::MaybeSnapshot() {
   if (!saved.ok()) {
     WFMS_LOG(Warning) << "wfmsd: cache snapshot failed: " << saved.ToString();
   }
+  // The recorder rides along with periodic cache snapshots, keeping an
+  // on-disk forensics trail on long-running daemons. Interval 0 (chaos
+  // mode) deliberately skips it: that mode snapshots after every request,
+  // and the recorder must never add I/O to the request path.
+  if (options_.snapshot_interval_seconds > 0.0) DumpFlightRecorder();
 }
 
 }  // namespace wfms::service

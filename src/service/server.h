@@ -34,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "service/admission.h"
 #include "service/backend.h"
+#include "service/flight_recorder.h"
 
 namespace wfms::service {
 
@@ -62,6 +63,16 @@ struct ServerOptions {
   /// request lines the client already sent for this long, so a drain
   /// races with neither the network nor the kernel's receive buffer.
   double drain_grace_seconds = 0.5;
+  /// Flight recorder (DESIGN.md §13): retained per-request records,
+  /// served at `GET /debug/requests`.
+  size_t flight_recorder_capacity = 1024;
+  /// Non-empty: the recorder is dumped here (best-effort JSON) on the
+  /// graceful-drain path and after each cache snapshot. Never written on
+  /// the request path — a SIGKILL loses it by design.
+  std::string flight_recorder_path;
+  /// > 0: any request slower than this (milliseconds, arrival to
+  /// response) logs its full phase breakdown to stderr.
+  double slow_request_ms = 0.0;
 };
 
 class Server {
@@ -89,6 +100,8 @@ class Server {
 
   Backend& backend() { return *backend_; }
 
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
  private:
   struct Connection;
 
@@ -108,11 +121,33 @@ class Server {
   /// Answers an HTTP GET (metrics scrape) and closes the connection.
   void ServeHttp(const std::shared_ptr<Connection>& conn,
                  const std::string& first_line);
-  /// The single response-write site: renders, writes, and does the
-  /// per-disposition accounting the load driver cross-checks.
+  /// The response-write site for lines that never became a request (e.g.
+  /// oversized input): renders, writes, and does the per-disposition
+  /// accounting the load driver cross-checks.
   void WriteResponse(const std::shared_ptr<Connection>& conn,
                      const Response& response);
+  /// The single exit path for every parsed request: accounts the
+  /// disposition, commits the flight-recorder record (and slow-request
+  /// log) *before* the rendered response hits the wire — a client that
+  /// scrapes /debug/requests right after its response must find its own
+  /// record — then writes. Accounting happens even when the client hung
+  /// up.
+  void Respond(const std::shared_ptr<Connection>& conn,
+               const Response& response, const std::string& tenant,
+               const char* op, const RequestTelemetry& telemetry,
+               std::chrono::steady_clock::time_point arrival,
+               size_t bytes_in);
+  /// Commits one flight-recorder record and emits the slow-request log
+  /// line when the request overshot `slow_request_ms`.
+  void CommitRecord(const std::string& tenant, const char* op,
+                    const Response& response,
+                    const RequestTelemetry& telemetry,
+                    std::chrono::steady_clock::time_point arrival,
+                    size_t bytes_in, size_t bytes_out);
   void MaybeSnapshot();
+  /// Best-effort recorder dump to `flight_recorder_path` (no-op when
+  /// unset); failures log a warning and are otherwise ignored.
+  void DumpFlightRecorder();
   /// Joins finished connection threads (called from the accept loop).
   void ReapConnections();
 
@@ -125,6 +160,7 @@ class Server {
   std::unique_ptr<Backend> backend_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<ThreadPool> pool_;
+  FlightRecorder recorder_;
 
   std::thread accept_thread_;
   std::mutex conn_mutex_;

@@ -449,7 +449,7 @@ Result<SimulationResult> Simulator::Run() {
       checkpointing || options_.cancel != nullptr || awaiting_cursor;
   const auto loop_start = std::chrono::steady_clock::now();
   {
-    trace::TraceSpan span("sim/event_loop", "sim");
+    trace::TraceSpan span("sim/event_loop", "sim", options_.trace);
     result_.events_executed =
         observed ? queue_.RunUntil(options_.duration, observer)
                  : queue_.RunUntil(options_.duration);

@@ -26,6 +26,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/statistics.h"
+#include "common/trace.h"
 #include "sim/event_queue.h"
 #include "sim/fault_schedule.h"
 #include "sim/load_schedule.h"
@@ -97,6 +98,12 @@ struct SimulationOptions {
   /// Run() writes a final checkpoint (if checkpointing) and returns
   /// StatusCode::kCancelled.
   const std::atomic<bool>* cancel = nullptr;
+  /// Request-trace context the run executes under (DESIGN.md §13): the
+  /// event-loop span parents into it, so a daemon-triggered simulation
+  /// (autotune) appears inside the request's trace tree. Carried
+  /// explicitly with the options — like `sink` — never via a
+  /// thread-local. Invalid (default) outside a traced request.
+  trace::TraceContext trace;
 };
 
 struct WorkflowTypeResult {

@@ -261,7 +261,7 @@ TEST(SnapshotTest, JsonExportIsWellFormed) {
   h.Observe(1e50);  // overflow bucket: le must serialize as "+Inf"
   const std::string json = registry.Snapshot().ToJson();
   EXPECT_TRUE(JsonIsBalanced(json)) << json;
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"wfms_test_total\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"wfms_test_depth\""), std::string::npos);
   EXPECT_NE(json.find("\"wfms_test_seconds\""), std::string::npos);
@@ -327,6 +327,89 @@ TEST(SnapshotTest, PrometheusRoundTrip) {
   EXPECT_NE(text.find("# TYPE wfms_test_depth gauge"), std::string::npos);
   EXPECT_NE(text.find("# TYPE wfms_test_seconds histogram"),
             std::string::npos);
+}
+
+TEST(HistogramTest, P999TracksTailBetweenP99AndMax) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("wfms_test_seconds");
+  // 1000 observations, uniform 1..1000 ms: p999 must sit in the far tail.
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 1e-3);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hist = snap.histogram("wfms_test_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_LE(hist->p99, hist->p999);
+  EXPECT_LE(hist->p999, hist->max);
+  EXPECT_GE(hist->p999, 0.9);  // the 99.9th of 1..1000ms lives near 1s
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"p999\""), std::string::npos) << json;
+}
+
+TEST(HistogramTest, ExemplarTracksMaxLatencyObservation) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("wfms_test_seconds");
+  const std::string slow(32, 'b');
+  h.Observe(0.5, std::string(32, 'a'));
+  h.Observe(0.9, slow);
+  h.Observe(0.7, std::string(32, 'c'));
+  h.Observe(2.0);  // no trace id: must not displace the attributed exemplar
+  EXPECT_EQ(h.exemplar_trace_id(), slow);
+  EXPECT_DOUBLE_EQ(h.exemplar_value(), 0.9);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hist = snap.histogram("wfms_test_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->exemplar_trace_id, slow);
+  EXPECT_DOUBLE_EQ(hist->exemplar_value, 0.9);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"exemplar\": {\"trace_id\": \"" + slow + "\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(HistogramTest, ExemplarAbsentWithoutAttributedObservations) {
+  MetricsRegistry registry;
+  registry.GetHistogram("wfms_test_seconds").Observe(0.5);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json.find("exemplar"), std::string::npos) << json;
+}
+
+TEST(SnapshotTest, PrometheusHelpAndTypeLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("wfms_test_total").Increment();
+  registry.GetGauge("wfms_test_depth").Set(1.0);
+  registry.SetHelp("wfms_test_total", "Requests served.");
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# HELP wfms_test_total Requests served.\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE wfms_test_total counter\n"), std::string::npos);
+  // Metrics without registered help still get a generic HELP line.
+  EXPECT_NE(text.find("# HELP wfms_test_depth wfms gauge\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(SnapshotTest, PrometheusEscapesHostileLabelValuesAndHelp) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(PromEscapeHelp("line1\nline2 \\ tail"), "line1\\nline2 \\\\ tail");
+
+  // Hostile help text must not be able to forge extra exposition lines: a
+  // registered string full of newlines, quotes, and fake samples still
+  // leaves every non-comment line a parseable `name value` pair.
+  MetricsRegistry registry;
+  registry.GetCounter("wfms_test_total").Increment(2);
+  registry.SetHelp("wfms_test_total",
+                   "evil\nwfms_forged_total 999\n# TYPE forged counter\"\\");
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_EQ(text.find("\nwfms_forged_total"), std::string::npos) << text;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
 }
 
 TEST(GlobalRegistryTest, IsASingleton) {

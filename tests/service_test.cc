@@ -8,12 +8,18 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "common/metrics.h"
 #include "service/admission.h"
 #include "service/backend.h"
 #include "service/client.h"
+#include "service/flight_recorder.h"
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -533,6 +539,221 @@ TEST_F(ServerLoopbackTest, GeoSurvivabilityAssessOverTheWire) {
   auto mismatch_doc = Json::Parse(*mismatch);
   ASSERT_TRUE(mismatch_doc.ok());
   EXPECT_EQ(mismatch_doc->GetString("status", ""), "error");
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+// ----------------------------------------------------- Flight recorder --
+
+RequestRecord MakeRecord(const std::string& trace_id) {
+  RequestRecord record;
+  record.trace_id = trace_id;
+  record.tenant = "default";
+  record.op = "assess";
+  record.disposition = "completed";
+  record.elapsed_seconds = 0.010;
+  record.phases = {{"queue", 0.001}, {"execute", 0.008}};
+  record.bytes_in = 100;
+  record.bytes_out = 300;
+  return record;
+}
+
+std::string HexTraceId(int i) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%032x", i);
+  return buf;
+}
+
+TEST(FlightRecorderTest, NewestReturnsNewestFirst) {
+  FlightRecorder recorder(/*capacity=*/64, /*shards=*/4);
+  for (int i = 0; i < 10; ++i) recorder.Record(MakeRecord(HexTraceId(i)));
+  const std::vector<RequestRecord> newest = recorder.Newest(3);
+  ASSERT_EQ(newest.size(), 3u);
+  EXPECT_EQ(newest[0].trace_id, HexTraceId(9));
+  EXPECT_EQ(newest[1].trace_id, HexTraceId(8));
+  EXPECT_EQ(newest[2].trace_id, HexTraceId(7));
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  // n == 0 and n > retained both return everything.
+  EXPECT_EQ(recorder.Newest(0).size(), 10u);
+  EXPECT_EQ(recorder.Newest(1000).size(), 10u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsTheNewestRecords) {
+  FlightRecorder recorder(/*capacity=*/8, /*shards=*/2);
+  ASSERT_EQ(recorder.capacity(), 8u);
+  for (int i = 0; i < 30; ++i) recorder.Record(MakeRecord(HexTraceId(i)));
+  const std::vector<RequestRecord> retained = recorder.Newest(0);
+  ASSERT_EQ(retained.size(), 8u);
+  // The ring keeps exactly the last `capacity` commits, newest first.
+  for (size_t i = 0; i < retained.size(); ++i) {
+    EXPECT_EQ(retained[i].trace_id, HexTraceId(29 - static_cast<int>(i)));
+  }
+  EXPECT_EQ(recorder.total_recorded(), 30u);
+}
+
+TEST(FlightRecorderTest, ToJsonCarriesSchemaAndEveryField) {
+  FlightRecorder recorder(/*capacity=*/8, /*shards=*/2);
+  RequestRecord record = MakeRecord(HexTraceId(1));
+  record.cache_hit = true;
+  record.solver_rungs = 2;
+  record.admission_wait_seconds = 0.001;
+  recorder.Record(record);
+  const std::string json = recorder.ToJson();
+  for (const char* needle :
+       {"\"schema_version\":1", "\"total_recorded\":1", "\"records\"",
+        "\"seq\"", "\"trace_id\"", "\"tenant\":\"default\"",
+        "\"op\":\"assess\"", "\"disposition\":\"completed\"",
+        "\"admission_wait_seconds\"", "\"elapsed_seconds\"", "\"phases\"",
+        "\"name\":\"queue\"", "\"cache_hit\":true", "\"solver_rungs\":2",
+        "\"bytes_in\":100", "\"bytes_out\":300"}) {
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "missing " << needle << " in " << json;
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordsAllLandWithUniqueSeq) {
+  FlightRecorder recorder(/*capacity=*/4096, /*shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(MakeRecord(HexTraceId(t * kPerThread + i)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<RequestRecord> all = recorder.Newest(0);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i].seq, all[i - 1].seq);  // strictly newest-first
+  }
+}
+
+TEST(FlightRecorderTest, DumpJsonWritesTheDocument) {
+  const std::string path = TempPath("flight_recorder_dump.json");
+  std::remove(path.c_str());
+  FlightRecorder recorder(/*capacity=*/8, /*shards=*/2);
+  recorder.Record(MakeRecord(HexTraceId(7)));
+  ASSERT_TRUE(recorder.DumpJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find(HexTraceId(7)), std::string::npos);
+  EXPECT_FALSE(recorder.DumpJson("/nonexistent_dir_zzz/dump.json").ok());
+}
+
+TEST_F(ServerLoopbackTest, FlightRecorderCapturesTracedRequests) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+
+  // A client-minted trace context rides the request; the response echoes
+  // the same trace id back.
+  const std::string trace_id = "00112233445566778899aabbccddeeff";
+  auto traced = client.Call(
+      R"({"id":"tr1","op":"assess","scenario":"ep","config":[2,2,3],)"
+      R"("max_wait":0.05,"min_avail":0.99,)"
+      R"("trace":{"trace_id":")" + trace_id +
+      R"(","parent_span_id":"0123456789abcdef"}})");
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  auto traced_doc = Json::Parse(*traced);
+  ASSERT_TRUE(traced_doc.ok());
+  EXPECT_EQ(traced_doc->GetString("status", ""), "completed");
+  EXPECT_EQ(traced_doc->GetString("trace_id", ""), trace_id);
+
+  // A request without a trace field gets a server-minted id.
+  auto bare = client.Call(R"({"id":"tr2","op":"ping"})");
+  ASSERT_TRUE(bare.ok());
+  auto bare_doc = Json::Parse(*bare);
+  ASSERT_TRUE(bare_doc.ok());
+  const std::string minted = bare_doc->GetString("trace_id", "");
+  EXPECT_EQ(minted.size(), 32u);
+  EXPECT_NE(minted, trace_id);
+
+  // Both requests landed in the flight recorder, newest first, with
+  // phases that fit inside the recorded wall time.
+  const std::vector<RequestRecord> records =
+      server.flight_recorder().Newest(0);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, minted);
+  EXPECT_EQ(records[0].op, "ping");
+  EXPECT_EQ(records[1].trace_id, trace_id);
+  EXPECT_EQ(records[1].op, "assess");
+  EXPECT_EQ(records[1].disposition, "completed");
+  EXPECT_FALSE(records[1].cache_hit);
+  EXPECT_GT(records[1].bytes_in, 0u);
+  EXPECT_GT(records[1].bytes_out, 0u);
+  double phase_sum = 0.0;
+  bool saw_execute = false;
+  for (const auto& [name, seconds] : records[1].phases) {
+    EXPECT_GE(seconds, 0.0) << name;
+    phase_sum += seconds;
+    if (name == "execute") saw_execute = true;
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_LE(phase_sum, records[1].elapsed_seconds + 1e-3);
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+// Raw HTTP/1.0 GET against the server's shared port (the protocol sniffer
+// routes "GET " lines to ServeHttp). Returns the full response, headers
+// included.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ServerLoopbackTest, FlightRecorderServedAtDebugRequests) {
+  Server server(DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        client.Call(R"({"id":"h)" + std::to_string(i) + R"(","op":"ping"})")
+            .ok());
+  }
+
+  const std::string all = HttpGet(server.port(), "/debug/requests");
+  EXPECT_NE(all.find("200 OK"), std::string::npos) << all;
+  EXPECT_NE(all.find("application/json"), std::string::npos) << all;
+  EXPECT_NE(all.find("\"schema_version\":1"), std::string::npos) << all;
+  EXPECT_NE(all.find("\"total_recorded\":3"), std::string::npos) << all;
+
+  // ?n= caps the returned records without touching total_recorded.
+  const std::string capped = HttpGet(server.port(), "/debug/requests?n=1");
+  EXPECT_NE(capped.find("\"total_recorded\":3"), std::string::npos) << capped;
+  size_t seq_count = 0;
+  for (size_t pos = capped.find("\"seq\""); pos != std::string::npos;
+       pos = capped.find("\"seq\"", pos + 1)) {
+    ++seq_count;
+  }
+  EXPECT_EQ(seq_count, 1u);
 
   server.RequestStop();
   EXPECT_TRUE(server.Wait().ok());

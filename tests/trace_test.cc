@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -210,6 +212,130 @@ TEST_F(TraceTest, WriteJsonRoundTrips) {
 
 TEST_F(TraceTest, WriteJsonReportsUnwritablePath) {
   EXPECT_FALSE(WriteJson("/nonexistent_dir_zzz/trace.json").ok());
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext: the distributed parent links of DESIGN.md §13. Suite name
+// must keep matching the TSan CI regex (TraceContext).
+
+using TraceContextTest = TraceTest;
+
+TEST_F(TraceContextTest, MintProducesValidRootContext) {
+  const TraceContext ctx = TraceContext::Mint();
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.span_id, 0u) << "a minted context is a root, no parent span";
+  EXPECT_EQ(ctx.trace_id_hex().size(), 32u);
+  EXPECT_EQ(ctx.span_id_hex().size(), 16u);
+  const TraceContext other = TraceContext::Mint();
+  EXPECT_FALSE(ctx.trace_hi == other.trace_hi &&
+               ctx.trace_lo == other.trace_lo)
+      << "two mints returned the same 128-bit trace id";
+}
+
+TEST_F(TraceContextTest, WithRemoteParentAdoptsWireValues) {
+  const TraceContext ctx = TraceContext::WithRemoteParent(
+      "0123456789abcdef0123456789ABCDEF", "00000000000000ff");
+  EXPECT_EQ(ctx.trace_hi, 0x0123456789abcdefull);
+  EXPECT_EQ(ctx.trace_lo, 0x0123456789abcdefull);
+  EXPECT_EQ(ctx.span_id, 0xffu);
+  EXPECT_EQ(ctx.trace_id_hex(), "0123456789abcdef0123456789abcdef");
+}
+
+TEST_F(TraceContextTest, WithRemoteParentMintsFreshOnGarbageTraceId) {
+  for (const char* hostile :
+       {"", "short", "zzzz456789abcdef0123456789abcdef",
+        "0123456789abcdef0123456789abcdef0", "00000000000000000000000000000000"}) {
+    const TraceContext ctx =
+        TraceContext::WithRemoteParent(hostile, "00000000000000ff");
+    EXPECT_TRUE(ctx.valid()) << hostile;
+    EXPECT_EQ(ctx.span_id, 0u)
+        << "a remote parent must not survive a rejected trace id";
+  }
+}
+
+TEST_F(TraceContextTest, WithRemoteParentDropsUnparsableParentSpan) {
+  const TraceContext ctx = TraceContext::WithRemoteParent(
+      "0123456789abcdef0123456789abcdef", "xyz");
+  EXPECT_EQ(ctx.trace_id_hex(), "0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(ctx.span_id, 0u);
+}
+
+TEST_F(TraceContextTest, LinkedSpansExportArgsWithParentLinks) {
+  const TraceContext root = TraceContext::WithRemoteParent(
+      "0123456789abcdef0123456789abcdef", "000000000000beef");
+  std::string child_span_hex;
+  {
+    TraceSpan span("service/assess", "service", root);
+    const TraceContext child = span.context();
+    EXPECT_EQ(child.trace_id_hex(), root.trace_id_hex());
+    EXPECT_NE(child.span_id, 0u) << "recorded span must mint its own span id";
+    EXPECT_NE(child.span_id, root.span_id);
+    child_span_hex = child.span_id_hex();
+  }
+  const std::string json = ExportJson();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"trace_id\": \"0123456789abcdef0123456789abcdef\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"span_id\": \"" + child_span_hex + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"parent_span_id\": \"000000000000beef\""),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(TraceContextTest, RootSpanOmitsParentLink) {
+  const TraceContext root = TraceContext::Mint();  // span_id == 0
+  { TraceSpan span("client/assess", "client", root); }
+  const std::string json = ExportJson();
+  EXPECT_NE(json.find("\"trace_id\": \"" + root.trace_id_hex() + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("parent_span_id"), std::string::npos) << json;
+}
+
+TEST_F(TraceContextTest, UnlinkedSpansExportNoArgs) {
+  { TraceSpan span("markov/steady_state", "markov"); }
+  EXPECT_EQ(ExportJson().find("\"args\""), std::string::npos);
+}
+
+TEST_F(TraceContextTest, ContextPassesThroughWhileDisabled) {
+  SetEnabled(false);
+  const TraceContext parent = TraceContext::WithRemoteParent(
+      "0123456789abcdef0123456789abcdef", "000000000000beef");
+  TraceSpan span("service/assess", "service", parent);
+  const TraceContext through = span.context();
+  EXPECT_EQ(through.trace_hi, parent.trace_hi);
+  EXPECT_EQ(through.trace_lo, parent.trace_lo);
+  EXPECT_EQ(through.span_id, parent.span_id)
+      << "unrecorded spans must not break the parent chain";
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST_F(TraceContextTest, NestedContextsChainParentLinks) {
+  const TraceContext root = TraceContext::Mint();
+  TraceSpan outer("service/assess", "service", root);
+  TraceSpan inner("configtool/assess_isolated", "configtool",
+                  outer.context());
+  EXPECT_EQ(inner.context().trace_id_hex(), root.trace_id_hex());
+  EXPECT_NE(inner.context().span_id, outer.context().span_id);
+}
+
+TEST_F(TraceContextTest, BufferWraparoundIncrementsDroppedCounter) {
+  auto& dropped =
+      metrics::MetricsRegistry::Global().GetCounter("wfms_trace_dropped_total");
+  const uint64_t baseline = dropped.value();
+  SetThreadBufferCapacity(16);
+  const TraceContext ctx = TraceContext::Mint();
+  for (int i = 0; i < 48; ++i) {
+    TraceSpan span("overflow/span", "test", ctx);
+  }
+  SetThreadBufferCapacity(0);  // restore the default for later tests
+  EXPECT_LE(event_count(), 16u) << "buffer grew past its cap";
+  EXPECT_GE(dropped.value() - baseline, 32u)
+      << "spans past capacity must be counted, not silently lost";
+  EXPECT_TRUE(JsonIsBalanced(ExportJson()));
 }
 
 }  // namespace

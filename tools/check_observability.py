@@ -33,9 +33,9 @@ def fail(message):
 
 
 # ---------------------------------------------------------------------------
-# JSON-Schema subset: type, enum, minimum, required, properties,
-# additionalProperties, patternProperties, items. Enough for the two
-# schemas in tools/schemas/; extend as they grow.
+# JSON-Schema subset: type, enum, minimum, pattern, required, properties,
+# additionalProperties, patternProperties, items. Enough for the schemas
+# in tools/schemas/; extend as they grow.
 
 _TYPES = {
     "object": dict,
@@ -66,6 +66,9 @@ def validate_schema(value, schema, path="$"):
     if "minimum" in schema and isinstance(value, (int, float)):
         if value < schema["minimum"]:
             fail(f"{path}: {value} < minimum {schema['minimum']}")
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            fail(f"{path}: {value!r} does not match {schema['pattern']!r}")
     if isinstance(value, dict):
         for key in schema.get("required", []):
             if key not in value:
@@ -98,6 +101,7 @@ def validate_schema(value, schema, path="$"):
 
 
 def check_metrics_semantics(doc):
+    version = doc["schema_version"]
     for section in ("counters", "gauges", "histograms"):
         for name in doc[section]:
             if not METRIC_NAME.match(name):
@@ -116,6 +120,8 @@ def check_metrics_semantics(doc):
             le = bucket["le"]
             if isinstance(le, str) and le != "+Inf":
                 fail(f"histograms.{name}: string le must be '+Inf', got {le!r}")
+        if version >= 2 and "p999" not in hist:
+            fail(f"histograms.{name}: schema_version {version} requires p999")
         if hist["count"] > 0:
             if not hist["min"] <= hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"]:
                 fail(
@@ -123,9 +129,22 @@ def check_metrics_semantics(doc):
                     f" [min, max]: min={hist['min']} p50={hist['p50']}"
                     f" p90={hist['p90']} p99={hist['p99']} max={hist['max']}"
                 )
+            if "p999" in hist and not hist["p99"] <= hist["p999"] <= hist["max"]:
+                fail(
+                    f"histograms.{name}: p999 out of order:"
+                    f" p99={hist['p99']} p999={hist['p999']} max={hist['max']}"
+                )
+            if "exemplar" in hist:
+                value = hist["exemplar"]["value"]
+                if not hist["min"] <= value <= hist["max"]:
+                    fail(
+                        f"histograms.{name}: exemplar value {value} outside"
+                        f" [{hist['min']}, {hist['max']}]"
+                    )
     print(
         f"check_observability: metrics OK ({len(doc['counters'])} counters,"
-        f" {len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms)"
+        f" {len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms,"
+        f" schema_version {version})"
     )
 
 
@@ -141,6 +160,34 @@ def check_trace_semantics(doc):
     print(f"check_observability: trace OK ({len(events)} events)")
 
 
+def check_flight_recorder_semantics(doc):
+    records = doc["records"]
+    if doc["total_recorded"] < len(records):
+        fail(
+            f"total_recorded {doc['total_recorded']} < {len(records)}"
+            " retained records"
+        )
+    previous_seq = None
+    for i, record in enumerate(records):
+        seq = record["seq"]
+        if previous_seq is not None and seq >= previous_seq:
+            fail(f"records[{i}]: not newest-first (seq {seq} after {previous_seq})")
+        previous_seq = seq
+        phase_sum = sum(p["seconds"] for p in record["phases"])
+        # Phases are disjoint sub-intervals of the request's wall time; a
+        # small epsilon absorbs clock-read ordering between the phase
+        # timers and the record's own elapsed timer.
+        if phase_sum > record["elapsed_seconds"] + 1e-3:
+            fail(
+                f"records[{i}] (trace {record['trace_id']}): phases sum to"
+                f" {phase_sum}s, elapsed is {record['elapsed_seconds']}s"
+            )
+    print(
+        f"check_observability: flight recorder OK ({len(records)} records,"
+        f" {doc['total_recorded']} total recorded)"
+    )
+
+
 def cmd_validate(args):
     with open(args.schema, encoding="utf-8") as f:
         schema = json.load(f)
@@ -150,6 +197,8 @@ def cmd_validate(args):
     title = schema.get("title", "")
     if "metrics" in title:
         check_metrics_semantics(doc)
+    elif "flight" in title:
+        check_flight_recorder_semantics(doc)
     elif "trace" in title:
         check_trace_semantics(doc)
     else:

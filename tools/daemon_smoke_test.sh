@@ -10,7 +10,10 @@
 #      mid-stream disconnect leaves the daemon serving others;
 #   5. live GET /metrics + /metrics.json scrapes, the JSON one validated
 #      against the checked-in metrics schema;
-#   6. SIGTERM drain: a request in flight when the signal lands is still
+#   6. a GET /debug/requests flight-recorder scrape, validated against
+#      tools/schemas/flight_recorder_schema.json, with the smoke traffic
+#      accounted for and the ?n= cap honored;
+#   7. SIGTERM drain: a request in flight when the signal lands is still
 #      answered, the daemon exits 0 and reports a clean drain.
 #
 # usage: daemon_smoke_test.sh <wfmsd> <wfmsctl> <load_driver> <workdir>
@@ -165,6 +168,51 @@ EOF
 python3 "$TOOLS_DIR/check_observability.py" validate \
   --schema "$TOOLS_DIR/schemas/metrics_schema.json" \
   "$WORKDIR/metrics.json" || fail "live /metrics.json fails the schema"
+
+echo "== flight recorder scrape"
+python3 - "$PORT" "$WORKDIR" << 'EOF' || exit 1
+import json, socket, sys
+
+port, workdir = int(sys.argv[1]), sys.argv[2]
+
+def scrape(path):
+    s = socket.create_connection(("127.0.0.1", port), timeout=30)
+    s.sendall(("GET %s HTTP/1.0\r\n\r\n" % path).encode())
+    data = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    s.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    if not head.startswith(b"HTTP/1.1 200"):
+        print("FAIL: GET %s answered %s" % (path, head.split(b"\r\n")[0]))
+        sys.exit(1)
+    return body
+
+body = scrape("/debug/requests")
+with open(workdir + "/requests.json", "wb") as f:
+    f.write(body)
+doc = json.loads(body)
+# The smoke traffic above (ping, assess, load burst, hostile lines) must
+# all have landed in the recorder.
+if doc["total_recorded"] < 600:
+    print("FAIL: only %d requests recorded" % doc["total_recorded"])
+    sys.exit(1)
+ops = {r["op"] for r in doc["records"]}
+if "assess" not in ops:
+    print("FAIL: no assess record retained: %r" % ops)
+    sys.exit(1)
+capped = json.loads(scrape("/debug/requests?n=5"))
+if len(capped["records"]) != 5:
+    print("FAIL: ?n=5 returned %d records" % len(capped["records"]))
+    sys.exit(1)
+EOF
+[ $? -eq 0 ] || fail "flight recorder scrape failed"
+python3 "$TOOLS_DIR/check_observability.py" validate \
+  --schema "$TOOLS_DIR/schemas/flight_recorder_schema.json" \
+  "$WORKDIR/requests.json" || fail "live /debug/requests fails the schema"
 
 echo "== SIGTERM drain with a request in flight"
 python3 - "$PORT" "$DAEMON_PID" << 'EOF' || exit 1

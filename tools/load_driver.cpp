@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "service/client.h"
 #include "service/json.h"
 
@@ -137,7 +138,8 @@ uint64_t CounterOf(const Json& doc, const std::string& name) {
   return value == nullptr ? 0 : static_cast<uint64_t>(value->number());
 }
 
-std::string BuildRequestLine(const DriverOptions& options, int index) {
+std::string BuildRequestLine(const DriverOptions& options, int index,
+                             std::string* trace_id_out) {
   // Cycle a small set of replication vectors so the shared cache gets
   // both hits and misses (the ep scenario has three server types).
   static const std::vector<std::vector<int>> kConfigs = {
@@ -166,12 +168,27 @@ std::string BuildRequestLine(const DriverOptions& options, int index) {
   if (options.deadline_seconds > 0.0) {
     req.Set("deadline_seconds", Json::Number(options.deadline_seconds));
   }
+  // Every request carries its own minted trace id, so a slow outlier in
+  // the driver's table can be looked up verbatim in the daemon's
+  // /debug/requests flight recorder.
+  const trace::TraceContext ctx = trace::TraceContext::Mint();
+  Json trace_field = Json::Object();
+  trace_field.Set("trace_id", Json::Str(ctx.trace_id_hex()));
+  req.Set("trace", trace_field);
+  if (trace_id_out != nullptr) *trace_id_out = ctx.trace_id_hex();
   return req.Dump();
 }
 
+/// One answered request, kept so the slowest can be named by trace id.
+struct Sample {
+  double seconds = 0.0;
+  std::string trace_id;
+  std::string id;
+};
+
 struct WorkerResult {
   Tally tally;
-  std::vector<double> latencies_seconds;
+  std::vector<Sample> samples;
   std::vector<std::string> failures;  // invariant violations, verbatim
 };
 
@@ -193,7 +210,11 @@ void RunWorker(const DriverOptions& options, int worker_index,
     return;
   }
 
-  std::map<std::string, std::chrono::steady_clock::time_point> in_flight;
+  struct InFlight {
+    std::chrono::steady_clock::time_point sent_at;
+    std::string trace_id;
+  };
+  std::map<std::string, InFlight> in_flight;
   int sent = 0;
   int answered = 0;
   while (answered < request_count) {
@@ -201,7 +222,9 @@ void RunWorker(const DriverOptions& options, int worker_index,
     while (sent < request_count &&
            in_flight.size() < static_cast<size_t>(options.pipeline)) {
       const int index = first_request + sent;
-      Status pushed = client.Send(BuildRequestLine(options, index));
+      std::string trace_id;
+      Status pushed =
+          client.Send(BuildRequestLine(options, index, &trace_id));
       if (!pushed.ok()) {
         out->failures.push_back("send failed: " + pushed.ToString());
         out->tally.transport_failures += static_cast<uint64_t>(
@@ -211,7 +234,9 @@ void RunWorker(const DriverOptions& options, int worker_index,
       // Same two-step build as BuildRequestLine (GCC PR105329).
       std::string key(1, 'r');
       key += std::to_string(index);
-      in_flight.emplace(std::move(key), std::chrono::steady_clock::now());
+      in_flight.emplace(std::move(key),
+                        InFlight{std::chrono::steady_clock::now(),
+                                 std::move(trace_id)});
       ++sent;
     }
 
@@ -237,10 +262,14 @@ void RunWorker(const DriverOptions& options, int worker_index,
       out->failures.push_back("response for unknown/duplicate id '" + id +
                               "'");
     } else {
-      out->latencies_seconds.push_back(
+      Sample sample;
+      sample.seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        started->second)
-              .count());
+                                        started->second.sent_at)
+              .count();
+      sample.trace_id = std::move(started->second.trace_id);
+      sample.id = id;
+      out->samples.push_back(std::move(sample));
       in_flight.erase(started);
     }
     const std::string status = parsed->GetString("status", "");
@@ -352,15 +381,23 @@ int Main(int argc, char** argv) {
           .count();
 
   Tally tally;
-  std::vector<double> latencies;
+  std::vector<Sample> samples;
   std::vector<std::string> failures;
-  for (const WorkerResult& result : results) {
+  for (WorkerResult& result : results) {
     tally.Merge(result.tally);
-    latencies.insert(latencies.end(), result.latencies_seconds.begin(),
-                     result.latencies_seconds.end());
+    for (Sample& s : result.samples) samples.push_back(std::move(s));
     for (const std::string& f : result.failures) failures.push_back(f);
   }
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  for (const Sample& s : samples) latencies.push_back(s.seconds);
   std::sort(latencies.begin(), latencies.end());
+  // Slowest first, for the forensics table and the report.
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.seconds > b.seconds;
+            });
+  const size_t slowest_count = std::min<size_t>(10, samples.size());
 
   // Invariant 1: every request ended in exactly one disposition.
   const uint64_t total = static_cast<uint64_t>(options.requests);
@@ -452,6 +489,18 @@ int Main(int argc, char** argv) {
   latency.Set("max_seconds",
               Json::Number(latencies.empty() ? 0.0 : latencies.back()));
   report.Set("client_latency", latency);
+  // The slowest requests by name: feed a trace_id to
+  // `curl SERVER/debug/requests` to see the server-side phase breakdown.
+  Json slowest = Json::Array();
+  for (size_t i = 0; i < slowest_count; ++i) {
+    Json entry = Json::Object();
+    entry.Set("trace_id", Json::Str(samples[i].trace_id));
+    entry.Set("id", Json::Str(samples[i].id));
+    entry.Set("op", Json::Str(options.op));
+    entry.Set("latency_seconds", Json::Number(samples[i].seconds));
+    slowest.Append(std::move(entry));
+  }
+  report.Set("slowest", slowest);
   report.Set("server_counter_deltas", server_counters);
   // The daemon's own latency view of the same port, for offline
   // cross-checks.
@@ -497,6 +546,16 @@ int Main(int argc, char** argv) {
       Quantile(latencies, 0.5) * 1e3, Quantile(latencies, 0.9) * 1e3,
       Quantile(latencies, 0.99) * 1e3,
       (latencies.empty() ? 0.0 : latencies.back()) * 1e3);
+  if (slowest_count > 0) {
+    std::printf("  slowest %zu request(s):\n", slowest_count);
+    std::printf("    %-32s %-10s %-10s %s\n", "trace_id", "id", "op",
+                "latency_ms");
+    for (size_t i = 0; i < slowest_count; ++i) {
+      std::printf("    %-32s %-10s %-10s %.1f\n",
+                  samples[i].trace_id.c_str(), samples[i].id.c_str(),
+                  options.op.c_str(), samples[i].seconds * 1e3);
+    }
+  }
   for (const std::string& failure : failures) {
     std::fprintf(stderr, "load_driver: INVARIANT VIOLATION: %s\n",
                  failure.c_str());

@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# End-to-end distributed tracing (DESIGN.md §13): one wfmsctl assess
+# against a live wfmsd stitches into a single trace tree across both
+# processes.
+#   1. boot wfmsd with --trace-out, --flight-recorder and a 0.001 ms
+#      slow-request threshold (everything is "slow": the forensics log
+#      path runs on every request);
+#   2. `wfmsctl assess --connect --verbose --trace-out` mints the trace
+#      client-side; the daemon echoes the same id back;
+#   3. the live /debug/requests scrape carries the record for that id,
+#      phases summing within the recorded wall time (checked by
+#      check_observability.py);
+#   4. SIGTERM drain writes the server trace and the flight-recorder
+#      dump; both validate against their checked-in schemas;
+#   5. the merged client+server Chrome-trace JSON holds one tree: the
+#      client root span, the server's service/admission and
+#      service/assess spans parented on it, and a markov solver span
+#      parented on service/assess — all under the one trace id.
+#
+# usage: trace_e2e_test.sh <wfmsd> <wfmsctl> <workdir>
+set -u
+
+WFMSD="$1"
+WFMSCTL="$2"
+WORKDIR="$3/trace_e2e_test"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+if ! command -v python3 > /dev/null; then
+  echo "SKIP: python3 not available" >&2
+  exit 0
+fi
+
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2> /dev/null; then
+    kill -9 "$DAEMON_PID" 2> /dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*"
+  echo "--- daemon stderr ---"
+  cat "$WORKDIR/wfmsd.err" 2> /dev/null
+  exit 1
+}
+
+echo "== boot with tracing on"
+"$WFMSD" --port 0 \
+  --trace-out "$WORKDIR/server_trace.json" \
+  --flight-recorder "$WORKDIR/requests_dump.json" \
+  --slow-request-ms 0.001 \
+  > "$WORKDIR/wfmsd.out" 2> "$WORKDIR/wfmsd.err" &
+DAEMON_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT=$(sed -n 's/^wfmsd: listening on .*:\([0-9]*\)$/\1/p' \
+    "$WORKDIR/wfmsd.out" 2> /dev/null)
+  [ -n "$PORT" ] && break
+  kill -0 "$DAEMON_PID" 2> /dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "no listening handshake on stdout"
+
+echo "== traced remote assess"
+"$WFMSCTL" assess --connect "127.0.0.1:$PORT" --config 2,2,3 \
+  --max-wait 0.05 --min-avail 0.99 --verbose \
+  --trace-out "$WORKDIR/client_trace.json" \
+  > "$WORKDIR/assess.json" 2> "$WORKDIR/assess.err" \
+  || fail "remote assess exited $?"
+TRACE_ID=$(sed -n 's/^wfmsctl: trace \([0-9a-f]\{32\}\)$/\1/p' \
+  "$WORKDIR/assess.err")
+[ -n "$TRACE_ID" ] || fail "no trace id on --verbose stderr"
+echo "trace id: $TRACE_ID"
+[ -s "$WORKDIR/client_trace.json" ] || fail "client trace not written"
+
+echo "== live /debug/requests carries the record"
+python3 - "$PORT" "$WORKDIR" "$TRACE_ID" << 'EOF' || exit 1
+import json, socket, sys
+
+port, workdir, trace_id = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+s = socket.create_connection(("127.0.0.1", port), timeout=30)
+s.sendall(b"GET /debug/requests HTTP/1.0\r\n\r\n")
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+head, _, body = data.partition(b"\r\n\r\n")
+if not head.startswith(b"HTTP/1.1 200"):
+    print("FAIL: /debug/requests answered %s" % head.split(b"\r\n")[0])
+    sys.exit(1)
+with open(workdir + "/requests_live.json", "wb") as f:
+    f.write(body)
+doc = json.loads(body)
+mine = [r for r in doc["records"] if r["trace_id"] == trace_id]
+if len(mine) != 1:
+    print("FAIL: %d records for trace %s" % (len(mine), trace_id))
+    sys.exit(1)
+record = mine[0]
+if record["op"] != "assess" or record["disposition"] != "completed":
+    print("FAIL: unexpected record %r" % record)
+    sys.exit(1)
+if record["cache_hit"]:
+    print("FAIL: first assess cannot be a cache hit")
+    sys.exit(1)
+if record["solver_rungs"] < 1:
+    print("FAIL: uncached assess reports no solver rungs")
+    sys.exit(1)
+names = [p["name"] for p in record["phases"]]
+for phase in ("queue", "resolve_scenario", "execute"):
+    if phase not in names:
+        print("FAIL: phase %r missing from %r" % (phase, names))
+        sys.exit(1)
+print("record ok: phases %r" % names)
+EOF
+[ $? -eq 0 ] || fail "/debug/requests check failed"
+python3 "$TOOLS_DIR/check_observability.py" validate \
+  --schema "$TOOLS_DIR/schemas/flight_recorder_schema.json" \
+  "$WORKDIR/requests_live.json" || fail "live scrape fails the schema"
+
+echo "== slow-request forensics on stderr"
+grep -q "slow request trace=$TRACE_ID" "$WORKDIR/wfmsd.err" \
+  || fail "no slow-request log line for trace $TRACE_ID"
+
+echo "== SIGTERM drain writes trace + recorder dump"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || fail "daemon exited $rc after SIGTERM (want 0)"
+[ -s "$WORKDIR/server_trace.json" ] || fail "server trace not written"
+[ -s "$WORKDIR/requests_dump.json" ] || fail "recorder dump not written"
+python3 "$TOOLS_DIR/check_observability.py" validate \
+  --schema "$TOOLS_DIR/schemas/flight_recorder_schema.json" \
+  "$WORKDIR/requests_dump.json" || fail "recorder dump fails the schema"
+for doc in client_trace server_trace; do
+  python3 "$TOOLS_DIR/check_observability.py" validate \
+    --schema "$TOOLS_DIR/schemas/trace_schema.json" \
+    "$WORKDIR/$doc.json" || fail "$doc fails the trace schema"
+done
+
+echo "== merged trace forms one tree"
+python3 - "$WORKDIR" "$TRACE_ID" << 'EOF' || exit 1
+import json, sys
+
+workdir, trace_id = sys.argv[1], sys.argv[2]
+
+def load(name):
+    with open("%s/%s" % (workdir, name), encoding="utf-8") as f:
+        return json.load(f)["traceEvents"]
+
+def fail(msg):
+    print("FAIL: " + msg)
+    sys.exit(1)
+
+client = load("client_trace.json")
+server = load("server_trace.json")
+
+def in_trace(events):
+    return [e for e in events
+            if e.get("args", {}).get("trace_id") == trace_id]
+
+client_mine = in_trace(client)
+roots = [e for e in client_mine if e["name"] == "wfmsctl/assess"]
+if len(roots) != 1:
+    fail("client trace has %d wfmsctl/assess root spans" % len(roots))
+root = roots[0]
+if "parent_span_id" in root["args"]:
+    fail("client root span has a parent")
+root_span = root["args"]["span_id"]
+
+server_mine = in_trace(server)
+by_name = {}
+for e in server_mine:
+    by_name.setdefault(e["name"], []).append(e)
+for name in ("service/admission", "service/assess"):
+    spans = by_name.get(name, [])
+    if len(spans) != 1:
+        fail("server trace has %d %s spans for the trace" % (len(spans), name))
+    if spans[0]["args"].get("parent_span_id") != root_span:
+        fail("%s is not parented on the client root span" % name)
+assess_span = by_name["service/assess"][0]["args"]["span_id"]
+solve = [e for e in server_mine if e["name"].startswith("markov/")]
+if not solve:
+    fail("no markov solver span under the trace; server spans: %r"
+         % sorted(by_name))
+parents = {e["args"].get("parent_span_id") for e in solve}
+server_span_ids = {e["args"]["span_id"] for e in server_mine}
+if not all(p in server_span_ids for p in parents):
+    fail("a solver span dangles outside the server tree: %r" % parents)
+reachable = {assess_span}
+grew = True
+while grew:
+    grew = False
+    for e in server_mine:
+        a = e["args"]
+        if a.get("parent_span_id") in reachable and a["span_id"] not in reachable:
+            reachable.add(a["span_id"])
+            grew = True
+if not any(e["args"]["span_id"] in reachable for e in solve):
+    fail("no solver span reachable from service/assess")
+
+merged = sorted(client + server, key=lambda e: e["ts"])
+with open(workdir + "/merged_trace.json", "w", encoding="utf-8") as f:
+    json.dump({"traceEvents": merged, "displayTimeUnit": "ms"}, f)
+print("one tree: root %s -> service/assess %s -> %d solver span(s)"
+      % (root_span, assess_span, len(solve)))
+EOF
+[ $? -eq 0 ] || fail "merged trace check failed"
+python3 "$TOOLS_DIR/check_observability.py" validate \
+  --schema "$TOOLS_DIR/schemas/trace_schema.json" \
+  "$WORKDIR/merged_trace.json" || fail "merged trace fails the schema"
+
+echo "PASS"

@@ -1002,6 +1002,25 @@ int RemoteCommand(const std::string& command, const Flags& flags) {
     }
   }
 
+  // Distributed tracing (DESIGN.md §13): the trace is minted client-side
+  // and shipped in the request, so the daemon's spans and flight-recorder
+  // record attach under this invocation's root span. With --trace-out the
+  // root span lands in the client trace; merged with the server's
+  // --trace-out file the two render as one tree in Perfetto.
+  const trace::TraceContext minted = trace::TraceContext::Mint();
+  trace::TraceSpan root_span(std::string("wfmsctl/") + command, "client",
+                             minted);
+  {
+    service::Json trace_field = service::Json::Object();
+    trace_field.Set("trace_id", service::Json::Str(minted.trace_id_hex()));
+    const trace::TraceContext ctx = root_span.context();
+    if (ctx.span_id != 0) {
+      trace_field.Set("parent_span_id",
+                      service::Json::Str(ctx.span_id_hex()));
+    }
+    request.Set("trace", trace_field);
+  }
+
   service::ClientOptions client_options;
   client_options.host = endpoint.substr(0, colon);
   client_options.port = port;
@@ -1036,6 +1055,11 @@ int RemoteCommand(const std::string& command, const Flags& flags) {
   if (status == "degraded") {
     std::fprintf(stderr, "wfmsctl: degraded answer (%s)\n",
                  response->GetString("degrade_reason", "").c_str());
+  }
+  if (flags.Has("verbose")) {
+    // The id to grep for in the daemon's /debug/requests and slow log.
+    std::fprintf(stderr, "wfmsctl: trace %s\n",
+                 response->GetString("trace_id", "(none)").c_str());
   }
   const service::Json* result = response->Find("result");
   std::printf("%s\n", result != nullptr ? result->Dump().c_str() : "null");
@@ -1096,7 +1120,16 @@ int Main(int argc, char** argv) {
   if (flags.Has("connect")) {
     if (command == "ping" || command == "assess" || command == "recommend" ||
         command == "autotune") {
-      return RemoteCommand(command, flags);
+      // The epilogue runs for remote commands too: --trace-out holds the
+      // client half of the distributed trace (the root span plus
+      // transport time), mergeable with the daemon's own export.
+      const auto remote_start = std::chrono::steady_clock::now();
+      const int code = RemoteCommand(command, flags);
+      return ObservabilityEpilogue(
+          code, flags,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        remote_start)
+              .count());
     }
     std::fprintf(stderr,
                  "wfmsctl: --connect supports ping, assess, recommend, and "

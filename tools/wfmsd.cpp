@@ -21,6 +21,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "service/server.h"
 
 namespace wfms {
@@ -52,6 +53,16 @@ int Usage() {
   --cache-bytes N        per-scenario LRU byte bound  (default 64 MiB)
   --lumping MODE         off | auto | on for the availability solve
                          (default off)
+  --flight-recorder PATH dump the /debug/requests ring here on graceful
+                         drain and after each cache snapshot (defaults to
+                         SNAPSHOT.requests.json when --snapshot is set)
+  --flight-capacity N    per-request records retained (default 1024)
+  --slow-request-ms MS   log any request slower than MS to stderr with its
+                         full phase breakdown (0 = off)
+  --trace-out PATH       record spans for every request and write a
+                         Chrome-trace JSON here on drain (load it in
+                         Perfetto; merge with a client's --trace-out to
+                         see one request tree end to end)
 
 The protocol and GET /metrics share the port; see DESIGN.md "Service
 architecture" for the request/response format and the disposition
@@ -66,6 +77,8 @@ int Main(int argc, char** argv) {
   options.port = 7414;
   double snapshot_interval = 5.0;
   bool snapshot_configured = false;
+  bool flight_recorder_configured = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -113,6 +126,20 @@ int Main(int argc, char** argv) {
       double bytes = 0.0;
       if (!ParseDouble(value, &bytes) || bytes < 0.0) return Usage();
       options.backend.cache_limits.max_bytes = static_cast<size_t>(bytes);
+    } else if (arg == "--flight-recorder" && (value = next())) {
+      options.flight_recorder_path = value;
+      flight_recorder_configured = true;
+    } else if (arg == "--flight-capacity" && (value = next())) {
+      int n = 0;
+      if (!ParseInt(value, &n) || n < 1) return Usage();
+      options.flight_recorder_capacity = static_cast<size_t>(n);
+    } else if (arg == "--slow-request-ms" && (value = next())) {
+      if (!ParseDouble(value, &options.slow_request_ms) ||
+          options.slow_request_ms < 0.0) {
+        return Usage();
+      }
+    } else if (arg == "--trace-out" && (value = next())) {
+      trace_out = value;
     } else if (arg == "--lumping" && (value = next())) {
       const std::string mode = value;
       auto& solver = options.backend.tool_options.availability.solver;
@@ -134,6 +161,11 @@ int Main(int argc, char** argv) {
   }
   options.snapshot_interval_seconds =
       snapshot_configured ? snapshot_interval : -1.0;
+  if (!flight_recorder_configured && snapshot_configured) {
+    // The forensics dump rides next to the cache snapshot by default.
+    options.flight_recorder_path =
+        options.backend.snapshot_path + ".requests.json";
+  }
   if (options.admission.tenant_rate > 0.0 &&
       options.admission.tenant_burst <= 0.0) {
     options.admission.tenant_burst = 2.0 * options.admission.tenant_rate;
@@ -143,6 +175,7 @@ int Main(int argc, char** argv) {
   // belong on stderr by default; WFMS_LOG_LEVEL still overrides.
   SetLogLevel(LogLevel::kInfo);
   InitLogLevelFromEnv();
+  if (!trace_out.empty()) trace::SetEnabled(true);
 
   service::Server server(options);
   const Status started = server.Start();
@@ -160,6 +193,13 @@ int Main(int argc, char** argv) {
 
   const Status drained = server.Wait();
   g_server = nullptr;
+  if (!trace_out.empty()) {
+    const Status traced = trace::WriteJson(trace_out);
+    if (!traced.ok()) {
+      std::fprintf(stderr, "wfmsd: trace export failed: %s\n",
+                   traced.ToString().c_str());
+    }
+  }
   if (!drained.ok()) {
     std::fprintf(stderr, "wfmsd: drain failed: %s\n",
                  drained.ToString().c_str());
