@@ -1,11 +1,11 @@
-#include "service/json.h"
+#include "common/json.h"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace wfms::service {
+namespace wfms {
 
 namespace {
 
@@ -337,4 +337,4 @@ Result<Json> Json::Parse(std::string_view text) {
   return Parser(text).Document();
 }
 
-}  // namespace wfms::service
+}  // namespace wfms

@@ -1,0 +1,279 @@
+#include "corpus/compile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "queueing/distributions.h"
+#include "statechart/builder.h"
+#include "workflow/scenarios.h"
+
+namespace wfms::corpus {
+
+namespace {
+
+// Fixed per-request service times of the infrastructure types, in minutes
+// (the application classes get theirs from the task runtimes). Matches the
+// scale of the hand-written scenarios: a communication hop is ~0.3 s, an
+// engine step ~0.6 s.
+constexpr double kCommServiceMean = 0.005;
+constexpr double kEngineServiceMean = 0.01;
+// Cap on the per-task communication request count, so one huge transfer
+// cannot dominate the load matrix.
+constexpr double kMaxCommRequests = 16.0;
+// Auto arrival-rate target: utilization of the busiest type under the
+// one-server-per-type configuration.
+constexpr double kAutoUtilization = 0.5;
+
+std::string SanitizeName(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "W";
+  return out;
+}
+
+/// A maximal single-entry/single-exit run of tasks, kept in path order.
+struct Chain {
+  std::vector<size_t> tasks;
+};
+
+}  // namespace
+
+Result<workflow::Environment> CompileDag(const TaskDag& dag,
+                                         const CompileOptions& options) {
+  WFMS_RETURN_NOT_OK(dag.Validate());
+  if (options.max_app_classes < 1 || options.max_app_classes > 8) {
+    return Status::InvalidArgument("max_app_classes must be in [1, 8]");
+  }
+  if (!(options.comm_bytes_per_request > 0.0)) {
+    return Status::InvalidArgument("comm_bytes_per_request must be positive");
+  }
+  const size_t n = dag.tasks.size();
+  const std::vector<std::vector<size_t>> children = dag.Children();
+
+  // --- Runtime binning into application-server classes. ---
+  double r_min = dag.tasks[0].runtime;
+  for (const Task& t : dag.tasks) r_min = std::min(r_min, t.runtime);
+  std::vector<size_t> class_of(n, 0);
+  std::vector<bool> occupied(options.max_app_classes, false);
+  for (size_t i = 0; i < n; ++i) {
+    const double ratio = dag.tasks[i].runtime / r_min;
+    const double k = std::floor(std::log(ratio) / std::log(4.0));
+    const size_t cls = static_cast<size_t>(std::clamp(
+        k, 0.0, static_cast<double>(options.max_app_classes - 1)));
+    class_of[i] = cls;
+    occupied[cls] = true;
+  }
+
+  workflow::Environment env;
+  WFMS_RETURN_NOT_OK(
+      env.servers
+          .AddServerType({"comm", workflow::ServerKind::kCommunicationServer,
+                          queueing::ExponentialService(kCommServiceMean),
+                          workflow::kCommFailureRate, workflow::kRepairRate})
+          .status());
+  WFMS_RETURN_NOT_OK(
+      env.servers
+          .AddServerType({"engine", workflow::ServerKind::kWorkflowEngine,
+                          queueing::ExponentialService(kEngineServiceMean),
+                          workflow::kEngineFailureRate, workflow::kRepairRate})
+          .status());
+  std::vector<size_t> type_of_class(options.max_app_classes, 0);
+  for (size_t cls = 0; cls < options.max_app_classes; ++cls) {
+    if (!occupied[cls]) continue;
+    // Uniform mixture of the member tasks' runtime moments: every task
+    // executes exactly once per workflow instance, so the classes mix with
+    // equal weight per member.
+    double mean_sum = 0.0, second_sum = 0.0, members = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (class_of[i] != cls) continue;
+      const Task& t = dag.tasks[i];
+      mean_sum += t.runtime;
+      second_sum += (t.runtime_scv + 1.0) * t.runtime * t.runtime;
+      members += 1.0;
+    }
+    queueing::ServiceMoments moments;
+    moments.mean = mean_sum / members;
+    moments.second_moment = second_sum / members;
+    WFMS_ASSIGN_OR_RETURN(
+        type_of_class[cls],
+        env.servers.AddServerType(
+            {"app-s" + std::to_string(cls),
+             workflow::ServerKind::kApplicationServer, moments,
+             workflow::kAppFailureRate, workflow::kRepairRate}));
+  }
+  const size_t num_types = env.servers.size();
+
+  // --- Load matrix: one activity per task. ---
+  for (size_t i = 0; i < n; ++i) {
+    const Task& t = dag.tasks[i];
+    linalg::Vector load(num_types, 0.0);
+    load[0] = 1.0 + std::min(kMaxCommRequests - 1.0,
+                             std::floor(t.data_bytes /
+                                        options.comm_bytes_per_request));
+    load[1] = 1.0;
+    load[type_of_class[class_of[i]]] += 1.0;
+    WFMS_RETURN_NOT_OK(env.loads.SetLoad(t.name, std::move(load)));
+  }
+
+  // --- Chain collapsing: maximal runs where each link is the sole child
+  // of a sole-parent predecessor. ---
+  std::vector<Chain> chains;
+  std::vector<size_t> chain_of(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const bool absorbed = dag.tasks[i].parents.size() == 1 &&
+                          children[dag.tasks[i].parents[0]].size() == 1;
+    if (absorbed) continue;
+    Chain chain;
+    size_t cur = i;
+    chain.tasks.push_back(cur);
+    chain_of[cur] = chains.size();
+    while (children[cur].size() == 1 &&
+           dag.tasks[children[cur][0]].parents.size() == 1) {
+      cur = children[cur][0];
+      chain.tasks.push_back(cur);
+      chain_of[cur] = chains.size();
+    }
+    chains.push_back(std::move(chain));
+  }
+
+  // --- Level the chain graph by longest path (Kahn). ---
+  const size_t num_chains = chains.size();
+  std::vector<std::vector<size_t>> chain_children(num_chains);
+  std::vector<size_t> chain_indegree(num_chains, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p : dag.tasks[i].parents) {
+      const size_t from = chain_of[p];
+      const size_t to = chain_of[i];
+      if (from == to) continue;
+      auto& out = chain_children[from];
+      if (std::find(out.begin(), out.end(), to) == out.end()) {
+        out.push_back(to);
+        ++chain_indegree[to];
+      }
+    }
+  }
+  std::vector<size_t> chain_level(num_chains, 0);
+  std::vector<size_t> frontier;
+  for (size_t c = 0; c < num_chains; ++c) {
+    if (chain_indegree[c] == 0) frontier.push_back(c);
+  }
+  while (!frontier.empty()) {
+    std::vector<size_t> next;
+    for (size_t c : frontier) {
+      for (size_t d : chain_children[c]) {
+        chain_level[d] = std::max(chain_level[d], chain_level[c] + 1);
+        if (--chain_indegree[d] == 0) next.push_back(d);
+      }
+    }
+    frontier = std::move(next);
+  }
+  size_t num_levels = 0;
+  for (size_t c = 0; c < num_chains; ++c) {
+    num_levels = std::max(num_levels, chain_level[c] + 1);
+  }
+  std::vector<std::vector<size_t>> level_chains(num_levels);
+  for (size_t c = 0; c < num_chains; ++c) {
+    level_chains[chain_level[c]].push_back(c);  // chain-creation order
+  }
+
+  // --- Emit the charts: level barriers in the main chart, one subchart
+  // per chain of a parallel level. ---
+  const std::string chart_name = SanitizeName(dag.name);
+  statechart::ChartBuilder main_builder(chart_name);
+  main_builder.AddSimpleState("init", 0.0).SetInitial("init");
+  std::string prev_exit = "init";
+  std::vector<statechart::StateChart> subcharts;
+  for (size_t level = 0; level < num_levels; ++level) {
+    const std::vector<size_t>& members = level_chains[level];
+    std::string entry, exit;
+    if (members.size() == 1) {
+      // Sequential region: inline the chain's tasks as activity states.
+      const Chain& chain = chains[members[0]];
+      for (size_t j = 0; j < chain.tasks.size(); ++j) {
+        const Task& t = dag.tasks[chain.tasks[j]];
+        main_builder.AddActivityState(t.name, t.name, t.runtime);
+        if (j > 0) {
+          main_builder.AddTransition(dag.tasks[chain.tasks[j - 1]].name,
+                                     t.name, 1.0);
+        }
+      }
+      entry = dag.tasks[chain.tasks.front()].name;
+      exit = dag.tasks[chain.tasks.back()].name;
+    } else {
+      // Parallel region: one orthogonal subchart per chain.
+      std::vector<std::string> names;
+      for (size_t j = 0; j < members.size(); ++j) {
+        const Chain& chain = chains[members[j]];
+        const std::string sub_name = chart_name + "_L" +
+                                     std::to_string(level) + "_b" +
+                                     std::to_string(j);
+        statechart::ChartBuilder sub(sub_name);
+        for (size_t s = 0; s < chain.tasks.size(); ++s) {
+          const Task& t = dag.tasks[chain.tasks[s]];
+          sub.AddActivityState(t.name, t.name, t.runtime);
+          if (s > 0) {
+            sub.AddTransition(dag.tasks[chain.tasks[s - 1]].name, t.name,
+                              1.0);
+          }
+        }
+        sub.SetInitial(dag.tasks[chain.tasks.front()].name);
+        if (chain.tasks.size() == 1) {
+          // A one-state chart cannot be its own initial and final state.
+          sub.AddSimpleState("exit", 0.0)
+              .AddTransition(dag.tasks[chain.tasks.front()].name, "exit",
+                             1.0)
+              .SetFinal("exit");
+        } else {
+          sub.SetFinal(dag.tasks[chain.tasks.back()].name);
+        }
+        WFMS_ASSIGN_OR_RETURN(statechart::StateChart built, sub.Build());
+        subcharts.push_back(std::move(built));
+        names.push_back(sub_name);
+      }
+      const std::string par = "par" + std::to_string(level);
+      main_builder.AddCompositeState(par, std::move(names));
+      entry = par;
+      exit = par;
+    }
+    main_builder.AddTransition(prev_exit, entry, 1.0);
+    prev_exit = exit;
+  }
+  main_builder.AddSimpleState("done", 0.0)
+      .AddTransition(prev_exit, "done", 1.0)
+      .SetFinal("done");
+  WFMS_ASSIGN_OR_RETURN(statechart::StateChart main_chart, main_builder.Build());
+  WFMS_RETURN_NOT_OK(env.charts.AddChart(std::move(main_chart)));
+  for (statechart::StateChart& sub : subcharts) {
+    WFMS_RETURN_NOT_OK(env.charts.AddChart(std::move(sub)));
+  }
+
+  // --- Workflow type and arrival rate. ---
+  double rate = options.arrival_rate;
+  if (rate <= 0.0) {
+    // Per-instance service demand on each type; every task runs once.
+    linalg::Vector demand(num_types, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const linalg::Vector load = env.loads.LoadOf(dag.tasks[i].name,
+                                                   num_types);
+      for (size_t x = 0; x < num_types; ++x) {
+        demand[x] += load[x] * env.servers.type(x).service.mean;
+      }
+    }
+    double max_demand = 0.0;
+    for (double d : demand) max_demand = std::max(max_demand, d);
+    rate = kAutoUtilization / max_demand;
+  }
+  env.workflows.push_back({chart_name, chart_name, rate});
+
+  WFMS_RETURN_NOT_OK(env.Validate());
+  return env;
+}
+
+}  // namespace wfms::corpus

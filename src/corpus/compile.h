@@ -1,0 +1,55 @@
+// DAG-to-environment compiler (DESIGN.md §14): turns a validated TaskDag
+// into the workflow Environment the assessment stack consumes.
+//
+// Mapping, in brief (the full table lives in DESIGN.md §14):
+//  - Server types. Two fixed infrastructure types — "comm"
+//    (communication) and "engine" (workflow engine) — plus up to
+//    `max_app_classes` application-server types "app-s0".."app-s3" formed
+//    by binning tasks on runtime: class(t) = clamp(floor(log4(r_t /
+//    r_min)), 0, max_app_classes - 1). Only occupied classes are emitted.
+//    A class's service moments are the uniform mixture of its member
+//    tasks' runtime moments (each task runs once per instance).
+//  - Loads. Each task is one activity: 1 request at its app class, 1 at
+//    the engine, and 1 + min(15, floor(data_bytes / comm_bytes_per_request))
+//    at the communication servers.
+//  - Chart. Maximal single-entry/single-exit chains are collapsed, the
+//    chain graph is leveled by longest path, and the main chart walks the
+//    levels: a one-chain level inlines its tasks as sequential activity
+//    states; a wider level becomes a composite state whose orthogonal
+//    subcharts are the level's chains — so PR 6's Erlang macro-state
+//    expansion applies to fan-out/fan-in regions. Level barriers make the
+//    compiled turnaround a (documented) upper bound of the DAG's; the load
+//    matrix is exact.
+//  - Arrival rate. `arrival_rate`, or, when 0, auto-tuned to 0.5 / max_x
+//    (per-instance service demand on type x) so every type sits at 50%
+//    utilization under the minimal one-server-per-type configuration.
+#ifndef WFMS_CORPUS_COMPILE_H_
+#define WFMS_CORPUS_COMPILE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "corpus/dag.h"
+#include "workflow/environment.h"
+
+namespace wfms::corpus {
+
+struct CompileOptions {
+  /// Workflow instance arrival rate (per minute); 0 auto-tunes (see
+  /// header comment).
+  double arrival_rate = 0.0;
+  /// Number of runtime classes tasks are binned into (1..8).
+  size_t max_app_classes = 4;
+  /// Bytes of file transfer that cost one communication-server request.
+  double comm_bytes_per_request = 64.0 * 1024 * 1024;
+};
+
+/// Compiles a validated DAG into an environment that passes
+/// Environment::Validate(). Deterministic: the same DAG and options always
+/// produce a byte-identical SerializeEnvironment() dump.
+Result<workflow::Environment> CompileDag(const TaskDag& dag,
+                                         const CompileOptions& options = {});
+
+}  // namespace wfms::corpus
+
+#endif  // WFMS_CORPUS_COMPILE_H_

@@ -1,0 +1,149 @@
+#include "corpus/dag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace wfms::corpus {
+
+namespace {
+
+bool IsIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool IsReserved(const std::string& name) {
+  return name == "init" || name == "done" || name == "exit";
+}
+
+}  // namespace
+
+Status TaskDag::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("workflow name must not be empty");
+  }
+  if (tasks.empty()) {
+    return Status::InvalidArgument("workflow '" + name + "' has no tasks");
+  }
+  std::set<std::string> seen;
+  for (const Task& t : tasks) {
+    if (!IsIdentifier(t.name)) {
+      return Status::InvalidArgument(
+          "task '" + t.name +
+          "': name must be a non-empty [A-Za-z0-9_] identifier");
+    }
+    if (IsReserved(t.name)) {
+      return Status::InvalidArgument("task '" + t.name +
+                                     "': name is reserved for compiled "
+                                     "control states");
+    }
+    if (!seen.insert(t.name).second) {
+      return Status::InvalidArgument("task '" + t.name +
+                                     "': duplicate task name");
+    }
+    if (!std::isfinite(t.runtime) || t.runtime <= 0.0) {
+      return Status::InvalidArgument(
+          "task '" + t.name + "': runtime must be finite and positive");
+    }
+    if (!std::isfinite(t.runtime_scv) || t.runtime_scv < 0.0) {
+      return Status::InvalidArgument(
+          "task '" + t.name + "': runtime SCV must be finite and >= 0");
+    }
+    if (!std::isfinite(t.data_bytes) || t.data_bytes < 0.0) {
+      return Status::InvalidArgument(
+          "task '" + t.name + "': data bytes must be finite and >= 0");
+    }
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::set<size_t> edge_seen;
+    for (size_t p : tasks[i].parents) {
+      if (p >= tasks.size()) {
+        return Status::InvalidArgument("task '" + tasks[i].name +
+                                       "': parent index out of range");
+      }
+      if (p == i) {
+        return Status::InvalidArgument("task '" + tasks[i].name +
+                                       "': depends on itself");
+      }
+      if (!edge_seen.insert(p).second) {
+        return Status::InvalidArgument("task '" + tasks[i].name +
+                                       "': duplicate parent '" +
+                                       tasks[p].name + "'");
+      }
+    }
+  }
+  const Result<std::vector<size_t>> levels = Levels();
+  return levels.ok() ? Status::OK() : levels.status();
+}
+
+Result<std::vector<size_t>> TaskDag::Levels() const {
+  // Kahn's algorithm over parent edges; each task's level is one past its
+  // deepest parent (longest path from a root).
+  const size_t n = tasks.size();
+  std::vector<size_t> indegree(n, 0);
+  for (size_t i = 0; i < n; ++i) indegree[i] = tasks[i].parents.size();
+  const std::vector<std::vector<size_t>> children = Children();
+  std::vector<size_t> levels(n, 0);
+  std::vector<size_t> frontier;
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+  size_t processed = 0;
+  while (!frontier.empty()) {
+    std::vector<size_t> next;
+    for (size_t i : frontier) {
+      ++processed;
+      for (size_t c : children[i]) {
+        levels[c] = std::max(levels[c], levels[i] + 1);
+        if (--indegree[c] == 0) next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (processed != n) {
+    // Some task never reached indegree 0: it sits on (or behind) a cycle.
+    for (size_t i = 0; i < n; ++i) {
+      if (indegree[i] > 0) {
+        return Status::ParseError("cycle detected involving task '" +
+                                  tasks[i].name + "'");
+      }
+    }
+  }
+  return levels;
+}
+
+Result<size_t> TaskDag::Depth() const {
+  if (tasks.empty()) return size_t{0};
+  WFMS_ASSIGN_OR_RETURN(const std::vector<size_t> levels, Levels());
+  size_t depth = 0;
+  for (size_t l : levels) depth = std::max(depth, l + 1);
+  return depth;
+}
+
+size_t TaskDag::MaxFanOut() const {
+  std::vector<size_t> out(tasks.size(), 0);
+  size_t max_degree = 0;
+  for (const Task& t : tasks) {
+    max_degree = std::max(max_degree, t.parents.size());
+    for (size_t p : t.parents) ++out[p];
+  }
+  for (size_t d : out) max_degree = std::max(max_degree, d);
+  return max_degree;
+}
+
+std::vector<std::vector<size_t>> TaskDag::Children() const {
+  std::vector<std::vector<size_t>> children(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (size_t p : tasks[i].parents) children[p].push_back(i);
+  }
+  return children;
+}
+
+}  // namespace wfms::corpus

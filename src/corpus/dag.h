@@ -1,0 +1,70 @@
+// Task-graph core of the corpus engine (DESIGN.md §14): a validated
+// directed acyclic graph of workflow tasks with per-task runtime moments
+// and data volumes. TaskDags come from two producers — the WfCommons-style
+// importer (importer.h) and the parameterized generator (generator.h) —
+// and feed one consumer, the environment compiler (compile.h), which turns
+// them into the statechart/server-type/load-matrix model the assessment
+// stack understands.
+#ifndef WFMS_CORPUS_DAG_H_
+#define WFMS_CORPUS_DAG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wfms::corpus {
+
+/// One workflow task. Parents are indices into TaskDag::tasks — producers
+/// resolve names to indices up front so the compiler never touches string
+/// lookups on the hot path.
+struct Task {
+  std::string name;
+  /// Mean runtime in model time units (minutes). The importer converts
+  /// from WfCommons' runtimeInSeconds.
+  double runtime = 0.0;
+  /// Squared coefficient of variation of the runtime across executions
+  /// (1 = exponential, the CTMC default).
+  double runtime_scv = 1.0;
+  /// Total bytes of files this task reads and writes; drives the
+  /// communication-server request count in the compiled load matrix.
+  double data_bytes = 0.0;
+  std::vector<size_t> parents;
+};
+
+/// A named task DAG. Invariants are established by Validate(), which every
+/// producer calls before handing the DAG to the compiler.
+struct TaskDag {
+  std::string name;
+  std::vector<Task> tasks;
+
+  /// Structural validation with task-named errors:
+  ///  - task names non-empty, unique, made of [A-Za-z0-9_] (they become
+  ///    statechart state and activity identifiers), and none of the
+  ///    reserved control-state names ("init", "done", "exit");
+  ///  - runtimes finite and > 0; runtime SCVs finite and >= 0; data bytes
+  ///    finite and >= 0;
+  ///  - parent indices in range, no self-loops, no duplicate edges;
+  ///  - the graph is acyclic (a violation names a task on the cycle).
+  Status Validate() const;
+
+  /// Longest-path level of every task (roots are level 0). Requires an
+  /// acyclic graph; a cycle fails with a task-named ParseError.
+  Result<std::vector<size_t>> Levels() const;
+
+  /// Number of levels on the longest root-to-leaf path (0 for an empty
+  /// DAG).
+  Result<size_t> Depth() const;
+
+  /// Largest in- or out-degree over all tasks.
+  size_t MaxFanOut() const;
+
+  /// children[i] = indices of the tasks listing i as a parent, in task
+  /// order.
+  std::vector<std::vector<size_t>> Children() const;
+};
+
+}  // namespace wfms::corpus
+
+#endif  // WFMS_CORPUS_DAG_H_

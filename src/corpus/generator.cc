@@ -1,0 +1,291 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/random.h"
+
+namespace wfms::corpus {
+
+namespace {
+
+// Floor on sampled runtimes (minutes): keeps the binning base r_min away
+// from degenerate near-zero samples a heavy-tailed draw can produce.
+constexpr double kMinRuntime = 1e-3;
+
+std::string TaskName(size_t index, size_t width) {
+  std::string digits = std::to_string(index);
+  std::string name = "t";
+  for (size_t i = digits.size(); i < width; ++i) name.push_back('0');
+  name += digits;
+  return name;
+}
+
+size_t NameWidth(size_t count) {
+  size_t width = 1, bound = 10;
+  while (bound < count) {
+    ++width;
+    bound *= 10;
+  }
+  return std::max<size_t>(width, 4);
+}
+
+size_t SampleWidth(Rng* rng, const Recipe& r) {
+  return r.fan_out_min +
+         static_cast<size_t>(rng->NextUint64(r.fan_out_max - r.fan_out_min +
+                                             1));
+}
+
+double SampleRuntime(Rng* rng, const Recipe& r) {
+  double value = 0.0;
+  switch (r.service_dist) {
+    case ServiceDist::kLognormal:
+      value = rng->NextLognormalByMoments(r.service_mean, r.service_scv);
+      break;
+    case ServiceDist::kPareto: {
+      // Pareto with the requested mean and SCV: alpha from the SCV
+      // (alpha = 1 + sqrt(1 + 1/scv) > 2 keeps both moments finite),
+      // scale from the mean, inverse-CDF sampling.
+      const double alpha = 1.0 + std::sqrt(1.0 + 1.0 / r.service_scv);
+      const double x_m = r.service_mean * (alpha - 1.0) / alpha;
+      const double u = rng->NextDouble();  // [0, 1)
+      value = x_m * std::pow(1.0 - u, -1.0 / alpha);
+      break;
+    }
+  }
+  return std::max(value, kMinRuntime);
+}
+
+/// Structure-only skeleton: per-task parent lists.
+using Skeleton = std::vector<std::vector<size_t>>;
+
+Skeleton ChainSkeleton(const Recipe& r) {
+  size_t n = r.num_tasks;
+  if (r.max_depth > 0) n = std::min(n, r.max_depth);
+  Skeleton parents(n);
+  for (size_t i = 1; i < n; ++i) parents[i].push_back(i - 1);
+  return parents;
+}
+
+Skeleton ForkJoinSkeleton(const Recipe& r, Rng* rng) {
+  Skeleton parents;
+  parents.emplace_back();  // entry task
+  size_t barrier = 0;      // the task every next stage hangs off
+  size_t depth = 1;
+  while (parents.size() < r.num_tasks &&
+         (r.max_depth == 0 || depth + 2 <= r.max_depth)) {
+    const size_t width = SampleWidth(rng, r);
+    const size_t first = parents.size();
+    for (size_t j = 0; j < width; ++j) {
+      parents.emplace_back();
+      parents.back().push_back(barrier);
+    }
+    parents.emplace_back();  // join barrier
+    for (size_t j = 0; j < width; ++j) {
+      parents.back().push_back(first + j);
+    }
+    barrier = parents.size() - 1;
+    depth += 2;
+  }
+  return parents;
+}
+
+Skeleton DiamondLadderSkeleton(const Recipe& r, Rng* rng) {
+  Skeleton parents;
+  parents.emplace_back();  // entry task
+  std::vector<size_t> prev_rung{0};
+  size_t depth = 1;
+  while (parents.size() + 1 < r.num_tasks &&
+         (r.max_depth == 0 || depth + 2 <= r.max_depth)) {
+    const size_t width = SampleWidth(rng, r);
+    std::vector<size_t> rung;
+    for (size_t j = 0; j < width; ++j) {
+      rung.push_back(parents.size());
+      parents.emplace_back();
+      parents.back() = prev_rung;  // full bipartite rung coupling
+    }
+    prev_rung = std::move(rung);
+    ++depth;
+  }
+  parents.emplace_back();  // exit task joins the last rung
+  parents.back() = prev_rung;
+  return parents;
+}
+
+Skeleton TreeReduceSkeleton(const Recipe& r, Rng* rng) {
+  // Expansion tree grown from the root, then flipped: DAG level 0 holds
+  // the leaves and every reducer's parents are its expansion children.
+  std::vector<size_t> level_sizes{1};
+  std::vector<std::vector<size_t>> fan(1);  // fan[l][i]: children of node i
+  size_t total = 1;
+  while (total < r.num_tasks &&
+         (r.max_depth == 0 || level_sizes.size() < r.max_depth)) {
+    const size_t width = level_sizes.back();
+    fan.emplace_back();
+    size_t next = 0;
+    for (size_t i = 0; i < width; ++i) {
+      const size_t f = SampleWidth(rng, r);
+      fan[level_sizes.size() - 1].push_back(f);
+      next += f;
+    }
+    level_sizes.push_back(next);
+    total += next;
+  }
+  // Task indices by DAG level: deepest expansion level (the leaves) first.
+  const size_t levels = level_sizes.size();
+  std::vector<size_t> level_base(levels, 0);  // base task index per
+                                              // expansion level, leaves = 0
+  size_t base = 0;
+  for (size_t l = levels; l-- > 0;) {
+    level_base[l] = base;
+    base += level_sizes[l];
+  }
+  Skeleton parents(base);
+  for (size_t l = 0; l + 1 < levels; ++l) {
+    // Expansion level l nodes reduce the level l+1 nodes they fanned to;
+    // children were assigned contiguously in parent order.
+    size_t child = 0;
+    for (size_t i = 0; i < level_sizes[l]; ++i) {
+      const size_t reducer = level_base[l] + i;
+      for (size_t j = 0; j < fan[l][i]; ++j) {
+        parents[reducer].push_back(level_base[l + 1] + child);
+        ++child;
+      }
+    }
+  }
+  return parents;
+}
+
+}  // namespace
+
+const char* PatternName(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kChain:
+      return "chain";
+    case Pattern::kForkJoin:
+      return "fork_join";
+    case Pattern::kDiamondLadder:
+      return "diamond_ladder";
+    case Pattern::kTreeReduce:
+      return "tree_reduce";
+  }
+  return "chain";
+}
+
+Result<Pattern> PatternFromName(const std::string& name) {
+  if (name == "chain") return Pattern::kChain;
+  if (name == "fork_join") return Pattern::kForkJoin;
+  if (name == "diamond_ladder") return Pattern::kDiamondLadder;
+  if (name == "tree_reduce") return Pattern::kTreeReduce;
+  return Status::InvalidArgument("unknown pattern '" + name + "'");
+}
+
+const char* ServiceDistName(ServiceDist dist) {
+  return dist == ServiceDist::kPareto ? "pareto" : "lognormal";
+}
+
+Result<ServiceDist> ServiceDistFromName(const std::string& name) {
+  if (name == "lognormal") return ServiceDist::kLognormal;
+  if (name == "pareto") return ServiceDist::kPareto;
+  return Status::InvalidArgument("unknown service distribution '" + name +
+                                 "'");
+}
+
+Status Recipe::Validate() const {
+  if (num_tasks < 1) {
+    return Status::InvalidArgument("recipe needs num_tasks >= 1");
+  }
+  if (fan_out_min < 1 || fan_out_max < fan_out_min) {
+    return Status::InvalidArgument(
+        "recipe needs 1 <= fan_out_min <= fan_out_max");
+  }
+  if (!std::isfinite(service_mean) || service_mean <= 0.0) {
+    return Status::InvalidArgument("recipe service_mean must be positive");
+  }
+  if (!std::isfinite(service_scv) || service_scv < 0.0 ||
+      (service_dist == ServiceDist::kPareto && service_scv <= 0.0)) {
+    return Status::InvalidArgument(
+        "recipe service_scv must be >= 0 (> 0 for pareto)");
+  }
+  if (!std::isfinite(data_mean_bytes) || data_mean_bytes < 0.0) {
+    return Status::InvalidArgument("recipe data_mean_bytes must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<TaskDag> GenerateDag(const Recipe& recipe) {
+  WFMS_RETURN_NOT_OK(recipe.Validate());
+  Rng rng(recipe.seed);
+
+  Skeleton parents;
+  switch (recipe.pattern) {
+    case Pattern::kChain:
+      parents = ChainSkeleton(recipe);
+      break;
+    case Pattern::kForkJoin:
+      parents = ForkJoinSkeleton(recipe, &rng);
+      break;
+    case Pattern::kDiamondLadder:
+      parents = DiamondLadderSkeleton(recipe, &rng);
+      break;
+    case Pattern::kTreeReduce:
+      parents = TreeReduceSkeleton(recipe, &rng);
+      break;
+  }
+
+  TaskDag dag;
+  dag.name = recipe.name.empty()
+                 ? std::string(PatternName(recipe.pattern)) + "-" +
+                       std::to_string(recipe.num_tasks) + "-s" +
+                       std::to_string(recipe.seed)
+                 : recipe.name;
+  const size_t width = NameWidth(parents.size());
+  for (size_t i = 0; i < parents.size(); ++i) {
+    Task task;
+    task.name = TaskName(i, width);
+    task.runtime = SampleRuntime(&rng, recipe);
+    task.runtime_scv = 1.0;
+    task.data_bytes =
+        recipe.data_mean_bytes > 0.0
+            ? std::floor(rng.NextExponential(1.0 / recipe.data_mean_bytes))
+            : 0.0;
+    task.parents = std::move(parents[i]);
+    dag.tasks.push_back(std::move(task));
+  }
+  WFMS_RETURN_NOT_OK(dag.Validate());
+  return dag;
+}
+
+std::string EmitWfCommons(const TaskDag& dag) {
+  Json tasks = Json::Array();
+  for (const Task& t : dag.tasks) {
+    Json parents = Json::Array();
+    for (size_t p : t.parents) parents.Append(Json::Str(dag.tasks[p].name));
+    Json entry = Json::Object();
+    entry.Set("name", Json::Str(t.name))
+        .Set("type", Json::Str("compute"))
+        .Set("runtimeInSeconds", Json::Number(t.runtime * 60.0))
+        .Set("runtimeScv", Json::Number(t.runtime_scv))
+        .Set("parents", std::move(parents));
+    if (t.data_bytes > 0.0) {
+      Json file = Json::Object();
+      file.Set("name", Json::Str(t.name + "_out"))
+          .Set("sizeInBytes", Json::Number(t.data_bytes))
+          .Set("link", Json::Str("output"));
+      entry.Set("files", Json::Array().Append(std::move(file)));
+    }
+    tasks.Append(std::move(entry));
+  }
+  Json workflow = Json::Object();
+  workflow.Set("tasks", std::move(tasks));
+  Json doc = Json::Object();
+  doc.Set("name", Json::Str(dag.name))
+      .Set("schemaVersion", Json::Str("1.3"))
+      .Set("workflow", std::move(workflow));
+  return doc.Dump();
+}
+
+}  // namespace wfms::corpus

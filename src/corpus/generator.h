@@ -1,0 +1,75 @@
+// Seeded, recipe-style workflow generator (DESIGN.md §14), in the spirit
+// of WfCommons' WfChef/WfBench: a Recipe names a graph pattern plus size,
+// shape, and service-time parameters, and generation is a pure function of
+// the recipe — the same recipe (seed included) always yields the same DAG
+// and the same WfCommons JSON bytes.
+//
+// Patterns:
+//  - chain:          t0 -> t1 -> ... -> t(n-1).
+//  - fork_join:      repeated stages of one fork task fanning out to
+//                    f ~ U[fan_out_min, fan_out_max] parallel tasks that
+//                    join into one barrier task.
+//  - diamond_ladder: rungs of width w ~ U[fan_out_min, fan_out_max] with
+//                    full bipartite edges between consecutive rungs,
+//                    framed by an entry and an exit task.
+//  - tree_reduce:    leaves reduced level by level, each reducer consuming
+//                    f ~ U[fan_out_min, fan_out_max] nodes, down to one
+//                    root.
+//
+// All patterns keep adding structure until the task count reaches
+// `num_tasks` (so the count is a floor, not an approximation), unless
+// `max_depth` > 0 caps the number of levels first.
+#ifndef WFMS_CORPUS_GENERATOR_H_
+#define WFMS_CORPUS_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "corpus/dag.h"
+
+namespace wfms::corpus {
+
+enum class Pattern { kChain, kForkJoin, kDiamondLadder, kTreeReduce };
+enum class ServiceDist { kLognormal, kPareto };
+
+const char* PatternName(Pattern pattern);
+Result<Pattern> PatternFromName(const std::string& name);
+const char* ServiceDistName(ServiceDist dist);
+Result<ServiceDist> ServiceDistFromName(const std::string& name);
+
+struct Recipe {
+  /// Workflow name; empty derives "<pattern>-<num_tasks>-s<seed>".
+  std::string name;
+  Pattern pattern = Pattern::kChain;
+  /// Minimum number of tasks (see header comment).
+  size_t num_tasks = 16;
+  uint64_t seed = 42;
+  /// Task runtime distribution across tasks: mean (minutes) and squared
+  /// coefficient of variation of the sampled runtimes.
+  ServiceDist service_dist = ServiceDist::kLognormal;
+  double service_mean = 2.0;
+  double service_scv = 4.0;
+  /// Bounds on sampled fan-outs / rung widths (patterns other than chain).
+  size_t fan_out_min = 2;
+  size_t fan_out_max = 8;
+  /// Cap on the number of DAG levels; 0 = unbounded.
+  size_t max_depth = 0;
+  /// Mean bytes of file transfer per task (exponentially distributed).
+  double data_mean_bytes = 16.0 * 1024 * 1024;
+
+  Status Validate() const;
+};
+
+/// Generates the DAG of a recipe. Deterministic per recipe; the result has
+/// passed TaskDag::Validate().
+Result<TaskDag> GenerateDag(const Recipe& recipe);
+
+/// Serializes a DAG to the WfCommons-style JSON the importer accepts
+/// (deterministic bytes; ParseWfCommons round-trips it).
+std::string EmitWfCommons(const TaskDag& dag);
+
+}  // namespace wfms::corpus
+
+#endif  // WFMS_CORPUS_GENERATOR_H_

@@ -1,0 +1,145 @@
+#include "corpus/importer.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+
+namespace wfms::corpus {
+
+namespace {
+
+constexpr double kSecondsPerMinute = 60.0;
+
+/// Extracts a required finite number field, naming the task and field on
+/// failure.
+Result<double> NumberField(const Json& task, const std::string& task_name,
+                           const char* field) {
+  const Json* value = task.Find(field);
+  if (value == nullptr || !value->is_number()) {
+    return Status::ParseError("task '" + task_name + "': missing numeric '" +
+                              field + "'");
+  }
+  if (!std::isfinite(value->number())) {
+    return Status::ParseError("task '" + task_name + "': '" + field +
+                              "' must be finite");
+  }
+  return value->number();
+}
+
+}  // namespace
+
+Result<TaskDag> ParseWfCommons(std::string_view json_text) {
+  WFMS_ASSIGN_OR_RETURN(const Json doc, Json::Parse(json_text));
+  if (!doc.is_object()) {
+    return Status::ParseError("WfCommons document must be a JSON object");
+  }
+
+  TaskDag dag;
+  dag.name = doc.GetString("name", "");
+  if (dag.name.empty()) {
+    return Status::ParseError("document is missing the workflow 'name'");
+  }
+
+  const Json* workflow = doc.Find("workflow");
+  if (workflow == nullptr || !workflow->is_object()) {
+    return Status::ParseError("document is missing the 'workflow' object");
+  }
+  const Json* tasks = workflow->Find("tasks");
+  if (tasks == nullptr || !tasks->is_array() || tasks->items().empty()) {
+    return Status::ParseError(
+        "'workflow.tasks' must be a non-empty array of task objects");
+  }
+
+  // Pass 1: task identities (parents may reference tasks declared later).
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < tasks->items().size(); ++i) {
+    const Json& t = tasks->items()[i];
+    if (!t.is_object()) {
+      return Status::ParseError("'workflow.tasks[" + std::to_string(i) +
+                                "]' is not an object");
+    }
+    const std::string name = t.GetString("name", "");
+    if (name.empty()) {
+      return Status::ParseError("'workflow.tasks[" + std::to_string(i) +
+                                "]' is missing its 'name'");
+    }
+    if (!index.emplace(name, i).second) {
+      return Status::ParseError("task '" + name + "': duplicate task name");
+    }
+  }
+
+  // Pass 2: runtimes, file volumes, and resolved parent edges.
+  for (const Json& t : tasks->items()) {
+    Task task;
+    task.name = t.GetString("name", "");
+    WFMS_ASSIGN_OR_RETURN(const double runtime_seconds,
+                          NumberField(t, task.name, "runtimeInSeconds"));
+    if (runtime_seconds <= 0.0) {
+      return Status::ParseError("task '" + task.name +
+                                "': 'runtimeInSeconds' must be positive");
+    }
+    task.runtime = runtime_seconds / kSecondsPerMinute;
+
+    const Json* scv = t.Find("runtimeScv");
+    if (scv != nullptr) {
+      if (!scv->is_number() || !std::isfinite(scv->number()) ||
+          scv->number() < 0.0) {
+        return Status::ParseError("task '" + task.name +
+                                  "': 'runtimeScv' must be a finite "
+                                  "non-negative number");
+      }
+      task.runtime_scv = scv->number();
+    }
+
+    const Json* files = t.Find("files");
+    if (files != nullptr) {
+      if (!files->is_array()) {
+        return Status::ParseError("task '" + task.name +
+                                  "': 'files' must be an array");
+      }
+      for (const Json& f : files->items()) {
+        if (!f.is_object()) {
+          return Status::ParseError("task '" + task.name +
+                                    "': 'files' entries must be objects");
+        }
+        WFMS_ASSIGN_OR_RETURN(const double bytes,
+                              NumberField(f, task.name, "sizeInBytes"));
+        if (bytes < 0.0) {
+          return Status::ParseError("task '" + task.name +
+                                    "': 'sizeInBytes' must be >= 0");
+        }
+        task.data_bytes += bytes;
+      }
+    }
+
+    const Json* parents = t.Find("parents");
+    if (parents != nullptr) {
+      if (!parents->is_array()) {
+        return Status::ParseError("task '" + task.name +
+                                  "': 'parents' must be an array of task "
+                                  "names");
+      }
+      for (const Json& p : parents->items()) {
+        if (!p.is_string()) {
+          return Status::ParseError("task '" + task.name +
+                                    "': 'parents' entries must be strings");
+        }
+        const auto it = index.find(p.str());
+        if (it == index.end()) {
+          return Status::ParseError("task '" + task.name +
+                                    "': parent '" + p.str() +
+                                    "' is not a declared task");
+        }
+        task.parents.push_back(it->second);
+      }
+    }
+    dag.tasks.push_back(std::move(task));
+  }
+
+  WFMS_RETURN_NOT_OK(dag.Validate());
+  return dag;
+}
+
+}  // namespace wfms::corpus

@@ -1,0 +1,42 @@
+// WfCommons-style workflow import (DESIGN.md §14). Accepts the community
+// JSON format of Coleman et al. (wfformat v1.3 layout):
+//
+//   {
+//     "name": "epigenomics-100",
+//     "workflow": {
+//       "tasks": [
+//         { "name": "t0001",
+//           "runtimeInSeconds": 12.5,
+//           "runtimeScv": 1,                  // our moment extension
+//           "parents": ["t0000"],
+//           "files": [ {"name": "f1", "sizeInBytes": 4096,
+//                       "link": "input"} ] },
+//         ...
+//       ]
+//     }
+//   }
+//
+// Field mapping (full table in DESIGN.md §14): runtimeInSeconds / 60
+// becomes the task's mean runtime in model minutes; the optional
+// runtimeScv (default 1 = exponential) is the runtime's squared
+// coefficient of variation; file sizes (input and output) sum into
+// Task::data_bytes; parents name earlier tasks. Validation failures carry
+// the offending task and field name.
+#ifndef WFMS_CORPUS_IMPORTER_H_
+#define WFMS_CORPUS_IMPORTER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "corpus/dag.h"
+
+namespace wfms::corpus {
+
+/// Parses and validates one WfCommons-style document. The returned DAG has
+/// passed TaskDag::Validate() — cycles, dangling parents, duplicate names,
+/// and non-finite runtimes are all rejected with named errors.
+Result<TaskDag> ParseWfCommons(std::string_view json_text);
+
+}  // namespace wfms::corpus
+
+#endif  // WFMS_CORPUS_IMPORTER_H_

@@ -1,0 +1,117 @@
+// Corpus sweep runner (DESIGN.md §14): a Manifest names a population of
+// environments — generator recipes and/or WfCommons files on disk — and
+// RunSweep assesses (or searches) every one of them on a thread pool,
+// producing a deterministic per-environment report.
+//
+// Determinism contract: each environment's ConfigurationTool is pinned to
+// one lane, environments fan out across the pool, and results are
+// assembled in manifest order — so the report (timings aside) is
+// byte-identical whatever the thread count, and identical across runs for
+// a fixed manifest. Disable timings (SweepOptions::include_timings) to
+// make the serialized report itself byte-stable.
+#ifndef WFMS_CORPUS_SWEEP_H_
+#define WFMS_CORPUS_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "configtool/goals.h"
+#include "corpus/generator.h"
+#include "markov/steady_state.h"
+
+namespace wfms::corpus {
+
+/// One environment of the population: either a generator recipe or a
+/// WfCommons-style JSON document on disk.
+struct ManifestEntry {
+  std::string id;
+  Recipe recipe;
+  /// When non-empty the entry imports this file instead of generating.
+  std::string wfcommons_path;
+
+  bool is_import() const { return !wfcommons_path.empty(); }
+};
+
+struct Manifest {
+  /// Master seed the manifest was generated from (provenance only).
+  uint64_t seed = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+/// Deterministic population spread: patterns cycle, task counts ramp
+/// geometrically from 8 to `max_tasks` (the last entry hits `max_tasks`
+/// exactly), service SCVs cycle {1, 4, 16}, distributions alternate
+/// lognormal/Pareto, and per-entry seeds derive from `seed`.
+Manifest GenerateManifest(size_t count, uint64_t seed, size_t max_tasks);
+
+std::string ManifestToJson(const Manifest& manifest);
+Result<Manifest> ManifestFromJson(std::string_view text);
+
+enum class SweepMode { kAssess, kRecommend };
+
+/// Verdict for one environment. `error` is empty on success; a failed
+/// environment keeps its identity fields and skips the rest.
+struct EnvironmentResult {
+  std::string id;
+  std::string workflow;
+  std::string pattern;  // "imported" for file entries
+  size_t tasks = 0;
+  size_t chart_states = 0;  // states across all compiled charts
+  size_t server_types = 0;
+  size_t avail_states = 0;  // availability CTMC size for the final config
+  bool lumping_applied = false;
+  size_t lumped_states = 0;
+  std::vector<int> config;  // assessed (assess) or recommended (recommend)
+  bool satisfied = false;
+  double max_expected_waiting = 0.0;
+  double availability = 0.0;
+  double cost = 0.0;
+  int evaluations = 0;  // search evaluations (0 in assess mode)
+  double solve_ms = 0.0;
+  std::string error;
+};
+
+struct SweepOptions {
+  configtool::Goals goals;
+  SweepMode mode = SweepMode::kAssess;
+  /// Per-type replication cap of the recommend-mode greedy search.
+  int max_replicas = 4;
+  markov::LumpingMode lumping = markov::LumpingMode::kOff;
+  /// Opt into PR 6's Erlang macro-state expansion for parallel regions.
+  bool phase_type_composites = false;
+  /// Sweep-level fan-out; 0 uses ThreadPool::DefaultThreadCount().
+  size_t num_threads = 0;
+  /// Emit per-environment and total wall times into the JSON report.
+  bool include_timings = true;
+  /// Completion callback (progress reporting); invoked under a lock, in
+  /// completion order, with the number of environments finished so far.
+  std::function<void(const EnvironmentResult&, size_t done, size_t total)>
+      progress;
+};
+
+struct SweepReport {
+  uint64_t seed = 0;
+  SweepMode mode = SweepMode::kAssess;
+  std::vector<EnvironmentResult> results;
+  size_t satisfied_count = 0;
+  size_t error_count = 0;
+  double total_ms = 0.0;
+};
+
+/// Runs the population. Only fails on structural problems (empty
+/// manifest); per-environment failures land in EnvironmentResult::error.
+Result<SweepReport> RunSweep(const Manifest& manifest,
+                             const SweepOptions& options);
+
+/// Serializes the report (schema: tools/schemas/corpus_report_schema.json).
+Json ReportToJson(const SweepReport& report, bool include_timings);
+
+}  // namespace wfms::corpus
+
+#endif  // WFMS_CORPUS_SWEEP_H_

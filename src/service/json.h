@@ -1,119 +1,16 @@
-// Minimal JSON value type, parser, and serializer for the wfmsd wire
-// protocol (newline-delimited JSON over TCP; see src/service/protocol.h).
-// Self-contained on purpose — the daemon must not pull in an external
-// JSON dependency.
-//
-// Properties the protocol relies on:
-//  - Deterministic serialization: object members keep insertion order and
-//    numbers format reproducibly, so the same logical response is the
-//    same byte sequence every time (the chaos test compares warm-restart
-//    answers byte-for-byte against a cold baseline).
-//  - Defensive parsing: depth-limited recursive descent with descriptive
-//    ParseError statuses; a hostile or corrupt request line can never
-//    crash or hang the daemon.
+// Source-compatibility forwarder: the JSON codec moved to common/json.h
+// so the corpus engine (src/corpus) can parse WfCommons documents without
+// linking the service library. Existing service code and clients keep
+// spelling the types wfms::service::Json / wfms::service::JsonEscape.
 #ifndef WFMS_SERVICE_JSON_H_
 #define WFMS_SERVICE_JSON_H_
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
-
-#include "common/result.h"
+#include "common/json.h"
 
 namespace wfms::service {
 
-class Json {
- public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Json() : type_(Type::kNull) {}
-
-  static Json Null() { return Json(); }
-  static Json Bool(bool value) {
-    Json j;
-    j.type_ = Type::kBool;
-    j.bool_ = value;
-    return j;
-  }
-  static Json Number(double value) {
-    Json j;
-    j.type_ = Type::kNumber;
-    j.number_ = value;
-    return j;
-  }
-  static Json Str(std::string value) {
-    Json j;
-    j.type_ = Type::kString;
-    j.string_ = std::move(value);
-    return j;
-  }
-  static Json Array() {
-    Json j;
-    j.type_ = Type::kArray;
-    return j;
-  }
-  static Json Object() {
-    Json j;
-    j.type_ = Type::kObject;
-    return j;
-  }
-
-  Type type() const { return type_; }
-  bool is_null() const { return type_ == Type::kNull; }
-  bool is_object() const { return type_ == Type::kObject; }
-  bool is_array() const { return type_ == Type::kArray; }
-  bool is_string() const { return type_ == Type::kString; }
-  bool is_number() const { return type_ == Type::kNumber; }
-  bool is_bool() const { return type_ == Type::kBool; }
-
-  /// Value accessors; meaningful only for the matching type (a mismatch
-  /// returns the type's zero value, never traps).
-  bool bool_value() const { return type_ == Type::kBool && bool_; }
-  double number() const { return type_ == Type::kNumber ? number_ : 0.0; }
-  const std::string& str() const { return string_; }
-  const std::vector<Json>& items() const { return items_; }
-  const std::vector<std::pair<std::string, Json>>& members() const {
-    return members_;
-  }
-
-  /// Object lookup; nullptr when absent or not an object.
-  const Json* Find(std::string_view key) const;
-
-  /// Typed convenience lookups with fallbacks, for flat request objects.
-  std::string GetString(std::string_view key, std::string fallback) const;
-  double GetNumber(std::string_view key, double fallback) const;
-  bool GetBool(std::string_view key, bool fallback) const;
-
-  /// Object member append (no dedup — callers control keys); returns
-  /// *this for chaining.
-  Json& Set(std::string key, Json value);
-  /// Array element append.
-  Json& Append(Json value);
-
-  /// Serializes deterministically (members in insertion order; integers
-  /// within 2^53 print without a decimal point, everything else %.17g so
-  /// doubles round-trip bit-exactly). No whitespace.
-  std::string Dump() const;
-
-  /// Parses one JSON document; the whole input must be consumed (trailing
-  /// non-whitespace is an error). Nesting is limited to 64 levels.
-  static Result<Json> Parse(std::string_view text);
-
- private:
-  void DumpTo(std::string* out) const;
-
-  Type type_;
-  bool bool_ = false;
-  double number_ = 0.0;
-  std::string string_;
-  std::vector<Json> items_;
-  std::vector<std::pair<std::string, Json>> members_;
-};
-
-/// Escapes `text` as a JSON string literal body (no surrounding quotes).
-std::string JsonEscape(std::string_view text);
+using wfms::Json;
+using wfms::JsonEscape;
 
 }  // namespace wfms::service
 

@@ -91,6 +91,20 @@ Result<StateChart> ChartBuilder::Build() {
                                    ": initial and final state must differ");
   }
 
+  // Machine-generated charts (the corpus compiler) derive activity names
+  // from task names; a repeated activity would silently merge two tasks'
+  // loads, so reject it with both offending states named.
+  std::map<std::string, std::string> activity_state;
+  for (const ChartState& s : chart_.states_) {
+    if (s.activity.empty()) continue;
+    const auto [it, inserted] = activity_state.emplace(s.activity, s.name);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          context + ": activity '" + s.activity + "' is used by both '" +
+          it->second + "' and '" + s.name + "'");
+    }
+  }
+
   for (const ChartState& s : chart_.states_) {
     if (s.kind == StateKind::kComposite && s.subcharts.empty()) {
       return Status::InvalidArgument(context + ": composite state '" +

@@ -1,0 +1,172 @@
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "corpus/compile.h"
+#include "corpus/importer.h"
+#include "workflow/environment_io.h"
+
+namespace wfms::corpus {
+namespace {
+
+TEST(CorpusGeneratorTest, PatternNamesRoundTrip) {
+  for (const Pattern p : {Pattern::kChain, Pattern::kForkJoin,
+                          Pattern::kDiamondLadder, Pattern::kTreeReduce}) {
+    const auto back = PatternFromName(PatternName(p));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(PatternFromName("zigzag").ok());
+  for (const ServiceDist d : {ServiceDist::kLognormal, ServiceDist::kPareto}) {
+    const auto back = ServiceDistFromName(ServiceDistName(d));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, d);
+  }
+  EXPECT_FALSE(ServiceDistFromName("uniform").ok());
+}
+
+TEST(CorpusGeneratorTest, RecipeValidateRejectsBadParameters) {
+  Recipe r;
+  r.num_tasks = 0;
+  EXPECT_FALSE(r.Validate().ok());
+  r = Recipe{};
+  r.service_mean = 0.0;
+  EXPECT_FALSE(r.Validate().ok());
+  r = Recipe{};
+  r.service_scv = -1.0;
+  EXPECT_FALSE(r.Validate().ok());
+  r = Recipe{};
+  r.fan_out_min = 5;
+  r.fan_out_max = 2;
+  EXPECT_FALSE(r.Validate().ok());
+  r = Recipe{};
+  r.fan_out_min = 0;
+  EXPECT_FALSE(r.Validate().ok());
+  r = Recipe{};
+  r.data_mean_bytes = -1.0;
+  EXPECT_FALSE(r.Validate().ok());
+  EXPECT_TRUE(Recipe{}.Validate().ok());
+}
+
+Recipe SeededRecipe(uint64_t seed) {
+  Recipe r;
+  r.pattern = static_cast<Pattern>(seed % 4);
+  r.seed = seed;
+  r.num_tasks = 8 + seed % 57;
+  r.service_scv = (seed % 3 == 0) ? 1.0 : 4.0;
+  r.service_dist =
+      (seed % 2 == 0) ? ServiceDist::kLognormal : ServiceDist::kPareto;
+  r.fan_out_min = 2;
+  r.fan_out_max = 2 + seed % 7;
+  // Exercise the depth cap on a third of the population.
+  if (seed % 3 == 1) r.max_depth = 4 + seed % 8;
+  return r;
+}
+
+// The 100-seed property sweep: every generated DAG validates (so it is
+// acyclic), respects the task-count floor, the depth cap, and the fan-out
+// bound, and regenerating from the same recipe is byte-identical both at
+// the WfCommons layer and after compilation to an environment.
+TEST(CorpusGeneratorTest, HundredSeedsSatisfyStructuralProperties) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const Recipe recipe = SeededRecipe(seed);
+    const auto dag = GenerateDag(recipe);
+    ASSERT_TRUE(dag.ok()) << "seed " << seed << ": " << dag.status();
+    EXPECT_TRUE(dag->Validate().ok()) << "seed " << seed;
+    if (recipe.max_depth == 0) {
+      EXPECT_GE(dag->tasks.size(), recipe.num_tasks) << "seed " << seed;
+    }
+    const auto depth = dag->Depth();
+    ASSERT_TRUE(depth.ok()) << "seed " << seed << ": " << depth.status();
+    if (recipe.max_depth > 0) {
+      EXPECT_LE(*depth, recipe.max_depth) << "seed " << seed;
+    }
+    EXPECT_LE(dag->MaxFanOut(), std::max<size_t>(recipe.fan_out_max, 1))
+        << "seed " << seed;
+    for (const Task& t : dag->tasks) {
+      EXPECT_GT(t.runtime, 0.0) << "seed " << seed;
+      EXPECT_GE(t.runtime_scv, 0.0) << "seed " << seed;
+      EXPECT_GE(t.data_bytes, 0.0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, HundredSeedsRegenerateByteIdentically) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const Recipe recipe = SeededRecipe(seed);
+    const auto first = GenerateDag(recipe);
+    const auto second = GenerateDag(recipe);
+    ASSERT_TRUE(first.ok() && second.ok()) << "seed " << seed;
+    EXPECT_EQ(EmitWfCommons(*first), EmitWfCommons(*second))
+        << "seed " << seed;
+    const auto env_a = CompileDag(*first);
+    const auto env_b = CompileDag(*second);
+    ASSERT_TRUE(env_a.ok()) << "seed " << seed << ": " << env_a.status();
+    ASSERT_TRUE(env_b.ok()) << "seed " << seed << ": " << env_b.status();
+    EXPECT_EQ(workflow::SerializeEnvironment(*env_a),
+              workflow::SerializeEnvironment(*env_b))
+        << "seed " << seed;
+  }
+}
+
+TEST(CorpusGeneratorTest, DistinctSeedsProduceDistinctRuntimes) {
+  Recipe a = SeededRecipe(8);  // chain, lognormal
+  Recipe b = a;
+  b.seed = 12;
+  const auto dag_a = GenerateDag(a);
+  const auto dag_b = GenerateDag(b);
+  ASSERT_TRUE(dag_a.ok() && dag_b.ok());
+  ASSERT_EQ(dag_a->tasks.size(), dag_b->tasks.size());
+  EXPECT_NE(dag_a->tasks[0].runtime, dag_b->tasks[0].runtime);
+}
+
+TEST(CorpusGeneratorTest, EmittedJsonRoundTripsThroughImporter) {
+  const Recipe recipe = SeededRecipe(6);  // diamond ladder
+  const auto dag = GenerateDag(recipe);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  const auto imported = ParseWfCommons(EmitWfCommons(*dag));
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  ASSERT_EQ(imported->tasks.size(), dag->tasks.size());
+  for (size_t i = 0; i < dag->tasks.size(); ++i) {
+    EXPECT_EQ(imported->tasks[i].name, dag->tasks[i].name);
+    EXPECT_EQ(imported->tasks[i].parents, dag->tasks[i].parents);
+    EXPECT_DOUBLE_EQ(imported->tasks[i].runtime, dag->tasks[i].runtime);
+    EXPECT_DOUBLE_EQ(imported->tasks[i].runtime_scv,
+                     dag->tasks[i].runtime_scv);
+    EXPECT_DOUBLE_EQ(imported->tasks[i].data_bytes, dag->tasks[i].data_bytes);
+  }
+}
+
+TEST(CorpusGeneratorTest, ChainPatternIsASingleChain) {
+  Recipe r;
+  r.pattern = Pattern::kChain;
+  r.num_tasks = 12;
+  const auto dag = GenerateDag(r);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  ASSERT_EQ(dag->tasks.size(), 12u);
+  EXPECT_EQ(dag->MaxFanOut(), 1u);
+  const auto depth = dag->Depth();
+  ASSERT_TRUE(depth.ok());
+  EXPECT_EQ(*depth, 12u);
+}
+
+TEST(CorpusGeneratorTest, TreeReduceEndsInSingleRoot) {
+  Recipe r;
+  r.pattern = Pattern::kTreeReduce;
+  r.num_tasks = 40;
+  r.seed = 3;
+  const auto dag = GenerateDag(r);
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  // Exactly one sink: the reduction root.
+  const auto children = dag->Children();
+  size_t sinks = 0;
+  for (const auto& c : children) sinks += c.empty() ? 1 : 0;
+  EXPECT_EQ(sinks, 1u);
+}
+
+}  // namespace
+}  // namespace wfms::corpus

@@ -1,0 +1,157 @@
+#include "corpus/importer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "corpus/compile.h"
+#include "workflow/environment_io.h"
+
+namespace wfms::corpus {
+namespace {
+
+std::string Doc(const std::string& tasks) {
+  return R"({"name": "w", "schemaVersion": "1.3", "workflow": {"tasks": [)" +
+         tasks + "]}}";
+}
+
+TEST(CorpusImporterTest, ParsesMinimalTwoTaskWorkflow) {
+  const auto dag = ParseWfCommons(Doc(
+      R"({"name": "a", "runtimeInSeconds": 30},
+         {"name": "b", "runtimeInSeconds": 60, "parents": ["a"],
+          "files": [{"name": "f", "sizeInBytes": 1024, "link": "input"},
+                    {"name": "g", "sizeInBytes": 2048, "link": "output"}]})"));
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  ASSERT_EQ(dag->tasks.size(), 2u);
+  EXPECT_DOUBLE_EQ(dag->tasks[0].runtime, 0.5);  // seconds -> minutes
+  EXPECT_DOUBLE_EQ(dag->tasks[1].runtime, 1.0);
+  EXPECT_DOUBLE_EQ(dag->tasks[0].runtime_scv, 1.0);  // default
+  EXPECT_DOUBLE_EQ(dag->tasks[1].data_bytes, 3072.0);
+  ASSERT_EQ(dag->tasks[1].parents.size(), 1u);
+  EXPECT_EQ(dag->tasks[1].parents[0], 0u);
+}
+
+TEST(CorpusImporterTest, RejectsDuplicateTaskName) {
+  const auto dag = ParseWfCommons(Doc(
+      R"({"name": "a", "runtimeInSeconds": 1},
+         {"name": "a", "runtimeInSeconds": 2})"));
+  ASSERT_FALSE(dag.ok());
+  EXPECT_NE(dag.status().message().find("duplicate task name"),
+            std::string::npos)
+      << dag.status();
+  EXPECT_NE(dag.status().message().find("'a'"), std::string::npos);
+}
+
+TEST(CorpusImporterTest, RejectsDanglingParentByName) {
+  const auto dag = ParseWfCommons(Doc(
+      R"({"name": "a", "runtimeInSeconds": 1, "parents": ["ghost"]})"));
+  ASSERT_FALSE(dag.ok());
+  EXPECT_NE(dag.status().message().find("parent 'ghost' is not a declared"),
+            std::string::npos)
+      << dag.status();
+}
+
+TEST(CorpusImporterTest, RejectsCycleNamingATaskOnIt) {
+  const auto dag = ParseWfCommons(Doc(
+      R"({"name": "a", "runtimeInSeconds": 1, "parents": ["c"]},
+         {"name": "b", "runtimeInSeconds": 1, "parents": ["a"]},
+         {"name": "c", "runtimeInSeconds": 1, "parents": ["b"]})"));
+  ASSERT_FALSE(dag.ok());
+  EXPECT_NE(dag.status().message().find("cycle"), std::string::npos)
+      << dag.status();
+}
+
+TEST(CorpusImporterTest, RejectsNonPositiveRuntime) {
+  const auto dag = ParseWfCommons(Doc(
+      R"({"name": "a", "runtimeInSeconds": 0})"));
+  ASSERT_FALSE(dag.ok());
+  EXPECT_NE(dag.status().message().find("'a'"), std::string::npos)
+      << dag.status();
+  EXPECT_NE(dag.status().message().find("must be positive"),
+            std::string::npos);
+}
+
+TEST(CorpusImporterTest, RejectsNonFiniteRuntime) {
+  // The JSON codec itself refuses non-finite numbers, so an overflowing
+  // literal never reaches the importer as +inf.
+  const auto dag = ParseWfCommons(Doc(
+      R"({"name": "a", "runtimeInSeconds": 1e999})"));
+  EXPECT_FALSE(dag.ok());
+}
+
+TEST(CorpusImporterTest, RejectsMissingRuntime) {
+  const auto dag = ParseWfCommons(Doc(R"({"name": "a"})"));
+  ASSERT_FALSE(dag.ok());
+  EXPECT_NE(dag.status().message().find("runtimeInSeconds"),
+            std::string::npos)
+      << dag.status();
+}
+
+TEST(CorpusImporterTest, RejectsReservedAndMalformedTaskNames) {
+  EXPECT_FALSE(
+      ParseWfCommons(Doc(R"({"name": "init", "runtimeInSeconds": 1})")).ok());
+  EXPECT_FALSE(
+      ParseWfCommons(Doc(R"({"name": "a b", "runtimeInSeconds": 1})")).ok());
+}
+
+TEST(CorpusImporterTest, RejectsStructurallyBrokenDocuments) {
+  EXPECT_FALSE(ParseWfCommons("[]").ok());
+  EXPECT_FALSE(ParseWfCommons(R"({"workflow": {"tasks": []}})").ok());
+  EXPECT_FALSE(ParseWfCommons(R"({"name": "w"})").ok());
+  EXPECT_FALSE(ParseWfCommons(R"({"name": "w", "workflow": {}})").ok());
+  EXPECT_FALSE(
+      ParseWfCommons(R"({"name": "w", "workflow": {"tasks": []}})").ok());
+}
+
+// --- Fixture goldens -------------------------------------------------------
+//
+// Each WfCommons fixture under tests/data/ compiles to a golden
+// environment dump that is byte-compared. Regenerate after an intentional
+// compiler change with:
+//   WFMS_REGENERATE_GOLDEN=1 ./tests/corpus_importer_test
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void CheckGolden(const std::string& stem) {
+  const std::string data_dir = WFMS_TEST_DATA_DIR;
+  const std::string fixture = data_dir + "/wfcommons_" + stem + ".json";
+  const std::string golden = data_dir + "/golden_" + stem + ".wfms";
+
+  const auto dag = ParseWfCommons(ReadFile(fixture));
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  const auto env = CompileDag(*dag);
+  ASSERT_TRUE(env.ok()) << env.status();
+  const std::string dump = workflow::SerializeEnvironment(*env);
+
+  if (std::getenv("WFMS_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden, std::ios::binary);
+    out << dump;
+    ASSERT_TRUE(out.good()) << "cannot write " << golden;
+    GTEST_SKIP() << "regenerated " << golden;
+  }
+  EXPECT_EQ(dump, ReadFile(golden)) << "golden mismatch for " << stem
+                                    << "; see regeneration note above";
+  // The golden itself must parse back into a valid environment.
+  const auto reparsed = workflow::ParseEnvironment(dump);
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status();
+}
+
+TEST(CorpusImporterTest, ChainFixtureMatchesGolden) { CheckGolden("chain"); }
+
+TEST(CorpusImporterTest, ForkJoinFixtureMatchesGolden) {
+  CheckGolden("forkjoin");
+}
+
+TEST(CorpusImporterTest, MixedFixtureMatchesGolden) { CheckGolden("mixed"); }
+
+}  // namespace
+}  // namespace wfms::corpus

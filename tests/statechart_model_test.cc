@@ -56,6 +56,24 @@ TEST(ChartBuilderTest, RejectsDuplicateState) {
   EXPECT_EQ(chart.status().code(), StatusCode::kAlreadyExists);
 }
 
+TEST(ChartBuilderTest, RejectsDuplicateActivityNamingBothStates) {
+  auto chart = ChartBuilder("X")
+                   .AddActivityState("A", "shared_act", 1.0)
+                   .AddActivityState("B", "shared_act", 2.0)
+                   .AddSimpleState("C", 1.0)
+                   .SetInitial("A")
+                   .SetFinal("C")
+                   .AddTransition("A", "B", 1.0)
+                   .AddTransition("B", "C", 1.0)
+                   .Build();
+  ASSERT_FALSE(chart.ok());
+  EXPECT_EQ(chart.status().code(), StatusCode::kInvalidArgument);
+  const std::string message = chart.status().message();
+  EXPECT_NE(message.find("shared_act"), std::string::npos) << message;
+  EXPECT_NE(message.find("'A'"), std::string::npos) << message;
+  EXPECT_NE(message.find("'B'"), std::string::npos) << message;
+}
+
 TEST(ChartBuilderTest, RejectsMissingInitialOrFinal) {
   EXPECT_FALSE(ChartBuilder("X")
                    .AddSimpleState("A", 1.0)

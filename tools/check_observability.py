@@ -44,6 +44,7 @@ _TYPES = {
     "number": (int, float),
     "integer": int,
     "boolean": bool,
+    "null": type(None),
 }
 
 

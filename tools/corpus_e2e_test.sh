@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end determinism check of the corpus sweep (ISSUE acceptance
+# criterion): a 50-environment manifest generated under a fixed seed, with
+# the largest environment at 512 tasks, sweeps end-to-end; the manifest
+# and the sweep report are byte-identical across two independent runs,
+# and the report accounts for every environment with zero errors.
+#
+# usage: corpus_e2e_test.sh <wfmsctl> <workdir>
+set -eu
+
+WFMSCTL="$1"
+WORKDIR="$2/corpus_e2e_test"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+run_sweep() {
+  "$WFMSCTL" corpus --generate 50 --seed 42 --max-tasks 512 \
+      --manifest "$WORKDIR/manifest_$1.json" \
+      --report "$WORKDIR/report_$1.json" \
+      --no-timings 2> "$WORKDIR/progress_$1.log"
+}
+
+echo "== sweep twice under seed 42"
+run_sweep a
+run_sweep b
+
+echo "== manifest and report are byte-identical across runs"
+cmp "$WORKDIR/manifest_a.json" "$WORKDIR/manifest_b.json"
+cmp "$WORKDIR/report_a.json" "$WORKDIR/report_b.json"
+
+echo "== report covers all 50 environments with zero errors"
+grep -q '"environments":50' "$WORKDIR/report_a.json"
+grep -q '"errors":0' "$WORKDIR/report_a.json"
+
+echo "== the largest environment reaches 512 tasks"
+grep -q '"num_tasks":512' "$WORKDIR/manifest_a.json"
+grep -Eq '"tasks":(51[2-9]|5[2-9][0-9]|[6-9][0-9][0-9]|[0-9]{4,})' \
+    "$WORKDIR/report_a.json"
+
+echo "== progress stream saw every environment"
+test "$(grep -c '^corpus: \[' "$WORKDIR/progress_a.log")" -eq 50
+
+echo "PASS"

@@ -129,5 +129,13 @@ if [ -f "$OUT_DIR/BENCH_geo_search.json" ]; then
   echo "trajectory copy: $REPO_DIR/BENCH_geo_search.json"
 fi
 
+# The corpus pipeline trajectory (generate/compile/build/assess wall time
+# vs workflow size) is committed, like the large-chain one, so a compile-
+# or solve-path regression shows up as a diff at the repo root.
+if [ -f "$OUT_DIR/BENCH_corpus.json" ]; then
+  cp "$OUT_DIR/BENCH_corpus.json" "$REPO_DIR/BENCH_corpus.json"
+  echo "trajectory copy: $REPO_DIR/BENCH_corpus.json"
+fi
+
 echo "$ran suite(s) written to $OUT_DIR ($failures failure(s))"
 [ "$failures" -eq 0 ]

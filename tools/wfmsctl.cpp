@@ -32,6 +32,7 @@
 #include "common/time_units.h"
 #include "configtool/checkpoint.h"
 #include "configtool/tool.h"
+#include "corpus/sweep.h"
 #include "markov/first_passage_moments.h"
 #include "markov/transient_distribution.h"
 #include "perf/performance_model.h"
@@ -124,6 +125,10 @@ commands:
               scripted load schedule, monitor the audit stream, detect
               drift / goal violations, and re-run the configuration
               search when warranted
+  corpus      generate (or load) a manifest of workflow environments —
+              WfCommons-style imports and recipe-generated DAGs — and
+              sweep assess/recommend across all of them in parallel,
+              writing a per-environment JSON report
   export      print a scenario file for a built-in scenario
   ping        liveness probe of a running wfmsd (requires --connect)
 
@@ -175,6 +180,20 @@ survivability goals (multi-site scenarios; assess, recommend):
   --min-per-site         per-(type,site) placement minimums for
                          greedy-site: type-major comma list, e.g.
                          1,0,0,1 anchors types 0/1 at sites A/B
+
+corpus flags:
+  --generate N       generate an N-environment manifest (with --manifest:
+                     also write it to that file)
+  --manifest FILE    without --generate: load this manifest and sweep it
+  --seed             manifest generation seed       (default 42)
+  --max-tasks        largest generated workflow     (default 512)
+  --mode             assess | recommend             (default assess)
+  --max-replicas     recommend-mode per-type cap    (default 4)
+  --phase-type       Erlang macro-state expansion for parallel regions
+  --jobs N           sweep fan-out (default: WFMS_NUM_THREADS or cores)
+  --report FILE      write the JSON report here instead of stdout
+  --no-timings       omit wall times from the report (byte-stable output)
+  --max-wait / --min-avail / --lumping as for assess and recommend
 
 autotune flags:
   --config          initial configuration        (default all-ones)
@@ -1074,6 +1093,100 @@ int RemoteCommand(const std::string& command, const Flags& flags) {
   return 0;
 }
 
+/// `wfmsctl corpus`: generate or load a manifest of workflow environments
+/// and sweep assess/recommend across them (DESIGN.md §14). Needs no
+/// --scenario — the corpus *is* the scenario population.
+int Corpus(const Flags& flags) {
+  corpus::Manifest manifest;
+  const std::string manifest_path = flags.Get("manifest", "");
+  if (flags.Has("generate")) {
+    const double count = flags.GetDouble("generate", 50.0);
+    const double max_tasks = flags.GetDouble("max-tasks", 512.0);
+    if (count < 1.0 || max_tasks < 1.0) {
+      std::fprintf(stderr,
+                   "wfmsctl: --generate and --max-tasks must be >= 1\n");
+      return 2;
+    }
+    manifest = corpus::GenerateManifest(
+        static_cast<size_t>(count),
+        static_cast<uint64_t>(flags.GetDouble("seed", 42.0)),
+        static_cast<size_t>(max_tasks));
+    if (!manifest_path.empty()) {
+      std::ofstream out(manifest_path);
+      if (!out) {
+        return FailWith(Status::NotFound("cannot write manifest '" +
+                                         manifest_path + "'"));
+      }
+      out << corpus::ManifestToJson(manifest) << "\n";
+    }
+  } else if (!manifest_path.empty()) {
+    std::ifstream in(manifest_path);
+    if (!in) {
+      return FailWith(Status::NotFound("cannot open manifest '" +
+                                       manifest_path + "'"));
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto loaded = corpus::ManifestFromJson(buffer.str());
+    if (!loaded.ok()) return FailWith(loaded.status());
+    manifest = *std::move(loaded);
+  } else {
+    std::fprintf(stderr,
+                 "wfmsctl: corpus needs --generate N and/or --manifest "
+                 "FILE\n");
+    return 2;
+  }
+
+  corpus::SweepOptions options;
+  options.goals = GoalsFromFlags(flags);
+  const std::string mode = flags.Get("mode", "assess");
+  if (mode == "assess") {
+    options.mode = corpus::SweepMode::kAssess;
+  } else if (mode == "recommend") {
+    options.mode = corpus::SweepMode::kRecommend;
+  } else {
+    std::fprintf(stderr, "wfmsctl: bad --mode '%s' (assess|recommend)\n",
+                 mode.c_str());
+    return 2;
+  }
+  options.max_replicas =
+      static_cast<int>(flags.GetDouble("max-replicas", 4.0));
+  auto tool_options = ToolOptionsFromFlags(flags);
+  if (!tool_options.ok()) return FailWith(tool_options.status());
+  options.lumping = tool_options->availability.solver.lumping;
+  options.phase_type_composites = flags.Has("phase-type");
+  options.num_threads = static_cast<size_t>(flags.GetDouble("jobs", 0.0));
+  options.include_timings = !flags.Has("no-timings");
+  options.progress = [](const corpus::EnvironmentResult& r, size_t done,
+                        size_t total) {
+    std::fprintf(stderr, "corpus: [%zu/%zu] %s %s tasks=%zu %s\n", done,
+                 total, r.id.c_str(), r.pattern.c_str(), r.tasks,
+                 r.error.empty() ? (r.satisfied ? "ok" : "goals-missed")
+                                 : r.error.c_str());
+  };
+
+  auto report = corpus::RunSweep(manifest, options);
+  if (!report.ok()) return FailWith(report.status());
+  const std::string dump =
+      corpus::ReportToJson(*report, options.include_timings).Dump();
+  const std::string report_path = flags.Get("report", "");
+  if (report_path.empty()) {
+    std::printf("%s\n", dump.c_str());
+  } else {
+    std::ofstream out(report_path);
+    if (!out) {
+      return FailWith(
+          Status::NotFound("cannot write report '" + report_path + "'"));
+    }
+    out << dump << "\n";
+  }
+  std::fprintf(stderr,
+               "corpus: %zu environments, %zu satisfied, %zu errors\n",
+               report->results.size(), report->satisfied_count,
+               report->error_count);
+  return report->error_count == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -1090,7 +1203,8 @@ int Main(int argc, char** argv) {
       flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
     } else if (arg == "no-failures" || arg == "bind-instances" ||
                arg == "resume" || arg == "verbose" ||
-               arg == "survive-partitions") {
+               arg == "survive-partitions" || arg == "phase-type" ||
+               arg == "no-timings") {
       // clear+push_back instead of assigning a literal: GCC 12's
       // -Wrestrict misreads the literal assignment as a potential
       // self-overlap and -Werror trips (GCC PR105329).
@@ -1143,6 +1257,15 @@ int Main(int argc, char** argv) {
 
   InstallSignalHandlers();
   const auto run_start = std::chrono::steady_clock::now();
+  if (command == "corpus") {
+    // The corpus carries its own environments; no --scenario involved.
+    const int corpus_code = Corpus(flags);
+    const double corpus_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    return ObservabilityEpilogue(corpus_code, flags, corpus_wall);
+  }
   auto env = LoadScenario(flags.Get("scenario", "ep"));
   if (!env.ok()) return FailWith(env.status());
   int code;
